@@ -1,0 +1,89 @@
+// Reproduces paper Fig. 2 (a) and (b): average response time for
+// similarity queries (Q1, Match=Any) on the six evaluation datasets —
+// ONEX vs Trillion vs PAA vs Standard-DTW. Fig. 2a is the full
+// comparison (the paper plots it log-scaled); Fig. 2b zooms into ONEX vs
+// Trillion. Also prints the ONEX-over-Trillion speedup the paper
+// summarizes as "on average 1.8x faster".
+
+#include <cstdio>
+
+#include "baselines/paa.h"
+#include "baselines/standard_dtw.h"
+#include "baselines/trillion.h"
+#include "bench/common.h"
+#include "core/query_processor.h"
+#include "datagen/registry.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchConfig config = ParseConfig(argc, argv);
+
+  TableWriter fig2a(
+      "Figure 2a: similarity-query response time (sec/query; paper plots "
+      "log scale)");
+  fig2a.SetHeader({"dataset", "ONEX", "TRILLION", "PAA", "STANDARD-DTW"});
+  TableWriter fig2b("Figure 2b: zoom — ONEX vs TRILLION (sec/query)");
+  fig2b.SetHeader({"dataset", "ONEX", "TRILLION", "speedup"});
+
+  RunningStats speedups;
+  for (const auto& name : EvaluationDatasetNames()) {
+    const Dataset dataset = PrepareDataset(name, config);
+    const auto queries = MakeQueries(dataset, name, config);
+    OnexBase base = BuildBase(dataset, config);
+    QueryProcessor processor(&base);
+    TrillionSearch trillion(&dataset, 0.05);
+    StandardDtwSearch standard(&dataset, config.lengths,
+                               DtwOptions::FromRatio(config.window_ratio,
+                                                     config.max_length,
+                                                     config.max_length));
+    PaaSearch paa(&dataset, config.lengths, 8,
+                  DtwOptions::FromRatio(config.window_ratio,
+                                        config.max_length,
+                                        config.max_length));
+
+    RunningStats onex_t, trillion_t, paa_t, standard_t;
+    for (const auto& query : queries) {
+      const std::span<const double> q(query.values.data(),
+                                      query.values.size());
+      onex_t.Add(TimeAverage(config.runs, [&] {
+        (void)processor.FindBestMatch(q);
+      }));
+      trillion_t.Add(TimeAverage(config.runs, [&] {
+        (void)trillion.FindBestMatch(q);
+      }));
+      paa_t.Add(TimeAverage(config.runs, [&] {
+        (void)paa.FindBestMatch(q);
+      }));
+      standard_t.Add(TimeAverage(config.runs, [&] {
+        (void)standard.FindBestMatch(q);
+      }));
+    }
+    fig2a.AddRow({name, TableWriter::Num(onex_t.mean(), 6),
+                  TableWriter::Num(trillion_t.mean(), 6),
+                  TableWriter::Num(paa_t.mean(), 6),
+                  TableWriter::Num(standard_t.mean(), 6)});
+    const double speedup =
+        onex_t.mean() > 0 ? trillion_t.mean() / onex_t.mean() : 0.0;
+    speedups.Add(speedup);
+    fig2b.AddRow({name, TableWriter::Num(onex_t.mean(), 6),
+                  TableWriter::Num(trillion_t.mean(), 6),
+                  TableWriter::Num(speedup, 2) + "x"});
+  }
+  fig2a.Print();
+  fig2b.Print();
+  std::printf("ONEX vs Trillion average speedup: %.2fx (paper: ~1.8x on "
+              "its testbed)\n",
+              speedups.mean());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

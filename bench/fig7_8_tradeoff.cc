@@ -1,0 +1,76 @@
+// Reproduces paper Figs. 7 and 8: the accuracy-vs-time tradeoff as the
+// similarity threshold varies (ST in 0.1..0.4) for ItalyPower, ECG
+// (Fig. 7) and Face, Wafer (Fig. 8). This is the experiment behind the
+// paper's choice of ST = 0.2 as the balanced default.
+
+#include <cstdio>
+
+#include "baselines/standard_dtw.h"
+#include "bench/common.h"
+#include "core/query_processor.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchConfig config = ParseConfig(argc, argv);
+  const std::vector<double> thresholds = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::pair<std::string, std::string>> panels = {
+      {"ItalyPower", "Figure 7a"},
+      {"ECG", "Figure 7b"},
+      {"Face", "Figure 8a"},
+      {"Wafer", "Figure 8b"}};
+
+  for (const auto& [name, figure] : panels) {
+    const Dataset dataset = PrepareDataset(name, config);
+    const auto queries = MakeQueries(dataset, name, config);
+    const DtwOptions dtw_options = DtwOptions::FromRatio(
+        config.window_ratio, config.max_length, config.max_length);
+    StandardDtwSearch oracle(&dataset, config.lengths, dtw_options);
+
+    // Oracle answers are threshold-independent; compute once.
+    std::vector<double> opt(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      opt[i] = oracle
+                   .FindBestMatch(std::span<const double>(
+                       queries[i].values.data(), queries[i].values.size()))
+                   .distance;
+    }
+
+    SeriesWriter panel(figure + ": accuracy vs running time varying ST (" +
+                       name + ")");
+    panel.SetXLabel("ST");
+    panel.AddSeries("Accuracy");
+    panel.AddSeries("Time(sec)");
+    for (double st : thresholds) {
+      OnexBase base = BuildBase(dataset, config, st);
+      QueryProcessor processor(&base);
+      RunningStats err, time;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const std::span<const double> q(queries[i].values.data(),
+                                        queries[i].values.size());
+        double distance = 1.0;
+        time.Add(TimeAverage(config.runs, [&] {
+          auto result = processor.FindBestMatch(q);
+          if (result.ok()) distance = result.value().distance;
+        }));
+        err.Add(std::abs(distance - opt[i]));
+      }
+      panel.AddPoint(st, {(1.0 - err.mean()), time.mean()});
+    }
+    panel.Print();
+  }
+  std::printf("Paper shape: accuracy stays near 1.0 and degrades slowly "
+              "as ST grows, while time falls with ST; ST around 0.2 "
+              "balances the two.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

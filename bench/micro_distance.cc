@@ -1,0 +1,121 @@
+// Micro-benchmarks for the distance kernels: ED, normalized ED, DTW
+// (unconstrained / banded / early-abandoning), envelope construction,
+// and lower bounds across series lengths. Quantifies the cost ladder the
+// pruning cascade exploits: LB_Kim << LB_Keogh << DTW.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "distance/dtw.h"
+#include "distance/envelope.h"
+#include "distance/euclidean.h"
+#include "distance/lb_keogh.h"
+#include "distance/lb_kim.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::vector<double> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+  return v;
+}
+
+void BM_Euclidean(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(
+        std::span<const double>(a), std::span<const double>(b)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Euclidean)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DtwUnconstrained(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(std::span<const double>(a),
+                                         std::span<const double>(b)));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DtwUnconstrained)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DtwBanded10Pct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  const DtwOptions options = DtwOptions::FromRatio(0.1, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(std::span<const double>(a),
+                                         std::span<const double>(b),
+                                         options));
+  }
+}
+BENCHMARK(BM_DtwBanded10Pct)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DtwEarlyAbandonTight(benchmark::State& state) {
+  // Threshold far below the true distance: the row-min abandon fires in
+  // the first few rows.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1);
+  auto b = RandomVector(n, 2);
+  for (auto& x : b) x += 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwEarlyAbandon(std::span<const double>(a),
+                                             std::span<const double>(b),
+                                             0.5));
+  }
+}
+BENCHMARK(BM_DtwEarlyAbandonTight)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EnvelopeLemire(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto v = RandomVector(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeEnvelope(std::span<const double>(v), n / 10));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnvelopeLemire)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_LbKim(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LbKim(std::span<const double>(a), std::span<const double>(b)));
+  }
+}
+BENCHMARK(BM_LbKim)->Arg(128)->Arg(512);
+
+void BM_LbKimFl(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LbKimFl(std::span<const double>(a), std::span<const double>(b)));
+  }
+}
+BENCHMARK(BM_LbKimFl)->Arg(128)->Arg(512);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVector(n, 1), b = RandomVector(n, 2);
+  const Envelope env = ComputeEnvelope(std::span<const double>(b), n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeogh(std::span<const double>(a), env));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LbKeogh)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace onex
+
+BENCHMARK_MAIN();

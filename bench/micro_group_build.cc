@@ -1,0 +1,60 @@
+// Micro-benchmark for Algorithm 1 (offline group construction). The
+// paper argues the expected group count is O(sqrt(n)) and the build
+// O(n^{3/2}); sweeping the subsequence count exposes that superlinear-
+// but-far-from-quadratic growth, and the counters report the measured
+// group counts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/group_builder.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+void BM_BuildGroupsForLength(benchmark::State& state) {
+  const size_t n_series = static_cast<size_t>(state.range(0));
+  GenOptions gen;
+  gen.num_series = n_series;
+  gen.length = 32;
+  gen.seed = 42;
+  Dataset d = MakeEcg(gen);
+  MinMaxNormalize(&d);
+  size_t groups_built = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    const auto groups = BuildGroupsForLength(d, 16, 0.2, &rng);
+    groups_built = groups.size();
+    benchmark::DoNotOptimize(groups_built);
+  }
+  state.counters["groups"] = static_cast<double>(groups_built);
+  state.counters["subsequences"] =
+      static_cast<double>(n_series * (32 - 16 + 1));
+}
+BENCHMARK(BM_BuildGroupsForLength)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BuildGroupsVaryingSt(benchmark::State& state) {
+  GenOptions gen;
+  gen.num_series = 48;
+  gen.length = 32;
+  gen.seed = 42;
+  Dataset d = MakeEcg(gen);
+  MinMaxNormalize(&d);
+  const double st = static_cast<double>(state.range(0)) / 100.0;
+  size_t groups_built = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    const auto groups = BuildGroupsForLength(d, 16, st, &rng);
+    groups_built = groups.size();
+    benchmark::DoNotOptimize(groups_built);
+  }
+  state.counters["groups"] = static_cast<double>(groups_built);
+}
+BENCHMARK(BM_BuildGroupsVaryingSt)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace onex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces paper Table 1: response time when the solution is
+// restricted to the query's own length (ONEX-S vs Trillion). The paper
+// reports ONEX-S "on average 3.8x faster than Trillion" in this
+// restricted setting.
+
+#include <cstdio>
+
+#include "baselines/trillion.h"
+#include "bench/common.h"
+#include "core/query_processor.h"
+#include "datagen/registry.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchConfig config = ParseConfig(argc, argv);
+
+  TableWriter table(
+      "Table 1: response time, same-length solution (sec/query)");
+  table.SetHeader({"engine", "ItalyPower", "ECG", "Face", "Wafer", "Symbols",
+                   "TwoPattern"});
+  std::vector<std::string> onex_row = {"ONEX-S"};
+  std::vector<std::string> trillion_row = {"Trillion"};
+  RunningStats speedups;
+
+  for (const auto& name : EvaluationDatasetNames()) {
+    const Dataset dataset = PrepareDataset(name, config);
+    const auto queries = MakeQueries(dataset, name, config);
+    OnexBase base = BuildBase(dataset, config);
+    QueryProcessor processor(&base);
+    TrillionSearch trillion(&dataset, 0.05);
+
+    RunningStats onex_t, trillion_t;
+    for (const auto& query : queries) {
+      const std::span<const double> q(query.values.data(),
+                                      query.values.size());
+      onex_t.Add(TimeAverage(config.runs, [&] {
+        (void)processor.FindBestMatchOfLength(q, q.size());
+      }));
+      trillion_t.Add(TimeAverage(config.runs, [&] {
+        (void)trillion.FindBestMatch(q);
+      }));
+    }
+    onex_row.push_back(TableWriter::Num(onex_t.mean(), 6));
+    trillion_row.push_back(TableWriter::Num(trillion_t.mean(), 6));
+    if (onex_t.mean() > 0) speedups.Add(trillion_t.mean() / onex_t.mean());
+  }
+  table.AddRow(onex_row);
+  table.AddRow(trillion_row);
+  table.Print();
+  std::printf("ONEX-S vs Trillion average speedup: %.2fx (paper: ~3.8x)\n",
+              speedups.mean());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

@@ -1,0 +1,432 @@
+// Interactive ONEX shell — the "truly interactive exploration
+// experience" of the paper's abstract as a command-line tool. Mirrors
+// the paper's query classes:
+//
+//   generate <dataset> [n] [len]   synthesize a dataset (ItalyPower, ECG,
+//                                  Face, Wafer, Symbols, TwoPattern,
+//                                  StarLightCurves, RandomWalk)
+//   load <ucr-file>                read a UCR-format text file
+//   build [st]                     build the ONEX base (Algorithm 1)
+//   save <path> | open <path>      persist / reload the base
+//   q1 <len|any> <v1,v2,...>       similarity query (class I)
+//   q2 <series|all> <len>          seasonal similarity (class II)
+//   q3 [S|M|L] [len]               threshold recommendation (class III)
+//   refine <st'> <len>             vary the similarity threshold (2.C)
+//   append <v1,v2,...>             add a series to the base (maintenance)
+//   stats                          base statistics
+//   quit
+//
+// Run: ./build/examples/onex_cli   (then type commands; also accepts a
+// script on stdin: echo "generate ECG 20 64\nbuild\nstats" | onex_cli)
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "core/recommender.h"
+#include "core/serialization.h"
+#include "core/threshold_refiner.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "dataset/ucr_loader.h"
+#include "util/sparkline.h"
+#include "util/timer.h"
+
+namespace {
+
+std::vector<std::string> Split(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::optional<std::vector<double>> ParseValues(const std::string& csv) {
+  std::vector<double> values;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) return std::nullopt;
+    values.push_back(v);
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+class Shell {
+ public:
+  int Run() {
+    std::printf("ONEX interactive shell — 'help' lists commands.\n");
+    std::string line;
+    while (true) {
+      std::printf("onex> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      const auto tokens = Split(line);
+      if (tokens.empty()) continue;
+      if (tokens[0] == "quit" || tokens[0] == "exit") break;
+      Dispatch(tokens);
+    }
+    return 0;
+  }
+
+ private:
+  void Dispatch(const std::vector<std::string>& t) {
+    const std::string& cmd = t[0];
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "generate") {
+      Generate(t);
+    } else if (cmd == "load") {
+      Load(t);
+    } else if (cmd == "build") {
+      Build(t);
+    } else if (cmd == "save") {
+      Save(t);
+    } else if (cmd == "open") {
+      Open(t);
+    } else if (cmd == "q1") {
+      Q1(t);
+    } else if (cmd == "q1r") {
+      Q1Range(t);
+    } else if (cmd == "show") {
+      Show(t);
+    } else if (cmd == "q2") {
+      Q2(t);
+    } else if (cmd == "q3") {
+      Q3(t);
+    } else if (cmd == "refine") {
+      Refine(t);
+    } else if (cmd == "append") {
+      Append(t);
+    } else if (cmd == "stats") {
+      Stats();
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+
+  void Help() {
+    std::printf(
+        "  generate <dataset> [n] [len]  — synthesize a dataset\n"
+        "  load <ucr-file>               — read UCR-format file\n"
+        "  build [st]                    — build the ONEX base\n"
+        "  save <path> / open <path>     — persist / reload the base\n"
+        "  q1 <len|any> <v1,v2,...>      — best-match similarity query\n"
+        "  q1r <st> <len|any> <values>   — range query (all within st)\n"
+        "  show <series> [offset len]    — sparkline of a series\n"
+        "  q2 <series|all> <len>         — seasonal similarity\n"
+        "  q3 [S|M|L] [len]              — threshold recommendations\n"
+        "  refine <st'> <len>            — vary similarity threshold\n"
+        "  append <v1,v2,...>            — add a series (maintenance)\n"
+        "  stats / quit\n");
+  }
+
+  void Generate(const std::vector<std::string>& t) {
+    if (t.size() < 2) {
+      std::printf("usage: generate <dataset> [n] [len]\n");
+      return;
+    }
+    onex::GenOptions gen;
+    if (t.size() > 2) gen.num_series = std::strtoull(t[2].c_str(), nullptr, 10);
+    if (t.size() > 3) gen.length = std::strtoull(t[3].c_str(), nullptr, 10);
+    if (gen.num_series == 0) gen.num_series = 30;
+    auto made = onex::MakeDatasetByName(t[1], gen);
+    if (!made.ok()) {
+      std::printf("%s\n", made.status().ToString().c_str());
+      return;
+    }
+    dataset_ = std::move(made).value();
+    onex::MinMaxNormalize(&dataset_);
+    base_.reset();
+    std::printf("generated %zu series of length %zu ('%s'), min-max "
+                "normalized\n",
+                dataset_.size(), dataset_.MaxLength(),
+                dataset_.name().c_str());
+  }
+
+  void Load(const std::vector<std::string>& t) {
+    if (t.size() < 2) {
+      std::printf("usage: load <path>\n");
+      return;
+    }
+    auto loaded = onex::LoadUcrFile(t[1]);
+    if (!loaded.ok()) {
+      std::printf("%s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    dataset_ = std::move(loaded).value();
+    onex::MinMaxNormalize(&dataset_);
+    base_.reset();
+    std::printf("loaded %zu series (lengths %zu..%zu), min-max "
+                "normalized\n",
+                dataset_.size(), dataset_.MinLength(), dataset_.MaxLength());
+  }
+
+  void Build(const std::vector<std::string>& t) {
+    if (dataset_.empty()) {
+      std::printf("no dataset — 'generate' or 'load' first\n");
+      return;
+    }
+    onex::OnexOptions options;
+    if (t.size() > 1) options.st = std::strtod(t[1].c_str(), nullptr);
+    // Index up to 8 length levels to keep interactive builds snappy.
+    const size_t n = dataset_.MaxLength();
+    options.lengths = {std::max<size_t>(2, n / 8), n,
+                       std::max<size_t>(1, n / 8)};
+    onex::Timer timer;
+    auto built = onex::OnexBase::Build(dataset_, options);
+    if (!built.ok()) {
+      std::printf("%s\n", built.status().ToString().c_str());
+      return;
+    }
+    base_ = std::make_unique<onex::OnexBase>(std::move(built).value());
+    std::printf("built in %.3fs: %s\n", timer.ElapsedSeconds(),
+                base_->stats().ToString().c_str());
+  }
+
+  void Save(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 2) return;
+    const onex::Status s = onex::SaveBase(*base_, t[1]);
+    std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+  }
+
+  void Open(const std::vector<std::string>& t) {
+    if (t.size() < 2) {
+      std::printf("usage: open <path>\n");
+      return;
+    }
+    auto loaded = onex::LoadBase(t[1]);
+    if (!loaded.ok()) {
+      std::printf("%s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    base_ = std::make_unique<onex::OnexBase>(std::move(loaded).value());
+    dataset_ = base_->dataset();
+    std::printf("opened: %s\n", base_->stats().ToString().c_str());
+  }
+
+  void Q1(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 3) {
+      if (t.size() < 3) std::printf("usage: q1 <len|any> <v1,v2,...>\n");
+      return;
+    }
+    const auto values = ParseValues(t[2]);
+    if (!values) {
+      std::printf("bad value list\n");
+      return;
+    }
+    onex::QueryProcessor processor(base_.get());
+    const std::span<const double> q(values->data(), values->size());
+    onex::Timer timer;
+    onex::Result<onex::QueryMatch> result =
+        (t[1] == "any") ? processor.FindBestMatch(q)
+                        : processor.FindBestMatchOfLength(
+                              q, std::strtoull(t[1].c_str(), nullptr, 10));
+    const double ms = timer.ElapsedMillis();
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("best match: series %u offset %u length %u  "
+                "normalized-DTW %.6f  (%.2f ms)\n",
+                result.value().ref.series, result.value().ref.start,
+                result.value().ref.length, result.value().distance, ms);
+  }
+
+  void Q1Range(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 4) {
+      if (t.size() < 4) std::printf("usage: q1r <st> <len|any> <values>\n");
+      return;
+    }
+    const double st = std::strtod(t[1].c_str(), nullptr);
+    const size_t length =
+        t[2] == "any" ? 0 : std::strtoull(t[2].c_str(), nullptr, 10);
+    const auto values = ParseValues(t[3]);
+    if (!values) {
+      std::printf("bad value list\n");
+      return;
+    }
+    onex::QueryProcessor processor(base_.get());
+    auto result = processor.FindAllWithin(
+        std::span<const double>(values->data(), values->size()), st, length,
+        /*exact_distances=*/true);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu sequence(s) within %.3f (%llu admitted wholesale via "
+                "Lemma 2):\n",
+                result.value().size(),
+                st,
+                static_cast<unsigned long long>(
+                    processor.stats().members_admitted_by_lemma2));
+    size_t shown = 0;
+    for (const auto& match : result.value()) {
+      if (shown++ >= 8) {
+        std::printf("  ...\n");
+        break;
+      }
+      std::printf("  series %u offset %u length %u  distance %.5f\n",
+                  match.ref.series, match.ref.start, match.ref.length,
+                  match.distance);
+    }
+  }
+
+  void Show(const std::vector<std::string>& t) {
+    if (dataset_.empty() || t.size() < 2) {
+      if (t.size() < 2) std::printf("usage: show <series> [offset len]\n");
+      return;
+    }
+    const size_t series = std::strtoull(t[1].c_str(), nullptr, 10);
+    if (series >= dataset_.size()) {
+      std::printf("series out of range (have %zu)\n", dataset_.size());
+      return;
+    }
+    std::span<const double> view = dataset_[series].View();
+    if (t.size() >= 4) {
+      const size_t offset = std::strtoull(t[2].c_str(), nullptr, 10);
+      const size_t len = std::strtoull(t[3].c_str(), nullptr, 10);
+      if (offset + len > dataset_[series].length()) {
+        std::printf("range out of bounds\n");
+        return;
+      }
+      view = dataset_[series].Subsequence(offset, len);
+    }
+    std::printf("%s\n", onex::SparklineLabeled(view, 72).c_str());
+  }
+
+  void Q2(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 3) {
+      if (t.size() < 3) std::printf("usage: q2 <series|all> <len>\n");
+      return;
+    }
+    const size_t length = std::strtoull(t[2].c_str(), nullptr, 10);
+    onex::QueryProcessor processor(base_.get());
+    auto print_groups =
+        [](const std::vector<std::vector<onex::SubsequenceRef>>& groups) {
+          std::printf("%zu group(s)\n", groups.size());
+          size_t shown = 0;
+          for (const auto& group : groups) {
+            if (shown++ >= 5) {
+              std::printf("  ...\n");
+              break;
+            }
+            std::printf("  %zu members:", group.size());
+            size_t inner = 0;
+            for (const auto& ref : group) {
+              if (inner++ >= 8) {
+                std::printf(" ...");
+                break;
+              }
+              std::printf(" (s%u,o%u)", ref.series, ref.start);
+            }
+            std::printf("\n");
+          }
+        };
+    if (t[1] == "all") {
+      auto result = processor.SimilarGroupsOfLength(length);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        return;
+      }
+      print_groups(result.value());
+    } else {
+      const uint32_t series =
+          static_cast<uint32_t>(std::strtoul(t[1].c_str(), nullptr, 10));
+      auto result = processor.SeasonalSimilarity(series, length);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        return;
+      }
+      print_groups(result.value());
+    }
+  }
+
+  void Q3(const std::vector<std::string>& t) {
+    if (!Ready()) return;
+    onex::Recommender recommender(base_.get());
+    const size_t length =
+        t.size() > 2 ? std::strtoull(t[2].c_str(), nullptr, 10) : 0;
+    if (t.size() > 1) {
+      const auto rec =
+          recommender.Recommend(onex::ParseDegree(t[1]), length);
+      std::printf("%s\n", rec.ToString().c_str());
+    } else {
+      for (const auto& rec : recommender.AllDegrees(length)) {
+        std::printf("%s\n", rec.ToString().c_str());
+      }
+    }
+  }
+
+  void Refine(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 3) {
+      if (t.size() < 3) std::printf("usage: refine <st'> <len>\n");
+      return;
+    }
+    const double st_prime = std::strtod(t[1].c_str(), nullptr);
+    const size_t length = std::strtoull(t[2].c_str(), nullptr, 10);
+    onex::ThresholdRefiner refiner(base_.get());
+    auto refined = refiner.RefineLength(length, st_prime);
+    if (!refined.ok()) {
+      std::printf("%s\n", refined.status().ToString().c_str());
+      return;
+    }
+    std::printf("length %zu at ST'=%.3f: %zu groups (base had %zu)\n",
+                length, st_prime, refined.value().NumGroups(),
+                base_->EntryFor(length)->NumGroups());
+  }
+
+  void Append(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 2) {
+      if (t.size() < 2) std::printf("usage: append <v1,v2,...>\n");
+      return;
+    }
+    const auto values = ParseValues(t[1]);
+    if (!values) {
+      std::printf("bad value list\n");
+      return;
+    }
+    const onex::Status s =
+        base_->AppendSeries(onex::TimeSeries(*values, 0));
+    if (!s.ok()) {
+      std::printf("%s\n", s.ToString().c_str());
+      return;
+    }
+    std::printf("appended as series %zu; base now: %s\n",
+                base_->dataset().size() - 1,
+                base_->stats().ToString().c_str());
+  }
+
+  void Stats() {
+    if (!Ready()) return;
+    std::printf("%s\n", base_->stats().ToString().c_str());
+    const auto global = base_->sp_space().Global();
+    std::printf("SP-Space global: SThalf=%.4f STfinal=%.4f\n",
+                global.st_half, global.st_final);
+  }
+
+  bool Ready() {
+    if (base_ == nullptr) {
+      std::printf("no base — 'build' (or 'open') first\n");
+      return false;
+    }
+    return true;
+  }
+
+  onex::Dataset dataset_;
+  std::unique_ptr<onex::OnexBase> base_;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

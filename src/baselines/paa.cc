@@ -1,0 +1,79 @@
+#include "baselines/paa.h"
+
+#include <algorithm>
+
+namespace onex {
+
+std::vector<double> PaaReduce(std::span<const double> series, size_t frame) {
+  if (frame <= 1 || series.empty()) {
+    return std::vector<double>(series.begin(), series.end());
+  }
+  std::vector<double> reduced;
+  reduced.reserve((series.size() + frame - 1) / frame);
+  size_t i = 0;
+  while (i < series.size()) {
+    const size_t stop = std::min(series.size(), i + frame);
+    double sum = 0.0;
+    for (size_t k = i; k < stop; ++k) sum += series[k];
+    reduced.push_back(sum / static_cast<double>(stop - i));
+    i = stop;
+  }
+  return reduced;
+}
+
+double PdtwDistance(std::span<const double> a, std::span<const double> b,
+                    size_t frame, const DtwOptions& options) {
+  const auto ra = PaaReduce(a, frame);
+  const auto rb = PaaReduce(b, frame);
+  return DtwDistance(ra, rb, options);
+}
+
+SearchResult PaaSearch::FindBestMatch(std::span<const double> query) const {
+  SearchResult best;
+  const auto reduced_query = PaaReduce(query, frame_);
+  for (uint32_t p = 0; p < dataset_->size(); ++p) {
+    const TimeSeries& series = (*dataset_)[p];
+    for (size_t len : lengths_.LengthsFor(series.length())) {
+      const double norm = 2.0 * static_cast<double>(
+                                    std::max(query.size(), len));
+      for (size_t j = 0; j + len <= series.length(); ++j) {
+        const auto reduced = PaaReduce(series.Subsequence(j, len), frame_);
+        const double d =
+            DtwDistance(reduced_query, reduced, dtw_options_) / norm;
+        ++best.candidates_examined;
+        if (d < best.distance) {
+          best.distance = d;
+          best.match = {p, static_cast<uint32_t>(j),
+                        static_cast<uint32_t>(len)};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+SearchResult PaaSearch::FindBestMatchOfLength(std::span<const double> query,
+                                              size_t length) const {
+  SearchResult best;
+  const auto reduced_query = PaaReduce(query, frame_);
+  const double norm =
+      2.0 * static_cast<double>(std::max(query.size(), length));
+  for (uint32_t p = 0; p < dataset_->size(); ++p) {
+    const TimeSeries& series = (*dataset_)[p];
+    if (series.length() < length) continue;
+    for (size_t j = 0; j + length <= series.length(); ++j) {
+      const auto reduced = PaaReduce(series.Subsequence(j, length), frame_);
+      const double d =
+          DtwDistance(reduced_query, reduced, dtw_options_) / norm;
+      ++best.candidates_examined;
+      if (d < best.distance) {
+        best.distance = d;
+        best.match = {p, static_cast<uint32_t>(j),
+                      static_cast<uint32_t>(length)};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace onex

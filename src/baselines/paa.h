@@ -1,0 +1,63 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// PAA baseline (paper [19], Keogh & Pazzani 2000): Piecewise Aggregate
+// Approximation reduces each sequence to frame averages and DTW runs on
+// the reduced series (PDTW). Approximate — the reduced-space winner need
+// not be the true winner — and, per the paper's Sec. 6.3, it has no
+// preprocessing phase: reduction happens during the scan.
+
+#ifndef ONEX_BASELINES_PAA_H_
+#define ONEX_BASELINES_PAA_H_
+
+#include <span>
+#include <vector>
+
+#include "baselines/search_result.h"
+#include "dataset/dataset.h"
+#include "dataset/length_spec.h"
+#include "distance/dtw.h"
+
+namespace onex {
+
+/// PAA reduction of `series` by `frame` (average of each frame of
+/// consecutive points; a ragged final frame averages the remainder).
+/// frame = 1 copies; frame >= length yields a single point.
+std::vector<double> PaaReduce(std::span<const double> series, size_t frame);
+
+/// PDTW: DTW between the PAA reductions of `a` and `b`.
+double PdtwDistance(std::span<const double> a, std::span<const double> b,
+                    size_t frame, const DtwOptions& options = {});
+
+/// Scan-everything search in PAA space.
+class PaaSearch {
+ public:
+  /// `frame` is the PAA frame size (the paper's dimensionality-reduction
+  /// knob; 8 is a conventional default giving an 8x cell-count saving).
+  PaaSearch(const Dataset* dataset, LengthSpec lengths, size_t frame = 8,
+            DtwOptions dtw_options = {})
+      : dataset_(dataset),
+        lengths_(lengths),
+        frame_(frame < 1 ? 1 : frame),
+        dtw_options_(dtw_options) {}
+
+  /// Best match across all candidate lengths by *reduced-space*
+  /// normalized DTW; SearchResult::distance is that reduced-space value.
+  /// Callers wanting the true distance recompute DTW at the returned
+  /// location (as the paper's accuracy harness does).
+  SearchResult FindBestMatch(std::span<const double> query) const;
+
+  /// Best match restricted to candidates of exactly `length`.
+  SearchResult FindBestMatchOfLength(std::span<const double> query,
+                                     size_t length) const;
+
+  size_t frame() const { return frame_; }
+
+ private:
+  const Dataset* dataset_;
+  LengthSpec lengths_;
+  size_t frame_;
+  DtwOptions dtw_options_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_BASELINES_PAA_H_

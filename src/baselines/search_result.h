@@ -1,0 +1,31 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Result record shared by all search engines (ONEX and the three
+// baselines), so the experiment harnesses can treat engines uniformly.
+
+#ifndef ONEX_BASELINES_SEARCH_RESULT_H_
+#define ONEX_BASELINES_SEARCH_RESULT_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "dataset/subsequence.h"
+
+namespace onex {
+
+/// Outcome of one best-match query.
+struct SearchResult {
+  SubsequenceRef match;  ///< Location of the best match found.
+  /// DTW distance between query and match in the engine's own space
+  /// (min-max world for ONEX/StandardDTW/PAA; z-normalized for Trillion).
+  double distance = std::numeric_limits<double>::infinity();
+  /// Candidates whose DTW (or bound) was evaluated; for cost reporting.
+  uint64_t candidates_examined = 0;
+
+  bool found() const {
+    return distance != std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace onex
+
+#endif  // ONEX_BASELINES_SEARCH_RESULT_H_

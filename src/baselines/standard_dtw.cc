@@ -1,0 +1,54 @@
+#include "baselines/standard_dtw.h"
+
+#include <algorithm>
+
+namespace onex {
+
+SearchResult StandardDtwSearch::FindBestMatch(
+    std::span<const double> query) const {
+  SearchResult best;
+  for (uint32_t p = 0; p < dataset_->size(); ++p) {
+    const TimeSeries& series = (*dataset_)[p];
+    for (size_t len : lengths_.LengthsFor(series.length())) {
+      const double norm = 2.0 * static_cast<double>(
+                                    std::max(query.size(), len));
+      for (size_t j = 0; j + len <= series.length(); ++j) {
+        const auto candidate = series.Subsequence(j, len);
+        // Deliberately the plain O(n*m) kernel: this engine reproduces
+        // the paper's unoptimized Standard-DTW cost profile.
+        const double d = DtwDistance(query, candidate, dtw_options_) / norm;
+        ++best.candidates_examined;
+        if (d < best.distance) {
+          best.distance = d;
+          best.match = {p, static_cast<uint32_t>(j),
+                        static_cast<uint32_t>(len)};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+SearchResult StandardDtwSearch::FindBestMatchOfLength(
+    std::span<const double> query, size_t length) const {
+  SearchResult best;
+  const double norm =
+      2.0 * static_cast<double>(std::max(query.size(), length));
+  for (uint32_t p = 0; p < dataset_->size(); ++p) {
+    const TimeSeries& series = (*dataset_)[p];
+    if (series.length() < length) continue;
+    for (size_t j = 0; j + length <= series.length(); ++j) {
+      const auto candidate = series.Subsequence(j, length);
+      const double d = DtwDistance(query, candidate, dtw_options_) / norm;
+      ++best.candidates_examined;
+      if (d < best.distance) {
+        best.distance = d;
+        best.match = {p, static_cast<uint32_t>(j),
+                      static_cast<uint32_t>(length)};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace onex

@@ -1,0 +1,47 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The paper's exactness gold standard (Sec. 6.1): brute-force DTW over
+// every candidate subsequence, no pruning, no index. Guarantees the best
+// match; every accuracy number in Tables 2-3 is an error relative to
+// this engine's answer.
+
+#ifndef ONEX_BASELINES_STANDARD_DTW_H_
+#define ONEX_BASELINES_STANDARD_DTW_H_
+
+#include <span>
+
+#include "baselines/search_result.h"
+#include "dataset/dataset.h"
+#include "dataset/length_spec.h"
+#include "distance/dtw.h"
+
+namespace onex {
+
+/// Exhaustive best-match search. Comparison metric is the normalized DTW
+/// of Def. 6, the same quantity ONEX minimizes, so "best" is consistent
+/// across engines of different candidate lengths.
+class StandardDtwSearch {
+ public:
+  /// `dataset` must outlive the searcher. `lengths` defines the candidate
+  /// universe for any-length queries.
+  StandardDtwSearch(const Dataset* dataset, LengthSpec lengths,
+                    DtwOptions dtw_options = {})
+      : dataset_(dataset), lengths_(lengths), dtw_options_(dtw_options) {}
+
+  /// Best match across all candidate lengths (Match=Any), by normalized
+  /// DTW. SearchResult::distance is the normalized DTW.
+  SearchResult FindBestMatch(std::span<const double> query) const;
+
+  /// Best match restricted to subsequences of exactly `length`
+  /// (Match=Exact(L)).
+  SearchResult FindBestMatchOfLength(std::span<const double> query,
+                                     size_t length) const;
+
+ private:
+  const Dataset* dataset_;
+  LengthSpec lengths_;
+  DtwOptions dtw_options_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_BASELINES_STANDARD_DTW_H_

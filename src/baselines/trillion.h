@@ -1,0 +1,66 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Re-implementation of the UCR-suite search of Rakthanmanon et al. [22]
+// ("Trillion"), the paper's fastest comparator. The paper links the
+// authors' binary; offline we rebuild the published algorithm:
+//   - candidates are ALL same-length sliding windows (stride 1),
+//   - every window is z-normalized (inherent to the UCR suite; this is
+//     what separates its answers from the min-max gold standard and
+//     produces the accuracy gap in the paper's Tables 2-3),
+//   - pruning cascade: LB_KimFL -> LB_Keogh(query env) -> LB_Keogh(data
+//     env) -> early-abandoning DTW with cumulative-bound pruning,
+//   - incremental mean/stddev while sliding; query reordered by |z|.
+
+#ifndef ONEX_BASELINES_TRILLION_H_
+#define ONEX_BASELINES_TRILLION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "baselines/search_result.h"
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// Pruning counters for the ablation bench.
+struct TrillionStats {
+  uint64_t candidates = 0;
+  uint64_t pruned_kim = 0;
+  uint64_t pruned_keogh_query = 0;
+  uint64_t pruned_keogh_data = 0;
+  uint64_t dtw_abandoned = 0;
+  uint64_t dtw_completed = 0;
+
+  void Reset() { *this = TrillionStats(); }
+  std::string ToString() const;
+};
+
+/// UCR-suite best-match search. Only same-length matches are produced —
+/// the restriction the paper calls out when comparing against ONEX-S
+/// (Table 1) and when explaining Trillion's any-length accuracy.
+class TrillionSearch {
+ public:
+  /// `window_ratio` is the Sakoe-Chiba band as a fraction of the query
+  /// length (UCR-suite convention; 0.05 is the suite's common default).
+  explicit TrillionSearch(const Dataset* dataset, double window_ratio = 0.05)
+      : dataset_(dataset), window_ratio_(window_ratio) {}
+
+  /// Finds the sliding window with minimal z-normalized DTW to the
+  /// query. SearchResult::distance is that z-normalized DTW divided by
+  /// 2 * query length (Def. 6 normalization, for engine-uniform
+  /// reporting); callers needing min-max-space distances recompute at
+  /// the returned location.
+  SearchResult FindBestMatch(std::span<const double> query);
+
+  const TrillionStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  const Dataset* dataset_;
+  double window_ratio_;
+  TrillionStats stats_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_BASELINES_TRILLION_H_

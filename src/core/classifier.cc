@@ -1,0 +1,64 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/dtw.h"
+
+namespace onex {
+
+Result<Classification> NearestNeighborClassifier::Classify(
+    std::span<const double> series) {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  // Prefer whole-series matches of the query's own length; fall back to
+  // the cross-length search when that length is not indexed.
+  auto match = processor_.FindBestMatchOfLength(series, series.size());
+  if (!match.ok()) match = processor_.FindBestMatch(series);
+  if (!match.ok()) return match.status();
+  Classification result;
+  result.neighbor = match.value().ref.series;
+  result.label = base_->dataset()[result.neighbor].label();
+  result.distance = match.value().distance;
+  return result;
+}
+
+Result<Classification> NearestNeighborClassifier::ClassifyBruteForce(
+    std::span<const double> series) const {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  const Dataset& train = base_->dataset();
+  const DtwOptions options = DtwOptions::FromRatio(
+      base_->options().window_ratio, series.size(), train.MaxLength());
+  Classification best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (uint32_t p = 0; p < train.size(); ++p) {
+    const double norm = 2.0 * static_cast<double>(std::max(
+                                  series.size(), train[p].length()));
+    const double d =
+        DtwDistance(series, train[p].View(), options) / norm;
+    if (d < best.distance) {
+      best.distance = d;
+      best.neighbor = p;
+      best.label = train[p].label();
+    }
+  }
+  if (!std::isfinite(best.distance)) {
+    return Status::NotFound("empty training set");
+  }
+  return best;
+}
+
+Result<double> NearestNeighborClassifier::Evaluate(const Dataset& test,
+                                                   bool brute_force) {
+  if (test.empty()) return Status::InvalidArgument("empty test set");
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    auto result = brute_force ? ClassifyBruteForce(test[i].View())
+                              : Classify(test[i].View());
+    if (!result.ok()) return result.status();
+    if (result.value().label == test[i].label()) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace onex

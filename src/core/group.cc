@@ -1,0 +1,26 @@
+#include "core/group.h"
+
+#include <cassert>
+
+namespace onex {
+
+SimilarityGroup::SimilarityGroup(size_t length, SubsequenceRef ref,
+                                 std::span<const double> values)
+    : length_(length) {
+  assert(values.size() == length);
+  members_.push_back(ref);
+  sum_.assign(values.begin(), values.end());
+  rep_ = sum_;
+}
+
+void SimilarityGroup::Add(SubsequenceRef ref, std::span<const double> values) {
+  assert(values.size() == length_);
+  members_.push_back(ref);
+  const double inv_count = 1.0 / static_cast<double>(members_.size());
+  for (size_t i = 0; i < length_; ++i) {
+    sum_[i] += values[i];
+    rep_[i] = sum_[i] * inv_count;
+  }
+}
+
+}  // namespace onex

@@ -1,0 +1,147 @@
+#include "core/group_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "distance/euclidean.h"
+
+namespace onex {
+
+std::vector<SimilarityGroup> BuildGroupsForLength(const Dataset& dataset,
+                                                  size_t length, double st,
+                                                  Rng* rng) {
+  // Enumerate all subsequences of this length (Algorithm 1 lines 3-4).
+  std::vector<SubsequenceRef> refs;
+  for (uint32_t p = 0; p < dataset.size(); ++p) {
+    const size_t n = dataset[p].length();
+    if (n < length) continue;
+    for (uint32_t j = 0; j + length <= n; ++j) {
+      refs.push_back({p, j, static_cast<uint32_t>(length)});
+    }
+  }
+  RandomizeInPlace(&refs, rng);
+
+  // Radius in *raw* ED units: sqrt(L) * ST / 2 (Algorithm 1 line 15).
+  const double radius =
+      std::sqrt(static_cast<double>(length)) * st / 2.0;
+  const double radius_sq = radius * radius;
+
+  std::vector<SimilarityGroup> groups;
+  for (const SubsequenceRef& ref : refs) {
+    const auto values = ref.View(dataset);
+    // Find the nearest representative (lines 12-14), abandoning each ED
+    // early at the better of the running minimum and the join radius.
+    double min_sq = std::numeric_limits<double>::infinity();
+    size_t min_k = 0;
+    for (size_t k = 0; k < groups.size(); ++k) {
+      const double abandon_at = std::min(min_sq, radius_sq);
+      const double d_sq = SquaredEuclideanEarlyAbandon(
+          values,
+          std::span<const double>(groups[k].representative().data(), length),
+          abandon_at);
+      if (d_sq < min_sq) {
+        min_sq = d_sq;
+        min_k = k;
+      }
+    }
+    if (min_sq <= radius_sq) {
+      groups[min_k].Add(ref, values);  // Lines 16-17.
+    } else {
+      groups.emplace_back(length, ref, values);  // Lines 19-20.
+    }
+  }
+  return groups;
+}
+
+std::vector<SimilarityGroup> RefineGroupsOnce(
+    const Dataset& dataset, const std::vector<SimilarityGroup>& groups,
+    size_t length, double st) {
+  // Freeze the current representatives as assignment targets.
+  std::vector<std::vector<double>> centers;
+  centers.reserve(groups.size());
+  for (const auto& group : groups) centers.push_back(group.representative());
+
+  const double radius = std::sqrt(static_cast<double>(length)) * st / 2.0;
+  const double radius_sq = radius * radius;
+
+  std::vector<SimilarityGroup> refined;
+  std::vector<std::vector<SubsequenceRef>> assignments(centers.size());
+  std::vector<SubsequenceRef> founders;
+  for (const auto& group : groups) {
+    for (const SubsequenceRef& ref : group.members()) {
+      const auto values = ref.View(dataset);
+      double min_sq = std::numeric_limits<double>::infinity();
+      size_t min_k = 0;
+      for (size_t k = 0; k < centers.size(); ++k) {
+        const double d_sq = SquaredEuclideanEarlyAbandon(
+            values, std::span<const double>(centers[k].data(), length),
+            std::min(min_sq, radius_sq));
+        if (d_sq < min_sq) {
+          min_sq = d_sq;
+          min_k = k;
+        }
+      }
+      if (min_sq <= radius_sq) {
+        assignments[min_k].push_back(ref);
+      } else {
+        founders.push_back(ref);  // Out of radius of every center.
+      }
+    }
+  }
+  for (const auto& bucket : assignments) {
+    if (bucket.empty()) continue;  // Center lost all members: drop it.
+    SimilarityGroup group(length, bucket[0], bucket[0].View(dataset));
+    for (size_t i = 1; i < bucket.size(); ++i) {
+      group.Add(bucket[i], bucket[i].View(dataset));
+    }
+    refined.push_back(std::move(group));
+  }
+  // Orphans re-run the online rule against the refined set.
+  for (const SubsequenceRef& ref : founders) {
+    const auto values = ref.View(dataset);
+    double min_sq = std::numeric_limits<double>::infinity();
+    size_t min_k = 0;
+    for (size_t k = 0; k < refined.size(); ++k) {
+      const double d_sq = SquaredEuclideanEarlyAbandon(
+          values,
+          std::span<const double>(refined[k].representative().data(),
+                                  length),
+          std::min(min_sq, radius_sq));
+      if (d_sq < min_sq) {
+        min_sq = d_sq;
+        min_k = k;
+      }
+    }
+    if (min_sq <= radius_sq) {
+      refined[min_k].Add(ref, values);
+    } else {
+      refined.emplace_back(length, ref, values);
+    }
+  }
+  return refined;
+}
+
+std::map<size_t, std::vector<SimilarityGroup>> BuildAllGroups(
+    const Dataset& dataset, const OnexOptions& options) {
+  std::map<size_t, std::vector<SimilarityGroup>> result;
+  Rng rng(options.seed);
+  // The union of candidate lengths over all series (series may be ragged).
+  std::set<size_t> lengths;
+  for (size_t p = 0; p < dataset.size(); ++p) {
+    for (size_t len : options.lengths.LengthsFor(dataset[p].length())) {
+      lengths.insert(len);
+    }
+  }
+  for (size_t len : lengths) {
+    auto groups = BuildGroupsForLength(dataset, len, options.st, &rng);
+    for (size_t pass = 0; pass < options.refinement_passes; ++pass) {
+      groups = RefineGroupsOnce(dataset, groups, len, options.st);
+    }
+    result[len] = std::move(groups);
+  }
+  return result;
+}
+
+}  // namespace onex

@@ -1,0 +1,82 @@
+#include "core/gti.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sp_space.h"
+#include "distance/euclidean.h"
+
+namespace onex {
+
+GtiEntry BuildGtiEntry(const Dataset& dataset,
+                       std::vector<SimilarityGroup> groups, double st,
+                       double window_ratio, bool compute_sp_space) {
+  GtiEntry entry;
+  if (groups.empty()) return entry;
+  entry.length = groups.front().length();
+  const size_t length = entry.length;
+  const size_t window =
+      window_ratio < 0
+          ? length
+          : static_cast<size_t>(
+                std::ceil(window_ratio * static_cast<double>(length)));
+
+  // Freeze each group into an LsiEntry: final representative, members
+  // sorted by normalized ED to it, envelope around it.
+  entry.groups.reserve(groups.size());
+  for (auto& group : groups) {
+    LsiEntry lsi;
+    lsi.representative = group.representative();
+    const std::span<const double> rep(lsi.representative.data(), length);
+    lsi.members.reserve(group.size());
+    for (const SubsequenceRef& ref : group.members()) {
+      lsi.members.push_back({ref, NormalizedEuclidean(ref.View(dataset), rep)});
+    }
+    std::sort(lsi.members.begin(), lsi.members.end(),
+              [](const LsiMember& a, const LsiMember& b) {
+                return a.ed_to_rep < b.ed_to_rep;
+              });
+    lsi.envelope = ComputeEnvelope(rep, window);
+    entry.groups.push_back(std::move(lsi));
+  }
+
+  // Pairwise Inter-Representative Distances (Def. 10), normalized ED.
+  const size_t g = entry.groups.size();
+  entry.dc.assign(g * g, 0.0);
+  for (size_t k = 0; k < g; ++k) {
+    const std::span<const double> rk(entry.groups[k].representative.data(),
+                                     length);
+    for (size_t l = k + 1; l < g; ++l) {
+      const std::span<const double> rl(entry.groups[l].representative.data(),
+                                       length);
+      const double d = NormalizedEuclidean(rk, rl);
+      entry.dc[k * g + l] = d;
+      entry.dc[l * g + k] = d;
+    }
+  }
+
+  // S_i(k, sum_k): group ids sorted by the sum of their Dc row, the seed
+  // order for the median-out representative search (Sec. 5.3).
+  entry.sum_sorted.reserve(g);
+  for (size_t k = 0; k < g; ++k) {
+    double sum = 0.0;
+    for (size_t l = 0; l < g; ++l) sum += entry.dc[k * g + l];
+    entry.sum_sorted.push_back({static_cast<uint32_t>(k), sum});
+  }
+  std::sort(entry.sum_sorted.begin(), entry.sum_sorted.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  // Local SP-Space markers (Sec. 4.2).
+  if (compute_sp_space) {
+    const MergeThresholds t = ComputeMergeThresholds(
+        std::span<const double>(entry.dc.data(), entry.dc.size()), g, st);
+    entry.st_half = t.st_half;
+    entry.st_final = t.st_final;
+  } else {
+    entry.st_half = st;
+    entry.st_final = st;
+  }
+  return entry;
+}
+
+}  // namespace onex

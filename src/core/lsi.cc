@@ -1,0 +1,21 @@
+#include "core/lsi.h"
+
+#include <algorithm>
+
+namespace onex {
+
+size_t LsiEntry::ClosestMemberTo(double target) const {
+  if (members.empty()) return 0;
+  const auto it = std::lower_bound(
+      members.begin(), members.end(), target,
+      [](const LsiMember& m, double value) { return m.ed_to_rep < value; });
+  if (it == members.begin()) return 0;
+  if (it == members.end()) return members.size() - 1;
+  const size_t hi = static_cast<size_t>(it - members.begin());
+  const size_t lo = hi - 1;
+  return (target - members[lo].ed_to_rep <= members[hi].ed_to_rep - target)
+             ? lo
+             : hi;
+}
+
+}  // namespace onex

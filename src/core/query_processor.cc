@@ -1,0 +1,431 @@
+#include "core/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "distance/dtw.h"
+#include "distance/lb_keogh.h"
+#include "distance/lb_kim.h"
+
+namespace onex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Normalization denominator of Def. 6 for a query of length m against
+// candidates of length len.
+inline double Norm(size_t m, size_t len) {
+  return 2.0 * static_cast<double>(std::max(m, len));
+}
+
+}  // namespace
+
+std::string QueryStats::ToString() const {
+  std::ostringstream out;
+  out << "lengths=" << lengths_scanned << " reps_compared=" << reps_compared
+      << " reps_pruned=" << reps_pruned
+      << " members_compared=" << members_compared
+      << " lemma2_admitted=" << members_admitted_by_lemma2;
+  return out.str();
+}
+
+std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
+    std::span<const double> query, const GtiEntry& entry, double bsf) {
+  const size_t g = entry.NumGroups();
+  const size_t m = query.size();
+  const double norm = Norm(m, entry.length);
+  const DtwOptions dtw_options = DtwOptions::FromRatio(
+      base_->options().window_ratio, m, entry.length);
+
+  // Visit order: median-out over the sum-sorted S array (Sec. 5.3) —
+  // start at the representative with the median Dc-sum and alternate
+  // left/right — or plain stored order when the optimization is off.
+  uint32_t best_k = 0;
+  double best_d = kInf;
+  auto consider = [&](uint32_t k) {
+    const LsiEntry& group = entry.groups[k];
+    const std::span<const double> rep(group.representative.data(),
+                                      entry.length);
+    const double prune_at = std::min(bsf, best_d);
+    if (options_.use_cascade && prune_at < kInf) {
+      if (LbKim(query, rep) / norm > prune_at) {
+        ++stats_.reps_pruned;
+        return;
+      }
+      if (m == entry.length &&
+          LbKeoghEarlyAbandon(query, group.envelope, prune_at * norm) / norm >
+              prune_at) {
+        ++stats_.reps_pruned;
+        return;
+      }
+    }
+    ++stats_.reps_compared;
+    double d;
+    if (options_.use_early_abandon && prune_at < kInf) {
+      d = DtwEarlyAbandon(query, rep, prune_at * norm, dtw_options) / norm;
+    } else {
+      d = DtwDistance(query, rep, dtw_options) / norm;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best_k = k;
+    }
+  };
+
+  if (options_.use_median_order && !entry.sum_sorted.empty()) {
+    const size_t mid = g / 2;
+    consider(entry.sum_sorted[mid].first);
+    for (size_t offset = 1; offset <= g; ++offset) {
+      if (mid >= offset) consider(entry.sum_sorted[mid - offset].first);
+      if (mid + offset < g) consider(entry.sum_sorted[mid + offset].first);
+    }
+  } else {
+    for (uint32_t k = 0; k < g; ++k) consider(k);
+  }
+  return {best_k, best_d};
+}
+
+QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
+                                       const GtiEntry& entry,
+                                       uint32_t group_id, double rep_distance,
+                                       double bsf) {
+  const LsiEntry& group = entry.groups[group_id];
+  const size_t m = query.size();
+  const double norm = Norm(m, entry.length);
+  const DtwOptions dtw_options = DtwOptions::FromRatio(
+      base_->options().window_ratio, m, entry.length);
+
+  QueryMatch best;
+  best.distance = kInf;
+  best.group_id = group_id;
+
+  auto consider = [&](const LsiMember& member) {
+    ++stats_.members_compared;
+    const auto values = member.ref.View(base_->dataset());
+    const double prune_at = std::min(bsf, best.distance);
+    double d;
+    if (options_.use_early_abandon && prune_at < kInf) {
+      d = DtwEarlyAbandon(query, values, prune_at * norm, dtw_options) / norm;
+    } else {
+      d = DtwDistance(query, values, dtw_options) / norm;
+    }
+    if (d < best.distance) {
+      best.distance = d;
+      best.ref = member.ref;
+    }
+  };
+
+  if (options_.use_value_targeted_scan && !group.members.empty()) {
+    // Start at the member whose stored ED-to-rep is closest in value to
+    // DTW(query, rep) and fan outwards (Sec. 5.3): nearby stored EDs
+    // mean similar geometry relative to the representative, so the best
+    // match tends to be reached — and the best-so-far tightened — early.
+    const size_t start = group.ClosestMemberTo(rep_distance);
+    consider(group.members[start]);
+    for (size_t offset = 1; offset <= group.members.size(); ++offset) {
+      if (start >= offset) consider(group.members[start - offset]);
+      if (start + offset < group.members.size()) {
+        consider(group.members[start + offset]);
+      }
+    }
+  } else {
+    for (const LsiMember& member : group.members) consider(member);
+  }
+  return best;
+}
+
+std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
+    std::span<const double> query, const GtiEntry& entry) {
+  const size_t m = query.size();
+  const double norm = Norm(m, entry.length);
+  const DtwOptions dtw_options = DtwOptions::FromRatio(
+      base_->options().window_ratio, m, entry.length);
+  std::vector<std::pair<uint32_t, double>> reps;
+  reps.reserve(entry.NumGroups());
+  for (uint32_t k = 0; k < entry.NumGroups(); ++k) {
+    ++stats_.reps_compared;
+    const std::span<const double> rep(
+        entry.groups[k].representative.data(), entry.length);
+    reps.push_back({k, DtwDistance(query, rep, dtw_options) / norm});
+  }
+  const size_t top =
+      std::min(options_.groups_to_search, reps.size());
+  std::partial_sort(reps.begin(), reps.begin() + static_cast<ptrdiff_t>(top),
+                    reps.end(), [](const auto& a, const auto& b) {
+                      return a.second < b.second;
+                    });
+  reps.resize(top);
+  return reps;
+}
+
+QueryMatch QueryProcessor::SearchEntry(std::span<const double> query,
+                                       const GtiEntry& entry, double bsf,
+                                       double* best_rep_distance) {
+  QueryMatch best;
+  best.distance = std::numeric_limits<double>::infinity();
+  if (options_.groups_to_search <= 1) {
+    const auto [group_id, rep_d] = BestRepresentative(query, entry, bsf);
+    *best_rep_distance = rep_d;
+    if (!std::isfinite(rep_d)) return best;
+    return SearchGroup(query, entry, group_id, rep_d,
+                       std::min(bsf, best.distance));
+  }
+  const auto tops = TopRepresentatives(query, entry);
+  *best_rep_distance =
+      tops.empty() ? std::numeric_limits<double>::infinity()
+                   : tops.front().second;
+  for (const auto& [group_id, rep_d] : tops) {
+    QueryMatch match = SearchGroup(query, entry, group_id, rep_d,
+                                   std::min(bsf, best.distance));
+    if (match.distance < best.distance) best = match;
+  }
+  return best;
+}
+
+std::vector<size_t> QueryProcessor::OrderedLengths(size_t m) const {
+  const std::vector<size_t> all = base_->gti().Lengths();
+  if (all.empty()) return all;
+  // Position of the first length >= m.
+  const auto pivot = std::lower_bound(all.begin(), all.end(), m);
+  std::vector<size_t> ordered;
+  ordered.reserve(all.size());
+  // Exact length first (when present), then decreasing below it, then
+  // increasing above (Sec. 5.3).
+  size_t above = static_cast<size_t>(pivot - all.begin());
+  size_t below = above;  // First index strictly below m is below-1.
+  if (above < all.size() && all[above] == m) {
+    ordered.push_back(all[above]);
+    ++above;
+  }
+  while (below > 0) ordered.push_back(all[--below]);
+  while (above < all.size()) ordered.push_back(all[above++]);
+  return ordered;
+}
+
+Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
+    std::span<const double> query, size_t length) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  const GtiEntry* entry = base_->EntryFor(length);
+  if (entry == nullptr || entry->NumGroups() == 0) {
+    return Status::NotFound("length " + std::to_string(length) +
+                            " is not in the ONEX base");
+  }
+  ++stats_.lengths_scanned;
+  double rep_d = kInf;
+  QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d);
+  if (!std::isfinite(match.distance)) {
+    return Status::NotFound("group is empty");
+  }
+  return match;
+}
+
+Result<QueryMatch> QueryProcessor::FindBestMatch(
+    std::span<const double> query) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  const double half_st = base_->options().st / 2.0;
+  QueryMatch best;
+  best.distance = kInf;
+  for (size_t length : OrderedLengths(query.size())) {
+    const GtiEntry* entry = base_->EntryFor(length);
+    if (entry == nullptr || entry->NumGroups() == 0) continue;
+    ++stats_.lengths_scanned;
+    double rep_d = kInf;
+    QueryMatch match = SearchEntry(query, *entry, best.distance, &rep_d);
+    if (match.distance < best.distance) best = match;
+    // Lemma 2 stop: a representative within ST/2 guarantees every member
+    // of its group is within ST of the query.
+    if (options_.stop_within_st_half && rep_d <= half_st) break;
+  }
+  if (!std::isfinite(best.distance)) {
+    return Status::NotFound("ONEX base has no groups");
+  }
+  return best;
+}
+
+Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
+    std::span<const double> query, size_t k, size_t length) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const GtiEntry* entry = nullptr;
+  uint32_t group_id = 0;
+  double rep_d = kInf;
+  if (length != 0) {
+    entry = base_->EntryFor(length);
+    if (entry == nullptr || entry->NumGroups() == 0) {
+      return Status::NotFound("length " + std::to_string(length) +
+                              " is not in the ONEX base");
+    }
+    std::tie(group_id, rep_d) = BestRepresentative(query, *entry, kInf);
+  } else {
+    // Any length: locate the best group via the Q1 path, then rank its
+    // members.
+    double best_rep = kInf;
+    for (size_t len : OrderedLengths(query.size())) {
+      const GtiEntry* candidate = base_->EntryFor(len);
+      if (candidate == nullptr || candidate->NumGroups() == 0) continue;
+      ++stats_.lengths_scanned;
+      const auto [gid, d] = BestRepresentative(query, *candidate, best_rep);
+      if (d < best_rep) {
+        best_rep = d;
+        entry = candidate;
+        group_id = gid;
+        rep_d = d;
+      }
+      if (options_.stop_within_st_half && d <= base_->options().st / 2.0) {
+        break;
+      }
+    }
+    if (entry == nullptr) return Status::NotFound("ONEX base has no groups");
+  }
+
+  // Rank every member of the chosen group (no early abandon: we need
+  // exact distances for the top-k ordering).
+  const LsiEntry& group = entry->groups[group_id];
+  const double norm = Norm(query.size(), entry->length);
+  const DtwOptions dtw_options = DtwOptions::FromRatio(
+      base_->options().window_ratio, query.size(), entry->length);
+  std::vector<QueryMatch> matches;
+  matches.reserve(group.members.size());
+  for (const LsiMember& member : group.members) {
+    ++stats_.members_compared;
+    QueryMatch match;
+    match.ref = member.ref;
+    match.group_id = group_id;
+    match.distance =
+        DtwDistance(query, member.ref.View(base_->dataset()), dtw_options) /
+        norm;
+    matches.push_back(match);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.distance < b.distance;
+            });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
+    std::span<const double> query, double st, size_t length,
+    bool exact_distances) {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (st <= 0.0) return Status::InvalidArgument("st must be positive");
+
+  std::vector<size_t> lengths;
+  if (length != 0) {
+    if (base_->EntryFor(length) == nullptr) {
+      return Status::NotFound("length " + std::to_string(length) +
+                              " is not in the ONEX base");
+    }
+    lengths.push_back(length);
+  } else {
+    lengths = base_->gti().Lengths();
+  }
+
+  std::vector<QueryMatch> matches;
+  const size_t m = query.size();
+  for (size_t len : lengths) {
+    const GtiEntry* entry = base_->EntryFor(len);
+    if (entry == nullptr) continue;
+    ++stats_.lengths_scanned;
+    const double norm = Norm(m, len);
+    // Range semantics follow Def. 3's unconstrained DTW: Lemma 2 is
+    // proven for it, and a Sakoe-Chiba band could push a guaranteed
+    // member's reported distance past st.
+    const DtwOptions dtw_options{-1};
+    for (uint32_t k = 0; k < entry->NumGroups(); ++k) {
+      const LsiEntry& group = entry->groups[k];
+      const std::span<const double> rep(group.representative.data(), len);
+      // DTW has no reverse triangle inequality, so no group can be
+      // skipped outright; the representative's DTW only chooses between
+      // wholesale admission (Lemma 2) and a per-member scan.
+      ++stats_.reps_compared;
+      const double rep_d = DtwDistance(query, rep, dtw_options) / norm;
+      // Lemma 2 premises, checked against the *stored* member EDs (the
+      // members array is sorted, so back() is the group's ED radius):
+      // both DTW(query, rep) and every ED(member, rep) must be <= st/2.
+      const double group_radius =
+          group.members.empty() ? 0.0 : group.members.back().ed_to_rep;
+      if (rep_d <= st / 2.0 && group_radius <= st / 2.0) {
+        // Lemma 2: every member of this group is within st of the query.
+        stats_.members_admitted_by_lemma2 += group.members.size();
+        for (const LsiMember& member : group.members) {
+          QueryMatch match;
+          match.ref = member.ref;
+          match.group_id = k;
+          match.distance =
+              exact_distances
+                  ? DtwDistance(query, member.ref.View(base_->dataset()),
+                                dtw_options) /
+                        norm
+                  : st;
+          matches.push_back(match);
+        }
+      } else {
+        // Individual scan with early abandoning at the range threshold.
+        for (const LsiMember& member : group.members) {
+          ++stats_.members_compared;
+          const double d =
+              DtwEarlyAbandon(query, member.ref.View(base_->dataset()),
+                              st * norm, dtw_options) /
+              norm;
+          if (d <= st) {
+            QueryMatch match;
+            match.ref = member.ref;
+            match.group_id = k;
+            match.distance = d;
+            matches.push_back(match);
+          }
+        }
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.distance < b.distance;
+            });
+  return matches;
+}
+
+Result<std::vector<std::vector<SubsequenceRef>>>
+QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) {
+  if (series_id >= base_->dataset().size()) {
+    return Status::InvalidArgument("series id out of range");
+  }
+  const GtiEntry* entry = base_->EntryFor(length);
+  if (entry == nullptr) {
+    return Status::NotFound("length " + std::to_string(length) +
+                            " is not in the ONEX base");
+  }
+  std::vector<std::vector<SubsequenceRef>> result;
+  for (const LsiEntry& group : entry->groups) {
+    std::vector<SubsequenceRef> own;
+    for (const LsiMember& member : group.members) {
+      if (member.ref.series == series_id) own.push_back(member.ref);
+    }
+    // Recurring similarity = the series visits this group more than once.
+    if (own.size() >= 2) result.push_back(std::move(own));
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<SubsequenceRef>>>
+QueryProcessor::SimilarGroupsOfLength(size_t length) {
+  const GtiEntry* entry = base_->EntryFor(length);
+  if (entry == nullptr) {
+    return Status::NotFound("length " + std::to_string(length) +
+                            " is not in the ONEX base");
+  }
+  std::vector<std::vector<SubsequenceRef>> result;
+  for (const LsiEntry& group : entry->groups) {
+    if (group.members.size() < 2) continue;
+    std::vector<SubsequenceRef> refs;
+    refs.reserve(group.members.size());
+    for (const LsiMember& member : group.members) refs.push_back(member.ref);
+    result.push_back(std::move(refs));
+  }
+  return result;
+}
+
+}  // namespace onex

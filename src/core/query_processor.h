@@ -1,0 +1,150 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The ONEX online query processor (paper Sec. 5, Algorithm 2). Queries
+// run DTW against the compact R-Space — first the representatives of a
+// length (median-out order over the sum-sorted S array), then the
+// members of the single best group (value-targeted outward scan) —
+// instead of against the raw data, which is where the speedup over the
+// baselines comes from. The justification that group members inherit
+// the representative's similarity is the ED-DTW triangle inequality
+// (Lemma 2).
+
+#ifndef ONEX_CORE_QUERY_PROCESSOR_H_
+#define ONEX_CORE_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/onex_base.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Optimization toggles (paper Sec. 5.3); the ablation bench flips them.
+struct QueryOptions {
+  /// LB_Kim / LB_Keogh pruning before DTW on representatives.
+  bool use_cascade = true;
+  /// Median-out traversal of the sum-sorted representative array.
+  bool use_median_order = true;
+  /// In-group outward scan from the member whose ED-to-rep is closest
+  /// to DTW(query, rep); otherwise members are scanned in stored order.
+  bool use_value_targeted_scan = true;
+  /// Early-abandoning DTW everywhere.
+  bool use_early_abandon = true;
+  /// Any-length search: stop scanning further lengths once a
+  /// representative with normalized DTW <= ST/2 is found (Lemma 2
+  /// guarantees its members are all within ST).
+  bool stop_within_st_half = true;
+  /// Number of best-representative groups to descend into per length
+  /// (the paper searches exactly 1). Larger values close the gap to the
+  /// exhaustive oracle at a linear cost in extra member scans — an
+  /// accuracy/time knob beyond the paper.
+  size_t groups_to_search = 1;
+};
+
+/// One retrieved sequence.
+struct QueryMatch {
+  SubsequenceRef ref;
+  /// Normalized DTW (Def. 6) between query and this sequence.
+  double distance = 0.0;
+  /// Group the match came from (id within its length's GtiEntry).
+  uint32_t group_id = 0;
+};
+
+/// Work counters for the time-response experiments.
+struct QueryStats {
+  uint64_t lengths_scanned = 0;
+  uint64_t reps_compared = 0;
+  uint64_t reps_pruned = 0;
+  uint64_t members_compared = 0;
+  /// Members admitted wholesale by the Lemma-2 fast path of
+  /// FindAllWithin, without any per-member DTW.
+  uint64_t members_admitted_by_lemma2 = 0;
+
+  void Reset() { *this = QueryStats(); }
+  std::string ToString() const;
+};
+
+/// Stateless with respect to queries; holds counters only.
+class QueryProcessor {
+ public:
+  /// `base` must outlive the processor.
+  explicit QueryProcessor(const OnexBase* base, QueryOptions options = {})
+      : base_(base), options_(options) {}
+
+  /// Q1 with Match = Exact(L): best match among subsequences of exactly
+  /// `length`. NotFound if that length was not constructed.
+  Result<QueryMatch> FindBestMatchOfLength(std::span<const double> query,
+                                           size_t length);
+
+  /// Q1 with Match = Any: best match across all constructed lengths,
+  /// searched in the optimized order (query length, then decreasing,
+  /// then increasing — Sec. 5.3).
+  Result<QueryMatch> FindBestMatch(std::span<const double> query);
+
+  /// k most similar sequences from the best-matching group (Algorithm
+  /// 2's getKSim). Results are sorted by distance, at most k of them.
+  Result<std::vector<QueryMatch>> FindKSimilar(std::span<const double> query,
+                                               size_t k, size_t length = 0);
+
+  /// Q1 range form (`WHERE Sim <= ST`): every sequence of `length`
+  /// (0 = all lengths) whose normalized DTW to the query is <= `st`.
+  /// Lemma 2 fast path: when DTW(query, representative) <= st/2, the
+  /// whole group qualifies with NO per-member DTW — the paper's
+  /// guarantee made operational; other groups are scanned with
+  /// early-abandoning DTW at threshold st. Results sorted by distance.
+  /// Fast-path members report their upper bound (st) as distance unless
+  /// `exact_distances` is set, which recomputes them.
+  Result<std::vector<QueryMatch>> FindAllWithin(std::span<const double> query,
+                                                double st, size_t length = 0,
+                                                bool exact_distances = false);
+
+  /// Q2, user-driven: groups of `length` restricted to subsequences of
+  /// series `series_id`; only groups contributing >= 2 such subsequences
+  /// (i.e., recurring similarity) are returned.
+  Result<std::vector<std::vector<SubsequenceRef>>> SeasonalSimilarity(
+      uint32_t series_id, size_t length);
+
+  /// Q2, data-driven: all groups of `length` with >= 2 members.
+  Result<std::vector<std::vector<SubsequenceRef>>> SimilarGroupsOfLength(
+      size_t length);
+
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  /// Best representative of `entry` for `query`: (group id, normalized
+  /// DTW). `bsf` seeds pruning (normalized units).
+  std::pair<uint32_t, double> BestRepresentative(
+      std::span<const double> query, const GtiEntry& entry, double bsf);
+
+  /// Top options_.groups_to_search representatives, ascending by
+  /// normalized DTW (no pruning: all representatives are evaluated).
+  std::vector<std::pair<uint32_t, double>> TopRepresentatives(
+      std::span<const double> query, const GtiEntry& entry);
+
+  /// Searches the chosen groups of one entry (1 group on the paper's
+  /// path, several with groups_to_search > 1) and returns the best
+  /// member found, seeded with `bsf`.
+  QueryMatch SearchEntry(std::span<const double> query,
+                         const GtiEntry& entry, double bsf,
+                         double* best_rep_distance);
+
+  /// Scans the chosen group; returns the best member (and distance),
+  /// seeded with `bsf`. `rep_distance` is DTW(query, representative),
+  /// the target of the value-directed scan.
+  QueryMatch SearchGroup(std::span<const double> query, const GtiEntry& entry,
+                         uint32_t group_id, double rep_distance, double bsf);
+
+  /// Lengths in the optimized search order for a query of length m.
+  std::vector<size_t> OrderedLengths(size_t m) const;
+
+  const OnexBase* base_;
+  QueryOptions options_;
+  QueryStats stats_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_QUERY_PROCESSOR_H_

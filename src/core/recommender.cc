@@ -1,0 +1,48 @@
+#include "core/recommender.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace onex {
+namespace {
+
+const char* DegreeName(SimilarityDegree degree) {
+  switch (degree) {
+    case SimilarityDegree::kStrict: return "Strict";
+    case SimilarityDegree::kMedium: return "Medium";
+    case SimilarityDegree::kLoose:  return "Loose";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Recommendation::ToString() const {
+  std::ostringstream out;
+  out << DegreeName(degree) << ": ST in [" << TableWriter::Num(st_low, 4)
+      << ", " << TableWriter::Num(st_high, 4) << "]";
+  return out.str();
+}
+
+Recommendation Recommender::Recommend(SimilarityDegree degree,
+                                      size_t length) const {
+  Recommendation rec;
+  rec.degree = degree;
+  const auto [lo, hi] = base_->sp_space().Recommend(degree, length);
+  rec.st_low = lo;
+  rec.st_high = hi;
+  return rec;
+}
+
+std::vector<Recommendation> Recommender::AllDegrees(size_t length) const {
+  return {Recommend(SimilarityDegree::kStrict, length),
+          Recommend(SimilarityDegree::kMedium, length),
+          Recommend(SimilarityDegree::kLoose, length)};
+}
+
+SimilarityDegree Recommender::Classify(double st, size_t length) const {
+  return base_->sp_space().Classify(st, length);
+}
+
+}  // namespace onex

@@ -1,0 +1,52 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Q3, similarity-threshold recommendations (paper Secs. 4.2 and 5.1):
+// turns the analyst's intuition of "strict / medium / loose" similarity
+// into concrete ST ranges derived from the SP-Space merge thresholds, so
+// exploration takes fewer trial-and-error rounds.
+
+#ifndef ONEX_CORE_RECOMMENDER_H_
+#define ONEX_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/onex_base.h"
+#include "core/sp_space.h"
+
+namespace onex {
+
+/// One recommendation row: a degree and its ST interval.
+struct Recommendation {
+  SimilarityDegree degree = SimilarityDegree::kStrict;
+  double st_low = 0.0;
+  double st_high = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Thin facade over the base's SP-Space implementing query class Q3.
+class Recommender {
+ public:
+  /// `base` must outlive the recommender and have been built with
+  /// compute_sp_space = true for meaningful output.
+  explicit Recommender(const OnexBase* base) : base_(base) {}
+
+  /// Q3 with simDegree = S|M|L. `length` = 0 uses the global markers
+  /// (Match=Any); a concrete length uses that length's local markers
+  /// (Match=Exact(L)).
+  Recommendation Recommend(SimilarityDegree degree, size_t length = 0) const;
+
+  /// Q3 with simDegree = NULL: the full picture, one row per degree.
+  std::vector<Recommendation> AllDegrees(size_t length = 0) const;
+
+  /// Classifies an analyst-supplied threshold (used by examples to
+  /// explain what a chosen ST means for this dataset).
+  SimilarityDegree Classify(double st, size_t length = 0) const;
+
+ private:
+  const OnexBase* base_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_RECOMMENDER_H_

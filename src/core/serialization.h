@@ -1,0 +1,39 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Binary persistence for the ONEX base. The paper's one-time expensive
+// preprocessing (Fig. 5) only pays off across sessions if the base can
+// be stored and reloaded; this module gives the knowledge base a
+// versioned on-disk format:
+//
+//   [magic "ONEX"][u32 version]
+//   [dataset: name, N, per-series label + values]
+//   [options: st, lengths, window_ratio, seed, sp flag]
+//   [gti: per length -> groups (rep, members), dc, sums, thresholds]
+//
+// All integers little-endian fixed width; doubles as IEEE-754 bits.
+// Loading validates the magic, version, and structural invariants and
+// returns Corruption on any mismatch. Envelopes are recomputed on load
+// (cheaper to rebuild with Lemire than to store).
+
+#ifndef ONEX_CORE_SERIALIZATION_H_
+#define ONEX_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/onex_base.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Current format version; bumped on layout changes.
+inline constexpr uint32_t kOnexBaseFormatVersion = 1;
+
+/// Writes `base` to `path`, overwriting. IOError on filesystem failure.
+Status SaveBase(const OnexBase& base, const std::string& path);
+
+/// Reads a base previously written by SaveBase. The returned base is
+/// fully queryable (envelopes and derived stats are rebuilt).
+Result<OnexBase> LoadBase(const std::string& path);
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_SERIALIZATION_H_

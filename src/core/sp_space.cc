@@ -1,0 +1,92 @@
+#include "core/sp_space.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/union_find.h"
+
+namespace onex {
+
+MergeThresholds ComputeMergeThresholds(std::span<const double> dc, size_t g,
+                                       double st) {
+  MergeThresholds result{st, st};
+  if (g <= 1) return result;
+  // Kruskal sweep: edge (k, l) fires at ST' = st + Dc(k, l).
+  std::vector<std::pair<double, std::pair<uint32_t, uint32_t>>> edges;
+  edges.reserve(g * (g - 1) / 2);
+  for (size_t k = 0; k < g; ++k) {
+    for (size_t l = k + 1; l < g; ++l) {
+      edges.push_back({dc[k * g + l],
+                       {static_cast<uint32_t>(k), static_cast<uint32_t>(l)}});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  UnionFind uf(g);
+  const size_t half_target = (g + 1) / 2;  // "Half the groups merged".
+  bool half_found = false;
+  for (const auto& [d, pair] : edges) {
+    if (!uf.Union(pair.first, pair.second)) continue;
+    if (!half_found && uf.components() <= half_target) {
+      result.st_half = st + d;
+      half_found = true;
+    }
+    if (uf.components() == 1) {
+      result.st_final = st + d;
+      break;
+    }
+  }
+  if (!half_found) result.st_half = result.st_final;
+  return result;
+}
+
+SimilarityDegree ParseDegree(const std::string& token) {
+  if (token.empty()) return SimilarityDegree::kMedium;
+  switch (std::tolower(static_cast<unsigned char>(token[0]))) {
+    case 's': return SimilarityDegree::kStrict;
+    case 'l': return SimilarityDegree::kLoose;
+    default:  return SimilarityDegree::kMedium;
+  }
+}
+
+void SpSpace::AddLength(size_t length, MergeThresholds local) {
+  locals_.push_back({length, local});
+}
+
+MergeThresholds SpSpace::Local(size_t length) const {
+  for (const auto& [len, t] : locals_) {
+    if (len == length) return t;
+  }
+  return {0.0, 0.0};
+}
+
+MergeThresholds SpSpace::Global() const {
+  MergeThresholds global{0.0, 0.0};
+  for (const auto& [len, t] : locals_) {
+    global.st_half = std::max(global.st_half, t.st_half);
+    global.st_final = std::max(global.st_final, t.st_final);
+  }
+  return global;
+}
+
+std::pair<double, double> SpSpace::Recommend(SimilarityDegree degree,
+                                             size_t length) const {
+  MergeThresholds t = length != 0 ? Local(length) : Global();
+  if (t.st_half == 0.0 && t.st_final == 0.0) t = Global();
+  switch (degree) {
+    case SimilarityDegree::kStrict: return {0.0, t.st_half};
+    case SimilarityDegree::kMedium: return {t.st_half, t.st_final};
+    case SimilarityDegree::kLoose:  return {t.st_final, 1.5 * t.st_final};
+  }
+  return {0.0, t.st_half};
+}
+
+SimilarityDegree SpSpace::Classify(double st, size_t length) const {
+  MergeThresholds t = length != 0 ? Local(length) : Global();
+  if (t.st_half == 0.0 && t.st_final == 0.0) t = Global();
+  if (st <= t.st_half) return SimilarityDegree::kStrict;
+  if (st < t.st_final) return SimilarityDegree::kMedium;
+  return SimilarityDegree::kLoose;
+}
+
+}  // namespace onex

@@ -1,0 +1,53 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Varying-similarity-threshold support (paper Sec. 5.2, Algorithm 2.C).
+// When an analyst queries with ST' different from the ST the base was
+// built with, the R-Space is *refined*, not rebuilt:
+//   ST' = ST  -> groups used as-is;
+//   ST' < ST  -> each group is split by re-clustering its own members at
+//                the smaller radius (answers can only move apart);
+//   ST' > ST  -> pairs of groups whose Inter-Representative Distance
+//                satisfies ST' - ST >= Dc are merged, cascading: after a
+//                merge the new (weighted-average) representative's
+//                distances are recomputed and further merges may fire.
+
+#ifndef ONEX_CORE_THRESHOLD_REFINER_H_
+#define ONEX_CORE_THRESHOLD_REFINER_H_
+
+#include "core/gti.h"
+#include "core/onex_base.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Derives refined group structures from a built base. The refiner never
+/// mutates the base; refined entries are self-contained GtiEntry values
+/// that QueryProcessor-compatible code can search.
+class ThresholdRefiner {
+ public:
+  /// `base` must outlive the refiner.
+  explicit ThresholdRefiner(const OnexBase* base) : base_(base) {}
+
+  /// Refined groups of one length for threshold `st_prime`.
+  /// NotFound if the length is absent; InvalidArgument for st' <= 0.
+  Result<GtiEntry> RefineLength(size_t length, double st_prime) const;
+
+  /// Refines every constructed length (an ST'-parameterized view of the
+  /// whole base).
+  Result<GlobalTimeIndex> RefineAll(double st_prime) const;
+
+  /// Fully queryable ST'-view: a standalone OnexBase (own dataset copy,
+  /// options.st = st') whose groups are the refined ones. Feed it to a
+  /// QueryProcessor to answer queries under the new threshold — the
+  /// online half of Algorithm 2.C.
+  Result<OnexBase> RefinedBase(double st_prime) const;
+
+ private:
+  GtiEntry Split(const GtiEntry& entry, double st_prime) const;
+  GtiEntry Merge(const GtiEntry& entry, double st_prime) const;
+
+  const OnexBase* base_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_THRESHOLD_REFINER_H_

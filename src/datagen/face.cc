@@ -1,0 +1,57 @@
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+
+// FaceAll-like: head-outline contours unrolled to 1D profiles. Each class
+// is a fixed mixture of low-order harmonics (the "face shape"); instances
+// perturb phases/amplitudes slightly and undergo mild warping. Default
+// 2250 x 131 with 14 classes, matching the archive's cardinality.
+Dataset MakeFace(const GenOptions& options) {
+  const GenOptions opt = options.Resolved(2250, 131);
+  constexpr int kClasses = 14;
+  constexpr int kHarmonics = 5;
+  Rng rng(opt.seed);
+  // Class prototypes: per-class harmonic amplitude/phase table.
+  double amp[kClasses][kHarmonics];
+  double phase[kClasses][kHarmonics];
+  for (int c = 0; c < kClasses; ++c) {
+    for (int h = 0; h < kHarmonics; ++h) {
+      amp[c][h] = rng.UniformDouble(0.1, 1.0) / (1.0 + h);
+      phase[c][h] = rng.UniformDouble(0.0, 2.0 * M_PI);
+    }
+  }
+  Dataset dataset("Face");
+  dataset.Reserve(opt.num_series);
+  for (size_t s = 0; s < opt.num_series; ++s) {
+    const int label = static_cast<int>(rng.Uniform(kClasses)) + 1;
+    const int c = label - 1;
+    std::vector<double> contour(opt.length);
+    const double n = static_cast<double>(opt.length);
+    // Per-instance perturbation of the class prototype.
+    double inst_amp[kHarmonics];
+    double inst_phase[kHarmonics];
+    for (int h = 0; h < kHarmonics; ++h) {
+      inst_amp[h] = amp[c][h] * (1.0 + 0.08 * rng.NextGaussian());
+      inst_phase[h] = phase[c][h] + 0.05 * rng.NextGaussian();
+    }
+    for (size_t i = 0; i < opt.length; ++i) {
+      const double theta = 2.0 * M_PI * static_cast<double>(i) / n;
+      double v = 1.0;  // Base radius.
+      for (int h = 0; h < kHarmonics; ++h) {
+        v += inst_amp[h] * std::cos((h + 1) * theta + inst_phase[h]);
+      }
+      contour[i] = v;
+    }
+    auto warped = ApplyRandomWarp(
+        std::span<const double>(contour.data(), contour.size()), 0.25, &rng);
+    AddGaussianNoise(&warped, 0.05 * opt.noise, &rng);
+    dataset.Add(TimeSeries(std::move(warped), label));
+  }
+  return dataset;
+}
+
+}  // namespace onex

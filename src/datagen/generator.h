@@ -1,0 +1,40 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Common options for the synthetic UCR-archive substitutes.
+//
+// SUBSTITUTION NOTE (see DESIGN.md Sec. 1.3): the paper evaluates on UCR
+// archive datasets, which are not available offline. Each generator here
+// reproduces the published *shape* of one archive dataset — series count,
+// series length, class count, and qualitative morphology — because those
+// are the properties the evaluated algorithms are sensitive to:
+// cardinality drives running time, intra-class redundancy drives ONEX
+// group compression, and warping structure drives the ED-vs-DTW gap.
+
+#ifndef ONEX_DATAGEN_GENERATOR_H_
+#define ONEX_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// Knobs shared by all generators. Zero values mean "use the dataset's
+/// UCR default" (e.g. ItalyPower defaults to 1096 series of length 24).
+struct GenOptions {
+  size_t num_series = 0;  ///< 0 = dataset default.
+  size_t length = 0;      ///< 0 = dataset default.
+  uint64_t seed = 42;     ///< PRNG seed; same seed -> identical dataset.
+  double noise = 1.0;     ///< Noise multiplier (1.0 = calibrated default).
+
+  /// Resolves 0-valued fields against per-dataset defaults.
+  GenOptions Resolved(size_t default_n, size_t default_len) const {
+    GenOptions r = *this;
+    if (r.num_series == 0) r.num_series = default_n;
+    if (r.length == 0) r.length = default_len;
+    return r;
+  }
+};
+
+}  // namespace onex
+
+#endif  // ONEX_DATAGEN_GENERATOR_H_

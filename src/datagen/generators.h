@@ -1,0 +1,47 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// One factory function per synthetic UCR-archive substitute. Defaults
+// reproduce each archive dataset's published cardinality (N x n) and
+// class count; see generator.h for the substitution rationale.
+
+#ifndef ONEX_DATAGEN_GENERATORS_H_
+#define ONEX_DATAGEN_GENERATORS_H_
+
+#include "datagen/generator.h"
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// ItalyPowerDemand: daily electricity demand curves, default 1096 x 24,
+/// 2 classes (winter: morning+evening peaks; summer: flat midday hump).
+Dataset MakeItalyPower(const GenOptions& options = {});
+
+/// ECG (ECGFiveDays-like): PQRST heartbeat morphology, default 884 x 136,
+/// 2 classes differing in R-peak amplitude and T-wave lag.
+Dataset MakeEcg(const GenOptions& options = {});
+
+/// Face (FaceAll-like): head-outline contour profiles built from class
+/// specific harmonic mixtures, default 2250 x 131, 14 classes.
+Dataset MakeFace(const GenOptions& options = {});
+
+/// Wafer: semiconductor process traces with plateau/ramp structure,
+/// default 7164 x 152, 2 classes (~10% abnormal with spike defects).
+Dataset MakeWafer(const GenOptions& options = {});
+
+/// Symbols: smooth pen-trace-like curves, default 1020 x 398, 6 classes.
+Dataset MakeSymbols(const GenOptions& options = {});
+
+/// TwoPatterns: step patterns (up/down) x (up/down) at random offsets on
+/// a noisy baseline, default 5000 x 128, 4 classes.
+Dataset MakeTwoPatterns(const GenOptions& options = {});
+
+/// StarLightCurves: phased periodic brightness curves with eclipse dips,
+/// default 9236 x 1024, 3 classes. (Benches use scaled subsets, as does
+/// the paper's Fig. 3 which cuts series to length 100.)
+Dataset MakeStarLight(const GenOptions& options = {});
+
+/// Random walks (stock-like), default 500 x 128, labels = trend sign.
+Dataset MakeRandomWalk(const GenOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_DATAGEN_GENERATORS_H_

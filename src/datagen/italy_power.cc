@@ -1,0 +1,47 @@
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+
+// Daily power demand sampled hourly (length 24). Winter days (class 1)
+// show a morning and an evening peak; summer days (class 2) a single
+// broad midday plateau driven by cooling load. Matches the UCR dataset's
+// two-class structure and its very short series length, which stresses
+// the many-groups/short-length corner of ONEX base construction.
+Dataset MakeItalyPower(const GenOptions& options) {
+  const GenOptions opt = options.Resolved(1096, 24);
+  Rng rng(opt.seed);
+  Dataset dataset("ItalyPower");
+  dataset.Reserve(opt.num_series);
+  for (size_t s = 0; s < opt.num_series; ++s) {
+    const int label = (rng.NextDouble() < 0.5) ? 1 : 2;
+    const double base = rng.UniformDouble(0.8, 1.2);
+    std::vector<double> day(opt.length);
+    const double hours = static_cast<double>(opt.length);
+    // Class-conditional peak placement, jittered per-day.
+    const double morning = rng.UniformDouble(7.0, 9.5) / 24.0 * hours;
+    const double evening = rng.UniformDouble(18.0, 21.0) / 24.0 * hours;
+    const double midday = rng.UniformDouble(12.0, 15.0) / 24.0 * hours;
+    const double amp = rng.UniformDouble(0.6, 1.0);
+    for (size_t h = 0; h < opt.length; ++h) {
+      const double x = static_cast<double>(h);
+      // Night-time trough common to both classes.
+      double v = base + GaussianBump(x, hours * 0.12, hours * 0.25, -0.5);
+      if (label == 1) {
+        v += GaussianBump(x, morning, hours * 0.07, amp);
+        v += GaussianBump(x, evening, hours * 0.09, amp * 0.9);
+      } else {
+        v += GaussianBump(x, midday, hours * 0.18, amp);
+      }
+      day[h] = v;
+    }
+    AddGaussianNoise(&day, 0.04 * opt.noise, &rng);
+    dataset.Add(TimeSeries(std::move(day), label));
+  }
+  return dataset;
+}
+
+}  // namespace onex

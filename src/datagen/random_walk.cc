@@ -1,0 +1,33 @@
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+
+// Stock-like random walks with mild per-series drift, default 500 x 128.
+// Used by the examples (stock explorer, tax-policy scenario) and by
+// stress tests that need unstructured data with no class redundancy —
+// the worst case for ONEX group compression.
+Dataset MakeRandomWalk(const GenOptions& options) {
+  const GenOptions opt = options.Resolved(500, 128);
+  Rng rng(opt.seed);
+  Dataset dataset("RandomWalk");
+  dataset.Reserve(opt.num_series);
+  for (size_t s = 0; s < opt.num_series; ++s) {
+    const double drift = rng.UniformDouble(-0.01, 0.01);
+    const double volatility = rng.UniformDouble(0.02, 0.08) * opt.noise;
+    std::vector<double> walk(opt.length);
+    double level = rng.UniformDouble(0.5, 1.5);
+    for (size_t i = 0; i < opt.length; ++i) {
+      level += drift + volatility * rng.NextGaussian();
+      walk[i] = level;
+    }
+    const int label = walk.back() >= walk.front() ? 1 : 2;
+    dataset.Add(TimeSeries(std::move(walk), label));
+  }
+  return dataset;
+}
+
+}  // namespace onex

@@ -1,0 +1,83 @@
+#include "datagen/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "datagen/generators.h"
+
+namespace onex {
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+struct Entry {
+  std::function<Dataset(const GenOptions&)> make;
+  size_t default_n;
+  size_t default_len;
+};
+
+const std::map<std::string, Entry>& Registry() {
+  static const std::map<std::string, Entry> registry = {
+      {"italypower", {MakeItalyPower, 1096, 24}},
+      {"ecg", {MakeEcg, 884, 136}},
+      {"face", {MakeFace, 2250, 131}},
+      {"wafer", {MakeWafer, 7164, 152}},
+      {"symbols", {MakeSymbols, 1020, 398}},
+      {"twopattern", {MakeTwoPatterns, 5000, 128}},
+      {"starlightcurves", {MakeStarLight, 9236, 1024}},
+      {"randomwalk", {MakeRandomWalk, 500, 128}},
+  };
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<std::string>& EvaluationDatasetNames() {
+  static const std::vector<std::string> names = {
+      "ItalyPower", "ECG", "Face", "Wafer", "Symbols", "TwoPattern"};
+  return names;
+}
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const std::vector<std::string> names = {
+      "ItalyPower", "ECG",        "Face",            "Wafer",
+      "Symbols",    "TwoPattern", "StarLightCurves", "RandomWalk"};
+  return names;
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name,
+                                  const GenOptions& options) {
+  auto it = Registry().find(Lower(name));
+  if (it == Registry().end()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return it->second.make(options);
+}
+
+Result<Dataset> MakeScaledDataset(const std::string& name, double scale,
+                                  uint64_t seed) {
+  auto it = Registry().find(Lower(name));
+  if (it == Registry().end()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  GenOptions options;
+  options.seed = seed;
+  options.num_series = std::max<size_t>(
+      4, static_cast<size_t>(std::llround(
+             scale * static_cast<double>(it->second.default_n))));
+  options.length = it->second.default_len;
+  return it->second.make(options);
+}
+
+}  // namespace onex

@@ -1,0 +1,40 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Name-based generator registry so benches and examples can select
+// datasets with a --dataset flag, and a helper that produces the paper's
+// six evaluation datasets at a uniform scale factor.
+
+#ifndef ONEX_DATAGEN_REGISTRY_H_
+#define ONEX_DATAGEN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "dataset/dataset.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Names of the paper's six evaluation datasets (Fig. 2/4/5/6, Tables 1-4),
+/// in the order the paper lists them.
+const std::vector<std::string>& EvaluationDatasetNames();
+
+/// All registered generator names (evaluation six + StarLightCurves +
+/// RandomWalk).
+const std::vector<std::string>& AllDatasetNames();
+
+/// Instantiates a dataset by name ("ItalyPower", "ECG", "Face", "Wafer",
+/// "Symbols", "TwoPattern", "StarLightCurves", "RandomWalk"). Name lookup
+/// is case-insensitive. Fails with NotFound for unknown names.
+Result<Dataset> MakeDatasetByName(const std::string& name,
+                                  const GenOptions& options = {});
+
+/// Instantiates a dataset by name with its default N scaled by `scale`
+/// in (0, 1]. Length is kept at the dataset's default (timing shape
+/// depends mostly on n; N is the paper's scalability axis).
+Result<Dataset> MakeScaledDataset(const std::string& name, double scale,
+                                  uint64_t seed = 42);
+
+}  // namespace onex
+
+#endif  // ONEX_DATAGEN_REGISTRY_H_

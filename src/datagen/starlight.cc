@@ -1,0 +1,57 @@
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+
+// StarLightCurves: phased stellar brightness curves, default 9236 x 1024,
+// 3 classes (Cepheid-like smooth sinusoid, eclipsing-binary with sharp
+// dips, RR-Lyrae-like sawtooth). This is the paper's scalability dataset
+// (Fig. 3 uses subsets cut to length 100), so the generator must stay
+// cheap at large N.
+Dataset MakeStarLight(const GenOptions& options) {
+  const GenOptions opt = options.Resolved(9236, 1024);
+  Rng rng(opt.seed);
+  Dataset dataset("StarLightCurves");
+  dataset.Reserve(opt.num_series);
+  for (size_t s = 0; s < opt.num_series; ++s) {
+    const int label = static_cast<int>(rng.Uniform(3)) + 1;
+    const size_t n = opt.length;
+    std::vector<double> curve(n);
+    const double cycles = rng.UniformDouble(1.5, 3.5);
+    const double phase0 = rng.UniformDouble(0.0, 2.0 * M_PI);
+    const double amp = rng.UniformDouble(0.7, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n);
+      const double phi = 2.0 * M_PI * cycles * t + phase0;
+      double v = 0.0;
+      switch (label) {
+        case 1:  // Cepheid-like: fundamental plus soft first harmonic.
+          v = amp * (std::sin(phi) + 0.3 * std::sin(2.0 * phi + 0.7));
+          break;
+        case 2: {  // Eclipsing binary: flat with periodic sharp dips.
+          const double cycle_pos = std::fmod(phi / (2.0 * M_PI), 1.0);
+          const double frac = cycle_pos < 0 ? cycle_pos + 1.0 : cycle_pos;
+          v = 0.2 * std::sin(phi * 0.5);
+          v -= GaussianBump(frac, 0.25, 0.03, 1.6 * amp);
+          v -= GaussianBump(frac, 0.75, 0.03, 0.8 * amp);
+          break;
+        }
+        default: {  // RR-Lyrae-like: fast rise, slow decay (sawtooth).
+          const double cycle_pos = std::fmod(phi / (2.0 * M_PI), 1.0);
+          const double frac = cycle_pos < 0 ? cycle_pos + 1.0 : cycle_pos;
+          v = amp * (frac < 0.2 ? frac / 0.2 : 1.0 - (frac - 0.2) / 0.8);
+          break;
+        }
+      }
+      curve[i] = v;
+    }
+    AddGaussianNoise(&curve, 0.03 * opt.noise, &rng);
+    dataset.Add(TimeSeries(std::move(curve), label));
+  }
+  return dataset;
+}
+
+}  // namespace onex

@@ -1,0 +1,68 @@
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+
+// Wafer: in-line semiconductor process sensor traces, default 7164 x 152.
+// Normal traces (class 1, ~90%) are plateau/ramp sequences; abnormal
+// traces (class 2) add transient spike defects. The near-piecewise-flat
+// morphology compresses extremely well into ONEX groups, mirroring the
+// archive dataset's behaviour in the paper's Table 4.
+Dataset MakeWafer(const GenOptions& options) {
+  const GenOptions opt = options.Resolved(7164, 152);
+  Rng rng(opt.seed);
+  Dataset dataset("Wafer");
+  dataset.Reserve(opt.num_series);
+  for (size_t s = 0; s < opt.num_series; ++s) {
+    const bool abnormal = rng.NextDouble() < 0.106;  // Archive class ratio.
+    const int label = abnormal ? 2 : 1;
+    const size_t n = opt.length;
+    std::vector<double> trace(n);
+    // Process stages: idle -> ramp -> plateau A -> step -> plateau B ->
+    // ramp-down, with jittered stage boundaries.
+    const double b1 = 0.10 + rng.UniformDouble(-0.02, 0.02);
+    const double b2 = 0.25 + rng.UniformDouble(-0.03, 0.03);
+    const double b3 = 0.55 + rng.UniformDouble(-0.04, 0.04);
+    const double b4 = 0.85 + rng.UniformDouble(-0.03, 0.03);
+    const double level_a = rng.UniformDouble(0.9, 1.1);
+    const double level_b = rng.UniformDouble(1.4, 1.6);
+    for (size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+      double v;
+      if (t < b1) {
+        v = 0.0;
+      } else if (t < b2) {
+        v = level_a * (t - b1) / (b2 - b1);  // Ramp up.
+      } else if (t < b3) {
+        v = level_a;                          // Plateau A.
+      } else if (t < b4) {
+        v = level_b;                          // Plateau B (step up).
+      } else {
+        v = level_b * (1.0 - (t - b4) / (1.0 - b4));  // Ramp down.
+      }
+      trace[i] = v;
+    }
+    if (abnormal) {
+      // One to three transient spike defects at random stage positions.
+      const int spikes = 1 + static_cast<int>(rng.Uniform(3));
+      for (int k = 0; k < spikes; ++k) {
+        const double center = rng.UniformDouble(0.15, 0.9) *
+                              static_cast<double>(n - 1);
+        const double height = rng.UniformDouble(0.5, 1.2) *
+                              (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+        for (size_t i = 0; i < n; ++i) {
+          trace[i] += GaussianBump(static_cast<double>(i), center,
+                                   static_cast<double>(n) * 0.012, height);
+        }
+      }
+    }
+    AddGaussianNoise(&trace, 0.02 * opt.noise, &rng);
+    dataset.Add(TimeSeries(std::move(trace), label));
+  }
+  return dataset;
+}
+
+}  // namespace onex

@@ -1,0 +1,70 @@
+#include "datagen/warp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onex {
+
+std::vector<double> Resample(std::span<const double> input, size_t out_len) {
+  std::vector<double> out(out_len);
+  if (input.empty() || out_len == 0) return out;
+  if (input.size() == 1) {
+    std::fill(out.begin(), out.end(), input[0]);
+    return out;
+  }
+  const double scale =
+      static_cast<double>(input.size() - 1) / std::max<size_t>(out_len - 1, 1);
+  for (size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const size_t lo = std::min(static_cast<size_t>(pos), input.size() - 2);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = input[lo] * (1.0 - frac) + input[lo + 1] * frac;
+  }
+  return out;
+}
+
+std::vector<double> ApplyRandomWarp(std::span<const double> prototype,
+                                    double intensity, Rng* rng) {
+  const size_t n = prototype.size();
+  std::vector<double> out(n);
+  if (n == 0) return out;
+  if (intensity <= 0.0) {
+    std::copy(prototype.begin(), prototype.end(), out.begin());
+    return out;
+  }
+  // Build a monotone time map by integrating a slowly varying positive
+  // derivative, then normalize so it spans [0, n-1] exactly.
+  std::vector<double> warp(n);
+  double position = 0.0;
+  double drift = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    warp[i] = position;
+    // Smooth random walk on the derivative, clamped to stay positive.
+    drift = 0.9 * drift + 0.1 * rng->UniformDouble(-intensity, intensity);
+    position += std::max(0.05, 1.0 + drift);
+  }
+  const double total = warp.back();
+  const double target = static_cast<double>(n - 1);
+  // Sample the prototype at the warped (normalized) positions.
+  for (size_t i = 0; i < n; ++i) {
+    const double pos = total > 0.0 ? warp[i] / total * target : 0.0;
+    const size_t lo = std::min(static_cast<size_t>(pos),
+                               n >= 2 ? n - 2 : size_t{0});
+    const double frac = pos - static_cast<double>(lo);
+    const double next = lo + 1 < n ? prototype[lo + 1] : prototype[lo];
+    out[i] = prototype[lo] * (1.0 - frac) + next * frac;
+  }
+  return out;
+}
+
+void AddGaussianNoise(std::vector<double>* values, double sigma, Rng* rng) {
+  if (sigma <= 0.0) return;
+  for (double& x : *values) x += rng->Gaussian(0.0, sigma);
+}
+
+double GaussianBump(double x, double center, double width, double height) {
+  const double d = (x - center) / width;
+  return height * std::exp(-0.5 * d * d);
+}
+
+}  // namespace onex

@@ -1,0 +1,37 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Smooth random time-warping and resampling helpers. Generators derive
+// each series from a class prototype via a random monotone time map, so
+// the datasets contain exactly the alignment variation that separates DTW
+// from ED — the phenomenon the paper's evaluation depends on.
+
+#ifndef ONEX_DATAGEN_WARP_H_
+#define ONEX_DATAGEN_WARP_H_
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace onex {
+
+/// Linear-interpolation resampling of `input` to `out_len` points.
+std::vector<double> Resample(std::span<const double> input, size_t out_len);
+
+/// Applies a smooth random monotone time warp to `prototype`:
+/// output[i] = prototype(w(i)) where w is a monotone map whose derivative
+/// wanders in [1-intensity, 1+intensity]. Output has the same length.
+/// intensity = 0 returns a copy.
+std::vector<double> ApplyRandomWarp(std::span<const double> prototype,
+                                    double intensity, Rng* rng);
+
+/// Adds iid Gaussian noise with standard deviation `sigma` in place.
+void AddGaussianNoise(std::vector<double>* values, double sigma, Rng* rng);
+
+/// Evaluates a Gaussian bump centred at `center` with width `width` and
+/// height `height` at position `x` — the shared building block of the
+/// shape-based generators.
+double GaussianBump(double x, double center, double width, double height);
+
+}  // namespace onex
+
+#endif  // ONEX_DATAGEN_WARP_H_

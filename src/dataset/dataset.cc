@@ -1,0 +1,60 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace onex {
+
+size_t Dataset::MinLength() const {
+  size_t m = std::numeric_limits<size_t>::max();
+  for (const auto& s : series_) m = std::min(m, s.length());
+  return series_.empty() ? 0 : m;
+}
+
+size_t Dataset::MaxLength() const {
+  size_t m = 0;
+  for (const auto& s : series_) m = std::max(m, s.length());
+  return m;
+}
+
+bool Dataset::IsFixedLength() const {
+  if (series_.empty()) return true;
+  const size_t n = series_.front().length();
+  for (const auto& s : series_) {
+    if (s.length() != n) return false;
+  }
+  return true;
+}
+
+size_t Dataset::TotalPoints() const {
+  size_t total = 0;
+  for (const auto& s : series_) total += s.length();
+  return total;
+}
+
+std::pair<double, double> Dataset::ValueRange() const {
+  if (series_.empty()) return {0.0, 1.0};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (double x : s.values()) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  return {lo, hi};
+}
+
+uint64_t Dataset::NumSubsequences(size_t min_len, size_t max_len) const {
+  uint64_t total = 0;
+  for (const auto& s : series_) {
+    const size_t n = s.length();
+    const size_t hi = std::min(max_len, n);
+    for (size_t len = min_len; len <= hi; ++len) {
+      total += static_cast<uint64_t>(n - len + 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace onex

@@ -1,0 +1,33 @@
+#include "dataset/dataset_stats.h"
+
+#include <set>
+#include <sstream>
+
+namespace onex {
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream out;
+  out << name << ": N=" << num_series << " n=[" << min_length << ","
+      << max_length << "] subsequences=" << num_subsequences << " range=["
+      << value_min << "," << value_max << "] classes=" << num_classes;
+  return out.str();
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name();
+  stats.num_series = dataset.size();
+  stats.min_length = dataset.MinLength();
+  stats.max_length = dataset.MaxLength();
+  stats.num_subsequences =
+      dataset.NumSubsequences(2, dataset.MaxLength());
+  const auto [lo, hi] = dataset.ValueRange();
+  stats.value_min = lo;
+  stats.value_max = hi;
+  std::set<int> labels;
+  for (size_t i = 0; i < dataset.size(); ++i) labels.insert(dataset[i].label());
+  stats.num_classes = labels.size();
+  return stats;
+}
+
+}  // namespace onex

@@ -1,0 +1,36 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Dataset statistics in the shape the paper reports them (Sec. 1.2 and
+// Table 4): series count, length, subsequence cardinality, value range.
+
+#ifndef ONEX_DATASET_DATASET_STATS_H_
+#define ONEX_DATASET_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// Summary of one dataset, computable in a single pass.
+struct DatasetStats {
+  std::string name;
+  size_t num_series = 0;
+  size_t min_length = 0;
+  size_t max_length = 0;
+  /// Nn(n-1)/2 over all lengths >= 2 (the paper's cardinality figure).
+  uint64_t num_subsequences = 0;
+  double value_min = 0.0;
+  double value_max = 0.0;
+  size_t num_classes = 0;
+
+  /// Renders a single human-readable line.
+  std::string ToString() const;
+};
+
+/// Computes the stats for `dataset`.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_DATASET_STATS_H_

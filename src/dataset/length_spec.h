@@ -1,0 +1,46 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The candidate-length universe shared by every engine. The paper
+// decomposes each series into subsequences of *all* lengths (Sec. 3.1);
+// at scale the benches stride the lengths, and all engines are driven by
+// the same LengthSpec so comparisons stay apples-to-apples.
+
+#ifndef ONEX_DATASET_LENGTH_SPEC_H_
+#define ONEX_DATASET_LENGTH_SPEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace onex {
+
+/// Lengths {min_length, min_length + step, ...} <= max_length. A
+/// max_length of 0 means "up to the dataset's series length".
+struct LengthSpec {
+  size_t min_length = 2;
+  size_t max_length = 0;
+  size_t step = 1;
+
+  /// Enumerates the concrete lengths for a series of length n.
+  std::vector<size_t> LengthsFor(size_t n) const {
+    std::vector<size_t> lengths;
+    const size_t hi = max_length == 0 ? n : std::min(max_length, n);
+    for (size_t len = std::max<size_t>(2, min_length); len <= hi;
+         len += std::max<size_t>(1, step)) {
+      lengths.push_back(len);
+    }
+    return lengths;
+  }
+
+  /// True if `len` is one of the lengths generated for a series of
+  /// length n.
+  bool Contains(size_t len, size_t n) const {
+    const size_t lo = std::max<size_t>(2, min_length);
+    const size_t hi = max_length == 0 ? n : std::min(max_length, n);
+    if (len < lo || len > hi) return false;
+    return (len - lo) % std::max<size_t>(1, step) == 0;
+  }
+};
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_LENGTH_SPEC_H_

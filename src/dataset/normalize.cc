@@ -1,0 +1,67 @@
+#include "dataset/normalize.h"
+
+#include <cmath>
+
+namespace onex {
+
+std::pair<double, double> MinMaxNormalize(Dataset* dataset) {
+  const auto [lo, hi] = dataset->ValueRange();
+  const double span = hi - lo;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    for (double& x : (*dataset)[i].mutable_values()) {
+      x = span > 0.0 ? (x - lo) / span : 0.0;
+    }
+  }
+  return {lo, hi};
+}
+
+void MinMaxNormalize(std::vector<double>* values, double min, double max) {
+  const double span = max - min;
+  for (double& x : *values) {
+    x = span > 0.0 ? (x - min) / span : 0.0;
+  }
+}
+
+void MinMaxNormalizePerSeries(Dataset* dataset) {
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    auto& values = (*dataset)[i].mutable_values();
+    if (values.empty()) continue;
+    double lo = values[0], hi = values[0];
+    for (double x : values) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    MinMaxNormalize(&values, lo, hi);
+  }
+}
+
+std::pair<double, double> MeanStddev(std::span<const double> values) {
+  if (values.empty()) return {0.0, 0.0};
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(values.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  return {mean, std::sqrt(var)};
+}
+
+std::vector<double> ZNormalized(std::span<const double> values) {
+  const auto [mean, stddev] = MeanStddev(values);
+  std::vector<double> out(values.size());
+  if (stddev <= 1e-12) return out;  // Constant input: all zeros.
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - mean) / stddev;
+  }
+  return out;
+}
+
+void ZNormalize(std::vector<double>* values) {
+  auto normalized =
+      ZNormalized(std::span<const double>(values->data(), values->size()));
+  *values = std::move(normalized);
+}
+
+}  // namespace onex

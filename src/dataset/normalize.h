@@ -1,0 +1,43 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Normalization kernels. The paper (Sec. 6.1) min-max normalizes every
+// dataset so all values fall in [0, 1] before building the ONEX base:
+// x <- (x - min) / (max - min), with min/max taken over the whole dataset.
+// The Trillion baseline additionally z-normalizes candidate windows, which
+// is inherent to the UCR-suite algorithm it reproduces.
+
+#ifndef ONEX_DATASET_NORMALIZE_H_
+#define ONEX_DATASET_NORMALIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// In-place dataset-level min-max normalization (paper Sec. 6.1). When the
+/// dataset is constant (max == min) all values map to 0. Returns the
+/// (min, max) pair that was used, enabling denormalization.
+std::pair<double, double> MinMaxNormalize(Dataset* dataset);
+
+/// In-place min-max normalization of one vector with explicit bounds.
+void MinMaxNormalize(std::vector<double>* values, double min, double max);
+
+/// Per-series min-max variant (each series mapped to [0,1] independently).
+/// Not used by the main pipeline but exposed for the examples that compare
+/// normalization policies.
+void MinMaxNormalizePerSeries(Dataset* dataset);
+
+/// Returns the z-normalized copy of `values` (mean 0, stddev 1). A constant
+/// input returns all zeros. Used by the Trillion baseline.
+std::vector<double> ZNormalized(std::span<const double> values);
+
+/// In-place z-normalization.
+void ZNormalize(std::vector<double>* values);
+
+/// Mean and population standard deviation of `values` in one pass.
+std::pair<double, double> MeanStddev(std::span<const double> values);
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_NORMALIZE_H_

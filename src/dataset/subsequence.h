@@ -1,0 +1,37 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Zero-copy reference to a subsequence (Xp)^i_j (paper Def. 1): series
+// index p, start position j, length i. 16 bytes; millions of these are
+// created during ONEX base construction so compactness matters.
+
+#ifndef ONEX_DATASET_SUBSEQUENCE_H_
+#define ONEX_DATASET_SUBSEQUENCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "dataset/dataset.h"
+
+namespace onex {
+
+/// Identifies one subsequence of one series in a dataset. The dataset is
+/// passed explicitly to resolve the view, keeping the ref trivially
+/// copyable and hashable.
+struct SubsequenceRef {
+  uint32_t series = 0;  ///< p: index of the parent series in the dataset.
+  uint32_t start = 0;   ///< j: 0-based start offset within the series.
+  uint32_t length = 0;  ///< i: number of points.
+
+  /// Resolves the actual values. The caller guarantees `d` is the dataset
+  /// this ref was created from and that the ref is in bounds.
+  std::span<const double> View(const Dataset& d) const {
+    return d[series].Subsequence(start, length);
+  }
+
+  friend bool operator==(const SubsequenceRef& a, const SubsequenceRef& b) {
+    return a.series == b.series && a.start == b.start && a.length == b.length;
+  }
+};
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_SUBSEQUENCE_H_

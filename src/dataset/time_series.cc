@@ -1,0 +1,4 @@
+#include "dataset/time_series.h"
+
+// TimeSeries is header-only today; this translation unit anchors the
+// library target and reserves space for future out-of-line members.

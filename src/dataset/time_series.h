@@ -1,0 +1,54 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The fundamental value type of the library: a time series X = (x1..xn) of
+// real values (paper Sec. 2), optionally carrying a class label as found in
+// UCR archive files.
+
+#ifndef ONEX_DATASET_TIME_SERIES_H_
+#define ONEX_DATASET_TIME_SERIES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace onex {
+
+/// One time series: an ordered sequence of real values plus an optional
+/// integer class label (UCR datasets are labeled; the label plays no role
+/// in similarity search and is retained only for data-generation fidelity
+/// and dataset statistics).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values, int label = 0)
+      : values_(std::move(values)), label_(label) {}
+
+  size_t length() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Contiguous view over the whole series.
+  std::span<const double> View() const {
+    return std::span<const double>(values_.data(), values_.size());
+  }
+
+  /// Contiguous view over the subsequence of `length` starting at `start`.
+  /// This is the paper's (X)^i_j with i = length, j = start (0-based here).
+  std::span<const double> Subsequence(size_t start, size_t length) const {
+    return std::span<const double>(values_.data() + start, length);
+  }
+
+ private:
+  std::vector<double> values_;
+  int label_ = 0;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_TIME_SERIES_H_

@@ -1,0 +1,115 @@
+#include "dataset/ucr_loader.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace onex {
+namespace {
+
+// Splits on commas and/or whitespace; empty tokens are dropped.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  // NaN/Inf poison every distance downstream; reject them at the door.
+  return end != nullptr && *end == '\0' && end != token.c_str() &&
+         std::isfinite(*out);
+}
+
+}  // namespace
+
+Result<Dataset> ParseUcrContent(const std::string& content,
+                                const std::string& name) {
+  Dataset dataset(name);
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    double label_value = 0.0;
+    if (!ParseDouble(tokens[0], &label_value)) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad label '" + tokens[0] + "'");
+    }
+    std::vector<double> values;
+    values.reserve(tokens.size() - 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      double v = 0.0;
+      if (!ParseDouble(tokens[i], &v)) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad value '" + tokens[i] + "'");
+      }
+      values.push_back(v);
+    }
+    if (values.empty()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": series with no values");
+    }
+    dataset.Add(TimeSeries(std::move(values), static_cast<int>(label_value)));
+  }
+  if (dataset.empty()) {
+    return Status::Corruption("no series found in '" + name + "'");
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadUcrFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  // Derive a dataset name from the file name (basename sans extension).
+  std::string name = path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return ParseUcrContent(buffer.str(), name);
+}
+
+Status SaveUcrFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const TimeSeries& s = dataset[i];
+    file << s.label();
+    char buf[32];
+    for (double v : s.values()) {
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      file << ',' << buf;
+    }
+    file << '\n';
+  }
+  if (!file) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace onex

@@ -1,0 +1,33 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Reader/writer for the UCR Time Series Archive text format: one series
+// per line, first field the integer class label, remaining fields the
+// values, separated by commas or whitespace. The paper's evaluation
+// datasets all ship in this format; our synthetic generators write it so
+// the loader is exercised end to end.
+
+#ifndef ONEX_DATASET_UCR_LOADER_H_
+#define ONEX_DATASET_UCR_LOADER_H_
+
+#include <string>
+
+#include "dataset/dataset.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Parses a UCR-format file. Lines may be comma- or whitespace-separated;
+/// blank lines are skipped. Fails with Corruption on non-numeric fields
+/// and IOError when the file cannot be read.
+Result<Dataset> LoadUcrFile(const std::string& path);
+
+/// Parses UCR-format content from a string (used by tests).
+Result<Dataset> ParseUcrContent(const std::string& content,
+                                const std::string& name);
+
+/// Writes `dataset` in comma-separated UCR format. Existing files are
+/// overwritten.
+Status SaveUcrFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace onex
+
+#endif  // ONEX_DATASET_UCR_LOADER_H_

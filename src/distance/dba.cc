@@ -1,0 +1,54 @@
+#include "distance/dba.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onex {
+
+std::vector<double> DbaBarycenter(
+    const std::vector<std::span<const double>>& members,
+    std::span<const double> initial, const DbaOptions& options) {
+  std::vector<double> center(initial.begin(), initial.end());
+  if (members.empty() || center.empty()) return center;
+
+  std::vector<double> sums(center.size());
+  std::vector<size_t> counts(center.size());
+  std::vector<std::pair<uint32_t, uint32_t>> path;
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    // Align every member to the current barycenter; accumulate the
+    // member values warped onto each barycenter point.
+    for (const auto& member : members) {
+      DtwWithPath(std::span<const double>(center.data(), center.size()),
+                  member, &path, options.dtw);
+      for (const auto& [ci, mi] : path) {
+        sums[ci] += member[mi];
+        counts[ci] += 1;
+      }
+    }
+    double max_change = 0.0;
+    for (size_t i = 0; i < center.size(); ++i) {
+      if (counts[i] == 0) continue;  // Unreached under the band; keep.
+      const double updated = sums[i] / static_cast<double>(counts[i]);
+      max_change = std::max(max_change, std::abs(updated - center[i]));
+      center[i] = updated;
+    }
+    if (max_change < options.convergence_epsilon) break;
+  }
+  return center;
+}
+
+double SumSquaredDtw(const std::vector<std::span<const double>>& members,
+                     std::span<const double> center,
+                     const DtwOptions& options) {
+  double total = 0.0;
+  for (const auto& member : members) {
+    const double d = DtwDistance(center, member, options);
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace onex

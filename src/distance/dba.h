@@ -1,0 +1,49 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// DTW Barycenter Averaging (DBA), Petitjean et al. [21] — the
+// alternative cluster-representative scheme the paper's related work
+// contrasts with ONEX's point-wise average (Def. 7): each iteration
+// aligns every member to the current barycenter with DTW and replaces
+// each barycenter point by the mean of the member points warped onto
+// it. Converges to a local optimum of the sum of squared DTW distances.
+//
+// ONEX deliberately does NOT use DBA (it clusters with ED and averages
+// point-wise, keeping construction cheap); this module exists so the
+// ablation bench can quantify that design choice.
+
+#ifndef ONEX_DISTANCE_DBA_H_
+#define ONEX_DISTANCE_DBA_H_
+
+#include <span>
+#include <vector>
+
+#include "distance/dtw.h"
+
+namespace onex {
+
+/// DBA knobs.
+struct DbaOptions {
+  size_t max_iterations = 10;  ///< Refinement rounds.
+  /// Stop early when the barycenter moves less than this (max absolute
+  /// pointwise change) between rounds.
+  double convergence_epsilon = 1e-6;
+  DtwOptions dtw;              ///< Band used for the alignments.
+};
+
+/// Computes the DBA barycenter of `members` (all non-empty, any equal
+/// length; the barycenter keeps the length of `initial`). `initial`
+/// seeds the iteration — the point-wise mean is the conventional seed.
+/// Returns `initial` unchanged when `members` is empty.
+std::vector<double> DbaBarycenter(
+    const std::vector<std::span<const double>>& members,
+    std::span<const double> initial, const DbaOptions& options = {});
+
+/// Convenience: sum of squared DTW distances from `center` to all
+/// members — the objective DBA descends; used by tests and the
+/// representative ablation.
+double SumSquaredDtw(const std::vector<std::span<const double>>& members,
+                     std::span<const double> center,
+                     const DtwOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_DBA_H_

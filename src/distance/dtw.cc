@@ -1,0 +1,178 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace onex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Effective band half-width: at least |n - m| so the corner-to-corner
+// path stays feasible; SIZE_MAX means unconstrained.
+size_t EffectiveWindow(const DtwOptions& options, size_t n, size_t m) {
+  if (options.window < 0) return std::numeric_limits<size_t>::max();
+  const size_t diff = n > m ? n - m : m - n;
+  return std::max(static_cast<size_t>(options.window), diff);
+}
+
+// Shared DP core. Returns the squared DTW, or +inf when early abandoning
+// is enabled (threshold_sq < inf) and every reachable cell of some row
+// (plus its cumulative bound) exceeds threshold_sq. `cb` may be empty.
+double SquaredDtwCore(std::span<const double> a, std::span<const double> b,
+                      std::span<const double> cb, double threshold_sq,
+                      const DtwOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  const size_t w = EffectiveWindow(options, n, m);
+
+  // Two rolling rows, 1-based over j with sentinel column 0.
+  thread_local std::vector<double> prev_storage, cur_storage;
+  prev_storage.assign(m + 1, kInf);
+  cur_storage.assign(m + 1, kInf);
+  double* prev = prev_storage.data();
+  double* cur = cur_storage.data();
+  prev[0] = 0.0;  // D(-1, -1) = 0 lives at prev[0].
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i > w ? i - w : 0;
+    // Saturating i + w: w may be SIZE_MAX (unconstrained).
+    const size_t j_hi = (w >= m || i + w >= m) ? m - 1 : i + w;
+    cur[0] = kInf;
+    // Cells just left and right of the band must read as +inf; the band
+    // shifts by at most one column per row, so one sentinel each side
+    // clears all staleness left by row reuse.
+    if (j_lo > 0) cur[j_lo] = kInf;
+    if (j_hi + 2 <= m) cur[j_hi + 2] = kInf;
+    double row_min = kInf;
+    const double ai = a[i];
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = ai - b[j];
+      const double cost = d * d;
+      const double best_prev =
+          std::min({prev[j], prev[j + 1], cur[j]});
+      const double value = best_prev == kInf ? kInf : cost + best_prev;
+      cur[j + 1] = value;
+      row_min = std::min(row_min, value);
+    }
+    if (threshold_sq < kInf) {
+      // UCR-suite cumulative-bound pruning: everything still to come
+      // costs at least cb[i + 1].
+      const double future = (!cb.empty() && i + 1 < cb.size()) ? cb[i + 1]
+                                                               : 0.0;
+      if (row_min + future > threshold_sq) return kInf;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+DtwOptions DtwOptions::FromRatio(double ratio, size_t n, size_t m) {
+  DtwOptions options;
+  if (ratio < 0) {
+    options.window = -1;
+  } else {
+    const size_t longest = std::max(n, m);
+    options.window =
+        static_cast<int>(std::ceil(ratio * static_cast<double>(longest)));
+  }
+  return options;
+}
+
+double SquaredDtw(std::span<const double> a, std::span<const double> b,
+                  const DtwOptions& options) {
+  return SquaredDtwCore(a, b, {}, kInf, options);
+}
+
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions& options) {
+  return std::sqrt(SquaredDtw(a, b, options));
+}
+
+double NormalizedDtw(std::span<const double> a, std::span<const double> b,
+                     const DtwOptions& options) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return DtwDistance(a, b, options) / (2.0 * static_cast<double>(longest));
+}
+
+double DtwEarlyAbandon(std::span<const double> a, std::span<const double> b,
+                       double threshold, const DtwOptions& options) {
+  if (threshold < 0) return kInf;
+  const double sq =
+      SquaredDtwCore(a, b, {}, threshold * threshold, options);
+  return std::isinf(sq) ? kInf : std::sqrt(sq);
+}
+
+double DtwEarlyAbandonCb(std::span<const double> a, std::span<const double> b,
+                         std::span<const double> cb, double threshold,
+                         const DtwOptions& options) {
+  if (threshold < 0) return kInf;
+  const double sq =
+      SquaredDtwCore(a, b, cb, threshold * threshold, options);
+  return std::isinf(sq) ? kInf : std::sqrt(sq);
+}
+
+double DtwWithPath(std::span<const double> a, std::span<const double> b,
+                   std::vector<std::pair<uint32_t, uint32_t>>* path,
+                   const DtwOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  path->clear();
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  const size_t w = EffectiveWindow(options, n, m);
+
+  // Full matrix (1-based) with backpointers; test/example use only.
+  std::vector<double> dp((n + 1) * (m + 1), kInf);
+  std::vector<uint8_t> back(n * m, 0);  // 0 = diag, 1 = up, 2 = left.
+  auto at = [m](size_t i, size_t j) { return i * (m + 1) + j; };
+  dp[at(0, 0)] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t j_lo = i > w ? i - w : 1;
+    const size_t j_hi = (w >= m || i + w >= m) ? m : i + w;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double cost = d * d;
+      const double diag = dp[at(i - 1, j - 1)];
+      const double up = dp[at(i - 1, j)];
+      const double left = dp[at(i, j - 1)];
+      double best = diag;
+      uint8_t dir = 0;
+      if (up < best) {
+        best = up;
+        dir = 1;
+      }
+      if (left < best) {
+        best = left;
+        dir = 2;
+      }
+      if (best == kInf) continue;
+      dp[at(i, j)] = cost + best;
+      back[(i - 1) * m + (j - 1)] = dir;
+    }
+  }
+  // Recover the path by walking backpointers from (n, m).
+  size_t i = n, j = m;
+  while (i >= 1 && j >= 1) {
+    path->emplace_back(static_cast<uint32_t>(i - 1),
+                       static_cast<uint32_t>(j - 1));
+    const uint8_t dir = back[(i - 1) * m + (j - 1)];
+    if (dir == 0) {
+      --i;
+      --j;
+    } else if (dir == 1) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(path->begin(), path->end());
+  return std::sqrt(dp[at(n, m)]);
+}
+
+}  // namespace onex

@@ -1,0 +1,35 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Warping envelopes for LB_Keogh (paper Sec. 4.3: the LSI stores one
+// envelope per group representative). Computed with Lemire's streaming
+// min/max algorithm in O(n) regardless of window size.
+
+#ifndef ONEX_DISTANCE_ENVELOPE_H_
+#define ONEX_DISTANCE_ENVELOPE_H_
+
+#include <span>
+#include <vector>
+
+namespace onex {
+
+/// Pointwise band around a series: lower[i] = min of the series in
+/// [i - window, i + window], upper[i] = max over the same range.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  size_t size() const { return lower.size(); }
+  bool empty() const { return lower.empty(); }
+
+  /// Heap bytes held by the envelope (index sizing, paper Table 4).
+  size_t MemoryBytes() const {
+    return (lower.capacity() + upper.capacity()) * sizeof(double);
+  }
+};
+
+/// Builds the envelope of `series` for band half-width `window` (clamped
+/// to the series length). window = 0 degenerates to the series itself.
+Envelope ComputeEnvelope(std::span<const double> series, size_t window);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_ENVELOPE_H_

@@ -1,0 +1,32 @@
+#include "distance/erp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace onex {
+
+double ErpDistance(std::span<const double> a, std::span<const double> b,
+                   const ErpOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const double g = options.gap_value;
+  // Row 0: everything in b gapped.
+  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0);
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + std::abs(b[j - 1] - g);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = prev[0] + std::abs(a[i - 1] - g);  // Everything in a gapped.
+    for (size_t j = 1; j <= m; ++j) {
+      const double gap_b = prev[j] + std::abs(a[i - 1] - g);
+      const double gap_a = cur[j - 1] + std::abs(b[j - 1] - g);
+      const double match = prev[j - 1] + std::abs(a[i - 1] - b[j - 1]);
+      cur[j] = std::min({gap_b, gap_a, match});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace onex

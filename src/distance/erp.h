@@ -1,0 +1,32 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Edit distance with Real Penalty (Chen & Ng [6], "on the marriage of
+// Lp-norms and edit distance" — the paper's title riffs on it). ERP is
+// an elastic measure like DTW but, unlike DTW, a true metric: gaps are
+// penalized against a fixed reference value g, which restores the
+// triangle inequality.
+
+#ifndef ONEX_DISTANCE_ERP_H_
+#define ONEX_DISTANCE_ERP_H_
+
+#include <span>
+
+namespace onex {
+
+/// ERP options; `gap_value` is the reference value g (0 is standard for
+/// normalized data).
+struct ErpOptions {
+  double gap_value = 0.0;
+};
+
+/// ERP distance with L1 point costs:
+///   erp(i, j) = min(erp(i-1, j)   + |a_i - g|,        // gap in b
+///                   erp(i, j-1)   + |b_j - g|,        // gap in a
+///                   erp(i-1, j-1) + |a_i - b_j|).     // match
+/// O(n*m) time, O(m) space. ERP(X, X) = 0 and the triangle inequality
+/// holds for any fixed g.
+double ErpDistance(std::span<const double> a, std::span<const double> b,
+                   const ErpOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_ERP_H_

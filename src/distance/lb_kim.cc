@@ -1,0 +1,57 @@
+#include "distance/lb_kim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace onex {
+
+double LbKim(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // First and last points are on every warping path, and they are
+  // distinct path elements when max(n, m) >= 2, so their squared costs
+  // both contribute to the path weight (Def. 3).
+  const double d_first = a.front() - b.front();
+  const double d_last = a.back() - b.back();
+  double bound_sq = d_first * d_first;
+  if (a.size() >= 2 || b.size() >= 2) bound_sq += d_last * d_last;
+
+  // Min/max features: the global extremum of one series aligns with some
+  // point of the other, bounding one path cost from below.
+  const auto [a_min_it, a_max_it] = std::minmax_element(a.begin(), a.end());
+  const auto [b_min_it, b_max_it] = std::minmax_element(b.begin(), b.end());
+  const double d_min = *a_min_it - *b_min_it;
+  const double d_max = *a_max_it - *b_max_it;
+  const double feature_sq =
+      std::max(d_min * d_min, d_max * d_max);
+  return std::sqrt(std::max(bound_sq, feature_sq));
+}
+
+double LbKimFl(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() >= 3 && b.size() >= 3);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Front pair: points 0 and 1 of each series. The path's first element
+  // is (0,0); its second touches (0,1), (1,0) or (1,1).
+  const double d00 = a[0] - b[0];
+  double lb = d00 * d00;
+  const double c01 = (a[0] - b[1]) * (a[0] - b[1]);
+  const double c10 = (a[1] - b[0]) * (a[1] - b[0]);
+  const double c11 = (a[1] - b[1]) * (a[1] - b[1]);
+  lb += std::min({c01, c10, c11});
+  // Back pair, symmetric. The back neighbour term is only admissible
+  // when the minimal path length max(n, m) is >= 4; on a length-3
+  // diagonal the second and second-to-last path elements coincide and
+  // adding both would double-count.
+  const double dnn = a[n - 1] - b[m - 1];
+  lb += dnn * dnn;
+  if (std::max(n, m) >= 4) {
+    const double e01 = (a[n - 1] - b[m - 2]) * (a[n - 1] - b[m - 2]);
+    const double e10 = (a[n - 2] - b[m - 1]) * (a[n - 2] - b[m - 1]);
+    const double e11 = (a[n - 2] - b[m - 2]) * (a[n - 2] - b[m - 2]);
+    lb += std::min({e01, e10, e11});
+  }
+  return std::sqrt(lb);
+}
+
+}  // namespace onex

@@ -1,0 +1,26 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// LB_Kim-style constant-time lower bounds on DTW. Stage 1 of the
+// cascading-lower-bound pruning the paper adopts from the UCR suite
+// (Sec. 5.3, [11], [22]).
+
+#ifndef ONEX_DISTANCE_LB_KIM_H_
+#define ONEX_DISTANCE_LB_KIM_H_
+
+#include <span>
+
+namespace onex {
+
+/// Classic 4-feature LB_Kim: any warping path matches first with first
+/// and last with last, and the global min/max of one series must align
+/// with *some* point of the other. Valid for unequal lengths and any
+/// window. O(n) (dominated by the min/max scan).
+double LbKim(std::span<const double> a, std::span<const double> b);
+
+/// UCR-suite LB_Kim_FL on z-normalized data: uses the first/last points
+/// plus their two neighbours (the min/max features are near-useless after
+/// z-normalization, so they are skipped). O(1). Requires sizes >= 3.
+double LbKimFl(std::span<const double> a, std::span<const double> b);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_LB_KIM_H_

@@ -1,0 +1,43 @@
+#include "distance/lcss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace onex {
+
+size_t LcssLength(std::span<const double> a, std::span<const double> b,
+                  const LcssOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0;
+  // Rolling two-row LCS DP with the (epsilon, delta) match predicate.
+  std::vector<size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const bool within_delta =
+          options.delta < 0 ||
+          (i > j ? i - j : j - i) <= static_cast<size_t>(options.delta);
+      if (within_delta &&
+          std::abs(a[i - 1] - b[j - 1]) <= options.epsilon) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LcssDistance(std::span<const double> a, std::span<const double> b,
+                    const LcssOptions& options) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  const double lcss = static_cast<double>(LcssLength(a, b, options));
+  const double shorter =
+      static_cast<double>(std::min(a.size(), b.size()));
+  return 1.0 - lcss / shorter;
+}
+
+}  // namespace onex

@@ -1,0 +1,36 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Longest Common Subsequence similarity for time series (Vlachos et
+// al. [29], discussed in the paper's related work as the third of the
+// classic elastic measures next to DTW and ERP). Two points match when
+// they are within `epsilon` in value and within `delta` positions in
+// time; the distance is 1 - LCSS / min(n, m).
+
+#ifndef ONEX_DISTANCE_LCSS_H_
+#define ONEX_DISTANCE_LCSS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace onex {
+
+/// Matching tolerances for LCSS.
+struct LcssOptions {
+  double epsilon = 0.1;  ///< Max value difference for a point match.
+  /// Max index offset for a match; negative = unconstrained.
+  int delta = -1;
+};
+
+/// Length of the longest common subsequence under the tolerances.
+/// O(n*m) time, O(min window) space.
+size_t LcssLength(std::span<const double> a, std::span<const double> b,
+                  const LcssOptions& options = {});
+
+/// LCSS distance: 1 - LCSS/min(n, m), in [0, 1]. Identical sequences
+/// score 0; sequences with no matching points score 1. Either input
+/// empty yields 1 (or 0 when both are empty).
+double LcssDistance(std::span<const double> a, std::span<const double> b,
+                    const LcssOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_LCSS_H_

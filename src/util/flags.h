@@ -1,0 +1,36 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Tiny command-line flag parser for the bench/ and examples/ binaries.
+// Supports --name=value and --name value forms plus boolean --name.
+
+#ifndef ONEX_UTIL_FLAGS_H_
+#define ONEX_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace onex {
+
+/// Parsed command line. Unknown flags are retained (benches share a pool
+/// of common flags); positional arguments are ignored by design.
+class Flags {
+ public:
+  /// Parses argv. Flags look like --key=value, --key value, or --key.
+  Flags(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_FLAGS_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Minimal leveled logger writing to stderr. Library code logs sparingly
+// (construction progress at INFO, anomalies at WARN); benches may raise the
+// threshold to keep output machine-parsable.
+
+#ifndef ONEX_UTIL_LOGGING_H_
+#define ONEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace onex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace onex
+
+#define ONEX_LOG_DEBUG ::onex::internal::LogStream(::onex::LogLevel::kDebug)
+#define ONEX_LOG_INFO ::onex::internal::LogStream(::onex::LogLevel::kInfo)
+#define ONEX_LOG_WARN ::onex::internal::LogStream(::onex::LogLevel::kWarn)
+#define ONEX_LOG_ERROR ::onex::internal::LogStream(::onex::LogLevel::kError)
+
+#endif  // ONEX_UTIL_LOGGING_H_

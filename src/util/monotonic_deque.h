@@ -1,0 +1,66 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Fixed-capacity monotonic index deque: the core of Lemire's streaming
+// min/max algorithm that computes LB_Keogh envelopes in O(n) (distance
+// substrate, envelope.cc).
+
+#ifndef ONEX_UTIL_MONOTONIC_DEQUE_H_
+#define ONEX_UTIL_MONOTONIC_DEQUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace onex {
+
+/// Ring-buffer deque of indices with O(1) push/pop at both ends.
+/// Capacity is fixed at construction; callers guarantee it is never
+/// exceeded (for envelopes, capacity = 2 * window + 2 suffices).
+class MonotonicDeque {
+ public:
+  explicit MonotonicDeque(size_t capacity)
+      : buffer_(capacity + 1), capacity_(capacity + 1) {}
+
+  bool Empty() const { return head_ == tail_; }
+
+  size_t Size() const {
+    return (tail_ + capacity_ - head_) % capacity_;
+  }
+
+  void PushBack(size_t index) {
+    buffer_[tail_] = index;
+    tail_ = (tail_ + 1) % capacity_;
+    assert(tail_ != head_ && "MonotonicDeque overflow");
+  }
+
+  void PopBack() {
+    assert(!Empty());
+    tail_ = (tail_ + capacity_ - 1) % capacity_;
+  }
+
+  void PopFront() {
+    assert(!Empty());
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  size_t Front() const {
+    assert(!Empty());
+    return buffer_[head_];
+  }
+
+  size_t Back() const {
+    assert(!Empty());
+    return buffer_[(tail_ + capacity_ - 1) % capacity_];
+  }
+
+  void Clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<size_t> buffer_;
+  size_t capacity_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_MONOTONIC_DEQUE_H_

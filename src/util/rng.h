@@ -1,0 +1,115 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Deterministic, seedable PRNG (xoshiro256++) plus the RANDOMIZE-IN-PLACE
+// (Fisher–Yates, CLRS) shuffle that Algorithm 1 of the paper uses to remove
+// data-order bias before group construction.
+
+#ifndef ONEX_UTIL_RNG_H_
+#define ONEX_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace onex {
+
+/// xoshiro256++ generator. Deterministic across platforms for a given seed,
+/// unlike std::mt19937 paired with std::uniform_* distributions.
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds diverge.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Debiased multiply-shift (Lemire). The retry loop is entered rarely.
+    while (true) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller; caches the second variate of each pair.
+  double NextGaussian() {
+    if (have_cached_gaussian_) {
+      have_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Gaussian with explicit mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// RANDOMIZE-IN-PLACE from CLRS: uniformly random permutation of `items`.
+/// Paper Algorithm 1 applies this to the subsequence list of each length.
+template <typename T>
+void RandomizeInPlace(std::vector<T>* items, Rng* rng) {
+  if (items->size() < 2) return;
+  for (size_t i = items->size() - 1; i > 0; --i) {
+    size_t j = static_cast<size_t>(rng->Uniform(i + 1));
+    using std::swap;
+    swap((*items)[i], (*items)[j]);
+  }
+}
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_RNG_H_

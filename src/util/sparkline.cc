@@ -1,0 +1,66 @@
+#include "util/sparkline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace onex {
+namespace {
+
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+std::vector<double> ResampleForWidth(std::span<const double> series,
+                                     size_t width) {
+  if (width == 0 || width >= series.size()) {
+    return std::vector<double>(series.begin(), series.end());
+  }
+  // Average consecutive buckets so narrow renders keep the gist.
+  std::vector<double> out(width);
+  for (size_t i = 0; i < width; ++i) {
+    const size_t lo = i * series.size() / width;
+    const size_t hi = std::max(lo + 1, (i + 1) * series.size() / width);
+    double sum = 0.0;
+    for (size_t k = lo; k < hi && k < series.size(); ++k) sum += series[k];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Sparkline(std::span<const double> series, size_t width) {
+  if (series.empty()) return "";
+  const auto points = ResampleForWidth(series, width);
+  const auto [lo_it, hi_it] =
+      std::minmax_element(points.begin(), points.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double span = hi - lo;
+  std::string out;
+  out.reserve(points.size() * 3);
+  for (double x : points) {
+    const int level =
+        span > 0.0
+            ? std::min(7, static_cast<int>((x - lo) / span * 8.0))
+            : 0;
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string SparklineLabeled(std::span<const double> series, size_t width) {
+  if (series.empty()) return "";
+  const auto [lo_it, hi_it] =
+      std::minmax_element(series.begin(), series.end());
+  char buf[64];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%8.3f ┤ ", *hi_it);
+  out += buf;
+  out += Sparkline(series, width);
+  out += '\n';
+  std::snprintf(buf, sizeof(buf), "%8.3f ┘", *lo_it);
+  out += buf;
+  return out;
+}
+
+}  // namespace onex

@@ -1,0 +1,28 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Terminal sparklines: render a time series as a row of Unicode block
+// characters so the interactive tools can *show* shapes, not just
+// coordinates — ONEX is an exploration system and the examples should
+// feel like one.
+
+#ifndef ONEX_UTIL_SPARKLINE_H_
+#define ONEX_UTIL_SPARKLINE_H_
+
+#include <span>
+#include <string>
+
+namespace onex {
+
+/// Renders `series` as UTF-8 block characters (▁▂▃▄▅▆▇█), resampled to
+/// `width` columns (0 = one column per point). A constant series
+/// renders at the lowest level; an empty one renders empty.
+std::string Sparkline(std::span<const double> series, size_t width = 0);
+
+/// Two-row variant with min/max labels, e.g.
+///   0.87 ┤ ▂▃▅██▆▃▁
+///   0.12 ┘
+std::string SparklineLabeled(std::span<const double> series,
+                             size_t width = 0);
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_SPARKLINE_H_

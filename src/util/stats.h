@@ -1,0 +1,63 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Streaming statistics accumulators used by the bench harnesses to report
+// averaged timings and accuracies, matching the paper's "averaged over
+// multiple runs" methodology (Sec. 6.2).
+
+#ifndef ONEX_UTIL_STATS_H_
+#define ONEX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace onex {
+
+/// Welford-style running mean / variance plus min and max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples to answer percentile queries; used where the
+/// harnesses report medians or tail behaviour.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_STATS_H_

@@ -1,0 +1,145 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace onex {
+
+void TableWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::Sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string TableWriter::Render() const {
+  // Compute column widths over header and all rows.
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> width(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      out << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < columns; ++c) total += width[c] + 2;
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TableWriter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+namespace {
+
+std::string CsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvRow(const std::vector<std::string>& row) {
+  std::string line;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvField(row[i]);
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string TableWriter::RenderCsv() const {
+  std::string out;
+  if (!header_.empty()) out += CsvRow(header_);
+  for (const auto& row : rows_) out += CsvRow(row);
+  return out;
+}
+
+void SeriesWriter::AddPoint(double x, const std::vector<double>& ys) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", x);
+  AddPoint(std::string(buf), ys);
+}
+
+void SeriesWriter::AddPoint(const std::string& x,
+                            const std::vector<double>& ys) {
+  xs_.push_back(x);
+  rows_.push_back(ys);
+}
+
+std::string SeriesWriter::Render() const {
+  TableWriter table(title_);
+  std::vector<std::string> header;
+  header.push_back(x_label_);
+  for (const auto& name : names_) header.push_back(name);
+  table.SetHeader(std::move(header));
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(xs_[i]);
+    for (double y : rows_[i]) row.push_back(TableWriter::Num(y, 6));
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+std::string SeriesWriter::RenderCsv() const {
+  TableWriter table(title_);
+  std::vector<std::string> header;
+  header.push_back(x_label_);
+  for (const auto& name : names_) header.push_back(name);
+  table.SetHeader(std::move(header));
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(xs_[i]);
+    for (double y : rows_[i]) row.push_back(TableWriter::Num(y, 9));
+    table.AddRow(std::move(row));
+  }
+  return table.RenderCsv();
+}
+
+void SeriesWriter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace onex

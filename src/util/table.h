@@ -1,0 +1,78 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Aligned text tables and CSV-style series output for the bench harnesses.
+// Each harness prints the same rows/series as the paper's table or figure,
+// so results are eyeballable against the original.
+
+#ifndef ONEX_UTIL_TABLE_H_
+#define ONEX_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace onex {
+
+/// Collects rows of string cells and renders them as an aligned table.
+class TableWriter {
+ public:
+  /// `title` is printed above the table, e.g. "Table 3: Accuracy ...".
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; cell counts may differ from the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+
+  /// Scientific notation, e.g. "4.83e9" — used for subsequence counts.
+  static std::string Sci(double value, int precision = 2);
+
+  /// Renders the aligned table to a string.
+  std::string Render() const;
+
+  /// Renders as RFC-4180-ish CSV (header row first, fields quoted when
+  /// they contain commas/quotes). The title is not emitted.
+  std::string RenderCsv() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Figure-style output: one named series of (x, y) points, printed as
+/// aligned columns. Harnesses emit one SeriesWriter per plotted line.
+class SeriesWriter {
+ public:
+  explicit SeriesWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Adds a named series; all series share the same x values.
+  void SetXLabel(std::string label) { x_label_ = std::move(label); }
+  void AddSeries(std::string name) { names_.push_back(std::move(name)); }
+
+  /// Appends one x row with a y value per series (order = AddSeries order).
+  void AddPoint(double x, const std::vector<double>& ys);
+  /// Variant with a string-valued x (e.g. dataset names).
+  void AddPoint(const std::string& x, const std::vector<double>& ys);
+
+  std::string Render() const;
+  /// CSV form: x column then one column per series.
+  std::string RenderCsv() const;
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_ = "x";
+  std::vector<std::string> names_;
+  std::vector<std::string> xs_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_UTIL_TABLE_H_

@@ -1,0 +1,263 @@
+// Tests for the three comparator engines: Standard-DTW (gold standard),
+// PAA/PDTW, and the Trillion (UCR-suite) re-implementation. Trillion is
+// validated against a plain brute-force z-normalized scan — the two must
+// agree exactly on small data, proving the pruning cascade is admissible.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/paa.h"
+#include "baselines/standard_dtw.h"
+#include "baselines/trillion.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "distance/dtw.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+Dataset TestDataset(size_t n_series = 12, size_t length = 40,
+                    uint64_t seed = 42) {
+  GenOptions options;
+  options.num_series = n_series;
+  options.length = length;
+  options.seed = seed;
+  Dataset d = MakeEcg(options);
+  MinMaxNormalize(&d);
+  return d;
+}
+
+// ---------------------------------------------------------- StandardDTW.
+
+TEST(StandardDtwTest, FindsExactCopyWithZeroDistance) {
+  Dataset d = TestDataset();
+  LengthSpec lengths{8, 0, 4};
+  StandardDtwSearch search(&d, lengths);
+  // Promote an actual subsequence to query (paper methodology part 1).
+  const auto query_view = d[3].Subsequence(5, 16);
+  std::vector<double> query(query_view.begin(), query_view.end());
+  const SearchResult result = search.FindBestMatch(S(query));
+  ASSERT_TRUE(result.found());
+  EXPECT_NEAR(result.distance, 0.0, 1e-12);
+}
+
+TEST(StandardDtwTest, ExactLengthRestrictsCandidates) {
+  Dataset d = TestDataset();
+  LengthSpec lengths{8, 0, 4};
+  StandardDtwSearch search(&d, lengths);
+  const auto query_view = d[2].Subsequence(0, 12);
+  std::vector<double> query(query_view.begin(), query_view.end());
+  const SearchResult result = search.FindBestMatchOfLength(S(query), 12);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.match.length, 12u);
+  EXPECT_NEAR(result.distance, 0.0, 1e-12);
+  // Candidate count: N * (n - len + 1) = 12 * 29.
+  EXPECT_EQ(result.candidates_examined, 12u * 29u);
+}
+
+TEST(StandardDtwTest, AnyLengthIsAtLeastAsGoodAsEveryExactLength) {
+  Dataset d = TestDataset(8, 32, 7);
+  LengthSpec lengths{8, 0, 8};  // Lengths 8, 16, 24, 32.
+  StandardDtwSearch search(&d, lengths);
+  Rng rng(1);
+  std::vector<double> query(20);
+  for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+  const SearchResult any = search.FindBestMatch(S(query));
+  ASSERT_TRUE(any.found());
+  for (size_t len : {8u, 16u, 24u, 32u}) {
+    const SearchResult exact = search.FindBestMatchOfLength(S(query), len);
+    EXPECT_LE(any.distance, exact.distance + 1e-12) << "len " << len;
+  }
+}
+
+TEST(StandardDtwTest, ReturnsNormalizedDtw) {
+  Dataset d("two");
+  d.Add(TimeSeries({0.0, 0.0, 0.0, 0.0}, 1));
+  LengthSpec lengths{4, 4, 1};
+  StandardDtwSearch search(&d, lengths);
+  std::vector<double> query = {1.0, 1.0, 1.0, 1.0};
+  const SearchResult result = search.FindBestMatch(S(query));
+  // Raw DTW = sqrt(4) = 2 on the diagonal; normalized = 2 / (2*4) = 0.25.
+  EXPECT_NEAR(result.distance, 0.25, 1e-12);
+}
+
+// ------------------------------------------------------------------ PAA.
+
+TEST(PaaTest, ReduceAverages) {
+  std::vector<double> v = {1.0, 3.0, 5.0, 7.0, 9.0, 11.0};
+  const auto reduced = PaaReduce(S(v), 2);
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_DOUBLE_EQ(reduced[0], 2.0);
+  EXPECT_DOUBLE_EQ(reduced[1], 6.0);
+  EXPECT_DOUBLE_EQ(reduced[2], 10.0);
+}
+
+TEST(PaaTest, ReduceRaggedTail) {
+  std::vector<double> v = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const auto reduced = PaaReduce(S(v), 2);
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_DOUBLE_EQ(reduced[2], 10.0);  // Lone tail frame.
+}
+
+TEST(PaaTest, FrameOneIsIdentity) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto reduced = PaaReduce(S(v), 1);
+  EXPECT_EQ(reduced, v);
+}
+
+TEST(PaaTest, FrameLargerThanInputGivesSinglePoint) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto reduced = PaaReduce(S(v), 10);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_DOUBLE_EQ(reduced[0], 2.0);
+}
+
+TEST(PaaTest, PdtwIsDtwOnReductions) {
+  Rng rng(3);
+  std::vector<double> a(32), b(32);
+  for (auto& x : a) x = rng.UniformDouble(0, 1);
+  for (auto& x : b) x = rng.UniformDouble(0, 1);
+  const auto ra = PaaReduce(S(a), 4);
+  const auto rb = PaaReduce(S(b), 4);
+  EXPECT_NEAR(PdtwDistance(S(a), S(b), 4), DtwDistance(S(ra), S(rb)), 1e-12);
+}
+
+TEST(PaaTest, SearchFindsPlausibleMatch) {
+  Dataset d = TestDataset();
+  LengthSpec lengths{8, 0, 8};
+  PaaSearch search(&d, lengths, 4);
+  const auto query_view = d[5].Subsequence(3, 16);
+  std::vector<double> query(query_view.begin(), query_view.end());
+  const SearchResult result = search.FindBestMatch(S(query));
+  ASSERT_TRUE(result.found());
+  // PAA is approximate, but an exact copy reduces to an exact copy, so
+  // reduced-space distance 0 must be found.
+  EXPECT_NEAR(result.distance, 0.0, 1e-12);
+}
+
+TEST(PaaTest, ExactLengthVariant) {
+  Dataset d = TestDataset(6, 24, 9);
+  LengthSpec lengths{6, 0, 6};
+  PaaSearch search(&d, lengths, 3);
+  Rng rng(5);
+  std::vector<double> query(12);
+  for (auto& x : query) x = rng.UniformDouble(0, 1);
+  const SearchResult result = search.FindBestMatchOfLength(S(query), 12);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.match.length, 12u);
+}
+
+// ------------------------------------------------------------- Trillion.
+
+// Plain brute-force z-normalized same-length scan: the reference that
+// the pruned UCR-suite implementation must match exactly.
+SearchResult BruteForceZNorm(const Dataset& d, std::span<const double> query,
+                             double window_ratio) {
+  SearchResult best;
+  const size_t m = query.size();
+  const auto zq = ZNormalized(query);
+  const DtwOptions options = DtwOptions::FromRatio(window_ratio, m, m);
+  double best_raw = std::numeric_limits<double>::infinity();
+  for (uint32_t p = 0; p < d.size(); ++p) {
+    if (d[p].length() < m) continue;
+    for (uint32_t j = 0; j + m <= d[p].length(); ++j) {
+      const auto zc = ZNormalized(d[p].Subsequence(j, m));
+      const double dist = DtwDistance(S(zq), S(zc), options);
+      if (dist < best_raw) {
+        best_raw = dist;
+        best.match = {p, j, static_cast<uint32_t>(m)};
+      }
+    }
+  }
+  if (best_raw != std::numeric_limits<double>::infinity()) {
+    best.distance = best_raw / (2.0 * static_cast<double>(m));
+  }
+  return best;
+}
+
+TEST(TrillionTest, MatchesBruteForceZNormScan) {
+  Dataset d = TestDataset(10, 36, 17);
+  TrillionSearch trillion(&d, 0.1);
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> query(16);
+    for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+    const SearchResult got = trillion.FindBestMatch(S(query));
+    const SearchResult want = BruteForceZNorm(d, S(query), 0.1);
+    ASSERT_TRUE(got.found());
+    EXPECT_NEAR(got.distance, want.distance, 1e-9) << "trial " << trial;
+    EXPECT_EQ(got.match.series, want.match.series);
+    EXPECT_EQ(got.match.start, want.match.start);
+  }
+}
+
+TEST(TrillionTest, FindsInDatasetQueryNearZero) {
+  Dataset d = TestDataset(8, 48, 29);
+  TrillionSearch trillion(&d, 0.05);
+  const auto query_view = d[4].Subsequence(10, 20);
+  std::vector<double> query(query_view.begin(), query_view.end());
+  const SearchResult result = trillion.FindBestMatch(S(query));
+  ASSERT_TRUE(result.found());
+  EXPECT_NEAR(result.distance, 0.0, 1e-9);
+  EXPECT_EQ(result.match.series, 4u);
+  EXPECT_EQ(result.match.start, 10u);
+}
+
+TEST(TrillionTest, OnlySameLengthMatches) {
+  Dataset d = TestDataset();
+  TrillionSearch trillion(&d);
+  std::vector<double> query(14, 0.5);
+  query[3] = 0.9;
+  query[9] = 0.1;
+  query[11] = 0.8;
+  const SearchResult result = trillion.FindBestMatch(S(query));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.match.length, 14u);
+}
+
+TEST(TrillionTest, PruningCountersAccount) {
+  Dataset d = TestDataset(10, 40, 31);
+  TrillionSearch trillion(&d, 0.05);
+  std::vector<double> query(20);
+  Rng rng(37);
+  for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+  trillion.FindBestMatch(S(query));
+  const TrillionStats& stats = trillion.stats();
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_EQ(stats.candidates,
+            stats.pruned_kim + stats.pruned_keogh_query +
+                stats.pruned_keogh_data + stats.dtw_abandoned +
+                stats.dtw_completed);
+  EXPECT_FALSE(stats.ToString().empty());
+  trillion.ResetStats();
+  EXPECT_EQ(trillion.stats().candidates, 0u);
+}
+
+TEST(TrillionTest, TooShortQueryNotFound) {
+  Dataset d = TestDataset();
+  TrillionSearch trillion(&d);
+  std::vector<double> query = {0.1, 0.9};
+  EXPECT_FALSE(trillion.FindBestMatch(S(query)).found());
+}
+
+TEST(TrillionTest, SkipsSeriesShorterThanQuery) {
+  Dataset d("mixed");
+  d.Add(TimeSeries({0.1, 0.2, 0.3}, 1));  // Too short.
+  d.Add(TimeSeries({0.5, 0.1, 0.9, 0.2, 0.7, 0.3, 0.8, 0.4}, 1));
+  TrillionSearch trillion(&d, 0.2);
+  std::vector<double> query = {0.5, 0.2, 0.8, 0.1, 0.7};
+  const SearchResult result = trillion.FindBestMatch(S(query));
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.match.series, 1u);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,164 @@
+// Tests for the cascading lower-bound pruner: exactness of survivors,
+// admissibility end-to-end (a cascade scan finds the same best as a
+// brute-force scan), and counter accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "distance/cascade.h"
+#include "distance/dtw.h"
+#include "distance/envelope.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->UniformDouble(0.0, 1.0);
+  return v;
+}
+
+TEST(CascadeTest, ExactWhenNotPruned) {
+  Rng rng(1);
+  const auto q = RandomVector(32, &rng);
+  const auto c = RandomVector(32, &rng);
+  DtwOptions dtw_options{4};
+  CascadePruner pruner(dtw_options);
+  const Envelope env = ComputeEnvelope(S(c), 4);
+  const double d = pruner.Distance(S(q), S(c), &env,
+                                   std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(d, DtwDistance(S(q), S(c), dtw_options), 1e-9);
+  EXPECT_EQ(pruner.stats().candidates, 1u);
+  EXPECT_EQ(pruner.stats().dtw_completed, 1u);
+}
+
+TEST(CascadeTest, PrunesObviouslyFarCandidate) {
+  Rng rng(2);
+  const auto q = RandomVector(32, &rng);
+  auto c = RandomVector(32, &rng);
+  for (auto& x : c) x += 100.0;
+  CascadePruner pruner(DtwOptions{4});
+  const Envelope env = ComputeEnvelope(S(c), 4);
+  const double d = pruner.Distance(S(q), S(c), &env, 0.5);
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_EQ(pruner.stats().dtw_completed, 0u);
+  EXPECT_EQ(pruner.stats().pruned_kim, 1u);
+}
+
+// The make-or-break property: scanning with the cascade yields the same
+// minimum as scanning with plain DTW, for any candidate pool.
+TEST(CascadeTest, ScanFindsSameBestAsBruteForce) {
+  Rng rng(3);
+  const size_t kCandidates = 200, kLen = 48;
+  const size_t window = 5;
+  DtwOptions dtw_options{static_cast<int>(window)};
+
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto q = RandomVector(kLen, &rng);
+    std::vector<std::vector<double>> pool;
+    std::vector<Envelope> envelopes;
+    for (size_t i = 0; i < kCandidates; ++i) {
+      pool.push_back(RandomVector(kLen, &rng));
+      envelopes.push_back(ComputeEnvelope(S(pool.back()), window));
+    }
+
+    // Brute force.
+    double best_plain = std::numeric_limits<double>::infinity();
+    size_t best_plain_idx = 0;
+    for (size_t i = 0; i < kCandidates; ++i) {
+      const double d = DtwDistance(S(q), S(pool[i]), dtw_options);
+      if (d < best_plain) {
+        best_plain = d;
+        best_plain_idx = i;
+      }
+    }
+
+    // Cascade scan with a shrinking best-so-far.
+    CascadePruner pruner(dtw_options);
+    double best_cascade = std::numeric_limits<double>::infinity();
+    size_t best_cascade_idx = 0;
+    for (size_t i = 0; i < kCandidates; ++i) {
+      const double d =
+          pruner.Distance(S(q), S(pool[i]), &envelopes[i], best_cascade);
+      if (d < best_cascade) {
+        best_cascade = d;
+        best_cascade_idx = i;
+      }
+    }
+
+    EXPECT_NEAR(best_cascade, best_plain, 1e-9);
+    EXPECT_EQ(best_cascade_idx, best_plain_idx);
+    // And the cascade must actually have pruned something on random data.
+    const CascadeStats& stats = pruner.stats();
+    EXPECT_EQ(stats.candidates, kCandidates);
+    EXPECT_GT(stats.pruned_kim + stats.pruned_keogh + stats.dtw_abandoned,
+              0u);
+  }
+}
+
+TEST(CascadeTest, StageTogglesDisableStages) {
+  Rng rng(4);
+  const auto q = RandomVector(32, &rng);
+  auto far = RandomVector(32, &rng);
+  for (auto& x : far) x += 100.0;
+  const Envelope env = ComputeEnvelope(S(far), 4);
+
+  CascadeOptions no_kim;
+  no_kim.use_kim = false;
+  CascadePruner pruner(DtwOptions{4}, no_kim);
+  pruner.Distance(S(q), S(far), &env, 0.5);
+  EXPECT_EQ(pruner.stats().pruned_kim, 0u);
+  EXPECT_EQ(pruner.stats().pruned_keogh, 1u);
+
+  CascadeOptions nothing;
+  nothing.use_kim = false;
+  nothing.use_keogh = false;
+  nothing.use_early_abandon = false;
+  CascadePruner plain(DtwOptions{4}, nothing);
+  const double d = plain.Distance(S(q), S(far), &env, 0.5);
+  EXPECT_TRUE(std::isfinite(d));  // Full DTW always computed.
+  EXPECT_EQ(plain.stats().dtw_completed, 1u);
+}
+
+TEST(CascadeTest, NullEnvelopeSkipsKeogh) {
+  Rng rng(5);
+  const auto q = RandomVector(16, &rng);
+  const auto c = RandomVector(24, &rng);  // Different length.
+  CascadePruner pruner(DtwOptions{-1});
+  const double d = pruner.Distance(S(q), S(c), nullptr,
+                                   std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_EQ(pruner.stats().pruned_keogh, 0u);
+}
+
+TEST(CascadeTest, StatsAccounting) {
+  Rng rng(6);
+  CascadePruner pruner(DtwOptions{3});
+  const auto q = RandomVector(24, &rng);
+  double bsf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 50; ++i) {
+    const auto c = RandomVector(24, &rng);
+    const Envelope env = ComputeEnvelope(S(c), 3);
+    const double d = pruner.Distance(S(q), S(c), &env, bsf);
+    bsf = std::min(bsf, d);
+  }
+  const CascadeStats& stats = pruner.stats();
+  EXPECT_EQ(stats.candidates, 50u);
+  EXPECT_EQ(stats.candidates,
+            stats.pruned_kim + stats.pruned_keogh + stats.dtw_abandoned +
+                stats.dtw_completed);
+  EXPECT_FALSE(stats.ToString().empty());
+  pruner.ResetStats();
+  EXPECT_EQ(pruner.stats().candidates, 0u);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,115 @@
+// Tests for the 1-NN classifier built on the ONEX base: label recovery
+// on separable synthetic classes, agreement with the brute-force
+// reference, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/onex_base.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+
+namespace onex {
+namespace {
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+Split MakeSplit(size_t train_n, size_t test_n, size_t length) {
+  GenOptions train_gen;
+  train_gen.num_series = train_n;
+  train_gen.length = length;
+  train_gen.seed = 1;
+  GenOptions test_gen = train_gen;
+  test_gen.num_series = test_n;
+  test_gen.seed = 2;
+  Split split{MakeTwoPatterns(train_gen), MakeTwoPatterns(test_gen)};
+  MinMaxNormalize(&split.train);
+  MinMaxNormalize(&split.test);
+  return split;
+}
+
+OnexBase BuildWholeSeriesBase(Dataset train, size_t length) {
+  OnexOptions options;
+  options.st = 0.25;
+  options.lengths = {length, length, 1};
+  auto built = OnexBase::Build(std::move(train), options);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+TEST(ClassifierTest, RecoversSeparableClasses) {
+  Split split = MakeSplit(48, 24, 64);
+  OnexBase base = BuildWholeSeriesBase(std::move(split.train), 64);
+  NearestNeighborClassifier classifier(&base);
+  auto accuracy = classifier.Evaluate(split.test);
+  ASSERT_TRUE(accuracy.ok()) << accuracy.status().ToString();
+  // TwoPatterns classes are separable by shape; 1-NN-DTW should score
+  // far above the 25% random-guess floor.
+  EXPECT_GT(accuracy.value(), 0.6);
+}
+
+TEST(ClassifierTest, BruteForceAtLeastAsAccurate) {
+  Split split = MakeSplit(32, 16, 64);
+  OnexBase base = BuildWholeSeriesBase(std::move(split.train), 64);
+  NearestNeighborClassifier classifier(&base);
+  auto onex_acc = classifier.Evaluate(split.test, false);
+  auto brute_acc = classifier.Evaluate(split.test, true);
+  ASSERT_TRUE(onex_acc.ok());
+  ASSERT_TRUE(brute_acc.ok());
+  // ONEX retrieval is approximate; it may tie but should be close.
+  EXPECT_GE(onex_acc.value(), brute_acc.value() - 0.25);
+}
+
+TEST(ClassifierTest, ProvenanceIsConsistent) {
+  Split split = MakeSplit(24, 4, 64);
+  OnexBase base = BuildWholeSeriesBase(std::move(split.train), 64);
+  NearestNeighborClassifier classifier(&base);
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    auto result = classifier.Classify(split.test[i].View());
+    ASSERT_TRUE(result.ok());
+    const Classification& c = result.value();
+    ASSERT_LT(c.neighbor, base.dataset().size());
+    EXPECT_EQ(c.label, base.dataset()[c.neighbor].label());
+    EXPECT_GE(c.distance, 0.0);
+  }
+}
+
+TEST(ClassifierTest, TrainingSeriesClassifyAsThemselves) {
+  Split split = MakeSplit(24, 1, 64);
+  OnexBase base = BuildWholeSeriesBase(split.train, 64);
+  NearestNeighborClassifier classifier(&base);
+  // A training series queried back is its own nearest neighbor (or an
+  // identical twin with the same label a warped hair away).
+  for (size_t i = 0; i < 5; ++i) {
+    auto result = classifier.Classify(split.train[i].View());
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().distance, 0.02);
+  }
+}
+
+TEST(ClassifierTest, ErrorPaths) {
+  Split split = MakeSplit(12, 2, 64);
+  OnexBase base = BuildWholeSeriesBase(std::move(split.train), 64);
+  NearestNeighborClassifier classifier(&base);
+  std::vector<double> empty;
+  EXPECT_FALSE(classifier
+                   .Classify(std::span<const double>(empty.data(), 0))
+                   .ok());
+  EXPECT_FALSE(classifier.Evaluate(Dataset("empty")).ok());
+}
+
+TEST(ClassifierTest, BruteForceMatchesItselfExactly) {
+  Split split = MakeSplit(16, 1, 64);
+  OnexBase base = BuildWholeSeriesBase(split.train, 64);
+  NearestNeighborClassifier classifier(&base);
+  auto result = classifier.ClassifyBruteForce(split.train[3].View());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().neighbor, 3u);
+  EXPECT_NEAR(result.value().distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,304 @@
+// Tests for the synthetic UCR-substitute generators: cardinality
+// fidelity, determinism, class structure, and the warp/resample helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/generators.h"
+#include "datagen/registry.h"
+#include "datagen/warp.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+// ------------------------------------------------------------- Warp utils.
+
+TEST(ResampleTest, IdentityWhenSameLength) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto out = Resample(std::span<const double>(v.data(), v.size()), 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(ResampleTest, UpsampleInterpolatesLinearly) {
+  std::vector<double> v = {0.0, 1.0};
+  const auto out = Resample(std::span<const double>(v.data(), v.size()), 5);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.5, 1e-12);
+  EXPECT_NEAR(out[4], 1.0, 1e-12);
+}
+
+TEST(ResampleTest, DownsampleKeepsEndpoints) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  const auto out = Resample(std::span<const double>(v.data(), v.size()), 10);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_NEAR(out.front(), 0.0, 1e-12);
+  EXPECT_NEAR(out.back(), 99.0, 1e-12);
+}
+
+TEST(ResampleTest, DegenerateInputs) {
+  std::vector<double> one = {7.0};
+  const auto out = Resample(std::span<const double>(one.data(), 1), 4);
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 7.0);
+  const auto empty = Resample({}, 3);
+  EXPECT_EQ(empty.size(), 3u);
+}
+
+TEST(ApplyRandomWarpTest, ZeroIntensityIsIdentity) {
+  std::vector<double> v = {1.0, 4.0, 2.0, 8.0};
+  Rng rng(1);
+  const auto out =
+      ApplyRandomWarp(std::span<const double>(v.data(), v.size()), 0.0, &rng);
+  ASSERT_EQ(out.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(out[i], v[i]);
+}
+
+TEST(ApplyRandomWarpTest, PreservesEndpointsAndRange) {
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(std::sin(i * 0.2));
+  Rng rng(5);
+  const auto out =
+      ApplyRandomWarp(std::span<const double>(v.data(), v.size()), 0.4, &rng);
+  ASSERT_EQ(out.size(), v.size());
+  EXPECT_NEAR(out.front(), v.front(), 1e-9);
+  EXPECT_NEAR(out.back(), v.back(), 1e-9);
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  for (double x : out) {
+    EXPECT_GE(x, *lo - 1e-9);
+    EXPECT_LE(x, *hi + 1e-9);
+  }
+}
+
+TEST(ApplyRandomWarpTest, ActuallyWarps) {
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(std::sin(i * 0.3));
+  Rng rng(5);
+  const auto out =
+      ApplyRandomWarp(std::span<const double>(v.data(), v.size()), 0.5, &rng);
+  double max_diff = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(out[i] - v[i]));
+  }
+  EXPECT_GT(max_diff, 0.01);
+}
+
+TEST(GaussianBumpTest, PeakAndDecay) {
+  EXPECT_DOUBLE_EQ(GaussianBump(5.0, 5.0, 1.0, 2.0), 2.0);
+  EXPECT_LT(GaussianBump(8.0, 5.0, 1.0, 2.0),
+            GaussianBump(6.0, 5.0, 1.0, 2.0));
+  EXPECT_NEAR(GaussianBump(50.0, 5.0, 1.0, 2.0), 0.0, 1e-12);
+}
+
+TEST(AddGaussianNoiseTest, ZeroSigmaNoChange) {
+  std::vector<double> v = {1.0, 2.0};
+  Rng rng(1);
+  AddGaussianNoise(&v, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+// ------------------------------------------------------------- Generators.
+
+struct GenCase {
+  const char* name;
+  Dataset (*make)(const GenOptions&);
+  size_t default_n;
+  size_t default_len;
+  size_t num_classes;
+};
+
+class GeneratorTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorTest, SmallSampleHasRequestedShape) {
+  const GenCase& c = GetParam();
+  GenOptions options;
+  options.num_series = 50;
+  options.seed = 11;
+  const Dataset d = c.make(options);
+  EXPECT_EQ(d.size(), 50u);
+  EXPECT_TRUE(d.IsFixedLength());
+  EXPECT_EQ(d.MaxLength(), c.default_len);
+  EXPECT_FALSE(d.name().empty());
+}
+
+TEST_P(GeneratorTest, DefaultCardinalityMatchesUcr) {
+  const GenCase& c = GetParam();
+  // Generate only a small number but confirm the *declared* defaults via
+  // the registry (generating 9236x1024 here would be wasteful).
+  GenOptions options;
+  options.num_series = 3;
+  const Dataset d = c.make(options);
+  EXPECT_EQ(d.MaxLength(), c.default_len);
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  const GenCase& c = GetParam();
+  GenOptions options;
+  options.num_series = 10;
+  options.seed = 99;
+  const Dataset a = c.make(options);
+  const Dataset b = c.make(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label(), b[i].label());
+    for (size_t j = 0; j < a[i].length(); ++j) {
+      ASSERT_DOUBLE_EQ(a[i][j], b[i][j]);
+    }
+  }
+}
+
+TEST_P(GeneratorTest, SeedsDiffer) {
+  const GenCase& c = GetParam();
+  GenOptions o1, o2;
+  o1.num_series = o2.num_series = 5;
+  o1.seed = 1;
+  o2.seed = 2;
+  const Dataset a = c.make(o1);
+  const Dataset b = c.make(o2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    for (size_t j = 0; j < a[i].length(); ++j) {
+      if (a[i][j] != b[i][j]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(GeneratorTest, LabelsWithinExpectedClassCount) {
+  const GenCase& c = GetParam();
+  GenOptions options;
+  options.num_series = 200;
+  options.seed = 3;
+  const Dataset d = c.make(options);
+  std::set<int> labels;
+  for (size_t i = 0; i < d.size(); ++i) labels.insert(d[i].label());
+  EXPECT_LE(labels.size(), c.num_classes);
+  EXPECT_GE(labels.size(), 2u);
+  for (int label : labels) {
+    EXPECT_GE(label, 1);
+    EXPECT_LE(label, static_cast<int>(c.num_classes));
+  }
+}
+
+TEST_P(GeneratorTest, ValuesAreFinite) {
+  const GenCase& c = GetParam();
+  GenOptions options;
+  options.num_series = 20;
+  const Dataset d = c.make(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (double x : d[i].values()) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorTest,
+    ::testing::Values(
+        GenCase{"ItalyPower", MakeItalyPower, 1096, 24, 2},
+        GenCase{"ECG", MakeEcg, 884, 136, 2},
+        GenCase{"Face", MakeFace, 2250, 131, 14},
+        GenCase{"Wafer", MakeWafer, 7164, 152, 2},
+        GenCase{"Symbols", MakeSymbols, 1020, 398, 6},
+        GenCase{"TwoPatterns", MakeTwoPatterns, 5000, 128, 4},
+        GenCase{"StarLight", MakeStarLight, 9236, 1024, 3},
+        GenCase{"RandomWalk", MakeRandomWalk, 500, 128, 2}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GeneratorStructureTest, WaferAbnormalRatioNearArchive) {
+  GenOptions options;
+  options.num_series = 3000;
+  options.seed = 5;
+  const Dataset d = MakeWafer(options);
+  size_t abnormal = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d[i].label() == 2) ++abnormal;
+  }
+  const double ratio = static_cast<double>(abnormal) / d.size();
+  EXPECT_NEAR(ratio, 0.106, 0.03);
+}
+
+TEST(GeneratorStructureTest, ItalyPowerClassesAreSeparable) {
+  GenOptions options;
+  options.num_series = 400;
+  options.seed = 6;
+  const Dataset d = MakeItalyPower(options);
+  // Winter (class 1) has an evening peak around hour 19; summer doesn't.
+  double evening1 = 0, evening2 = 0;
+  size_t n1 = 0, n2 = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const double evening = d[i][19];
+    if (d[i].label() == 1) {
+      evening1 += evening;
+      ++n1;
+    } else {
+      evening2 += evening;
+      ++n2;
+    }
+  }
+  ASSERT_GT(n1, 0u);
+  ASSERT_GT(n2, 0u);
+  EXPECT_GT(evening1 / n1, evening2 / n2);
+}
+
+// --------------------------------------------------------------- Registry.
+
+TEST(RegistryTest, EvaluationDatasetsAreThePapersSix) {
+  const auto& names = EvaluationDatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "ItalyPower");
+  EXPECT_EQ(names[5], "TwoPattern");
+}
+
+TEST(RegistryTest, MakeByNameCaseInsensitive) {
+  GenOptions options;
+  options.num_series = 5;
+  auto a = MakeDatasetByName("ecg", options);
+  auto b = MakeDatasetByName("ECG", options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().size(), b.value().size());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto result = MakeDatasetByName("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RegistryTest, ScaledDatasetShrinksN) {
+  auto full = MakeScaledDataset("ItalyPower", 1.0, 1);
+  auto tiny = MakeScaledDataset("ItalyPower", 0.01, 1);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(full.value().size(), 1096u);
+  EXPECT_LT(tiny.value().size(), 20u);
+  EXPECT_GE(tiny.value().size(), 4u);
+  EXPECT_EQ(tiny.value().MaxLength(), 24u);
+}
+
+TEST(RegistryTest, ScaleValidation) {
+  EXPECT_FALSE(MakeScaledDataset("ECG", 0.0).ok());
+  EXPECT_FALSE(MakeScaledDataset("ECG", 1.5).ok());
+  EXPECT_FALSE(MakeScaledDataset("bogus", 0.5).ok());
+}
+
+TEST(RegistryTest, AllNamesInstantiable) {
+  GenOptions options;
+  options.num_series = 4;
+  for (const auto& name : AllDatasetNames()) {
+    auto result = MakeDatasetByName(name, options);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.value().size(), 4u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,141 @@
+// Tests for DTW Barycenter Averaging: convergence, objective descent
+// (DBA must not be worse than its seed under the sum-of-squared-DTW
+// objective), and alignment-awareness (on warped copies of a shape the
+// DBA center beats the point-wise mean).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "datagen/warp.h"
+#include "distance/dba.h"
+#include "distance/dtw.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+std::vector<double> PointwiseMean(
+    const std::vector<std::vector<double>>& members) {
+  std::vector<double> mean(members[0].size(), 0.0);
+  for (const auto& m : members) {
+    for (size_t i = 0; i < mean.size(); ++i) mean[i] += m[i];
+  }
+  for (auto& x : mean) x /= static_cast<double>(members.size());
+  return mean;
+}
+
+std::vector<std::span<const double>> Spans(
+    const std::vector<std::vector<double>>& members) {
+  std::vector<std::span<const double>> spans;
+  spans.reserve(members.size());
+  for (const auto& m : members) spans.push_back(S(m));
+  return spans;
+}
+
+TEST(DbaTest, SingleMemberConvergesToThatMember) {
+  std::vector<std::vector<double>> members = {{0.1, 0.5, 0.9, 0.4}};
+  std::vector<double> seed = {0.0, 0.0, 0.0, 0.0};
+  const auto center = DbaBarycenter(Spans(members), S(seed));
+  ASSERT_EQ(center.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(center[i], members[0][i], 1e-9);
+  }
+}
+
+TEST(DbaTest, IdenticalMembersGiveThatSeries) {
+  std::vector<std::vector<double>> members(5, {0.2, 0.8, 0.5});
+  std::vector<double> seed = {0.5, 0.5, 0.5};
+  const auto center = DbaBarycenter(Spans(members), S(seed));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(center[i], members[0][i], 1e-9);
+  }
+}
+
+TEST(DbaTest, EmptyMembersReturnSeed) {
+  std::vector<double> seed = {1.0, 2.0};
+  const auto center = DbaBarycenter({}, S(seed));
+  EXPECT_EQ(center, seed);
+}
+
+TEST(DbaTest, NeverWorseThanSeedObjective) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<double>> members;
+    for (int m = 0; m < 6; ++m) {
+      std::vector<double> v(24);
+      for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+      members.push_back(std::move(v));
+    }
+    const auto seed = PointwiseMean(members);
+    const auto spans = Spans(members);
+    const auto center = DbaBarycenter(spans, S(seed));
+    EXPECT_LE(SumSquaredDtw(spans, S(center)),
+              SumSquaredDtw(spans, S(seed)) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(DbaTest, BeatsPointwiseMeanOnWarpedCopies) {
+  // Members are time-warped copies of one prototype: the point-wise
+  // mean smears the misaligned shape while the DBA center re-aligns it,
+  // so DBA's DTW objective must be clearly lower.
+  Rng rng(7);
+  std::vector<double> prototype(48);
+  for (size_t i = 0; i < prototype.size(); ++i) {
+    prototype[i] = GaussianBump(static_cast<double>(i), 24.0, 5.0, 1.0);
+  }
+  std::vector<std::vector<double>> members;
+  for (int m = 0; m < 8; ++m) {
+    members.push_back(ApplyRandomWarp(S(prototype), 0.5, &rng));
+  }
+  const auto seed = PointwiseMean(members);
+  const auto spans = Spans(members);
+  DbaOptions options;
+  options.max_iterations = 20;
+  const auto center = DbaBarycenter(spans, S(seed), options);
+  const double obj_mean = SumSquaredDtw(spans, S(seed));
+  const double obj_dba = SumSquaredDtw(spans, S(center));
+  EXPECT_LT(obj_dba, obj_mean * 0.9);
+}
+
+TEST(DbaTest, ConvergesWithinIterationBudget) {
+  // With epsilon convergence the result of 10 iterations must match 50
+  // on easy inputs.
+  Rng rng(11);
+  std::vector<std::vector<double>> members;
+  for (int m = 0; m < 4; ++m) {
+    std::vector<double> v(16);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::sin(0.4 * static_cast<double>(i)) +
+             rng.UniformDouble(-0.05, 0.05);
+    }
+    members.push_back(std::move(v));
+  }
+  const auto seed = PointwiseMean(members);
+  const auto spans = Spans(members);
+  DbaOptions ten;
+  ten.max_iterations = 10;
+  DbaOptions fifty;
+  fifty.max_iterations = 50;
+  const auto a = DbaBarycenter(spans, S(seed), ten);
+  const auto b = DbaBarycenter(spans, S(seed), fifty);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4);
+}
+
+TEST(DbaTest, SupportsUnequalMemberLengths) {
+  std::vector<std::vector<double>> members = {
+      {0.0, 0.5, 1.0}, {0.0, 0.2, 0.6, 1.0}, {0.0, 1.0}};
+  std::vector<double> seed = {0.0, 0.5, 1.0};
+  const auto center = DbaBarycenter(Spans(members), S(seed));
+  ASSERT_EQ(center.size(), 3u);
+  for (double x : center) EXPECT_TRUE(std::isfinite(x));
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,183 @@
+// Tests for the alternative elastic measures from the paper's related
+// work: LCSS (Vlachos et al.) and ERP (Chen & Ng). ERP's distinguishing
+// property — it is a true metric, unlike DTW — is verified by random
+// triangle-inequality trials.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "distance/dtw.h"
+#include "distance/erp.h"
+#include "distance/lcss.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->UniformDouble(0.0, 1.0);
+  return v;
+}
+
+// ------------------------------------------------------------------ LCSS.
+
+TEST(LcssTest, IdenticalSequencesMatchFully) {
+  std::vector<double> a = {0.1, 0.5, 0.9, 0.3};
+  EXPECT_EQ(LcssLength(S(a), S(a)), 4u);
+  EXPECT_DOUBLE_EQ(LcssDistance(S(a), S(a)), 0.0);
+}
+
+TEST(LcssTest, DisjointValueRangesShareNothing) {
+  std::vector<double> a = {0.0, 0.1, 0.05};
+  std::vector<double> b = {0.9, 0.8, 0.95};
+  LcssOptions options;
+  options.epsilon = 0.1;
+  EXPECT_EQ(LcssLength(S(a), S(b), options), 0u);
+  EXPECT_DOUBLE_EQ(LcssDistance(S(a), S(b), options), 1.0);
+}
+
+TEST(LcssTest, KnownSubsequence) {
+  // b contains a exactly, interleaved with far-away values.
+  std::vector<double> a = {0.2, 0.4, 0.6};
+  std::vector<double> b = {0.9, 0.2, 0.9, 0.4, 0.9, 0.6, 0.9};
+  LcssOptions options;
+  options.epsilon = 0.01;
+  EXPECT_EQ(LcssLength(S(a), S(b), options), 3u);
+  EXPECT_DOUBLE_EQ(LcssDistance(S(a), S(b), options), 0.0);
+}
+
+TEST(LcssTest, EpsilonMonotone) {
+  Rng rng(3);
+  const auto a = RandomVector(30, &rng);
+  const auto b = RandomVector(30, &rng);
+  size_t prev = 0;
+  for (double eps : {0.01, 0.05, 0.1, 0.3, 1.0}) {
+    LcssOptions options;
+    options.epsilon = eps;
+    const size_t len = LcssLength(S(a), S(b), options);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+  EXPECT_EQ(prev, 30u);  // Epsilon 1.0 on [0,1] data matches everything.
+}
+
+TEST(LcssTest, DeltaRestrictsWarping) {
+  // Spikes at opposite ends: with delta = 0 only the pointwise-equal
+  // zeros match (6 of them); any slack lets the zeros shift past the
+  // spikes and matches 7.
+  std::vector<double> a = {1, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<double> b = {0, 0, 0, 0, 0, 0, 0, 1};
+  LcssOptions narrow;
+  narrow.epsilon = 0.1;
+  narrow.delta = 0;
+  LcssOptions wide;
+  wide.epsilon = 0.1;
+  wide.delta = 3;
+  EXPECT_EQ(LcssLength(S(a), S(b), narrow), 6u);
+  EXPECT_EQ(LcssLength(S(a), S(b), wide), 7u);
+}
+
+TEST(LcssTest, DistanceBounds) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomVector(16, &rng);
+    const auto b = RandomVector(24, &rng);
+    const double d = LcssDistance(S(a), S(b));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(LcssTest, EmptyInputs) {
+  std::vector<double> empty, one = {0.5};
+  EXPECT_DOUBLE_EQ(LcssDistance(S(empty), S(empty)), 0.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(S(empty), S(one)), 1.0);
+  EXPECT_EQ(LcssLength(S(empty), S(one)), 0u);
+}
+
+TEST(LcssTest, Symmetry) {
+  Rng rng(5);
+  const auto a = RandomVector(20, &rng);
+  const auto b = RandomVector(15, &rng);
+  EXPECT_DOUBLE_EQ(LcssLength(S(a), S(b)), LcssLength(S(b), S(a)));
+}
+
+// ------------------------------------------------------------------- ERP.
+
+TEST(ErpTest, IdenticalIsZero) {
+  Rng rng(6);
+  const auto a = RandomVector(25, &rng);
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(a)), 0.0);
+}
+
+TEST(ErpTest, KnownSmallCase) {
+  // a = (1), b = (1, 2), g = 0: best is match 1-1 (cost 0) plus gap for
+  // 2 (cost |2 - 0| = 2).
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(b)), 2.0);
+}
+
+TEST(ErpTest, AgainstEmptySumsGapPenalties) {
+  std::vector<double> a = {1.0, -2.0, 3.0};
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(empty)), 6.0);
+  ErpOptions g1;
+  g1.gap_value = 1.0;
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(empty), g1), 0.0 + 3.0 + 2.0);
+}
+
+TEST(ErpTest, Symmetry) {
+  Rng rng(7);
+  const auto a = RandomVector(18, &rng);
+  const auto b = RandomVector(27, &rng);
+  EXPECT_NEAR(ErpDistance(S(a), S(b)), ErpDistance(S(b), S(a)), 1e-12);
+}
+
+TEST(ErpTest, TriangleInequalityHolds) {
+  // ERP is a metric (unlike DTW) — verify over many random triples,
+  // including unequal lengths.
+  Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = RandomVector(5 + rng.Uniform(20), &rng);
+    const auto b = RandomVector(5 + rng.Uniform(20), &rng);
+    const auto c = RandomVector(5 + rng.Uniform(20), &rng);
+    const double ab = ErpDistance(S(a), S(b));
+    const double bc = ErpDistance(S(b), S(c));
+    const double ac = ErpDistance(S(a), S(c));
+    EXPECT_LE(ac, ab + bc + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ErpTest, GapValueShiftsPenalties) {
+  std::vector<double> a = {0.5, 0.5, 0.5};
+  std::vector<double> b = {0.5, 0.5};
+  // One element of a must gap. With g = 0.5 the gap is free; with g = 0
+  // it costs 0.5.
+  ErpOptions centered;
+  centered.gap_value = 0.5;
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(b), centered), 0.0);
+  EXPECT_DOUBLE_EQ(ErpDistance(S(a), S(b)), 0.5);
+}
+
+TEST(ErpTest, ComparableToDtwOnAlignedData) {
+  // On well-aligned sequences both elastic measures should be small;
+  // this is a sanity cross-check, not an equivalence claim.
+  std::vector<double> a(32), b(32);
+  for (size_t i = 0; i < 32; ++i) {
+    a[i] = std::sin(0.3 * static_cast<double>(i));
+    b[i] = std::sin(0.3 * static_cast<double>(i) + 0.05);
+  }
+  EXPECT_LT(ErpDistance(S(a), S(b)), 2.0);
+  EXPECT_LT(DtwDistance(S(a), S(b)), 1.0);
+}
+
+}  // namespace
+}  // namespace onex

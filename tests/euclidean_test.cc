@@ -1,0 +1,104 @@
+// Tests for the Euclidean distance kernels (paper Defs. 2 and 5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "distance/euclidean.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->UniformDouble(0.0, 1.0);
+  return v;
+}
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+TEST(EuclideanTest, KnownValue) {
+  std::vector<double> a = {0.0, 0.0}, b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(S(a), S(b)), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(S(a), S(b)), 5.0);
+}
+
+TEST(EuclideanTest, IdentityOfIndiscernibles) {
+  Rng rng(1);
+  const auto a = RandomVector(50, &rng);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(S(a), S(a)), 0.0);
+}
+
+TEST(EuclideanTest, Symmetry) {
+  Rng rng(2);
+  const auto a = RandomVector(33, &rng);
+  const auto b = RandomVector(33, &rng);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(S(a), S(b)),
+                   EuclideanDistance(S(b), S(a)));
+}
+
+TEST(EuclideanTest, TriangleInequality) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomVector(20, &rng);
+    const auto b = RandomVector(20, &rng);
+    const auto c = RandomVector(20, &rng);
+    EXPECT_LE(EuclideanDistance(S(a), S(c)),
+              EuclideanDistance(S(a), S(b)) +
+                  EuclideanDistance(S(b), S(c)) + 1e-12);
+  }
+}
+
+TEST(EuclideanTest, NormalizedDividesBySqrtN) {
+  std::vector<double> a = {0.0, 0.0, 0.0, 0.0};
+  std::vector<double> b = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(S(a), S(b)), 2.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclidean(S(a), S(b)), 1.0);
+}
+
+TEST(EuclideanTest, NormalizedIsScaleInvariantInLength) {
+  // Constant offset d at every point: normalized ED is d for any length.
+  for (size_t n : {4u, 16u, 256u}) {
+    std::vector<double> a(n, 0.2), b(n, 0.7);
+    EXPECT_NEAR(NormalizedEuclidean(S(a), S(b)), 0.5, 1e-12);
+  }
+}
+
+TEST(EuclideanEarlyAbandonTest, ExactWhenUnderThreshold) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = RandomVector(64, &rng);
+    const auto b = RandomVector(64, &rng);
+    const double exact = EuclideanDistance(S(a), S(b));
+    const double ea = EuclideanEarlyAbandon(S(a), S(b), exact + 0.1);
+    EXPECT_NEAR(ea, exact, 1e-12);
+  }
+}
+
+TEST(EuclideanEarlyAbandonTest, InfWhenOverThreshold) {
+  Rng rng(5);
+  const auto a = RandomVector(64, &rng);
+  auto b = RandomVector(64, &rng);
+  for (auto& x : b) x += 10.0;  // Force a large distance.
+  const double d = EuclideanEarlyAbandon(S(a), S(b), 1.0);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(EuclideanEarlyAbandonTest, SquaredVariantThresholdSemantics) {
+  std::vector<double> a = {0.0, 0.0}, b = {1.0, 1.0};  // Squared ED = 2.
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(S(a), S(b), 2.0), 2.0);
+  EXPECT_TRUE(std::isinf(SquaredEuclideanEarlyAbandon(S(a), S(b), 1.9)));
+}
+
+TEST(EuclideanTest, EmptyInputsAreZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(S(empty), S(empty)), 0.0);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,202 @@
+// Tests for Algorithm 1 (similarity-group construction): coverage and
+// exclusivity (every subsequence in exactly one group, Def. 8),
+// radius and compactness behaviour, determinism, and the group-count
+// trend as ST varies (the mechanism behind the paper's Figs. 5-6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "core/group_builder.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "distance/euclidean.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+Dataset TestDataset(size_t n_series = 10, size_t length = 24,
+                    uint64_t seed = 42) {
+  GenOptions options;
+  options.num_series = n_series;
+  options.length = length;
+  options.seed = seed;
+  Dataset d = MakeItalyPower(options);
+  MinMaxNormalize(&d);
+  return d;
+}
+
+uint64_t KeyOf(const SubsequenceRef& ref) {
+  return (static_cast<uint64_t>(ref.series) << 40) |
+         (static_cast<uint64_t>(ref.start) << 16) | ref.length;
+}
+
+TEST(GroupBuilderTest, CoversEverySubsequenceExactlyOnce) {
+  Dataset d = TestDataset();
+  Rng rng(1);
+  const size_t length = 8;
+  const auto groups = BuildGroupsForLength(d, length, 0.2, &rng);
+  std::set<uint64_t> seen;
+  size_t total = 0;
+  for (const auto& group : groups) {
+    EXPECT_EQ(group.length(), length);
+    EXPECT_GT(group.size(), 0u);
+    for (const auto& ref : group.members()) {
+      EXPECT_EQ(ref.length, length);
+      EXPECT_TRUE(seen.insert(KeyOf(ref)).second)
+          << "subsequence appears in two groups";
+      ++total;
+    }
+  }
+  // Exactly N * (n - L + 1) subsequences of this length.
+  EXPECT_EQ(total, d.size() * (d.MaxLength() - length + 1));
+}
+
+TEST(GroupBuilderTest, RepresentativeIsPointwiseAverage) {
+  Dataset d = TestDataset();
+  Rng rng(2);
+  const size_t length = 6;
+  const auto groups = BuildGroupsForLength(d, length, 0.3, &rng);
+  for (const auto& group : groups) {
+    std::vector<double> mean(length, 0.0);
+    for (const auto& ref : group.members()) {
+      const auto values = ref.View(d);
+      for (size_t i = 0; i < length; ++i) mean[i] += values[i];
+    }
+    for (size_t i = 0; i < length; ++i) {
+      mean[i] /= static_cast<double>(group.size());
+      EXPECT_NEAR(group.representative()[i], mean[i], 1e-9);
+    }
+  }
+}
+
+TEST(GroupBuilderTest, MembersCloseToFinalRepresentative) {
+  // Members join within ST/2 of the representative *at join time*; the
+  // running mean then drifts. On smooth data the drift is small: assert
+  // the documented relaxation that members sit within ST of the final
+  // representative (normalized ED), and that the vast majority still sit
+  // within ST/2.
+  Dataset d = TestDataset(15, 24, 7);
+  Rng rng(3);
+  const size_t length = 8;
+  const double st = 0.2;
+  const auto groups = BuildGroupsForLength(d, length, st, &rng);
+  size_t total = 0, within_half = 0;
+  for (const auto& group : groups) {
+    const std::span<const double> rep(group.representative().data(), length);
+    for (const auto& ref : group.members()) {
+      const double ed = NormalizedEuclidean(ref.View(d), rep);
+      EXPECT_LE(ed, st);
+      if (ed <= st / 2.0 + 1e-9) ++within_half;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(within_half) / total, 0.9);
+}
+
+TEST(GroupBuilderTest, PairwiseMembersWithinLemma1Bound) {
+  // Lemma 1: two members of the same group are within ST of each other
+  // (normalized ED), given both are within ST/2 of the representative.
+  // With the running mean, allow the same 2x relaxation as above.
+  Dataset d = TestDataset(10, 24, 11);
+  Rng rng(4);
+  const double st = 0.25;
+  const auto groups = BuildGroupsForLength(d, 10, st, &rng);
+  for (const auto& group : groups) {
+    const auto& members = group.members();
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const double ed =
+            NormalizedEuclidean(members[a].View(d), members[b].View(d));
+        EXPECT_LE(ed, 2.0 * st);
+      }
+    }
+  }
+}
+
+TEST(GroupBuilderTest, DeterministicForSeed) {
+  Dataset d = TestDataset();
+  Rng rng1(5), rng2(5);
+  const auto a = BuildGroupsForLength(d, 8, 0.2, &rng1);
+  const auto b = BuildGroupsForLength(d, 8, 0.2, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i].members()[j], b[i].members()[j]);
+    }
+  }
+}
+
+class GroupCountSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GroupCountSweep, TinyThresholdManyGroupsLargeThresholdFew) {
+  // The paper's Fig. 6 trend: representative count decreases as ST grows.
+  Dataset d = TestDataset(8, 24, 13);
+  const double st = GetParam();
+  Rng rng(6);
+  const auto groups = BuildGroupsForLength(d, 8, st, &rng);
+  Rng rng2(6);
+  const auto groups_bigger = BuildGroupsForLength(d, 8, st * 2.0, &rng2);
+  EXPECT_GE(groups.size(), groups_bigger.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GroupCountSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+TEST(GroupBuilderTest, HugeThresholdYieldsOneGroup) {
+  Dataset d = TestDataset();
+  Rng rng(7);
+  // Data lives in [0,1]: normalized ED can never exceed 1, so ST = 4
+  // (radius 2) swallows everything into the first group.
+  const auto groups = BuildGroupsForLength(d, 8, 4.0, &rng);
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST(GroupBuilderTest, LengthLongerThanSeriesYieldsNothing) {
+  Dataset d = TestDataset(4, 24, 15);
+  Rng rng(8);
+  const auto groups = BuildGroupsForLength(d, 100, 0.2, &rng);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(BuildAllGroupsTest, RespectsLengthSpec) {
+  Dataset d = TestDataset(5, 24, 17);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {6, 18, 6};  // Lengths 6, 12, 18.
+  const auto by_length = BuildAllGroups(d, options);
+  ASSERT_EQ(by_length.size(), 3u);
+  EXPECT_TRUE(by_length.count(6));
+  EXPECT_TRUE(by_length.count(12));
+  EXPECT_TRUE(by_length.count(18));
+  // Each length covers all its subsequences.
+  for (const auto& [len, groups] : by_length) {
+    size_t total = 0;
+    for (const auto& g : groups) total += g.size();
+    EXPECT_EQ(total, d.size() * (24 - len + 1)) << "length " << len;
+  }
+}
+
+TEST(BuildAllGroupsTest, RaggedSeriesContributeWhereLongEnough) {
+  Dataset d("ragged");
+  d.Add(TimeSeries(std::vector<double>(20, 0.5), 1));
+  d.Add(TimeSeries(std::vector<double>(10, 0.5), 1));
+  OnexOptions options;
+  options.lengths = {8, 16, 8};  // Lengths 8, 16.
+  const auto by_length = BuildAllGroups(d, options);
+  ASSERT_TRUE(by_length.count(8));
+  ASSERT_TRUE(by_length.count(16));
+  size_t total8 = 0;
+  for (const auto& g : by_length.at(8)) total8 += g.size();
+  EXPECT_EQ(total8, (20 - 8 + 1) + (10 - 8 + 1));
+  size_t total16 = 0;
+  for (const auto& g : by_length.at(16)) total16 += g.size();
+  EXPECT_EQ(total16, static_cast<size_t>(20 - 16 + 1));  // Only series 0.
+}
+
+}  // namespace
+}  // namespace onex

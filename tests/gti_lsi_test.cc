@@ -1,0 +1,196 @@
+// Tests for the frozen index structures (paper Sec. 4.3): LSI member
+// ordering and lookup, GTI's Dc matrix / sum-sorted array / memory
+// accounting, and the GlobalTimeIndex directory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/group_builder.h"
+#include "core/gti.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "distance/euclidean.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+Dataset TestDataset() {
+  GenOptions options;
+  options.num_series = 10;
+  options.length = 24;
+  options.seed = 42;
+  Dataset d = MakeItalyPower(options);
+  MinMaxNormalize(&d);
+  return d;
+}
+
+GtiEntry BuildEntry(const Dataset& d, size_t length, double st = 0.2) {
+  Rng rng(1);
+  auto groups = BuildGroupsForLength(d, length, st, &rng);
+  return BuildGtiEntry(d, std::move(groups), st, 0.1, true);
+}
+
+TEST(GtiEntryTest, MembersSortedByEdToRep) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  ASSERT_GT(entry.NumGroups(), 0u);
+  for (const auto& group : entry.groups) {
+    for (size_t i = 1; i < group.members.size(); ++i) {
+      EXPECT_LE(group.members[i - 1].ed_to_rep, group.members[i].ed_to_rep);
+    }
+  }
+}
+
+TEST(GtiEntryTest, StoredEdMatchesRecomputation) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  for (const auto& group : entry.groups) {
+    const std::span<const double> rep(group.representative.data(),
+                                      entry.length);
+    for (const auto& member : group.members) {
+      EXPECT_NEAR(member.ed_to_rep,
+                  NormalizedEuclidean(member.ref.View(d), rep), 1e-12);
+    }
+  }
+}
+
+TEST(GtiEntryTest, DcMatrixSymmetricZeroDiagonal) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  const size_t g = entry.NumGroups();
+  for (size_t k = 0; k < g; ++k) {
+    EXPECT_DOUBLE_EQ(entry.Dc(k, k), 0.0);
+    for (size_t l = 0; l < g; ++l) {
+      EXPECT_DOUBLE_EQ(entry.Dc(k, l), entry.Dc(l, k));
+      if (k != l) {
+        // Distinct groups' representatives are separated by construction.
+        EXPECT_GT(entry.Dc(k, l), 0.0);
+      }
+    }
+  }
+}
+
+TEST(GtiEntryTest, DcValuesMatchNormalizedEd) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  const size_t g = entry.NumGroups();
+  for (size_t k = 0; k < g; ++k) {
+    for (size_t l = k + 1; l < g; ++l) {
+      const double expected = NormalizedEuclidean(
+          std::span<const double>(entry.groups[k].representative.data(),
+                                  entry.length),
+          std::span<const double>(entry.groups[l].representative.data(),
+                                  entry.length));
+      EXPECT_NEAR(entry.Dc(k, l), expected, 1e-12);
+    }
+  }
+}
+
+TEST(GtiEntryTest, SumSortedAscendingAndComplete) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  const size_t g = entry.NumGroups();
+  ASSERT_EQ(entry.sum_sorted.size(), g);
+  std::vector<bool> seen(g, false);
+  for (size_t i = 0; i < g; ++i) {
+    const auto [k, sum] = entry.sum_sorted[i];
+    EXPECT_LT(k, g);
+    seen[k] = true;
+    if (i > 0) EXPECT_GE(sum, entry.sum_sorted[i - 1].second);
+    // Sum matches its Dc row.
+    double expected = 0.0;
+    for (size_t l = 0; l < g; ++l) expected += entry.Dc(k, l);
+    EXPECT_NEAR(sum, expected, 1e-9);
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(GtiEntryTest, EnvelopesSizedToLength) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  for (const auto& group : entry.groups) {
+    EXPECT_EQ(group.envelope.size(), entry.length);
+    // Envelope brackets its representative.
+    for (size_t i = 0; i < entry.length; ++i) {
+      EXPECT_LE(group.envelope.lower[i], group.representative[i] + 1e-12);
+      EXPECT_GE(group.envelope.upper[i], group.representative[i] - 1e-12);
+    }
+  }
+}
+
+TEST(GtiEntryTest, MergeThresholdsOrdered) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  EXPECT_GE(entry.st_half, 0.2);  // At least the base ST.
+  EXPECT_GE(entry.st_final, entry.st_half);
+}
+
+TEST(GtiEntryTest, MemoryAccountingPositive) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  EXPECT_GT(entry.GtiMemoryBytes(), 0u);
+  EXPECT_GT(entry.LsiMemoryBytes(), 0u);
+  // LSI must dominate for member-heavy bases (it stores per-sequence
+  // records); sanity-check scale rather than exact numbers.
+  size_t members = 0;
+  for (const auto& g : entry.groups) members += g.size();
+  EXPECT_GE(entry.LsiMemoryBytes(), members * sizeof(LsiMember));
+}
+
+TEST(GtiEntryTest, EmptyGroupsYieldEmptyEntry) {
+  Dataset d = TestDataset();
+  GtiEntry entry = BuildGtiEntry(d, {}, 0.2, 0.1, true);
+  EXPECT_EQ(entry.NumGroups(), 0u);
+  EXPECT_EQ(entry.length, 0u);
+}
+
+// --------------------------------------------------------------- LsiEntry.
+
+TEST(LsiEntryTest, ClosestMemberBinarySearchAgreesWithLinearScan) {
+  Dataset d = TestDataset();
+  const GtiEntry entry = BuildEntry(d, 8);
+  for (const auto& group : entry.groups) {
+    if (group.members.empty()) continue;
+    for (double target : {0.0, 0.01, 0.05, 0.1, 0.5, 2.0}) {
+      const size_t got = group.ClosestMemberTo(target);
+      // Linear reference.
+      size_t want = 0;
+      double best = std::abs(group.members[0].ed_to_rep - target);
+      for (size_t i = 1; i < group.members.size(); ++i) {
+        const double diff = std::abs(group.members[i].ed_to_rep - target);
+        if (diff < best) {
+          best = diff;
+          want = i;
+        }
+      }
+      EXPECT_NEAR(std::abs(group.members[got].ed_to_rep - target), best,
+                  1e-12);
+    }
+  }
+}
+
+TEST(LsiEntryTest, ClosestMemberOnEmptyEntry) {
+  LsiEntry entry;
+  EXPECT_EQ(entry.ClosestMemberTo(0.5), 0u);
+}
+
+// -------------------------------------------------------- GlobalTimeIndex.
+
+TEST(GlobalTimeIndexTest, InsertAndFind) {
+  Dataset d = TestDataset();
+  GlobalTimeIndex gti;
+  gti.Insert(BuildEntry(d, 8));
+  gti.Insert(BuildEntry(d, 12));
+  EXPECT_NE(gti.Find(8), nullptr);
+  EXPECT_NE(gti.Find(12), nullptr);
+  EXPECT_EQ(gti.Find(10), nullptr);
+  const auto lengths = gti.Lengths();
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 8u);
+  EXPECT_EQ(lengths[1], 12u);
+}
+
+}  // namespace
+}  // namespace onex

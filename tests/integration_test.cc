@@ -1,0 +1,175 @@
+// End-to-end integration tests: the full paper pipeline (generate ->
+// min-max normalize -> build ONEX base -> query) compared against all
+// three baselines, exercising every query class on two datasets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/paa.h"
+#include "baselines/standard_dtw.h"
+#include "baselines/trillion.h"
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "core/recommender.h"
+#include "core/threshold_refiner.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "distance/dtw.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+class IntegrationTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    GenOptions gen;
+    gen.num_series = 8;
+    gen.seed = 42;
+    auto made = MakeDatasetByName(GetParam(), gen);
+    ASSERT_TRUE(made.ok());
+    dataset_ = std::move(made).value();
+    // Shorten long datasets for test speed: keep first 40 points.
+    if (dataset_.MaxLength() > 40) {
+      Dataset cut(dataset_.name());
+      for (size_t i = 0; i < dataset_.size(); ++i) {
+        const auto view = dataset_[i].Subsequence(0, 40);
+        cut.Add(TimeSeries(std::vector<double>(view.begin(), view.end()),
+                           dataset_[i].label()));
+      }
+      dataset_ = std::move(cut);
+    }
+    MinMaxNormalize(&dataset_);
+
+    OnexOptions options;
+    options.st = 0.2;
+    options.lengths = {8, 40, 8};
+    auto built = OnexBase::Build(dataset_, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    base_ = std::make_unique<OnexBase>(std::move(built).value());
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<OnexBase> base_;
+};
+
+TEST_P(IntegrationTest, FullPipelineAnswersAllQueryClasses) {
+  QueryProcessor processor(base_.get());
+
+  // Q1 exact, in-dataset query.
+  const auto view = dataset_[2].Subsequence(4, 16);
+  std::vector<double> query(view.begin(), view.end());
+  auto q1 = processor.FindBestMatchOfLength(S(query), 16);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_LE(q1.value().distance, 1e-9);
+
+  // Q1 any, designed (out-of-dataset) query.
+  Rng rng(7);
+  std::vector<double> designed(24);
+  for (size_t i = 0; i < designed.size(); ++i) {
+    designed[i] = 0.5 + 0.3 * std::sin(0.4 * static_cast<double>(i)) +
+                  rng.UniformDouble(-0.05, 0.05);
+  }
+  auto q1_any = processor.FindBestMatch(S(designed));
+  ASSERT_TRUE(q1_any.ok());
+  EXPECT_TRUE(std::isfinite(q1_any.value().distance));
+
+  // Q2 user-driven and data-driven.
+  auto q2 = processor.SeasonalSimilarity(0, 8);
+  ASSERT_TRUE(q2.ok());
+  auto q2_all = processor.SimilarGroupsOfLength(8);
+  ASSERT_TRUE(q2_all.ok());
+  EXPECT_FALSE(q2_all.value().empty());
+
+  // Q3 recommendations.
+  Recommender recommender(base_.get());
+  const auto recs = recommender.AllDegrees();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_LE(recs[0].st_high, recs[1].st_high + 1e-12);
+
+  // Varying-ST refinement.
+  ThresholdRefiner refiner(base_.get());
+  auto refined = refiner.RefineLength(8, 0.35);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LE(refined.value().NumGroups(),
+            base_->EntryFor(8)->NumGroups());
+}
+
+TEST_P(IntegrationTest, OnexNeverBeatsOracleAndStaysClose) {
+  QueryProcessor processor(base_.get());
+  LengthSpec lengths{8, 40, 8};
+  StandardDtwSearch oracle(&dataset_, lengths);
+
+  Rng rng(13);
+  double total_err = 0.0;
+  int queries = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<double> query(16);
+    for (auto& x : query) x = rng.UniformDouble(0.2, 0.8);
+    auto got = processor.FindBestMatch(S(query));
+    const SearchResult want = oracle.FindBestMatch(S(query));
+    ASSERT_TRUE(got.ok());
+    EXPECT_GE(got.value().distance, want.distance - 1e-9);
+    total_err += got.value().distance - want.distance;
+    ++queries;
+  }
+  EXPECT_LE(total_err / queries, 0.05);
+}
+
+TEST_P(IntegrationTest, OnexExaminesFarFewerCandidatesThanBaselines) {
+  QueryProcessor processor(base_.get());
+  LengthSpec lengths{8, 40, 8};
+  StandardDtwSearch standard(&dataset_, lengths);
+
+  const auto view = dataset_[1].Subsequence(2, 16);
+  std::vector<double> query(view.begin(), view.end());
+
+  processor.ResetStats();
+  auto onex_result = processor.FindBestMatch(S(query));
+  ASSERT_TRUE(onex_result.ok());
+  const uint64_t onex_work = processor.stats().reps_compared +
+                             processor.stats().reps_pruned +
+                             processor.stats().members_compared;
+
+  const SearchResult std_result = standard.FindBestMatch(S(query));
+  // The compact R-Space is the paper's speed story: ONEX touches far
+  // fewer sequences than the exhaustive scan.
+  EXPECT_LT(onex_work, std_result.candidates_examined / 2);
+}
+
+TEST_P(IntegrationTest, TrillionAndPaaProduceSameLengthAnswers) {
+  TrillionSearch trillion(&dataset_, 0.05);
+  LengthSpec lengths{8, 40, 8};
+  PaaSearch paa(&dataset_, lengths, 4);
+
+  const auto view = dataset_[3].Subsequence(0, 16);
+  std::vector<double> query(view.begin(), view.end());
+
+  const SearchResult t = trillion.FindBestMatch(S(query));
+  ASSERT_TRUE(t.found());
+  EXPECT_EQ(t.match.length, 16u);
+
+  const SearchResult p = paa.FindBestMatchOfLength(S(query), 16);
+  ASSERT_TRUE(p.found());
+  EXPECT_EQ(p.match.length, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, IntegrationTest,
+                         ::testing::Values("ItalyPower", "ECG", "Wafer"),
+                         [](const ::testing::TestParamInfo<const char*>&
+                                info) { return info.param; });
+
+// Accuracy metric plumbing used by the experiment harnesses: error =
+// d_system - d_oracle in normalized DTW; accuracy = (1 - mean err) * 100.
+TEST(AccuracyMetricTest, PerfectSystemScoresHundred) {
+  const double err = 0.0;
+  EXPECT_DOUBLE_EQ((1.0 - err) * 100.0, 100.0);
+}
+
+}  // namespace
+}  // namespace onex

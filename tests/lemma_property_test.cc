@@ -1,0 +1,170 @@
+// Property tests for the paper's theoretical foundation: Lemma 1 (two
+// sequences within ST/2 of the same representative are within ST of each
+// other, in normalized ED) and Lemma 2 (the ED-DTW triangle inequality:
+// ED(Y, Y') <= ST/2 and DTW(X, Y) <= ST/2 imply DTW(X, Y') <= ST, all
+// normalized). These are the guarantees that let ONEX search the compact
+// R-Space instead of the raw data, so we verify them over thousands of
+// random instances, including unequal query lengths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "distance/dtw.h"
+#include "distance/euclidean.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng, double lo = 0.0,
+                                 double hi = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->UniformDouble(lo, hi);
+  return v;
+}
+
+// Produces Y within normalized ED <= bound of X, by bounded perturbation:
+// every point moves by at most `bound`, so ED/sqrt(n) <= bound.
+std::vector<double> Perturb(const std::vector<double>& x, double bound,
+                            Rng* rng) {
+  std::vector<double> y = x;
+  for (auto& value : y) value += rng->UniformDouble(-bound, bound);
+  return y;
+}
+
+class LemmaSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double, uint64_t>> {
+};
+
+// Lemma 1: ED(X,R) <= ST/2 and ED(Y,R) <= ST/2 => ED(X,Y) <= ST.
+TEST_P(LemmaSweep, Lemma1HoldsForRandomInstances) {
+  const auto [n, st, seed] = GetParam();
+  Rng rng(seed);
+  int verified = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto r = RandomVector(n, &rng);
+    const auto x = Perturb(r, st / 2.0, &rng);
+    const auto y = Perturb(r, st / 2.0, &rng);
+    const double ed_xr = NormalizedEuclidean(S(x), S(r));
+    const double ed_yr = NormalizedEuclidean(S(y), S(r));
+    if (ed_xr > st / 2.0 || ed_yr > st / 2.0) continue;  // Premise filter.
+    ++verified;
+    EXPECT_LE(NormalizedEuclidean(S(x), S(y)), st + 1e-12);
+  }
+  EXPECT_GT(verified, 100);  // The construction satisfies the premises.
+}
+
+// Lemma 2, equal lengths: DTW(X,Y) <= ST/2 and ED(Y,Y') <= ST/2 =>
+// DTW(X,Y') <= ST. Normalized DTW uses the unconstrained distance, the
+// form the lemma is proved for.
+TEST_P(LemmaSweep, Lemma2HoldsForEqualLengths) {
+  const auto [n, st, seed] = GetParam();
+  Rng rng(seed + 1000);
+  int verified = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Y is the "representative", X a sequence warping-similar to it,
+    // Y' a group member ED-close to it.
+    const auto y = RandomVector(n, &rng);
+    const auto x = Perturb(y, st * 0.4, &rng);
+    const auto y_prime = Perturb(y, st / 2.0, &rng);
+    const double dtw_xy = NormalizedDtw(S(x), S(y));
+    const double ed_yy = NormalizedEuclidean(S(y), S(y_prime));
+    if (dtw_xy > st / 2.0 || ed_yy > st / 2.0) continue;
+    ++verified;
+    EXPECT_LE(NormalizedDtw(S(x), S(y_prime)), st + 1e-12)
+        << "n=" << n << " st=" << st << " trial=" << trial;
+  }
+  EXPECT_GT(verified, 50);
+}
+
+// Lemma 2, unequal lengths (the paper's proof sketch case): X of length
+// m <= n, Y and Y' of length n.
+TEST_P(LemmaSweep, Lemma2HoldsForUnequalLengths) {
+  const auto [n, st, seed] = GetParam();
+  if (n < 8) return;
+  Rng rng(seed + 2000);
+  int verified = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto y = RandomVector(n, &rng);
+    const auto y_prime = Perturb(y, st / 2.0, &rng);
+    // X: a shorter, smoothly resampled variant of Y (warping-similar).
+    const size_t m = n / 2 + rng.Uniform(n / 2);
+    std::vector<double> x(m);
+    for (size_t i = 0; i < m; ++i) {
+      const double pos = static_cast<double>(i) * (n - 1) / (m - 1);
+      const size_t lo = static_cast<size_t>(pos);
+      const double frac = pos - lo;
+      const double base =
+          y[lo] * (1 - frac) + y[std::min(lo + 1, n - 1)] * frac;
+      x[i] = base + rng.UniformDouble(-st * 0.2, st * 0.2);
+    }
+    const double dtw_xy = NormalizedDtw(S(x), S(y));
+    const double ed_yy = NormalizedEuclidean(S(y), S(y_prime));
+    if (dtw_xy > st / 2.0 || ed_yy > st / 2.0) continue;
+    ++verified;
+    EXPECT_LE(NormalizedDtw(S(x), S(y_prime)), st + 1e-12);
+  }
+  EXPECT_GT(verified, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, LemmaSweep,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 64),
+                       ::testing::Values(0.1, 0.2, 0.5),
+                       ::testing::Values<uint64_t>(1, 2)));
+
+// Adversarial check of the lemma's slack: the bound ST must not be
+// wildly loose on structured (non-random) inputs either.
+TEST(LemmaTightnessTest, ConclusionCanApproachTheBound) {
+  // X = Y = const 0, Y' = const ST/2 offset: ED(Y,Y') = ST/2 and
+  // DTW(X,Y) = 0; DTW(X,Y') = (ST/2) * sqrt(n) / (2n) — well within ST,
+  // demonstrating (as the paper notes) that the inequality is safe.
+  const size_t n = 16;
+  const double st = 0.2;
+  std::vector<double> x(n, 0.0), y(n, 0.0), y_prime(n, st / 2.0);
+  EXPECT_NEAR(NormalizedEuclidean(S(y), S(y_prime)), st / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalizedDtw(S(x), S(y)), 0.0);
+  EXPECT_LE(NormalizedDtw(S(x), S(y_prime)), st);
+}
+
+// The well-known ED triangle inequality the paper's Lemma 1 mirrors.
+TEST(LemmaTightnessTest, NormalizedEdTriangleInequality) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = RandomVector(20, &rng);
+    const auto b = RandomVector(20, &rng);
+    const auto c = RandomVector(20, &rng);
+    EXPECT_LE(NormalizedEuclidean(S(a), S(c)),
+              NormalizedEuclidean(S(a), S(b)) +
+                  NormalizedEuclidean(S(b), S(c)) + 1e-12);
+  }
+}
+
+// DTW itself violates the triangle inequality — the reason the paper
+// needs Lemma 2 instead of a metric argument. Verify our DTW exhibits
+// the violation on the canonical counterexample.
+TEST(LemmaTightnessTest, DtwTriangleInequalityCanFail) {
+  // b's elasticity lets it match both constant runs cheaply (one bad
+  // point each), but a and c differ at every one of their five points:
+  // DTW(a,b) = DTW(b,c) = 1 while DTW(a,c) = sqrt(5) > 2.
+  std::vector<double> a = {0.0, 0.0, 0.0, 0.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  std::vector<double> c = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const double ab = DtwDistance(S(a), S(b));
+  const double bc = DtwDistance(S(b), S(c));
+  const double ac = DtwDistance(S(a), S(c));
+  EXPECT_DOUBLE_EQ(ab, 1.0);
+  EXPECT_DOUBLE_EQ(bc, 1.0);
+  EXPECT_NEAR(ac, std::sqrt(5.0), 1e-12);
+  EXPECT_GT(ac, ab + bc);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,250 @@
+// Admissibility and tightness tests for the envelope and the LB_Kim /
+// LB_Keogh lower bounds — the machinery behind the paper's Sec. 5.3
+// pruning cascade. The central property: no bound may ever exceed the
+// true (banded) DTW, or pruning would drop true best matches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "distance/dtw.h"
+#include "distance/envelope.h"
+#include "distance/lb_keogh.h"
+#include "distance/lb_kim.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->UniformDouble(0.0, 1.0);
+  return v;
+}
+
+// ---------------------------------------------------------------- Envelope.
+
+TEST(EnvelopeTest, MatchesBruteForceMinMax) {
+  Rng rng(1);
+  const auto v = RandomVector(100, &rng);
+  for (size_t window : {0u, 1u, 5u, 20u, 100u}) {
+    const Envelope env = ComputeEnvelope(S(v), window);
+    ASSERT_EQ(env.size(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      const size_t lo = i >= window ? i - window : 0;
+      const size_t hi = std::min(v.size() - 1, i + window);
+      double mn = v[lo], mx = v[lo];
+      for (size_t k = lo; k <= hi; ++k) {
+        mn = std::min(mn, v[k]);
+        mx = std::max(mx, v[k]);
+      }
+      EXPECT_DOUBLE_EQ(env.lower[i], mn) << "window " << window << " i " << i;
+      EXPECT_DOUBLE_EQ(env.upper[i], mx) << "window " << window << " i " << i;
+    }
+  }
+}
+
+TEST(EnvelopeTest, ContainsTheSeries) {
+  Rng rng(2);
+  const auto v = RandomVector(64, &rng);
+  const Envelope env = ComputeEnvelope(S(v), 7);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(env.lower[i], v[i]);
+    EXPECT_GE(env.upper[i], v[i]);
+  }
+}
+
+TEST(EnvelopeTest, WindowZeroIsTheSeriesItself) {
+  Rng rng(3);
+  const auto v = RandomVector(32, &rng);
+  const Envelope env = ComputeEnvelope(S(v), 0);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], v[i]);
+    EXPECT_DOUBLE_EQ(env.upper[i], v[i]);
+  }
+}
+
+TEST(EnvelopeTest, EmptySeries) {
+  const Envelope env = ComputeEnvelope({}, 5);
+  EXPECT_TRUE(env.empty());
+  EXPECT_EQ(env.MemoryBytes(), 0u);
+}
+
+TEST(EnvelopeTest, WiderWindowWidensEnvelope) {
+  Rng rng(4);
+  const auto v = RandomVector(64, &rng);
+  const Envelope narrow = ComputeEnvelope(S(v), 2);
+  const Envelope wide = ComputeEnvelope(S(v), 10);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(wide.lower[i], narrow.lower[i]);
+    EXPECT_GE(wide.upper[i], narrow.upper[i]);
+  }
+}
+
+// ------------------------------------------------- Admissibility sweeps.
+
+class LowerBoundSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {
+};
+
+TEST_P(LowerBoundSweep, LbKimNeverExceedsDtw) {
+  const auto [n, m, seed] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RandomVector(n, &rng);
+    const auto b = RandomVector(m, &rng);
+    const double dtw = DtwDistance(S(a), S(b));
+    EXPECT_LE(LbKim(S(a), S(b)), dtw + 1e-9);
+  }
+}
+
+TEST_P(LowerBoundSweep, LbKimFlNeverExceedsDtw) {
+  const auto [n, m, seed] = GetParam();
+  if (n < 3 || m < 3) return;
+  Rng rng(seed + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RandomVector(n, &rng);
+    const auto b = RandomVector(m, &rng);
+    const double dtw = DtwDistance(S(a), S(b));
+    EXPECT_LE(LbKimFl(S(a), S(b)), dtw + 1e-9);
+  }
+}
+
+TEST_P(LowerBoundSweep, LbKeoghNeverExceedsBandedDtw) {
+  const auto [n, m, seed] = GetParam();
+  if (n != m) return;  // LB_Keogh requires equal lengths.
+  Rng rng(seed + 200);
+  for (size_t window : {1u, 3u, 8u}) {
+    const auto a = RandomVector(n, &rng);
+    const auto b = RandomVector(n, &rng);
+    const Envelope env_b = ComputeEnvelope(S(b), window);
+    const double lb = LbKeogh(S(a), env_b);
+    DtwOptions options{static_cast<int>(window)};
+    const double dtw = DtwDistance(S(a), S(b), options);
+    EXPECT_LE(lb, dtw + 1e-9) << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LowerBoundSweep,
+    ::testing::Values(std::make_tuple(8, 8, 1), std::make_tuple(32, 32, 2),
+                      std::make_tuple(64, 64, 3), std::make_tuple(16, 24, 4),
+                      std::make_tuple(24, 16, 5), std::make_tuple(4, 4, 6),
+                      std::make_tuple(128, 128, 7),
+                      std::make_tuple(5, 50, 8)));
+
+// ------------------------------------------------------ LB_Keogh details.
+
+TEST(LbKeoghTest, ZeroWhenQueryInsideEnvelope) {
+  Rng rng(10);
+  const auto b = RandomVector(32, &rng);
+  const Envelope env = ComputeEnvelope(S(b), 3);
+  // The candidate itself lies inside its own envelope.
+  EXPECT_DOUBLE_EQ(LbKeogh(S(b), env), 0.0);
+}
+
+TEST(LbKeoghTest, EarlyAbandonMatchesExact) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomVector(48, &rng);
+    const auto b = RandomVector(48, &rng);
+    const Envelope env = ComputeEnvelope(S(b), 4);
+    const double exact = LbKeogh(S(a), env);
+    EXPECT_NEAR(LbKeoghEarlyAbandon(S(a), env, exact + 1e-6), exact, 1e-9);
+    if (exact > 0.01) {
+      EXPECT_TRUE(
+          std::isinf(LbKeoghEarlyAbandon(S(a), env, exact * 0.5)));
+    }
+  }
+}
+
+TEST(LbKeoghTest, ContributionsSumToSquaredBound) {
+  Rng rng(12);
+  const auto a = RandomVector(40, &rng);
+  const auto b = RandomVector(40, &rng);
+  const Envelope env = ComputeEnvelope(S(b), 5);
+  std::vector<double> contributions;
+  const double lb = LbKeoghWithContributions(S(a), env, &contributions);
+  ASSERT_EQ(contributions.size(), a.size());
+  double sum = 0.0;
+  for (double c : contributions) {
+    EXPECT_GE(c, 0.0);
+    sum += c;
+  }
+  EXPECT_NEAR(std::sqrt(sum), lb, 1e-9);
+}
+
+TEST(LbKeoghTest, CumulativeBoundIsReversedPrefixSum) {
+  const std::vector<double> contributions = {1.0, 2.0, 3.0, 4.0};
+  const auto cb = CumulativeBound(S(contributions));
+  ASSERT_EQ(cb.size(), 5u);
+  EXPECT_DOUBLE_EQ(cb[0], 10.0);
+  EXPECT_DOUBLE_EQ(cb[1], 9.0);
+  EXPECT_DOUBLE_EQ(cb[3], 4.0);
+  EXPECT_DOUBLE_EQ(cb[4], 0.0);
+}
+
+TEST(LbKeoghTest, OrderedVariantMatchesUnordered) {
+  Rng rng(13);
+  const auto a = RandomVector(32, &rng);
+  const auto b = RandomVector(32, &rng);
+  const Envelope env = ComputeEnvelope(S(b), 3);
+  std::vector<size_t> order(a.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = order.size() - 1 - i;
+  const double exact = LbKeogh(S(a), env);
+  EXPECT_NEAR(
+      LbKeoghOrdered(S(a), env, std::span<const size_t>(order), exact + 1.0),
+      exact, 1e-9);
+}
+
+// CB-pruned DTW must stay exact when fed admissible bounds.
+TEST(LbKeoghTest, CbPrunedDtwIsExactWithRealContributions) {
+  Rng rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = RandomVector(40, &rng);
+    const auto b = RandomVector(40, &rng);
+    const size_t window = 4;
+    const Envelope env_b = ComputeEnvelope(S(b), window);
+    std::vector<double> contributions;
+    LbKeoghWithContributions(S(a), env_b, &contributions);
+    const auto cb = CumulativeBound(S(contributions));
+    DtwOptions options{static_cast<int>(window)};
+    const double exact = DtwDistance(S(a), S(b), options);
+    const double pruned = DtwEarlyAbandonCb(
+        S(a), S(b), std::span<const double>(cb.data(), cb.size()),
+        exact + 1e-6, options);
+    EXPECT_NEAR(pruned, exact, 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- LB_Kim edge.
+
+TEST(LbKimTest, ExactOnSinglePointSeries) {
+  std::vector<double> a = {3.0}, b = {1.0};
+  // Single elements: DTW = |3-1| = 2 and LB_Kim reaches it.
+  EXPECT_DOUBLE_EQ(LbKim(S(a), S(b)), 2.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(S(a), S(b)), 2.0);
+}
+
+TEST(LbKimTest, UsesMinMaxFeatures) {
+  // Identical endpoints but wildly different ranges: the min/max feature
+  // must kick in.
+  std::vector<double> a = {0.0, 10.0, 0.0};
+  std::vector<double> b = {0.0, 0.1, 0.0};
+  EXPECT_GE(LbKim(S(a), S(b)), 9.9 - 1e-9);
+}
+
+TEST(LbKimTest, ZeroForIdenticalSeries) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(LbKim(S(a), S(a)), 0.0);
+}
+
+}  // namespace
+}  // namespace onex

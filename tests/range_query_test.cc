@@ -1,0 +1,200 @@
+// Tests for the Q1 range form (FindAllWithin): completeness and
+// soundness against a brute-force range scan, the Lemma-2 wholesale
+// admission fast path, and parameter validation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "distance/dtw.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+Dataset TestDataset(uint64_t seed = 42) {
+  GenOptions gen;
+  gen.num_series = 10;
+  gen.length = 24;
+  gen.seed = seed;
+  Dataset d = MakeItalyPower(gen);
+  MinMaxNormalize(&d);
+  return d;
+}
+
+OnexBase BuildBase(Dataset d, double st = 0.2) {
+  OnexOptions options;
+  options.st = st;
+  options.lengths = {8, 24, 8};
+  auto built = OnexBase::Build(std::move(d), options);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+uint64_t KeyOf(const SubsequenceRef& ref) {
+  return (static_cast<uint64_t>(ref.series) << 40) |
+         (static_cast<uint64_t>(ref.start) << 16) | ref.length;
+}
+
+// Brute-force range scan over one length in the same metric
+// (unconstrained DTW, as FindAllWithin specifies).
+std::set<uint64_t> BruteRange(const OnexBase& base,
+                              std::span<const double> query, double st,
+                              size_t length) {
+  std::set<uint64_t> hits;
+  const Dataset& d = base.dataset();
+  const double norm =
+      2.0 * static_cast<double>(std::max(query.size(), length));
+  const DtwOptions options{-1};
+  for (uint32_t p = 0; p < d.size(); ++p) {
+    if (d[p].length() < length) continue;
+    for (uint32_t j = 0; j + length <= d[p].length(); ++j) {
+      const double dist =
+          DtwDistance(query, d[p].Subsequence(j, length), options) / norm;
+      if (dist <= st) {
+        hits.insert(KeyOf({p, j, static_cast<uint32_t>(length)}));
+      }
+    }
+  }
+  return hits;
+}
+
+TEST(RangeQueryTest, ExactDistancesMatchBruteForceScan) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> query(16);
+    for (auto& x : query) x = rng.UniformDouble(0.2, 0.8);
+    const double st = 0.05 + 0.03 * trial;
+    auto got = processor.FindAllWithin(S(query), st, 16,
+                                       /*exact_distances=*/true);
+    ASSERT_TRUE(got.ok());
+    const auto want = BruteRange(base, S(query), st, 16);
+    std::set<uint64_t> got_keys;
+    for (const auto& match : got.value()) {
+      EXPECT_LE(match.distance, st + 1e-9);
+      EXPECT_EQ(match.ref.length, 16u);
+      got_keys.insert(KeyOf(match.ref));
+    }
+    EXPECT_EQ(got_keys, want) << "st=" << st;
+  }
+}
+
+TEST(RangeQueryTest, ResultsSortedByDistance) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  const auto view = base.dataset()[0].Subsequence(0, 16);
+  std::vector<double> query(view.begin(), view.end());
+  auto result = processor.FindAllWithin(S(query), 0.15, 16, true);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result.value().size(); ++i) {
+    EXPECT_GE(result.value()[i].distance,
+              result.value()[i - 1].distance);
+  }
+}
+
+TEST(RangeQueryTest, Lemma2FastPathFiresAndIsSound) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  // Query group representatives directly: any group whose stored ED
+  // radius is within st/2 must be admitted wholesale for its own
+  // representative (DTW(q, rep) = 0 <= st/2).
+  const GtiEntry* entry = base.EntryFor(16);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_GT(entry->NumGroups(), 0u);
+  const double st = base.options().st;
+  processor.ResetStats();
+  uint64_t expected_admissions = 0;
+  for (const auto& group : entry->groups) {
+    const double radius =
+        group.members.empty() ? 0.0 : group.members.back().ed_to_rep;
+    auto result = processor.FindAllWithin(
+        S(group.representative), st, 16, /*exact_distances=*/true);
+    ASSERT_TRUE(result.ok());
+    if (radius <= st / 2.0) expected_admissions += group.members.size();
+    // Soundness: every returned member is genuinely within st.
+    for (const auto& match : result.value()) {
+      EXPECT_LE(match.distance, st + 1e-9);
+    }
+  }
+  // Most groups keep their construction radius, so the fast path must
+  // have fired at least for those.
+  EXPECT_GE(processor.stats().members_admitted_by_lemma2,
+            expected_admissions);
+  EXPECT_GT(processor.stats().members_admitted_by_lemma2, 0u);
+}
+
+TEST(RangeQueryTest, FastPathReportsUpperBoundWithoutExactFlag) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  const GtiEntry* entry = base.EntryFor(8);
+  const double st = base.options().st;
+  // Find a group whose stored radius still satisfies the fast-path
+  // premise (representative drift can push some beyond st/2).
+  const LsiEntry* eligible = nullptr;
+  for (const auto& group : entry->groups) {
+    if (!group.members.empty() &&
+        group.members.back().ed_to_rep <= st / 2.0) {
+      eligible = &group;
+      break;
+    }
+  }
+  if (eligible == nullptr) GTEST_SKIP() << "no fast-path-eligible group";
+  auto result =
+      processor.FindAllWithin(S(eligible->representative), st, 8, false);
+  ASSERT_TRUE(result.ok());
+  // Fast-path members carry distance == st (the Lemma-2 upper bound).
+  bool saw_upper_bound = false;
+  for (const auto& match : result.value()) {
+    EXPECT_LE(match.distance, st + 1e-12);
+    if (match.distance == st) saw_upper_bound = true;
+  }
+  EXPECT_TRUE(saw_upper_bound);
+}
+
+TEST(RangeQueryTest, AllLengthsMode) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  const auto view = base.dataset()[2].Subsequence(0, 16);
+  std::vector<double> query(view.begin(), view.end());
+  auto result = processor.FindAllWithin(S(query), 0.1, 0, true);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> lengths_seen;
+  for (const auto& match : result.value()) {
+    lengths_seen.insert(match.ref.length);
+  }
+  EXPECT_GE(lengths_seen.size(), 2u);  // Cross-length hits exist.
+}
+
+TEST(RangeQueryTest, TinyThresholdFindsAtMostTheQueryItself) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  const auto view = base.dataset()[4].Subsequence(3, 16);
+  std::vector<double> query(view.begin(), view.end());
+  auto result = processor.FindAllWithin(S(query), 1e-6, 16, true);
+  ASSERT_TRUE(result.ok());
+  // The query's own subsequence is a guaranteed hit at distance 0.
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_LE(result.value()[0].distance, 1e-9);
+}
+
+TEST(RangeQueryTest, Validation) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  std::vector<double> query(8, 0.5), empty;
+  EXPECT_FALSE(processor.FindAllWithin(S(empty), 0.1, 8).ok());
+  EXPECT_FALSE(processor.FindAllWithin(S(query), -0.1, 8).ok());
+  EXPECT_FALSE(processor.FindAllWithin(S(query), 0.1, 7).ok());
+}
+
+}  // namespace
+}  // namespace onex

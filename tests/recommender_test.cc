@@ -1,0 +1,87 @@
+// Tests for query class Q3 (paper Sec. 5.1): similarity-threshold
+// recommendations derived from the SP-Space.
+
+#include <gtest/gtest.h>
+
+#include "core/onex_base.h"
+#include "core/recommender.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+
+namespace onex {
+namespace {
+
+OnexBase BuildBase() {
+  GenOptions gen;
+  gen.num_series = 10;
+  gen.length = 24;
+  gen.seed = 42;
+  Dataset d = MakeItalyPower(gen);
+  MinMaxNormalize(&d);
+  OnexOptions options;
+  options.lengths = {8, 16, 8};
+  auto result = OnexBase::Build(std::move(d), options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(RecommenderTest, DegreesFormOrderedIntervals) {
+  OnexBase base = BuildBase();
+  Recommender recommender(&base);
+  const auto all = recommender.AllDegrees();
+  ASSERT_EQ(all.size(), 3u);
+  const auto& strict = all[0];
+  const auto& medium = all[1];
+  const auto& loose = all[2];
+  EXPECT_EQ(strict.degree, SimilarityDegree::kStrict);
+  EXPECT_DOUBLE_EQ(strict.st_low, 0.0);
+  EXPECT_DOUBLE_EQ(strict.st_high, medium.st_low);
+  EXPECT_DOUBLE_EQ(medium.st_high, loose.st_low);
+  EXPECT_GT(loose.st_high, loose.st_low);
+}
+
+TEST(RecommenderTest, LocalRecommendationUsesLengthMarkers) {
+  OnexBase base = BuildBase();
+  Recommender recommender(&base);
+  const auto local = recommender.Recommend(SimilarityDegree::kStrict, 8);
+  const auto sp = base.sp_space().Local(8);
+  EXPECT_DOUBLE_EQ(local.st_high, sp.st_half);
+}
+
+TEST(RecommenderTest, GlobalDominatesLocals) {
+  OnexBase base = BuildBase();
+  Recommender recommender(&base);
+  const auto global = recommender.Recommend(SimilarityDegree::kLoose, 0);
+  for (size_t length : base.gti().Lengths()) {
+    const auto local = recommender.Recommend(SimilarityDegree::kLoose,
+                                             length);
+    EXPECT_GE(global.st_low, local.st_low - 1e-12);
+  }
+}
+
+TEST(RecommenderTest, ClassifyRoundTripsRecommendations) {
+  OnexBase base = BuildBase();
+  Recommender recommender(&base);
+  for (auto degree : {SimilarityDegree::kStrict, SimilarityDegree::kMedium}) {
+    const auto rec = recommender.Recommend(degree, 8);
+    // A threshold strictly inside the recommended interval classifies
+    // back to the same degree.
+    const double mid = (rec.st_low + rec.st_high) / 2.0;
+    if (rec.st_high > rec.st_low) {
+      EXPECT_EQ(recommender.Classify(mid, 8), degree);
+    }
+  }
+}
+
+TEST(RecommenderTest, ToStringMentionsDegreeAndRange) {
+  Recommendation rec;
+  rec.degree = SimilarityDegree::kStrict;
+  rec.st_low = 0.0;
+  rec.st_high = 0.6;
+  const std::string text = rec.ToString();
+  EXPECT_NE(text.find("Strict"), std::string::npos);
+  EXPECT_NE(text.find("0.6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,220 @@
+// Robustness / failure-injection tests: degenerate datasets (constant,
+// single-series, minimum-length), extreme option values, and adversarial
+// queries must never crash and must degrade predictably.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/trillion.h"
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "core/threshold_refiner.h"
+#include "dataset/normalize.h"
+#include "distance/dtw.h"
+#include "util/rng.h"
+#include "util/sparkline.h"
+
+namespace onex {
+namespace {
+
+std::span<const double> S(const std::vector<double>& v) {
+  return std::span<const double>(v.data(), v.size());
+}
+
+TEST(RobustnessTest, ConstantDatasetCollapsesToOneGroupPerLength) {
+  // All-identical, zero-variance data: min-max maps to 0, every
+  // subsequence of a length is identical -> exactly one group.
+  Dataset d("const");
+  for (int i = 0; i < 5; ++i) {
+    d.Add(TimeSeries(std::vector<double>(16, 3.0), 1));
+  }
+  MinMaxNormalize(&d);
+  OnexOptions options;
+  options.lengths = {4, 16, 4};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  for (size_t length : built.value().gti().Lengths()) {
+    EXPECT_EQ(built.value().EntryFor(length)->NumGroups(), 1u)
+        << "length " << length;
+  }
+  // Querying constants returns distance 0.
+  QueryProcessor processor(&built.value());
+  std::vector<double> query(8, 0.0);
+  auto match = processor.FindBestMatch(S(query));
+  ASSERT_TRUE(match.ok());
+  EXPECT_DOUBLE_EQ(match.value().distance, 0.0);
+}
+
+TEST(RobustnessTest, SingleSeriesDataset) {
+  Dataset d("single");
+  Rng rng(1);
+  std::vector<double> values(32);
+  for (auto& x : values) x = rng.UniformDouble(0.0, 1.0);
+  d.Add(TimeSeries(values, 1));
+  OnexOptions options;
+  options.lengths = {8, 32, 8};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  QueryProcessor processor(&built.value());
+  std::vector<double> query(values.begin(), values.begin() + 16);
+  auto match = processor.FindBestMatchOfLength(S(query), 16);
+  ASSERT_TRUE(match.ok());
+  EXPECT_LE(match.value().distance, 1e-9);
+}
+
+TEST(RobustnessTest, MinimumLengthSeries) {
+  // Length-2 series: the smallest the system accepts.
+  Dataset d("tiny");
+  d.Add(TimeSeries({0.0, 1.0}, 1));
+  d.Add(TimeSeries({1.0, 0.0}, 2));
+  OnexOptions options;
+  options.lengths = {2, 2, 1};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  QueryProcessor processor(&built.value());
+  std::vector<double> query = {0.1, 0.9};
+  auto match = processor.FindBestMatchOfLength(S(query), 2);
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(std::isfinite(match.value().distance));
+}
+
+TEST(RobustnessTest, QueryLongerThanEverySeries) {
+  Dataset d("short");
+  Rng rng(2);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> v(16);
+    for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+    d.Add(TimeSeries(v, 1));
+  }
+  OnexOptions options;
+  options.lengths = {4, 16, 4};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  QueryProcessor processor(&built.value());
+  std::vector<double> long_query(64, 0.5);
+  // Cross-length DTW handles the length mismatch; a finite answer must
+  // come back.
+  auto match = processor.FindBestMatch(S(long_query));
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(std::isfinite(match.value().distance));
+}
+
+TEST(RobustnessTest, ExtremeThresholds) {
+  Dataset d("extreme");
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> v(16);
+    for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+    d.Add(TimeSeries(v, 1));
+  }
+  // Microscopic ST: every subsequence becomes its own group.
+  OnexOptions tiny;
+  tiny.st = 1e-9;
+  tiny.lengths = {8, 16, 8};
+  auto tiny_base = OnexBase::Build(d, tiny);
+  ASSERT_TRUE(tiny_base.ok());
+  EXPECT_EQ(tiny_base.value().stats().num_representatives,
+            tiny_base.value().stats().num_subsequences);
+  // Gigantic ST: one group per length.
+  OnexOptions huge;
+  huge.st = 100.0;
+  huge.lengths = {8, 16, 8};
+  auto huge_base = OnexBase::Build(d, huge);
+  ASSERT_TRUE(huge_base.ok());
+  EXPECT_EQ(huge_base.value().stats().num_representatives, 2u);
+}
+
+TEST(RobustnessTest, UnconstrainedWindowOption) {
+  Dataset d("unconstrained");
+  Rng rng(4);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> v(16);
+    for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+    d.Add(TimeSeries(v, 1));
+  }
+  OnexOptions options;
+  options.window_ratio = -1.0;  // No band anywhere.
+  options.lengths = {8, 16, 8};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  QueryProcessor processor(&built.value());
+  std::vector<double> query(12, 0.3);
+  auto match = processor.FindBestMatch(S(query));
+  ASSERT_TRUE(match.ok());
+}
+
+TEST(RobustnessTest, RefinerOnDegenerateBase) {
+  Dataset d("refine-degenerate");
+  d.Add(TimeSeries(std::vector<double>(8, 0.5), 1));
+  OnexOptions options;
+  options.lengths = {4, 8, 4};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  ThresholdRefiner refiner(&built.value());
+  // Single group per length: splits and merges must both be no-ops that
+  // preserve the member count.
+  for (double st_prime : {0.01, 0.2, 0.9}) {
+    auto refined = refiner.RefineLength(4, st_prime);
+    ASSERT_TRUE(refined.ok()) << st_prime;
+    size_t members = 0;
+    for (const auto& g : refined.value().groups) members += g.size();
+    EXPECT_EQ(members, 5u);  // 8 - 4 + 1.
+  }
+}
+
+TEST(RobustnessTest, TrillionOnConstantData) {
+  // Zero-variance windows make z-normalization degenerate; the searcher
+  // must neither crash nor divide by zero.
+  Dataset d("flat");
+  d.Add(TimeSeries(std::vector<double>(32, 1.0), 1));
+  d.Add(TimeSeries(std::vector<double>(32, 1.0), 1));
+  TrillionSearch trillion(&d, 0.1);
+  std::vector<double> query(8, 1.0);
+  const SearchResult result = trillion.FindBestMatch(S(query));
+  EXPECT_TRUE(result.found());
+  EXPECT_TRUE(std::isfinite(result.distance));
+}
+
+TEST(RobustnessTest, SparklineEdgeCases) {
+  std::vector<double> empty;
+  EXPECT_EQ(Sparkline(S(empty)), "");
+  std::vector<double> constant(10, 2.0);
+  const std::string flat = Sparkline(S(constant));
+  EXPECT_FALSE(flat.empty());
+  std::vector<double> ramp = {0.0, 0.5, 1.0};
+  const std::string r = Sparkline(S(ramp));
+  EXPECT_FALSE(r.empty());
+  // Width resampling produces the requested number of glyphs (each
+  // block is 3 UTF-8 bytes).
+  std::vector<double> many(100);
+  for (size_t i = 0; i < many.size(); ++i) {
+    many[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  EXPECT_EQ(Sparkline(S(many), 20).size(), 20u * 3u);
+  EXPECT_NE(SparklineLabeled(S(many), 20).find('\n'), std::string::npos);
+}
+
+TEST(RobustnessTest, AppendToDegenerateBaseThenQuery) {
+  Dataset d("grow");
+  d.Add(TimeSeries(std::vector<double>(16, 0.2), 1));
+  OnexOptions options;
+  options.lengths = {8, 16, 8};
+  auto built = OnexBase::Build(std::move(d), options);
+  ASSERT_TRUE(built.ok());
+  OnexBase base = std::move(built).value();
+  Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> v(16);
+    for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+    ASSERT_TRUE(base.AppendSeries(TimeSeries(v, 2)).ok());
+  }
+  QueryProcessor processor(&base);
+  std::vector<double> query(8, 0.2);
+  auto match = processor.FindBestMatch(S(query));
+  ASSERT_TRUE(match.ok());
+  EXPECT_LE(match.value().distance, 1e-9);
+}
+
+}  // namespace
+}  // namespace onex

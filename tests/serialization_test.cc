@@ -1,0 +1,158 @@
+// Tests for ONEX base persistence: lossless round-trips (including
+// query-identical behaviour after reload), format validation, and
+// corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "core/serialization.h"
+#include "datagen/generators.h"
+#include "dataset/normalize.h"
+#include "util/rng.h"
+
+namespace onex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+OnexBase BuildTestBase() {
+  GenOptions gen;
+  gen.num_series = 10;
+  gen.length = 24;
+  gen.seed = 42;
+  Dataset d = MakeItalyPower(gen);
+  MinMaxNormalize(&d);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {6, 24, 6};
+  auto result = OnexBase::Build(std::move(d), options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(SerializationTest, RoundTripPreservesStructure) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_base_roundtrip.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+
+  auto loaded = LoadBase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const OnexBase& copy = loaded.value();
+
+  EXPECT_EQ(copy.dataset().size(), original.dataset().size());
+  EXPECT_EQ(copy.dataset().name(), original.dataset().name());
+  EXPECT_EQ(copy.gti().Lengths(), original.gti().Lengths());
+  EXPECT_EQ(copy.stats().num_representatives,
+            original.stats().num_representatives);
+  EXPECT_EQ(copy.stats().num_subsequences,
+            original.stats().num_subsequences);
+  EXPECT_DOUBLE_EQ(copy.options().st, original.options().st);
+
+  for (size_t length : original.gti().Lengths()) {
+    const GtiEntry* a = original.EntryFor(length);
+    const GtiEntry* b = copy.EntryFor(length);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(a->NumGroups(), b->NumGroups());
+    EXPECT_DOUBLE_EQ(a->st_half, b->st_half);
+    EXPECT_DOUBLE_EQ(a->st_final, b->st_final);
+    for (size_t k = 0; k < a->NumGroups(); ++k) {
+      EXPECT_EQ(a->groups[k].representative, b->groups[k].representative);
+      ASSERT_EQ(a->groups[k].members.size(), b->groups[k].members.size());
+      for (size_t m = 0; m < a->groups[k].members.size(); ++m) {
+        EXPECT_EQ(a->groups[k].members[m].ref, b->groups[k].members[m].ref);
+        EXPECT_DOUBLE_EQ(a->groups[k].members[m].ed_to_rep,
+                         b->groups[k].members[m].ed_to_rep);
+      }
+      // Envelopes are rebuilt, not stored — they must still match.
+      EXPECT_EQ(a->groups[k].envelope.lower, b->groups[k].envelope.lower);
+      EXPECT_EQ(a->groups[k].envelope.upper, b->groups[k].envelope.upper);
+    }
+    EXPECT_EQ(a->dc, b->dc);
+    EXPECT_EQ(a->sum_sorted, b->sum_sorted);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ReloadedBaseAnswersQueriesIdentically) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_base_query.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  auto loaded = LoadBase(path);
+  ASSERT_TRUE(loaded.ok());
+  OnexBase copy = std::move(loaded).value();
+
+  QueryProcessor p1(&original), p2(&copy);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> query(12);
+    for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
+    const std::span<const double> q(query.data(), query.size());
+    auto r1 = p1.FindBestMatch(q);
+    auto r2 = p2.FindBestMatch(q);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1.value().ref, r2.value().ref);
+    EXPECT_DOUBLE_EQ(r1.value().distance, r2.value().distance);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SpSpaceSurvivesReload) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_base_sp.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  auto loaded = LoadBase(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto a = original.sp_space().Global();
+  const auto b = loaded.value().sp_space().Global();
+  EXPECT_DOUBLE_EQ(a.st_half, b.st_half);
+  EXPECT_DOUBLE_EQ(a.st_final, b.st_final);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  auto result = LoadBase("/nonexistent/dir/base.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+TEST(SerializationTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("onex_bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a base";
+  }
+  auto result = LoadBase(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileIsCorruption) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_trunc.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  // Truncate to 60% of the size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size * 3 / 5);
+  auto result = LoadBase(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveToBadPathIsIOError) {
+  OnexBase base = BuildTestBase();
+  EXPECT_EQ(SaveBase(base, "/nonexistent/dir/base.bin").code(),
+            Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace onex

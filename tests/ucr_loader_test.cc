@@ -1,0 +1,129 @@
+// Tests for the UCR-format reader/writer: parsing, delimiters, error
+// reporting, and file round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "dataset/ucr_loader.h"
+#include "datagen/generators.h"
+
+namespace onex {
+namespace {
+
+TEST(UcrLoaderTest, ParsesCommaSeparated) {
+  auto result = ParseUcrContent("1,0.5,0.6,0.7\n2,1.0,1.1,1.2\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = result.value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].label(), 1);
+  EXPECT_EQ(d[1].label(), 2);
+  EXPECT_EQ(d[0].length(), 3u);
+  EXPECT_DOUBLE_EQ(d[1][2], 1.2);
+}
+
+TEST(UcrLoaderTest, ParsesWhitespaceSeparated) {
+  auto result = ParseUcrContent("  1   0.5\t0.6 \n-1 2.5 3.5\n", "t");
+  ASSERT_TRUE(result.ok());
+  const Dataset& d = result.value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[1].label(), -1);
+  EXPECT_DOUBLE_EQ(d[1][1], 3.5);
+}
+
+TEST(UcrLoaderTest, SkipsBlankLines) {
+  auto result = ParseUcrContent("\n1,2,3\n\n\n2,4,5\n\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(UcrLoaderTest, ScientificNotationValues) {
+  auto result = ParseUcrContent("1,1e-3,2.5E2,-3e1\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value()[0][0], 1e-3);
+  EXPECT_DOUBLE_EQ(result.value()[0][1], 250.0);
+  EXPECT_DOUBLE_EQ(result.value()[0][2], -30.0);
+}
+
+TEST(UcrLoaderTest, RejectsBadValue) {
+  auto result = ParseUcrContent("1,2,zzz\n", "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(result.status().ToString().find("zzz"), std::string::npos);
+}
+
+TEST(UcrLoaderTest, RejectsBadLabel) {
+  auto result = ParseUcrContent("abc,1,2\n", "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(UcrLoaderTest, RejectsNonFiniteValues) {
+  // NaN/Inf would poison every distance computation downstream.
+  EXPECT_FALSE(ParseUcrContent("1,2,nan\n", "t").ok());
+  EXPECT_FALSE(ParseUcrContent("1,inf,3\n", "t").ok());
+  EXPECT_FALSE(ParseUcrContent("1,2,-inf\n", "t").ok());
+}
+
+TEST(UcrLoaderTest, RejectsLabelOnlyLine) {
+  auto result = ParseUcrContent("1\n", "t");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(UcrLoaderTest, RejectsEmptyContent) {
+  auto result = ParseUcrContent("", "t");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(UcrLoaderTest, MissingFileIsIOError) {
+  auto result = LoadUcrFile("/nonexistent/path/data.tsv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+TEST(UcrLoaderTest, FileRoundTripPreservesData) {
+  GenOptions options;
+  options.num_series = 20;
+  options.seed = 77;
+  Dataset original = MakeItalyPower(options);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "onex_roundtrip.csv")
+          .string();
+  ASSERT_TRUE(SaveUcrFile(original, path).ok());
+  auto loaded = LoadUcrFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& copy = loaded.value();
+  ASSERT_EQ(copy.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(copy[i].label(), original[i].label());
+    ASSERT_EQ(copy[i].length(), original[i].length());
+    for (size_t j = 0; j < original[i].length(); ++j) {
+      EXPECT_NEAR(copy[i][j], original[i][j], 1e-7);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UcrLoaderTest, LoadDerivesNameFromPath) {
+  Dataset d("x");
+  d.Add(TimeSeries({1.0, 2.0}, 1));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "MyData.csv").string();
+  ASSERT_TRUE(SaveUcrFile(d, path).ok());
+  auto loaded = LoadUcrFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().name(), "MyData");
+  std::remove(path.c_str());
+}
+
+TEST(UcrLoaderTest, SaveToBadPathIsIOError) {
+  Dataset d("x");
+  d.Add(TimeSeries({1.0}, 1));
+  EXPECT_EQ(SaveUcrFile(d, "/nonexistent/dir/out.csv").code(),
+            Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace onex
