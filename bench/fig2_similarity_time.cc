@@ -7,11 +7,11 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "baselines/paa.h"
 #include "baselines/standard_dtw.h"
 #include "baselines/trillion.h"
 #include "bench/common.h"
-#include "core/query_processor.h"
 #include "datagen/registry.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -34,8 +34,8 @@ int Run(int argc, char** argv) {
   for (const auto& name : EvaluationDatasetNames()) {
     const Dataset dataset = PrepareDataset(name, config);
     const auto queries = MakeQueries(dataset, name, config);
-    OnexBase base = BuildBase(dataset, config);
-    QueryProcessor processor(&base);
+    // ONEX runs behind the Engine facade, as a front end would drive it.
+    const Engine engine = Engine::FromBase(BuildBase(dataset, config));
     TrillionSearch trillion(&dataset, 0.05);
     StandardDtwSearch standard(&dataset, config.lengths,
                                DtwOptions::FromRatio(config.window_ratio,
@@ -50,8 +50,9 @@ int Run(int argc, char** argv) {
     for (const auto& query : queries) {
       const std::span<const double> q(query.values.data(),
                                       query.values.size());
+      const QueryRequest request = BestMatchRequest{query.values, 0};
       onex_t.Add(TimeAverage(config.runs, [&] {
-        (void)processor.FindBestMatch(q);
+        (void)engine.Execute(request);
       }));
       trillion_t.Add(TimeAverage(config.runs, [&] {
         (void)trillion.FindBestMatch(q);

@@ -4,6 +4,10 @@
 // the label of their ONEX best match, and compare accuracy and work
 // against the exhaustive 1-NN-DTW scan.
 //
+// Classification drives the dedicated OnexClassifier; similarity
+// queries from interactive front ends should go through the
+// onex::Engine facade (src/api/engine.h, see quickstart.cpp).
+//
 // Run: ./build/examples/classification
 
 #include <cstdio>

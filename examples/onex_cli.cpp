@@ -1,6 +1,8 @@
 // Interactive ONEX shell — the "truly interactive exploration
-// experience" of the paper's abstract as a command-line tool. Mirrors
-// the paper's query classes:
+// experience" of the paper's abstract as a command-line tool. The whole
+// session drives one onex::Engine (src/api/engine.h): every query
+// command below is a typed QueryRequest answered by Engine::Execute,
+// which also reports per-call work counters and wall-clock latency.
 //
 //   generate <dataset> [n] [len]   synthesize a dataset (ItalyPower, ECG,
 //                                  Face, Wafer, Symbols, TwoPattern,
@@ -9,9 +11,11 @@
 //   build [st]                     build the ONEX base (Algorithm 1)
 //   save <path> | open <path>      persist / reload the base
 //   q1 <len|any> <v1,v2,...>       similarity query (class I)
+//   q1r <st> <len|any> <values>    range query (all within st)
+//   q1k <k> <len|any> <values>     k most similar sequences
 //   q2 <series|all> <len>          seasonal similarity (class II)
 //   q3 [S|M|L] [len]               threshold recommendation (class III)
-//   refine <st'> <len>             vary the similarity threshold (2.C)
+//   refine <st'> <len|all>         vary the similarity threshold (2.C)
 //   append <v1,v2,...>             add a series to the base (maintenance)
 //   stats                          base statistics
 //   quit
@@ -19,6 +23,7 @@
 // Run: ./build/examples/onex_cli   (then type commands; also accepts a
 // script on stdin: echo "generate ECG 20 64\nbuild\nstats" | onex_cli)
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -27,11 +32,7 @@
 #include <string>
 #include <vector>
 
-#include "core/onex_base.h"
-#include "core/query_processor.h"
-#include "core/recommender.h"
-#include "core/serialization.h"
-#include "core/threshold_refiner.h"
+#include "api/engine.h"
 #include "datagen/registry.h"
 #include "dataset/normalize.h"
 #include "dataset/ucr_loader.h"
@@ -60,6 +61,21 @@ std::optional<std::vector<double>> ParseValues(const std::string& csv) {
   }
   if (values.empty()) return std::nullopt;
   return values;
+}
+
+/// "any"/"all" -> 0 (the engine's every-length sentinel); a number ->
+/// itself; anything else -> nullopt so typos don't silently widen a
+/// query to every length.
+std::optional<size_t> ParseLength(const std::string& token) {
+  if (token == "any" || token == "all") return size_t{0};
+  // Digits only: strtoull would silently wrap a leading minus sign.
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const size_t length = std::strtoull(token.c_str(), &end, 10);
+  if (*end != '\0') return std::nullopt;
+  return length;
 }
 
 class Shell {
@@ -98,6 +114,8 @@ class Shell {
       Q1(t);
     } else if (cmd == "q1r") {
       Q1Range(t);
+    } else if (cmd == "q1k") {
+      Q1KSimilar(t);
     } else if (cmd == "show") {
       Show(t);
     } else if (cmd == "q2") {
@@ -123,10 +141,11 @@ class Shell {
         "  save <path> / open <path>     — persist / reload the base\n"
         "  q1 <len|any> <v1,v2,...>      — best-match similarity query\n"
         "  q1r <st> <len|any> <values>   — range query (all within st)\n"
+        "  q1k <k> <len|any> <values>    — k most similar sequences\n"
         "  show <series> [offset len]    — sparkline of a series\n"
         "  q2 <series|all> <len>         — seasonal similarity\n"
         "  q3 [S|M|L] [len]              — threshold recommendations\n"
-        "  refine <st'> <len>            — vary similarity threshold\n"
+        "  refine <st'> <len|all>        — vary similarity threshold\n"
         "  append <v1,v2,...>            — add a series (maintenance)\n"
         "  stats / quit\n");
   }
@@ -147,7 +166,7 @@ class Shell {
     }
     dataset_ = std::move(made).value();
     onex::MinMaxNormalize(&dataset_);
-    base_.reset();
+    engine_.reset();
     std::printf("generated %zu series of length %zu ('%s'), min-max "
                 "normalized\n",
                 dataset_.size(), dataset_.MaxLength(),
@@ -166,7 +185,7 @@ class Shell {
     }
     dataset_ = std::move(loaded).value();
     onex::MinMaxNormalize(&dataset_);
-    base_.reset();
+    engine_.reset();
     std::printf("loaded %zu series (lengths %zu..%zu), min-max "
                 "normalized\n",
                 dataset_.size(), dataset_.MinLength(), dataset_.MaxLength());
@@ -184,19 +203,19 @@ class Shell {
     options.lengths = {std::max<size_t>(2, n / 8), n,
                        std::max<size_t>(1, n / 8)};
     onex::Timer timer;
-    auto built = onex::OnexBase::Build(dataset_, options);
+    auto built = onex::Engine::Build(dataset_, options);
     if (!built.ok()) {
       std::printf("%s\n", built.status().ToString().c_str());
       return;
     }
-    base_ = std::make_unique<onex::OnexBase>(std::move(built).value());
+    engine_ = std::make_unique<onex::Engine>(std::move(built).value());
     std::printf("built in %.3fs: %s\n", timer.ElapsedSeconds(),
-                base_->stats().ToString().c_str());
+                engine_->base_stats().ToString().c_str());
   }
 
   void Save(const std::vector<std::string>& t) {
     if (!Ready() || t.size() < 2) return;
-    const onex::Status s = onex::SaveBase(*base_, t[1]);
+    const onex::Status s = engine_->Save(t[1]);
     std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
   }
 
@@ -205,14 +224,24 @@ class Shell {
       std::printf("usage: open <path>\n");
       return;
     }
-    auto loaded = onex::LoadBase(t[1]);
-    if (!loaded.ok()) {
-      std::printf("%s\n", loaded.status().ToString().c_str());
+    auto opened = onex::Engine::Open(t[1]);
+    if (!opened.ok()) {
+      std::printf("%s\n", opened.status().ToString().c_str());
       return;
     }
-    base_ = std::make_unique<onex::OnexBase>(std::move(loaded).value());
-    dataset_ = base_->dataset();
-    std::printf("opened: %s\n", base_->stats().ToString().c_str());
+    engine_ = std::make_unique<onex::Engine>(std::move(opened).value());
+    dataset_ = engine_->dataset();
+    std::printf("opened: %s\n", engine_->base_stats().ToString().c_str());
+  }
+
+  /// Runs one request and returns the response, printing any error.
+  std::optional<onex::QueryResponse> Execute(const onex::QueryRequest& req) {
+    auto response = engine_->Execute(req);
+    if (!response.ok()) {
+      std::printf("%s\n", response.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return std::move(response).value();
   }
 
   void Q1(const std::vector<std::string>& t) {
@@ -221,26 +250,19 @@ class Shell {
       return;
     }
     const auto values = ParseValues(t[2]);
-    if (!values) {
-      std::printf("bad value list\n");
+    const auto length = ParseLength(t[1]);
+    if (!values || !length) {
+      std::printf(!values ? "bad value list\n" : "bad length\n");
       return;
     }
-    onex::QueryProcessor processor(base_.get());
-    const std::span<const double> q(values->data(), values->size());
-    onex::Timer timer;
-    onex::Result<onex::QueryMatch> result =
-        (t[1] == "any") ? processor.FindBestMatch(q)
-                        : processor.FindBestMatchOfLength(
-                              q, std::strtoull(t[1].c_str(), nullptr, 10));
-    const double ms = timer.ElapsedMillis();
-    if (!result.ok()) {
-      std::printf("%s\n", result.status().ToString().c_str());
-      return;
-    }
+    const auto response =
+        Execute(onex::BestMatchRequest{*values, *length});
+    if (!response) return;
+    const onex::QueryMatch& match = response->matches[0];
     std::printf("best match: series %u offset %u length %u  "
                 "normalized-DTW %.6f  (%.2f ms)\n",
-                result.value().ref.series, result.value().ref.start,
-                result.value().ref.length, result.value().distance, ms);
+                match.ref.series, match.ref.start, match.ref.length,
+                match.distance, response->latency_seconds * 1e3);
   }
 
   void Q1Range(const std::vector<std::string>& t) {
@@ -249,33 +271,50 @@ class Shell {
       return;
     }
     const double st = std::strtod(t[1].c_str(), nullptr);
-    const size_t length =
-        t[2] == "any" ? 0 : std::strtoull(t[2].c_str(), nullptr, 10);
     const auto values = ParseValues(t[3]);
-    if (!values) {
-      std::printf("bad value list\n");
+    const auto length = ParseLength(t[2]);
+    if (!values || !length) {
+      std::printf(!values ? "bad value list\n" : "bad length\n");
       return;
     }
-    onex::QueryProcessor processor(base_.get());
-    auto result = processor.FindAllWithin(
-        std::span<const double>(values->data(), values->size()), st, length,
-        /*exact_distances=*/true);
-    if (!result.ok()) {
-      std::printf("%s\n", result.status().ToString().c_str());
-      return;
-    }
+    const auto response = Execute(onex::RangeWithinRequest{
+        *values, st, *length, /*exact_distances=*/true});
+    if (!response) return;
     std::printf("%zu sequence(s) within %.3f (%llu admitted wholesale via "
                 "Lemma 2):\n",
-                result.value().size(),
-                st,
+                response->matches.size(), st,
                 static_cast<unsigned long long>(
-                    processor.stats().members_admitted_by_lemma2));
+                    response->stats.members_admitted_by_lemma2));
     size_t shown = 0;
-    for (const auto& match : result.value()) {
+    for (const auto& match : response->matches) {
       if (shown++ >= 8) {
         std::printf("  ...\n");
         break;
       }
+      std::printf("  series %u offset %u length %u  distance %.5f\n",
+                  match.ref.series, match.ref.start, match.ref.length,
+                  match.distance);
+    }
+  }
+
+  void Q1KSimilar(const std::vector<std::string>& t) {
+    if (!Ready() || t.size() < 4) {
+      if (t.size() < 4) std::printf("usage: q1k <k> <len|any> <values>\n");
+      return;
+    }
+    const size_t k = std::strtoull(t[1].c_str(), nullptr, 10);
+    const auto values = ParseValues(t[3]);
+    const auto length = ParseLength(t[2]);
+    if (!values || !length) {
+      std::printf(!values ? "bad value list\n" : "bad length\n");
+      return;
+    }
+    const auto response =
+        Execute(onex::KSimilarRequest{*values, k, *length});
+    if (!response) return;
+    std::printf("%zu most similar (%.2f ms):\n", response->matches.size(),
+                response->latency_seconds * 1e3);
+    for (const auto& match : response->matches) {
       std::printf("  series %u offset %u length %u  distance %.5f\n",
                   match.ref.series, match.ref.start, match.ref.length,
                   match.distance);
@@ -310,80 +349,66 @@ class Shell {
       if (t.size() < 3) std::printf("usage: q2 <series|all> <len>\n");
       return;
     }
-    const size_t length = std::strtoull(t[2].c_str(), nullptr, 10);
-    onex::QueryProcessor processor(base_.get());
-    auto print_groups =
-        [](const std::vector<std::vector<onex::SubsequenceRef>>& groups) {
-          std::printf("%zu group(s)\n", groups.size());
-          size_t shown = 0;
-          for (const auto& group : groups) {
-            if (shown++ >= 5) {
-              std::printf("  ...\n");
-              break;
-            }
-            std::printf("  %zu members:", group.size());
-            size_t inner = 0;
-            for (const auto& ref : group) {
-              if (inner++ >= 8) {
-                std::printf(" ...");
-                break;
-              }
-              std::printf(" (s%u,o%u)", ref.series, ref.start);
-            }
-            std::printf("\n");
-          }
-        };
-    if (t[1] == "all") {
-      auto result = processor.SimilarGroupsOfLength(length);
-      if (!result.ok()) {
-        std::printf("%s\n", result.status().ToString().c_str());
-        return;
-      }
-      print_groups(result.value());
-    } else {
-      const uint32_t series =
+    onex::SeasonalRequest request;
+    request.length = std::strtoull(t[2].c_str(), nullptr, 10);
+    if (t[1] != "all") {
+      request.series_id =
           static_cast<uint32_t>(std::strtoul(t[1].c_str(), nullptr, 10));
-      auto result = processor.SeasonalSimilarity(series, length);
-      if (!result.ok()) {
-        std::printf("%s\n", result.status().ToString().c_str());
-        return;
+    }
+    const auto response = Execute(request);
+    if (!response) return;
+    std::printf("%zu group(s)\n", response->groups.size());
+    size_t shown = 0;
+    for (const auto& group : response->groups) {
+      if (shown++ >= 5) {
+        std::printf("  ...\n");
+        break;
       }
-      print_groups(result.value());
+      std::printf("  %zu members:", group.size());
+      size_t inner = 0;
+      for (const auto& ref : group) {
+        if (inner++ >= 8) {
+          std::printf(" ...");
+          break;
+        }
+        std::printf(" (s%u,o%u)", ref.series, ref.start);
+      }
+      std::printf("\n");
     }
   }
 
   void Q3(const std::vector<std::string>& t) {
     if (!Ready()) return;
-    onex::Recommender recommender(base_.get());
-    const size_t length =
-        t.size() > 2 ? std::strtoull(t[2].c_str(), nullptr, 10) : 0;
-    if (t.size() > 1) {
-      const auto rec =
-          recommender.Recommend(onex::ParseDegree(t[1]), length);
+    onex::RecommendRequest request;
+    if (t.size() > 1) request.degree = onex::ParseDegree(t[1]);
+    if (t.size() > 2) {
+      request.length = std::strtoull(t[2].c_str(), nullptr, 10);
+    }
+    const auto response = Execute(request);
+    if (!response) return;
+    for (const auto& rec : response->recommendations) {
       std::printf("%s\n", rec.ToString().c_str());
-    } else {
-      for (const auto& rec : recommender.AllDegrees(length)) {
-        std::printf("%s\n", rec.ToString().c_str());
-      }
     }
   }
 
   void Refine(const std::vector<std::string>& t) {
     if (!Ready() || t.size() < 3) {
-      if (t.size() < 3) std::printf("usage: refine <st'> <len>\n");
+      if (t.size() < 3) std::printf("usage: refine <st'> <len|all>\n");
       return;
     }
     const double st_prime = std::strtod(t[1].c_str(), nullptr);
-    const size_t length = std::strtoull(t[2].c_str(), nullptr, 10);
-    onex::ThresholdRefiner refiner(base_.get());
-    auto refined = refiner.RefineLength(length, st_prime);
-    if (!refined.ok()) {
-      std::printf("%s\n", refined.status().ToString().c_str());
+    const auto length = ParseLength(t[2]);
+    if (!length) {
+      std::printf("bad length\n");
       return;
     }
-    std::printf("length %zu at ST'=%.3f: %zu groups (base had %zu)\n",
-                length, st_prime, refined.value().NumGroups(),
-                base_->EntryFor(length)->NumGroups());
+    const auto response =
+        Execute(onex::RefineThresholdRequest{st_prime, *length});
+    if (!response) return;
+    for (const auto& r : response->refinements) {
+      std::printf("length %zu at ST'=%.3f: %zu groups (base had %zu)\n",
+                  r.length, st_prime, r.groups_after, r.groups_before);
+    }
   }
 
   void Append(const std::vector<std::string>& t) {
@@ -396,27 +421,26 @@ class Shell {
       std::printf("bad value list\n");
       return;
     }
-    const onex::Status s =
-        base_->AppendSeries(onex::TimeSeries(*values, 0));
+    const onex::Status s = engine_->AppendSeries(onex::TimeSeries(*values, 0));
     if (!s.ok()) {
       std::printf("%s\n", s.ToString().c_str());
       return;
     }
     std::printf("appended as series %zu; base now: %s\n",
-                base_->dataset().size() - 1,
-                base_->stats().ToString().c_str());
+                engine_->num_series() - 1,
+                engine_->base_stats().ToString().c_str());
   }
 
   void Stats() {
     if (!Ready()) return;
-    std::printf("%s\n", base_->stats().ToString().c_str());
-    const auto global = base_->sp_space().Global();
+    std::printf("%s\n", engine_->base_stats().ToString().c_str());
+    const auto global = engine_->base().sp_space().Global();
     std::printf("SP-Space global: SThalf=%.4f STfinal=%.4f\n",
                 global.st_half, global.st_final);
   }
 
   bool Ready() {
-    if (base_ == nullptr) {
+    if (engine_ == nullptr) {
       std::printf("no base — 'build' (or 'open') first\n");
       return false;
     }
@@ -424,7 +448,7 @@ class Shell {
   }
 
   onex::Dataset dataset_;
-  std::unique_ptr<onex::OnexBase> base_;
+  std::unique_ptr<onex::Engine> engine_;
 };
 
 }  // namespace

@@ -1,15 +1,17 @@
-// Quickstart: the whole ONEX pipeline in one screen.
+// Quickstart: the whole ONEX pipeline in one screen, driven through the
+// onex::Engine facade (src/api/engine.h) — the typed request/response
+// surface every front end should use.
 //   1. Generate a dataset (stand-in for loading a UCR file).
 //   2. Min-max normalize it (paper Sec. 6.1).
-//   3. Build the ONEX base offline (Algorithm 1 + GTI/LSI indexes).
-//   4. Ask Q1: "what is most similar to this sample sequence?"
+//   3. Engine::Build — the ONEX base offline phase (Algorithm 1).
+//   4. Execute a Q1 BestMatchRequest: "what is most similar to this
+//      sample sequence?"
 //
 // Build and run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/onex_base.h"
-#include "core/query_processor.h"
+#include "api/engine.h"
 #include "datagen/generators.h"
 #include "dataset/normalize.h"
 
@@ -23,37 +25,39 @@ int main() {
   // 2. Normalize to [0, 1] so distances are comparable across series.
   onex::MinMaxNormalize(&dataset);
 
-  // 3. Build the base: similarity threshold 0.2, subsequence lengths
+  // 3. Build the engine: similarity threshold 0.2, subsequence lengths
   //    8, 16, ..., 64.
   onex::OnexOptions options;
   options.st = 0.2;
   options.lengths = {8, 64, 8};
-  auto built = onex::OnexBase::Build(std::move(dataset), options);
+  auto built = onex::Engine::Build(std::move(dataset), options);
   if (!built.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
                  built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
-  std::printf("ONEX base: %s\n", base.stats().ToString().c_str());
+  onex::Engine engine = std::move(built).value();
+  std::printf("ONEX base: %s\n", engine.base_stats().ToString().c_str());
 
   // 4. Query: take a fragment of series 7 as the sample sequence and
-  //    look for its best match anywhere in the dataset, at any length.
-  const auto fragment = base.dataset()[7].Subsequence(10, 24);
-  std::vector<double> query(fragment.begin(), fragment.end());
+  //    look for its best match anywhere in the dataset, at any length
+  //    (length 0 = Match Any).
+  const auto fragment = engine.dataset()[7].Subsequence(10, 24);
+  onex::BestMatchRequest request;
+  request.query.assign(fragment.begin(), fragment.end());
 
-  onex::QueryProcessor processor(&base);
-  auto match = processor.FindBestMatch(
-      std::span<const double>(query.data(), query.size()));
-  if (!match.ok()) {
+  auto response = engine.Execute(request);
+  if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
-                 match.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
+  const onex::QueryMatch& match = response.value().matches[0];
   std::printf("best match: series %u, offset %u, length %u, "
-              "normalized DTW = %.6f\n",
-              match.value().ref.series, match.value().ref.start,
-              match.value().ref.length, match.value().distance);
+              "normalized DTW = %.6f  (%.2f ms, %s)\n",
+              match.ref.series, match.ref.start, match.ref.length,
+              match.distance, response.value().latency_seconds * 1e3,
+              response.value().stats.ToString().c_str());
   std::printf("(the query came from series 7 offset 10 — ONEX found it "
               "or an equally close twin)\n");
   return 0;

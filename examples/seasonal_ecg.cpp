@@ -5,6 +5,10 @@
 //   data-driven  — "across all recordings, which fragments of length L
 //                   are similar to each other?"
 //
+// This example wires QueryProcessor by hand to show the low-level API;
+// interactive front ends should send a SeasonalRequest through the
+// onex::Engine facade instead (src/api/engine.h, see quickstart.cpp).
+//
 // Run: ./build/examples/seasonal_ecg
 
 #include <cstdio>

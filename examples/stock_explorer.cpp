@@ -3,6 +3,10 @@
 // does NOT exist in the data) and retrieves the closest match of any
 // length, plus the k most similar alternatives.
 //
+// This example wires QueryProcessor by hand to show the low-level API;
+// interactive front ends should send BestMatch/KSimilar requests
+// through the onex::Engine facade instead (src/api/engine.h).
+//
 // Run: ./build/examples/stock_explorer [--stocks N] [--days N]
 
 #include <cmath>

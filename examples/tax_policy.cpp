@@ -8,6 +8,10 @@
 // regime (boom / bust / recovery cycles) varies in timing — exactly the
 // misalignment DTW absorbs and ED cannot.
 //
+// This example wires QueryProcessor by hand to show the low-level API;
+// interactive front ends should drive the onex::Engine facade instead
+// (src/api/engine.h, see quickstart.cpp and onex_cli.cpp).
+//
 // Run: ./build/examples/tax_policy
 
 #include <cmath>

@@ -3,6 +3,11 @@
 // for this dataset in concrete ST numbers, then explore a different
 // threshold WITHOUT rebuilding the base via the split/merge refiner.
 //
+// This example wires Recommender/ThresholdRefiner by hand to show the
+// low-level API; interactive front ends should send Recommend and
+// RefineThreshold requests through the onex::Engine facade instead
+// (src/api/engine.h, see onex_cli.cpp).
+//
 // Run: ./build/examples/threshold_tuning
 
 #include <cstdio>

@@ -1,0 +1,206 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/timer.h"
+
+namespace onex {
+
+QueryKind KindOf(const QueryRequest& request) {
+  return static_cast<QueryKind>(request.index());
+}
+
+const char* ToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBestMatch:       return "BestMatch";
+    case QueryKind::kKSimilar:        return "KSimilar";
+    case QueryKind::kRangeWithin:     return "RangeWithin";
+    case QueryKind::kSeasonal:        return "Seasonal";
+    case QueryKind::kRecommend:       return "Recommend";
+    case QueryKind::kRefineThreshold: return "RefineThreshold";
+  }
+  return "Unknown";
+}
+
+Engine::Engine(OnexBase base, QueryOptions query_options)
+    : base_(std::make_unique<OnexBase>(std::move(base))),
+      query_options_(query_options),
+      rw_mutex_(std::make_unique<std::shared_mutex>()),
+      lazy_(std::make_unique<LazyComponents>()) {}
+
+Result<Engine> Engine::Build(Dataset dataset, const OnexOptions& options,
+                             QueryOptions query_options) {
+  auto built = OnexBase::Build(std::move(dataset), options);
+  if (!built.ok()) return built.status();
+  return Engine(std::move(built).value(), query_options);
+}
+
+Engine Engine::FromBase(OnexBase base, QueryOptions query_options) {
+  return Engine(std::move(base), query_options);
+}
+
+Result<Engine> Engine::Open(const std::string& path,
+                            QueryOptions query_options) {
+  auto loaded = LoadBase(path);
+  if (!loaded.ok()) return loaded.status();
+  return Engine(std::move(loaded).value(), query_options);
+}
+
+Status Engine::Save(const std::string& path) const {
+  std::shared_lock lock(*rw_mutex_);
+  return SaveBase(*base_, path);
+}
+
+const QueryProcessor& Engine::processor() const {
+  std::call_once(lazy_->processor_once, [this] {
+    lazy_->processor =
+        std::make_unique<QueryProcessor>(base_.get(), query_options_);
+  });
+  return *lazy_->processor;
+}
+
+const Recommender& Engine::recommender() const {
+  std::call_once(lazy_->recommender_once, [this] {
+    lazy_->recommender = std::make_unique<Recommender>(base_.get());
+  });
+  return *lazy_->recommender;
+}
+
+const ThresholdRefiner& Engine::refiner() const {
+  std::call_once(lazy_->refiner_once, [this] {
+    lazy_->refiner = std::make_unique<ThresholdRefiner>(base_.get());
+  });
+  return *lazy_->refiner;
+}
+
+namespace {
+
+inline std::span<const double> AsSpan(const std::vector<double>& values) {
+  return std::span<const double>(values.data(), values.size());
+}
+
+}  // namespace
+
+Result<QueryResponse> Engine::ExecuteLocked(
+    const QueryRequest& request) const {
+  QueryResponse response;
+  response.kind = KindOf(request);
+  Timer timer;
+  Status error = Status::OK();
+
+  std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, BestMatchRequest>) {
+          auto result =
+              req.length == 0
+                  ? processor().FindBestMatch(AsSpan(req.query),
+                                              &response.stats)
+                  : processor().FindBestMatchOfLength(
+                        AsSpan(req.query), req.length, &response.stats);
+          if (result.ok()) {
+            response.matches.push_back(result.value());
+          } else {
+            error = result.status();
+          }
+        } else if constexpr (std::is_same_v<T, KSimilarRequest>) {
+          auto result = processor().FindKSimilar(AsSpan(req.query), req.k,
+                                                 req.length, &response.stats);
+          if (result.ok()) {
+            response.matches = std::move(result).value();
+          } else {
+            error = result.status();
+          }
+        } else if constexpr (std::is_same_v<T, RangeWithinRequest>) {
+          auto result =
+              processor().FindAllWithin(AsSpan(req.query), req.st, req.length,
+                                        req.exact_distances, &response.stats);
+          if (result.ok()) {
+            response.matches = std::move(result).value();
+          } else {
+            error = result.status();
+          }
+        } else if constexpr (std::is_same_v<T, SeasonalRequest>) {
+          auto result =
+              req.series_id.has_value()
+                  ? processor().SeasonalSimilarity(*req.series_id, req.length)
+                  : processor().SimilarGroupsOfLength(req.length);
+          if (result.ok()) {
+            response.groups = std::move(result).value();
+          } else {
+            error = result.status();
+          }
+        } else if constexpr (std::is_same_v<T, RecommendRequest>) {
+          if (req.degree.has_value()) {
+            response.recommendations.push_back(
+                recommender().Recommend(*req.degree, req.length));
+          } else {
+            response.recommendations = recommender().AllDegrees(req.length);
+          }
+        } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
+          auto summarize = [&](size_t length, const GtiEntry& refined) {
+            const GtiEntry* before = base_->EntryFor(length);
+            response.refinements.push_back(RefineSummary{
+                length, before != nullptr ? before->NumGroups() : 0,
+                refined.NumGroups()});
+          };
+          if (req.length != 0) {
+            auto refined = refiner().RefineLength(req.length, req.st_prime);
+            if (refined.ok()) {
+              summarize(req.length, refined.value());
+            } else {
+              error = refined.status();
+            }
+          } else {
+            auto refined = refiner().RefineAll(req.st_prime);
+            if (refined.ok()) {
+              for (const auto& [length, entry] :
+                   refined.value().entries()) {
+                summarize(length, entry);
+              }
+            } else {
+              error = refined.status();
+            }
+          }
+        }
+      },
+      request);
+
+  if (!error.ok()) return error;
+  response.latency_seconds = timer.ElapsedSeconds();
+  return response;
+}
+
+Result<QueryResponse> Engine::Execute(const QueryRequest& request) const {
+  std::shared_lock lock(*rw_mutex_);
+  return ExecuteLocked(request);
+}
+
+std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
+    std::span<const QueryRequest> requests) const {
+  std::shared_lock lock(*rw_mutex_);
+  std::vector<Result<QueryResponse>> responses;
+  responses.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    responses.push_back(ExecuteLocked(request));
+  }
+  return responses;
+}
+
+Status Engine::AppendSeries(TimeSeries series) {
+  std::unique_lock lock(*rw_mutex_);
+  return base_->AppendSeries(std::move(series));
+}
+
+BaseStats Engine::base_stats() const {
+  std::shared_lock lock(*rw_mutex_);
+  return base_->stats();
+}
+
+size_t Engine::num_series() const {
+  std::shared_lock lock(*rw_mutex_);
+  return base_->dataset().size();
+}
+
+}  // namespace onex

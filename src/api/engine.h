@@ -1,0 +1,213 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The ONEX session facade: one typed request/response surface over all
+// three of the paper's query classes (Sec. 5) — Q1 similarity
+// (best-match / kSim / range), Q2 seasonal similarity, and Q3 threshold
+// recommendation — plus Algorithm 2.C threshold refinement and the base
+// maintenance of Algorithm 1. This is the object an interactive front
+// end (the paper's web UI, our onex_cli) drives for a whole exploration
+// session, and the unit a server shards or batches over.
+//
+// Concurrency contract: Execute/ExecuteBatch are safe to call from any
+// number of threads concurrently (they take a reader lock and use
+// per-call QueryStats); AppendSeries takes the writer lock and may run
+// concurrently with queries — queries observe the base either before or
+// after the append, never mid-maintenance.
+
+#ifndef ONEX_API_ENGINE_H_
+#define ONEX_API_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/onex_base.h"
+#include "core/query_processor.h"
+#include "core/recommender.h"
+#include "core/threshold_refiner.h"
+#include "util/status.h"
+
+namespace onex {
+
+// ------------------------------------------------------------- requests
+
+/// Q1, `SELECT BEST MATCH`: best match of exactly `length`, or across
+/// every constructed length when `length` is 0 (Match = Any).
+struct BestMatchRequest {
+  std::vector<double> query;
+  size_t length = 0;
+};
+
+/// Q1, `SELECT k MOST SIMILAR`: the k nearest members of the
+/// best-matching group, sorted by distance.
+struct KSimilarRequest {
+  std::vector<double> query;
+  size_t k = 1;
+  size_t length = 0;  ///< 0 = any length.
+};
+
+/// Q1 range form, `WHERE Sim <= st`: every sequence within `st`.
+/// Without `exact_distances`, Lemma-2 fast-path matches carry st as an
+/// upper bound and are flagged distance_is_upper_bound.
+struct RangeWithinRequest {
+  std::vector<double> query;
+  double st = 0.2;
+  size_t length = 0;  ///< 0 = all lengths.
+  bool exact_distances = false;
+};
+
+/// Q2 seasonal similarity: recurring same-length patterns within one
+/// series (`series_id` set), or all multi-member groups of the length
+/// across the dataset (`series_id` empty, the data-driven mode).
+struct SeasonalRequest {
+  std::optional<uint32_t> series_id;
+  size_t length = 0;
+};
+
+/// Q3 threshold recommendation: the ST interval of one similarity
+/// degree, or all three rows when `degree` is empty (simDegree = NULL).
+struct RecommendRequest {
+  std::optional<SimilarityDegree> degree;
+  size_t length = 0;  ///< 0 = global markers (Match = Any).
+};
+
+/// Algorithm 2.C: report how the grouping changes under threshold
+/// `st_prime` — for one length, or every constructed length when 0.
+struct RefineThresholdRequest {
+  double st_prime = 0.2;
+  size_t length = 0;
+};
+
+/// The tagged request union an interactive session sends the engine.
+using QueryRequest =
+    std::variant<BestMatchRequest, KSimilarRequest, RangeWithinRequest,
+                 SeasonalRequest, RecommendRequest, RefineThresholdRequest>;
+
+/// Discriminator mirroring QueryRequest's alternatives, for logging and
+/// response routing.
+enum class QueryKind {
+  kBestMatch,
+  kKSimilar,
+  kRangeWithin,
+  kSeasonal,
+  kRecommend,
+  kRefineThreshold,
+};
+
+QueryKind KindOf(const QueryRequest& request);
+const char* ToString(QueryKind kind);
+
+// ------------------------------------------------------------ responses
+
+/// How one length's grouping changed under a RefineThreshold request.
+struct RefineSummary {
+  size_t length = 0;
+  size_t groups_before = 0;
+  size_t groups_after = 0;
+};
+
+/// Uniform answer envelope. Which payload field is filled follows the
+/// request kind: matches for BestMatch/KSimilar/RangeWithin, groups for
+/// Seasonal, recommendations for Recommend, refinements for
+/// RefineThreshold. `stats` and `latency_seconds` are always set.
+struct QueryResponse {
+  QueryKind kind = QueryKind::kBestMatch;
+  std::vector<QueryMatch> matches;
+  std::vector<std::vector<SubsequenceRef>> groups;
+  std::vector<Recommendation> recommendations;
+  std::vector<RefineSummary> refinements;
+  /// Work counters of this call only (per-call, never accumulated).
+  QueryStats stats;
+  /// Wall-clock seconds spent answering, measured inside the engine.
+  double latency_seconds = 0.0;
+};
+
+// --------------------------------------------------------------- engine
+
+/// Owns a built OnexBase and the lazily-created query components, and
+/// answers typed QueryRequests. Movable, not copyable. See the file
+/// comment for the concurrency contract.
+class Engine {
+ public:
+  /// Builds the ONEX base over `dataset` (Algorithm 1) and wraps it.
+  /// The dataset is expected to be normalized already (Sec. 6.1).
+  static Result<Engine> Build(Dataset dataset, const OnexOptions& options,
+                              QueryOptions query_options = {});
+
+  /// Wraps an already-built base (e.g. deserialized via LoadBase or
+  /// refined via ThresholdRefiner::RefinedBase).
+  static Engine FromBase(OnexBase base, QueryOptions query_options = {});
+
+  /// Reads a base persisted with Save()/SaveBase() and wraps it.
+  static Result<Engine> Open(const std::string& path,
+                             QueryOptions query_options = {});
+
+  /// Persists the underlying base (serialization.h format).
+  Status Save(const std::string& path) const;
+
+  /// Answers one request. Thread-safe: concurrent callers share the
+  /// reader lock.
+  Result<QueryResponse> Execute(const QueryRequest& request) const;
+
+  /// Answers a batch under one reader-lock acquisition, so the whole
+  /// batch observes a single consistent snapshot of the base even while
+  /// an AppendSeries is waiting. One Result per request, in order.
+  std::vector<Result<QueryResponse>> ExecuteBatch(
+      std::span<const QueryRequest> requests) const;
+
+  /// Base maintenance (Algorithm 1 append). Takes the writer lock:
+  /// blocks until in-flight queries drain, then updates the base.
+  Status AppendSeries(TimeSeries series);
+
+  /// Snapshot accessors (reader lock; cheap copies, safe to call
+  /// concurrently with AppendSeries).
+  BaseStats base_stats() const;
+  size_t num_series() const;
+
+  /// Direct views for single-threaded tooling (serialization, plotting,
+  /// the CLI's `show`). NOT synchronized against AppendSeries — do not
+  /// hold these across maintenance calls from another thread.
+  const OnexBase& base() const { return *base_; }
+  const Dataset& dataset() const { return base_->dataset(); }
+  const OnexOptions& options() const { return base_->options(); }
+
+ private:
+  Engine(OnexBase base, QueryOptions query_options);
+
+  /// Dispatch body; the caller holds the reader lock.
+  Result<QueryResponse> ExecuteLocked(const QueryRequest& request) const;
+
+  /// Query components, created on first use via std::call_once (cheap
+  /// atomic check on the hot path; no lock contention between
+  /// concurrent readers). Each holds a pointer to *base_, whose
+  /// address is stable across Engine moves. Heap-allocated as one
+  /// block because once_flag is neither movable nor copyable.
+  struct LazyComponents {
+    std::once_flag processor_once;
+    std::once_flag recommender_once;
+    std::once_flag refiner_once;
+    std::unique_ptr<QueryProcessor> processor;
+    std::unique_ptr<Recommender> recommender;
+    std::unique_ptr<ThresholdRefiner> refiner;
+  };
+
+  const QueryProcessor& processor() const;
+  const Recommender& recommender() const;
+  const ThresholdRefiner& refiner() const;
+
+  std::unique_ptr<OnexBase> base_;
+  QueryOptions query_options_;
+  /// Reader/writer lock of the concurrency contract (heap-allocated so
+  /// the engine stays movable).
+  mutable std::unique_ptr<std::shared_mutex> rw_mutex_;
+  mutable std::unique_ptr<LazyComponents> lazy_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_API_ENGINE_H_

@@ -32,7 +32,8 @@ std::string QueryStats::ToString() const {
 }
 
 std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
-    std::span<const double> query, const GtiEntry& entry, double bsf) {
+    std::span<const double> query, const GtiEntry& entry, double bsf,
+    QueryStats& stats) const {
   const size_t g = entry.NumGroups();
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -51,17 +52,17 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     const double prune_at = std::min(bsf, best_d);
     if (options_.use_cascade && prune_at < kInf) {
       if (LbKim(query, rep) / norm > prune_at) {
-        ++stats_.reps_pruned;
+        ++stats.reps_pruned;
         return;
       }
       if (m == entry.length &&
           LbKeoghEarlyAbandon(query, group.envelope, prune_at * norm) / norm >
               prune_at) {
-        ++stats_.reps_pruned;
+        ++stats.reps_pruned;
         return;
       }
     }
-    ++stats_.reps_compared;
+    ++stats.reps_compared;
     double d;
     if (options_.use_early_abandon && prune_at < kInf) {
       d = DtwEarlyAbandon(query, rep, prune_at * norm, dtw_options) / norm;
@@ -90,7 +91,7 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
 QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
                                        const GtiEntry& entry,
                                        uint32_t group_id, double rep_distance,
-                                       double bsf) {
+                                       double bsf, QueryStats& stats) const {
   const LsiEntry& group = entry.groups[group_id];
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -102,7 +103,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
   best.group_id = group_id;
 
   auto consider = [&](const LsiMember& member) {
-    ++stats_.members_compared;
+    ++stats.members_compared;
     const auto values = member.ref.View(base_->dataset());
     const double prune_at = std::min(bsf, best.distance);
     double d;
@@ -137,7 +138,8 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
 }
 
 std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
-    std::span<const double> query, const GtiEntry& entry) {
+    std::span<const double> query, const GtiEntry& entry,
+    QueryStats& stats) const {
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
   const DtwOptions dtw_options = DtwOptions::FromRatio(
@@ -145,7 +147,7 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
   std::vector<std::pair<uint32_t, double>> reps;
   reps.reserve(entry.NumGroups());
   for (uint32_t k = 0; k < entry.NumGroups(); ++k) {
-    ++stats_.reps_compared;
+    ++stats.reps_compared;
     const std::span<const double> rep(
         entry.groups[k].representative.data(), entry.length);
     reps.push_back({k, DtwDistance(query, rep, dtw_options) / norm});
@@ -162,23 +164,25 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
 
 QueryMatch QueryProcessor::SearchEntry(std::span<const double> query,
                                        const GtiEntry& entry, double bsf,
-                                       double* best_rep_distance) {
+                                       double* best_rep_distance,
+                                       QueryStats& stats) const {
   QueryMatch best;
   best.distance = std::numeric_limits<double>::infinity();
   if (options_.groups_to_search <= 1) {
-    const auto [group_id, rep_d] = BestRepresentative(query, entry, bsf);
+    const auto [group_id, rep_d] =
+        BestRepresentative(query, entry, bsf, stats);
     *best_rep_distance = rep_d;
     if (!std::isfinite(rep_d)) return best;
     return SearchGroup(query, entry, group_id, rep_d,
-                       std::min(bsf, best.distance));
+                       std::min(bsf, best.distance), stats);
   }
-  const auto tops = TopRepresentatives(query, entry);
+  const auto tops = TopRepresentatives(query, entry, stats);
   *best_rep_distance =
       tops.empty() ? std::numeric_limits<double>::infinity()
                    : tops.front().second;
   for (const auto& [group_id, rep_d] : tops) {
     QueryMatch match = SearchGroup(query, entry, group_id, rep_d,
-                                   std::min(bsf, best.distance));
+                                   std::min(bsf, best.distance), stats);
     if (match.distance < best.distance) best = match;
   }
   return best;
@@ -205,39 +209,43 @@ std::vector<size_t> QueryProcessor::OrderedLengths(size_t m) const {
 }
 
 Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
-    std::span<const double> query, size_t length) {
+    std::span<const double> query, size_t length, QueryStats* stats) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr || entry->NumGroups() == 0) {
     return Status::NotFound("length " + std::to_string(length) +
                             " is not in the ONEX base");
   }
-  ++stats_.lengths_scanned;
+  QueryStats call;
+  ++call.lengths_scanned;
   double rep_d = kInf;
-  QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d);
+  QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d, call);
+  CommitStats(call, stats);
   if (!std::isfinite(match.distance)) {
     return Status::NotFound("group is empty");
   }
   return match;
 }
 
-Result<QueryMatch> QueryProcessor::FindBestMatch(
-    std::span<const double> query) {
+Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
+                                                 QueryStats* stats) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   const double half_st = base_->options().st / 2.0;
+  QueryStats call;
   QueryMatch best;
   best.distance = kInf;
   for (size_t length : OrderedLengths(query.size())) {
     const GtiEntry* entry = base_->EntryFor(length);
     if (entry == nullptr || entry->NumGroups() == 0) continue;
-    ++stats_.lengths_scanned;
+    ++call.lengths_scanned;
     double rep_d = kInf;
-    QueryMatch match = SearchEntry(query, *entry, best.distance, &rep_d);
+    QueryMatch match = SearchEntry(query, *entry, best.distance, &rep_d, call);
     if (match.distance < best.distance) best = match;
     // Lemma 2 stop: a representative within ST/2 guarantees every member
     // of its group is within ST of the query.
     if (options_.stop_within_st_half && rep_d <= half_st) break;
   }
+  CommitStats(call, stats);
   if (!std::isfinite(best.distance)) {
     return Status::NotFound("ONEX base has no groups");
   }
@@ -245,9 +253,11 @@ Result<QueryMatch> QueryProcessor::FindBestMatch(
 }
 
 Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
-    std::span<const double> query, size_t k, size_t length) {
+    std::span<const double> query, size_t k, size_t length,
+    QueryStats* stats) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  QueryStats call;
   const GtiEntry* entry = nullptr;
   uint32_t group_id = 0;
   double rep_d = kInf;
@@ -257,7 +267,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
       return Status::NotFound("length " + std::to_string(length) +
                               " is not in the ONEX base");
     }
-    std::tie(group_id, rep_d) = BestRepresentative(query, *entry, kInf);
+    std::tie(group_id, rep_d) = BestRepresentative(query, *entry, kInf, call);
   } else {
     // Any length: locate the best group via the Q1 path, then rank its
     // members.
@@ -265,8 +275,9 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     for (size_t len : OrderedLengths(query.size())) {
       const GtiEntry* candidate = base_->EntryFor(len);
       if (candidate == nullptr || candidate->NumGroups() == 0) continue;
-      ++stats_.lengths_scanned;
-      const auto [gid, d] = BestRepresentative(query, *candidate, best_rep);
+      ++call.lengths_scanned;
+      const auto [gid, d] =
+          BestRepresentative(query, *candidate, best_rep, call);
       if (d < best_rep) {
         best_rep = d;
         entry = candidate;
@@ -277,7 +288,10 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
         break;
       }
     }
-    if (entry == nullptr) return Status::NotFound("ONEX base has no groups");
+    if (entry == nullptr) {
+      CommitStats(call, stats);
+      return Status::NotFound("ONEX base has no groups");
+    }
   }
 
   // Rank every member of the chosen group (no early abandon: we need
@@ -289,7 +303,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
   std::vector<QueryMatch> matches;
   matches.reserve(group.members.size());
   for (const LsiMember& member : group.members) {
-    ++stats_.members_compared;
+    ++call.members_compared;
     QueryMatch match;
     match.ref = member.ref;
     match.group_id = group_id;
@@ -303,12 +317,13 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
               return a.distance < b.distance;
             });
   if (matches.size() > k) matches.resize(k);
+  CommitStats(call, stats);
   return matches;
 }
 
 Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     std::span<const double> query, double st, size_t length,
-    bool exact_distances) {
+    bool exact_distances, QueryStats* stats) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (st <= 0.0) return Status::InvalidArgument("st must be positive");
 
@@ -323,12 +338,13 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     lengths = base_->gti().Lengths();
   }
 
+  QueryStats call;
   std::vector<QueryMatch> matches;
   const size_t m = query.size();
   for (size_t len : lengths) {
     const GtiEntry* entry = base_->EntryFor(len);
     if (entry == nullptr) continue;
-    ++stats_.lengths_scanned;
+    ++call.lengths_scanned;
     const double norm = Norm(m, len);
     // Range semantics follow Def. 3's unconstrained DTW: Lemma 2 is
     // proven for it, and a Sakoe-Chiba band could push a guaranteed
@@ -340,7 +356,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       // DTW has no reverse triangle inequality, so no group can be
       // skipped outright; the representative's DTW only chooses between
       // wholesale admission (Lemma 2) and a per-member scan.
-      ++stats_.reps_compared;
+      ++call.reps_compared;
       const double rep_d = DtwDistance(query, rep, dtw_options) / norm;
       // Lemma 2 premises, checked against the *stored* member EDs (the
       // members array is sorted, so back() is the group's ED radius):
@@ -349,23 +365,26 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
           group.members.empty() ? 0.0 : group.members.back().ed_to_rep;
       if (rep_d <= st / 2.0 && group_radius <= st / 2.0) {
         // Lemma 2: every member of this group is within st of the query.
-        stats_.members_admitted_by_lemma2 += group.members.size();
+        call.members_admitted_by_lemma2 += group.members.size();
         for (const LsiMember& member : group.members) {
           QueryMatch match;
           match.ref = member.ref;
           match.group_id = k;
-          match.distance =
-              exact_distances
-                  ? DtwDistance(query, member.ref.View(base_->dataset()),
-                                dtw_options) /
-                        norm
-                  : st;
+          if (exact_distances) {
+            match.distance =
+                DtwDistance(query, member.ref.View(base_->dataset()),
+                            dtw_options) /
+                norm;
+          } else {
+            match.distance = st;
+            match.distance_is_upper_bound = true;
+          }
           matches.push_back(match);
         }
       } else {
         // Individual scan with early abandoning at the range threshold.
         for (const LsiMember& member : group.members) {
-          ++stats_.members_compared;
+          ++call.members_compared;
           const double d =
               DtwEarlyAbandon(query, member.ref.View(base_->dataset()),
                               st * norm, dtw_options) /
@@ -385,11 +404,12 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
             [](const QueryMatch& a, const QueryMatch& b) {
               return a.distance < b.distance;
             });
+  CommitStats(call, stats);
   return matches;
 }
 
 Result<std::vector<std::vector<SubsequenceRef>>>
-QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) {
+QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) const {
   if (series_id >= base_->dataset().size()) {
     return Status::InvalidArgument("series id out of range");
   }
@@ -411,7 +431,7 @@ QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) {
 }
 
 Result<std::vector<std::vector<SubsequenceRef>>>
-QueryProcessor::SimilarGroupsOfLength(size_t length) {
+QueryProcessor::SimilarGroupsOfLength(size_t length) const {
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr) {
     return Status::NotFound("length " + std::to_string(length) +

@@ -50,6 +50,11 @@ struct QueryMatch {
   double distance = 0.0;
   /// Group the match came from (id within its length's GtiEntry).
   uint32_t group_id = 0;
+  /// Set when `distance` is a guaranteed upper bound rather than the
+  /// actual DTW: FindAllWithin's Lemma-2 fast path admits whole groups
+  /// at the range threshold without per-member DTW, so those matches
+  /// report `st` unless the caller asked for exact_distances.
+  bool distance_is_upper_bound = false;
 };
 
 /// Work counters for the time-response experiments.
@@ -63,10 +68,29 @@ struct QueryStats {
   uint64_t members_admitted_by_lemma2 = 0;
 
   void Reset() { *this = QueryStats(); }
+
+  /// Merges another call's counters into this accumulator.
+  void Add(const QueryStats& other) {
+    lengths_scanned += other.lengths_scanned;
+    reps_compared += other.reps_compared;
+    reps_pruned += other.reps_pruned;
+    members_compared += other.members_compared;
+    members_admitted_by_lemma2 += other.members_admitted_by_lemma2;
+  }
+
   std::string ToString() const;
 };
 
-/// Stateless with respect to queries; holds counters only.
+/// Stateless query engine over a built base. Every query method is const
+/// and reentrant: work counters are accumulated per call and returned
+/// through the optional trailing `stats` out-parameter, so one processor
+/// can serve concurrent readers (`onex::Engine` relies on this).
+///
+/// Legacy accumulator shim: when a query is called WITHOUT a `stats`
+/// out-parameter, its counters are added to a deprecated member
+/// accumulator readable via stats()/ResetStats(). That mode keeps the
+/// older benches working but is NOT thread-safe — pass per-call stats
+/// from concurrent contexts.
 class QueryProcessor {
  public:
   /// `base` must outlive the processor.
@@ -76,17 +100,20 @@ class QueryProcessor {
   /// Q1 with Match = Exact(L): best match among subsequences of exactly
   /// `length`. NotFound if that length was not constructed.
   Result<QueryMatch> FindBestMatchOfLength(std::span<const double> query,
-                                           size_t length);
+                                           size_t length,
+                                           QueryStats* stats = nullptr) const;
 
   /// Q1 with Match = Any: best match across all constructed lengths,
   /// searched in the optimized order (query length, then decreasing,
   /// then increasing — Sec. 5.3).
-  Result<QueryMatch> FindBestMatch(std::span<const double> query);
+  Result<QueryMatch> FindBestMatch(std::span<const double> query,
+                                   QueryStats* stats = nullptr) const;
 
   /// k most similar sequences from the best-matching group (Algorithm
   /// 2's getKSim). Results are sorted by distance, at most k of them.
-  Result<std::vector<QueryMatch>> FindKSimilar(std::span<const double> query,
-                                               size_t k, size_t length = 0);
+  Result<std::vector<QueryMatch>> FindKSimilar(
+      std::span<const double> query, size_t k, size_t length = 0,
+      QueryStats* stats = nullptr) const;
 
   /// Q1 range form (`WHERE Sim <= ST`): every sequence of `length`
   /// (0 = all lengths) whose normalized DTW to the query is <= `st`.
@@ -94,55 +121,72 @@ class QueryProcessor {
   /// whole group qualifies with NO per-member DTW — the paper's
   /// guarantee made operational; other groups are scanned with
   /// early-abandoning DTW at threshold st. Results sorted by distance.
-  /// Fast-path members report their upper bound (st) as distance unless
-  /// `exact_distances` is set, which recomputes them.
-  Result<std::vector<QueryMatch>> FindAllWithin(std::span<const double> query,
-                                                double st, size_t length = 0,
-                                                bool exact_distances = false);
+  /// Fast-path members report their upper bound (st) as distance — and
+  /// carry distance_is_upper_bound — unless `exact_distances` is set,
+  /// which recomputes them.
+  Result<std::vector<QueryMatch>> FindAllWithin(
+      std::span<const double> query, double st, size_t length = 0,
+      bool exact_distances = false, QueryStats* stats = nullptr) const;
 
   /// Q2, user-driven: groups of `length` restricted to subsequences of
   /// series `series_id`; only groups contributing >= 2 such subsequences
   /// (i.e., recurring similarity) are returned.
   Result<std::vector<std::vector<SubsequenceRef>>> SeasonalSimilarity(
-      uint32_t series_id, size_t length);
+      uint32_t series_id, size_t length) const;
 
   /// Q2, data-driven: all groups of `length` with >= 2 members.
   Result<std::vector<std::vector<SubsequenceRef>>> SimilarGroupsOfLength(
-      size_t length);
+      size_t length) const;
 
+  /// Deprecated accumulator (see class comment): counters of every query
+  /// issued without a per-call `stats` out-parameter.
   const QueryStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() const { stats_.Reset(); }
 
  private:
   /// Best representative of `entry` for `query`: (group id, normalized
   /// DTW). `bsf` seeds pruning (normalized units).
-  std::pair<uint32_t, double> BestRepresentative(
-      std::span<const double> query, const GtiEntry& entry, double bsf);
+  std::pair<uint32_t, double> BestRepresentative(std::span<const double> query,
+                                                 const GtiEntry& entry,
+                                                 double bsf,
+                                                 QueryStats& stats) const;
 
   /// Top options_.groups_to_search representatives, ascending by
   /// normalized DTW (no pruning: all representatives are evaluated).
   std::vector<std::pair<uint32_t, double>> TopRepresentatives(
-      std::span<const double> query, const GtiEntry& entry);
+      std::span<const double> query, const GtiEntry& entry,
+      QueryStats& stats) const;
 
   /// Searches the chosen groups of one entry (1 group on the paper's
   /// path, several with groups_to_search > 1) and returns the best
   /// member found, seeded with `bsf`.
-  QueryMatch SearchEntry(std::span<const double> query,
-                         const GtiEntry& entry, double bsf,
-                         double* best_rep_distance);
+  QueryMatch SearchEntry(std::span<const double> query, const GtiEntry& entry,
+                         double bsf, double* best_rep_distance,
+                         QueryStats& stats) const;
 
   /// Scans the chosen group; returns the best member (and distance),
   /// seeded with `bsf`. `rep_distance` is DTW(query, representative),
   /// the target of the value-directed scan.
   QueryMatch SearchGroup(std::span<const double> query, const GtiEntry& entry,
-                         uint32_t group_id, double rep_distance, double bsf);
+                         uint32_t group_id, double rep_distance, double bsf,
+                         QueryStats& stats) const;
 
   /// Lengths in the optimized search order for a query of length m.
   std::vector<size_t> OrderedLengths(size_t m) const;
 
+  /// Delivers one call's counters: to `*out` when the caller asked for
+  /// per-call stats, otherwise into the legacy member accumulator.
+  void CommitStats(const QueryStats& call, QueryStats* out) const {
+    if (out != nullptr) {
+      *out = call;
+    } else {
+      stats_.Add(call);
+    }
+  }
+
   const OnexBase* base_;
   QueryOptions options_;
-  QueryStats stats_;
+  mutable QueryStats stats_;
 };
 
 }  // namespace onex

@@ -311,5 +311,25 @@ TEST(QueryProcessorTest, StatsAccumulateAndReset) {
   EXPECT_EQ(processor.stats().members_compared, 0u);
 }
 
+TEST(QueryProcessorTest, PerCallStatsBypassTheAccumulator) {
+  OnexBase base = BuildBase(TestDataset());
+  const QueryProcessor processor(&base);  // Query methods are const now.
+  std::vector<double> query(8, 0.5);
+  QueryStats call;
+  auto result = processor.FindBestMatchOfLength(S(query), 8, &call);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(call.reps_compared + call.reps_pruned, 0u);
+  EXPECT_GT(call.members_compared, 0u);
+  EXPECT_EQ(call.lengths_scanned, 1u);
+  // Per-call mode leaves the deprecated accumulator untouched.
+  EXPECT_EQ(processor.stats().lengths_scanned, 0u);
+  EXPECT_EQ(processor.stats().members_compared, 0u);
+  // A second identical call returns fresh counters, not a running sum.
+  QueryStats second;
+  (void)processor.FindBestMatchOfLength(S(query), 8, &second);
+  EXPECT_EQ(second.lengths_scanned, call.lengths_scanned);
+  EXPECT_EQ(second.members_compared, call.members_compared);
+}
+
 }  // namespace
 }  // namespace onex

@@ -152,13 +152,31 @@ TEST(RangeQueryTest, FastPathReportsUpperBoundWithoutExactFlag) {
   auto result =
       processor.FindAllWithin(S(eligible->representative), st, 8, false);
   ASSERT_TRUE(result.ok());
-  // Fast-path members carry distance == st (the Lemma-2 upper bound).
+  // Fast-path members carry distance == st (the Lemma-2 upper bound)
+  // and are flagged so callers can tell bounds from real distances.
   bool saw_upper_bound = false;
   for (const auto& match : result.value()) {
     EXPECT_LE(match.distance, st + 1e-12);
-    if (match.distance == st) saw_upper_bound = true;
+    if (match.distance_is_upper_bound) {
+      EXPECT_EQ(match.distance, st);
+      saw_upper_bound = true;
+    }
   }
   EXPECT_TRUE(saw_upper_bound);
+}
+
+TEST(RangeQueryTest, ExactDistancesNeverFlaggedAsUpperBounds) {
+  OnexBase base = BuildBase(TestDataset());
+  QueryProcessor processor(&base);
+  const auto view = base.dataset()[1].Subsequence(0, 16);
+  std::vector<double> query(view.begin(), view.end());
+  auto result = processor.FindAllWithin(S(query), base.options().st, 0,
+                                        /*exact_distances=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  for (const auto& match : result.value()) {
+    EXPECT_FALSE(match.distance_is_upper_bound);
+  }
 }
 
 TEST(RangeQueryTest, AllLengthsMode) {
