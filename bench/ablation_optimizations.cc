@@ -83,14 +83,15 @@ int Run(int argc, char** argv) {
       for (const auto& query : queries) {
         const std::span<const double> q(query.values.data(),
                                         query.values.size());
+        // Per-call stats: every timed repetition overwrites `call`, so
+        // one repetition's counters per query are accumulated (the
+        // query is deterministic — repetitions do identical work).
+        QueryStats call;
         time.Add(TimeAverage(config.runs, [&] {
-          (void)processor.FindBestMatch(q);
+          (void)processor.FindBestMatch(q, &call);
         }));
+        work.Add(call);
       }
-      work.lengths_scanned += processor.stats().lengths_scanned;
-      work.reps_compared += processor.stats().reps_compared;
-      work.reps_pruned += processor.stats().reps_pruned;
-      work.members_compared += processor.stats().members_compared;
     }
     if (variant.name == "all-on") baseline_time = time.mean();
     const double slowdown =

@@ -1,0 +1,220 @@
+// Serving-layer throughput: drives a loopback onex TCP server with N
+// concurrent client threads across two catalog datasets and reports
+// QPS plus client-observed latency percentiles — the first point of the
+// perf trajectory every future scaling PR (sharding, caching,
+// replication) must move. Results go to stdout as a table and to
+// BENCH_server.json for machine tracking.
+//
+// Methodology: each client binds to one of two datasets ("power" /
+// "ecg", alternating), then fires a fixed per-client request mix of Q1
+// best-match (exact and any-length) and Q1k queries back-to-back over
+// one connection. Latency is measured client-side around the whole
+// round trip (parse + queue wait + DTW + render + loopback), i.e. what
+// an interactive front end would see. OVERLOADED replies are counted
+// separately and excluded from the latency distribution.
+//
+// Run: ./build/bench/server_throughput [--clients N] [--requests N]
+//          [--workers N] [--queue N] [--series N] [--length N]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "server/catalog.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+Engine BuildServedEngine(const std::string& generator, size_t n, size_t len,
+                         uint64_t seed) {
+  GenOptions gen;
+  gen.num_series = n;
+  gen.length = len;
+  gen.seed = seed;
+  auto made = MakeDatasetByName(generator, gen);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::exit(1);
+  }
+  Dataset dataset = std::move(made).value();
+  MinMaxNormalize(&dataset);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {8, len, 8};
+  auto built = Engine::Build(std::move(dataset), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 250));
+  const size_t workers = static_cast<size_t>(flags.GetInt(
+      "workers",
+      std::max<int64_t>(2, std::thread::hardware_concurrency())));
+  const size_t queue = static_cast<size_t>(flags.GetInt("queue", 256));
+  const size_t num_series = static_cast<size_t>(flags.GetInt("series", 40));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 64));
+
+  std::printf("building catalog (2 datasets, %zu series x %zu)...\n",
+              num_series, length);
+  auto catalog = std::make_shared<server::Catalog>(server::CatalogOptions{});
+  catalog->Register("power",
+                    BuildServedEngine("ItalyPower", num_series, length, 42));
+  catalog->Register("ecg", BuildServedEngine("ECG", num_series, length, 7));
+  // Clients craft in-dataset queries from the shared engines (reading
+  // the dataset is safe concurrently with serving; no second build).
+  const std::shared_ptr<const Engine> power_twin =
+      catalog->Acquire("power").value();
+  const std::shared_ptr<const Engine> ecg_twin =
+      catalog->Acquire("ecg").value();
+
+  server::ServerOptions options;
+  options.num_workers = workers;
+  options.max_queue = queue;
+  auto started = server::Server::Start(options, catalog);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<server::Server> srv = std::move(started).value();
+  std::printf("loopback server on port %u: %zu workers, queue %zu; "
+              "%zu clients x %zu requests\n",
+              srv->port(), workers, queue, clients, requests);
+
+  std::vector<SampleSet> latencies(clients);
+  std::vector<uint64_t> shed(clients, 0);
+  std::vector<uint64_t> errors(clients, 0);
+
+  auto client_fn = [&](size_t id) {
+    const bool use_power = (id % 2 == 0);
+    const Engine& twin = use_power ? *power_twin : *ecg_twin;
+    auto connected = server::Client::Connect("127.0.0.1", srv->port());
+    if (!connected.ok()) {
+      errors[id] += requests;
+      return;
+    }
+    server::Client client = std::move(connected).value();
+    auto use = client.Roundtrip(use_power ? "use power" : "use ecg");
+    if (!use.ok() || !use.value().ok) {
+      errors[id] += requests;
+      return;
+    }
+
+    // Pre-render the request mix so the loop measures serving, not
+    // formatting: in-dataset subsequences at the indexed lengths.
+    Rng rng(1000 + id);
+    std::vector<std::string> mix;
+    const Dataset& d = twin.dataset();
+    for (int v = 0; v < 16; ++v) {
+      const uint32_t series = static_cast<uint32_t>(rng.Uniform(d.size()));
+      const size_t qlen = (v % 2 == 0) ? 8 : std::min<size_t>(16, length);
+      const uint32_t start = static_cast<uint32_t>(
+          rng.Uniform(d[series].length() - qlen + 1));
+      const auto view = d[series].Subsequence(start, qlen);
+      std::vector<double> query(view.begin(), view.end());
+      QueryRequest request;
+      switch (v % 3) {
+        case 0: request = BestMatchRequest{query, qlen}; break;
+        case 1: request = BestMatchRequest{query, 0}; break;
+        default: request = KSimilarRequest{query, 5, qlen}; break;
+      }
+      mix.push_back(server::RenderRequestLine(request));
+    }
+
+    for (size_t i = 0; i < requests; ++i) {
+      Timer timer;
+      auto reply = client.Roundtrip(mix[i % mix.size()]);
+      const double seconds = timer.ElapsedSeconds();
+      if (!reply.ok()) {
+        ++errors[id];
+        return;  // Transport broken; stop this client.
+      }
+      if (!reply.value().ok) {
+        if (reply.value().code == server::kOverloadedCode) {
+          ++shed[id];
+        } else {
+          ++errors[id];
+        }
+        continue;
+      }
+      latencies[id].Add(seconds);
+    }
+  };
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
+  for (auto& t : threads) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  srv->Stop();
+
+  SampleSet all;
+  uint64_t total_shed = 0;
+  uint64_t total_errors = 0;
+  for (size_t c = 0; c < clients; ++c) {
+    for (const double s : latencies[c].samples()) all.Add(s);
+    total_shed += shed[c];
+    total_errors += errors[c];
+  }
+  const double qps =
+      wall_seconds > 0 ? static_cast<double>(all.count()) / wall_seconds : 0;
+
+  TableWriter table("Serving-layer throughput (loopback, 2 datasets)");
+  table.SetHeader({"clients", "workers", "answered", "shed", "QPS",
+                   "p50 ms", "p95 ms", "p99 ms"});
+  table.AddRow({std::to_string(clients), std::to_string(workers),
+                std::to_string(all.count()), std::to_string(total_shed),
+                TableWriter::Num(qps, 0),
+                TableWriter::Num(all.Percentile(50.0) * 1e3, 3),
+                TableWriter::Num(all.Percentile(95.0) * 1e3, 3),
+                TableWriter::Num(all.Percentile(99.0) * 1e3, 3)});
+  table.Print();
+  if (total_errors > 0) {
+    std::printf("WARNING: %llu transport/engine errors\n",
+                static_cast<unsigned long long>(total_errors));
+  }
+
+  std::FILE* json = std::fopen("BENCH_server.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\"bench\":\"server_throughput\",\"clients\":%zu,\"workers\":%zu,"
+        "\"queue\":%zu,\"answered\":%zu,\"shed\":%llu,\"errors\":%llu,"
+        "\"wall_seconds\":%.6f,\"qps\":%.1f,\"p50_ms\":%.4f,"
+        "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"mean_ms\":%.4f}\n",
+        clients, workers, queue, all.count(),
+        static_cast<unsigned long long>(total_shed),
+        static_cast<unsigned long long>(total_errors), wall_seconds, qps,
+        all.Percentile(50.0) * 1e3, all.Percentile(95.0) * 1e3,
+        all.Percentile(99.0) * 1e3, all.mean() * 1e3);
+    std::fclose(json);
+    std::printf("wrote BENCH_server.json\n");
+  }
+  return total_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

@@ -4,16 +4,16 @@
 // the label of their ONEX best match, and compare accuracy and work
 // against the exhaustive 1-NN-DTW scan.
 //
-// Classification drives the dedicated OnexClassifier; similarity
-// queries from interactive front ends should go through the
-// onex::Engine facade (src/api/engine.h, see quickstart.cpp).
+// The base is built and owned through the onex::Engine facade
+// (src/api/engine.h); classification drives the dedicated
+// OnexClassifier over the engine's base view.
 //
 // Run: ./build/examples/classification
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/classifier.h"
-#include "core/onex_base.h"
 #include "datagen/generators.h"
 #include "dataset/normalize.h"
 #include "util/timer.h"
@@ -36,19 +36,19 @@ int main() {
   options.st = 0.25;
   // Whole-series groups only: classification needs full-length matches.
   options.lengths = {64, 64, 1};
-  auto built = onex::OnexBase::Build(std::move(train), options);
+  auto built = onex::Engine::Build(std::move(train), options);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
+  onex::Engine engine = std::move(built).value();
   std::printf("TwoPatterns: %zu training series -> %llu whole-series "
               "groups\n",
-              base.dataset().size(),
+              engine.dataset().size(),
               static_cast<unsigned long long>(
-                  base.stats().num_representatives));
+                  engine.base_stats().num_representatives));
 
-  onex::NearestNeighborClassifier classifier(&base);
+  onex::NearestNeighborClassifier classifier(&engine.base());
 
   onex::Timer onex_timer;
   auto onex_acc = classifier.Evaluate(test, /*brute_force=*/false);
@@ -71,8 +71,8 @@ int main() {
   std::printf("\nONEX searches %llu representatives + one group instead "
               "of all %zu training series per query.\n",
               static_cast<unsigned long long>(
-                  base.stats().num_representatives),
-              base.dataset().size());
+                  engine.base_stats().num_representatives),
+              engine.dataset().size());
 
   // Single-series provenance demo.
   auto one = classifier.Classify(test[0].View());

@@ -1,30 +1,38 @@
 // Interactive ONEX shell — the "truly interactive exploration
 // experience" of the paper's abstract as a command-line tool. The whole
-// session drives one onex::Engine (src/api/engine.h): every query
-// command below is a typed QueryRequest answered by Engine::Execute,
-// which also reports per-call work counters and wall-clock latency.
+// session drives one onex::Engine (src/api/engine.h), and every query
+// command goes through the SAME wire grammar the TCP server speaks
+// (src/server/protocol.h): the line you type here is byte-identical to
+// the line a remote client sends `onex_server`, and the reply block
+// printed (OK header, payload lines, "." terminator) is byte-identical
+// to the wire reply. Only the dataset-management commands below are
+// local to the shell:
 //
 //   generate <dataset> [n] [len]   synthesize a dataset (ItalyPower, ECG,
 //                                  Face, Wafer, Symbols, TwoPattern,
 //                                  StarLightCurves, RandomWalk)
 //   load <ucr-file>                read a UCR-format text file
 //   build [st]                     build the ONEX base (Algorithm 1)
-//   save <path> | open <path>      persist / reload the base
+//   save <path> | open <path>      persist / reload the base (a saved
+//                                  base is servable: put it in
+//                                  onex_server's --data-dir)
+//   show <series> [offset len]     sparkline of a series
+//   append <v1,v2,...>             add a series to the base (maintenance)
+//   stats                          base statistics
+//
+// Query commands (shared grammar — see protocol.h for the full spec):
 //   q1 <len|any> <v1,v2,...>       similarity query (class I)
 //   q1r <st> <len|any> <values>    range query (all within st)
 //   q1k <k> <len|any> <values>     k most similar sequences
 //   q2 <series|all> <len>          seasonal similarity (class II)
-//   q3 [S|M|L] [len]               threshold recommendation (class III)
+//   q3 <S|M|L|any> [len]           threshold recommendation (class III)
 //   refine <st'> <len|all>         vary the similarity threshold (2.C)
-//   append <v1,v2,...>             add a series to the base (maintenance)
-//   stats                          base statistics
-//   quit
 //
 // Run: ./build/examples/onex_cli   (then type commands; also accepts a
 // script on stdin: echo "generate ECG 20 64\nbuild\nstats" | onex_cli)
 
-#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -36,6 +44,7 @@
 #include "datagen/registry.h"
 #include "dataset/normalize.h"
 #include "dataset/ucr_loader.h"
+#include "server/protocol.h"
 #include "util/sparkline.h"
 #include "util/timer.h"
 
@@ -47,35 +56,6 @@ std::vector<std::string> Split(const std::string& line) {
   std::string token;
   while (in >> token) tokens.push_back(token);
   return tokens;
-}
-
-std::optional<std::vector<double>> ParseValues(const std::string& csv) {
-  std::vector<double> values;
-  std::istringstream in(csv);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    char* end = nullptr;
-    const double v = std::strtod(item.c_str(), &end);
-    if (end == item.c_str()) return std::nullopt;
-    values.push_back(v);
-  }
-  if (values.empty()) return std::nullopt;
-  return values;
-}
-
-/// "any"/"all" -> 0 (the engine's every-length sentinel); a number ->
-/// itself; anything else -> nullopt so typos don't silently widen a
-/// query to every length.
-std::optional<size_t> ParseLength(const std::string& token) {
-  if (token == "any" || token == "all") return size_t{0};
-  // Digits only: strtoull would silently wrap a leading minus sign.
-  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
-    return std::nullopt;
-  }
-  char* end = nullptr;
-  const size_t length = std::strtoull(token.c_str(), &end, 10);
-  if (*end != '\0') return std::nullopt;
-  return length;
 }
 
 class Shell {
@@ -90,13 +70,13 @@ class Shell {
       const auto tokens = Split(line);
       if (tokens.empty()) continue;
       if (tokens[0] == "quit" || tokens[0] == "exit") break;
-      Dispatch(tokens);
+      Dispatch(line, tokens);
     }
     return 0;
   }
 
  private:
-  void Dispatch(const std::vector<std::string>& t) {
+  void Dispatch(const std::string& line, const std::vector<std::string>& t) {
     const std::string& cmd = t[0];
     if (cmd == "help") {
       Help();
@@ -110,44 +90,59 @@ class Shell {
       Save(t);
     } else if (cmd == "open") {
       Open(t);
-    } else if (cmd == "q1") {
-      Q1(t);
-    } else if (cmd == "q1r") {
-      Q1Range(t);
-    } else if (cmd == "q1k") {
-      Q1KSimilar(t);
     } else if (cmd == "show") {
       Show(t);
-    } else if (cmd == "q2") {
-      Q2(t);
-    } else if (cmd == "q3") {
-      Q3(t);
-    } else if (cmd == "refine") {
-      Refine(t);
     } else if (cmd == "append") {
       Append(t);
     } else if (cmd == "stats") {
       Stats();
     } else {
-      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+      // Everything else is the shared wire grammar: parse the raw line
+      // exactly as the server would, answer, print the wire reply.
+      Query(line);
     }
   }
 
   void Help() {
     std::printf(
-        "  generate <dataset> [n] [len]  — synthesize a dataset\n"
-        "  load <ucr-file>               — read UCR-format file\n"
-        "  build [st]                    — build the ONEX base\n"
-        "  save <path> / open <path>     — persist / reload the base\n"
+        "  local: generate <dataset> [n] [len] | load <ucr-file>\n"
+        "         build [st] | save <path> | open <path>\n"
+        "         show <series> [offset len] | append <v1,v2,...>\n"
+        "         stats | quit\n"
+        "  wire grammar (same as onex_server):\n"
         "  q1 <len|any> <v1,v2,...>      — best-match similarity query\n"
         "  q1r <st> <len|any> <values>   — range query (all within st)\n"
         "  q1k <k> <len|any> <values>    — k most similar sequences\n"
-        "  show <series> [offset len]    — sparkline of a series\n"
         "  q2 <series|all> <len>         — seasonal similarity\n"
-        "  q3 [S|M|L] [len]              — threshold recommendations\n"
-        "  refine <st'> <len|all>        — vary similarity threshold\n"
-        "  append <v1,v2,...>            — add a series (maintenance)\n"
-        "  stats / quit\n");
+        "  q3 <S|M|L|any> [len]          — threshold recommendations\n"
+        "  refine <st'> <len|all>        — vary similarity threshold\n");
+  }
+
+  /// One protocol round trip against the in-process engine: the printed
+  /// block is exactly what a TCP client of onex_server would receive.
+  void Query(const std::string& line) {
+    auto parsed = onex::server::ParseRequestLine(line);
+    if (!parsed.ok()) {
+      std::fputs(onex::server::RenderError(parsed.status()).c_str(), stdout);
+      return;
+    }
+    const auto* request =
+        std::get_if<onex::QueryRequest>(&parsed.value());
+    if (request == nullptr) {
+      std::fputs(onex::server::RenderErrorBlock(
+                     "NOT_SUPPORTED",
+                     "session verbs (use/list/stats/ping) need onex_server; "
+                     "this shell's base commands are local — try 'help'")
+                     .c_str(),
+                 stdout);
+      return;
+    }
+    if (!Ready()) return;
+    auto response = engine_->Execute(*request);
+    std::fputs(response.ok()
+                   ? onex::server::RenderResponse(response.value()).c_str()
+                   : onex::server::RenderError(response.status()).c_str(),
+               stdout);
   }
 
   void Generate(const std::vector<std::string>& t) {
@@ -234,93 +229,6 @@ class Shell {
     std::printf("opened: %s\n", engine_->base_stats().ToString().c_str());
   }
 
-  /// Runs one request and returns the response, printing any error.
-  std::optional<onex::QueryResponse> Execute(const onex::QueryRequest& req) {
-    auto response = engine_->Execute(req);
-    if (!response.ok()) {
-      std::printf("%s\n", response.status().ToString().c_str());
-      return std::nullopt;
-    }
-    return std::move(response).value();
-  }
-
-  void Q1(const std::vector<std::string>& t) {
-    if (!Ready() || t.size() < 3) {
-      if (t.size() < 3) std::printf("usage: q1 <len|any> <v1,v2,...>\n");
-      return;
-    }
-    const auto values = ParseValues(t[2]);
-    const auto length = ParseLength(t[1]);
-    if (!values || !length) {
-      std::printf(!values ? "bad value list\n" : "bad length\n");
-      return;
-    }
-    const auto response =
-        Execute(onex::BestMatchRequest{*values, *length});
-    if (!response) return;
-    const onex::QueryMatch& match = response->matches[0];
-    std::printf("best match: series %u offset %u length %u  "
-                "normalized-DTW %.6f  (%.2f ms)\n",
-                match.ref.series, match.ref.start, match.ref.length,
-                match.distance, response->latency_seconds * 1e3);
-  }
-
-  void Q1Range(const std::vector<std::string>& t) {
-    if (!Ready() || t.size() < 4) {
-      if (t.size() < 4) std::printf("usage: q1r <st> <len|any> <values>\n");
-      return;
-    }
-    const double st = std::strtod(t[1].c_str(), nullptr);
-    const auto values = ParseValues(t[3]);
-    const auto length = ParseLength(t[2]);
-    if (!values || !length) {
-      std::printf(!values ? "bad value list\n" : "bad length\n");
-      return;
-    }
-    const auto response = Execute(onex::RangeWithinRequest{
-        *values, st, *length, /*exact_distances=*/true});
-    if (!response) return;
-    std::printf("%zu sequence(s) within %.3f (%llu admitted wholesale via "
-                "Lemma 2):\n",
-                response->matches.size(), st,
-                static_cast<unsigned long long>(
-                    response->stats.members_admitted_by_lemma2));
-    size_t shown = 0;
-    for (const auto& match : response->matches) {
-      if (shown++ >= 8) {
-        std::printf("  ...\n");
-        break;
-      }
-      std::printf("  series %u offset %u length %u  distance %.5f\n",
-                  match.ref.series, match.ref.start, match.ref.length,
-                  match.distance);
-    }
-  }
-
-  void Q1KSimilar(const std::vector<std::string>& t) {
-    if (!Ready() || t.size() < 4) {
-      if (t.size() < 4) std::printf("usage: q1k <k> <len|any> <values>\n");
-      return;
-    }
-    const size_t k = std::strtoull(t[1].c_str(), nullptr, 10);
-    const auto values = ParseValues(t[3]);
-    const auto length = ParseLength(t[2]);
-    if (!values || !length) {
-      std::printf(!values ? "bad value list\n" : "bad length\n");
-      return;
-    }
-    const auto response =
-        Execute(onex::KSimilarRequest{*values, k, *length});
-    if (!response) return;
-    std::printf("%zu most similar (%.2f ms):\n", response->matches.size(),
-                response->latency_seconds * 1e3);
-    for (const auto& match : response->matches) {
-      std::printf("  series %u offset %u length %u  distance %.5f\n",
-                  match.ref.series, match.ref.start, match.ref.length,
-                  match.distance);
-    }
-  }
-
   void Show(const std::vector<std::string>& t) {
     if (dataset_.empty() || t.size() < 2) {
       if (t.size() < 2) std::printf("usage: show <series> [offset len]\n");
@@ -344,79 +252,12 @@ class Shell {
     std::printf("%s\n", onex::SparklineLabeled(view, 72).c_str());
   }
 
-  void Q2(const std::vector<std::string>& t) {
-    if (!Ready() || t.size() < 3) {
-      if (t.size() < 3) std::printf("usage: q2 <series|all> <len>\n");
-      return;
-    }
-    onex::SeasonalRequest request;
-    request.length = std::strtoull(t[2].c_str(), nullptr, 10);
-    if (t[1] != "all") {
-      request.series_id =
-          static_cast<uint32_t>(std::strtoul(t[1].c_str(), nullptr, 10));
-    }
-    const auto response = Execute(request);
-    if (!response) return;
-    std::printf("%zu group(s)\n", response->groups.size());
-    size_t shown = 0;
-    for (const auto& group : response->groups) {
-      if (shown++ >= 5) {
-        std::printf("  ...\n");
-        break;
-      }
-      std::printf("  %zu members:", group.size());
-      size_t inner = 0;
-      for (const auto& ref : group) {
-        if (inner++ >= 8) {
-          std::printf(" ...");
-          break;
-        }
-        std::printf(" (s%u,o%u)", ref.series, ref.start);
-      }
-      std::printf("\n");
-    }
-  }
-
-  void Q3(const std::vector<std::string>& t) {
-    if (!Ready()) return;
-    onex::RecommendRequest request;
-    if (t.size() > 1) request.degree = onex::ParseDegree(t[1]);
-    if (t.size() > 2) {
-      request.length = std::strtoull(t[2].c_str(), nullptr, 10);
-    }
-    const auto response = Execute(request);
-    if (!response) return;
-    for (const auto& rec : response->recommendations) {
-      std::printf("%s\n", rec.ToString().c_str());
-    }
-  }
-
-  void Refine(const std::vector<std::string>& t) {
-    if (!Ready() || t.size() < 3) {
-      if (t.size() < 3) std::printf("usage: refine <st'> <len|all>\n");
-      return;
-    }
-    const double st_prime = std::strtod(t[1].c_str(), nullptr);
-    const auto length = ParseLength(t[2]);
-    if (!length) {
-      std::printf("bad length\n");
-      return;
-    }
-    const auto response =
-        Execute(onex::RefineThresholdRequest{st_prime, *length});
-    if (!response) return;
-    for (const auto& r : response->refinements) {
-      std::printf("length %zu at ST'=%.3f: %zu groups (base had %zu)\n",
-                  r.length, st_prime, r.groups_after, r.groups_before);
-    }
-  }
-
   void Append(const std::vector<std::string>& t) {
     if (!Ready() || t.size() < 2) {
       if (t.size() < 2) std::printf("usage: append <v1,v2,...>\n");
       return;
     }
-    const auto values = ParseValues(t[1]);
+    const auto values = onex::server::ParseValuesCsv(t[1]);
     if (!values) {
       std::printf("bad value list\n");
       return;
@@ -441,7 +282,11 @@ class Shell {
 
   bool Ready() {
     if (engine_ == nullptr) {
-      std::printf("no base — 'build' (or 'open') first\n");
+      std::fputs(onex::server::RenderErrorBlock(
+                     onex::server::kNoDatasetCode,
+                     "no base — 'build' (or 'open') first")
+                     .c_str(),
+                 stdout);
       return false;
     }
     return true;

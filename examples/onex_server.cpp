@@ -1,0 +1,121 @@
+// The ONEX network server — the paper's interactive exploration served
+// to many concurrent sessions over TCP. Datasets come from a catalog
+// directory of persisted bases (`<data-dir>/<name>.onex`, written by
+// `onex_cli`'s `save` or Engine::Save) and/or from the built-in demo
+// seed; clients speak the newline protocol of src/server/protocol.h
+// (try it with `nc localhost 7070`, then `list`, `use ecg`,
+// `q1 any 0.1,0.5,0.9,0.4`, `stats`).
+//
+// Run: ./build/examples/onex_server [--port N] [--data-dir DIR]
+//          [--workers N] [--queue N] [--engines N] [--no-demo]
+//
+//   --port 7070      TCP port (0 = ephemeral, printed on startup)
+//   --data-dir DIR   catalog directory of <name>.onex bases
+//   --workers 4      query worker threads (CPU concurrency cap)
+//   --queue 64       waiting-query bound; beyond it -> ERR OVERLOADED
+//   --engines 8      resident-engine cap (LRU eviction above it)
+//   --no-demo        don't seed the demo datasets (ecg, italypower)
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "server/catalog.h"
+#include "server/server.h"
+#include "util/flags.h"
+
+namespace {
+
+/// Builds a small synthetic engine so a fresh checkout has something to
+/// serve ("zero to queryable" without a data directory).
+bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
+                     const std::string& generator) {
+  onex::GenOptions gen;
+  gen.num_series = 30;
+  gen.length = 64;
+  auto made = onex::MakeDatasetByName(generator, gen);
+  if (!made.ok()) {
+    std::fprintf(stderr, "demo %s: %s\n", name.c_str(),
+                 made.status().ToString().c_str());
+    return false;
+  }
+  onex::Dataset dataset = std::move(made).value();
+  onex::MinMaxNormalize(&dataset);
+  onex::OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {8, 64, 8};
+  auto built = onex::Engine::Build(std::move(dataset), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "demo %s: %s\n", name.c_str(),
+                 built.status().ToString().c_str());
+    return false;
+  }
+  catalog.Register(name, std::move(built).value());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  onex::Flags flags(argc, argv);
+
+  onex::server::CatalogOptions catalog_options;
+  catalog_options.data_dir = flags.GetString("data-dir", "");
+  catalog_options.max_open_engines =
+      static_cast<size_t>(flags.GetInt("engines", 8));
+  auto catalog =
+      std::make_shared<onex::server::Catalog>(catalog_options);
+
+  if (!flags.Has("no-demo")) {
+    SeedDemoDataset(*catalog, "ecg", "ECG");
+    SeedDemoDataset(*catalog, "italypower", "ItalyPower");
+  }
+
+  onex::server::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 7070));
+  options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
+  options.max_queue = static_cast<size_t>(flags.GetInt("queue", 64));
+
+  // Block termination signals before spawning server threads so every
+  // thread inherits the mask and sigwait below is the sole receiver.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  auto started = onex::server::Server::Start(options, catalog);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<onex::server::Server> server = std::move(started).value();
+
+  std::printf("onex_server listening on %s:%u (workers=%zu queue=%zu)\n",
+              options.host.c_str(), server->port(), options.num_workers,
+              options.max_queue);
+  std::printf("datasets:\n");
+  for (const auto& row : catalog->List()) {
+    std::printf("  %-20s %s\n", row.name.c_str(),
+                row.resident ? (row.pinned ? "resident (in-memory)"
+                                           : "resident")
+                             : "on disk");
+  }
+  std::printf("try: nc 127.0.0.1 %u   then 'help'\n", server->port());
+  std::fflush(stdout);
+
+  // Block until SIGINT/SIGTERM, then shut down cleanly.
+  int received = 0;
+  sigwait(&signals, &received);
+  std::printf("signal %d — stopping\n", received);
+  server->Stop();
+  std::printf("served %llu requests (%llu shed)\n",
+              static_cast<unsigned long long>(server->metrics().requests()),
+              static_cast<unsigned long long>(
+                  server->metrics().overloaded()));
+  return 0;
+}

@@ -5,16 +5,14 @@
 //   data-driven  — "across all recordings, which fragments of length L
 //                   are similar to each other?"
 //
-// This example wires QueryProcessor by hand to show the low-level API;
-// interactive front ends should send a SeasonalRequest through the
-// onex::Engine facade instead (src/api/engine.h, see quickstart.cpp).
+// Both modes are one SeasonalRequest through the onex::Engine facade
+// (src/api/engine.h): series_id set = user-driven, empty = data-driven.
 //
 // Run: ./build/examples/seasonal_ecg
 
 #include <cstdio>
 
-#include "core/onex_base.h"
-#include "core/query_processor.h"
+#include "api/engine.h"
 #include "datagen/generators.h"
 #include "dataset/normalize.h"
 
@@ -29,21 +27,23 @@ int main() {
   onex::OnexOptions options;
   options.st = 0.25;
   options.lengths = {12, 48, 12};
-  auto built = onex::OnexBase::Build(std::move(ecg), options);
+  auto built = onex::Engine::Build(std::move(ecg), options);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
-  onex::QueryProcessor processor(&base);
+  onex::Engine engine = std::move(built).value();
 
   // User-driven: recurring 12-point fragments inside recording 0.
-  auto recurring = processor.SeasonalSimilarity(0, 12);
+  auto recurring =
+      engine.Execute(onex::SeasonalRequest{uint32_t{0}, 12});
   if (recurring.ok()) {
-    std::printf("recording 0, length 12: %zu recurring pattern group(s)\n",
-                recurring.value().size());
+    std::printf("recording 0, length 12: %zu recurring pattern group(s) "
+                "(%.2f ms)\n",
+                recurring.value().groups.size(),
+                recurring.value().latency_seconds * 1e3);
     size_t shown = 0;
-    for (const auto& group : recurring.value()) {
+    for (const auto& group : recurring.value().groups) {
       if (shown++ >= 3) break;
       std::printf("  pattern with %zu occurrences at offsets:", group.size());
       for (const auto& ref : group) std::printf(" %u", ref.start);
@@ -52,10 +52,10 @@ int main() {
   }
 
   // Data-driven: clusters of similar 24-point fragments dataset-wide.
-  auto clusters = processor.SimilarGroupsOfLength(24);
+  auto clusters = engine.Execute(onex::SeasonalRequest{std::nullopt, 24});
   if (clusters.ok()) {
     size_t multi_series = 0;
-    for (const auto& group : clusters.value()) {
+    for (const auto& group : clusters.value().groups) {
       bool cross = false;
       for (size_t i = 1; i < group.size(); ++i) {
         if (group[i].series != group[0].series) cross = true;
@@ -64,7 +64,7 @@ int main() {
     }
     std::printf("\nlength 24, dataset-wide: %zu similarity clusters, "
                 "%zu of them spanning multiple recordings\n",
-                clusters.value().size(), multi_series);
+                clusters.value().groups.size(), multi_series);
     std::printf("(cross-recording clusters are the interesting ones: the "
                 "same beat morphology appearing in different patients)\n");
   }

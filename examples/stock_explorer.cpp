@@ -3,9 +3,9 @@
 // does NOT exist in the data) and retrieves the closest match of any
 // length, plus the k most similar alternatives.
 //
-// This example wires QueryProcessor by hand to show the low-level API;
-// interactive front ends should send BestMatch/KSimilar requests
-// through the onex::Engine facade instead (src/api/engine.h).
+// The session drives the onex::Engine facade (src/api/engine.h) with
+// typed BestMatch/KSimilar requests — the same requests onex_cli and
+// the TCP server route.
 //
 // Run: ./build/examples/stock_explorer [--stocks N] [--days N]
 
@@ -13,8 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/onex_base.h"
-#include "core/query_processor.h"
+#include "api/engine.h"
 #include "datagen/generators.h"
 #include "dataset/normalize.h"
 #include "util/flags.h"
@@ -34,18 +33,18 @@ int main(int argc, char** argv) {
   onex::OnexOptions options;
   options.st = 0.2;
   options.lengths = {10, 0, 10};  // 10, 20, ..., 120-day windows.
-  auto built = onex::OnexBase::Build(std::move(market), options);
+  auto built = onex::Engine::Build(std::move(market), options);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
+  onex::Engine engine = std::move(built).value();
+  const onex::BaseStats stats = engine.base_stats();
   std::printf("indexed %llu windows into %llu groups across %llu "
               "lengths\n",
-              static_cast<unsigned long long>(base.stats().num_subsequences),
-              static_cast<unsigned long long>(
-                  base.stats().num_representatives),
-              static_cast<unsigned long long>(base.stats().num_lengths));
+              static_cast<unsigned long long>(stats.num_subsequences),
+              static_cast<unsigned long long>(stats.num_representatives),
+              static_cast<unsigned long long>(stats.num_lengths));
 
   // The analyst sketches a "recovery" shape: a dip followed by a strong
   // rally over 30 trading days. This exact sequence is not in the data.
@@ -55,31 +54,29 @@ int main(int argc, char** argv) {
     sketch[i] = t < 0.4 ? 0.5 - 0.35 * std::sin(t / 0.4 * M_PI / 2.0)
                         : 0.15 + 0.7 * (t - 0.4) / 0.6;
   }
-
-  onex::QueryProcessor processor(&base);
   const std::span<const double> q(sketch.data(), sketch.size());
 
-  auto best = processor.FindBestMatch(q);
+  auto best = engine.Execute(onex::BestMatchRequest{sketch, /*length=*/0});
   if (!best.ok()) {
     std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
     return 1;
   }
+  const onex::QueryMatch& match = best.value().matches[0];
   std::printf("\ndesigned 'dip then rally' sketch (30 days):\n%s\n",
               onex::SparklineLabeled(q, 60).c_str());
   std::printf("\nbest match: stock #%u, days %u-%u (normalized DTW "
-              "%.5f)\n%s\n",
-              best.value().ref.series, best.value().ref.start,
-              best.value().ref.start + best.value().ref.length - 1,
-              best.value().distance,
-              onex::SparklineLabeled(
-                  best.value().ref.View(base.dataset()), 60)
+              "%.5f, %.2f ms)\n%s\n",
+              match.ref.series, match.ref.start,
+              match.ref.start + match.ref.length - 1, match.distance,
+              best.value().latency_seconds * 1e3,
+              onex::SparklineLabeled(match.ref.View(engine.dataset()), 60)
                   .c_str());
 
   // The 5 most similar windows in the best-matching group.
-  auto top = processor.FindKSimilar(q, 5);
+  auto top = engine.Execute(onex::KSimilarRequest{sketch, 5});
   if (top.ok()) {
     std::printf("\ntop similar windows:\n");
-    for (const auto& m : top.value()) {
+    for (const auto& m : top.value().matches) {
       std::printf("  stock #%-3u days %3u-%-3u  distance %.5f\n",
                   m.ref.series, m.ref.start,
                   m.ref.start + m.ref.length - 1, m.distance);

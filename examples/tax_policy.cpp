@@ -8,9 +8,10 @@
 // regime (boom / bust / recovery cycles) varies in timing — exactly the
 // misalignment DTW absorbs and ED cannot.
 //
-// This example wires QueryProcessor by hand to show the low-level API;
-// interactive front ends should drive the onex::Engine facade instead
-// (src/api/engine.h, see quickstart.cpp and onex_cli.cpp).
+// The exploration session drives the onex::Engine facade
+// (src/api/engine.h) with BestMatch and Seasonal requests; only the
+// ED-vs-DTW digression below touches the distance primitives directly,
+// because comparing the two metrics IS its point.
 //
 // Run: ./build/examples/tax_policy
 
@@ -18,8 +19,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/onex_base.h"
-#include "core/query_processor.h"
+#include "api/engine.h"
 #include "dataset/normalize.h"
 #include "distance/dtw.h"
 #include "distance/euclidean.h"
@@ -60,13 +60,12 @@ int main() {
   onex::OnexOptions options;
   options.st = 0.2;
   options.lengths = {8, 40, 8};  // 2 to 10 year windows of quarters.
-  auto built = onex::OnexBase::Build(states, options);
+  auto built = onex::Engine::Build(states, options);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
-  onex::QueryProcessor processor(&base);
+  onex::Engine engine = std::move(built).value();
 
   // The analysts design a growth time line indicative of a positive
   // impact: brief dip, then sustained above-trend growth (16 quarters).
@@ -74,24 +73,23 @@ int main() {
   for (size_t t = 0; t < target.size(); ++t) {
     target[t] = t < 4 ? 0.45 - 0.05 * t : 0.3 + 0.4 * (t - 4) / 11.0;
   }
-  const std::span<const double> q(target.data(), target.size());
 
-  auto best = processor.FindBestMatch(q);
+  auto best = engine.Execute(onex::BestMatchRequest{target, /*length=*/0});
   if (!best.ok()) {
     std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
     return 1;
   }
+  const onex::QueryMatch& match = best.value().matches[0];
   std::printf("designed 'positive impact' profile (16 quarters):\n");
   std::printf("  closest real trajectory: state #%u, quarters %u-%u "
               "(normalized DTW %.5f)\n",
-              best.value().ref.series, best.value().ref.start,
-              best.value().ref.start + best.value().ref.length - 1,
-              best.value().distance);
+              match.ref.series, match.ref.start,
+              match.ref.start + match.ref.length - 1, match.distance);
 
   // Why time warping matters here: compare ED and DTW on two states
   // whose cycles are out of phase.
-  const auto a = base.dataset()[0].Subsequence(0, 32);
-  const auto b = base.dataset()[1].Subsequence(0, 32);
+  const auto a = engine.dataset()[0].Subsequence(0, 32);
+  const auto b = engine.dataset()[1].Subsequence(0, 32);
   std::printf("\nstate #0 vs state #1 (same 8 years, phase-shifted "
               "cycles):\n");
   std::printf("  Euclidean (no warping):  %.4f\n",
@@ -103,11 +101,11 @@ int main() {
               "retrieval.\n");
 
   // Similar short-term impacts across states: 8-quarter windows that
-  // cluster together across different states.
-  auto clusters = processor.SimilarGroupsOfLength(8);
+  // cluster together across different states (data-driven Q2).
+  auto clusters = engine.Execute(onex::SeasonalRequest{std::nullopt, 8});
   if (clusters.ok()) {
     size_t cross = 0;
-    for (const auto& group : clusters.value()) {
+    for (const auto& group : clusters.value().groups) {
       for (size_t i = 1; i < group.size(); ++i) {
         if (group[i].series != group[0].series) {
           ++cross;
@@ -118,7 +116,7 @@ int main() {
     std::printf("\n8-quarter windows: %zu similarity clusters, %zu "
                 "spanning multiple states (recurring 'short-term "
                 "impact' patterns).\n",
-                clusters.value().size(), cross);
+                clusters.value().groups.size(), cross);
   }
   return 0;
 }

@@ -3,20 +3,41 @@
 // for this dataset in concrete ST numbers, then explore a different
 // threshold WITHOUT rebuilding the base via the split/merge refiner.
 //
-// This example wires Recommender/ThresholdRefiner by hand to show the
-// low-level API; interactive front ends should send Recommend and
-// RefineThreshold requests through the onex::Engine facade instead
-// (src/api/engine.h, see onex_cli.cpp).
+// The whole session is typed requests through the onex::Engine facade
+// (src/api/engine.h): Recommend for the ST intervals, RefineThreshold
+// for the what-if grouping — the same requests onex_cli's `q3` and
+// `refine` send.
 //
 // Run: ./build/examples/threshold_tuning
 
 #include <cstdio>
+#include <vector>
 
-#include "core/onex_base.h"
-#include "core/recommender.h"
-#include "core/threshold_refiner.h"
+#include "api/engine.h"
 #include "datagen/generators.h"
 #include "dataset/normalize.h"
+
+namespace {
+
+/// Labels an analyst-chosen ST' by the recommendation interval it falls
+/// into (rows come back in S, M, L order; values past the loose band
+/// stay "loose").
+const char* LabelFor(const std::vector<onex::Recommendation>& rows,
+                     double st_prime) {
+  const char* label = "loose";
+  for (const auto& rec : rows) {
+    if (st_prime <= rec.st_high) {
+      switch (rec.degree) {
+        case onex::SimilarityDegree::kStrict: return "strict";
+        case onex::SimilarityDegree::kMedium: return "medium";
+        case onex::SimilarityDegree::kLoose:  return "loose";
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace
 
 int main() {
   onex::GenOptions gen;
@@ -29,43 +50,49 @@ int main() {
   onex::OnexOptions options;
   options.st = 0.2;
   options.lengths = {6, 24, 6};
-  auto built = onex::OnexBase::Build(std::move(power), options);
+  auto built = onex::Engine::Build(std::move(power), options);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  onex::OnexBase base = std::move(built).value();
+  onex::Engine engine = std::move(built).value();
 
   // Q3: what do the similarity degrees mean here, globally and for
   // 12-point subsequences specifically?
-  onex::Recommender recommender(&base);
+  auto global = engine.Execute(onex::RecommendRequest{});
+  if (!global.ok()) {
+    std::fprintf(stderr, "%s\n", global.status().ToString().c_str());
+    return 1;
+  }
   std::printf("similarity-threshold guidance (global):\n");
-  for (const auto& rec : recommender.AllDegrees()) {
+  for (const auto& rec : global.value().recommendations) {
     std::printf("  %s\n", rec.ToString().c_str());
   }
-  std::printf("for length 12 specifically:\n");
-  for (const auto& rec : recommender.AllDegrees(12)) {
+  const size_t length = 12;
+  auto local = engine.Execute(onex::RecommendRequest{std::nullopt, length});
+  if (!local.ok()) {
+    std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("for length %zu specifically:\n", length);
+  for (const auto& rec : local.value().recommendations) {
     std::printf("  %s\n", rec.ToString().c_str());
   }
 
   // An analyst tries ST' values; the refiner adapts the prebuilt groups
   // (split when stricter, Dc-guided cascading merge when looser).
-  onex::ThresholdRefiner refiner(&base);
-  const size_t length = 12;
   std::printf("\ngroups of length %zu at various thresholds (base ST = "
-              "%.2f, %zu groups):\n",
-              length, base.options().st,
-              base.EntryFor(length)->NumGroups());
+              "%.2f):\n",
+              length, engine.options().st);
   for (double st_prime : {0.05, 0.1, 0.2, 0.3, 0.5}) {
-    auto refined = refiner.RefineLength(length, st_prime);
+    auto refined =
+        engine.Execute(onex::RefineThresholdRequest{st_prime, length});
     if (!refined.ok()) continue;
-    const auto degree = recommender.Classify(st_prime, length);
-    const char* label = degree == onex::SimilarityDegree::kStrict ? "strict"
-                        : degree == onex::SimilarityDegree::kMedium
-                            ? "medium"
-                            : "loose";
-    std::printf("  ST' = %.2f -> %4zu groups   (%s similarity)\n", st_prime,
-                refined.value().NumGroups(), label);
+    const onex::RefineSummary& summary = refined.value().refinements[0];
+    std::printf("  ST' = %.2f -> %4zu groups (base had %zu)   (%s "
+                "similarity)\n",
+                st_prime, summary.groups_after, summary.groups_before,
+                LabelFor(local.value().recommendations, st_prime));
   }
   std::printf("\nsplitting/merging reuses the precomputed base — no "
               "reconstruction, which is the point of Sec. 5.2.\n");

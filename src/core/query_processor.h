@@ -83,14 +83,11 @@ struct QueryStats {
 
 /// Stateless query engine over a built base. Every query method is const
 /// and reentrant: work counters are accumulated per call and returned
-/// through the optional trailing `stats` out-parameter, so one processor
-/// can serve concurrent readers (`onex::Engine` relies on this).
-///
-/// Legacy accumulator shim: when a query is called WITHOUT a `stats`
-/// out-parameter, its counters are added to a deprecated member
-/// accumulator readable via stats()/ResetStats(). That mode keeps the
-/// older benches working but is NOT thread-safe — pass per-call stats
-/// from concurrent contexts.
+/// through the optional trailing `stats` out-parameter (nullptr simply
+/// discards them), so one processor can serve concurrent readers
+/// (`onex::Engine` and the server's worker pool rely on this). The
+/// processor holds NO mutable state — the old member accumulator is
+/// gone; callers wanting running totals QueryStats::Add per call.
 class QueryProcessor {
  public:
   /// `base` must outlive the processor.
@@ -138,11 +135,6 @@ class QueryProcessor {
   Result<std::vector<std::vector<SubsequenceRef>>> SimilarGroupsOfLength(
       size_t length) const;
 
-  /// Deprecated accumulator (see class comment): counters of every query
-  /// issued without a per-call `stats` out-parameter.
-  const QueryStats& stats() const { return stats_; }
-  void ResetStats() const { stats_.Reset(); }
-
  private:
   /// Best representative of `entry` for `query`: (group id, normalized
   /// DTW). `bsf` seeds pruning (normalized units).
@@ -174,19 +166,13 @@ class QueryProcessor {
   /// Lengths in the optimized search order for a query of length m.
   std::vector<size_t> OrderedLengths(size_t m) const;
 
-  /// Delivers one call's counters: to `*out` when the caller asked for
-  /// per-call stats, otherwise into the legacy member accumulator.
-  void CommitStats(const QueryStats& call, QueryStats* out) const {
-    if (out != nullptr) {
-      *out = call;
-    } else {
-      stats_.Add(call);
-    }
+  /// Delivers one call's counters to the caller (nullptr = not wanted).
+  static void CommitStats(const QueryStats& call, QueryStats* out) {
+    if (out != nullptr) *out = call;
   }
 
   const OnexBase* base_;
   QueryOptions options_;
-  mutable QueryStats stats_;
 };
 
 }  // namespace onex

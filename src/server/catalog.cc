@@ -1,0 +1,149 @@
+#include "server/catalog.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+namespace onex {
+namespace server {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kBaseExtension = ".onex";
+}  // namespace
+
+Catalog::Catalog(CatalogOptions options) : options_(std::move(options)) {
+  if (options_.max_open_engines == 0) options_.max_open_engines = 1;
+}
+
+std::string Catalog::PathFor(const std::string& name) const {
+  if (options_.data_dir.empty()) return "";
+  return (fs::path(options_.data_dir) / (name + kBaseExtension)).string();
+}
+
+void Catalog::Register(const std::string& name, Engine engine) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto shared = std::make_shared<const Engine>(std::move(engine));
+  for (auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) {
+      entry.engine = std::move(shared);
+      entry.pinned = true;
+      entry.last_used = ++tick_;
+      EnforceCapLocked();
+      return;
+    }
+  }
+  entries_.emplace_back(name, Entry{std::move(shared), /*pinned=*/true,
+                                    ++tick_});
+  EnforceCapLocked();
+}
+
+Result<std::shared_ptr<const Engine>> Catalog::Acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = nullptr;
+  for (auto& [entry_name, e] : entries_) {
+    if (entry_name == name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry != nullptr && entry->engine != nullptr) {
+    entry->last_used = ++tick_;
+    ++stats_.hits;
+    return entry->engine;
+  }
+
+  // Lazy (re)open from disk.
+  const std::string path = PathFor(name);
+  if (path.empty() || !fs::exists(path)) {
+    return Status::NotFound("dataset '" + name + "' is not in the catalog" +
+                            (options_.data_dir.empty()
+                                 ? ""
+                                 : " (looked for " + path + ")"));
+  }
+  auto opened = Engine::Open(path, options_.query_options);
+  if (!opened.ok()) return opened.status();
+  auto shared = std::make_shared<const Engine>(std::move(opened).value());
+  ++stats_.lazy_opens;
+  if (entry != nullptr) {
+    entry->engine = shared;
+    entry->last_used = ++tick_;
+  } else {
+    entries_.emplace_back(name, Entry{shared, /*pinned=*/false, ++tick_});
+  }
+  EnforceCapLocked();
+  return shared;
+}
+
+void Catalog::EnforceCapLocked() {
+  auto resident = [&] {
+    size_t n = 0;
+    for (const auto& [name, entry] : entries_) {
+      if (entry.engine != nullptr) ++n;
+    }
+    return n;
+  };
+  size_t open = resident();
+  while (open > options_.max_open_engines) {
+    Entry* victim = nullptr;
+    for (auto& [name, entry] : entries_) {
+      // Evictable: resident, reopenable, and idle (the catalog holds the
+      // only reference — dropping a shared engine frees no memory).
+      if (entry.engine == nullptr || entry.pinned) continue;
+      if (entry.engine.use_count() > 1) continue;
+      if (victim == nullptr || entry.last_used < victim->last_used) {
+        victim = &entry;
+      }
+    }
+    if (victim == nullptr) break;  // Everything in use or pinned.
+    victim->engine.reset();
+    ++stats_.evictions;
+    --open;
+  }
+}
+
+std::vector<CatalogEntryInfo> Catalog::List() const {
+  // Snapshot the registry under the lock, then do the directory scan
+  // (potentially slow I/O) outside it so LIST never stalls Acquire.
+  std::vector<CatalogEntryInfo> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      rows.push_back({name, entry.engine != nullptr, entry.pinned});
+    }
+  }
+  if (!options_.data_dir.empty()) {
+    std::error_code ec;
+    for (const auto& file :
+         fs::directory_iterator(options_.data_dir, ec)) {
+      if (!file.is_regular_file(ec)) continue;
+      const fs::path& p = file.path();
+      if (p.extension() != kBaseExtension) continue;
+      const std::string name = p.stem().string();
+      const bool known =
+          std::any_of(rows.begin(), rows.end(),
+                      [&](const CatalogEntryInfo& r) { return r.name == name; });
+      if (!known) rows.push_back({name, false, false});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CatalogEntryInfo& a, const CatalogEntryInfo& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+CatalogStats Catalog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CatalogStats out = stats_;
+  out.resident = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.engine != nullptr) ++out.resident;
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace onex

@@ -1,0 +1,105 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Multi-dataset engine registry for the serving layer. Interactive
+// exploration spans many datasets at once (stocks + ECG + tax series in
+// one deployment), but an ONEX base is memory-heavy, so the catalog
+// mediates: sessions name datasets ("use ecg"), the catalog lazily
+// Engine::Opens the persisted base from its data directory on first
+// touch, shares the live engine across every session via shared_ptr,
+// and LRU-evicts idle disk-backed engines once more than
+// `max_open_engines` are resident. A session holding a shared_ptr keeps
+// its engine alive across eviction — eviction only drops the catalog's
+// reference, so the base is reopened for the NEXT acquirer.
+//
+// Naming: dataset `name` maps to file `<data_dir>/<name>.onex` (the
+// serialization.h format). Engines can also be Register()ed directly —
+// built in-process, no backing file — and those are pinned: they count
+// against the cap but are never evicted, because they cannot be
+// reopened.
+//
+// Thread-safety: all methods are safe to call concurrently; one mutex
+// guards the registry (Engine::Open runs under it — opening is rare and
+// sessions touch the catalog only at `use` time, never per query).
+
+#ifndef ONEX_SERVER_CATALOG_H_
+#define ONEX_SERVER_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace onex {
+namespace server {
+
+struct CatalogOptions {
+  /// Directory scanned for `<name>.onex` bases; empty = no disk backing
+  /// (only Register()ed engines resolve).
+  std::string data_dir;
+  /// Resident-engine cap enforced by LRU eviction.
+  size_t max_open_engines = 8;
+  /// Query options applied to lazily opened engines.
+  QueryOptions query_options;
+};
+
+/// Point-in-time counters for the STATS verb and tests.
+struct CatalogStats {
+  uint64_t lazy_opens = 0;  ///< Engine::Open calls that succeeded.
+  uint64_t hits = 0;        ///< Acquires served by a resident engine.
+  uint64_t evictions = 0;   ///< Engines dropped by the LRU cap.
+  size_t resident = 0;      ///< Currently open engines.
+};
+
+/// One catalog row for LIST replies.
+struct CatalogEntryInfo {
+  std::string name;
+  bool resident = false;
+  bool pinned = false;  ///< Register()ed in-memory engine (not evictable).
+};
+
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options = {});
+
+  /// Registers an in-process engine under `name` (replacing any previous
+  /// entry). The engine is pinned: never evicted, since there is no file
+  /// to reopen it from.
+  void Register(const std::string& name, Engine engine);
+
+  /// Resolves `name` to a live engine: resident -> shared, evicted or
+  /// never-opened -> lazily opened from `<data_dir>/<name>.onex`.
+  /// NotFound when the name is neither registered nor on disk.
+  Result<std::shared_ptr<const Engine>> Acquire(const std::string& name);
+
+  /// Registered names plus every `.onex` file in data_dir, sorted.
+  std::vector<CatalogEntryInfo> List() const;
+
+  CatalogStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Engine> engine;  ///< nullptr when evicted.
+    bool pinned = false;
+    uint64_t last_used = 0;
+  };
+
+  /// Evicts LRU non-pinned idle engines until the cap holds. Entries
+  /// still referenced by sessions (use_count > 1) are skipped — their
+  /// memory cannot be reclaimed anyway. Caller holds mutex_.
+  void EnforceCapLocked();
+
+  std::string PathFor(const std::string& name) const;
+
+  CatalogOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  ///< Sorted insert order.
+  uint64_t tick_ = 0;  ///< LRU clock, bumped per Acquire.
+  CatalogStats stats_;
+};
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_CATALOG_H_

@@ -1,0 +1,98 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "server/socket_io.h"
+
+namespace onex {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  Client client;
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  const Status greeted = client.ReadLine(&client.greeting_);
+  if (!greeted.ok()) return greeted;
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      greeting_(std::move(other.greeting_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+    greeting_ = std::move(other.greeting_);
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    reader_.reset();
+  }
+}
+
+Status Client::ReadLine(std::string* line) {
+  if (reader_ == nullptr) {
+    // Replies are bounded by the server's own rendering; 64 MB guards
+    // against a runaway/hostile peer without capping legitimate blocks.
+    reader_ = std::make_unique<SocketLineReader>(fd_, size_t{64} << 20);
+  }
+  if (!reader_->ReadLine(line)) {
+    return Status::IOError("connection closed or read failed");
+  }
+  return Status::OK();
+}
+
+Result<WireResponse> Client::Roundtrip(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  if (!SendAll(fd_, line + "\n")) {
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  std::vector<std::string> lines;
+  while (true) {
+    std::string reply_line;
+    const Status read = ReadLine(&reply_line);
+    if (!read.ok()) return read;
+    if (reply_line == ".") break;
+    lines.push_back(std::move(reply_line));
+  }
+  return ParseResponseBlock(lines);
+}
+
+Result<WireResponse> Client::Execute(const QueryRequest& request) {
+  return Roundtrip(RenderRequestLine(request));
+}
+
+}  // namespace server
+}  // namespace onex

@@ -1,0 +1,64 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Minimal blocking client for the ONEX wire protocol: connect, send one
+// request line, read the reply block. Used by the loopback server tests
+// and bench/server_throughput.cc, and the dial-out side future
+// replication/sharding PRs build on. One Client is one session (one
+// socket); it is not thread-safe — give each client thread its own.
+
+#ifndef ONEX_SERVER_CLIENT_H_
+#define ONEX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace onex {
+namespace server {
+
+class SocketLineReader;
+
+class Client {
+ public:
+  /// Connects and consumes the greeting line ("ONEX/<v> ready").
+  /// IOError when the server is unreachable.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request line (newline appended) and reads the full reply
+  /// block. The returned WireResponse may itself be an ERR reply —
+  /// that's a successful round trip; IOError only on transport failure.
+  Result<WireResponse> Roundtrip(const std::string& line);
+
+  /// Typed convenience: RenderRequestLine + Roundtrip.
+  Result<WireResponse> Execute(const QueryRequest& request);
+
+  /// The greeting line received at connect time (without newline).
+  const std::string& greeting() const { return greeting_; }
+
+  void Close();
+
+ private:
+  Client() = default;
+
+  /// Reads one '\n'-terminated line into *line (CR stripped); shares
+  /// the server's SocketLineReader so framing rules cannot diverge.
+  Status ReadLine(std::string* line);
+
+  int fd_ = -1;
+  std::unique_ptr<SocketLineReader> reader_;
+  std::string greeting_;
+};
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_CLIENT_H_

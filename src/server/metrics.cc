@@ -1,0 +1,119 @@
+#include "server/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace onex {
+namespace server {
+
+double LatencyHistogram::UpperBound(size_t i) {
+  // 10 buckets per decade: bound(i) = 1µs * 10^(i/10). Precomputed once
+  // — Record runs on the per-request hot path under the metrics mutex,
+  // so the lookup must be a load, not a pow().
+  static const std::array<double, kBuckets> bounds = [] {
+    std::array<double, kBuckets> b{};
+    for (size_t j = 0; j < kBuckets; ++j) {
+      b[j] = kFirstUpperBound * std::pow(10.0, static_cast<double>(j) / 10.0);
+    }
+    return b;
+  }();
+  return bounds[i];
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;
+  size_t bucket = 0;
+  while (bucket + 1 < kBuckets && seconds > UpperBound(bucket)) ++bucket;
+  ++buckets_[bucket];
+  ++count_;
+  total_seconds_ += seconds;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the quantile sample, 1-based ceil so p=100 hits the last
+  // occupied bucket and p=0 the first.
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && seen > 0) return UpperBound(i);
+  }
+  return UpperBound(kBuckets - 1);
+}
+
+void ServerMetrics::RecordQuery(QueryKind kind, double seconds, bool ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KindMetrics& m = kinds_[static_cast<size_t>(kind)];
+  ++m.requests;
+  if (!ok) ++m.errors;
+  m.latency.Record(seconds);
+}
+
+void ServerMetrics::RecordConnection() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++connections_;
+}
+
+void ServerMetrics::RecordOverloaded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++overloaded_;
+}
+
+void ServerMetrics::RecordBadRequest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++bad_requests_;
+}
+
+uint64_t ServerMetrics::requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const KindMetrics& m : kinds_) total += m.requests;
+  return total;
+}
+
+uint64_t ServerMetrics::overloaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overloaded_;
+}
+
+std::string ServerMetrics::Render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const KindMetrics& m : kinds_) total += m.requests;
+
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "server connections=%llu requests=%llu overloaded=%llu "
+                "bad_requests=%llu\n",
+                static_cast<unsigned long long>(connections_),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(overloaded_),
+                static_cast<unsigned long long>(bad_requests_));
+  std::string out = line;
+
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    const KindMetrics& m = kinds_[i];
+    if (m.requests == 0) continue;
+    const double mean_us =
+        m.latency.total_seconds() / static_cast<double>(m.latency.count()) *
+        1e6;
+    std::snprintf(line, sizeof(line),
+                  "kind name=%s requests=%llu errors=%llu p50_us=%.0f "
+                  "p95_us=%.0f p99_us=%.0f mean_us=%.0f\n",
+                  ToString(static_cast<QueryKind>(i)),
+                  static_cast<unsigned long long>(m.requests),
+                  static_cast<unsigned long long>(m.errors),
+                  m.latency.Percentile(50.0) * 1e6,
+                  m.latency.Percentile(95.0) * 1e6,
+                  m.latency.Percentile(99.0) * 1e6, mean_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace onex

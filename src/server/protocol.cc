@@ -1,0 +1,421 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace onex {
+namespace server {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Round-trip double formatting (%.17g reproduces the exact bits).
+std::string Dbl(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Csv(const std::vector<double>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += Dbl(values[i]);
+  }
+  return out;
+}
+
+std::optional<double> ParseDouble(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<uint64_t> ParseUnsigned(const std::string& token) {
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(token.c_str(), &end, 10);
+  if (*end != '\0') return std::nullopt;
+  return v;
+}
+
+Status Usage(const char* usage) {
+  return Status::InvalidArgument(std::string("usage: ") + usage);
+}
+
+/// One-letter degree tokens of the q3 grammar.
+const char* DegreeToken(SimilarityDegree degree) {
+  switch (degree) {
+    case SimilarityDegree::kStrict: return "S";
+    case SimilarityDegree::kMedium: return "M";
+    case SimilarityDegree::kLoose:  return "L";
+  }
+  return "M";
+}
+
+/// Strips '\n' so a multi-line message cannot break reply framing.
+std::string OneLine(std::string message) {
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return message;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> ParseValuesCsv(const std::string& csv) {
+  // A trailing comma usually means the list continued past a stray
+  // space and got truncated by tokenization — reject rather than
+  // answer a shorter query than the user wrote.
+  if (!csv.empty() && csv.back() == ',') return std::nullopt;
+  std::vector<double> values;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    // Reject trailing garbage too ("0.1;0.2" must not become 0.1):
+    // silently dropping values would answer the wrong query.
+    if (end == item.c_str() || *end != '\0') return std::nullopt;
+    values.push_back(v);
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+std::optional<size_t> ParseLengthToken(const std::string& token) {
+  const std::string t = Lower(token);
+  if (t == "any" || t == "all") return size_t{0};
+  const auto v = ParseUnsigned(token);
+  if (!v.has_value()) return std::nullopt;
+  return static_cast<size_t>(*v);
+}
+
+Result<Request> ParseRequestLine(const std::string& line) {
+  const auto t = Tokenize(line);
+  if (t.empty()) return Status::InvalidArgument("empty request");
+  const std::string verb = Lower(t[0]);
+
+  // ---- session control. Extra operands are rejected everywhere: a
+  // line that doesn't parse whole must not silently answer something
+  // shorter than what the client wrote.
+  if (verb == "use") {
+    if (t.size() != 2) return Usage("use <dataset>");
+    return Request(ControlRequest{ControlVerb::kUse, t[1]});
+  }
+  if (verb == "list" || verb == "stats" || verb == "ping" ||
+      verb == "help" || verb == "quit" || verb == "exit") {
+    if (t.size() != 1) {
+      return Status::InvalidArgument("'" + verb + "' takes no operands");
+    }
+    if (verb == "list") return Request(ControlRequest{ControlVerb::kList, ""});
+    if (verb == "stats") {
+      return Request(ControlRequest{ControlVerb::kStats, ""});
+    }
+    if (verb == "ping") return Request(ControlRequest{ControlVerb::kPing, ""});
+    if (verb == "help") return Request(ControlRequest{ControlVerb::kHelp, ""});
+    return Request(ControlRequest{ControlVerb::kQuit, ""});
+  }
+
+  // ---- queries (the CLI's historical grammar, now shared).
+  if (verb == "q1") {
+    if (t.size() != 3) return Usage("q1 <len|any> <v1,v2,...>");
+    const auto length = ParseLengthToken(t[1]);
+    if (!length) return Status::InvalidArgument("bad length '" + t[1] + "'");
+    const auto values = ParseValuesCsv(t[2]);
+    if (!values) return Status::InvalidArgument("bad value list");
+    return Request(QueryRequest(BestMatchRequest{*values, *length}));
+  }
+  if (verb == "q1k") {
+    if (t.size() != 4) return Usage("q1k <k> <len|any> <v1,v2,...>");
+    const auto k = ParseUnsigned(t[1]);
+    if (!k || *k == 0) return Status::InvalidArgument("bad k '" + t[1] + "'");
+    const auto length = ParseLengthToken(t[2]);
+    if (!length) return Status::InvalidArgument("bad length '" + t[2] + "'");
+    const auto values = ParseValuesCsv(t[3]);
+    if (!values) return Status::InvalidArgument("bad value list");
+    return Request(QueryRequest(
+        KSimilarRequest{*values, static_cast<size_t>(*k), *length}));
+  }
+  if (verb == "q1r") {
+    if (t.size() < 4 || t.size() > 5) {
+      return Usage("q1r <st> <len|any> <v1,v2,...> [bound]");
+    }
+    const auto st = ParseDouble(t[1]);
+    if (!st || *st < 0.0) {
+      return Status::InvalidArgument("bad threshold '" + t[1] + "'");
+    }
+    const auto length = ParseLengthToken(t[2]);
+    if (!length) return Status::InvalidArgument("bad length '" + t[2] + "'");
+    const auto values = ParseValuesCsv(t[3]);
+    if (!values) return Status::InvalidArgument("bad value list");
+    bool exact = true;
+    if (t.size() > 4) {
+      if (Lower(t[4]) != "bound") {
+        return Status::InvalidArgument("bad modifier '" + t[4] +
+                                       "' (expected 'bound')");
+      }
+      exact = false;
+    }
+    return Request(QueryRequest(RangeWithinRequest{*values, *st, *length,
+                                                   exact}));
+  }
+  if (verb == "q2") {
+    if (t.size() != 3) return Usage("q2 <series|all> <len>");
+    SeasonalRequest request;
+    const auto length = ParseUnsigned(t[2]);
+    if (!length) return Status::InvalidArgument("bad length '" + t[2] + "'");
+    request.length = static_cast<size_t>(*length);
+    if (Lower(t[1]) != "all") {
+      const auto series = ParseUnsigned(t[1]);
+      if (!series) {
+        return Status::InvalidArgument("bad series '" + t[1] + "'");
+      }
+      request.series_id = static_cast<uint32_t>(*series);
+    }
+    return Request(QueryRequest(request));
+  }
+  if (verb == "q3") {
+    if (t.size() > 3) return Usage("q3 <S|M|L|any> [len]");
+    RecommendRequest request;
+    if (t.size() > 1) {
+      const std::string degree = Lower(t[1]);
+      if (degree != "any" && degree != "all" && degree != "*") {
+        if (degree != "s" && degree != "m" && degree != "l") {
+          return Status::InvalidArgument("bad degree '" + t[1] +
+                                         "' (expected S, M, L, or any)");
+        }
+        request.degree = ParseDegree(t[1]);
+      }
+    }
+    if (t.size() > 2) {
+      const auto length = ParseLengthToken(t[2]);
+      if (!length) return Status::InvalidArgument("bad length '" + t[2] + "'");
+      request.length = *length;
+    }
+    return Request(QueryRequest(request));
+  }
+  if (verb == "refine") {
+    if (t.size() != 3) return Usage("refine <st'> <len|all>");
+    const auto st = ParseDouble(t[1]);
+    if (!st) return Status::InvalidArgument("bad threshold '" + t[1] + "'");
+    const auto length = ParseLengthToken(t[2]);
+    if (!length) return Status::InvalidArgument("bad length '" + t[2] + "'");
+    return Request(QueryRequest(RefineThresholdRequest{*st, *length}));
+  }
+
+  return Status::InvalidArgument("unknown verb '" + t[0] + "' — try 'help'");
+}
+
+std::string RenderRequestLine(const QueryRequest& request) {
+  std::string line;
+  std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, BestMatchRequest>) {
+          line = "q1 " +
+                 (req.length == 0 ? std::string("any")
+                                  : std::to_string(req.length)) +
+                 " " + Csv(req.query);
+        } else if constexpr (std::is_same_v<T, KSimilarRequest>) {
+          line = "q1k " + std::to_string(req.k) + " " +
+                 (req.length == 0 ? std::string("any")
+                                  : std::to_string(req.length)) +
+                 " " + Csv(req.query);
+        } else if constexpr (std::is_same_v<T, RangeWithinRequest>) {
+          line = "q1r " + Dbl(req.st) + " " +
+                 (req.length == 0 ? std::string("any")
+                                  : std::to_string(req.length)) +
+                 " " + Csv(req.query);
+          if (!req.exact_distances) line += " bound";
+        } else if constexpr (std::is_same_v<T, SeasonalRequest>) {
+          line = "q2 " +
+                 (req.series_id.has_value() ? std::to_string(*req.series_id)
+                                            : std::string("all")) +
+                 " " + std::to_string(req.length);
+        } else if constexpr (std::is_same_v<T, RecommendRequest>) {
+          line = std::string("q3 ") +
+                 (req.degree.has_value() ? DegreeToken(*req.degree) : "any") +
+                 " " +
+                 (req.length == 0 ? std::string("any")
+                                  : std::to_string(req.length));
+        } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
+          line = "refine " + Dbl(req.st_prime) + " " +
+                 (req.length == 0 ? std::string("all")
+                                  : std::to_string(req.length));
+        }
+      },
+      request);
+  return line;
+}
+
+std::string RenderResponse(const QueryResponse& response) {
+  std::string out = "OK ";
+  out += ToString(response.kind);
+  switch (response.kind) {
+    case QueryKind::kBestMatch:
+    case QueryKind::kKSimilar:
+    case QueryKind::kRangeWithin:
+      out += " matches=" + std::to_string(response.matches.size());
+      break;
+    case QueryKind::kSeasonal:
+      out += " groups=" + std::to_string(response.groups.size());
+      break;
+    case QueryKind::kRecommend:
+      out += " rows=" + std::to_string(response.recommendations.size());
+      break;
+    case QueryKind::kRefineThreshold:
+      out += " rows=" + std::to_string(response.refinements.size());
+      break;
+  }
+  out += " latency_us=" +
+         std::to_string(
+             static_cast<long long>(std::llround(response.latency_seconds *
+                                                 1e6))) +
+         "\n";
+
+  const QueryStats& s = response.stats;
+  char stats_line[192];
+  std::snprintf(stats_line, sizeof(stats_line),
+                "stats lengths_scanned=%" PRIu64 " reps_compared=%" PRIu64
+                " reps_pruned=%" PRIu64 " members_compared=%" PRIu64
+                " lemma2_admitted=%" PRIu64 "\n",
+                s.lengths_scanned, s.reps_compared, s.reps_pruned,
+                s.members_compared, s.members_admitted_by_lemma2);
+  out += stats_line;
+
+  for (const QueryMatch& m : response.matches) {
+    out += "match series=" + std::to_string(m.ref.series) +
+           " start=" + std::to_string(m.ref.start) +
+           " length=" + std::to_string(m.ref.length) +
+           " distance=" + Dbl(m.distance) +
+           " group=" + std::to_string(m.group_id) +
+           " bound=" + (m.distance_is_upper_bound ? "1" : "0") + "\n";
+  }
+  for (const auto& group : response.groups) {
+    out += "group size=" + std::to_string(group.size()) + " refs=";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(group[i].series) + ":" +
+             std::to_string(group[i].start) + ":" +
+             std::to_string(group[i].length);
+    }
+    out += "\n";
+  }
+  for (const Recommendation& rec : response.recommendations) {
+    out += std::string("recommend degree=") + DegreeToken(rec.degree) +
+           " low=" + Dbl(rec.st_low) + " high=" + Dbl(rec.st_high) + "\n";
+  }
+  for (const RefineSummary& r : response.refinements) {
+    out += "refine length=" + std::to_string(r.length) +
+           " before=" + std::to_string(r.groups_before) +
+           " after=" + std::to_string(r.groups_after) + "\n";
+  }
+  out += ".\n";
+  return out;
+}
+
+const char* WireCode(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:              return "OK";
+    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:        return "NOT_FOUND";
+    case Status::Code::kIOError:         return "IO_ERROR";
+    case Status::Code::kCorruption:      return "CORRUPTION";
+    case Status::Code::kOutOfRange:      return "OUT_OF_RANGE";
+    case Status::Code::kNotSupported:    return "NOT_SUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string RenderErrorBlock(const std::string& code,
+                             const std::string& message) {
+  std::string out = "ERR " + code;
+  if (!message.empty()) out += " " + OneLine(message);
+  out += "\n.\n";
+  return out;
+}
+
+std::string RenderError(const Status& status) {
+  return RenderErrorBlock(WireCode(status.code()), status.message());
+}
+
+std::string Greeting() {
+  return "ONEX/" + std::to_string(kWireVersion) + " ready\n";
+}
+
+std::string RenderHelp() {
+  return
+      "OK Help\n"
+      "help q1 <len|any> <v1,v2,...>          best match\n"
+      "help q1k <k> <len|any> <v1,v2,...>     k most similar\n"
+      "help q1r <st> <len|any> <vals> [bound] all within st\n"
+      "help q2 <series|all> <len>             seasonal similarity\n"
+      "help q3 <S|M|L|any> [len]              threshold recommendation\n"
+      "help refine <st'> <len|all>            refine similarity threshold\n"
+      "help use <dataset> / list              select / list datasets\n"
+      "help stats / ping / quit               server metrics, liveness\n"
+      ".\n";
+}
+
+std::map<std::string, std::string> ParseKeyValues(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  for (const std::string& token : Tokenize(line)) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+Result<WireResponse> ParseResponseBlock(
+    const std::vector<std::string>& lines) {
+  if (lines.empty()) return Status::InvalidArgument("empty reply block");
+  WireResponse response;
+  const std::string& header = lines[0];
+  const auto tokens = Tokenize(header);
+  if (tokens.empty()) return Status::InvalidArgument("blank reply header");
+  if (tokens[0] == "OK") {
+    response.ok = true;
+    if (tokens.size() > 1) response.kind = tokens[1];
+    response.header = ParseKeyValues(header);
+  } else if (tokens[0] == "ERR") {
+    response.ok = false;
+    if (tokens.size() > 1) {
+      response.code = tokens[1];
+      const size_t code_end = header.find(tokens[1]) + tokens[1].size();
+      if (code_end < header.size()) {
+        response.message = header.substr(code_end + 1);
+      }
+    }
+  } else {
+    return Status::InvalidArgument("reply header is neither OK nor ERR: '" +
+                                   header + "'");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i] == ".") break;
+    response.payload.push_back(lines[i]);
+  }
+  return response;
+}
+
+}  // namespace server
+}  // namespace onex

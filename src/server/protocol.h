@@ -1,0 +1,145 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The ONEX wire protocol: one newline-delimited text grammar shared by
+// the TCP server (src/server/server.h) and the interactive CLI
+// (examples/onex_cli.cpp), so a query typed into the shell is byte-for-
+// byte the query a remote client sends. This module is pure grammar —
+// parsing request lines into the Engine's typed QueryRequest, rendering
+// QueryResponse / errors back into reply blocks — and does no I/O.
+//
+// Framing. Each request is ONE line. Each reply is a BLOCK: a header
+// line starting with "OK" or "ERR", zero or more payload lines, and a
+// terminator line containing only ".". Payload lines always begin with
+// a keyword (match/group/recommend/refine/stats/dataset/...), never
+// with ".", so the terminator is unambiguous. On connect the server
+// greets with "ONEX/<version> ready".
+//
+// Request grammar (verbs are case-insensitive):
+//   q1 <len|any> <v1,v2,...>            Q1 best match
+//   q1k <k> <len|any> <v1,v2,...>       Q1 k most similar
+//   q1r <st> <len|any> <v1,v2,...> [bound]   Q1 range; "bound" returns
+//                                       Lemma-2 upper bounds, default
+//                                       recomputes exact distances
+//   q2 <series|all> <len>               Q2 seasonal similarity
+//   q3 <S|M|L|any> [len]                Q3 threshold recommendation
+//   refine <st'> <len|all>              Algorithm 2.C refinement
+//   use <dataset>                       bind the session to a dataset
+//   list                                catalog contents
+//   stats                               server metrics (per-kind
+//                                       counters + latency percentiles)
+//   ping / help / quit
+//
+// Error replies are a single header line "ERR <CODE> <message>" plus
+// the terminator; codes are WireCode(Status::Code) tokens or the
+// protocol-level kOverloadedCode / kNoDatasetCode.
+
+#ifndef ONEX_SERVER_PROTOCOL_H_
+#define ONEX_SERVER_PROTOCOL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/engine.h"
+#include "util/status.h"
+
+namespace onex {
+namespace server {
+
+/// Wire-format version, announced in the greeting ("ONEX/1 ready") and
+/// bumped on any grammar change.
+inline constexpr int kWireVersion = 1;
+
+/// Protocol-level error codes with no Status::Code equivalent.
+inline constexpr const char* kOverloadedCode = "OVERLOADED";
+inline constexpr const char* kNoDatasetCode = "NO_DATASET";
+
+/// Session-control verbs (everything that is not a QueryRequest).
+enum class ControlVerb { kUse, kList, kStats, kPing, kHelp, kQuit };
+
+/// A parsed control line; `argument` is the dataset name for kUse.
+struct ControlRequest {
+  ControlVerb verb = ControlVerb::kPing;
+  std::string argument;
+};
+
+/// One parsed request line: either session control or an Engine query.
+using Request = std::variant<ControlRequest, QueryRequest>;
+
+// ------------------------------------------------------------- requests
+
+/// Parses one request line. InvalidArgument with a human-readable
+/// message on unknown verbs, malformed numbers, or missing operands.
+Result<Request> ParseRequestLine(const std::string& line);
+
+/// Renders a QueryRequest back into its request line (the client side
+/// of the grammar). ParseRequestLine(RenderRequestLine(r)) reproduces
+/// `r` exactly: doubles are printed with round-trip precision.
+std::string RenderRequestLine(const QueryRequest& request);
+
+// ------------------------------------------------------------ responses
+
+/// Renders a successful QueryResponse as a full reply block (header,
+/// stats line, payload lines, "." terminator), e.g.
+///   OK BestMatch matches=1 latency_us=152
+///   stats lengths_scanned=1 reps_compared=12 ... lemma2_admitted=0
+///   match series=2 start=3 length=8 distance=0.012 group=4 bound=0
+///   .
+std::string RenderResponse(const QueryResponse& response);
+
+/// Renders an error reply block from a Status ("ERR <CODE> <msg>\n.\n").
+std::string RenderError(const Status& status);
+
+/// Renders an error reply block from an explicit wire code (used for
+/// kOverloadedCode / kNoDatasetCode, which have no Status equivalent).
+std::string RenderErrorBlock(const std::string& code,
+                             const std::string& message);
+
+/// The connect-time greeting line (newline-terminated).
+std::string Greeting();
+
+/// The help payload rendered for the `help` verb (block with header and
+/// terminator included).
+std::string RenderHelp();
+
+/// Maps a Status code to its wire token (e.g. kNotFound -> "NOT_FOUND").
+const char* WireCode(Status::Code code);
+
+// ------------------------------------------------------- client parsing
+
+/// A reply block as seen by a client, split back into its parts.
+struct WireResponse {
+  bool ok = false;
+  std::string code;     ///< Error code token when !ok.
+  std::string message;  ///< Error message remainder when !ok.
+  std::string kind;     ///< Header kind token when ok ("BestMatch", ...).
+  /// key=value pairs of the header line (matches=, latency_us=, ...).
+  std::map<std::string, std::string> header;
+  /// Payload lines verbatim, terminator excluded.
+  std::vector<std::string> payload;
+};
+
+/// Reassembles a reply block from its lines (terminator line optional).
+/// InvalidArgument if the first line is neither "OK ..." nor "ERR ...".
+Result<WireResponse> ParseResponseBlock(const std::vector<std::string>& lines);
+
+/// Splits "key=value" tokens of one line into a map (tokens without '='
+/// are skipped). Convenience for clients digging into payload lines.
+std::map<std::string, std::string> ParseKeyValues(const std::string& line);
+
+// ------------------------------------------------------- shared lexing
+
+/// Parses "0.1,0.2,-3e-1" into values; nullopt on empty or non-numeric
+/// input. Shared with the CLI's append command.
+std::optional<std::vector<double>> ParseValuesCsv(const std::string& csv);
+
+/// "any"/"all" -> 0 (the engine's every-length sentinel); a number ->
+/// itself; anything else -> nullopt so typos don't silently widen a
+/// query to every length.
+std::optional<size_t> ParseLengthToken(const std::string& token);
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_PROTOCOL_H_

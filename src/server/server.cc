@@ -1,0 +1,282 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "server/protocol.h"
+#include "server/socket_io.h"
+#include "util/timer.h"
+
+namespace onex {
+namespace server {
+
+Server::Server(ServerOptions options, std::shared_ptr<Catalog> catalog)
+    : options_(std::move(options)), catalog_(std::move(catalog)) {
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(
+    ServerOptions options, std::shared_ptr<Catalog> catalog) {
+  std::unique_ptr<Server> server(
+      new Server(std::move(options), std::move(catalog)));
+  const Status listening = server->Listen();
+  if (!listening.ok()) return listening;
+  for (size_t i = 0; i < server->options_.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      // Transient (EINTR) or resource exhaustion (EMFILE): back off
+      // briefly instead of spinning at 100% CPU exactly when the
+      // process is starved for fds.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    metrics_.RecordConnection();
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    ReapFinishedSessionsLocked();
+    session_fds_.insert(fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    session_threads_.push_back(
+        {std::thread([this, fd, done] {
+           SessionLoop(fd);
+           done->store(true);
+         }),
+         done});
+  }
+}
+
+void Server::ReapFinishedSessionsLocked() {
+  for (auto it = session_threads_.begin(); it != session_threads_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = session_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Server::Submit(Job job) {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (draining_ || queue_.size() >= options_.max_queue) return false;
+    queue_.push_back(std::move(job));
+    depth = queue_.size();
+  }
+  queue_cv_.notify_one();
+  if (options_.on_enqueue) options_.on_enqueue(depth);
+  return true;
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining_ and nothing left.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.on_job_start) options_.on_job_start();
+    job.promise.set_value(job.engine->Execute(job.request));
+  }
+}
+
+void Server::SessionLoop(int fd) {
+  SendAll(fd, Greeting());
+
+  std::shared_ptr<const Engine> engine;
+  if (!options_.default_dataset.empty()) {
+    auto acquired = catalog_->Acquire(options_.default_dataset);
+    if (acquired.ok()) engine = std::move(acquired).value();
+  }
+
+  SocketLineReader reader(fd, options_.max_line_bytes);
+  std::string line;
+  while (!stop_.load() && reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    auto parsed = ParseRequestLine(line);
+    if (!parsed.ok()) {
+      metrics_.RecordBadRequest();
+      SendAll(fd, RenderError(parsed.status()));
+      continue;
+    }
+
+    if (const auto* control = std::get_if<ControlRequest>(&parsed.value())) {
+      bool quit = false;
+      switch (control->verb) {
+        case ControlVerb::kUse: {
+          auto acquired = catalog_->Acquire(control->argument);
+          if (!acquired.ok()) {
+            SendAll(fd, RenderError(acquired.status()));
+            break;
+          }
+          engine = std::move(acquired).value();
+          SendAll(fd, "OK Use dataset=" + control->argument +
+                          " series=" + std::to_string(engine->num_series()) +
+                          "\n.\n");
+          break;
+        }
+        case ControlVerb::kList: {
+          const auto rows = catalog_->List();
+          std::string reply =
+              "OK List datasets=" + std::to_string(rows.size()) + "\n";
+          for (const auto& row : rows) {
+            reply += "dataset name=" + row.name +
+                     " resident=" + (row.resident ? "1" : "0") +
+                     " pinned=" + (row.pinned ? "1" : "0") + "\n";
+          }
+          SendAll(fd, reply + ".\n");
+          break;
+        }
+        case ControlVerb::kStats: {
+          const CatalogStats cat = catalog_->stats();
+          SendAll(fd, "OK Stats\n" + metrics_.Render() +
+                          "catalog resident=" + std::to_string(cat.resident) +
+                          " lazy_opens=" + std::to_string(cat.lazy_opens) +
+                          " hits=" + std::to_string(cat.hits) +
+                          " evictions=" + std::to_string(cat.evictions) +
+                          "\n.\n");
+          break;
+        }
+        case ControlVerb::kPing:
+          SendAll(fd, "OK Pong\n.\n");
+          break;
+        case ControlVerb::kHelp:
+          SendAll(fd, RenderHelp());
+          break;
+        case ControlVerb::kQuit:
+          SendAll(fd, "OK Bye\n.\n");
+          quit = true;
+          break;
+      }
+      if (quit) break;
+      continue;
+    }
+
+    // Query path: resolve through the bounded queue + worker pool.
+    const QueryRequest& request = std::get<QueryRequest>(parsed.value());
+    if (engine == nullptr) {
+      metrics_.RecordBadRequest();
+      SendAll(fd, RenderErrorBlock(
+                      kNoDatasetCode,
+                      "no dataset bound — send 'use <name>' first"));
+      continue;
+    }
+    Timer latency;
+    Job job{request, engine, {}};
+    std::future<Result<QueryResponse>> reply = job.promise.get_future();
+    if (!Submit(std::move(job))) {
+      metrics_.RecordOverloaded();
+      SendAll(fd, RenderErrorBlock(kOverloadedCode,
+                                   "request queue is full — retry"));
+      continue;
+    }
+    Result<QueryResponse> result = reply.get();
+    metrics_.RecordQuery(KindOf(request), latency.ElapsedSeconds(),
+                         result.ok());
+    SendAll(fd,
+            result.ok() ? RenderResponse(result.value())
+                        : RenderError(result.status()));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+
+  // 1. No new connections.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Unblock session reads (sessions blocked on a future stay put
+  //    until step 3 fulfils it).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  // 3. Drain the queue — every accepted job still gets an answer — and
+  //    retire the workers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // 4. Sessions can now run to completion.
+  for (SessionThread& session : session_threads_) {
+    if (session.thread.joinable()) session.thread.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace server
+}  // namespace onex

@@ -1,0 +1,160 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The ONEX TCP server: many concurrent exploration sessions over many
+// datasets, speaking the newline protocol of server/protocol.h. This is
+// the serving layer the ROADMAP's scaling PRs (sharding, caching,
+// replication) plug into; the unit it multiplexes is the onex::Engine
+// session facade, resolved per session through the server/catalog.h
+// registry.
+//
+// Architecture (one Server instance):
+//
+//   accept thread ── one lightweight session thread per connection
+//        │            (socket I/O + protocol parsing only)
+//        │                     │  query lines become jobs
+//        ▼                     ▼
+//   listen socket      bounded job queue ──► fixed worker pool
+//                      (sheds load with an     (num_workers threads run
+//                       explicit OVERLOADED     Engine::Execute — the
+//                       reply when full)        only CPU-heavy work)
+//
+// Session threads block on their job's future and write the reply
+// themselves, so replies stay ordered per connection and all socket I/O
+// lives on the session thread. The worker pool caps CPU concurrency at
+// `num_workers` no matter how many sessions are connected, and the
+// queue bound converts overload into a fast, explicit `ERR OVERLOADED`
+// instead of unbounded queueing (the latency cliff an interactive front
+// end cannot survive). Control verbs (use/list/stats/ping/help/quit)
+// are answered inline on the session thread — they never queue.
+//
+// Shutdown: Stop() closes the listener, shuts down every session
+// socket, drains the job queue (every submitted job still gets its
+// promise fulfilled), then joins all threads. Safe to call from any
+// thread; the destructor calls it.
+
+#ifndef ONEX_SERVER_SERVER_H_
+#define ONEX_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "server/catalog.h"
+#include "server/metrics.h"
+#include "util/status.h"
+
+namespace onex {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via Server::port().
+  uint16_t port = 0;
+  /// Worker threads executing queries (CPU concurrency cap).
+  size_t num_workers = 4;
+  /// Max queries WAITING for a worker (in-flight ones excluded) before
+  /// new queries are shed with ERR OVERLOADED. Clamped to >= 1.
+  size_t max_queue = 64;
+  /// When set, every session starts bound to this dataset (as if the
+  /// client's first line were "use <default_dataset>").
+  std::string default_dataset;
+  /// Lines longer than this are a protocol error and close the session.
+  size_t max_line_bytes = 1 << 20;
+
+  /// Test instrumentation (leave unset in production): called by a
+  /// worker right before executing a job, and after a job is enqueued
+  /// (with the new queue depth). Both may be called concurrently.
+  std::function<void()> on_job_start;
+  std::function<void(size_t)> on_enqueue;
+};
+
+class Server {
+ public:
+  /// Binds, listens, and spins up the worker pool and accept thread.
+  /// IOError if the socket cannot be bound.
+  static Result<std::unique_ptr<Server>> Start(
+      ServerOptions options, std::shared_ptr<Catalog> catalog);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, disconnects sessions, drains the queue, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  /// One queued query: the session's resolved engine travels with the
+  /// job, so a catalog eviction mid-flight cannot invalidate it.
+  struct Job {
+    QueryRequest request;
+    std::shared_ptr<const Engine> engine;
+    std::promise<Result<QueryResponse>> promise;
+  };
+
+  Server(ServerOptions options, std::shared_ptr<Catalog> catalog);
+
+  Status Listen();
+  void AcceptLoop();
+  void SessionLoop(int fd);
+  void WorkerLoop();
+
+  /// Enqueues a job unless the queue is at capacity or the server is
+  /// stopping; false means "shed this request".
+  bool Submit(Job job);
+
+  ServerOptions options_;
+  std::shared_ptr<Catalog> catalog_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  /// One tracked session thread; `done` flips after SessionLoop returns
+  /// so the accept loop can reap (join + erase) finished sessions —
+  /// otherwise every past connection would retain an un-reaped joinable
+  /// pthread (descriptor + stack) until Stop().
+  struct SessionThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  /// Joins and erases finished session threads. Caller holds
+  /// sessions_mutex_; joins are instant because `done` flips after all
+  /// locking in SessionLoop.
+  void ReapFinishedSessionsLocked();
+
+  /// Live session sockets, for shutdown; still-running threads are
+  /// joined in Stop().
+  std::mutex sessions_mutex_;
+  std::set<int> session_fds_;
+  std::vector<SessionThread> session_threads_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;  ///< Set by Stop(); workers finish the queue.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_SERVER_H_

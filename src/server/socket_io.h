@@ -1,0 +1,39 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Blocking socket I/O shared by the server's session loop and the
+// client: a send-everything loop and a buffered newline reader. One
+// implementation so framing rules (CR stripping, line-length cap)
+// cannot diverge between the two ends of the wire.
+
+#ifndef ONEX_SERVER_SOCKET_IO_H_
+#define ONEX_SERVER_SOCKET_IO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace onex {
+namespace server {
+
+/// Writes the whole buffer; best-effort (a dying peer just ends the
+/// session on its next read). Returns false on transport failure.
+/// Uses MSG_NOSIGNAL so a closed peer cannot raise SIGPIPE.
+bool SendAll(int fd, const std::string& data);
+
+/// Buffered '\n'-delimited reader over a blocking socket. Strips a
+/// trailing '\r'; fails on lines longer than `max_line` bytes.
+class SocketLineReader {
+ public:
+  SocketLineReader(int fd, size_t max_line) : fd_(fd), max_line_(max_line) {}
+
+  /// False on EOF, transport error, or an over-long line.
+  bool ReadLine(std::string* line);
+
+ private:
+  int fd_;
+  size_t max_line_;
+  std::string buffer_;
+};
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_SOCKET_IO_H_

@@ -129,12 +129,11 @@ TEST_P(IntegrationTest, OnexExaminesFarFewerCandidatesThanBaselines) {
   const auto view = dataset_[1].Subsequence(2, 16);
   std::vector<double> query(view.begin(), view.end());
 
-  processor.ResetStats();
-  auto onex_result = processor.FindBestMatch(S(query));
+  QueryStats stats;
+  auto onex_result = processor.FindBestMatch(S(query), &stats);
   ASSERT_TRUE(onex_result.ok());
-  const uint64_t onex_work = processor.stats().reps_compared +
-                             processor.stats().reps_pruned +
-                             processor.stats().members_compared;
+  const uint64_t onex_work =
+      stats.reps_compared + stats.reps_pruned + stats.members_compared;
 
   const SearchResult std_result = standard.FindBestMatch(S(query));
   // The compact R-Space is the paper's speed story: ONEX touches far

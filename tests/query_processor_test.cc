@@ -162,16 +162,18 @@ TEST(QueryProcessorTest, PruningReducesWork) {
   for (auto& x : query) x = rng.UniformDouble(0.0, 1.0);
 
   QueryProcessor pruned(&base);
-  pruned.FindBestMatchOfLength(S(query), 16);
+  QueryStats pruned_stats;
+  pruned.FindBestMatchOfLength(S(query), 16, &pruned_stats);
   QueryOptions off;
   off.use_cascade = false;
   off.use_early_abandon = false;
   QueryProcessor plain(&base, off);
-  plain.FindBestMatchOfLength(S(query), 16);
+  QueryStats plain_stats;
+  plain.FindBestMatchOfLength(S(query), 16, &plain_stats);
   // Same candidates, but the pruned run must complete fewer full DTWs
   // (reps_compared counts non-pruned representative comparisons).
-  EXPECT_LE(pruned.stats().reps_compared, plain.stats().reps_compared);
-  EXPECT_GT(plain.stats().reps_compared, 0u);
+  EXPECT_LE(pruned_stats.reps_compared, plain_stats.reps_compared);
+  EXPECT_GT(plain_stats.reps_compared, 0u);
 }
 
 // ------------------------------------------------- Accuracy vs oracle.
@@ -297,23 +299,9 @@ TEST(QueryProcessorTest, DataDrivenSeasonalReturnsMultiMemberGroups) {
 
 // ----------------------------------------------------------------- Stats.
 
-TEST(QueryProcessorTest, StatsAccumulateAndReset) {
+TEST(QueryProcessorTest, PerCallStatsReportEachCallsWork) {
   OnexBase base = BuildBase(TestDataset());
-  QueryProcessor processor(&base);
-  std::vector<double> query(8, 0.5);
-  processor.FindBestMatchOfLength(S(query), 8);
-  EXPECT_GT(processor.stats().reps_compared + processor.stats().reps_pruned,
-            0u);
-  EXPECT_GT(processor.stats().members_compared, 0u);
-  EXPECT_EQ(processor.stats().lengths_scanned, 1u);
-  EXPECT_FALSE(processor.stats().ToString().empty());
-  processor.ResetStats();
-  EXPECT_EQ(processor.stats().members_compared, 0u);
-}
-
-TEST(QueryProcessorTest, PerCallStatsBypassTheAccumulator) {
-  OnexBase base = BuildBase(TestDataset());
-  const QueryProcessor processor(&base);  // Query methods are const now.
+  const QueryProcessor processor(&base);  // Query methods are const.
   std::vector<double> query(8, 0.5);
   QueryStats call;
   auto result = processor.FindBestMatchOfLength(S(query), 8, &call);
@@ -321,14 +309,32 @@ TEST(QueryProcessorTest, PerCallStatsBypassTheAccumulator) {
   EXPECT_GT(call.reps_compared + call.reps_pruned, 0u);
   EXPECT_GT(call.members_compared, 0u);
   EXPECT_EQ(call.lengths_scanned, 1u);
-  // Per-call mode leaves the deprecated accumulator untouched.
-  EXPECT_EQ(processor.stats().lengths_scanned, 0u);
-  EXPECT_EQ(processor.stats().members_compared, 0u);
+  EXPECT_FALSE(call.ToString().empty());
   // A second identical call returns fresh counters, not a running sum.
   QueryStats second;
   (void)processor.FindBestMatchOfLength(S(query), 8, &second);
   EXPECT_EQ(second.lengths_scanned, call.lengths_scanned);
   EXPECT_EQ(second.members_compared, call.members_compared);
+  // Callers wanting totals aggregate explicitly.
+  QueryStats total;
+  total.Add(call);
+  total.Add(second);
+  EXPECT_EQ(total.members_compared, 2 * call.members_compared);
+  total.Reset();
+  EXPECT_EQ(total.members_compared, 0u);
+}
+
+TEST(QueryProcessorTest, NullStatsOutParamIsAccepted) {
+  OnexBase base = BuildBase(TestDataset());
+  const QueryProcessor processor(&base);
+  std::vector<double> query(8, 0.5);
+  // Counters are simply discarded; the result is unaffected.
+  auto with = processor.FindBestMatchOfLength(S(query), 8);
+  QueryStats call;
+  auto without = processor.FindBestMatchOfLength(S(query), 8, &call);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_DOUBLE_EQ(with.value().distance, without.value().distance);
 }
 
 }  // namespace
