@@ -1,0 +1,232 @@
+// Durability-layer cost model: what does the WAL charge per append, and
+// what does recovery cost per logged record? Three append variants are
+// timed over identical fresh engines — memory-only (the pre-storage
+// baseline), WAL with fsync-per-append (the default durability
+// guarantee), and WAL group commit (one fsync per batch) — then
+// recovery is timed as snapshot-load + WAL-replay at growing log
+// lengths. Results go to stdout as tables and to BENCH_storage.json for
+// machine tracking; checkpoint tuning (checkpoint_wal_records) is
+// exactly the knob this bench informs: replay time grows linearly with
+// log length, so the threshold bounds worst-case startup.
+//
+// Run: ./build/bench/storage_recovery [--series N] [--length N]
+//          [--appends N] [--batch N]
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "storage/storage.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+Engine BuildSeedEngine(size_t num_series, size_t length) {
+  GenOptions gen;
+  gen.num_series = num_series;
+  gen.length = length;
+  gen.seed = 42;
+  auto made = MakeDatasetByName("ItalyPower", gen);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::exit(1);
+  }
+  Dataset dataset = std::move(made).value();
+  MinMaxNormalize(&dataset);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {8, length, 8};
+  auto built = Engine::Build(std::move(dataset), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+std::vector<TimeSeries> MakeAppendSeries(size_t count, size_t length,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> values(length);
+    double level = rng.NextDouble();
+    for (double& v : values) {
+      level += rng.Gaussian(0.0, 0.02);
+      if (level < 0.0) level = 0.0;
+      if (level > 1.0) level = 1.0;
+      v = level;
+    }
+    out.emplace_back(std::move(values), static_cast<int>(i));
+  }
+  return out;
+}
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t num_series = static_cast<size_t>(flags.GetInt("series", 24));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 64));
+  const size_t appends = static_cast<size_t>(flags.GetInt("appends", 160));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 32));
+
+  const fs::path dir =
+      fs::temp_directory_path() / "onex_bench_storage";
+  fs::create_directories(dir);
+  const std::vector<TimeSeries> fresh =
+      MakeAppendSeries(appends, length, 7);
+
+  std::printf("base: %zu series x %zu, %zu appends, batch %zu\n",
+              num_series, length, appends, batch);
+
+  // ---- A: append throughput, three durability levels.
+  double mem_per_sec = 0.0;
+  {
+    Engine engine = BuildSeedEngine(num_series, length);
+    Timer timer;
+    for (const TimeSeries& series : fresh) {
+      const Status appended = engine.AppendSeries(series);
+      if (!appended.ok()) Die(appended);
+    }
+    mem_per_sec = static_cast<double>(appends) / timer.ElapsedSeconds();
+  }
+
+  double sync_per_sec = 0.0;
+  {
+    storage::StorageOptions options;
+    options.background_checkpointer = false;
+    auto durable = storage::DurableEngine::Create(
+        dir.string(), "sync", BuildSeedEngine(num_series, length), options);
+    if (!durable.ok()) Die(durable.status());
+    Timer timer;
+    for (const TimeSeries& series : fresh) {
+      const Status appended = durable.value()->Append(series);
+      if (!appended.ok()) Die(appended);
+    }
+    sync_per_sec = static_cast<double>(appends) / timer.ElapsedSeconds();
+  }
+
+  double group_per_sec = 0.0;
+  {
+    storage::StorageOptions options;
+    options.background_checkpointer = false;
+    options.sync_appends = false;  // Batches still fsync once per commit.
+    auto durable = storage::DurableEngine::Create(
+        dir.string(), "group", BuildSeedEngine(num_series, length), options);
+    if (!durable.ok()) Die(durable.status());
+    Timer timer;
+    for (size_t at = 0; at < fresh.size(); at += batch) {
+      const size_t end = std::min(fresh.size(), at + batch);
+      std::vector<TimeSeries> chunk(fresh.begin() + at, fresh.begin() + end);
+      const Status appended = durable.value()->AppendBatch(std::move(chunk));
+      if (!appended.ok()) Die(appended);
+    }
+    group_per_sec = static_cast<double>(appends) / timer.ElapsedSeconds();
+  }
+
+  TableWriter append_table("Append throughput (appends/sec)");
+  append_table.SetHeader({"variant", "appends/sec", "vs memory"});
+  append_table.AddRow({"memory only", TableWriter::Num(mem_per_sec, 0), "1.00x"});
+  append_table.AddRow({"WAL, fsync each",
+                       TableWriter::Num(sync_per_sec, 0),
+                       TableWriter::Num(sync_per_sec / mem_per_sec, 2) + "x"});
+  append_table.AddRow({"WAL, group commit",
+                       TableWriter::Num(group_per_sec, 0),
+                       TableWriter::Num(group_per_sec / mem_per_sec, 2) + "x"});
+  append_table.Print();
+
+  // ---- B: recovery time vs log length.
+  struct ReplayPoint {
+    size_t records = 0;
+    double open_seconds = 0.0;
+  };
+  std::vector<ReplayPoint> replay_points;
+  for (const size_t records :
+       {appends / 4, appends / 2, appends}) {
+    if (records == 0) continue;
+    storage::StorageOptions options;
+    options.background_checkpointer = false;
+    {
+      auto durable = storage::DurableEngine::Create(
+          dir.string(), "replay", BuildSeedEngine(num_series, length),
+          options);
+      if (!durable.ok()) Die(durable.status());
+      for (size_t i = 0; i < records; ++i) {
+        const Status appended = durable.value()->Append(fresh[i]);
+        if (!appended.ok()) Die(appended);
+      }
+    }  // Dropped without a checkpoint: Open must replay the whole log.
+    Timer timer;
+    auto reopened =
+        storage::DurableEngine::Open(dir.string(), "replay", options);
+    if (!reopened.ok()) Die(reopened.status());
+    const double seconds = timer.ElapsedSeconds();
+    if (reopened.value()->stats().replayed_records != records) {
+      std::fprintf(stderr, "replay mismatch: %llu != %zu\n",
+                   static_cast<unsigned long long>(
+                       reopened.value()->stats().replayed_records),
+                   records);
+      return 1;
+    }
+    replay_points.push_back({records, seconds});
+  }
+
+  TableWriter replay_table("Recovery time (snapshot load + WAL replay)");
+  replay_table.SetHeader({"log records", "open ms", "ms/record"});
+  for (const ReplayPoint& point : replay_points) {
+    replay_table.AddRow(
+        {std::to_string(point.records),
+         TableWriter::Num(point.open_seconds * 1e3, 2),
+         TableWriter::Num(point.open_seconds * 1e3 /
+                              static_cast<double>(point.records),
+                          3)});
+  }
+  replay_table.Print();
+
+  std::FILE* json = std::fopen("BENCH_storage.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"bench\":\"storage_recovery\",\"series\":%zu,"
+                 "\"length\":%zu,\"appends\":%zu,\"batch\":%zu,"
+                 "\"mem_appends_per_sec\":%.1f,"
+                 "\"wal_sync_appends_per_sec\":%.1f,"
+                 "\"wal_group_appends_per_sec\":%.1f,\"replay\":[",
+                 num_series, length, appends, batch, mem_per_sec,
+                 sync_per_sec, group_per_sec);
+    for (size_t i = 0; i < replay_points.size(); ++i) {
+      std::fprintf(json, "%s{\"records\":%zu,\"open_ms\":%.3f}",
+                   i ? "," : "", replay_points[i].records,
+                   replay_points[i].open_seconds * 1e3);
+    }
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_storage.json\n");
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

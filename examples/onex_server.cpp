@@ -8,6 +8,7 @@
 //
 // Run: ./build/examples/onex_server [--port N] [--data-dir DIR]
 //          [--workers N] [--queue N] [--engines N] [--no-demo]
+//          [--durable] [--checkpoint-records N] [--checkpoint-bytes N]
 //
 //   --port 7070      TCP port (0 = ephemeral, printed on startup)
 //   --data-dir DIR   catalog directory of <name>.onex bases
@@ -15,9 +16,16 @@
 //   --queue 64       waiting-query bound; beyond it -> ERR OVERLOADED
 //   --engines 8      resident-engine cap (LRU eviction above it)
 //   --no-demo        don't seed the demo datasets (ecg, italypower)
+//   --durable        write-ahead log every APPEND (src/storage/): an
+//                    acknowledged append survives crashes; needs
+//                    --data-dir for the <name>.wal + <name>.onex pair
+//   --checkpoint-records 4096 / --checkpoint-bytes 8388608
+//                    WAL thresholds that trigger a background
+//                    snapshot + log rotation
 
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -26,14 +34,27 @@
 #include "dataset/normalize.h"
 #include "server/catalog.h"
 #include "server/server.h"
+#include "storage/storage.h"
 #include "util/flags.h"
 
 namespace {
 
 /// Builds a small synthetic engine so a fresh checkout has something to
-/// serve ("zero to queryable" without a data directory).
+/// serve ("zero to queryable" without a data directory). In durable
+/// mode a demo dataset that already has a persisted snapshot is NOT
+/// re-seeded: registering would truncate its files and destroy every
+/// append acknowledged in earlier runs — the catalog lazy-opens
+/// (snapshot + WAL replay) on first `use` instead.
 bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
-                     const std::string& generator) {
+                     const std::string& generator,
+                     const onex::server::CatalogOptions& catalog_options) {
+  if (catalog_options.durable &&
+      std::filesystem::exists(onex::storage::BasePathFor(
+          catalog_options.data_dir, name))) {
+    std::printf("demo %s: durable data exists, serving it (not reseeding)\n",
+                name.c_str());
+    return true;
+  }
   onex::GenOptions gen;
   gen.num_series = 30;
   gen.length = 64;
@@ -67,12 +88,22 @@ int main(int argc, char** argv) {
   catalog_options.data_dir = flags.GetString("data-dir", "");
   catalog_options.max_open_engines =
       static_cast<size_t>(flags.GetInt("engines", 8));
+  catalog_options.durable = flags.Has("durable");
+  catalog_options.storage.checkpoint_wal_records =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-records", 4096));
+  catalog_options.storage.checkpoint_wal_bytes =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-bytes", 8 << 20));
+  if (catalog_options.durable && catalog_options.data_dir.empty()) {
+    std::fprintf(stderr,
+                 "--durable needs --data-dir (nowhere to put the WAL)\n");
+    return 1;
+  }
   auto catalog =
       std::make_shared<onex::server::Catalog>(catalog_options);
 
   if (!flags.Has("no-demo")) {
-    SeedDemoDataset(*catalog, "ecg", "ECG");
-    SeedDemoDataset(*catalog, "italypower", "ItalyPower");
+    SeedDemoDataset(*catalog, "ecg", "ECG", catalog_options);
+    SeedDemoDataset(*catalog, "italypower", "ItalyPower", catalog_options);
   }
 
   onex::server::ServerOptions options;
@@ -95,9 +126,10 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<onex::server::Server> server = std::move(started).value();
 
-  std::printf("onex_server listening on %s:%u (workers=%zu queue=%zu)\n",
+  std::printf("onex_server listening on %s:%u (workers=%zu queue=%zu%s)\n",
               options.host.c_str(), server->port(), options.num_workers,
-              options.max_queue);
+              options.max_queue,
+              catalog_options.durable ? " durable" : "");
   std::printf("datasets:\n");
   for (const auto& row : catalog->List()) {
     std::printf("  %-20s %s\n", row.name.c_str(),

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/serialization.h"
+#include "storage/append_sink.h"
 #include "util/timer.h"
 
 namespace onex {
@@ -188,9 +189,51 @@ std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
   return responses;
 }
 
-Status Engine::AppendSeries(TimeSeries series) {
+Status Engine::AppendSeries(TimeSeries series, size_t* index) {
+  // Validate before logging: a WAL record that cannot be applied would
+  // poison every future replay.
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot append an empty series");
+  }
   std::unique_lock lock(*rw_mutex_);
-  return base_->AppendSeries(std::move(series));
+  if (append_sink_ != nullptr) {
+    const Status logged = append_sink_->LogAppend(series);
+    if (!logged.ok()) return logged;
+  }
+  const Status applied = base_->AppendSeries(std::move(series));
+  if (applied.ok() && index != nullptr) {
+    *index = base_->dataset().size() - 1;
+  }
+  return applied;
+}
+
+Status Engine::AppendBatch(std::vector<TimeSeries> batch) {
+  for (const TimeSeries& series : batch) {
+    if (series.empty()) {
+      return Status::InvalidArgument("cannot append an empty series");
+    }
+  }
+  std::unique_lock lock(*rw_mutex_);
+  if (append_sink_ != nullptr) {
+    const Status logged = append_sink_->LogAppendBatch(
+        std::span<const TimeSeries>(batch.data(), batch.size()));
+    if (!logged.ok()) return logged;
+  }
+  for (TimeSeries& series : batch) {
+    const Status applied = base_->AppendSeries(std::move(series));
+    if (!applied.ok()) return applied;
+  }
+  return Status::OK();
+}
+
+void Engine::AttachAppendSink(storage::AppendSink* sink) {
+  append_sink_ = sink;
+}
+
+Status Engine::Exclusive(
+    const std::function<Status(const OnexBase& base)>& fn) const {
+  std::unique_lock lock(*rw_mutex_);
+  return fn(*base_);
 }
 
 BaseStats Engine::base_stats() const {

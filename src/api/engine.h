@@ -17,6 +17,7 @@
 #define ONEX_API_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -33,6 +34,10 @@
 #include "util/status.h"
 
 namespace onex {
+
+namespace storage {
+class AppendSink;  // storage/append_sink.h — the optional durable mode.
+}  // namespace storage
 
 // ------------------------------------------------------------- requests
 
@@ -161,8 +166,40 @@ class Engine {
       std::span<const QueryRequest> requests) const;
 
   /// Base maintenance (Algorithm 1 append). Takes the writer lock:
-  /// blocks until in-flight queries drain, then updates the base.
-  Status AppendSeries(TimeSeries series);
+  /// blocks until in-flight queries drain, then updates the base. In
+  /// durable mode (an AppendSink is attached) the series is logged to
+  /// the sink first; a sink failure aborts the append unapplied, so an
+  /// acknowledged append is always recoverable. On success `*index`
+  /// (when non-null) receives the new series' index — captured under
+  /// the writer lock, so concurrent appenders see distinct values.
+  Status AppendSeries(TimeSeries series, size_t* index = nullptr);
+
+  /// Appends a batch under ONE writer-lock acquisition; in durable mode
+  /// the whole batch is logged with a single group commit (one fsync)
+  /// before any of it is applied. Stops at the first in-memory apply
+  /// failure (earlier elements stay applied — same as calling
+  /// AppendSeries in a loop).
+  Status AppendBatch(std::vector<TimeSeries> batch);
+
+  // ---- durable mode (storage/storage.h attaches itself here).
+
+  /// Attaches (or, with nullptr, detaches) the write-ahead sink. The
+  /// sink must outlive every subsequent append; DurableEngine owns both
+  /// this engine and the sink, so its lifetime covers the engine's.
+  /// Not thread-safe against concurrent appends — attach before
+  /// publishing the engine.
+  void AttachAppendSink(storage::AppendSink* sink);
+
+  /// True when an AppendSink is attached (appends are write-ahead
+  /// logged).
+  bool durable() const { return append_sink_ != nullptr; }
+
+  /// Runs `fn` on the base with the WRITER lock held: no queries, no
+  /// appends in flight. The storage checkpointer uses this to snapshot
+  /// the base and rotate the WAL as one atomic step (an append can
+  /// never land between the two).
+  Status Exclusive(
+      const std::function<Status(const OnexBase& base)>& fn) const;
 
   /// Snapshot accessors (reader lock; cheap copies, safe to call
   /// concurrently with AppendSeries).
@@ -202,6 +239,9 @@ class Engine {
 
   std::unique_ptr<OnexBase> base_;
   QueryOptions query_options_;
+  /// Write-ahead sink of the optional durable mode; nullptr = memory
+  /// only. Owned by the attaching storage manager, not the engine.
+  storage::AppendSink* append_sink_ = nullptr;
   /// Reader/writer lock of the concurrency contract (heap-allocated so
   /// the engine stays movable).
   mutable std::unique_ptr<std::shared_mutex> rw_mutex_;

@@ -43,32 +43,56 @@ class Writer {
 
 // ------------------------------------------------------------- Reading.
 
+// Every count is validated against the bytes actually left in the file
+// BEFORE the corresponding resize/reserve: a corrupt length prefix must
+// come back as Corruption, never as a multi-gigabyte allocation (or a
+// std::bad_alloc crash) from attacker- or bitrot-controlled data.
 class Reader {
  public:
-  explicit Reader(std::ifstream* in) : in_(in) {}
+  explicit Reader(std::ifstream* in) : in_(in) {
+    const std::streampos at = in_->tellg();
+    in_->seekg(0, std::ios::end);
+    const std::streampos end = in_->tellg();
+    in_->seekg(at);
+    remaining_ = end >= at ? static_cast<uint64_t>(end - at) : 0;
+  }
 
   bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
   bool F64(double* v) { return Raw(v, sizeof(*v)); }
   bool Str(std::string* s, uint64_t max = 1 << 20) {
     uint64_t n = 0;
-    if (!U64(&n) || n > max) return false;
+    if (!U64(&n) || n > max || n > remaining_) return false;
     s->resize(n);
     return Raw(s->data(), n);
   }
-  bool Doubles(std::vector<double>* v, uint64_t max = 1ull << 32) {
+  bool Doubles(std::vector<double>* v) {
     uint64_t n = 0;
-    if (!U64(&n) || n > max) return false;
+    if (!U64(&n) || n > remaining_ / sizeof(double)) return false;
     v->resize(n);
     return Raw(v->data(), n * sizeof(double));
   }
 
+  /// True when `count` records of at least `min_bytes_each` could still
+  /// fit in the file — the pre-reserve sanity check for every
+  /// variable-length section.
+  bool Fits(uint64_t count, uint64_t min_bytes_each) const {
+    return count <= remaining_ / min_bytes_each;
+  }
+
  private:
   bool Raw(void* data, size_t bytes) {
+    if (bytes > remaining_) {
+      in_->setstate(std::ios::failbit);
+      return false;
+    }
     in_->read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-    return in_->good() || (bytes == 0);
+    const bool ok = in_->good() || (bytes == 0);
+    if (ok) remaining_ -= bytes;
+    return ok;
   }
   std::ifstream* in_;
+  uint64_t remaining_ = 0;
 };
 
 }  // namespace
@@ -150,7 +174,8 @@ Result<OnexBase> LoadBase(const std::string& path) {
   // Dataset.
   std::string name;
   uint64_t num_series = 0;
-  if (!r.Str(&name) || !r.U64(&num_series)) {
+  if (!r.Str(&name) || !r.U64(&num_series) ||
+      !r.Fits(num_series, /*label + count=*/12)) {
     return Status::Corruption("truncated dataset header");
   }
   Dataset dataset(name);
@@ -181,26 +206,36 @@ Result<OnexBase> LoadBase(const std::string& path) {
 
   // GTI.
   uint64_t num_lengths = 0;
-  if (!r.U64(&num_lengths)) return Status::Corruption("truncated GTI");
+  if (!r.U64(&num_lengths) ||
+      !r.Fits(num_lengths, /*entry header=*/32)) {
+    return Status::Corruption("truncated GTI");
+  }
   GlobalTimeIndex gti;
   for (uint64_t e = 0; e < num_lengths; ++e) {
     GtiEntry entry;
     uint64_t length = 0, num_groups = 0;
     if (!r.U64(&length) || !r.F64(&entry.st_half) ||
-        !r.F64(&entry.st_final) || !r.U64(&num_groups)) {
+        !r.F64(&entry.st_final) || !r.U64(&num_groups) ||
+        !r.Fits(num_groups, /*rep count + member count=*/16)) {
       return Status::Corruption("truncated GTI entry header");
     }
     entry.length = static_cast<size_t>(length);
+    // Clamp the ratio before the size_t cast: a corrupt value (huge,
+    // NaN) must not become undefined behaviour. ComputeEnvelope clamps
+    // the window to the series length anyway, so capping at 1.0 (and
+    // treating NaN like "full window") preserves semantics.
+    const double ratio = options.window_ratio;
     const size_t window =
-        options.window_ratio < 0
+        !(ratio >= 0.0)
             ? entry.length
-            : static_cast<size_t>(std::ceil(options.window_ratio *
+            : static_cast<size_t>(std::ceil(std::min(ratio, 1.0) *
                                             static_cast<double>(length)));
     entry.groups.reserve(num_groups);
     for (uint64_t g = 0; g < num_groups; ++g) {
       LsiEntry group;
       uint64_t num_members = 0;
-      if (!r.Doubles(&group.representative) || !r.U64(&num_members)) {
+      if (!r.Doubles(&group.representative) || !r.U64(&num_members) ||
+          !r.Fits(num_members, /*member record=*/20)) {
         return Status::Corruption("truncated group");
       }
       if (group.representative.size() != entry.length) {
@@ -212,9 +247,11 @@ Result<OnexBase> LoadBase(const std::string& path) {
             !r.U32(&member.ref.length) || !r.F64(&member.ed_to_rep)) {
           return Status::Corruption("truncated member record");
         }
+        // Widen before adding: start + length are u32 and a corrupt
+        // pair can wrap mod 2^32 past the bounds check.
         if (member.ref.series >= dataset.size() ||
             member.ref.length != entry.length ||
-            member.ref.start + member.ref.length >
+            static_cast<uint64_t>(member.ref.start) + member.ref.length >
                 dataset[member.ref.series].length()) {
           return Status::Corruption("member reference out of bounds");
         }

@@ -1,8 +1,13 @@
 #include "server/catalog.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace onex {
 namespace server {
@@ -10,7 +15,16 @@ namespace server {
 namespace fs = std::filesystem;
 
 namespace {
+
 constexpr const char* kBaseExtension = ".onex";
+
+/// An entry is idle when no session holds its engine. The catalog's own
+/// references are `engine` plus, in durable mode, `durable` (they share
+/// one control block), so "idle" is use_count == that baseline.
+bool IsIdle(const std::shared_ptr<Engine>& engine, bool durable) {
+  return engine.use_count() <= (durable ? 2 : 1);
+}
+
 }  // namespace
 
 Catalog::Catalog(CatalogOptions options) : options_(std::move(options)) {
@@ -23,25 +37,53 @@ std::string Catalog::PathFor(const std::string& name) const {
 }
 
 void Catalog::Register(const std::string& name, Engine engine) {
+  Entry fresh;
+  fresh.pinned = true;
+  if (options_.durable && !options_.data_dir.empty()) {
+    // Existing durable data wins over the offered engine: Create would
+    // truncate the snapshot + WAL pair, silently destroying every
+    // append acknowledged in earlier runs — the exact loss class this
+    // subsystem exists to close.
+    auto durable =
+        fs::exists(PathFor(name))
+            ? storage::DurableEngine::Open(options_.data_dir, name,
+                                           options_.storage,
+                                           options_.query_options)
+            : storage::DurableEngine::Create(options_.data_dir, name,
+                                             std::move(engine),
+                                             options_.storage);
+    if (durable.ok()) {
+      fresh.durable = std::move(durable).value();
+      fresh.engine = fresh.durable->engine();
+    } else {
+      ONEX_LOG_WARN << "catalog: could not make '" << name
+                    << "' durable: " << durable.status().ToString()
+                    << " — dropping the registration (a durable catalog "
+                       "must not serve datasets it cannot recover)";
+      return;
+    }
+  } else {
+    if (options_.durable) {
+      ONEX_LOG_WARN << "catalog: durable mode without a data_dir; '"
+                    << name << "' is memory-only";
+    }
+    fresh.engine = std::make_shared<Engine>(std::move(engine));
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
-  auto shared = std::make_shared<const Engine>(std::move(engine));
+  fresh.last_used = ++tick_;
   for (auto& [entry_name, entry] : entries_) {
     if (entry_name == name) {
-      entry.engine = std::move(shared);
-      entry.pinned = true;
-      entry.last_used = ++tick_;
-      EnforceCapLocked();
+      entry = std::move(fresh);
+      EnforceCapLocked(&entry);
       return;
     }
   }
-  entries_.emplace_back(name, Entry{std::move(shared), /*pinned=*/true,
-                                    ++tick_});
-  EnforceCapLocked();
+  entries_.emplace_back(name, std::move(fresh));
+  EnforceCapLocked(&entries_.back().second);
 }
 
-Result<std::shared_ptr<const Engine>> Catalog::Acquire(
-    const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Result<Catalog::Entry*> Catalog::ResolveLocked(const std::string& name) {
   Entry* entry = nullptr;
   for (auto& [entry_name, e] : entries_) {
     if (entry_name == name) {
@@ -52,7 +94,7 @@ Result<std::shared_ptr<const Engine>> Catalog::Acquire(
   if (entry != nullptr && entry->engine != nullptr) {
     entry->last_used = ++tick_;
     ++stats_.hits;
-    return entry->engine;
+    return entry;
   }
 
   // Lazy (re)open from disk.
@@ -63,42 +105,189 @@ Result<std::shared_ptr<const Engine>> Catalog::Acquire(
                                  ? ""
                                  : " (looked for " + path + ")"));
   }
-  auto opened = Engine::Open(path, options_.query_options);
-  if (!opened.ok()) return opened.status();
-  auto shared = std::make_shared<const Engine>(std::move(opened).value());
-  ++stats_.lazy_opens;
-  if (entry != nullptr) {
-    entry->engine = shared;
-    entry->last_used = ++tick_;
+  std::shared_ptr<storage::DurableEngine> durable;
+  std::shared_ptr<Engine> engine;
+  if (options_.durable) {
+    auto opened = storage::DurableEngine::Open(
+        options_.data_dir, name, options_.storage, options_.query_options);
+    if (!opened.ok()) return opened.status();
+    durable = std::move(opened).value();
+    engine = durable->engine();
   } else {
-    entries_.emplace_back(name, Entry{shared, /*pinned=*/false, ++tick_});
+    auto opened = Engine::Open(path, options_.query_options);
+    if (!opened.ok()) return opened.status();
+    engine = std::make_shared<Engine>(std::move(opened).value());
   }
-  EnforceCapLocked();
-  return shared;
+  ++stats_.lazy_opens;
+  if (entry == nullptr) {
+    entries_.emplace_back(name, Entry{});
+    entry = &entries_.back().second;
+  }
+  entry->engine = std::move(engine);
+  entry->durable = std::move(durable);
+  entry->pinned = false;
+  entry->dirty = false;
+  entry->last_used = ++tick_;
+  EnforceCapLocked(entry);
+  return entry;
 }
 
-void Catalog::EnforceCapLocked() {
-  auto resident = [&] {
-    size_t n = 0;
-    for (const auto& [name, entry] : entries_) {
-      if (entry.engine != nullptr) ++n;
-    }
-    return n;
-  };
-  size_t open = resident();
-  while (open > options_.max_open_engines) {
-    Entry* victim = nullptr;
-    for (auto& [name, entry] : entries_) {
-      // Evictable: resident, reopenable, and idle (the catalog holds the
-      // only reference — dropping a shared engine frees no memory).
-      if (entry.engine == nullptr || entry.pinned) continue;
-      if (entry.engine.use_count() > 1) continue;
-      if (victim == nullptr || entry.last_used < victim->last_used) {
-        victim = &entry;
+Result<std::shared_ptr<const Engine>> Catalog::Acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto resolved = ResolveLocked(name);
+  if (!resolved.ok()) return resolved.status();
+  return std::shared_ptr<const Engine>(resolved.value()->engine);
+}
+
+Result<AppendOutcome> Catalog::Append(const std::string& name,
+                                      TimeSeries series) {
+  // Resolve under the lock, append outside it: maintenance (DTW against
+  // every group) and the WAL fsync must not stall other sessions'
+  // Acquires.
+  std::shared_ptr<storage::DurableEngine> durable;
+  std::shared_ptr<Engine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto resolved = ResolveLocked(name);
+    if (!resolved.ok()) return resolved.status();
+    durable = resolved.value()->durable;
+    engine = resolved.value()->engine;
+  }
+
+  // The index is captured inside AppendSeries under the writer lock:
+  // reading num_series() afterwards would race a concurrent append and
+  // report someone else's index back to this client.
+  size_t index = 0;
+  const Status appended = engine->AppendSeries(std::move(series), &index);
+  if (!appended.ok()) return appended;
+
+  AppendOutcome outcome;
+  outcome.series = index;
+  outcome.total = index + 1;
+  outcome.durable = durable != nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.appends;
+    for (auto& [entry_name, entry] : entries_) {
+      if (entry_name == name) {
+        entry.dirty = true;
+        ++entry.mutations;
+        break;
       }
     }
-    if (victim == nullptr) break;  // Everything in use or pinned.
-    victim->engine.reset();
+  }
+  return outcome;
+}
+
+Status Catalog::Flush(const std::string& name) {
+  std::shared_ptr<storage::DurableEngine> durable;
+  std::shared_ptr<Engine> engine;
+  uint64_t mutations_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto resolved = ResolveLocked(name);
+    if (!resolved.ok()) return resolved.status();
+    durable = resolved.value()->durable;
+    engine = resolved.value()->engine;
+    mutations_before = resolved.value()->mutations;
+  }
+
+  Status flushed;
+  if (durable != nullptr) {
+    flushed = durable->Checkpoint();
+  } else {
+    const std::string path = PathFor(name);
+    if (path.empty()) {
+      return Status::NotSupported(
+          "dataset '" + name +
+          "' has no data directory to flush to (start the catalog with "
+          "one, or durable mode)");
+    }
+    // Write-temp, fsync, rename — like the durable checkpoint: a crash
+    // or ENOSPC mid-save must not destroy the only good on-disk copy,
+    // and the OK must mean the bytes actually reached stable storage.
+    const std::string tmp = path + ".tmp";
+    flushed = engine->Save(tmp);
+    if (flushed.ok()) flushed = storage::SyncFile(tmp);
+    if (flushed.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+      flushed = Status::IOError("rename '" + tmp + "' -> '" + path +
+                                "': " + std::strerror(errno));
+    }
+  }
+  if (!flushed.ok()) return flushed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.flushes;
+    for (auto& [entry_name, entry] : entries_) {
+      if (entry_name == name) {
+        // An append that landed while the snapshot was being written is
+        // NOT in it — the entry must stay dirty or eviction would
+        // silently discard that append.
+        if (entry.mutations == mutations_before) entry.dirty = false;
+        break;
+      }
+    }
+    // A refused-dirty entry may have left the catalog over cap; now
+    // that it is clean, the LRU can catch up.
+    EnforceCapLocked(nullptr);
+  }
+  return Status::OK();
+}
+
+void Catalog::EnforceCapLocked(const Entry* keep) {
+  size_t open = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.engine != nullptr) ++open;
+  }
+  if (open <= options_.max_open_engines) return;
+
+  // Evictable: resident, reopenable, and idle (the catalog holds the
+  // only references — dropping a shared engine frees no memory).
+  // LRU order, oldest first.
+  std::vector<std::pair<std::string, Entry>*> candidates;
+  for (auto& named : entries_) {
+    const Entry& entry = named.second;
+    if (&entry == keep) continue;
+    if (entry.engine == nullptr || entry.pinned) continue;
+    if (!IsIdle(entry.engine, entry.durable != nullptr)) continue;
+    candidates.push_back(&named);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto* a, const auto* b) {
+              return a->second.last_used < b->second.last_used;
+            });
+
+  for (auto* named : candidates) {
+    if (open <= options_.max_open_engines) break;
+    Entry& victim = named->second;
+    if (victim.dirty) {
+      if (victim.durable != nullptr) {
+        // Unsaved appends are WAL-protected, but checkpointing first
+        // makes the next open replay-free and bounds WAL growth.
+        const Status checkpointed = victim.durable->Checkpoint();
+        if (!checkpointed.ok()) {
+          ONEX_LOG_WARN << "catalog: dirty engine '" << named->first
+                        << "' failed its pre-eviction checkpoint ("
+                        << checkpointed.ToString()
+                        << "); refusing to evict";
+          ++stats_.refused_evictions;
+          continue;
+        }
+        ++stats_.flush_evictions;
+      } else {
+        // Non-durable dirty data exists in memory ONLY. Eviction would
+        // silently discard acknowledged appends — refuse, loudly.
+        ONEX_LOG_WARN << "catalog: engine '" << named->first
+                      << "' has unsaved appends and no WAL; refusing to "
+                         "evict (send FLUSH or enable durable mode)";
+        ++stats_.refused_evictions;
+        continue;
+      }
+      victim.dirty = false;
+    }
+    victim.engine.reset();
+    victim.durable.reset();
     ++stats_.evictions;
     --open;
   }
@@ -111,7 +300,8 @@ std::vector<CatalogEntryInfo> Catalog::List() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [name, entry] : entries_) {
-      rows.push_back({name, entry.engine != nullptr, entry.pinned});
+      rows.push_back({name, entry.engine != nullptr, entry.pinned,
+                      entry.durable != nullptr, entry.dirty});
     }
   }
   if (!options_.data_dir.empty()) {
@@ -125,7 +315,7 @@ std::vector<CatalogEntryInfo> Catalog::List() const {
       const bool known =
           std::any_of(rows.begin(), rows.end(),
                       [&](const CatalogEntryInfo& r) { return r.name == name; });
-      if (!known) rows.push_back({name, false, false});
+      if (!known) rows.push_back({name, false, false, false, false});
     }
   }
   std::sort(rows.begin(), rows.end(),

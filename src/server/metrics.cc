@@ -68,6 +68,18 @@ void ServerMetrics::RecordBadRequest() {
   ++bad_requests_;
 }
 
+void ServerMetrics::RecordAppend(bool ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++appends_;
+  if (!ok) ++append_errors_;
+}
+
+void ServerMetrics::RecordFlush(bool ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++flushes_;
+  if (!ok) ++flush_errors_;
+}
+
 uint64_t ServerMetrics::requests() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
@@ -88,11 +100,16 @@ std::string ServerMetrics::Render() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "server connections=%llu requests=%llu overloaded=%llu "
-                "bad_requests=%llu\n",
+                "bad_requests=%llu appends=%llu append_errors=%llu "
+                "flushes=%llu flush_errors=%llu\n",
                 static_cast<unsigned long long>(connections_),
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(overloaded_),
-                static_cast<unsigned long long>(bad_requests_));
+                static_cast<unsigned long long>(bad_requests_),
+                static_cast<unsigned long long>(appends_),
+                static_cast<unsigned long long>(append_errors_),
+                static_cast<unsigned long long>(flushes_),
+                static_cast<unsigned long long>(flush_errors_));
   std::string out = line;
 
   for (size_t i = 0; i < kNumKinds; ++i) {

@@ -63,9 +63,13 @@ class ServerMetrics {
   void RecordOverloaded();
   /// A line that failed to parse or arrived with no dataset bound.
   void RecordBadRequest();
+  /// One APPEND / FLUSH mutation (errors still count the attempt).
+  void RecordAppend(bool ok);
+  void RecordFlush(bool ok);
 
   /// Renders the STATS reply payload lines (no OK header, no "."):
   ///   server connections=3 requests=120 overloaded=2 bad_requests=1
+  ///          appends=4 append_errors=0 flushes=1 flush_errors=0
   ///   kind name=BestMatch requests=40 errors=0 p50_us=210 p95_us=800
   ///        p99_us=1500 mean_us=260
   /// Kinds with zero requests are omitted.
@@ -92,6 +96,10 @@ class ServerMetrics {
   uint64_t connections_ = 0;
   uint64_t overloaded_ = 0;
   uint64_t bad_requests_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t append_errors_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t flush_errors_ = 0;
 };
 
 }  // namespace server

@@ -1,10 +1,12 @@
 #include "server/protocol.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace onex {
@@ -55,6 +57,21 @@ std::optional<uint64_t> ParseUnsigned(const std::string& token) {
   const uint64_t v = std::strtoull(token.c_str(), &end, 10);
   if (*end != '\0') return std::nullopt;
   return v;
+}
+
+/// Signed integer (labels may be negative in some UCR sets). Range
+/// checked: an out-of-int label must be rejected, not silently wrapped.
+std::optional<int> ParseInt(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(v);
 }
 
 Status Usage(const char* usage) {
@@ -122,7 +139,8 @@ Result<Request> ParseRequestLine(const std::string& line) {
     return Request(ControlRequest{ControlVerb::kUse, t[1]});
   }
   if (verb == "list" || verb == "stats" || verb == "ping" ||
-      verb == "help" || verb == "quit" || verb == "exit") {
+      verb == "help" || verb == "quit" || verb == "exit" ||
+      verb == "flush") {
     if (t.size() != 1) {
       return Status::InvalidArgument("'" + verb + "' takes no operands");
     }
@@ -132,7 +150,28 @@ Result<Request> ParseRequestLine(const std::string& line) {
     }
     if (verb == "ping") return Request(ControlRequest{ControlVerb::kPing, ""});
     if (verb == "help") return Request(ControlRequest{ControlVerb::kHelp, ""});
+    if (verb == "flush") {
+      return Request(ControlRequest{ControlVerb::kFlush, ""});
+    }
     return Request(ControlRequest{ControlVerb::kQuit, ""});
+  }
+
+  // ---- mutations.
+  if (verb == "append") {
+    if (t.size() < 2 || t.size() > 3) {
+      return Usage("append <v1,v2,...> [label]");
+    }
+    const auto values = ParseValuesCsv(t[1]);
+    if (!values) return Status::InvalidArgument("bad value list");
+    AppendRequest request{*values, 0};
+    if (t.size() > 2) {
+      const auto label = ParseInt(t[2]);
+      if (!label) {
+        return Status::InvalidArgument("bad label '" + t[2] + "'");
+      }
+      request.label = *label;
+    }
+    return Request(std::move(request));
   }
 
   // ---- queries (the CLI's historical grammar, now shared).
@@ -267,6 +306,12 @@ std::string RenderRequestLine(const QueryRequest& request) {
   return line;
 }
 
+std::string RenderAppendLine(const AppendRequest& request) {
+  std::string line = "append " + Csv(request.values);
+  if (request.label != 0) line += " " + std::to_string(request.label);
+  return line;
+}
+
 std::string RenderResponse(const QueryResponse& response) {
   std::string out = "OK ";
   out += ToString(response.kind);
@@ -371,6 +416,8 @@ std::string RenderHelp() {
       "help q2 <series|all> <len>             seasonal similarity\n"
       "help q3 <S|M|L|any> [len]              threshold recommendation\n"
       "help refine <st'> <len|all>            refine similarity threshold\n"
+      "help append <v1,v2,...> [label]        append series (WAL'd when durable)\n"
+      "help flush                             checkpoint the bound dataset\n"
       "help use <dataset> / list              select / list datasets\n"
       "help stats / ping / quit               server metrics, liveness\n"
       ".\n";

@@ -22,6 +22,13 @@
 //   q2 <series|all> <len>               Q2 seasonal similarity
 //   q3 <S|M|L|any> [len]                Q3 threshold recommendation
 //   refine <st'> <len|all>              Algorithm 2.C refinement
+//   append <v1,v2,...> [label]          append a series to the bound
+//                                       dataset (durable when the
+//                                       server runs with --durable:
+//                                       WAL'd before the OK)
+//   flush                               force the bound dataset to
+//                                       stable storage (checkpoint /
+//                                       snapshot save)
 //   use <dataset>                       bind the session to a dataset
 //   list                                catalog contents
 //   stats                               server metrics (per-kind
@@ -47,16 +54,18 @@
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/1 ready") and
-/// bumped on any grammar change.
-inline constexpr int kWireVersion = 1;
+/// Wire-format version, announced in the greeting ("ONEX/2 ready") and
+/// bumped on any grammar change (2: APPEND/FLUSH mutation verbs).
+inline constexpr int kWireVersion = 2;
 
 /// Protocol-level error codes with no Status::Code equivalent.
 inline constexpr const char* kOverloadedCode = "OVERLOADED";
 inline constexpr const char* kNoDatasetCode = "NO_DATASET";
 
-/// Session-control verbs (everything that is not a QueryRequest).
-enum class ControlVerb { kUse, kList, kStats, kPing, kHelp, kQuit };
+/// Session-control verbs (everything that is neither a QueryRequest nor
+/// a mutation). kFlush rides here: it has no operands and, like the
+/// other control verbs, is answered inline on the session thread.
+enum class ControlVerb { kUse, kList, kStats, kPing, kHelp, kQuit, kFlush };
 
 /// A parsed control line; `argument` is the dataset name for kUse.
 struct ControlRequest {
@@ -64,8 +73,17 @@ struct ControlRequest {
   std::string argument;
 };
 
-/// One parsed request line: either session control or an Engine query.
-using Request = std::variant<ControlRequest, QueryRequest>;
+/// The APPEND mutation: add one series to the session's bound dataset
+/// (Algorithm 1 maintenance over the wire). Not a QueryRequest — it
+/// needs mutable, catalog-mediated access, not Engine::Execute.
+struct AppendRequest {
+  std::vector<double> values;
+  int label = 0;
+};
+
+/// One parsed request line: session control, a mutation, or an Engine
+/// query.
+using Request = std::variant<ControlRequest, AppendRequest, QueryRequest>;
 
 // ------------------------------------------------------------- requests
 
@@ -77,6 +95,9 @@ Result<Request> ParseRequestLine(const std::string& line);
 /// of the grammar). ParseRequestLine(RenderRequestLine(r)) reproduces
 /// `r` exactly: doubles are printed with round-trip precision.
 std::string RenderRequestLine(const QueryRequest& request);
+
+/// Same round-trip guarantee for the APPEND mutation line.
+std::string RenderAppendLine(const AppendRequest& request);
 
 // ------------------------------------------------------------ responses
 

@@ -143,9 +143,13 @@ void Server::SessionLoop(int fd) {
   SendAll(fd, Greeting());
 
   std::shared_ptr<const Engine> engine;
+  std::string dataset;  // Bound dataset name, for APPEND/FLUSH routing.
   if (!options_.default_dataset.empty()) {
     auto acquired = catalog_->Acquire(options_.default_dataset);
-    if (acquired.ok()) engine = std::move(acquired).value();
+    if (acquired.ok()) {
+      engine = std::move(acquired).value();
+      dataset = options_.default_dataset;
+    }
   }
 
   SocketLineReader reader(fd, options_.max_line_bytes);
@@ -169,9 +173,26 @@ void Server::SessionLoop(int fd) {
             break;
           }
           engine = std::move(acquired).value();
+          dataset = control->argument;
           SendAll(fd, "OK Use dataset=" + control->argument +
                           " series=" + std::to_string(engine->num_series()) +
+                          " durable=" + (engine->durable() ? "1" : "0") +
                           "\n.\n");
+          break;
+        }
+        case ControlVerb::kFlush: {
+          if (engine == nullptr) {
+            metrics_.RecordBadRequest();
+            SendAll(fd, RenderErrorBlock(
+                            kNoDatasetCode,
+                            "no dataset bound — send 'use <name>' first"));
+            break;
+          }
+          const Status flushed = catalog_->Flush(dataset);
+          metrics_.RecordFlush(flushed.ok());
+          SendAll(fd, flushed.ok()
+                          ? "OK Flush dataset=" + dataset + "\n.\n"
+                          : RenderError(flushed));
           break;
         }
         case ControlVerb::kList: {
@@ -181,7 +202,9 @@ void Server::SessionLoop(int fd) {
           for (const auto& row : rows) {
             reply += "dataset name=" + row.name +
                      " resident=" + (row.resident ? "1" : "0") +
-                     " pinned=" + (row.pinned ? "1" : "0") + "\n";
+                     " pinned=" + (row.pinned ? "1" : "0") +
+                     " durable=" + (row.durable ? "1" : "0") +
+                     " dirty=" + (row.dirty ? "1" : "0") + "\n";
           }
           SendAll(fd, reply + ".\n");
           break;
@@ -208,6 +231,32 @@ void Server::SessionLoop(int fd) {
           break;
       }
       if (quit) break;
+      continue;
+    }
+
+    // Mutation path: APPEND is catalog-mediated (the session's engine
+    // handle is const) and answered inline — appends take the engine's
+    // writer lock, so routing them through the worker pool would let
+    // one slow append occupy a worker every query is waiting for.
+    if (const auto* append = std::get_if<AppendRequest>(&parsed.value())) {
+      if (engine == nullptr) {
+        metrics_.RecordBadRequest();
+        SendAll(fd, RenderErrorBlock(
+                        kNoDatasetCode,
+                        "no dataset bound — send 'use <name>' first"));
+        continue;
+      }
+      auto appended = catalog_->Append(
+          dataset, TimeSeries(append->values, append->label));
+      metrics_.RecordAppend(appended.ok());
+      if (!appended.ok()) {
+        SendAll(fd, RenderError(appended.status()));
+        continue;
+      }
+      const AppendOutcome& outcome = appended.value();
+      SendAll(fd, "OK Append series=" + std::to_string(outcome.series) +
+                      " total=" + std::to_string(outcome.total) +
+                      " durable=" + (outcome.durable ? "1" : "0") + "\n.\n");
       continue;
     }
 

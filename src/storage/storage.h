@@ -1,0 +1,189 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// DurableEngine: the pairing of an onex::Engine with a write-ahead log
+// (storage/wal.h) and the existing SaveBase/LoadBase snapshot format
+// (core/serialization.h) that makes live base maintenance survive
+// process death. The contract: every append acknowledged with OK is
+// recoverable — reopen the same <dir>/<name> and the series is there,
+// fully queryable.
+//
+// Mechanics:
+//   - Appends are WRITE-AHEAD: the engine (durable mode) logs each
+//     series to the WAL — fsync'd per append, or once per group-commit
+//     batch — before mutating the in-memory base. A WAL failure aborts
+//     the append unapplied.
+//   - Recovery (Open) is snapshot-load + WAL-replay. Records the
+//     snapshot already contains (crash between "snapshot renamed" and
+//     "WAL rotated") are skipped by sequence number; a torn or corrupt
+//     tail is tolerated up to the last valid record and truncated so
+//     new appends stay reachable.
+//   - A background CHECKPOINTER thread rewrites the snapshot and
+//     rotates the WAL once the log exceeds a byte/record threshold
+//     (replay time is proportional to log length; checkpoints bound
+//     it). Both files are replaced via write-temp-then-rename, so a
+//     crash at any instant leaves a recoverable pair.
+//
+// Locking: all WAL-writer state is touched only under the engine's
+// writer lock (appends via the AppendSink hook, rotation via
+// Engine::Exclusive), so checkpoints and appends serialize without a
+// lock-order cycle. Checkpointing holds the writer lock for the
+// snapshot write — queries stall for its duration (an open item tracks
+// copy-on-write snapshots).
+//
+// Ownership: DurableEngine owns the Engine; engine() hands out aliased
+// shared_ptrs that keep the whole durable stack (WAL, checkpointer)
+// alive, so a server session can outlive a catalog eviction safely.
+
+#ifndef ONEX_STORAGE_STORAGE_H_
+#define ONEX_STORAGE_STORAGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "storage/append_sink.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace onex {
+namespace storage {
+
+struct StorageOptions {
+  /// Checkpoint once the WAL exceeds either bound (0 = unbounded).
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+  uint64_t checkpoint_wal_records = 4096;
+  /// Run the background checkpointer thread. Off, checkpoints happen
+  /// only via explicit Checkpoint() calls (tests use this to pin down
+  /// "crash before checkpoint" states).
+  bool background_checkpointer = true;
+  /// fsync the WAL on every single append. Group-commit batches
+  /// (AppendBatch) always sync exactly once per batch regardless.
+  /// Turning this off trades the durability of the last few appends
+  /// for throughput (the bench quantifies it).
+  bool sync_appends = true;
+};
+
+/// Point-in-time counters for STATS replies, tests, and the bench.
+struct StorageStats {
+  uint64_t appends = 0;          ///< Series appended through this object.
+  uint64_t wal_records = 0;      ///< Records in the live WAL.
+  uint64_t wal_bytes = 0;        ///< Live WAL size, header included.
+  uint64_t checkpoints = 0;      ///< Snapshot+rotate cycles completed.
+  uint64_t replayed_records = 0; ///< Records applied during Open.
+  uint64_t skipped_records = 0;  ///< Replay records already in the snapshot.
+  bool recovered_torn_tail = false;  ///< Open found (and dropped) a torn tail.
+};
+
+/// `<dir>/<name>.onex` — the snapshot (serialization.h format, shared
+/// with Engine::Save and the server catalog).
+std::string BasePathFor(const std::string& dir, const std::string& name);
+/// `<dir>/<name>.wal` — the write-ahead log.
+std::string WalPathFor(const std::string& dir, const std::string& name);
+
+/// fsyncs an already-written file by path. Every write-temp-then-rename
+/// snapshot publish (checkpoint, non-durable catalog flush) needs this
+/// between the write and the rename: SaveBase writes through ofstream,
+/// which never syncs, and a rename can commit before the data blocks do.
+Status SyncFile(const std::string& path);
+
+class DurableEngine : public AppendSink,
+                      public std::enable_shared_from_this<DurableEngine> {
+ public:
+  /// Makes an in-memory engine durable under `<dir>/<name>`: writes the
+  /// initial snapshot, starts an empty WAL, attaches the write-ahead
+  /// sink, and (by default) the checkpointer thread. Overwrites any
+  /// previous pair of files.
+  static Result<std::shared_ptr<DurableEngine>> Create(
+      const std::string& dir, const std::string& name, Engine engine,
+      const StorageOptions& options = {});
+
+  /// Recovery: loads the snapshot, replays the WAL up to the last valid
+  /// record (torn tails truncated, already-snapshotted records
+  /// skipped), and resumes logging where the valid prefix ended.
+  /// NotFound when no snapshot exists; Corruption when snapshot or WAL
+  /// are unreadable beyond repair.
+  static Result<std::shared_ptr<DurableEngine>> Open(
+      const std::string& dir, const std::string& name,
+      const StorageOptions& options = {}, QueryOptions query_options = {});
+
+  ~DurableEngine() override;
+  DurableEngine(const DurableEngine&) = delete;
+  DurableEngine& operator=(const DurableEngine&) = delete;
+
+  /// The queryable engine. The returned pointer shares ownership of
+  /// this DurableEngine, so holding it keeps the WAL open and the
+  /// checkpointer running.
+  std::shared_ptr<Engine> engine();
+  std::shared_ptr<const Engine> const_engine();
+
+  /// Durable appends (sugar over engine()->AppendSeries/AppendBatch;
+  /// the write-ahead ordering lives in the engine's durable mode).
+  Status Append(TimeSeries series);
+  /// Group commit: one fsync for the whole batch.
+  Status AppendBatch(std::vector<TimeSeries> batch);
+
+  /// Writes a fresh snapshot and rotates the WAL, atomically with
+  /// respect to appends. Blocks queries while the snapshot is written.
+  Status Checkpoint();
+
+  StorageStats stats() const;
+  const std::string& base_path() const { return base_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+  // AppendSink — called by the engine under its writer lock. Not for
+  // direct use.
+  Status LogAppend(const TimeSeries& series) override;
+  Status LogAppendBatch(std::span<const TimeSeries> batch) override;
+
+  /// Construction token: the factories need make_shared on an
+  /// effectively-private constructor.
+  struct Private {};
+  DurableEngine(Private, Engine engine, WalWriter wal, StorageOptions options,
+                std::string base_path, std::string wal_path);
+
+ private:
+  /// Spin up the sink attachment and (optionally) the checkpointer;
+  /// shared tail of both factories.
+  void StartLocked();
+
+  void CheckpointerLoop();
+  bool OverThreshold() const;
+
+  /// Rotation body; runs under the engine writer lock via Exclusive.
+  Status CheckpointLocked(const OnexBase& base);
+
+  Engine engine_;
+  WalWriter wal_;
+  StorageOptions options_;
+  const std::string base_path_;
+  const std::string wal_path_;
+
+  /// Counters mirrored atomically so stats() and the checkpointer
+  /// predicate read them without the engine lock.
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  uint64_t replayed_records_ = 0;
+  uint64_t skipped_records_ = 0;
+  bool recovered_torn_tail_ = false;
+
+  /// Serializes explicit Checkpoint() calls against the background one.
+  std::mutex checkpoint_mutex_;
+
+  /// Checkpointer thread plumbing.
+  std::mutex cp_mutex_;
+  std::condition_variable cp_cv_;
+  bool stop_ = false;
+  std::thread checkpointer_;
+};
+
+}  // namespace storage
+}  // namespace onex
+
+#endif  // ONEX_STORAGE_STORAGE_H_

@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace onex {
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* bytes, size_t n) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(const void* bytes, size_t n) {
+  return Crc32Update(0, bytes, n);
+}
+
+}  // namespace onex

@@ -185,6 +185,115 @@ TEST_F(CatalogTest, ListMergesDiskAndMemoryEntries) {
   EXPECT_TRUE(rows[3].pinned);
 }
 
+// ---------------------------------------- dirty engines and eviction.
+
+TEST_F(CatalogTest, DirtyEngineIsNeverSilentlyEvicted) {
+  // Regression for the silent-data-loss hazard: append to a
+  // non-durable disk-backed engine, then put it under LRU pressure.
+  // Eviction would discard the append (memory-only), so the catalog
+  // must refuse and keep it resident.
+  Catalog catalog = MakeCatalog(2);
+  ASSERT_TRUE(catalog.Acquire("alpha").ok());
+  auto appended = catalog.Append(
+      "alpha", TimeSeries(std::vector<double>(24, 0.5), 9));
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(appended.value().total, 11u);
+  EXPECT_FALSE(appended.value().durable);
+
+  // beta + gamma push past the cap. alpha is the LRU victim but dirty
+  // -> refused (the LRU takes clean beta instead); alpha stays
+  // resident with its append intact.
+  ASSERT_TRUE(catalog.Acquire("beta").ok());
+  ASSERT_TRUE(catalog.Acquire("gamma").ok());
+  EXPECT_EQ(catalog.stats().refused_evictions, 1u);
+  for (const auto& row : catalog.List()) {
+    if (row.name == "alpha") {
+      EXPECT_TRUE(row.resident);
+      EXPECT_TRUE(row.dirty);
+    }
+  }
+  auto alpha = catalog.Acquire("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha.value()->num_series(), 11u);
+
+  // After an explicit FLUSH the data is on disk and the entry is clean;
+  // fresh eviction pressure may now take alpha, and reopening it from
+  // disk still finds the append.
+  alpha = Status::NotFound("released");
+  ASSERT_TRUE(catalog.Flush("alpha").ok());
+  ASSERT_TRUE(catalog.Acquire("beta").ok());
+  ASSERT_TRUE(catalog.Acquire("gamma").ok());
+  for (const auto& row : catalog.List()) {
+    if (row.name == "alpha") EXPECT_FALSE(row.resident);  // Evicted now.
+  }
+  EXPECT_GE(catalog.stats().evictions, 1u);
+  auto reloaded = catalog.Acquire("alpha");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value()->num_series(), 11u);
+  EXPECT_EQ(reloaded.value()->dataset()[10].label(), 9);
+}
+
+TEST_F(CatalogTest, DurableDirtyEngineIsCheckpointedThenEvicted) {
+  CatalogOptions options;
+  options.data_dir = dir_.string();
+  options.max_open_engines = 2;
+  options.durable = true;
+  options.storage.background_checkpointer = false;
+  Catalog catalog{options};
+
+  ASSERT_TRUE(catalog.Acquire("alpha").ok());
+  auto appended = catalog.Append(
+      "alpha", TimeSeries(std::vector<double>(24, 0.25), 3));
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_TRUE(appended.value().durable);
+
+  // Eviction pressure: the dirty durable engine is checkpointed first,
+  // then evicted — never refused, never lossy.
+  ASSERT_TRUE(catalog.Acquire("beta").ok());
+  ASSERT_TRUE(catalog.Acquire("gamma").ok());
+  EXPECT_EQ(catalog.stats().refused_evictions, 0u);
+  EXPECT_EQ(catalog.stats().flush_evictions, 1u);
+  EXPECT_EQ(catalog.stats().resident, 2u);
+
+  auto reloaded = catalog.Acquire("alpha");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value()->num_series(), 11u);
+  EXPECT_EQ(reloaded.value()->dataset()[10].label(), 3);
+  EXPECT_TRUE(reloaded.value()->durable());
+}
+
+TEST_F(CatalogTest, DurableRegisterRecoversExistingDataInsteadOfTruncating) {
+  CatalogOptions options;
+  options.data_dir = dir_.string();
+  options.durable = true;
+  options.storage.background_checkpointer = false;
+  {
+    Catalog catalog{options};
+    catalog.Register("demo", BuildSmallEngine(90));
+    ASSERT_TRUE(
+        catalog.Append("demo", TimeSeries(std::vector<double>(24, 0.4), 7))
+            .ok());
+  }  // Catalog dies; the append lives in demo.onex + demo.wal.
+
+  // A restart re-registers the same demo name with a freshly built
+  // engine — that must NOT truncate the durable pair: the recovered
+  // state (with the append) wins.
+  Catalog restarted{options};
+  restarted.Register("demo", BuildSmallEngine(90));
+  auto demo = restarted.Acquire("demo");
+  ASSERT_TRUE(demo.ok());
+  EXPECT_EQ(demo.value()->num_series(), 11u);
+  EXPECT_EQ(demo.value()->dataset()[10].label(), 7);
+}
+
+TEST_F(CatalogTest, FlushWithoutBackingStoreIsNotSupported) {
+  Catalog catalog{CatalogOptions{}};  // No data_dir.
+  catalog.Register("mem", BuildSmallEngine(80));
+  ASSERT_TRUE(
+      catalog.Append("mem", TimeSeries(std::vector<double>(24, 0.1))).ok());
+  EXPECT_EQ(catalog.Flush("mem").code(), Status::Code::kNotSupported);
+}
+
 TEST_F(CatalogTest, AcquiredEnginesAnswerQueries) {
   Catalog catalog = MakeCatalog(8);
   auto engine = catalog.Acquire("alpha");

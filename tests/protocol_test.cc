@@ -127,10 +127,53 @@ TEST(ProtocolTest, ControlVerbsParse) {
            {"stats", ControlVerb::kStats},
            {"help", ControlVerb::kHelp},
            {"quit", ControlVerb::kQuit},
-           {"exit", ControlVerb::kQuit}}) {
+           {"exit", ControlVerb::kQuit},
+           {"flush", ControlVerb::kFlush}}) {
     auto parsed = ParseRequestLine(line);
     ASSERT_TRUE(parsed.ok()) << line;
     EXPECT_EQ(std::get<ControlRequest>(parsed.value()).verb, verb) << line;
+  }
+}
+
+// ------------------------------------- APPEND/FLUSH mutation verbs.
+
+TEST(ProtocolTest, AppendRoundTrips) {
+  // Wire-vs-direct parity at the grammar layer: the line a client
+  // renders parses back into the identical mutation (%.17g values,
+  // label included), so the server appends exactly what was sent.
+  const AppendRequest original{{0.25, -1.5, 3e-7, 0.125}, -4};
+  auto parsed = ParseRequestLine(RenderAppendLine(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* back = std::get_if<AppendRequest>(&parsed.value());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->values, original.values);
+  EXPECT_EQ(back->label, original.label);
+
+  // Label 0 is the default and omitted from the rendered line.
+  const AppendRequest unlabeled{{1.0, 2.0}, 0};
+  EXPECT_EQ(RenderAppendLine(unlabeled), "append 1,2");
+  auto reparsed = ParseRequestLine("append 1,2");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(std::get<AppendRequest>(reparsed.value()).label, 0);
+  EXPECT_EQ(std::get<AppendRequest>(reparsed.value()).values,
+            unlabeled.values);
+}
+
+TEST(ProtocolTest, AppendAndFlushRejectMalformedLines) {
+  for (const std::string& line : {
+           "append",               // no values
+           "append ,",             // empty list
+           "append 1,2,",          // trailing comma (truncated list)
+           "append 1;2",           // wrong separator
+           "append 1,2 x",         // non-numeric label
+           "append 1,2 4294967296",  // label out of int range
+           "append 1,2 3 extra",   // too many operands
+           "flush now",            // flush takes no operands
+       }) {
+    auto parsed = ParseRequestLine(line);
+    EXPECT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.status().code(), Status::Code::kInvalidArgument) << line;
+    EXPECT_FALSE(parsed.status().message().empty()) << line;
   }
 }
 
@@ -267,7 +310,7 @@ TEST(ProtocolTest, ErrorBlocksCarryCodeAndMessage) {
 }
 
 TEST(ProtocolTest, GreetingAnnouncesVersion) {
-  EXPECT_EQ(Greeting(), "ONEX/1 ready\n");
+  EXPECT_EQ(Greeting(), "ONEX/2 ready\n");
   auto parsed = ParseResponseBlock(SplitLines(RenderHelp()));
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.value().ok);

@@ -154,5 +154,96 @@ TEST(SerializationTest, SaveToBadPathIsIOError) {
             Status::Code::kIOError);
 }
 
+// ------------------------------------------- fuzz-ish robustness.
+
+/// Random truncations: every prefix of a valid base must come back as
+/// a structured error (Corruption), never a crash, hang, or giant
+/// allocation — LoadBase parses length prefixes it cannot trust.
+TEST(SerializationTest, FuzzTruncationAlwaysReturnsCorruption) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_fuzz_trunc.bin");
+  const std::string mutated = TempPath("onex_fuzz_trunc_cut.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  const uint64_t size = std::filesystem::file_size(path);
+
+  Rng rng(1234);  // Seeded: failures reproduce.
+  for (int trial = 0; trial < 48; ++trial) {
+    const uint64_t cut = rng.Uniform(size);  // In [0, size).
+    std::filesystem::copy_file(
+        path, mutated, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(mutated, cut);
+    auto result = LoadBase(mutated);
+    ASSERT_FALSE(result.ok()) << "cut at " << cut << " of " << size;
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption)
+        << "cut at " << cut << ": " << result.status().ToString();
+  }
+  std::remove(path.c_str());
+  std::remove(mutated.c_str());
+}
+
+/// Random bit flips: a flipped byte may survive (it landed in value
+/// data) or must surface as Corruption — but never crash, and never
+/// turn a length field into a multi-gigabyte resize (the bounded
+/// Reader caps every count by the bytes actually remaining).
+TEST(SerializationTest, FuzzBitFlipsNeverCrash) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_fuzz_flip.bin");
+  const std::string mutated = TempPath("onex_fuzz_flip_mut.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  const uint64_t size = std::filesystem::file_size(path);
+
+  Rng rng(5678);
+  int corruptions = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    const uint64_t offset = rng.Uniform(size);
+    const int bit = static_cast<int>(rng.Uniform(8));
+    std::filesystem::copy_file(
+        path, mutated, std::filesystem::copy_options::overwrite_existing);
+    {
+      std::fstream f(mutated,
+                     std::ios::binary | std::ios::in | std::ios::out);
+      ASSERT_TRUE(f.is_open());
+      f.seekg(static_cast<std::streamoff>(offset));
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ (1 << bit));
+      f.seekp(static_cast<std::streamoff>(offset));
+      f.write(&byte, 1);
+    }
+    auto result = LoadBase(mutated);  // Must return, whatever happens.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), Status::Code::kCorruption)
+          << "flip at " << offset << " bit " << bit << ": "
+          << result.status().ToString();
+      ++corruptions;
+    }
+  }
+  // Structural bytes dominate value bytes enough that at least some
+  // flips must have been caught (sanity check that the loop bites).
+  EXPECT_GT(corruptions, 0);
+  std::remove(path.c_str());
+  std::remove(mutated.c_str());
+}
+
+/// A length prefix rewritten to a huge value must be rejected by the
+/// remaining-bytes bound, not handed to resize() (std::bad_alloc).
+TEST(SerializationTest, HugeLengthPrefixIsCorruptionNotBadAlloc) {
+  OnexBase original = BuildTestBase();
+  const std::string path = TempPath("onex_fuzz_huge.bin");
+  ASSERT_TRUE(SaveBase(original, path).ok());
+  {
+    // The dataset name length (u64 right after magic+version) becomes
+    // 2^31: Str must refuse before allocating.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const uint64_t huge = 1ull << 31;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  auto result = LoadBase(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace onex
