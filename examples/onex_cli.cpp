@@ -115,13 +115,22 @@ class Shell {
         "  q1k <k> <len|any> <values>    — k most similar sequences\n"
         "  q2 <series|all> <len>         — seasonal similarity\n"
         "  q3 <S|M|L|any> [len]          — threshold recommendations\n"
-        "  refine <st'> <len|all>        — vary similarity threshold\n");
+        "  refine <st'> <len|all>        — vary similarity threshold\n"
+        "  v3 attribute prefix on any query, e.g.\n"
+        "  id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9\n"
+        "                                — bound the query and stream\n"
+        "                                  PART frames as it runs\n");
   }
 
   /// One protocol round trip against the in-process engine: the printed
   /// block is exactly what a TCP client of onex_server would receive.
+  /// The v3 attribute prefix works here too — `deadline_ms=` bounds the
+  /// query through an ExecContext (the reply is flagged partial when it
+  /// fires), and `progress=1` prints the PART frames a remote client
+  /// would stream (cancel needs a second connection, i.e. onex_server).
   void Query(const std::string& line) {
-    auto parsed = onex::server::ParseRequestLine(line);
+    onex::server::RequestAttrs attrs;
+    auto parsed = onex::server::ParseRequestLine(line, &attrs);
     if (!parsed.ok()) {
       std::fputs(onex::server::RenderError(parsed.status()).c_str(), stdout);
       return;
@@ -138,11 +147,32 @@ class Shell {
       return;
     }
     if (!Ready()) return;
-    auto response = engine_->Execute(*request);
-    std::fputs(response.ok()
-                   ? onex::server::RenderResponse(response.value()).c_str()
-                   : onex::server::RenderError(response.status()).c_str(),
-               stdout);
+    onex::ExecContext ctx;
+    if (attrs.deadline_ms != 0) {
+      ctx.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(attrs.deadline_ms);
+    }
+    uint64_t part_seq = 0;
+    if (attrs.progress) {
+      const onex::QueryKind kind = onex::KindOf(*request);
+      ctx.progress = [&part_seq, kind, id = attrs.id](
+                         const onex::ProgressEvent& event) {
+        std::fputs(onex::server::RenderPartBlock(
+                       kind, id, part_seq++, event.work_fraction,
+                       event.snapshot, event.matches)
+                       .c_str(),
+                   stdout);
+        std::fflush(stdout);
+      };
+    }
+    auto response = attrs.any() ? engine_->Execute(*request, ctx)
+                                : engine_->Execute(*request);
+    std::fputs(
+        response.ok()
+            ? onex::server::RenderResponse(response.value(), attrs.id)
+                  .c_str()
+            : onex::server::RenderError(response.status(), attrs.id).c_str(),
+        stdout);
   }
 
   void Generate(const std::vector<std::string>& t) {

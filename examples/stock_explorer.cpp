@@ -1,16 +1,33 @@
-// Stock explorer — the paper's financial use case (Sec. 5.1, Q1):
-// an analyst "designs" a desired stock fluctuation (a shape that likely
-// does NOT exist in the data) and retrieves the closest match of any
-// length, plus the k most similar alternatives.
+// Stock explorer — the showcase for interactive query control
+// (src/core/exec_context.h). An analyst "designs" a desired stock
+// fluctuation (the paper's financial use case, Sec. 5.1) and issues a
+// BROAD range query — every window of every length within a generous
+// similarity threshold, with exact distances, so the engine has real
+// work to do. The query runs under an ExecContext:
 //
-// The session drives the onex::Engine facade (src/api/engine.h) with
-// typed BestMatch/KSimilar requests — the same requests onex_cli and
-// the TCP server route.
+//   - a progress sink renders sparkline hits AS THEY STREAM IN, so the
+//     first matches appear long before the scan finishes;
+//   - pressing Enter cancels the query mid-flight (cooperative
+//     cancellation through the CancelToken) — the partial results
+//     already confirmed are kept and summarized;
+//   - --deadline-ms N bounds the whole query instead (the reply comes
+//     back flagged partial when the budget fires).
 //
 // Run: ./build/examples/stock_explorer [--stocks N] [--days N]
+//          [--st X] [--deadline-ms N] [--cancel-after-ms N]
+//
+//   --cancel-after-ms N   cancel automatically after N ms (what the
+//                         keypress does, but deterministic — used by
+//                         CI, demos, and piped runs)
 
+#include <sys/select.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
@@ -18,6 +35,21 @@
 #include "dataset/normalize.h"
 #include "util/flags.h"
 #include "util/sparkline.h"
+#include "util/timer.h"
+
+namespace {
+
+/// True once a full line is waiting on stdin (non-blocking poll).
+bool StdinReady() {
+  fd_set readable;
+  FD_ZERO(&readable);
+  FD_SET(STDIN_FILENO, &readable);
+  timeval timeout{0, 0};
+  return ::select(STDIN_FILENO + 1, &readable, nullptr, nullptr, &timeout) >
+         0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   onex::Flags flags(argc, argv);
@@ -40,8 +72,7 @@ int main(int argc, char** argv) {
   }
   onex::Engine engine = std::move(built).value();
   const onex::BaseStats stats = engine.base_stats();
-  std::printf("indexed %llu windows into %llu groups across %llu "
-              "lengths\n",
+  std::printf("indexed %llu windows into %llu groups across %llu lengths\n",
               static_cast<unsigned long long>(stats.num_subsequences),
               static_cast<unsigned long long>(stats.num_representatives),
               static_cast<unsigned long long>(stats.num_lengths));
@@ -54,37 +85,113 @@ int main(int argc, char** argv) {
     sketch[i] = t < 0.4 ? 0.5 - 0.35 * std::sin(t / 0.4 * M_PI / 2.0)
                         : 0.15 + 0.7 * (t - 0.4) / 0.6;
   }
-  const std::span<const double> q(sketch.data(), sketch.size());
-
-  auto best = engine.Execute(onex::BestMatchRequest{sketch, /*length=*/0});
-  if (!best.ok()) {
-    std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
-    return 1;
-  }
-  const onex::QueryMatch& match = best.value().matches[0];
   std::printf("\ndesigned 'dip then rally' sketch (30 days):\n%s\n",
-              onex::SparklineLabeled(q, 60).c_str());
-  std::printf("\nbest match: stock #%u, days %u-%u (normalized DTW "
-              "%.5f, %.2f ms)\n%s\n",
-              match.ref.series, match.ref.start,
-              match.ref.start + match.ref.length - 1, match.distance,
-              best.value().latency_seconds * 1e3,
-              onex::SparklineLabeled(match.ref.View(engine.dataset()), 60)
+              onex::SparklineLabeled(
+                  std::span<const double>(sketch.data(), sketch.size()), 60)
                   .c_str());
 
-  // The 5 most similar windows in the best-matching group.
-  auto top = engine.Execute(onex::KSimilarRequest{sketch, 5});
-  if (top.ok()) {
-    std::printf("\ntop similar windows:\n");
-    for (const auto& m : top.value().matches) {
-      std::printf("  stock #%-3u days %3u-%-3u  distance %.5f\n",
-                  m.ref.series, m.ref.start,
-                  m.ref.start + m.ref.length - 1, m.distance);
-    }
+  // The broad exploration: EVERY window within st, exact distances —
+  // the expensive query interactive control exists for.
+  const double st = flags.GetDouble("st", 0.35);
+  const auto deadline_ms = flags.GetInt("deadline-ms", 0);
+  const auto cancel_after_ms = flags.GetInt("cancel-after-ms", 0);
+
+  onex::ExecContext ctx;
+  if (deadline_ms > 0) {
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(deadline_ms);
   }
-  std::printf("\nNote: matches can have different lengths than the "
-              "sketch — DTW's time warping aligns a 30-day shape with, "
-              "say, a 40-day window that plays out the same pattern more "
-              "slowly.\n");
+
+  std::atomic<size_t> streamed{0};
+  constexpr size_t kShowFirst = 8;  // Sparkline the first few hits only.
+  const onex::Dataset& data = engine.dataset();
+  ctx.progress = [&](const onex::ProgressEvent& event) {
+    for (const onex::QueryMatch& m : event.matches) {
+      const size_t n = streamed.fetch_add(1) + 1;
+      if (n <= kShowFirst) {
+        std::printf("  hit #%-3zu stock %-3u days %3u-%-3u dist %.4f  %s\n",
+                    n, m.ref.series, m.ref.start,
+                    m.ref.start + m.ref.length - 1, m.distance,
+                    onex::Sparkline(m.ref.View(data), 40).c_str());
+      } else if (n == kShowFirst + 1) {
+        std::printf("  ... streaming further hits ...\n");
+      }
+    }
+    std::printf("\r  %zu hits, %.0f%% of the market scanned ", streamed.load(),
+                event.work_fraction * 100.0);
+    std::fflush(stdout);
+  };
+
+  std::printf("\nrange query: every window within st=%.2f (exact "
+              "distances)\n", st);
+  if (deadline_ms > 0) {
+    std::printf("deadline: %d ms\n", deadline_ms);
+  }
+  const bool interactive = ::isatty(STDIN_FILENO) != 0;
+  if (interactive) {
+    std::printf("press Enter to cancel\n");
+  }
+  std::printf("\n");
+
+  // Cancellation watcher: keypress (interactive) or --cancel-after-ms
+  // (deterministic). The token is a shared handle — cancelling from
+  // this thread aborts the query running on the main thread.
+  std::atomic<bool> done{false};
+  onex::CancelToken token = ctx.cancel;
+  std::thread watcher([&, token] {
+    onex::Timer since_start;
+    while (!done.load()) {
+      if (interactive && StdinReady()) {
+        token.Cancel();
+        return;
+      }
+      if (cancel_after_ms > 0 &&
+          since_start.ElapsedMillis() >= cancel_after_ms) {
+        token.Cancel();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  onex::Timer timer;
+  auto response = engine.Execute(
+      onex::RangeWithinRequest{sketch, st, /*length=*/0,
+                               /*exact_distances=*/true},
+      ctx);
+  const double elapsed_ms = timer.ElapsedMillis();
+  done.store(true);
+  watcher.join();
+
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const onex::QueryResponse& result = response.value();
+  std::printf("\n\n%s after %.1f ms: %zu windows within %.2f\n",
+              result.partial
+                  ? (result.interrupt == onex::Status::Code::kCancelled
+                         ? "CANCELLED"
+                         : "DEADLINE EXCEEDED")
+                  : "complete",
+              elapsed_ms, result.matches.size(), st);
+  if (result.partial) {
+    std::printf("partial results kept — the %zu confirmed hits above "
+                "remain usable\n", result.matches.size());
+  }
+
+  // The best few of whatever the scan confirmed.
+  const size_t top = std::min<size_t>(5, result.matches.size());
+  if (top > 0) std::printf("\nclosest %zu:\n", top);
+  for (size_t i = 0; i < top; ++i) {
+    const onex::QueryMatch& m = result.matches[i];
+    std::printf("  stock #%-3u days %3u-%-3u  distance %.5f\n%s\n",
+                m.ref.series, m.ref.start, m.ref.start + m.ref.length - 1,
+                m.distance,
+                onex::SparklineLabeled(m.ref.View(data), 60).c_str());
+  }
+  std::printf("\nNote: matches can have different lengths than the sketch — "
+              "DTW's time warping aligns a 30-day shape with, say, a 40-day "
+              "window that plays out the same pattern more slowly.\n");
   return 0;
 }

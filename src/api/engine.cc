@@ -1,5 +1,6 @@
 #include "api/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/serialization.h"
@@ -83,12 +84,50 @@ inline std::span<const double> AsSpan(const std::vector<double>& values) {
 
 }  // namespace
 
-Result<QueryResponse> Engine::ExecuteLocked(
-    const QueryRequest& request) const {
+Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
+                                            const ExecContext* ctx) const {
   QueryResponse response;
   response.kind = KindOf(request);
+  // Fast-fail an already-interrupted context (one clock read) so a
+  // batch whose token fired returns its remaining responses
+  // immediately-partial instead of burning check_every candidates per
+  // request first.
+  if (ctx != nullptr) {
+    const Status upfront = ctx->Check();
+    if (!upfront.ok()) {
+      response.partial = true;
+      response.interrupt = upfront.code();
+      return response;
+    }
+  }
   Timer timer;
   Status error = Status::OK();
+
+  // Partial-results accumulator: a wrapping progress sink mirrors every
+  // event the query emits (and forwards it to the caller's sink), so an
+  // interrupted query can still hand back its confirmed matches. Only
+  // built when a context is present — the context-free path pays
+  // nothing.
+  ExecContext wrapped;
+  const ExecContext* effective = ctx;
+  std::vector<QueryMatch> confirmed;
+  if (ctx != nullptr) {
+    wrapped = *ctx;
+    // No user sink: the wrapper only captures partials, so queries may
+    // skip the periodic snapshot emissions nobody would see.
+    wrapped.progress_capture_only = !static_cast<bool>(ctx->progress);
+    wrapped.progress = [&confirmed, user = ctx->progress](
+                           const ProgressEvent& event) {
+      if (event.snapshot) {
+        confirmed.assign(event.matches.begin(), event.matches.end());
+      } else {
+        confirmed.insert(confirmed.end(), event.matches.begin(),
+                         event.matches.end());
+      }
+      if (user) user(event);
+    };
+    effective = &wrapped;
+  }
 
   std::visit(
       [&](const auto& req) {
@@ -97,36 +136,39 @@ Result<QueryResponse> Engine::ExecuteLocked(
           auto result =
               req.length == 0
                   ? processor().FindBestMatch(AsSpan(req.query),
-                                              &response.stats)
+                                              &response.stats, effective)
                   : processor().FindBestMatchOfLength(
-                        AsSpan(req.query), req.length, &response.stats);
+                        AsSpan(req.query), req.length, &response.stats,
+                        effective);
           if (result.ok()) {
             response.matches.push_back(result.value());
           } else {
             error = result.status();
           }
         } else if constexpr (std::is_same_v<T, KSimilarRequest>) {
-          auto result = processor().FindKSimilar(AsSpan(req.query), req.k,
-                                                 req.length, &response.stats);
+          auto result =
+              processor().FindKSimilar(AsSpan(req.query), req.k, req.length,
+                                       &response.stats, effective);
           if (result.ok()) {
             response.matches = std::move(result).value();
           } else {
             error = result.status();
           }
         } else if constexpr (std::is_same_v<T, RangeWithinRequest>) {
-          auto result =
-              processor().FindAllWithin(AsSpan(req.query), req.st, req.length,
-                                        req.exact_distances, &response.stats);
+          auto result = processor().FindAllWithin(
+              AsSpan(req.query), req.st, req.length, req.exact_distances,
+              &response.stats, effective);
           if (result.ok()) {
             response.matches = std::move(result).value();
           } else {
             error = result.status();
           }
         } else if constexpr (std::is_same_v<T, SeasonalRequest>) {
-          auto result =
-              req.series_id.has_value()
-                  ? processor().SeasonalSimilarity(*req.series_id, req.length)
-                  : processor().SimilarGroupsOfLength(req.length);
+          auto result = req.series_id.has_value()
+                            ? processor().SeasonalSimilarity(
+                                  *req.series_id, req.length, effective)
+                            : processor().SimilarGroupsOfLength(req.length,
+                                                                effective);
           if (result.ok()) {
             response.groups = std::move(result).value();
           } else {
@@ -134,10 +176,21 @@ Result<QueryResponse> Engine::ExecuteLocked(
           }
         } else if constexpr (std::is_same_v<T, RecommendRequest>) {
           if (req.degree.has_value()) {
+            if (effective != nullptr) {
+              error = effective->Check();
+              if (!error.ok()) return;
+            }
             response.recommendations.push_back(
                 recommender().Recommend(*req.degree, req.length));
           } else {
-            response.recommendations = recommender().AllDegrees(req.length);
+            response.recommendations =
+                recommender().AllDegrees(req.length, effective);
+            // Fewer than three rows means the context stopped the scan
+            // between degrees.
+            if (effective != nullptr &&
+                response.recommendations.size() < 3) {
+              error = effective->Check();
+            }
           }
         } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
           auto summarize = [&](size_t length, const GtiEntry& refined) {
@@ -147,35 +200,67 @@ Result<QueryResponse> Engine::ExecuteLocked(
                 refined.NumGroups()});
           };
           if (req.length != 0) {
-            auto refined = refiner().RefineLength(req.length, req.st_prime);
+            auto refined =
+                refiner().RefineLength(req.length, req.st_prime, effective);
             if (refined.ok()) {
               summarize(req.length, refined.value());
             } else {
               error = refined.status();
             }
           } else {
-            auto refined = refiner().RefineAll(req.st_prime);
-            if (refined.ok()) {
-              for (const auto& [length, entry] :
-                   refined.value().entries()) {
-                summarize(length, entry);
+            // Length by length (rather than RefineAll) so an
+            // interruption keeps the summaries of every length already
+            // refined — those become the partial response.
+            for (size_t length : base_->gti().Lengths()) {
+              auto refined =
+                  refiner().RefineLength(length, req.st_prime, effective);
+              if (!refined.ok()) {
+                error = refined.status();
+                break;
               }
-            } else {
-              error = refined.status();
+              summarize(length, refined.value());
             }
           }
         }
       },
       request);
 
-  if (!error.ok()) return error;
+  if (!error.ok()) {
+    if (!error.interrupted()) return error;
+    // Interrupted, not failed: hand back everything confirmed before
+    // the stop, flagged partial. Match-kind payloads come from the
+    // progress accumulator (sorted like the uninterrupted path);
+    // recommendation / refinement rows accumulated in place.
+    response.partial = true;
+    response.interrupt = error.code();
+    response.matches = std::move(confirmed);
+    std::sort(response.matches.begin(), response.matches.end(),
+              MatchDistanceLess);
+  }
   response.latency_seconds = timer.ElapsedSeconds();
   return response;
 }
 
+Result<QueryResponse> Engine::Execute(const QueryRequest& request,
+                                      const ExecContext& ctx) const {
+  std::shared_lock lock(*rw_mutex_);
+  return ExecuteLocked(request, &ctx);
+}
+
 Result<QueryResponse> Engine::Execute(const QueryRequest& request) const {
   std::shared_lock lock(*rw_mutex_);
-  return ExecuteLocked(request);
+  return ExecuteLocked(request, nullptr);
+}
+
+std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
+    std::span<const QueryRequest> requests, const ExecContext& ctx) const {
+  std::shared_lock lock(*rw_mutex_);
+  std::vector<Result<QueryResponse>> responses;
+  responses.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    responses.push_back(ExecuteLocked(request, &ctx));
+  }
+  return responses;
 }
 
 std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
@@ -184,7 +269,7 @@ std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
   std::vector<Result<QueryResponse>> responses;
   responses.reserve(requests.size());
   for (const QueryRequest& request : requests) {
-    responses.push_back(ExecuteLocked(request));
+    responses.push_back(ExecuteLocked(request, nullptr));
   }
   return responses;
 }
@@ -219,11 +304,10 @@ Status Engine::AppendBatch(std::vector<TimeSeries> batch) {
         std::span<const TimeSeries>(batch.data(), batch.size()));
     if (!logged.ok()) return logged;
   }
-  for (TimeSeries& series : batch) {
-    const Status applied = base_->AppendSeries(std::move(series));
-    if (!applied.ok()) return applied;
-  }
-  return Status::OK();
+  // One maintenance pass for the whole batch: derived structures are
+  // rebuilt once per affected length, not once per series. WAL replay
+  // routes recovery through here for exactly that reason.
+  return base_->AppendBatch(std::move(batch));
 }
 
 void Engine::AttachAppendSink(storage::AppendSink* sink) {

@@ -27,6 +27,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/onex_base.h"
 #include "core/query_processor.h"
 #include "core/recommender.h"
@@ -130,6 +131,13 @@ struct QueryResponse {
   QueryStats stats;
   /// Wall-clock seconds spent answering, measured inside the engine.
   double latency_seconds = 0.0;
+  /// True when the ExecContext interrupted the query (deadline passed
+  /// or CancelToken fired) before it finished: the payload holds only
+  /// the results confirmed up to that point, and `interrupt` says which
+  /// code stopped it (kCancelled / kDeadlineExceeded). Non-interrupted
+  /// responses always have partial == false, interrupt == kOk.
+  bool partial = false;
+  Status::Code interrupt = Status::Code::kOk;
 };
 
 // --------------------------------------------------------------- engine
@@ -155,13 +163,32 @@ class Engine {
   /// Persists the underlying base (serialization.h format).
   Status Save(const std::string& path) const;
 
-  /// Answers one request. Thread-safe: concurrent callers share the
-  /// reader lock.
+  /// Answers one request under interactive control: `ctx` carries the
+  /// deadline, the cooperative CancelToken, and the optional progress
+  /// sink. When the context interrupts the query mid-flight the call
+  /// still succeeds — the response carries every result confirmed so
+  /// far, flagged `partial` with `interrupt` naming the code — so an
+  /// interactive front end can always render SOMETHING. Genuine
+  /// failures (bad request, absent length) return an error Result as
+  /// before. Thread-safe: concurrent callers share the reader lock.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const ExecContext& ctx) const;
+
+  /// Context-free shim, kept for one release: equivalent to passing a
+  /// context with no deadline, no token, and no sink (and pays none of
+  /// the checking overhead). Prefer Execute(request, ctx).
   Result<QueryResponse> Execute(const QueryRequest& request) const;
 
   /// Answers a batch under one reader-lock acquisition, so the whole
   /// batch observes a single consistent snapshot of the base even while
-  /// an AppendSeries is waiting. One Result per request, in order.
+  /// an AppendSeries is waiting. One Result per request, in order. The
+  /// shared context is consulted across the whole batch: once it
+  /// interrupts, the in-flight request returns partial and the
+  /// remaining ones return immediately-partial (empty) responses.
+  std::vector<Result<QueryResponse>> ExecuteBatch(
+      std::span<const QueryRequest> requests, const ExecContext& ctx) const;
+
+  /// Context-free shim, kept for one release.
   std::vector<Result<QueryResponse>> ExecuteBatch(
       std::span<const QueryRequest> requests) const;
 
@@ -176,9 +203,10 @@ class Engine {
 
   /// Appends a batch under ONE writer-lock acquisition; in durable mode
   /// the whole batch is logged with a single group commit (one fsync)
-  /// before any of it is applied. Stops at the first in-memory apply
-  /// failure (earlier elements stay applied — same as calling
-  /// AppendSeries in a loop).
+  /// before any of it is applied, and the in-memory apply is ONE
+  /// maintenance pass (OnexBase::AppendBatch: derived state rebuilt
+  /// once per affected length, not once per series). All-or-nothing:
+  /// an invalid series anywhere rejects the batch unapplied.
   Status AppendBatch(std::vector<TimeSeries> batch);
 
   // ---- durable mode (storage/storage.h attaches itself here).
@@ -216,8 +244,10 @@ class Engine {
  private:
   Engine(OnexBase base, QueryOptions query_options);
 
-  /// Dispatch body; the caller holds the reader lock.
-  Result<QueryResponse> ExecuteLocked(const QueryRequest& request) const;
+  /// Dispatch body; the caller holds the reader lock. `ctx` may be
+  /// nullptr (the context-free fast path).
+  Result<QueryResponse> ExecuteLocked(const QueryRequest& request,
+                                      const ExecContext* ctx) const;
 
   /// Query components, created on first use via std::call_once (cheap
   /// atomic check on the hot path; no lock contention between

@@ -1,0 +1,171 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Interactive query control: every Engine::Execute can carry an
+// ExecContext bundling a deadline, a cooperative CancelToken, and an
+// optional progress sink that receives partial QueryMatch batches while
+// the query is still running. The query components (QueryProcessor,
+// Recommender, ThresholdRefiner) test the context inside their inner
+// loops through an amortized ExecChecker — one atomic load / clock read
+// every `check_every` candidates, so an uncancelled query pays well
+// under the interactive-latency noise floor for the ability to be
+// aborted mid-flight.
+//
+// Interruption is COOPERATIVE: Cancel() or an expired deadline never
+// tears a thread down; the running query notices at its next check,
+// stops descending, and returns what it has. The API layer flags such a
+// response `partial` and records which code interrupted it
+// (Status::Code::kCancelled / kDeadlineExceeded).
+
+#ifndef ONEX_CORE_EXEC_CONTEXT_H_
+#define ONEX_CORE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/query_match.h"
+#include "util/status.h"
+
+namespace onex {
+
+/// Shared cancellation flag. Copies alias one flag, so a client thread
+/// can hold a token while a worker runs the query: Cancel() from any
+/// copy is observed by every other. Thread-safe; cancelling is
+/// idempotent and cannot be undone (one token = one query's lifetime).
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// One progress delivery: a batch of confirmed matches plus a rough
+/// work-fraction estimate. `snapshot` distinguishes the two shapes a
+/// running query emits: best-match-style queries send their CURRENT
+/// best set (replacing earlier events), range-style queries send only
+/// matches confirmed SINCE the last event (append). The spans point
+/// into the running query's buffers and are valid only for the duration
+/// of the callback — copy out anything kept.
+struct ProgressEvent {
+  std::span<const QueryMatch> matches;
+  /// Fraction of the candidate space already searched, in [0, 1]. An
+  /// estimate (groups visited / groups total), not a latency promise.
+  double work_fraction = 0.0;
+  /// True: `matches` replaces everything delivered before. False:
+  /// `matches` extends it.
+  bool snapshot = false;
+};
+
+using ProgressSink = std::function<void(const ProgressEvent&)>;
+
+/// Per-call execution context. Cheap to copy (a time point, a shared
+/// token, a std::function). A default-constructed context never
+/// interrupts, so `Execute(request, ExecContext{})` behaves exactly
+/// like the context-free overload.
+struct ExecContext {
+  /// Absolute deadline; unset = unbounded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative abort switch; keep a copy to Cancel() from elsewhere.
+  CancelToken cancel;
+  /// Optional sink for partial results (see ProgressEvent). Called from
+  /// the query thread — keep it fast, and do not call back into the
+  /// engine from inside it.
+  ProgressSink progress;
+  /// Inner loops consult the token/clock every `check_every` candidate
+  /// comparisons. Smaller = faster abort, more overhead; the default
+  /// keeps uncancelled overhead <2% on micro_distance-scale work while
+  /// bounding abort latency to a handful of DTW invocations.
+  size_t check_every = 32;
+  /// Set by the API layer when `progress` exists only to capture
+  /// partial results (the caller attached no sink of their own):
+  /// queries then skip the PERIODIC snapshot emissions (e.g. the
+  /// running top-k, which costs a copy + sort per emission) and only
+  /// flush on completion/interrupt — which is all capture needs.
+  bool progress_capture_only = false;
+
+  /// Deadline `budget` from now.
+  static ExecContext WithDeadlineAfter(std::chrono::milliseconds budget) {
+    ExecContext ctx;
+    ctx.deadline = std::chrono::steady_clock::now() + budget;
+    return ctx;
+  }
+
+  /// Immediate (non-amortized) check: OK, DeadlineExceeded, or
+  /// Cancelled. The deadline is tested FIRST: when both fired, the
+  /// deadline fired on its own schedule regardless of the token (the
+  /// server's overload shedder cancels over-deadline queries, and the
+  /// caller of such a query must see DEADLINE_EXCEEDED, not a cancel it
+  /// never sent).
+  Status Check() const {
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    if (cancel.cancelled()) return Status::Cancelled("query cancelled");
+    return Status::OK();
+  }
+};
+
+/// Amortized interruption probe for inner loops. Constructed once per
+/// query call, passed by reference down the loop nest; ShouldStop() is
+/// a counter bump on all but every `check_every`-th call. Once it
+/// returns true it stays true (status() says why), so a loop nest can
+/// unwind level by level without re-checking.
+class ExecChecker {
+ public:
+  /// `ctx` may be nullptr (the context-free fast path: ShouldStop is a
+  /// single null test). The context must outlive the checker.
+  explicit ExecChecker(const ExecContext* ctx)
+      : ctx_(ctx),
+        period_(ctx != nullptr && ctx->check_every > 0 ? ctx->check_every
+                                                       : 1) {}
+
+  /// True when the query must stop now; status() carries the code.
+  bool ShouldStop() {
+    if (ctx_ == nullptr) return false;
+    if (!status_.ok()) return true;
+    if (++count_ < period_) return false;
+    count_ = 0;
+    status_ = ctx_->Check();
+    return !status_.ok();
+  }
+
+  /// Why the last ShouldStop() returned true (OK until then).
+  const Status& status() const { return status_; }
+
+  const ExecContext* context() const { return ctx_; }
+
+  /// Emits a progress event if a sink is attached.
+  void Report(std::span<const QueryMatch> matches, double work_fraction,
+              bool snapshot) const {
+    if (ctx_ == nullptr || !ctx_->progress) return;
+    ctx_->progress(ProgressEvent{matches, work_fraction, snapshot});
+  }
+
+  bool wants_progress() const {
+    return ctx_ != nullptr && static_cast<bool>(ctx_->progress);
+  }
+
+  /// True when someone is actually WATCHING: periodic (non-final)
+  /// snapshot emissions are only worth their cost then.
+  bool wants_live_progress() const {
+    return wants_progress() && !ctx_->progress_capture_only;
+  }
+
+ private:
+  const ExecContext* ctx_;
+  size_t period_;
+  size_t count_ = 0;
+  Status status_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_EXEC_CONTEXT_H_

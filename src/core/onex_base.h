@@ -56,6 +56,16 @@ class OnexBase {
   /// defers to its tech report. InvalidArgument for an empty series.
   Status AppendSeries(TimeSeries series);
 
+  /// Appends a whole batch with ONE maintenance pass: per affected
+  /// length the groups are reconstituted once, every new subsequence is
+  /// assigned in batch order (the same nearest-in-radius rule the
+  /// sequential path applies), and the derived structures (member sort,
+  /// envelopes, Dc, sum order, markers) are rebuilt once — instead of
+  /// once per series. WAL replay batches recovery through this, turning
+  /// N derived-state rebuilds into 1 per length. All-or-nothing
+  /// validation: an empty series anywhere rejects the batch unapplied.
+  Status AppendBatch(std::vector<TimeSeries> batch);
+
   const Dataset& dataset() const { return dataset_; }
   const OnexOptions& options() const { return options_; }
   const GlobalTimeIndex& gti() const { return gti_; }

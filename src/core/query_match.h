@@ -1,0 +1,39 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The retrieved-sequence record shared by the query processor, the
+// session facade, and the execution-context progress machinery. Split
+// out of query_processor.h so exec_context.h (which streams batches of
+// these) does not have to pull in the whole processor.
+
+#ifndef ONEX_CORE_QUERY_MATCH_H_
+#define ONEX_CORE_QUERY_MATCH_H_
+
+#include <cstdint>
+
+#include "dataset/subsequence.h"
+
+namespace onex {
+
+/// One retrieved sequence.
+struct QueryMatch {
+  SubsequenceRef ref;
+  /// Normalized DTW (Def. 6) between query and this sequence.
+  double distance = 0.0;
+  /// Group the match came from (id within its length's GtiEntry).
+  uint32_t group_id = 0;
+  /// Set when `distance` is a guaranteed upper bound rather than the
+  /// actual DTW: FindAllWithin's Lemma-2 fast path admits whole groups
+  /// at the range threshold without per-member DTW, so those matches
+  /// report `st` unless the caller asked for exact_distances.
+  bool distance_is_upper_bound = false;
+};
+
+/// THE match ordering: every ranked result list — full answers, top-k
+/// snapshots, and partial (interrupted) responses alike — sorts with
+/// this one comparator so the paths can never silently diverge.
+inline bool MatchDistanceLess(const QueryMatch& a, const QueryMatch& b) {
+  return a.distance < b.distance;
+}
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_QUERY_MATCH_H_

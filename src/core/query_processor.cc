@@ -33,7 +33,7 @@ std::string QueryStats::ToString() const {
 
 std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     std::span<const double> query, const GtiEntry& entry, double bsf,
-    QueryStats& stats) const {
+    QueryStats& stats, ExecChecker& check) const {
   const size_t g = entry.NumGroups();
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -43,9 +43,12 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
   // Visit order: median-out over the sum-sorted S array (Sec. 5.3) —
   // start at the representative with the median Dc-sum and alternate
   // left/right — or plain stored order when the optimization is off.
+  // A fired checker makes every remaining `consider` a cheap no-op, so
+  // the loop drains instead of pointer-chasing through break logic.
   uint32_t best_k = 0;
   double best_d = kInf;
   auto consider = [&](uint32_t k) {
+    if (check.ShouldStop()) return;
     const LsiEntry& group = entry.groups[k];
     const std::span<const double> rep(group.representative.data(),
                                       entry.length);
@@ -91,7 +94,8 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
 QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
                                        const GtiEntry& entry,
                                        uint32_t group_id, double rep_distance,
-                                       double bsf, QueryStats& stats) const {
+                                       double bsf, QueryStats& stats,
+                                       ExecChecker& check) const {
   const LsiEntry& group = entry.groups[group_id];
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -103,6 +107,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
   best.group_id = group_id;
 
   auto consider = [&](const LsiMember& member) {
+    if (check.ShouldStop()) return;
     ++stats.members_compared;
     const auto values = member.ref.View(base_->dataset());
     const double prune_at = std::min(bsf, best.distance);
@@ -139,7 +144,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
 
 std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
     std::span<const double> query, const GtiEntry& entry,
-    QueryStats& stats) const {
+    QueryStats& stats, ExecChecker& check) const {
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
   const DtwOptions dtw_options = DtwOptions::FromRatio(
@@ -147,6 +152,7 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
   std::vector<std::pair<uint32_t, double>> reps;
   reps.reserve(entry.NumGroups());
   for (uint32_t k = 0; k < entry.NumGroups(); ++k) {
+    if (check.ShouldStop()) break;
     ++stats.reps_compared;
     const std::span<const double> rep(
         entry.groups[k].representative.data(), entry.length);
@@ -165,24 +171,26 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
 QueryMatch QueryProcessor::SearchEntry(std::span<const double> query,
                                        const GtiEntry& entry, double bsf,
                                        double* best_rep_distance,
-                                       QueryStats& stats) const {
+                                       QueryStats& stats,
+                                       ExecChecker& check) const {
   QueryMatch best;
   best.distance = std::numeric_limits<double>::infinity();
   if (options_.groups_to_search <= 1) {
     const auto [group_id, rep_d] =
-        BestRepresentative(query, entry, bsf, stats);
+        BestRepresentative(query, entry, bsf, stats, check);
     *best_rep_distance = rep_d;
     if (!std::isfinite(rep_d)) return best;
     return SearchGroup(query, entry, group_id, rep_d,
-                       std::min(bsf, best.distance), stats);
+                       std::min(bsf, best.distance), stats, check);
   }
-  const auto tops = TopRepresentatives(query, entry, stats);
+  const auto tops = TopRepresentatives(query, entry, stats, check);
   *best_rep_distance =
       tops.empty() ? std::numeric_limits<double>::infinity()
                    : tops.front().second;
   for (const auto& [group_id, rep_d] : tops) {
     QueryMatch match = SearchGroup(query, entry, group_id, rep_d,
-                                   std::min(bsf, best.distance), stats);
+                                   std::min(bsf, best.distance), stats,
+                                   check);
     if (match.distance < best.distance) best = match;
   }
   return best;
@@ -209,7 +217,8 @@ std::vector<size_t> QueryProcessor::OrderedLengths(size_t m) const {
 }
 
 Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
-    std::span<const double> query, size_t length, QueryStats* stats) const {
+    std::span<const double> query, size_t length, QueryStats* stats,
+    const ExecContext* ctx) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr || entry->NumGroups() == 0) {
@@ -217,10 +226,20 @@ Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
                             " is not in the ONEX base");
   }
   QueryStats call;
+  ExecChecker check(ctx);
   ++call.lengths_scanned;
   double rep_d = kInf;
-  QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d, call);
+  QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d, call, check);
   CommitStats(call, stats);
+  if (!check.status().ok()) {
+    // Flush the best candidate found before the interruption, so the
+    // API layer can return it flagged partial.
+    if (std::isfinite(match.distance)) {
+      check.Report(std::span<const QueryMatch>(&match, 1), 1.0,
+                   /*snapshot=*/true);
+    }
+    return check.status();
+  }
   if (!std::isfinite(match.distance)) {
     return Status::NotFound("group is empty");
   }
@@ -228,24 +247,46 @@ Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
 }
 
 Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
-                                                 QueryStats* stats) const {
+                                                 QueryStats* stats,
+                                                 const ExecContext* ctx) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   const double half_st = base_->options().st / 2.0;
   QueryStats call;
+  ExecChecker check(ctx);
   QueryMatch best;
   best.distance = kInf;
-  for (size_t length : OrderedLengths(query.size())) {
+  const std::vector<size_t> ordered = OrderedLengths(query.size());
+  size_t lengths_done = 0;
+  for (size_t length : ordered) {
     const GtiEntry* entry = base_->EntryFor(length);
     if (entry == nullptr || entry->NumGroups() == 0) continue;
     ++call.lengths_scanned;
     double rep_d = kInf;
-    QueryMatch match = SearchEntry(query, *entry, best.distance, &rep_d, call);
-    if (match.distance < best.distance) best = match;
+    QueryMatch match =
+        SearchEntry(query, *entry, best.distance, &rep_d, call, check);
+    ++lengths_done;
+    if (match.distance < best.distance) {
+      best = match;
+      if (std::isfinite(best.distance)) {
+        check.Report(std::span<const QueryMatch>(&best, 1),
+                     static_cast<double>(lengths_done) /
+                         static_cast<double>(ordered.size()),
+                     /*snapshot=*/true);
+      }
+    }
+    if (check.ShouldStop()) break;
     // Lemma 2 stop: a representative within ST/2 guarantees every member
     // of its group is within ST of the query.
     if (options_.stop_within_st_half && rep_d <= half_st) break;
   }
   CommitStats(call, stats);
+  if (!check.status().ok()) {
+    if (std::isfinite(best.distance)) {
+      check.Report(std::span<const QueryMatch>(&best, 1), 1.0,
+                   /*snapshot=*/true);
+    }
+    return check.status();
+  }
   if (!std::isfinite(best.distance)) {
     return Status::NotFound("ONEX base has no groups");
   }
@@ -254,10 +295,11 @@ Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
 
 Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     std::span<const double> query, size_t k, size_t length,
-    QueryStats* stats) const {
+    QueryStats* stats, const ExecContext* ctx) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (k == 0) return Status::InvalidArgument("k must be positive");
   QueryStats call;
+  ExecChecker check(ctx);
   const GtiEntry* entry = nullptr;
   uint32_t group_id = 0;
   double rep_d = kInf;
@@ -267,17 +309,19 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
       return Status::NotFound("length " + std::to_string(length) +
                               " is not in the ONEX base");
     }
-    std::tie(group_id, rep_d) = BestRepresentative(query, *entry, kInf, call);
+    std::tie(group_id, rep_d) =
+        BestRepresentative(query, *entry, kInf, call, check);
   } else {
     // Any length: locate the best group via the Q1 path, then rank its
     // members.
     double best_rep = kInf;
     for (size_t len : OrderedLengths(query.size())) {
+      if (check.ShouldStop()) break;
       const GtiEntry* candidate = base_->EntryFor(len);
       if (candidate == nullptr || candidate->NumGroups() == 0) continue;
       ++call.lengths_scanned;
       const auto [gid, d] =
-          BestRepresentative(query, *candidate, best_rep, call);
+          BestRepresentative(query, *candidate, best_rep, call, check);
       if (d < best_rep) {
         best_rep = d;
         entry = candidate;
@@ -290,6 +334,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     }
     if (entry == nullptr) {
       CommitStats(call, stats);
+      if (!check.status().ok()) return check.status();
       return Status::NotFound("ONEX base has no groups");
     }
   }
@@ -302,7 +347,19 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
       base_->options().window_ratio, query.size(), entry->length);
   std::vector<QueryMatch> matches;
   matches.reserve(group.members.size());
-  for (const LsiMember& member : group.members) {
+  // Running top-k for progress snapshots, maintained incrementally
+  // (sorted, capped at k) so each emission costs O(k), never a copy or
+  // sort of the full accumulation.
+  std::vector<QueryMatch> topk;
+  const bool track_topk = check.wants_progress();
+  if (track_topk) topk.reserve(k + 1);
+  auto flush_topk = [&](double fraction) {
+    check.Report(std::span<const QueryMatch>(topk.data(), topk.size()),
+                 fraction, /*snapshot=*/true);
+  };
+  for (size_t i = 0; i < group.members.size(); ++i) {
+    if (check.ShouldStop()) break;
+    const LsiMember& member = group.members[i];
     ++call.members_compared;
     QueryMatch match;
     match.ref = member.ref;
@@ -311,19 +368,34 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
         DtwDistance(query, member.ref.View(base_->dataset()), dtw_options) /
         norm;
     matches.push_back(match);
+    if (track_topk &&
+        (topk.size() < k || MatchDistanceLess(match, topk.back()))) {
+      topk.insert(std::upper_bound(topk.begin(), topk.end(), match,
+                                   MatchDistanceLess),
+                  match);
+      if (topk.size() > k) topk.pop_back();
+    }
+    // Periodic snapshots only when a live watcher exists: the API
+    // layer's partial-capture wrapper is served by the final/interrupt
+    // flush alone.
+    if (check.wants_live_progress() && (i + 1) % 32 == 0) {
+      flush_topk(static_cast<double>(i + 1) /
+                 static_cast<double>(group.members.size()));
+    }
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.distance < b.distance;
-            });
-  if (matches.size() > k) matches.resize(k);
   CommitStats(call, stats);
+  if (!check.status().ok()) {
+    if (!matches.empty()) flush_topk(1.0);
+    return check.status();
+  }
+  std::sort(matches.begin(), matches.end(), MatchDistanceLess);
+  if (matches.size() > k) matches.resize(k);
   return matches;
 }
 
 Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     std::span<const double> query, double st, size_t length,
-    bool exact_distances, QueryStats* stats) const {
+    bool exact_distances, QueryStats* stats, const ExecContext* ctx) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (st <= 0.0) return Status::InvalidArgument("st must be positive");
 
@@ -339,11 +411,36 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
   }
 
   QueryStats call;
+  ExecChecker check(ctx);
   std::vector<QueryMatch> matches;
   const size_t m = query.size();
+
+  // Work-fraction denominator for progress: total groups to visit.
+  size_t total_groups = 0;
+  for (size_t len : lengths) {
+    const GtiEntry* entry = base_->EntryFor(len);
+    if (entry != nullptr) total_groups += entry->NumGroups();
+  }
+  size_t groups_done = 0;
+  // Everything past this index is unreported; batches flush per group.
+  size_t reported = 0;
+  auto flush_new = [&] {
+    if (matches.size() > reported) {
+      check.Report(std::span<const QueryMatch>(matches.data() + reported,
+                                               matches.size() - reported),
+                   total_groups == 0
+                       ? 1.0
+                       : static_cast<double>(groups_done) /
+                             static_cast<double>(total_groups),
+                   /*snapshot=*/false);
+      reported = matches.size();
+    }
+  };
+
   for (size_t len : lengths) {
     const GtiEntry* entry = base_->EntryFor(len);
     if (entry == nullptr) continue;
+    if (check.ShouldStop()) break;
     ++call.lengths_scanned;
     const double norm = Norm(m, len);
     // Range semantics follow Def. 3's unconstrained DTW: Lemma 2 is
@@ -351,6 +448,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     // member's reported distance past st.
     const DtwOptions dtw_options{-1};
     for (uint32_t k = 0; k < entry->NumGroups(); ++k) {
+      if (check.ShouldStop()) break;
       const LsiEntry& group = entry->groups[k];
       const std::span<const double> rep(group.representative.data(), len);
       // DTW has no reverse triangle inequality, so no group can be
@@ -371,6 +469,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
           match.ref = member.ref;
           match.group_id = k;
           if (exact_distances) {
+            if (check.ShouldStop()) break;
             match.distance =
                 DtwDistance(query, member.ref.View(base_->dataset()),
                             dtw_options) /
@@ -384,6 +483,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       } else {
         // Individual scan with early abandoning at the range threshold.
         for (const LsiMember& member : group.members) {
+          if (check.ShouldStop()) break;
           ++call.members_compared;
           const double d =
               DtwEarlyAbandon(query, member.ref.View(base_->dataset()),
@@ -398,18 +498,24 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
           }
         }
       }
+      ++groups_done;
+      flush_new();
     }
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.distance < b.distance;
-            });
   CommitStats(call, stats);
+  if (!check.status().ok()) {
+    // Flush what the interrupted group confirmed before the stop; the
+    // API layer re-assembles the partial response from these events.
+    flush_new();
+    return check.status();
+  }
+  std::sort(matches.begin(), matches.end(), MatchDistanceLess);
   return matches;
 }
 
 Result<std::vector<std::vector<SubsequenceRef>>>
-QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) const {
+QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length,
+                                   const ExecContext* ctx) const {
   if (series_id >= base_->dataset().size()) {
     return Status::InvalidArgument("series id out of range");
   }
@@ -418,8 +524,10 @@ QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) const {
     return Status::NotFound("length " + std::to_string(length) +
                             " is not in the ONEX base");
   }
+  ExecChecker check(ctx);
   std::vector<std::vector<SubsequenceRef>> result;
   for (const LsiEntry& group : entry->groups) {
+    if (check.ShouldStop()) return check.status();
     std::vector<SubsequenceRef> own;
     for (const LsiMember& member : group.members) {
       if (member.ref.series == series_id) own.push_back(member.ref);
@@ -431,14 +539,17 @@ QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length) const {
 }
 
 Result<std::vector<std::vector<SubsequenceRef>>>
-QueryProcessor::SimilarGroupsOfLength(size_t length) const {
+QueryProcessor::SimilarGroupsOfLength(size_t length,
+                                      const ExecContext* ctx) const {
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr) {
     return Status::NotFound("length " + std::to_string(length) +
                             " is not in the ONEX base");
   }
+  ExecChecker check(ctx);
   std::vector<std::vector<SubsequenceRef>> result;
   for (const LsiEntry& group : entry->groups) {
+    if (check.ShouldStop()) return check.status();
     if (group.members.size() < 2) continue;
     std::vector<SubsequenceRef> refs;
     refs.reserve(group.members.size());

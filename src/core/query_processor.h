@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/onex_base.h"
+#include "core/query_match.h"
 #include "util/status.h"
 
 namespace onex {
@@ -41,20 +43,6 @@ struct QueryOptions {
   /// exhaustive oracle at a linear cost in extra member scans — an
   /// accuracy/time knob beyond the paper.
   size_t groups_to_search = 1;
-};
-
-/// One retrieved sequence.
-struct QueryMatch {
-  SubsequenceRef ref;
-  /// Normalized DTW (Def. 6) between query and this sequence.
-  double distance = 0.0;
-  /// Group the match came from (id within its length's GtiEntry).
-  uint32_t group_id = 0;
-  /// Set when `distance` is a guaranteed upper bound rather than the
-  /// actual DTW: FindAllWithin's Lemma-2 fast path admits whole groups
-  /// at the range threshold without per-member DTW, so those matches
-  /// report `st` unless the caller asked for exact_distances.
-  bool distance_is_upper_bound = false;
 };
 
 /// Work counters for the time-response experiments.
@@ -88,6 +76,16 @@ struct QueryStats {
 /// (`onex::Engine` and the server's worker pool rely on this). The
 /// processor holds NO mutable state — the old member accumulator is
 /// gone; callers wanting running totals QueryStats::Add per call.
+///
+/// Interruption: every query method accepts an optional ExecContext.
+/// Inner loops test it through an amortized ExecChecker (one atomic
+/// load / clock read per ctx->check_every candidates); when the
+/// deadline passes or the token fires the method stops descending and
+/// returns Status kDeadlineExceeded / kCancelled. Matches confirmed
+/// before the interruption are flushed to the context's progress sink
+/// (a final append event), so the API layer can still hand the caller a
+/// partial response. With ctx == nullptr the old behavior — and the old
+/// cost — is unchanged.
 class QueryProcessor {
  public:
   /// `base` must outlive the processor.
@@ -96,21 +94,24 @@ class QueryProcessor {
 
   /// Q1 with Match = Exact(L): best match among subsequences of exactly
   /// `length`. NotFound if that length was not constructed.
-  Result<QueryMatch> FindBestMatchOfLength(std::span<const double> query,
-                                           size_t length,
-                                           QueryStats* stats = nullptr) const;
+  Result<QueryMatch> FindBestMatchOfLength(
+      std::span<const double> query, size_t length,
+      QueryStats* stats = nullptr, const ExecContext* ctx = nullptr) const;
 
   /// Q1 with Match = Any: best match across all constructed lengths,
   /// searched in the optimized order (query length, then decreasing,
-  /// then increasing — Sec. 5.3).
+  /// then increasing — Sec. 5.3). Progress events are snapshots of the
+  /// current best match.
   Result<QueryMatch> FindBestMatch(std::span<const double> query,
-                                   QueryStats* stats = nullptr) const;
+                                   QueryStats* stats = nullptr,
+                                   const ExecContext* ctx = nullptr) const;
 
   /// k most similar sequences from the best-matching group (Algorithm
   /// 2's getKSim). Results are sorted by distance, at most k of them.
+  /// Progress events are snapshots of the current top-k.
   Result<std::vector<QueryMatch>> FindKSimilar(
       std::span<const double> query, size_t k, size_t length = 0,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, const ExecContext* ctx = nullptr) const;
 
   /// Q1 range form (`WHERE Sim <= ST`): every sequence of `length`
   /// (0 = all lengths) whose normalized DTW to the query is <= `st`.
@@ -120,48 +121,54 @@ class QueryProcessor {
   /// early-abandoning DTW at threshold st. Results sorted by distance.
   /// Fast-path members report their upper bound (st) as distance — and
   /// carry distance_is_upper_bound — unless `exact_distances` is set,
-  /// which recomputes them.
+  /// which recomputes them. Progress events append each group's newly
+  /// confirmed matches as the scan visits it.
   Result<std::vector<QueryMatch>> FindAllWithin(
       std::span<const double> query, double st, size_t length = 0,
-      bool exact_distances = false, QueryStats* stats = nullptr) const;
+      bool exact_distances = false, QueryStats* stats = nullptr,
+      const ExecContext* ctx = nullptr) const;
 
   /// Q2, user-driven: groups of `length` restricted to subsequences of
   /// series `series_id`; only groups contributing >= 2 such subsequences
-  /// (i.e., recurring similarity) are returned.
+  /// (i.e., recurring similarity) are returned. Interruption stops the
+  /// group scan (no partial groups are returned).
   Result<std::vector<std::vector<SubsequenceRef>>> SeasonalSimilarity(
-      uint32_t series_id, size_t length) const;
+      uint32_t series_id, size_t length,
+      const ExecContext* ctx = nullptr) const;
 
   /// Q2, data-driven: all groups of `length` with >= 2 members.
   Result<std::vector<std::vector<SubsequenceRef>>> SimilarGroupsOfLength(
-      size_t length) const;
+      size_t length, const ExecContext* ctx = nullptr) const;
 
  private:
   /// Best representative of `entry` for `query`: (group id, normalized
-  /// DTW). `bsf` seeds pruning (normalized units).
+  /// DTW). `bsf` seeds pruning (normalized units). Stops early (partial
+  /// best-so-far) when `check` fires.
   std::pair<uint32_t, double> BestRepresentative(std::span<const double> query,
                                                  const GtiEntry& entry,
                                                  double bsf,
-                                                 QueryStats& stats) const;
+                                                 QueryStats& stats,
+                                                 ExecChecker& check) const;
 
   /// Top options_.groups_to_search representatives, ascending by
   /// normalized DTW (no pruning: all representatives are evaluated).
   std::vector<std::pair<uint32_t, double>> TopRepresentatives(
       std::span<const double> query, const GtiEntry& entry,
-      QueryStats& stats) const;
+      QueryStats& stats, ExecChecker& check) const;
 
   /// Searches the chosen groups of one entry (1 group on the paper's
   /// path, several with groups_to_search > 1) and returns the best
   /// member found, seeded with `bsf`.
   QueryMatch SearchEntry(std::span<const double> query, const GtiEntry& entry,
                          double bsf, double* best_rep_distance,
-                         QueryStats& stats) const;
+                         QueryStats& stats, ExecChecker& check) const;
 
   /// Scans the chosen group; returns the best member (and distance),
   /// seeded with `bsf`. `rep_distance` is DTW(query, representative),
   /// the target of the value-directed scan.
   QueryMatch SearchGroup(std::span<const double> query, const GtiEntry& entry,
                          uint32_t group_id, double rep_distance, double bsf,
-                         QueryStats& stats) const;
+                         QueryStats& stats, ExecChecker& check) const;
 
   /// Lengths in the optimized search order for a query of length m.
   std::vector<size_t> OrderedLengths(size_t m) const;

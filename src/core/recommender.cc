@@ -35,10 +35,16 @@ Recommendation Recommender::Recommend(SimilarityDegree degree,
   return rec;
 }
 
-std::vector<Recommendation> Recommender::AllDegrees(size_t length) const {
-  return {Recommend(SimilarityDegree::kStrict, length),
-          Recommend(SimilarityDegree::kMedium, length),
-          Recommend(SimilarityDegree::kLoose, length)};
+std::vector<Recommendation> Recommender::AllDegrees(
+    size_t length, const ExecContext* ctx) const {
+  std::vector<Recommendation> rows;
+  for (const SimilarityDegree degree :
+       {SimilarityDegree::kStrict, SimilarityDegree::kMedium,
+        SimilarityDegree::kLoose}) {
+    if (ctx != nullptr && !ctx->Check().ok()) break;
+    rows.push_back(Recommend(degree, length));
+  }
+  return rows;
 }
 
 SimilarityDegree Recommender::Classify(double st, size_t length) const {

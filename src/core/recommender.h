@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/onex_base.h"
 #include "core/sp_space.h"
 
@@ -37,7 +38,12 @@ class Recommender {
   Recommendation Recommend(SimilarityDegree degree, size_t length = 0) const;
 
   /// Q3 with simDegree = NULL: the full picture, one row per degree.
-  std::vector<Recommendation> AllDegrees(size_t length = 0) const;
+  /// An interrupted context (cancel/deadline) stops between rows, so
+  /// the result may hold fewer than three — the caller (Engine) checks
+  /// ctx and flags the response partial.
+  std::vector<Recommendation> AllDegrees(size_t length = 0,
+                                         const ExecContext* ctx =
+                                             nullptr) const;
 
   /// Classifies an analyst-supplied threshold (used by examples to
   /// explain what a chosen ST means for this dataset).

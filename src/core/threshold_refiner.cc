@@ -25,7 +25,8 @@ SimilarityGroup GroupFromMembers(const Dataset& dataset, size_t length,
 }  // namespace
 
 Result<GtiEntry> ThresholdRefiner::RefineLength(size_t length,
-                                                double st_prime) const {
+                                                double st_prime,
+                                                const ExecContext* ctx) const {
   if (st_prime <= 0.0) {
     return Status::InvalidArgument("st' must be positive");
   }
@@ -36,12 +37,17 @@ Result<GtiEntry> ThresholdRefiner::RefineLength(size_t length,
   }
   const double st = base_->options().st;
   if (st_prime == st) return *entry;  // Case 1: use as-is.
-  if (st_prime < st) return Split(*entry, st_prime);
-  return Merge(*entry, st_prime);
+  ExecChecker check(ctx);
+  GtiEntry refined = st_prime < st ? Split(*entry, st_prime, check)
+                                   : Merge(*entry, st_prime, check);
+  // A half-refined entry would answer queries wrong; drop it and report
+  // the interruption instead.
+  if (!check.status().ok()) return check.status();
+  return refined;
 }
 
-GtiEntry ThresholdRefiner::Split(const GtiEntry& entry,
-                                 double st_prime) const {
+GtiEntry ThresholdRefiner::Split(const GtiEntry& entry, double st_prime,
+                                 ExecChecker& check) const {
   const Dataset& dataset = base_->dataset();
   const size_t length = entry.length;
   const double radius =
@@ -52,8 +58,10 @@ GtiEntry ThresholdRefiner::Split(const GtiEntry& entry,
   // original assignment rule (nearest qualifying representative).
   std::vector<SimilarityGroup> refined;
   for (const LsiEntry& group : entry.groups) {
+    if (check.ShouldStop()) break;
     std::vector<SimilarityGroup> local;
     for (const LsiMember& member : group.members) {
+      if (check.ShouldStop()) break;
       const auto values = member.ref.View(dataset);
       double min_sq = std::numeric_limits<double>::infinity();
       size_t min_k = 0;
@@ -80,8 +88,8 @@ GtiEntry ThresholdRefiner::Split(const GtiEntry& entry,
                        base_->options().compute_sp_space);
 }
 
-GtiEntry ThresholdRefiner::Merge(const GtiEntry& entry,
-                                 double st_prime) const {
+GtiEntry ThresholdRefiner::Merge(const GtiEntry& entry, double st_prime,
+                                 ExecChecker& check) const {
   const Dataset& dataset = base_->dataset();
   const size_t length = entry.length;
   const double st = base_->options().st;
@@ -109,10 +117,12 @@ GtiEntry ThresholdRefiner::Merge(const GtiEntry& entry,
   // recompute the merged representative, repeat until no pair qualifies.
   bool merged = true;
   while (merged && work.size() > 1) {
+    if (check.ShouldStop()) break;
     merged = false;
     double best_d = std::numeric_limits<double>::infinity();
     size_t best_a = 0, best_b = 0;
     for (size_t a = 0; a < work.size(); ++a) {
+      if (check.ShouldStop()) break;
       for (size_t b = a + 1; b < work.size(); ++b) {
         const double d = NormalizedEuclidean(
             std::span<const double>(work[a].rep.data(), length),
@@ -148,13 +158,14 @@ GtiEntry ThresholdRefiner::Merge(const GtiEntry& entry,
                        base_->options().compute_sp_space);
 }
 
-Result<GlobalTimeIndex> ThresholdRefiner::RefineAll(double st_prime) const {
+Result<GlobalTimeIndex> ThresholdRefiner::RefineAll(
+    double st_prime, const ExecContext* ctx) const {
   if (st_prime <= 0.0) {
     return Status::InvalidArgument("st' must be positive");
   }
   GlobalTimeIndex refined;
   for (size_t length : base_->gti().Lengths()) {
-    auto entry = RefineLength(length, st_prime);
+    auto entry = RefineLength(length, st_prime, ctx);
     if (!entry.ok()) return entry.status();
     refined.Insert(std::move(entry).value());
   }

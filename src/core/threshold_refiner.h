@@ -13,6 +13,7 @@
 #ifndef ONEX_CORE_THRESHOLD_REFINER_H_
 #define ONEX_CORE_THRESHOLD_REFINER_H_
 
+#include "core/exec_context.h"
 #include "core/gti.h"
 #include "core/onex_base.h"
 #include "util/status.h"
@@ -29,11 +30,16 @@ class ThresholdRefiner {
 
   /// Refined groups of one length for threshold `st_prime`.
   /// NotFound if the length is absent; InvalidArgument for st' <= 0.
-  Result<GtiEntry> RefineLength(size_t length, double st_prime) const;
+  /// An interrupted context aborts the re-clustering / merge cascade
+  /// and returns kCancelled / kDeadlineExceeded (a half-refined entry
+  /// is never returned — refinement is all-or-nothing per length).
+  Result<GtiEntry> RefineLength(size_t length, double st_prime,
+                                const ExecContext* ctx = nullptr) const;
 
   /// Refines every constructed length (an ST'-parameterized view of the
-  /// whole base).
-  Result<GlobalTimeIndex> RefineAll(double st_prime) const;
+  /// whole base). Interruption aborts between (and inside) lengths.
+  Result<GlobalTimeIndex> RefineAll(double st_prime,
+                                    const ExecContext* ctx = nullptr) const;
 
   /// Fully queryable ST'-view: a standalone OnexBase (own dataset copy,
   /// options.st = st') whose groups are the refined ones. Feed it to a
@@ -42,8 +48,12 @@ class ThresholdRefiner {
   Result<OnexBase> RefinedBase(double st_prime) const;
 
  private:
-  GtiEntry Split(const GtiEntry& entry, double st_prime) const;
-  GtiEntry Merge(const GtiEntry& entry, double st_prime) const;
+  /// Split/Merge bodies; both bail out (returning an arbitrary partial
+  /// entry the caller discards) once `check` fires.
+  GtiEntry Split(const GtiEntry& entry, double st_prime,
+                 ExecChecker& check) const;
+  GtiEntry Merge(const GtiEntry& entry, double st_prime,
+                 ExecChecker& check) const;
 
   const OnexBase* base_;
 };

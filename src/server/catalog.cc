@@ -214,6 +214,9 @@ Status Catalog::Flush(const std::string& name) {
       flushed = Status::IOError("rename '" + tmp + "' -> '" + path +
                                 "': " + std::strerror(errno));
     }
+    // The rename's directory entry must be durable too, or a crash
+    // could roll back to the pre-flush snapshot after we reported OK.
+    if (flushed.ok()) flushed = storage::SyncDir(options_.data_dir);
   }
   if (!flushed.ok()) return flushed;
   {
@@ -233,6 +236,30 @@ Status Catalog::Flush(const std::string& name) {
     EnforceCapLocked(nullptr);
   }
   return Status::OK();
+}
+
+size_t Catalog::FlushAll() {
+  // Snapshot the dirty resident names under the lock, flush outside it
+  // (Flush resolves again by name; an entry that went clean or away in
+  // between is simply a cheap no-op flush).
+  std::vector<std::string> dirty;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry.engine != nullptr && entry.dirty) dirty.push_back(name);
+    }
+  }
+  size_t flushed = 0;
+  for (const std::string& name : dirty) {
+    const Status status = Flush(name);
+    if (status.ok()) {
+      ++flushed;
+    } else {
+      ONEX_LOG_WARN << "catalog: shutdown flush of '" << name
+                    << "' failed: " << status.ToString();
+    }
+  }
+  return flushed;
 }
 
 void Catalog::EnforceCapLocked(const Entry* keep) {

@@ -132,6 +132,13 @@ class Catalog {
   /// otherwise). Clears the dirty flag.
   Status Flush(const std::string& name);
 
+  /// Flushes every RESIDENT dirty entry (never lazily opens anything).
+  /// The WAL-aware shutdown path: onex_server calls this on SIGTERM so
+  /// every durable dataset gets a final checkpoint and the next startup
+  /// is replay-free. Returns the number flushed; per-entry failures are
+  /// logged and skipped (shutdown must not abort on one bad disk).
+  size_t FlushAll();
+
   /// Registered names plus every `.onex` file in data_dir, sorted.
   std::vector<CatalogEntryInfo> List() const;
 

@@ -6,7 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +20,326 @@
 
 namespace onex {
 namespace server {
+
+// ------------------------------------------------------- handle state
+
+/// Shared between the issuing thread, the demux thread, and every copy
+/// of the Handle.
+struct Client::Handle::State {
+  uint64_t id = 0;
+  std::weak_ptr<Demux> demux;  // For Cancel(); weak: handle may outlive.
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<WireResponse> final;  // Set when done, unless transport died.
+  Status transport = Status::OK();    // Error when the socket failed.
+  ProgressCallback on_progress;
+
+  // Cancel-acknowledgement rendezvous (one cancel in flight at a time).
+  bool cancel_pending = false;
+  std::optional<WireResponse> cancel_ack;
+};
+
+// ------------------------------------------------------------- demux
+
+/// Self-contained async state: the demux thread reads blocks from the
+/// socket and routes them; senders serialize on `send_mutex`. Shared by
+/// the Client and every Handle so either side may outlive the other.
+struct Client::Demux {
+  int fd = -1;
+  std::unique_ptr<SocketLineReader> reader;  // Owned by the demux thread.
+  std::thread thread;
+
+  std::mutex send_mutex;  // Whole-line writes from any thread.
+
+  std::mutex mutex;  // Guards everything below.
+  std::map<uint64_t, std::shared_ptr<Handle::State>> tagged;
+  /// FIFO of Roundtrip waiters (untagged blocks answer in order).
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<WireResponse> block;
+    Status transport = Status::OK();
+  };
+  std::deque<std::shared_ptr<Pending>> untagged;
+  /// Handles whose Cancel() awaits the no-op ERR ack (final already
+  /// delivered, so `tagged` no longer knows the id).
+  std::map<uint64_t, std::shared_ptr<Handle::State>> cancel_waiters;
+  bool dead = false;
+  Status dead_reason = Status::OK();
+
+  Status Send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(send_mutex);
+    if (!SendAll(fd, line + "\n")) {
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  /// Fails every waiter with the transport error (the demux is dying).
+  void Fail(const Status& reason) {
+    std::map<uint64_t, std::shared_ptr<Handle::State>> failed_tagged;
+    std::map<uint64_t, std::shared_ptr<Handle::State>> failed_cancels;
+    std::deque<std::shared_ptr<Pending>> failed_untagged;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      dead = true;
+      dead_reason = reason;
+      failed_tagged.swap(tagged);
+      failed_cancels.swap(cancel_waiters);
+      failed_untagged.swap(untagged);
+    }
+    for (auto& [id, state] : failed_tagged) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done = true;
+      state->transport = reason;
+      state->cancel_pending = false;
+      state->cv.notify_all();
+    }
+    for (auto& [id, state] : failed_cancels) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->done) {
+        state->done = true;
+        state->transport = reason;
+      }
+      state->cancel_pending = false;
+      state->cv.notify_all();
+    }
+    for (auto& pending : failed_untagged) {
+      std::lock_guard<std::mutex> lock(pending->mutex);
+      pending->done = true;
+      pending->transport = reason;
+      pending->cv.notify_all();
+    }
+  }
+};
+
+void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (true) {
+    lines.clear();
+    bool eof = false;
+    while (true) {
+      if (!demux->reader->ReadLine(&line)) {
+        eof = true;
+        break;
+      }
+      if (line == ".") break;
+      lines.push_back(line);
+    }
+    if (eof) {
+      demux->Fail(Status::IOError("connection closed or read failed"));
+      return;
+    }
+    auto parsed = ParseResponseBlock(lines);
+    if (!parsed.ok()) {
+      demux->Fail(parsed.status());
+      return;
+    }
+    WireResponse block = std::move(parsed).value();
+    const uint64_t id = block.id();
+
+    auto find_tagged = [&](uint64_t key, bool erase) {
+      std::shared_ptr<Handle::State> state;
+      std::lock_guard<std::mutex> lock(demux->mutex);
+      auto it = demux->tagged.find(key);
+      if (it != demux->tagged.end()) {
+        state = it->second;
+        if (erase) demux->tagged.erase(it);
+      }
+      return state;
+    };
+    /// Hands `block` to a Handle::Cancel() waiting on `state`; false if
+    /// nobody is waiting there.
+    auto deliver_cancel_ack = [&](std::shared_ptr<Handle::State> state) {
+      if (state == nullptr) return false;
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->cancel_pending) return false;
+      state->cancel_ack = block;
+      state->cancel_pending = false;
+      state->cv.notify_all();
+      return true;
+    };
+    /// Answers the oldest blocking Roundtrip (the untagged FIFO).
+    auto deliver_untagged = [&] {
+      std::shared_ptr<Demux::Pending> pending;
+      {
+        std::lock_guard<std::mutex> lock(demux->mutex);
+        if (!demux->untagged.empty()) {
+          pending = demux->untagged.front();
+          demux->untagged.pop_front();
+        }
+      }
+      if (pending != nullptr) {
+        std::lock_guard<std::mutex> lock(pending->mutex);
+        pending->block = std::move(block);
+        pending->done = true;
+        pending->cv.notify_all();
+      }
+    };
+
+    // Routing. The server's completion path sends the final reply
+    // BEFORE unregistering the id, so on this (ordered) socket a
+    // cancel acknowledgement can never overtake its query's final
+    // block — which makes the rules below unambiguous.
+    if (block.ok && block.kind == "Cancel") {
+      // A cancel acknowledgement. Handle::Cancel registers itself in
+      // cancel_waiters BEFORE sending the line, so the waiter is found
+      // there even when the query's final overtook the cancel and the
+      // tagged entry is already gone (the server can answer OK Cancel
+      // in that window: it sends the final before erasing its token).
+      // No waiter = the cancel line came from a raw Roundtrip — answer
+      // that instead (never a query's final).
+      std::shared_ptr<Handle::State> waiter;
+      {
+        std::lock_guard<std::mutex> lock(demux->mutex);
+        auto it = demux->cancel_waiters.find(id);
+        if (it != demux->cancel_waiters.end()) {
+          waiter = it->second;
+          demux->cancel_waiters.erase(it);
+        }
+      }
+      if (!deliver_cancel_ack(waiter)) deliver_untagged();
+      continue;
+    }
+    if (block.part) {
+      auto state = find_tagged(id, /*erase=*/false);
+      if (state != nullptr) {
+        ProgressCallback callback;
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          callback = state->on_progress;
+        }
+        if (callback) callback(block);
+      }
+      continue;
+    }
+    if (id != 0) {
+      if (auto state = find_tagged(id, /*erase=*/true)) {
+        // The final reply for this id.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->final = std::move(block);
+        state->done = true;
+        state->cv.notify_all();
+        continue;
+      }
+      // Not in flight: the structured no-op ERR acknowledging a CANCEL
+      // that lost the race with completion. Route it to the handle
+      // waiting on Cancel(), if any; otherwise fall through to the
+      // untagged path (a raw `cancel <id>` sent via Roundtrip earns an
+      // id-tagged ERR that must still answer that Roundtrip).
+      std::shared_ptr<Handle::State> canceller;
+      {
+        std::lock_guard<std::mutex> lock(demux->mutex);
+        auto it = demux->cancel_waiters.find(id);
+        if (it != demux->cancel_waiters.end()) {
+          canceller = it->second;
+          demux->cancel_waiters.erase(it);
+        }
+      }
+      if (deliver_cancel_ack(canceller)) continue;
+    }
+    deliver_untagged();
+  }
+}
+
+// -------------------------------------------------------------- handle
+
+Result<WireResponse> Client::Handle::Wait() {
+  if (state_ == nullptr) return Status::InvalidArgument("empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (!state_->transport.ok()) return state_->transport;
+  return *state_->final;
+}
+
+Status Client::Handle::Cancel() {
+  if (state_ == nullptr) return Status::InvalidArgument("empty handle");
+  auto demux = state_->demux.lock();
+  if (demux == nullptr) return Status::IOError("client is closed");
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->done) {
+      // The final reply is already here — nothing left to cancel. Skip
+      // the wire round trip: asking the server would race its own
+      // token cleanup (it can still ack OK in the instant between
+      // sending the final and forgetting the id).
+      if (!state_->transport.ok()) return state_->transport;
+      return Status::NotFound("query had already completed");
+    }
+    if (state_->cancel_pending) {
+      // Another copy of this handle is already cancelling; share its
+      // outcome instead of putting a second `cancel` on the wire (two
+      // acks would outnumber the one registered waiter).
+      state_->cv.wait(lock, [&] {
+        return !state_->cancel_pending || !state_->transport.ok();
+      });
+      if (!state_->transport.ok()) return state_->transport;
+      if (state_->cancel_ack.has_value() && state_->cancel_ack->ok) {
+        return Status::OK();
+      }
+      return Status::NotFound("query had already completed");
+    }
+    state_->cancel_pending = true;
+    state_->cancel_ack.reset();
+  }
+  // Register for the no-op-ack path (final may already be in flight).
+  {
+    std::lock_guard<std::mutex> lock(demux->mutex);
+    if (demux->dead) {
+      std::lock_guard<std::mutex> state_lock(state_->mutex);
+      state_->cancel_pending = false;
+      return demux->dead_reason;
+    }
+    demux->cancel_waiters[state_->id] = state_;
+  }
+  const Status sent = demux->Send(RenderCancelLine(state_->id));
+  if (!sent.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(demux->mutex);
+      demux->cancel_waiters.erase(state_->id);
+    }
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->cancel_pending = false;
+    state_->cv.notify_all();
+    return sent;
+  }
+  std::optional<WireResponse> ack;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] {
+      return !state_->cancel_pending || !state_->transport.ok();
+    });
+    if (!state_->transport.ok()) return state_->transport;
+    ack = state_->cancel_ack;
+  }
+  {
+    // Drop the rendezvous registration (the OK-Cancel path resolves
+    // through `tagged`, leaving this entry behind otherwise).
+    std::lock_guard<std::mutex> lock(demux->mutex);
+    demux->cancel_waiters.erase(state_->id);
+  }
+  if (!ack.has_value()) {
+    return Status::IOError("cancel acknowledgement lost");
+  }
+  return ack->ok ? Status::OK()
+                 : Status::NotFound("query had already completed");
+}
+
+void Client::Handle::OnProgress(ProgressCallback callback) {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->on_progress = std::move(callback);
+}
+
+uint64_t Client::Handle::id() const {
+  return state_ != nullptr ? state_->id : 0;
+}
+
+// -------------------------------------------------------------- client
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   Client client;
@@ -40,7 +366,10 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       reader_(std::move(other.reader_)),
-      greeting_(std::move(other.greeting_)) {}
+      greeting_(std::move(other.greeting_)),
+      demux_mutex_(std::move(other.demux_mutex_)),
+      demux_(std::move(other.demux_)),
+      next_id_(other.next_id_.load()) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -48,6 +377,9 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
     greeting_ = std::move(other.greeting_);
+    demux_mutex_ = std::move(other.demux_mutex_);
+    demux_ = std::move(other.demux_);
+    next_id_.store(other.next_id_.load());
   }
   return *this;
 }
@@ -55,6 +387,13 @@ Client& Client::operator=(Client&& other) noexcept {
 Client::~Client() { Close(); }
 
 void Client::Close() {
+  if (demux_ != nullptr) {
+    // Unblock the demux thread's read, then reap it. FailAll runs on
+    // the demux thread on its way out.
+    ::shutdown(fd_, SHUT_RDWR);
+    if (demux_->thread.joinable()) demux_->thread.join();
+    demux_.reset();
+  }
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -74,8 +413,91 @@ Status Client::ReadLine(std::string* line) {
   return Status::OK();
 }
 
+std::shared_ptr<Client::Demux> Client::demux() const {
+  std::lock_guard<std::mutex> lock(*demux_mutex_);
+  return demux_;
+}
+
+Result<std::shared_ptr<Client::Demux>> Client::EnsureDemux() {
+  std::lock_guard<std::mutex> start_lock(*demux_mutex_);
+  if (demux_ != nullptr) {
+    std::lock_guard<std::mutex> lock(demux_->mutex);
+    if (demux_->dead) return demux_->dead_reason;
+    return demux_;
+  }
+  if (fd_ < 0) return Status::IOError("client is closed");
+  demux_ = std::make_shared<Demux>();
+  demux_->fd = fd_;
+  if (reader_ == nullptr) {
+    reader_ = std::make_unique<SocketLineReader>(fd_, size_t{64} << 20);
+  }
+  demux_->reader = std::move(reader_);  // The demux thread owns reads now.
+  demux_->thread = std::thread([demux = demux_] { DemuxLoop(demux); });
+  return demux_;
+}
+
+Result<Client::Handle> Client::Submit(const QueryRequest& request) {
+  return Submit(request, SubmitOptions());
+}
+
+Result<Client::Handle> Client::Submit(const QueryRequest& request,
+                                      SubmitOptions options) {
+  auto started = EnsureDemux();
+  if (!started.ok()) return started.status();
+  std::shared_ptr<Demux> demux = std::move(started).value();
+
+  Handle handle;
+  handle.state_ = std::make_shared<Handle::State>();
+  handle.state_->id = next_id_.fetch_add(1) + 1;
+  handle.state_->demux = demux;
+  handle.state_->on_progress = options.on_progress;
+
+  RequestAttrs attrs;
+  attrs.id = handle.state_->id;
+  attrs.deadline_ms = options.deadline_ms;
+  attrs.progress = static_cast<bool>(options.on_progress);
+  {
+    std::lock_guard<std::mutex> lock(demux->mutex);
+    if (demux->dead) return demux->dead_reason;
+    demux->tagged[handle.state_->id] = handle.state_;
+  }
+  const Status sent = demux->Send(RenderRequestLine(request, attrs));
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(demux->mutex);
+    demux->tagged.erase(handle.state_->id);
+    return sent;
+  }
+  return handle;
+}
+
 Result<WireResponse> Client::Roundtrip(const std::string& line) {
   if (fd_ < 0) return Status::IOError("client is closed");
+
+  if (std::shared_ptr<Demux> active = demux()) {
+    // Async mode: enqueue an untagged waiter, send, block on it.
+    auto pending = std::make_shared<Demux::Pending>();
+    {
+      std::lock_guard<std::mutex> lock(active->mutex);
+      if (active->dead) return active->dead_reason;
+      active->untagged.push_back(pending);
+    }
+    const Status sent = active->Send(line);
+    if (!sent.ok()) {
+      // Withdraw the waiter, or the NEXT reply block would be handed
+      // to it and every later Roundtrip would read one block behind.
+      std::lock_guard<std::mutex> lock(active->mutex);
+      auto it = std::find(active->untagged.begin(), active->untagged.end(),
+                          pending);
+      if (it != active->untagged.end()) active->untagged.erase(it);
+      return sent;
+    }
+    std::unique_lock<std::mutex> lock(pending->mutex);
+    pending->cv.wait(lock, [&] { return pending->done; });
+    if (!pending->transport.ok()) return pending->transport;
+    return *pending->block;
+  }
+
+  // Blocking mode (v2): single-threaded send + read.
   if (!SendAll(fd_, line + "\n")) {
     return Status::IOError(std::string("send: ") + std::strerror(errno));
   }

@@ -1,15 +1,31 @@
 // Copyright 2026 The ONEX Reproduction Authors.
-// Minimal blocking client for the ONEX wire protocol: connect, send one
-// request line, read the reply block. Used by the loopback server tests
-// and bench/server_throughput.cc, and the dial-out side future
-// replication/sharding PRs build on. One Client is one session (one
-// socket); it is not thread-safe — give each client thread its own.
+// Client for the ONEX wire protocol. Two modes, one socket:
+//
+//   BLOCKING (v2): Roundtrip()/Execute() — send one line, read one
+//   reply block. Zero threads; what the loopback tests and the
+//   throughput bench use.
+//
+//   ASYNC (v3): Submit() tags the request with an id and returns a
+//   Handle immediately; a demultiplexer thread (started lazily on the
+//   first Submit) reads blocks off the socket and routes them by id —
+//   PART progress frames to the handle's OnProgress callback, the final
+//   tagged reply to Handle::Wait(), untagged blocks to whichever
+//   Roundtrip is waiting. Handle::Cancel() sends `cancel <id>` without
+//   waiting for the query, which is the whole point. Several queries
+//   can be in flight at once (pipelined, answered out of order).
+//
+// One Client is one session (one socket). Blocking mode is not
+// thread-safe; once the demux is running, Submit/Roundtrip/Cancel may
+// be called from any thread.
 
 #ifndef ONEX_SERVER_CLIENT_H_
 #define ONEX_SERVER_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "api/engine.h"
@@ -23,6 +39,50 @@ class SocketLineReader;
 
 class Client {
  public:
+  /// Called with each PART frame of one query, on the demux thread.
+  using ProgressCallback = std::function<void(const WireResponse&)>;
+
+  struct SubmitOptions {
+    /// DEADLINE_MS attribute; 0 = unbounded.
+    uint64_t deadline_ms = 0;
+    /// When set, the request asks for PART frames (progress=1) and the
+    /// callback receives them. Prefer passing it here over
+    /// Handle::OnProgress — frames can arrive before OnProgress runs.
+    ProgressCallback on_progress;
+  };
+
+  /// One in-flight tagged query. Cheap to copy; all copies refer to the
+  /// same query. Outliving the Client is safe: the handle then reports
+  /// the transport as closed.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Blocks until the final reply block for this id (which may be an
+    /// application-level ERR — that is a successful round trip, same as
+    /// Roundtrip). IOError on transport failure.
+    Result<WireResponse> Wait();
+
+    /// Cancels the query. OK: the cancel reached a still-running query
+    /// (sent `cancel <id>`, acknowledged). NotFound: the query had
+    /// already completed — either the final reply is already here (no
+    /// round trip made) or the server answered with the structured
+    /// no-op ERR; the final reply is still delivered through Wait().
+    Status Cancel();
+
+    /// Replaces the progress callback (frames already delivered are
+    /// gone). Runs on the demux thread.
+    void OnProgress(ProgressCallback callback);
+
+    /// The request id on the wire; 0 for a default-constructed handle.
+    uint64_t id() const;
+
+   private:
+    friend class Client;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
   /// Connects and consumes the greeting line ("ONEX/<v> ready").
   /// IOError when the server is unreachable.
   static Result<Client> Connect(const std::string& host, uint16_t port);
@@ -36,10 +96,18 @@ class Client {
   /// Sends one request line (newline appended) and reads the full reply
   /// block. The returned WireResponse may itself be an ERR reply —
   /// that's a successful round trip; IOError only on transport failure.
+  /// Works in both modes (in async mode the demux routes untagged
+  /// blocks back here in FIFO order).
   Result<WireResponse> Roundtrip(const std::string& line);
 
   /// Typed convenience: RenderRequestLine + Roundtrip.
   Result<WireResponse> Execute(const QueryRequest& request);
+
+  /// v3 async: tags `request` with a fresh id, sends it, and returns a
+  /// handle without waiting. Starts the demux thread on first use — the
+  /// session is async from then on.
+  Result<Handle> Submit(const QueryRequest& request, SubmitOptions options);
+  Result<Handle> Submit(const QueryRequest& request);
 
   /// The greeting line received at connect time (without newline).
   const std::string& greeting() const { return greeting_; }
@@ -47,15 +115,37 @@ class Client {
   void Close();
 
  private:
+  struct Demux;
+
   Client() = default;
 
   /// Reads one '\n'-terminated line into *line (CR stripped); shares
   /// the server's SocketLineReader so framing rules cannot diverge.
   Status ReadLine(std::string* line);
 
+  /// Reads blocks and routes them until the socket dies (demux thread
+  /// body).
+  static void DemuxLoop(std::shared_ptr<Demux> demux);
+
+  /// Starts the demux thread if not yet running (guarded by
+  /// demux_mutex_ — two first-Submits racing must not spawn two
+  /// readers over one socket) and returns it.
+  Result<std::shared_ptr<Demux>> EnsureDemux();
+
+  /// The current demux, or nullptr (blocking mode). Thread-safe.
+  std::shared_ptr<Demux> demux() const;
+
   int fd_ = -1;
   std::unique_ptr<SocketLineReader> reader_;
   std::string greeting_;
+  /// Guards the demux_ transition and pointer reads (heap-allocated so
+  /// the client stays movable).
+  mutable std::unique_ptr<std::mutex> demux_mutex_ =
+      std::make_unique<std::mutex>();
+  std::shared_ptr<Demux> demux_;
+  /// Atomic: Submit is documented callable from any thread once the
+  /// demux runs, and two racing Submits must never share an id.
+  std::atomic<uint64_t> next_id_{0};
 };
 
 }  // namespace server

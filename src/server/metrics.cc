@@ -80,6 +80,21 @@ void ServerMetrics::RecordFlush(bool ok) {
   if (!ok) ++flush_errors_;
 }
 
+void ServerMetrics::RecordCancelled() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++cancelled_;
+}
+
+void ServerMetrics::RecordDeadlineExceeded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++deadline_exceeded_;
+}
+
+void ServerMetrics::RecordPartialResult() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++partial_results_;
+}
+
 uint64_t ServerMetrics::requests() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
@@ -92,16 +107,32 @@ uint64_t ServerMetrics::overloaded() const {
   return overloaded_;
 }
 
+uint64_t ServerMetrics::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+uint64_t ServerMetrics::deadline_exceeded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_exceeded_;
+}
+
+uint64_t ServerMetrics::partial_results() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return partial_results_;
+}
+
 std::string ServerMetrics::Render() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
   for (const KindMetrics& m : kinds_) total += m.requests;
 
-  char line[256];
+  char line[320];
   std::snprintf(line, sizeof(line),
                 "server connections=%llu requests=%llu overloaded=%llu "
                 "bad_requests=%llu appends=%llu append_errors=%llu "
-                "flushes=%llu flush_errors=%llu\n",
+                "flushes=%llu flush_errors=%llu cancelled=%llu "
+                "deadline_exceeded=%llu partial_results=%llu\n",
                 static_cast<unsigned long long>(connections_),
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(overloaded_),
@@ -109,7 +140,10 @@ std::string ServerMetrics::Render() const {
                 static_cast<unsigned long long>(appends_),
                 static_cast<unsigned long long>(append_errors_),
                 static_cast<unsigned long long>(flushes_),
-                static_cast<unsigned long long>(flush_errors_));
+                static_cast<unsigned long long>(flush_errors_),
+                static_cast<unsigned long long>(cancelled_),
+                static_cast<unsigned long long>(deadline_exceeded_),
+                static_cast<unsigned long long>(partial_results_));
   std::string out = line;
 
   for (size_t i = 0; i < kNumKinds; ++i) {

@@ -67,9 +67,20 @@ class ServerMetrics {
   void RecordAppend(bool ok);
   void RecordFlush(bool ok);
 
+  // ---- v3 interactive-control counters.
+
+  /// A query aborted by its CancelToken (client CANCEL or disconnect).
+  void RecordCancelled();
+  /// A query aborted by its DEADLINE_MS budget — whether it fired
+  /// mid-execution or the queue sweep shed it before a worker ran it.
+  void RecordDeadlineExceeded();
+  /// A reply that carried partial (interrupted) results.
+  void RecordPartialResult();
+
   /// Renders the STATS reply payload lines (no OK header, no "."):
   ///   server connections=3 requests=120 overloaded=2 bad_requests=1
   ///          appends=4 append_errors=0 flushes=1 flush_errors=0
+  ///          cancelled=2 deadline_exceeded=1 partial_results=3
   ///   kind name=BestMatch requests=40 errors=0 p50_us=210 p95_us=800
   ///        p99_us=1500 mean_us=260
   /// Kinds with zero requests are omitted.
@@ -77,6 +88,9 @@ class ServerMetrics {
 
   uint64_t requests() const;
   uint64_t overloaded() const;
+  uint64_t cancelled() const;
+  uint64_t deadline_exceeded() const;
+  uint64_t partial_results() const;
 
  private:
   struct KindMetrics {
@@ -100,6 +114,9 @@ class ServerMetrics {
   uint64_t append_errors_ = 0;
   uint64_t flushes_ = 0;
   uint64_t flush_errors_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t partial_results_ = 0;
 };
 
 }  // namespace server

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cinttypes>
@@ -126,10 +127,73 @@ std::optional<size_t> ParseLengthToken(const std::string& token) {
   return static_cast<size_t>(*v);
 }
 
-Result<Request> ParseRequestLine(const std::string& line) {
-  const auto t = Tokenize(line);
+Result<Request> ParseRequestLine(const std::string& line,
+                                 RequestAttrs* attrs) {
+  auto t = Tokenize(line);
   if (t.empty()) return Status::InvalidArgument("empty request");
+
+  // ---- v3 attribute prefix: key=value tokens before the verb. A verb
+  // never contains '=', so the first '='-free token ends the prefix.
+  RequestAttrs parsed_attrs;
+  size_t verb_at = 0;
+  while (verb_at < t.size() &&
+         t[verb_at].find('=') != std::string::npos) {
+    const std::string& token = t[verb_at];
+    const size_t eq = token.find('=');
+    const std::string key = Lower(token.substr(0, eq));
+    const std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      const auto id = ParseUnsigned(value);
+      if (!id || *id == 0) {
+        return Status::InvalidArgument("bad id '" + value +
+                                       "' (a positive integer)");
+      }
+      parsed_attrs.id = *id;
+    } else if (key == "deadline_ms") {
+      const auto ms = ParseUnsigned(value);
+      if (!ms) {
+        return Status::InvalidArgument("bad deadline_ms '" + value + "'");
+      }
+      // Clamp: a budget past a year is "unbounded" in practice, and an
+      // unclamped u64 would overflow the chrono arithmetic downstream
+      // (now() + milliseconds) into a deadline in the past.
+      constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 3600 * 1000;
+      parsed_attrs.deadline_ms = std::min(*ms, kMaxDeadlineMs);
+    } else if (key == "progress") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument("bad progress '" + value +
+                                       "' (0 or 1)");
+      }
+      parsed_attrs.progress = value == "1";
+    } else {
+      return Status::InvalidArgument("unknown request attribute '" + key +
+                                     "' (id, deadline_ms, progress)");
+    }
+    ++verb_at;
+  }
+  if (verb_at == t.size()) {
+    return Status::InvalidArgument("request has attributes but no verb");
+  }
+  if (parsed_attrs.progress && parsed_attrs.id == 0) {
+    return Status::InvalidArgument("progress=1 needs id=<n>");
+  }
+  // Strip the prefix whenever one was WRITTEN — `deadline_ms=0` or
+  // `progress=0` are valid (no-op) attributes, not part of the verb.
+  if (verb_at > 0) {
+    if (attrs == nullptr) {
+      return Status::InvalidArgument(
+          "request attributes are not supported on this endpoint");
+    }
+    t.erase(t.begin(), t.begin() + static_cast<ptrdiff_t>(verb_at));
+  }
+  if (attrs != nullptr) *attrs = parsed_attrs;
+
   const std::string verb = Lower(t[0]);
+  if (verb_at > 0 && verb != "q1" && verb != "q1k" && verb != "q1r" &&
+      verb != "q2" && verb != "q3" && verb != "refine") {
+    return Status::InvalidArgument("request attributes only apply to query "
+                                   "verbs (q1/q1k/q1r/q2/q3/refine)");
+  }
 
   // ---- session control. Extra operands are rejected everywhere: a
   // line that doesn't parse whole must not silently answer something
@@ -137,6 +201,15 @@ Result<Request> ParseRequestLine(const std::string& line) {
   if (verb == "use") {
     if (t.size() != 2) return Usage("use <dataset>");
     return Request(ControlRequest{ControlVerb::kUse, t[1]});
+  }
+  if (verb == "cancel") {
+    if (t.size() != 2) return Usage("cancel <id>");
+    const auto id = ParseUnsigned(t[1]);
+    if (!id || *id == 0) {
+      return Status::InvalidArgument("bad id '" + t[1] +
+                                     "' (a positive integer)");
+    }
+    return Request(ControlRequest{ControlVerb::kCancel, t[1]});
   }
   if (verb == "list" || verb == "stats" || verb == "ping" ||
       verb == "help" || verb == "quit" || verb == "exit" ||
@@ -306,15 +379,44 @@ std::string RenderRequestLine(const QueryRequest& request) {
   return line;
 }
 
+std::string RenderRequestLine(const QueryRequest& request,
+                              const RequestAttrs& attrs) {
+  std::string prefix;
+  if (attrs.id != 0) prefix += "id=" + std::to_string(attrs.id) + " ";
+  if (attrs.deadline_ms != 0) {
+    prefix += "deadline_ms=" + std::to_string(attrs.deadline_ms) + " ";
+  }
+  if (attrs.progress) prefix += "progress=1 ";
+  return prefix + RenderRequestLine(request);
+}
+
 std::string RenderAppendLine(const AppendRequest& request) {
   std::string line = "append " + Csv(request.values);
   if (request.label != 0) line += " " + std::to_string(request.label);
   return line;
 }
 
-std::string RenderResponse(const QueryResponse& response) {
+std::string RenderCancelLine(uint64_t id) {
+  return "cancel " + std::to_string(id);
+}
+
+namespace {
+
+std::string MatchLine(const QueryMatch& m) {
+  return "match series=" + std::to_string(m.ref.series) +
+         " start=" + std::to_string(m.ref.start) +
+         " length=" + std::to_string(m.ref.length) +
+         " distance=" + Dbl(m.distance) +
+         " group=" + std::to_string(m.group_id) +
+         " bound=" + (m.distance_is_upper_bound ? "1" : "0") + "\n";
+}
+
+}  // namespace
+
+std::string RenderResponse(const QueryResponse& response, uint64_t id) {
   std::string out = "OK ";
   out += ToString(response.kind);
+  if (id != 0) out += " id=" + std::to_string(id);
   switch (response.kind) {
     case QueryKind::kBestMatch:
     case QueryKind::kKSimilar:
@@ -334,8 +436,11 @@ std::string RenderResponse(const QueryResponse& response) {
   out += " latency_us=" +
          std::to_string(
              static_cast<long long>(std::llround(response.latency_seconds *
-                                                 1e6))) +
-         "\n";
+                                                 1e6)));
+  if (response.partial) {
+    out += std::string(" partial=1 interrupt=") + WireCode(response.interrupt);
+  }
+  out += "\n";
 
   const QueryStats& s = response.stats;
   char stats_line[192];
@@ -347,14 +452,7 @@ std::string RenderResponse(const QueryResponse& response) {
                 s.members_compared, s.members_admitted_by_lemma2);
   out += stats_line;
 
-  for (const QueryMatch& m : response.matches) {
-    out += "match series=" + std::to_string(m.ref.series) +
-           " start=" + std::to_string(m.ref.start) +
-           " length=" + std::to_string(m.ref.length) +
-           " distance=" + Dbl(m.distance) +
-           " group=" + std::to_string(m.group_id) +
-           " bound=" + (m.distance_is_upper_bound ? "1" : "0") + "\n";
-  }
+  for (const QueryMatch& m : response.matches) out += MatchLine(m);
   for (const auto& group : response.groups) {
     out += "group size=" + std::to_string(group.size()) + " refs=";
     for (size_t i = 0; i < group.size(); ++i) {
@@ -378,6 +476,21 @@ std::string RenderResponse(const QueryResponse& response) {
   return out;
 }
 
+std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
+                            double work_fraction, bool snapshot,
+                            std::span<const QueryMatch> matches) {
+  char frac[16];
+  std::snprintf(frac, sizeof(frac), "%.3f", work_fraction);
+  std::string out = std::string("PART ") + ToString(kind) +
+                    " id=" + std::to_string(id) +
+                    " seq=" + std::to_string(seq) + " frac=" + frac +
+                    " snapshot=" + (snapshot ? "1" : "0") +
+                    " matches=" + std::to_string(matches.size()) + "\n";
+  for (const QueryMatch& m : matches) out += MatchLine(m);
+  out += ".\n";
+  return out;
+}
+
 const char* WireCode(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:              return "OK";
@@ -387,20 +500,23 @@ const char* WireCode(Status::Code code) {
     case Status::Code::kCorruption:      return "CORRUPTION";
     case Status::Code::kOutOfRange:      return "OUT_OF_RANGE";
     case Status::Code::kNotSupported:    return "NOT_SUPPORTED";
+    case Status::Code::kCancelled:       return "CANCELLED";
+    case Status::Code::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
 
 std::string RenderErrorBlock(const std::string& code,
-                             const std::string& message) {
+                             const std::string& message, uint64_t id) {
   std::string out = "ERR " + code;
+  if (id != 0) out += " id=" + std::to_string(id);
   if (!message.empty()) out += " " + OneLine(message);
   out += "\n.\n";
   return out;
 }
 
-std::string RenderError(const Status& status) {
-  return RenderErrorBlock(WireCode(status.code()), status.message());
+std::string RenderError(const Status& status, uint64_t id) {
+  return RenderErrorBlock(WireCode(status.code()), status.message(), id);
 }
 
 std::string Greeting() {
@@ -420,6 +536,10 @@ std::string RenderHelp() {
       "help flush                             checkpoint the bound dataset\n"
       "help use <dataset> / list              select / list datasets\n"
       "help stats / ping / quit               server metrics, liveness\n"
+      "help cancel <id>                       abort the in-flight query <id>\n"
+      "help id=<n> deadline_ms=<n> progress=1 query attribute prefix (v3):\n"
+      "help    tag/multiplex, bound, and stream partial results, e.g.\n"
+      "help    id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9\n"
       ".\n";
 }
 
@@ -433,6 +553,19 @@ std::map<std::string, std::string> ParseKeyValues(const std::string& line) {
   return fields;
 }
 
+uint64_t WireResponse::id() const {
+  const auto it = header.find("id");
+  if (it == header.end()) return 0;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : 0;
+}
+
+bool WireResponse::partial() const {
+  const auto it = header.find("partial");
+  return it != header.end() && it->second == "1";
+}
+
 Result<WireResponse> ParseResponseBlock(
     const std::vector<std::string>& lines) {
   if (lines.empty()) return Status::InvalidArgument("empty reply block");
@@ -440,22 +573,29 @@ Result<WireResponse> ParseResponseBlock(
   const std::string& header = lines[0];
   const auto tokens = Tokenize(header);
   if (tokens.empty()) return Status::InvalidArgument("blank reply header");
-  if (tokens[0] == "OK") {
+  if (tokens[0] == "OK" || tokens[0] == "PART") {
     response.ok = true;
+    response.part = tokens[0][0] == 'P';
     if (tokens.size() > 1) response.kind = tokens[1];
     response.header = ParseKeyValues(header);
   } else if (tokens[0] == "ERR") {
     response.ok = false;
     if (tokens.size() > 1) {
       response.code = tokens[1];
-      const size_t code_end = header.find(tokens[1]) + tokens[1].size();
-      if (code_end < header.size()) {
-        response.message = header.substr(code_end + 1);
+      // A v3 tagged error carries `id=<n>` between code and message;
+      // lift it into the header map and keep it out of the message.
+      size_t message_at = header.find(tokens[1]) + tokens[1].size();
+      if (tokens.size() > 2 && tokens[2].rfind("id=", 0) == 0) {
+        response.header = ParseKeyValues(tokens[2]);
+        message_at = header.find(tokens[2], message_at) + tokens[2].size();
+      }
+      if (message_at < header.size()) {
+        response.message = header.substr(message_at + 1);
       }
     }
   } else {
-    return Status::InvalidArgument("reply header is neither OK nor ERR: '" +
-                                   header + "'");
+    return Status::InvalidArgument(
+        "reply header is none of OK/PART/ERR: '" + header + "'");
   }
   for (size_t i = 1; i < lines.size(); ++i) {
     if (lines[i] == ".") break;

@@ -33,15 +33,41 @@
 //   list                                catalog contents
 //   stats                               server metrics (per-kind
 //                                       counters + latency percentiles)
+//   cancel <id>                         v3: cancel the in-flight query
+//                                       tagged `id` on this session
 //   ping / help / quit
 //
-// Error replies are a single header line "ERR <CODE> <message>" plus
-// the terminator; codes are WireCode(Status::Code) tokens or the
+// Protocol v3 — interactive query control. Any QUERY line may be
+// prefixed with `key=value` attribute tokens (everything before the
+// first token without '='):
+//   id=<n>          tag the request; the session goes MULTIPLEXED for
+//                   it: the reply block header carries `id=<n>` and may
+//                   arrive out of order relative to other tagged
+//                   requests (untagged requests keep strict v2
+//                   request/reply ordering)
+//   deadline_ms=<n> server aborts the query once the budget elapses and
+//                   returns what it confirmed, header-flagged
+//                   `partial=1 interrupt=DEADLINE_EXCEEDED`
+//   progress=1      (needs id=) stream confirmed matches early as PART
+//                   blocks while the query still runs:
+//                     PART <Kind> id=<n> seq=<k> frac=<f> snapshot=<0|1>
+//                     match ...
+//                     .
+//                   snapshot=1 means the frame REPLACES earlier frames
+//                   (best-so-far queries); 0 means it extends them.
+// Example:  id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9
+// A v2 client is unaffected: lines without attributes parse and answer
+// exactly as before, and PART frames are only sent to requests that
+// asked for them.
+//
+// Error replies are a single header line "ERR <CODE> [id=<n>] <message>"
+// plus the terminator; codes are WireCode(Status::Code) tokens or the
 // protocol-level kOverloadedCode / kNoDatasetCode.
 
 #ifndef ONEX_SERVER_PROTOCOL_H_
 #define ONEX_SERVER_PROTOCOL_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -54,9 +80,15 @@
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/2 ready") and
-/// bumped on any grammar change (2: APPEND/FLUSH mutation verbs).
-inline constexpr int kWireVersion = 2;
+/// Wire-format version, announced in the greeting ("ONEX/3 ready") and
+/// bumped on any grammar change (2: APPEND/FLUSH mutation verbs; 3:
+/// request ids / CANCEL / DEADLINE_MS / PART progressive frames). The
+/// v3 grammar is a strict superset of v2 — negotiation is one-sided:
+/// the server announces its version, and a client that only speaks an
+/// older one simply never sends the newer attributes.
+inline constexpr int kWireVersion = 3;
+/// Oldest grammar still accepted verbatim.
+inline constexpr int kMinWireVersion = 2;
 
 /// Protocol-level error codes with no Status::Code equivalent.
 inline constexpr const char* kOverloadedCode = "OVERLOADED";
@@ -65,12 +97,30 @@ inline constexpr const char* kNoDatasetCode = "NO_DATASET";
 /// Session-control verbs (everything that is neither a QueryRequest nor
 /// a mutation). kFlush rides here: it has no operands and, like the
 /// other control verbs, is answered inline on the session thread.
-enum class ControlVerb { kUse, kList, kStats, kPing, kHelp, kQuit, kFlush };
+/// kCancel (v3) is also inline: it must overtake queued queries, which
+/// is the whole point.
+enum class ControlVerb {
+  kUse, kList, kStats, kPing, kHelp, kQuit, kFlush, kCancel,
+};
 
-/// A parsed control line; `argument` is the dataset name for kUse.
+/// A parsed control line; `argument` is the dataset name for kUse and
+/// the decimal request id for kCancel (validated as an integer at parse
+/// time).
 struct ControlRequest {
   ControlVerb verb = ControlVerb::kPing;
   std::string argument;
+};
+
+/// v3 request attributes: the `key=value` tokens before the verb.
+struct RequestAttrs {
+  /// Request id; 0 = untagged (v2-style strictly ordered reply).
+  uint64_t id = 0;
+  /// Query budget in milliseconds; 0 = unbounded.
+  uint64_t deadline_ms = 0;
+  /// Stream PART frames while the query runs (requires id != 0).
+  bool progress = false;
+
+  bool any() const { return id != 0 || deadline_ms != 0 || progress; }
 };
 
 /// The APPEND mutation: add one series to the session's bound dataset
@@ -89,15 +139,28 @@ using Request = std::variant<ControlRequest, AppendRequest, QueryRequest>;
 
 /// Parses one request line. InvalidArgument with a human-readable
 /// message on unknown verbs, malformed numbers, or missing operands.
-Result<Request> ParseRequestLine(const std::string& line);
+/// v3 attribute tokens (`id=`, `deadline_ms=`, `progress=`) before the
+/// verb are delivered through `attrs` when non-null; when `attrs` is
+/// null a line carrying attributes is rejected (the caller has no way
+/// to honor them, and silently dropping a deadline would be worse).
+/// Attributes are only valid on QUERY lines.
+Result<Request> ParseRequestLine(const std::string& line,
+                                 RequestAttrs* attrs = nullptr);
 
 /// Renders a QueryRequest back into its request line (the client side
 /// of the grammar). ParseRequestLine(RenderRequestLine(r)) reproduces
 /// `r` exactly: doubles are printed with round-trip precision.
 std::string RenderRequestLine(const QueryRequest& request);
 
+/// v3 form: the same line prefixed with the given attribute tokens.
+std::string RenderRequestLine(const QueryRequest& request,
+                              const RequestAttrs& attrs);
+
 /// Same round-trip guarantee for the APPEND mutation line.
 std::string RenderAppendLine(const AppendRequest& request);
+
+/// The `cancel <id>` line.
+std::string RenderCancelLine(uint64_t id);
 
 // ------------------------------------------------------------ responses
 
@@ -107,15 +170,26 @@ std::string RenderAppendLine(const AppendRequest& request);
 ///   stats lengths_scanned=1 reps_compared=12 ... lemma2_admitted=0
 ///   match series=2 start=3 length=8 distance=0.012 group=4 bound=0
 ///   .
-std::string RenderResponse(const QueryResponse& response);
+/// Tagged replies (id != 0) add `id=<n>` after the kind token; partial
+/// (interrupted) responses add `partial=1 interrupt=<CODE>`.
+std::string RenderResponse(const QueryResponse& response, uint64_t id = 0);
 
-/// Renders an error reply block from a Status ("ERR <CODE> <msg>\n.\n").
-std::string RenderError(const Status& status);
+/// Renders one v3 progressive frame:
+///   PART <Kind> id=<n> seq=<k> frac=<f> snapshot=<0|1> matches=<m>
+///   match ...
+///   .
+std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
+                            double work_fraction, bool snapshot,
+                            std::span<const QueryMatch> matches);
+
+/// Renders an error reply block from a Status ("ERR <CODE> <msg>\n.\n");
+/// `id` != 0 inserts the `id=<n>` token between code and message.
+std::string RenderError(const Status& status, uint64_t id = 0);
 
 /// Renders an error reply block from an explicit wire code (used for
 /// kOverloadedCode / kNoDatasetCode, which have no Status equivalent).
 std::string RenderErrorBlock(const std::string& code,
-                             const std::string& message);
+                             const std::string& message, uint64_t id = 0);
 
 /// The connect-time greeting line (newline-terminated).
 std::string Greeting();
@@ -132,17 +206,28 @@ const char* WireCode(Status::Code code);
 /// A reply block as seen by a client, split back into its parts.
 struct WireResponse {
   bool ok = false;
+  /// v3: a PART progressive frame (ok is also true). Final replies have
+  /// part == false.
+  bool part = false;
   std::string code;     ///< Error code token when !ok.
   std::string message;  ///< Error message remainder when !ok.
   std::string kind;     ///< Header kind token when ok ("BestMatch", ...).
-  /// key=value pairs of the header line (matches=, latency_us=, ...).
+  /// key=value pairs of the header line (matches=, latency_us=, and for
+  /// v3 tagged replies id=, partial=, interrupt=, seq=, frac=, ...).
   std::map<std::string, std::string> header;
   /// Payload lines verbatim, terminator excluded.
   std::vector<std::string> payload;
+
+  /// Request id the block answers (0 = untagged). Works for OK, PART,
+  /// and ERR headers alike.
+  uint64_t id() const;
+  /// True when the reply is an interrupted (partial) result.
+  bool partial() const;
 };
 
 /// Reassembles a reply block from its lines (terminator line optional).
-/// InvalidArgument if the first line is neither "OK ..." nor "ERR ...".
+/// InvalidArgument if the first line is none of "OK ...", "ERR ...",
+/// "PART ...".
 Result<WireResponse> ParseResponseBlock(const std::vector<std::string>& lines);
 
 /// Splits "key=value" tokens of one line into a map (tokens without '='

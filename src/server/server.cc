@@ -7,7 +7,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -17,6 +19,86 @@
 
 namespace onex {
 namespace server {
+
+namespace {
+
+/// PART frames are emitted at most this often per query (unless a batch
+/// grows past kPartMaxBatch first): frequent enough to feel live,
+/// sparse enough that a hit-dense range query doesn't drown the socket.
+constexpr auto kPartMinInterval = std::chrono::milliseconds(20);
+constexpr size_t kPartMaxBatch = 64;
+
+}  // namespace
+
+/// Shared between the session thread (reads, inline replies) and the
+/// workers completing this session's tagged jobs (final replies, PART
+/// frames). The write mutex serializes whole blocks onto the socket so
+/// multiplexed replies never interleave mid-block.
+struct Server::Session {
+  explicit Session(int fd) : fd(fd) {}
+
+  void Send(const std::string& block) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    SendAll(fd, block);
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+
+  /// Tagged-query registry: id -> cancel token while in flight.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<uint64_t, CancelToken> tokens;
+  size_t inflight = 0;
+};
+
+namespace {
+
+/// Batches a tagged query's progress events into PART frames. Called
+/// from the worker thread running the query; throttles to
+/// kPartMinInterval so the frame stream stays light.
+class PartStreamer {
+ public:
+  PartStreamer(std::shared_ptr<Server::Session> session, QueryKind kind,
+               uint64_t id)
+      : session_(std::move(session)), kind_(kind), id_(id) {}
+
+  void OnEvent(const ProgressEvent& event) {
+    if (event.snapshot) {
+      pending_.assign(event.matches.begin(), event.matches.end());
+      snapshot_ = true;
+    } else {
+      pending_.insert(pending_.end(), event.matches.begin(),
+                      event.matches.end());
+    }
+    fraction_ = event.work_fraction;
+    const auto now = std::chrono::steady_clock::now();
+    if (pending_.empty() && !snapshot_) return;
+    if (seq_ != 0 && now - last_emit_ < kPartMinInterval &&
+        pending_.size() < kPartMaxBatch) {
+      return;
+    }
+    session_->Send(RenderPartBlock(
+        kind_, id_, seq_++, fraction_, snapshot_,
+        std::span<const QueryMatch>(pending_.data(), pending_.size())));
+    last_emit_ = now;
+    pending_.clear();
+    snapshot_ = false;
+  }
+
+ private:
+  std::shared_ptr<Server::Session> session_;
+  QueryKind kind_;
+  uint64_t id_;
+  // Touched only by the one worker running the query — no lock needed.
+  std::vector<QueryMatch> pending_;
+  bool snapshot_ = false;
+  double fraction_ = 0.0;
+  uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point last_emit_;
+};
+
+}  // namespace
 
 Server::Server(ServerOptions options, std::shared_ptr<Catalog> catalog)
     : options_(std::move(options)), catalog_(std::move(catalog)) {
@@ -30,8 +112,9 @@ Result<std::unique_ptr<Server>> Server::Start(
       new Server(std::move(options), std::move(catalog)));
   const Status listening = server->Listen();
   if (!listening.ok()) return listening;
+  server->running_.resize(server->options_.num_workers);
   for (size_t i = 0; i < server->options_.num_workers; ++i) {
-    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+    server->workers_.emplace_back([s = server.get(), i] { s->WorkerLoop(i); });
   }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
@@ -112,19 +195,66 @@ void Server::ReapFinishedSessionsLocked() {
 }
 
 bool Server::Submit(Job job) {
+  // Jobs swept from the queue by the deadline shed; completed OUTSIDE
+  // the lock (their done callbacks render and send).
+  std::vector<Job> expired;
+  bool accepted = false;
   size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (draining_ || queue_.size() >= options_.max_queue) return false;
-    queue_.push_back(std::move(job));
-    depth = queue_.size();
+    if (!draining_) {
+      job.seq = ++job_seq_;
+      if (queue_.size() >= options_.max_queue) {
+        const auto now = std::chrono::steady_clock::now();
+        // Shed 1: queued queries that can no longer meet their deadline
+        // would burn a worker to produce an answer nobody can use —
+        // complete them as DEADLINE_EXCEEDED right here and reuse their
+        // slots.
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if (it->deadline.has_value() && now >= *it->deadline) {
+            expired.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        // Shed 2: cancel the OLDEST running query whose deadline has
+        // passed; its worker notices within one check period and frees
+        // up. The new job is admitted one-over-bound on that promise
+        // (bounded by num_workers extra entries).
+        if (queue_.size() >= options_.max_queue) {
+          RunningJob* oldest = nullptr;
+          for (RunningJob& running : running_) {
+            if (!running.active || !running.deadline.has_value()) continue;
+            if (now < *running.deadline) continue;
+            if (oldest == nullptr || running.seq < oldest->seq) {
+              oldest = &running;
+            }
+          }
+          if (oldest != nullptr) {
+            oldest->token.Cancel();
+            oldest->active = false;  // One admission per shed victim.
+            accepted = true;
+          }
+        }
+      }
+      if (queue_.size() < options_.max_queue || accepted) {
+        accepted = true;
+        queue_.push_back(std::move(job));
+        depth = queue_.size();
+      }
+    }
   }
-  queue_cv_.notify_one();
-  if (options_.on_enqueue) options_.on_enqueue(depth);
-  return true;
+  if (accepted) queue_cv_.notify_one();
+  for (Job& shed : expired) {
+    shed.done(Status::DeadlineExceeded(
+        "shed from the queue: deadline passed while waiting for a worker"));
+  }
+  if (accepted && options_.on_enqueue) options_.on_enqueue(depth);
+  return accepted;
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(size_t index) {
   while (true) {
     Job job;
     {
@@ -133,14 +263,46 @@ void Server::WorkerLoop() {
       if (queue_.empty()) return;  // draining_ and nothing left.
       job = std::move(queue_.front());
       queue_.pop_front();
+      RunningJob& slot = running_[index];
+      slot.active = true;
+      slot.deadline = job.deadline;
+      slot.token = job.ctx != nullptr ? job.ctx->cancel : CancelToken{};
+      slot.seq = job.seq;
     }
     if (options_.on_job_start) options_.on_job_start();
-    job.promise.set_value(job.engine->Execute(job.request));
+    Result<QueryResponse> result =
+        job.ctx != nullptr ? job.engine->Execute(job.request, *job.ctx)
+                           : job.engine->Execute(job.request);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      running_[index].active = false;
+    }
+    job.done(std::move(result));
+  }
+}
+
+void Server::RecordOutcome(QueryKind kind, double seconds,
+                           const Result<QueryResponse>& result) {
+  metrics_.RecordQuery(kind, seconds, result.ok());
+  Status::Code interrupt = Status::Code::kOk;
+  if (result.ok()) {
+    if (result.value().partial) {
+      metrics_.RecordPartialResult();
+      interrupt = result.value().interrupt;
+    }
+  } else if (result.status().interrupted()) {
+    // Queue-swept sheds arrive as plain errors (nothing was confirmed).
+    interrupt = result.status().code();
+  }
+  if (interrupt == Status::Code::kCancelled) metrics_.RecordCancelled();
+  if (interrupt == Status::Code::kDeadlineExceeded) {
+    metrics_.RecordDeadlineExceeded();
   }
 }
 
 void Server::SessionLoop(int fd) {
-  SendAll(fd, Greeting());
+  auto session = std::make_shared<Session>(fd);
+  session->Send(Greeting());
 
   std::shared_ptr<const Engine> engine;
   std::string dataset;  // Bound dataset name, for APPEND/FLUSH routing.
@@ -156,10 +318,11 @@ void Server::SessionLoop(int fd) {
   std::string line;
   while (!stop_.load() && reader.ReadLine(&line)) {
     if (line.empty()) continue;
-    auto parsed = ParseRequestLine(line);
+    RequestAttrs attrs;
+    auto parsed = ParseRequestLine(line, &attrs);
     if (!parsed.ok()) {
       metrics_.RecordBadRequest();
-      SendAll(fd, RenderError(parsed.status()));
+      session->Send(RenderError(parsed.status()));
       continue;
     }
 
@@ -169,30 +332,56 @@ void Server::SessionLoop(int fd) {
         case ControlVerb::kUse: {
           auto acquired = catalog_->Acquire(control->argument);
           if (!acquired.ok()) {
-            SendAll(fd, RenderError(acquired.status()));
+            session->Send(RenderError(acquired.status()));
             break;
           }
           engine = std::move(acquired).value();
           dataset = control->argument;
-          SendAll(fd, "OK Use dataset=" + control->argument +
-                          " series=" + std::to_string(engine->num_series()) +
-                          " durable=" + (engine->durable() ? "1" : "0") +
-                          "\n.\n");
+          session->Send("OK Use dataset=" + control->argument + " series=" +
+                        std::to_string(engine->num_series()) + " durable=" +
+                        (engine->durable() ? "1" : "0") + "\n.\n");
+          break;
+        }
+        case ControlVerb::kCancel: {
+          // Parse validated the integer already.
+          const uint64_t id =
+              std::strtoull(control->argument.c_str(), nullptr, 10);
+          bool cancelled = false;
+          {
+            std::lock_guard<std::mutex> lock(session->mutex);
+            auto it = session->tokens.find(id);
+            if (it != session->tokens.end()) {
+              it->second.Cancel();
+              cancelled = true;
+            }
+          }
+          // An unknown id is a structured no-op: the query may have
+          // completed a microsecond ago — that's a race the client
+          // cannot avoid, so it gets an ERR it can recognize, not a
+          // dropped session.
+          session->Send(cancelled
+                            ? "OK Cancel id=" + std::to_string(id) + "\n.\n"
+                            : RenderErrorBlock(
+                                  "NOT_FOUND",
+                                  "no in-flight query with id " +
+                                      std::to_string(id) +
+                                      " — already completed, or never sent",
+                                  id));
           break;
         }
         case ControlVerb::kFlush: {
           if (engine == nullptr) {
             metrics_.RecordBadRequest();
-            SendAll(fd, RenderErrorBlock(
-                            kNoDatasetCode,
-                            "no dataset bound — send 'use <name>' first"));
+            session->Send(RenderErrorBlock(
+                kNoDatasetCode,
+                "no dataset bound — send 'use <name>' first"));
             break;
           }
           const Status flushed = catalog_->Flush(dataset);
           metrics_.RecordFlush(flushed.ok());
-          SendAll(fd, flushed.ok()
-                          ? "OK Flush dataset=" + dataset + "\n.\n"
-                          : RenderError(flushed));
+          session->Send(flushed.ok()
+                            ? "OK Flush dataset=" + dataset + "\n.\n"
+                            : RenderError(flushed));
           break;
         }
         case ControlVerb::kList: {
@@ -206,27 +395,27 @@ void Server::SessionLoop(int fd) {
                      " durable=" + (row.durable ? "1" : "0") +
                      " dirty=" + (row.dirty ? "1" : "0") + "\n";
           }
-          SendAll(fd, reply + ".\n");
+          session->Send(reply + ".\n");
           break;
         }
         case ControlVerb::kStats: {
           const CatalogStats cat = catalog_->stats();
-          SendAll(fd, "OK Stats\n" + metrics_.Render() +
-                          "catalog resident=" + std::to_string(cat.resident) +
-                          " lazy_opens=" + std::to_string(cat.lazy_opens) +
-                          " hits=" + std::to_string(cat.hits) +
-                          " evictions=" + std::to_string(cat.evictions) +
-                          "\n.\n");
+          session->Send("OK Stats\n" + metrics_.Render() +
+                        "catalog resident=" + std::to_string(cat.resident) +
+                        " lazy_opens=" + std::to_string(cat.lazy_opens) +
+                        " hits=" + std::to_string(cat.hits) +
+                        " evictions=" + std::to_string(cat.evictions) +
+                        "\n.\n");
           break;
         }
         case ControlVerb::kPing:
-          SendAll(fd, "OK Pong\n.\n");
+          session->Send("OK Pong\n.\n");
           break;
         case ControlVerb::kHelp:
-          SendAll(fd, RenderHelp());
+          session->Send(RenderHelp());
           break;
         case ControlVerb::kQuit:
-          SendAll(fd, "OK Bye\n.\n");
+          session->Send("OK Bye\n.\n");
           quit = true;
           break;
       }
@@ -241,22 +430,21 @@ void Server::SessionLoop(int fd) {
     if (const auto* append = std::get_if<AppendRequest>(&parsed.value())) {
       if (engine == nullptr) {
         metrics_.RecordBadRequest();
-        SendAll(fd, RenderErrorBlock(
-                        kNoDatasetCode,
-                        "no dataset bound — send 'use <name>' first"));
+        session->Send(RenderErrorBlock(
+            kNoDatasetCode, "no dataset bound — send 'use <name>' first"));
         continue;
       }
       auto appended = catalog_->Append(
           dataset, TimeSeries(append->values, append->label));
       metrics_.RecordAppend(appended.ok());
       if (!appended.ok()) {
-        SendAll(fd, RenderError(appended.status()));
+        session->Send(RenderError(appended.status()));
         continue;
       }
       const AppendOutcome& outcome = appended.value();
-      SendAll(fd, "OK Append series=" + std::to_string(outcome.series) +
-                      " total=" + std::to_string(outcome.total) +
-                      " durable=" + (outcome.durable ? "1" : "0") + "\n.\n");
+      session->Send("OK Append series=" + std::to_string(outcome.series) +
+                    " total=" + std::to_string(outcome.total) +
+                    " durable=" + (outcome.durable ? "1" : "0") + "\n.\n");
       continue;
     }
 
@@ -264,28 +452,110 @@ void Server::SessionLoop(int fd) {
     const QueryRequest& request = std::get<QueryRequest>(parsed.value());
     if (engine == nullptr) {
       metrics_.RecordBadRequest();
-      SendAll(fd, RenderErrorBlock(
-                      kNoDatasetCode,
-                      "no dataset bound — send 'use <name>' first"));
+      session->Send(RenderErrorBlock(
+          kNoDatasetCode, "no dataset bound — send 'use <name>' first",
+          attrs.id));
       continue;
     }
+
+    // Shared context plumbing for both paths.
+    std::shared_ptr<ExecContext> ctx;
+    if (attrs.any()) {
+      ctx = std::make_shared<ExecContext>();
+      if (attrs.deadline_ms != 0) {
+        ctx->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(attrs.deadline_ms);
+      }
+    }
+
+    if (attrs.id != 0) {
+      // ---- v3 multiplexed query: register, submit, keep reading.
+      {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->tokens.count(attrs.id) != 0) {
+          metrics_.RecordBadRequest();
+          session->Send(RenderErrorBlock(
+              "INVALID_ARGUMENT",
+              "id " + std::to_string(attrs.id) + " is already in flight",
+              attrs.id));
+          continue;
+        }
+        session->tokens.emplace(attrs.id, ctx->cancel);
+        ++session->inflight;
+      }
+      if (attrs.progress) {
+        auto streamer = std::make_shared<PartStreamer>(
+            session, KindOf(request), attrs.id);
+        ctx->progress = [streamer](const ProgressEvent& event) {
+          streamer->OnEvent(event);
+        };
+      }
+      Job job;
+      job.request = request;
+      job.engine = engine;
+      job.ctx = ctx;
+      job.deadline = ctx->deadline;
+      job.done = [this, session, id = attrs.id, kind = KindOf(request),
+                  latency = Timer()](Result<QueryResponse> result) {
+        RecordOutcome(kind, latency.ElapsedSeconds(), result);
+        session->Send(result.ok() ? RenderResponse(result.value(), id)
+                                  : RenderError(result.status(), id));
+        {
+          std::lock_guard<std::mutex> lock(session->mutex);
+          session->tokens.erase(id);
+          --session->inflight;
+        }
+        session->cv.notify_all();
+      };
+      if (!Submit(std::move(job))) {
+        metrics_.RecordOverloaded();
+        {
+          std::lock_guard<std::mutex> lock(session->mutex);
+          session->tokens.erase(attrs.id);
+          --session->inflight;
+        }
+        session->cv.notify_all();
+        session->Send(RenderErrorBlock(
+            kOverloadedCode, "request queue is full — retry", attrs.id));
+      }
+      continue;
+    }
+
+    // ---- untagged (v2, possibly deadline-bounded): block for the
+    // reply so per-connection ordering holds.
     Timer latency;
-    Job job{request, engine, {}};
-    std::future<Result<QueryResponse>> reply = job.promise.get_future();
+    auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+    std::future<Result<QueryResponse>> reply = promise->get_future();
+    Job job;
+    job.request = request;
+    job.engine = engine;
+    job.ctx = ctx;
+    job.deadline = ctx != nullptr ? ctx->deadline : std::nullopt;
+    job.done = [promise](Result<QueryResponse> result) {
+      promise->set_value(std::move(result));
+    };
     if (!Submit(std::move(job))) {
       metrics_.RecordOverloaded();
-      SendAll(fd, RenderErrorBlock(kOverloadedCode,
-                                   "request queue is full — retry"));
+      session->Send(RenderErrorBlock(kOverloadedCode,
+                                     "request queue is full — retry"));
       continue;
     }
     Result<QueryResponse> result = reply.get();
-    metrics_.RecordQuery(KindOf(request), latency.ElapsedSeconds(),
-                         result.ok());
-    SendAll(fd,
-            result.ok() ? RenderResponse(result.value())
-                        : RenderError(result.status()));
+    RecordOutcome(KindOf(request), latency.ElapsedSeconds(), result);
+    session->Send(result.ok() ? RenderResponse(result.value())
+                              : RenderError(result.status()));
   }
 
+  // Disconnect: abort whatever is still in flight and wait for the
+  // workers' completions before closing the socket underneath them.
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    for (auto& [id, token] : session->tokens) token.Cancel();
+  }
+  {
+    std::unique_lock<std::mutex> lock(session->mutex);
+    session->cv.wait(lock, [&] { return session->inflight == 0; });
+  }
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     session_fds_.erase(fd);

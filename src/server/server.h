@@ -17,24 +17,34 @@
 //                       explicit OVERLOADED     Engine::Execute — the
 //                       reply when full)        only CPU-heavy work)
 //
-// Session threads block on their job's future and write the reply
-// themselves, so replies stay ordered per connection and all socket I/O
-// lives on the session thread. The worker pool caps CPU concurrency at
-// `num_workers` no matter how many sessions are connected, and the
-// queue bound converts overload into a fast, explicit `ERR OVERLOADED`
-// instead of unbounded queueing (the latency cliff an interactive front
-// end cannot survive). Control verbs (use/list/stats/ping/help/quit)
-// are answered inline on the session thread — they never queue.
+// UNTAGGED (v2) queries: the session thread blocks on its job's future
+// and writes the reply itself, so replies stay strictly ordered per
+// connection. TAGGED (v3, `id=<n>`) queries multiplex: the session
+// thread submits the job and immediately returns to reading — CANCEL
+// lines can overtake running queries — while the worker that finishes
+// the job writes its reply (and any PART progress frames) directly,
+// serialized by a per-session write mutex. The worker pool caps CPU
+// concurrency at `num_workers` no matter how many sessions are
+// connected, and the queue bound converts overload into shedding:
+// first, queued jobs whose DEADLINE_MS already passed are completed
+// with DEADLINE_EXCEEDED; then the oldest over-deadline RUNNING query
+// is cancelled to free its worker; only when neither applies does the
+// new query get `ERR OVERLOADED`. Control verbs (use/list/stats/ping/
+// help/quit/cancel) are answered inline on the session thread — they
+// never queue.
 //
 // Shutdown: Stop() closes the listener, shuts down every session
 // socket, drains the job queue (every submitted job still gets its
-// promise fulfilled), then joins all threads. Safe to call from any
-// thread; the destructor calls it.
+// completion run), then joins all threads. Safe to call from any
+// thread; the destructor calls it. A disconnecting session cancels its
+// in-flight tagged queries and waits for their completions before
+// closing the socket, so workers never write to a dead fd.
 
 #ifndef ONEX_SERVER_SERVER_H_
 #define ONEX_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,6 +52,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -98,13 +109,37 @@ class Server {
   const ServerMetrics& metrics() const { return metrics_; }
   const Catalog& catalog() const { return *catalog_; }
 
+  /// Per-session state shared between the session thread and the
+  /// workers completing its tagged jobs. Defined in server.cc; public
+  /// only so the PART-frame streamer there can hold one.
+  struct Session;
+
  private:
   /// One queued query: the session's resolved engine travels with the
   /// job, so a catalog eviction mid-flight cannot invalidate it.
   struct Job {
     QueryRequest request;
     std::shared_ptr<const Engine> engine;
-    std::promise<Result<QueryResponse>> promise;
+    /// Execution context (deadline / cancel token / progress sink);
+    /// nullptr = context-free v2 path, which pays no checking overhead.
+    std::shared_ptr<const ExecContext> ctx;
+    /// Mirror of ctx->deadline, read by the queue-shed sweep.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Admission order, for "oldest over-deadline" selection.
+    uint64_t seq = 0;
+    /// Completion: fulfils the session thread's future (untagged) or
+    /// renders and writes the tagged reply. Runs on the worker that
+    /// executed the job, or inline in Submit for queue-swept sheds.
+    std::function<void(Result<QueryResponse>)> done;
+  };
+
+  /// What one worker is executing right now (guarded by queue_mutex_),
+  /// so an overloaded Submit can cancel the oldest over-deadline query.
+  struct RunningJob {
+    bool active = false;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    CancelToken token;
+    uint64_t seq = 0;
   };
 
   Server(ServerOptions options, std::shared_ptr<Catalog> catalog);
@@ -112,11 +147,17 @@ class Server {
   Status Listen();
   void AcceptLoop();
   void SessionLoop(int fd);
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
 
   /// Enqueues a job unless the queue is at capacity or the server is
-  /// stopping; false means "shed this request".
+  /// stopping; false means "shed this request". Before shedding, the
+  /// deadline sweep runs (see the file comment).
   bool Submit(Job job);
+
+  /// Folds one query outcome into the metrics: per-kind latency plus
+  /// the v3 cancelled / deadline-exceeded / partial-result counters.
+  void RecordOutcome(QueryKind kind, double seconds,
+                     const Result<QueryResponse>& result);
 
   ServerOptions options_;
   std::shared_ptr<Catalog> catalog_;
@@ -151,6 +192,8 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool draining_ = false;  ///< Set by Stop(); workers finish the queue.
+  uint64_t job_seq_ = 0;   ///< Admission counter (guarded by queue_mutex_).
+  std::vector<RunningJob> running_;  ///< One slot per worker.
   std::vector<std::thread> workers_;
 };
 

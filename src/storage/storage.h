@@ -91,6 +91,17 @@ std::string WalPathFor(const std::string& dir, const std::string& name);
 /// which never syncs, and a rename can commit before the data blocks do.
 Status SyncFile(const std::string& path);
 
+/// fsyncs a DIRECTORY, making renames and file creations inside it
+/// durable. The temp+fsync+rename dance syncs the file's bytes but not
+/// the directory entry pointing at them — on some filesystems a crash
+/// right after the rename can roll the directory back to the old entry
+/// (or, for a fresh WAL, to no entry at all). Called after every rename
+/// or create that a recovery depends on.
+Status SyncDir(const std::string& dir);
+
+/// The directory containing `path` ("." when it has no separator).
+std::string DirOf(const std::string& path);
+
 class DurableEngine : public AppendSink,
                       public std::enable_shared_from_this<DurableEngine> {
  public:

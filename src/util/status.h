@@ -25,6 +25,10 @@ class Status {
     kCorruption,
     kOutOfRange,
     kNotSupported,
+    /// The caller's CancelToken fired while the operation was running.
+    kCancelled,
+    /// The caller's ExecContext deadline passed mid-operation.
+    kDeadlineExceeded,
   };
 
   /// Default-constructed Status is OK.
@@ -50,6 +54,19 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// True for the two interruption codes an ExecContext can raise —
+  /// the "stopped early, partial results may exist" family, as opposed
+  /// to genuine failures.
+  bool interrupted() const {
+    return code_ == Code::kCancelled || code_ == Code::kDeadlineExceeded;
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +82,8 @@ class Status {
       case Code::kCorruption:      prefix = "Corruption"; break;
       case Code::kOutOfRange:      prefix = "OutOfRange"; break;
       case Code::kNotSupported:    prefix = "NotSupported"; break;
+      case Code::kCancelled:       prefix = "Cancelled"; break;
+      case Code::kDeadlineExceeded: prefix = "DeadlineExceeded"; break;
       case Code::kOk:              prefix = "OK"; break;
     }
     return message_.empty() ? prefix : prefix + ": " + message_;

@@ -78,7 +78,7 @@ class ServerTest : public ::testing::Test {
   Client Connect() {
     auto client = Client::Connect("127.0.0.1", server_->port());
     EXPECT_TRUE(client.ok()) << client.status().ToString();
-    EXPECT_EQ(client.value().greeting(), "ONEX/2 ready");
+    EXPECT_EQ(client.value().greeting(), "ONEX/3 ready");
     return std::move(client).value();
   }
 
