@@ -39,9 +39,9 @@ int Run(int argc, char** argv) {
         size_t result_count = 0;
         QueryStats last_call;
         time.Add(TimeAverage(config.runs, [&] {
-          auto r = engine.Execute(request);
+          auto r = engine.Execute(request, ExecContext{});
           if (r.ok()) {
-            result_count = r.value().matches.size();
+            result_count = r.value().matches().size();
             last_call = r.value().stats;
           }
         }));

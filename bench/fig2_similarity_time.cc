@@ -52,7 +52,7 @@ int Run(int argc, char** argv) {
                                       query.values.size());
       const QueryRequest request = BestMatchRequest{query.values, 0};
       onex_t.Add(TimeAverage(config.runs, [&] {
-        (void)engine.Execute(request);
+        (void)engine.Execute(request, ExecContext{});
       }));
       trillion_t.Add(TimeAverage(config.runs, [&] {
         (void)trillion.FindBestMatch(q);

@@ -3,9 +3,10 @@
 // Three measurements over a deliberately heavy exact-distance range
 // query (every window of every length, per-member DTW):
 //
-//   A. Context-check overhead — the same query with no context vs with
-//      an armed-but-never-firing context (far deadline + live token).
-//      The acceptance bar is <2% on micro_distance-scale work.
+//   A. Context-check overhead — the same query with an inert default
+//      context vs with an armed-but-never-firing one (far deadline +
+//      live token). The acceptance bar is <2% on micro_distance-scale
+//      work.
 //   B. Cancel-to-abort latency — a second thread fires the CancelToken
 //      mid-query; measured from Cancel() to Execute() returning. The
 //      bar is <50 ms (it is typically well under one, bounded by
@@ -74,7 +75,7 @@ int Run(int argc, char** argv) {
   double armed_s = 1e30;
   for (size_t r = 0; r < repeats; ++r) {
     Timer timer;
-    auto response = engine.Execute(query);
+    auto response = engine.Execute(query, ExecContext{});
     if (!response.ok()) Die(response.status());
     plain_s = std::min(plain_s, timer.ElapsedSeconds());
   }
@@ -150,7 +151,7 @@ int Run(int argc, char** argv) {
 
   TableWriter table("Interactive query control costs");
   table.SetHeader({"metric", "value"});
-  table.AddRow({"full query (no context)",
+  table.AddRow({"full query (inert context)",
                 TableWriter::Num(plain_s * 1e3, 2) + " ms"});
   table.AddRow({"full query (armed context)",
                 TableWriter::Num(armed_s * 1e3, 2) + " ms"});

@@ -116,10 +116,12 @@ class Shell {
         "  q2 <series|all> <len>         — seasonal similarity\n"
         "  q3 <S|M|L|any> [len]          — threshold recommendations\n"
         "  refine <st'> <len|all>        — vary similarity threshold\n"
-        "  v3 attribute prefix on any query, e.g.\n"
+        "  attribute prefix on any query, e.g.\n"
         "  id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9\n"
         "                                — bound the query and stream\n"
-        "                                  PART frames as it runs\n");
+        "                                  PART frames as it runs (q2\n"
+        "                                  streams PART GROUP, q3 PART\n"
+        "                                  REC — protocol v4)\n");
   }
 
   /// One protocol round trip against the in-process engine: the printed
@@ -155,18 +157,19 @@ class Shell {
     uint64_t part_seq = 0;
     if (attrs.progress) {
       const onex::QueryKind kind = onex::KindOf(*request);
+      // The typed RenderPartBlock picks the PART variant matching the
+      // event's shape (match / GROUP / REC), so q2 and q3 stream here
+      // exactly as they do over the wire.
       ctx.progress = [&part_seq, kind, id = attrs.id](
                          const onex::ProgressEvent& event) {
-        std::fputs(onex::server::RenderPartBlock(
-                       kind, id, part_seq++, event.work_fraction,
-                       event.snapshot, event.matches)
+        std::fputs(onex::server::RenderPartBlock(kind, id, part_seq++,
+                                                 event)
                        .c_str(),
                    stdout);
         std::fflush(stdout);
       };
     }
-    auto response = attrs.any() ? engine_->Execute(*request, ctx)
-                                : engine_->Execute(*request);
+    auto response = engine_->Execute(*request, ctx);
     std::fputs(
         response.ok()
             ? onex::server::RenderResponse(response.value(), attrs.id)

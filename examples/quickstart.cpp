@@ -46,13 +46,13 @@ int main() {
   onex::BestMatchRequest request;
   request.query.assign(fragment.begin(), fragment.end());
 
-  auto response = engine.Execute(request);
+  auto response = engine.Execute(request, onex::ExecContext{});
   if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  response.status().ToString().c_str());
     return 1;
   }
-  const onex::QueryMatch& match = response.value().matches[0];
+  const onex::QueryMatch& match = response.value().matches()[0];
   std::printf("best match: series %u, offset %u, length %u, "
               "normalized DTW = %.6f  (%.2f ms, %s)\n",
               match.ref.series, match.ref.start, match.ref.length,

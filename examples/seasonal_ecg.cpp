@@ -36,14 +36,15 @@ int main() {
 
   // User-driven: recurring 12-point fragments inside recording 0.
   auto recurring =
-      engine.Execute(onex::SeasonalRequest{uint32_t{0}, 12});
+      engine.Execute(onex::SeasonalRequest{uint32_t{0}, 12},
+                     onex::ExecContext{});
   if (recurring.ok()) {
     std::printf("recording 0, length 12: %zu recurring pattern group(s) "
                 "(%.2f ms)\n",
-                recurring.value().groups.size(),
+                recurring.value().groups().size(),
                 recurring.value().latency_seconds * 1e3);
     size_t shown = 0;
-    for (const auto& group : recurring.value().groups) {
+    for (const auto& group : recurring.value().groups()) {
       if (shown++ >= 3) break;
       std::printf("  pattern with %zu occurrences at offsets:", group.size());
       for (const auto& ref : group) std::printf(" %u", ref.start);
@@ -52,10 +53,11 @@ int main() {
   }
 
   // Data-driven: clusters of similar 24-point fragments dataset-wide.
-  auto clusters = engine.Execute(onex::SeasonalRequest{std::nullopt, 24});
+  auto clusters = engine.Execute(
+      onex::SeasonalRequest{std::nullopt, 24}, onex::ExecContext{});
   if (clusters.ok()) {
     size_t multi_series = 0;
-    for (const auto& group : clusters.value().groups) {
+    for (const auto& group : clusters.value().groups()) {
       bool cross = false;
       for (size_t i = 1; i < group.size(); ++i) {
         if (group[i].series != group[0].series) cross = true;
@@ -64,7 +66,7 @@ int main() {
     }
     std::printf("\nlength 24, dataset-wide: %zu similarity clusters, "
                 "%zu of them spanning multiple recordings\n",
-                clusters.value().groups.size(), multi_series);
+                clusters.value().groups().size(), multi_series);
     std::printf("(cross-recording clusters are the interesting ones: the "
                 "same beat morphology appearing in different patients)\n");
   }

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   constexpr size_t kShowFirst = 8;  // Sparkline the first few hits only.
   const onex::Dataset& data = engine.dataset();
   ctx.progress = [&](const onex::ProgressEvent& event) {
-    for (const onex::QueryMatch& m : event.matches) {
+    for (const onex::QueryMatch& m : event.matches()) {
       const size_t n = streamed.fetch_add(1) + 1;
       if (n <= kShowFirst) {
         std::printf("  hit #%-3zu stock %-3u days %3u-%-3u dist %.4f  %s\n",
@@ -168,23 +168,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   const onex::QueryResponse& result = response.value();
+  const std::vector<onex::QueryMatch>& hits = result.matches();
   std::printf("\n\n%s after %.1f ms: %zu windows within %.2f\n",
               result.partial
                   ? (result.interrupt == onex::Status::Code::kCancelled
                          ? "CANCELLED"
                          : "DEADLINE EXCEEDED")
                   : "complete",
-              elapsed_ms, result.matches.size(), st);
+              elapsed_ms, hits.size(), st);
   if (result.partial) {
     std::printf("partial results kept — the %zu confirmed hits above "
-                "remain usable\n", result.matches.size());
+                "remain usable\n", hits.size());
   }
 
   // The best few of whatever the scan confirmed.
-  const size_t top = std::min<size_t>(5, result.matches.size());
+  const size_t top = std::min<size_t>(5, hits.size());
   if (top > 0) std::printf("\nclosest %zu:\n", top);
   for (size_t i = 0; i < top; ++i) {
-    const onex::QueryMatch& m = result.matches[i];
+    const onex::QueryMatch& m = hits[i];
     std::printf("  stock #%-3u days %3u-%-3u  distance %.5f\n%s\n",
                 m.ref.series, m.ref.start, m.ref.start + m.ref.length - 1,
                 m.distance,

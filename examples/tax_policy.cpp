@@ -74,12 +74,13 @@ int main() {
     target[t] = t < 4 ? 0.45 - 0.05 * t : 0.3 + 0.4 * (t - 4) / 11.0;
   }
 
-  auto best = engine.Execute(onex::BestMatchRequest{target, /*length=*/0});
+  auto best = engine.Execute(onex::BestMatchRequest{target, /*length=*/0},
+                            onex::ExecContext{});
   if (!best.ok()) {
     std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
     return 1;
   }
-  const onex::QueryMatch& match = best.value().matches[0];
+  const onex::QueryMatch& match = best.value().matches()[0];
   std::printf("designed 'positive impact' profile (16 quarters):\n");
   std::printf("  closest real trajectory: state #%u, quarters %u-%u "
               "(normalized DTW %.5f)\n",
@@ -102,10 +103,11 @@ int main() {
 
   // Similar short-term impacts across states: 8-quarter windows that
   // cluster together across different states (data-driven Q2).
-  auto clusters = engine.Execute(onex::SeasonalRequest{std::nullopt, 8});
+  auto clusters = engine.Execute(
+      onex::SeasonalRequest{std::nullopt, 8}, onex::ExecContext{});
   if (clusters.ok()) {
     size_t cross = 0;
-    for (const auto& group : clusters.value().groups) {
+    for (const auto& group : clusters.value().groups()) {
       for (size_t i = 1; i < group.size(); ++i) {
         if (group[i].series != group[0].series) {
           ++cross;
@@ -116,7 +118,7 @@ int main() {
     std::printf("\n8-quarter windows: %zu similarity clusters, %zu "
                 "spanning multiple states (recurring 'short-term "
                 "impact' patterns).\n",
-                clusters.value().groups.size(), cross);
+                clusters.value().groups().size(), cross);
   }
   return 0;
 }

@@ -59,23 +59,24 @@ int main() {
 
   // Q3: what do the similarity degrees mean here, globally and for
   // 12-point subsequences specifically?
-  auto global = engine.Execute(onex::RecommendRequest{});
+  auto global = engine.Execute(onex::RecommendRequest{}, onex::ExecContext{});
   if (!global.ok()) {
     std::fprintf(stderr, "%s\n", global.status().ToString().c_str());
     return 1;
   }
   std::printf("similarity-threshold guidance (global):\n");
-  for (const auto& rec : global.value().recommendations) {
+  for (const auto& rec : global.value().recommendations()) {
     std::printf("  %s\n", rec.ToString().c_str());
   }
   const size_t length = 12;
-  auto local = engine.Execute(onex::RecommendRequest{std::nullopt, length});
+  auto local = engine.Execute(onex::RecommendRequest{std::nullopt, length},
+                             onex::ExecContext{});
   if (!local.ok()) {
     std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
     return 1;
   }
   std::printf("for length %zu specifically:\n", length);
-  for (const auto& rec : local.value().recommendations) {
+  for (const auto& rec : local.value().recommendations()) {
     std::printf("  %s\n", rec.ToString().c_str());
   }
 
@@ -86,13 +87,14 @@ int main() {
               length, engine.options().st);
   for (double st_prime : {0.05, 0.1, 0.2, 0.3, 0.5}) {
     auto refined =
-        engine.Execute(onex::RefineThresholdRequest{st_prime, length});
+        engine.Execute(onex::RefineThresholdRequest{st_prime, length},
+                       onex::ExecContext{});
     if (!refined.ok()) continue;
-    const onex::RefineSummary& summary = refined.value().refinements[0];
+    const onex::RefineSummary& summary = refined.value().refinements()[0];
     std::printf("  ST' = %.2f -> %4zu groups (base had %zu)   (%s "
                 "similarity)\n",
                 st_prime, summary.groups_after, summary.groups_before,
-                LabelFor(local.value().recommendations, st_prime));
+                LabelFor(local.value().recommendations(), st_prime));
   }
   std::printf("\nsplitting/merging reuses the precomputed base — no "
               "reconstruction, which is the point of Sec. 5.2.\n");

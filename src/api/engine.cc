@@ -25,6 +25,28 @@ const char* ToString(QueryKind kind) {
   return "Unknown";
 }
 
+PayloadShape ShapeOf(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBestMatch:
+    case QueryKind::kKSimilar:
+    case QueryKind::kRangeWithin:     return PayloadShape::kMatch;
+    case QueryKind::kSeasonal:        return PayloadShape::kGroup;
+    case QueryKind::kRecommend:       return PayloadShape::kRecommend;
+    case QueryKind::kRefineThreshold: return PayloadShape::kRefine;
+  }
+  return PayloadShape::kMatch;
+}
+
+QueryPayload EmptyPayloadOf(QueryKind kind) {
+  switch (ShapeOf(kind)) {
+    case PayloadShape::kMatch:     return MatchResult{};
+    case PayloadShape::kGroup:     return SeasonalResult{};
+    case PayloadShape::kRecommend: return RecommendResult{};
+    case PayloadShape::kRefine:    return RefineResult{};
+  }
+  return MatchResult{};
+}
+
 Engine::Engine(OnexBase base, QueryOptions query_options)
     : base_(std::make_unique<OnexBase>(std::move(base))),
       query_options_(query_options),
@@ -85,15 +107,16 @@ inline std::span<const double> AsSpan(const std::vector<double>& values) {
 }  // namespace
 
 Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
-                                            const ExecContext* ctx) const {
+                                            const ExecContext& ctx) const {
   QueryResponse response;
   response.kind = KindOf(request);
+  response.payload = EmptyPayloadOf(response.kind);
   // Fast-fail an already-interrupted context (one clock read) so a
   // batch whose token fired returns its remaining responses
-  // immediately-partial instead of burning check_every candidates per
-  // request first.
-  if (ctx != nullptr) {
-    const Status upfront = ctx->Check();
+  // immediately-partial (empty, right-shaped) instead of burning
+  // check_every candidates per request first.
+  {
+    const Status upfront = ctx.Check();
     if (!upfront.ok()) {
       response.partial = true;
       response.interrupt = upfront.code();
@@ -104,30 +127,42 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
   Status error = Status::OK();
 
   // Partial-results accumulator: a wrapping progress sink mirrors every
-  // event the query emits (and forwards it to the caller's sink), so an
-  // interrupted query can still hand back its confirmed matches. Only
-  // built when a context is present — the context-free path pays
-  // nothing.
-  ExecContext wrapped;
-  const ExecContext* effective = ctx;
-  std::vector<QueryMatch> confirmed;
-  if (ctx != nullptr) {
-    wrapped = *ctx;
-    // No user sink: the wrapper only captures partials, so queries may
-    // skip the periodic snapshot emissions nobody would see.
-    wrapped.progress_capture_only = !static_cast<bool>(ctx->progress);
-    wrapped.progress = [&confirmed, user = ctx->progress](
-                           const ProgressEvent& event) {
-      if (event.snapshot) {
-        confirmed.assign(event.matches.begin(), event.matches.end());
-      } else {
-        confirmed.insert(confirmed.end(), event.matches.begin(),
-                         event.matches.end());
-      }
-      if (user) user(event);
-    };
-    effective = &wrapped;
-  }
+  // typed event the query emits (and forwards it to the caller's sink),
+  // so an interrupted query can still hand back the results it
+  // confirmed — matches, groups, and recommendation rows alike. The
+  // wrapper is installed even for an inert-looking context: a copy of
+  // ctx.cancel may be held by another thread and fire at any moment,
+  // and the partial-results contract requires the confirmed set to be
+  // ready when it does. progress_capture_only keeps the cost down when
+  // nobody is watching live (queries skip periodic snapshot emissions),
+  // and bench/query_cancellation's A-leg bounds what remains.
+  MatchResult confirmed_matches;
+  SeasonalResult confirmed_groups;
+  RecommendResult confirmed_rows;
+  ExecContext wrapped = ctx;
+  // No user sink: the wrapper only captures partials, so queries may
+  // skip the periodic snapshot emissions nobody would see.
+  wrapped.progress_capture_only = !static_cast<bool>(ctx.progress);
+  wrapped.progress = [&](const ProgressEvent& event) {
+    std::visit(
+        Overloaded{
+            [&](const MatchProgress& p) {
+              AccumulateProgress(&confirmed_matches.matches, p.matches,
+                                 event.snapshot);
+            },
+            [&](const GroupProgress& p) {
+              AccumulateProgress(&confirmed_groups.groups, p.groups,
+                                 event.snapshot);
+            },
+            [&](const RecommendProgress& p) {
+              AccumulateProgress(&confirmed_rows.rows, p.rows,
+                                 event.snapshot);
+            },
+        },
+        event.payload);
+    if (ctx.progress) ctx.progress(event);
+  };
+  const ExecContext* effective = &wrapped;
 
   std::visit(
       [&](const auto& req) {
@@ -141,7 +176,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
                         AsSpan(req.query), req.length, &response.stats,
                         effective);
           if (result.ok()) {
-            response.matches.push_back(result.value());
+            response.payload = MatchResult{{result.value()}};
           } else {
             error = result.status();
           }
@@ -150,7 +185,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
               processor().FindKSimilar(AsSpan(req.query), req.k, req.length,
                                        &response.stats, effective);
           if (result.ok()) {
-            response.matches = std::move(result).value();
+            response.payload = MatchResult{std::move(result).value()};
           } else {
             error = result.status();
           }
@@ -159,7 +194,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
               AsSpan(req.query), req.st, req.length, req.exact_distances,
               &response.stats, effective);
           if (result.ok()) {
-            response.matches = std::move(result).value();
+            response.payload = MatchResult{std::move(result).value()};
           } else {
             error = result.status();
           }
@@ -170,32 +205,28 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
                             : processor().SimilarGroupsOfLength(req.length,
                                                                 effective);
           if (result.ok()) {
-            response.groups = std::move(result).value();
+            response.payload = SeasonalResult{std::move(result).value()};
           } else {
             error = result.status();
           }
         } else if constexpr (std::is_same_v<T, RecommendRequest>) {
           if (req.degree.has_value()) {
-            if (effective != nullptr) {
-              error = effective->Check();
-              if (!error.ok()) return;
-            }
-            response.recommendations.push_back(
-                recommender().Recommend(*req.degree, req.length));
+            error = effective->Check();
+            if (!error.ok()) return;
+            response.payload = RecommendResult{
+                {recommender().Recommend(*req.degree, req.length)}};
           } else {
-            response.recommendations =
-                recommender().AllDegrees(req.length, effective);
+            auto rows = recommender().AllDegrees(req.length, effective);
             // Fewer than three rows means the context stopped the scan
             // between degrees.
-            if (effective != nullptr &&
-                response.recommendations.size() < 3) {
-              error = effective->Check();
-            }
+            if (rows.size() < 3) error = effective->Check();
+            response.payload = RecommendResult{std::move(rows)};
           }
         } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
+          RefineResult refinements;
           auto summarize = [&](size_t length, const GtiEntry& refined) {
             const GtiEntry* before = base_->EntryFor(length);
-            response.refinements.push_back(RefineSummary{
+            refinements.refinements.push_back(RefineSummary{
                 length, before != nullptr ? before->NumGroups() : 0,
                 refined.NumGroups()});
           };
@@ -221,6 +252,10 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
               summarize(length, refined.value());
             }
           }
+          // Complete OR partial: the summaries confirmed so far are the
+          // payload either way (refinement has no progress events — the
+          // rows accumulate right here).
+          response.payload = std::move(refinements);
         }
       },
       request);
@@ -228,14 +263,28 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
   if (!error.ok()) {
     if (!error.interrupted()) return error;
     // Interrupted, not failed: hand back everything confirmed before
-    // the stop, flagged partial. Match-kind payloads come from the
-    // progress accumulator (sorted like the uninterrupted path);
-    // recommendation / refinement rows accumulated in place.
+    // the stop, flagged partial, in the payload shape the kind always
+    // produces. Match / group / recommendation payloads come from the
+    // typed progress accumulator (matches re-sorted like the
+    // uninterrupted path); refinement summaries accumulated in place
+    // above.
     response.partial = true;
     response.interrupt = error.code();
-    response.matches = std::move(confirmed);
-    std::sort(response.matches.begin(), response.matches.end(),
-              MatchDistanceLess);
+    switch (ShapeOf(response.kind)) {
+      case PayloadShape::kMatch:
+        std::sort(confirmed_matches.matches.begin(),
+                  confirmed_matches.matches.end(), MatchDistanceLess);
+        response.payload = std::move(confirmed_matches);
+        break;
+      case PayloadShape::kGroup:
+        response.payload = std::move(confirmed_groups);
+        break;
+      case PayloadShape::kRecommend:
+        response.payload = std::move(confirmed_rows);
+        break;
+      case PayloadShape::kRefine:
+        break;  // Already in response.payload.
+    }
   }
   response.latency_seconds = timer.ElapsedSeconds();
   return response;
@@ -244,12 +293,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
 Result<QueryResponse> Engine::Execute(const QueryRequest& request,
                                       const ExecContext& ctx) const {
   std::shared_lock lock(*rw_mutex_);
-  return ExecuteLocked(request, &ctx);
-}
-
-Result<QueryResponse> Engine::Execute(const QueryRequest& request) const {
-  std::shared_lock lock(*rw_mutex_);
-  return ExecuteLocked(request, nullptr);
+  return ExecuteLocked(request, ctx);
 }
 
 std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
@@ -258,18 +302,7 @@ std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
   std::vector<Result<QueryResponse>> responses;
   responses.reserve(requests.size());
   for (const QueryRequest& request : requests) {
-    responses.push_back(ExecuteLocked(request, &ctx));
-  }
-  return responses;
-}
-
-std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
-    std::span<const QueryRequest> requests) const {
-  std::shared_lock lock(*rw_mutex_);
-  std::vector<Result<QueryResponse>> responses;
-  responses.reserve(requests.size());
-  for (const QueryRequest& request : requests) {
-    responses.push_back(ExecuteLocked(request, nullptr));
+    responses.push_back(ExecuteLocked(request, ctx));
   }
   return responses;
 }

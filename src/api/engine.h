@@ -117,16 +117,56 @@ struct RefineSummary {
   size_t groups_after = 0;
 };
 
-/// Uniform answer envelope. Which payload field is filled follows the
-/// request kind: matches for BestMatch/KSimilar/RangeWithin, groups for
-/// Seasonal, recommendations for Recommend, refinements for
-/// RefineThreshold. `stats` and `latency_seconds` are always set.
+/// Q1-shaped payload (BestMatch / KSimilar / RangeWithin): ranked
+/// matches, best first.
+struct MatchResult {
+  std::vector<QueryMatch> matches;
+};
+
+/// Q2-shaped payload (Seasonal): one SubsequenceRef vector per
+/// recurring-similarity group.
+struct SeasonalResult {
+  std::vector<std::vector<SubsequenceRef>> groups;
+};
+
+/// Q3-shaped payload (Recommend): one row per similarity degree.
+struct RecommendResult {
+  std::vector<Recommendation> rows;
+};
+
+/// RefineThreshold payload: one summary per refined length.
+struct RefineResult {
+  std::vector<RefineSummary> refinements;
+};
+
+/// The typed result union. A response carries exactly the alternative
+/// its request kind produces (see ShapeOf) — there are no parallel
+/// payload vectors to guess between, and a visitor that misses an
+/// alternative fails to compile.
+using QueryPayload =
+    std::variant<MatchResult, SeasonalResult, RecommendResult, RefineResult>;
+
+/// Discriminator mirroring QueryPayload's alternatives (indices match).
+enum class PayloadShape { kMatch, kGroup, kRecommend, kRefine };
+
+/// The payload alternative a request kind's response carries:
+/// BestMatch/KSimilar/RangeWithin -> kMatch, Seasonal -> kGroup,
+/// Recommend -> kRecommend, RefineThreshold -> kRefine.
+PayloadShape ShapeOf(QueryKind kind);
+
+/// A default-constructed (empty) payload of the right alternative for
+/// `kind` — what an immediately-interrupted response carries.
+QueryPayload EmptyPayloadOf(QueryKind kind);
+
+/// Uniform answer envelope around the typed payload. The payload's
+/// alternative always matches ShapeOf(kind). `stats` and
+/// `latency_seconds` are always set.
 struct QueryResponse {
   QueryKind kind = QueryKind::kBestMatch;
-  std::vector<QueryMatch> matches;
-  std::vector<std::vector<SubsequenceRef>> groups;
-  std::vector<Recommendation> recommendations;
-  std::vector<RefineSummary> refinements;
+  /// The typed result (alternative == ShapeOf(kind)). Consume it with
+  /// Visit for exhaustive handling, or the shape-checked accessors
+  /// below when the caller knows what it asked for.
+  QueryPayload payload;
   /// Work counters of this call only (per-call, never accumulated).
   QueryStats stats;
   /// Wall-clock seconds spent answering, measured inside the engine.
@@ -138,6 +178,36 @@ struct QueryResponse {
   /// responses always have partial == false, interrupt == kOk.
   bool partial = false;
   Status::Code interrupt = Status::Code::kOk;
+
+  /// Visits the payload with one callable per alternative (any order;
+  /// generic lambdas may cover several). Missing an alternative is a
+  /// compile error — THE way to consume a response whose kind is not
+  /// statically known:
+  ///   response.Visit(
+  ///       [](const onex::MatchResult& m) { ... },
+  ///       [](const onex::SeasonalResult& s) { ... },
+  ///       [](const onex::RecommendResult& r) { ... },
+  ///       [](const onex::RefineResult& r) { ... });
+  template <class... Fs>
+  decltype(auto) Visit(Fs&&... fs) const {
+    return std::visit(Overloaded{std::forward<Fs>(fs)...}, payload);
+  }
+
+  /// Shape-checked accessors (std::get semantics: throw
+  /// std::bad_variant_access when the response carries another shape —
+  /// a shape confusion is a caller bug, never silently empty).
+  const std::vector<QueryMatch>& matches() const {
+    return std::get<MatchResult>(payload).matches;
+  }
+  const std::vector<std::vector<SubsequenceRef>>& groups() const {
+    return std::get<SeasonalResult>(payload).groups;
+  }
+  const std::vector<Recommendation>& recommendations() const {
+    return std::get<RecommendResult>(payload).rows;
+  }
+  const std::vector<RefineSummary>& refinements() const {
+    return std::get<RefineResult>(payload).refinements;
+  }
 };
 
 // --------------------------------------------------------------- engine
@@ -165,32 +235,27 @@ class Engine {
 
   /// Answers one request under interactive control: `ctx` carries the
   /// deadline, the cooperative CancelToken, and the optional progress
-  /// sink. When the context interrupts the query mid-flight the call
-  /// still succeeds — the response carries every result confirmed so
-  /// far, flagged `partial` with `interrupt` naming the code — so an
-  /// interactive front end can always render SOMETHING. Genuine
-  /// failures (bad request, absent length) return an error Result as
-  /// before. Thread-safe: concurrent callers share the reader lock.
+  /// sink (pass `ExecContext{}` for a plain blocking call). When the
+  /// context interrupts the query mid-flight the call still succeeds —
+  /// the response carries every result confirmed so far in a payload of
+  /// the right shape, flagged `partial` with `interrupt` naming the
+  /// code — so an interactive front end can always render SOMETHING.
+  /// Genuine failures (bad request, absent length) return an error
+  /// Result as before. Thread-safe: concurrent callers share the reader
+  /// lock. (The context-free Execute(request) shim of the previous
+  /// release is gone — pass a context explicitly.)
   Result<QueryResponse> Execute(const QueryRequest& request,
                                 const ExecContext& ctx) const;
-
-  /// Context-free shim, kept for one release: equivalent to passing a
-  /// context with no deadline, no token, and no sink (and pays none of
-  /// the checking overhead). Prefer Execute(request, ctx).
-  Result<QueryResponse> Execute(const QueryRequest& request) const;
 
   /// Answers a batch under one reader-lock acquisition, so the whole
   /// batch observes a single consistent snapshot of the base even while
   /// an AppendSeries is waiting. One Result per request, in order. The
   /// shared context is consulted across the whole batch: once it
   /// interrupts, the in-flight request returns partial and the
-  /// remaining ones return immediately-partial (empty) responses.
+  /// remaining ones return immediately-partial (empty, but
+  /// right-shaped) responses.
   std::vector<Result<QueryResponse>> ExecuteBatch(
       std::span<const QueryRequest> requests, const ExecContext& ctx) const;
-
-  /// Context-free shim, kept for one release.
-  std::vector<Result<QueryResponse>> ExecuteBatch(
-      std::span<const QueryRequest> requests) const;
 
   /// Base maintenance (Algorithm 1 append). Takes the writer lock:
   /// blocks until in-flight queries drain, then updates the base. In
@@ -244,10 +309,9 @@ class Engine {
  private:
   Engine(OnexBase base, QueryOptions query_options);
 
-  /// Dispatch body; the caller holds the reader lock. `ctx` may be
-  /// nullptr (the context-free fast path).
+  /// Dispatch body; the caller holds the reader lock.
   Result<QueryResponse> ExecuteLocked(const QueryRequest& request,
-                                      const ExecContext* ctx) const;
+                                      const ExecContext& ctx) const;
 
   /// Query components, created on first use via std::call_once (cheap
   /// atomic check on the hot path; no lock contention between

@@ -1,13 +1,17 @@
 // Copyright 2026 The ONEX Reproduction Authors.
-// Interactive query control: every Engine::Execute can carry an
+// Interactive query control: every Engine::Execute carries an
 // ExecContext bundling a deadline, a cooperative CancelToken, and an
-// optional progress sink that receives partial QueryMatch batches while
-// the query is still running. The query components (QueryProcessor,
-// Recommender, ThresholdRefiner) test the context inside their inner
-// loops through an amortized ExecChecker — one atomic load / clock read
-// every `check_every` candidates, so an uncancelled query pays well
-// under the interactive-latency noise floor for the ability to be
-// aborted mid-flight.
+// optional progress sink that receives typed partial-result events
+// while the query is still running. Events are SHAPED like the final
+// payload: match-shaped queries stream QueryMatch batches, Seasonal
+// queries stream confirmed groups, Recommend queries stream rows — so
+// an interactive front end renders partial results of every query class
+// the same way it renders the final ones. The query components
+// (QueryProcessor, Recommender, ThresholdRefiner) test the context
+// inside their inner loops through an amortized ExecChecker — one
+// atomic load / clock read every `check_every` candidates, so an
+// uncancelled query pays well under the interactive-latency noise floor
+// for the ability to be aborted mid-flight.
 //
 // Interruption is COOPERATIVE: Cancel() or an expired deadline never
 // tears a thread down; the running query notices at its next check,
@@ -25,11 +29,27 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <variant>
+#include <vector>
 
 #include "core/query_match.h"
+#include "core/recommendation.h"
+#include "dataset/subsequence.h"
 #include "util/status.h"
 
 namespace onex {
+
+/// Overload-set builder for variant visitation:
+///   Visit(Overloaded{[](const A&) {...}, [](const B&) {...}}, v)
+/// Used by QueryResponse::Visit and the progress plumbing; a visitor
+/// missing an alternative fails to COMPILE, which is the exhaustiveness
+/// guarantee the typed payloads exist for.
+template <class... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
 
 /// Shared cancellation flag. Copies alias one flag, so a client thread
 /// can hold a token while a worker runs the query: Cancel() from any
@@ -46,37 +66,85 @@ class CancelToken {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
-/// One progress delivery: a batch of confirmed matches plus a rough
-/// work-fraction estimate. `snapshot` distinguishes the two shapes a
-/// running query emits: best-match-style queries send their CURRENT
-/// best set (replacing earlier events), range-style queries send only
-/// matches confirmed SINCE the last event (append). The spans point
-/// into the running query's buffers and are valid only for the duration
-/// of the callback — copy out anything kept.
-struct ProgressEvent {
+// ------------------------------------------------- progress events
+
+/// Q1-shaped progress: a batch of confirmed matches.
+struct MatchProgress {
   std::span<const QueryMatch> matches;
+};
+
+/// Q2-shaped progress: confirmed similar groups (one ref vector each).
+struct GroupProgress {
+  std::span<const std::vector<SubsequenceRef>> groups;
+};
+
+/// Q3-shaped progress: confirmed recommendation rows.
+struct RecommendProgress {
+  std::span<const Recommendation> rows;
+};
+
+/// The typed payload of one progress delivery. One query emits events
+/// of exactly ONE alternative — the one matching its response payload.
+using ProgressPayload =
+    std::variant<MatchProgress, GroupProgress, RecommendProgress>;
+
+/// One progress delivery: a typed batch of confirmed partial results
+/// plus a rough work-fraction estimate. `snapshot` distinguishes the
+/// two delivery modes: best-match-style queries send their CURRENT best
+/// set (replacing earlier events), scan-style queries (ranges, seasonal
+/// groups, recommendation rows) send only results confirmed SINCE the
+/// last event (append). The spans point into the running query's
+/// buffers and are valid only for the duration of the callback — copy
+/// out anything kept.
+struct ProgressEvent {
+  ProgressPayload payload;
   /// Fraction of the candidate space already searched, in [0, 1]. An
   /// estimate (groups visited / groups total), not a latency promise.
   double work_fraction = 0.0;
-  /// True: `matches` replaces everything delivered before. False:
-  /// `matches` extends it.
+  /// True: the payload replaces everything delivered before. False: it
+  /// extends it.
   bool snapshot = false;
+
+  /// Shape-checked accessors (std::get semantics: throws
+  /// std::bad_variant_access when the event carries another shape).
+  std::span<const QueryMatch> matches() const {
+    return std::get<MatchProgress>(payload).matches;
+  }
+  std::span<const std::vector<SubsequenceRef>> groups() const {
+    return std::get<GroupProgress>(payload).groups;
+  }
+  std::span<const Recommendation> rows() const {
+    return std::get<RecommendProgress>(payload).rows;
+  }
 };
 
 using ProgressSink = std::function<void(const ProgressEvent&)>;
 
+/// THE accumulation rule for progress deliveries — snapshot replaces,
+/// append extends — shared by the engine's partial-results capture and
+/// the server's PART-frame batching so the two can never diverge.
+template <typename T>
+void AccumulateProgress(std::vector<T>* into, std::span<const T> batch,
+                        bool snapshot) {
+  if (snapshot) {
+    into->assign(batch.begin(), batch.end());
+  } else {
+    into->insert(into->end(), batch.begin(), batch.end());
+  }
+}
+
 /// Per-call execution context. Cheap to copy (a time point, a shared
 /// token, a std::function). A default-constructed context never
-/// interrupts, so `Execute(request, ExecContext{})` behaves exactly
-/// like the context-free overload.
+/// interrupts, so `Execute(request, ExecContext{})` is the plain
+/// blocking call.
 struct ExecContext {
   /// Absolute deadline; unset = unbounded.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Cooperative abort switch; keep a copy to Cancel() from elsewhere.
   CancelToken cancel;
-  /// Optional sink for partial results (see ProgressEvent). Called from
-  /// the query thread — keep it fast, and do not call back into the
-  /// engine from inside it.
+  /// Optional sink for typed partial results (see ProgressEvent).
+  /// Called from the query thread — keep it fast, and do not call back
+  /// into the engine from inside it.
   ProgressSink progress;
   /// Inner loops consult the token/clock every `check_every` candidate
   /// comparisons. Smaller = faster abort, more overhead; the default
@@ -142,11 +210,28 @@ class ExecChecker {
 
   const ExecContext* context() const { return ctx_; }
 
-  /// Emits a progress event if a sink is attached.
+  /// Emits one typed progress event if a sink is attached. The three
+  /// Report overloads are the shape-specific entry points the query
+  /// components call.
+  void Emit(ProgressPayload payload, double work_fraction,
+            bool snapshot) const {
+    if (ctx_ == nullptr || !ctx_->progress) return;
+    ctx_->progress(ProgressEvent{payload, work_fraction, snapshot});
+  }
+
   void Report(std::span<const QueryMatch> matches, double work_fraction,
               bool snapshot) const {
-    if (ctx_ == nullptr || !ctx_->progress) return;
-    ctx_->progress(ProgressEvent{matches, work_fraction, snapshot});
+    Emit(MatchProgress{matches}, work_fraction, snapshot);
+  }
+
+  void Report(std::span<const std::vector<SubsequenceRef>> groups,
+              double work_fraction, bool snapshot) const {
+    Emit(GroupProgress{groups}, work_fraction, snapshot);
+  }
+
+  void Report(std::span<const Recommendation> rows, double work_fraction,
+              bool snapshot) const {
+    Emit(RecommendProgress{rows}, work_fraction, snapshot);
   }
 
   bool wants_progress() const {

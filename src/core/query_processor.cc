@@ -267,7 +267,10 @@ Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
     ++lengths_done;
     if (match.distance < best.distance) {
       best = match;
-      if (std::isfinite(best.distance)) {
+      // Mid-scan improvements only matter to a live watcher; the
+      // capture-only wrapper is served by the interrupt-time flush
+      // below (same rule as FindKSimilar's periodic snapshots).
+      if (check.wants_live_progress() && std::isfinite(best.distance)) {
         check.Report(std::span<const QueryMatch>(&best, 1),
                      static_cast<double>(lengths_done) /
                          static_cast<double>(ordered.size()),
@@ -347,11 +350,13 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
       base_->options().window_ratio, query.size(), entry->length);
   std::vector<QueryMatch> matches;
   matches.reserve(group.members.size());
-  // Running top-k for progress snapshots, maintained incrementally
+  // Running top-k for LIVE progress snapshots, maintained incrementally
   // (sorted, capped at k) so each emission costs O(k), never a copy or
-  // sort of the full accumulation.
+  // sort of the full accumulation. Capture-only contexts skip the
+  // per-member maintenance entirely — their one interrupt-time flush
+  // sorts the accumulated matches once instead.
   std::vector<QueryMatch> topk;
-  const bool track_topk = check.wants_progress();
+  const bool track_topk = check.wants_live_progress();
   if (track_topk) topk.reserve(k + 1);
   auto flush_topk = [&](double fraction) {
     check.Report(std::span<const QueryMatch>(topk.data(), topk.size()),
@@ -385,7 +390,19 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
   }
   CommitStats(call, stats);
   if (!check.status().ok()) {
-    if (!matches.empty()) flush_topk(1.0);
+    if (!matches.empty()) {
+      if (track_topk) {
+        flush_topk(1.0);
+      } else {
+        // Capture-only: build the top-k once, now that it is needed.
+        const size_t keep = std::min(k, matches.size());
+        std::partial_sort(matches.begin(),
+                          matches.begin() + static_cast<ptrdiff_t>(keep),
+                          matches.end(), MatchDistanceLess);
+        check.Report(std::span<const QueryMatch>(matches.data(), keep), 1.0,
+                     /*snapshot=*/true);
+      }
+    }
     return check.status();
   }
   std::sort(matches.begin(), matches.end(), MatchDistanceLess);
@@ -422,7 +439,11 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     if (entry != nullptr) total_groups += entry->NumGroups();
   }
   size_t groups_done = 0;
-  // Everything past this index is unreported; batches flush per group.
+  // Everything past this index is unreported; batches flush per group
+  // for a LIVE watcher, while the capture-only wrapper is served by the
+  // single interrupt-time flush (the watermark makes it deliver
+  // everything confirmed) — an uninterrupted plain query streams and
+  // copies nothing.
   size_t reported = 0;
   auto flush_new = [&] {
     if (matches.size() > reported) {
@@ -499,19 +520,61 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
         }
       }
       ++groups_done;
-      flush_new();
+      if (check.wants_live_progress()) flush_new();
     }
   }
   CommitStats(call, stats);
   if (!check.status().ok()) {
-    // Flush what the interrupted group confirmed before the stop; the
-    // API layer re-assembles the partial response from these events.
+    // Flush everything confirmed and still unreported before the stop;
+    // the API layer re-assembles the partial response from these
+    // events.
     flush_new();
     return check.status();
   }
   std::sort(matches.begin(), matches.end(), MatchDistanceLess);
   return matches;
 }
+
+namespace {
+
+/// Shared progress plumbing of the two Q2 scans: appends each confirmed
+/// group to the sink as GroupProgress events (one per visited source
+/// group, so frames feel live even when few groups qualify), and
+/// flushes whatever is unreported when the scan is interrupted — the
+/// API layer re-assembles partial Seasonal responses from exactly these
+/// events. Per-group emissions happen only for a LIVE watcher; the
+/// capture-only wrapper is served by the interrupt flush alone (the
+/// watermark makes that one flush deliver everything confirmed).
+class GroupStream {
+ public:
+  GroupStream(const ExecChecker& check, size_t total_groups)
+      : check_(check), total_groups_(total_groups) {}
+
+  void GroupVisited(const std::vector<std::vector<SubsequenceRef>>& result) {
+    ++visited_;
+    if (check_.wants_live_progress()) Flush(result);
+  }
+
+  void Flush(const std::vector<std::vector<SubsequenceRef>>& result) {
+    if (!check_.wants_progress() || result.size() <= reported_) return;
+    check_.Report(std::span<const std::vector<SubsequenceRef>>(
+                      result.data() + reported_, result.size() - reported_),
+                  total_groups_ == 0
+                      ? 1.0
+                      : static_cast<double>(visited_) /
+                            static_cast<double>(total_groups_),
+                  /*snapshot=*/false);
+    reported_ = result.size();
+  }
+
+ private:
+  const ExecChecker& check_;
+  size_t total_groups_;
+  size_t visited_ = 0;
+  size_t reported_ = 0;
+};
+
+}  // namespace
 
 Result<std::vector<std::vector<SubsequenceRef>>>
 QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length,
@@ -526,14 +589,19 @@ QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length,
   }
   ExecChecker check(ctx);
   std::vector<std::vector<SubsequenceRef>> result;
+  GroupStream stream(check, entry->NumGroups());
   for (const LsiEntry& group : entry->groups) {
-    if (check.ShouldStop()) return check.status();
+    if (check.ShouldStop()) {
+      stream.Flush(result);
+      return check.status();
+    }
     std::vector<SubsequenceRef> own;
     for (const LsiMember& member : group.members) {
       if (member.ref.series == series_id) own.push_back(member.ref);
     }
     // Recurring similarity = the series visits this group more than once.
     if (own.size() >= 2) result.push_back(std::move(own));
+    stream.GroupVisited(result);
   }
   return result;
 }
@@ -548,13 +616,21 @@ QueryProcessor::SimilarGroupsOfLength(size_t length,
   }
   ExecChecker check(ctx);
   std::vector<std::vector<SubsequenceRef>> result;
+  GroupStream stream(check, entry->NumGroups());
   for (const LsiEntry& group : entry->groups) {
-    if (check.ShouldStop()) return check.status();
-    if (group.members.size() < 2) continue;
-    std::vector<SubsequenceRef> refs;
-    refs.reserve(group.members.size());
-    for (const LsiMember& member : group.members) refs.push_back(member.ref);
-    result.push_back(std::move(refs));
+    if (check.ShouldStop()) {
+      stream.Flush(result);
+      return check.status();
+    }
+    if (group.members.size() >= 2) {
+      std::vector<SubsequenceRef> refs;
+      refs.reserve(group.members.size());
+      for (const LsiMember& member : group.members) {
+        refs.push_back(member.ref);
+      }
+      result.push_back(std::move(refs));
+    }
+    stream.GroupVisited(result);
   }
   return result;
 }

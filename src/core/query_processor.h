@@ -130,13 +130,17 @@ class QueryProcessor {
 
   /// Q2, user-driven: groups of `length` restricted to subsequences of
   /// series `series_id`; only groups contributing >= 2 such subsequences
-  /// (i.e., recurring similarity) are returned. Interruption stops the
-  /// group scan (no partial groups are returned).
+  /// (i.e., recurring similarity) are returned. Confirmed groups are
+  /// streamed to the context's progress sink as GroupProgress append
+  /// events; interruption flushes the groups confirmed so far (the API
+  /// layer turns them into a partial Seasonal response) and returns
+  /// kCancelled / kDeadlineExceeded.
   Result<std::vector<std::vector<SubsequenceRef>>> SeasonalSimilarity(
       uint32_t series_id, size_t length,
       const ExecContext* ctx = nullptr) const;
 
-  /// Q2, data-driven: all groups of `length` with >= 2 members.
+  /// Q2, data-driven: all groups of `length` with >= 2 members. Same
+  /// streaming / interruption contract as SeasonalSimilarity.
   Result<std::vector<std::vector<SubsequenceRef>>> SimilarGroupsOfLength(
       size_t length, const ExecContext* ctx = nullptr) const;
 

@@ -1,0 +1,27 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The Q3 recommendation row, split out of recommender.h so the
+// execution-context progress machinery (exec_context.h streams batches
+// of these) does not have to pull in the whole recommender — which
+// itself includes exec_context.h.
+
+#ifndef ONEX_CORE_RECOMMENDATION_H_
+#define ONEX_CORE_RECOMMENDATION_H_
+
+#include <string>
+
+#include "core/sp_space.h"
+
+namespace onex {
+
+/// One recommendation row: a degree and its ST interval.
+struct Recommendation {
+  SimilarityDegree degree = SimilarityDegree::kStrict;
+  double st_low = 0.0;
+  double st_high = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_RECOMMENDATION_H_

@@ -1,5 +1,6 @@
 #include "core/recommender.h"
 
+#include <iterator>
 #include <sstream>
 
 #include "util/table.h"
@@ -37,12 +38,19 @@ Recommendation Recommender::Recommend(SimilarityDegree degree,
 
 std::vector<Recommendation> Recommender::AllDegrees(
     size_t length, const ExecContext* ctx) const {
+  ExecChecker check(ctx);
   std::vector<Recommendation> rows;
-  for (const SimilarityDegree degree :
-       {SimilarityDegree::kStrict, SimilarityDegree::kMedium,
-        SimilarityDegree::kLoose}) {
+  constexpr SimilarityDegree kDegrees[] = {SimilarityDegree::kStrict,
+                                           SimilarityDegree::kMedium,
+                                           SimilarityDegree::kLoose};
+  for (const SimilarityDegree degree : kDegrees) {
+    // Immediate (non-amortized) check: only three iterations, and a
+    // fired context must never cost a whole extra degree.
     if (ctx != nullptr && !ctx->Check().ok()) break;
     rows.push_back(Recommend(degree, length));
+    check.Report(std::span<const Recommendation>(&rows.back(), 1),
+                 static_cast<double>(rows.size()) / std::size(kDegrees),
+                 /*snapshot=*/false);
   }
   return rows;
 }

@@ -12,18 +12,10 @@
 
 #include "core/exec_context.h"
 #include "core/onex_base.h"
+#include "core/recommendation.h"
 #include "core/sp_space.h"
 
 namespace onex {
-
-/// One recommendation row: a degree and its ST interval.
-struct Recommendation {
-  SimilarityDegree degree = SimilarityDegree::kStrict;
-  double st_low = 0.0;
-  double st_high = 0.0;
-
-  std::string ToString() const;
-};
 
 /// Thin facade over the base's SP-Space implementing query class Q3.
 class Recommender {
@@ -38,9 +30,12 @@ class Recommender {
   Recommendation Recommend(SimilarityDegree degree, size_t length = 0) const;
 
   /// Q3 with simDegree = NULL: the full picture, one row per degree.
-  /// An interrupted context (cancel/deadline) stops between rows, so
-  /// the result may hold fewer than three — the caller (Engine) checks
-  /// ctx and flags the response partial.
+  /// Each confirmed row is streamed to the context's progress sink (a
+  /// RecommendProgress append event), so a front end can render degrees
+  /// as they resolve. An interrupted context (cancel/deadline) stops
+  /// between rows, so the result may hold fewer than three — the caller
+  /// (Engine) checks ctx and flags the response partial, re-assembled
+  /// from the streamed rows.
   std::vector<Recommendation> AllDegrees(size_t length = 0,
                                          const ExecContext* ctx =
                                              nullptr) const;

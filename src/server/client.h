@@ -40,6 +40,9 @@ class SocketLineReader;
 class Client {
  public:
   /// Called with each PART frame of one query, on the demux thread.
+  /// Frames are typed per payload shape (v4): use
+  /// WireResponse::part_shape() to tell match / GROUP / REC frames
+  /// apart; payload rows are byte-identical to final-block rows.
   using ProgressCallback = std::function<void(const WireResponse&)>;
 
   struct SubmitOptions {

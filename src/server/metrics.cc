@@ -95,6 +95,11 @@ void ServerMetrics::RecordPartialResult() {
   ++partial_results_;
 }
 
+void ServerMetrics::RecordDeadlineMiss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++deadline_miss_;
+}
+
 uint64_t ServerMetrics::requests() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
@@ -122,6 +127,11 @@ uint64_t ServerMetrics::partial_results() const {
   return partial_results_;
 }
 
+uint64_t ServerMetrics::deadline_miss() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_miss_;
+}
+
 std::string ServerMetrics::Render() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;
@@ -132,7 +142,8 @@ std::string ServerMetrics::Render() const {
                 "server connections=%llu requests=%llu overloaded=%llu "
                 "bad_requests=%llu appends=%llu append_errors=%llu "
                 "flushes=%llu flush_errors=%llu cancelled=%llu "
-                "deadline_exceeded=%llu partial_results=%llu\n",
+                "deadline_exceeded=%llu partial_results=%llu "
+                "deadline_miss=%llu\n",
                 static_cast<unsigned long long>(connections_),
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(overloaded_),
@@ -143,7 +154,8 @@ std::string ServerMetrics::Render() const {
                 static_cast<unsigned long long>(flush_errors_),
                 static_cast<unsigned long long>(cancelled_),
                 static_cast<unsigned long long>(deadline_exceeded_),
-                static_cast<unsigned long long>(partial_results_));
+                static_cast<unsigned long long>(partial_results_),
+                static_cast<unsigned long long>(deadline_miss_));
   std::string out = line;
 
   for (size_t i = 0; i < kNumKinds; ++i) {

@@ -76,11 +76,17 @@ class ServerMetrics {
   void RecordDeadlineExceeded();
   /// A reply that carried partial (interrupted) results.
   void RecordPartialResult();
+  /// A deadline-carrying job that COMPLETED past its deadline — queue
+  /// sheds and late finishers alike. The observable the EDF worker
+  /// dispatch exists to push down (deadline_exceeded counts aborts;
+  /// this counts lateness).
+  void RecordDeadlineMiss();
 
   /// Renders the STATS reply payload lines (no OK header, no "."):
   ///   server connections=3 requests=120 overloaded=2 bad_requests=1
   ///          appends=4 append_errors=0 flushes=1 flush_errors=0
   ///          cancelled=2 deadline_exceeded=1 partial_results=3
+  ///          deadline_miss=1
   ///   kind name=BestMatch requests=40 errors=0 p50_us=210 p95_us=800
   ///        p99_us=1500 mean_us=260
   /// Kinds with zero requests are omitted.
@@ -91,6 +97,7 @@ class ServerMetrics {
   uint64_t cancelled() const;
   uint64_t deadline_exceeded() const;
   uint64_t partial_results() const;
+  uint64_t deadline_miss() const;
 
  private:
   struct KindMetrics {
@@ -117,6 +124,7 @@ class ServerMetrics {
   uint64_t cancelled_ = 0;
   uint64_t deadline_exceeded_ = 0;
   uint64_t partial_results_ = 0;
+  uint64_t deadline_miss_ = 0;
 };
 
 }  // namespace server

@@ -402,6 +402,10 @@ std::string RenderCancelLine(uint64_t id) {
 
 namespace {
 
+// Payload-line renderers, shared verbatim by final OK blocks and PART
+// frames: a client renders partial and final rows with one code path
+// because the bytes are the same.
+
 std::string MatchLine(const QueryMatch& m) {
   return "match series=" + std::to_string(m.ref.series) +
          " start=" + std::to_string(m.ref.start) +
@@ -411,28 +415,63 @@ std::string MatchLine(const QueryMatch& m) {
          " bound=" + (m.distance_is_upper_bound ? "1" : "0") + "\n";
 }
 
+std::string GroupLine(const std::vector<SubsequenceRef>& group) {
+  std::string out = "group size=" + std::to_string(group.size()) + " refs=";
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(group[i].series) + ":" +
+           std::to_string(group[i].start) + ":" +
+           std::to_string(group[i].length);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string RecommendLine(const Recommendation& rec) {
+  return std::string("recommend degree=") + DegreeToken(rec.degree) +
+         " low=" + Dbl(rec.st_low) + " high=" + Dbl(rec.st_high) + "\n";
+}
+
+std::string RefineLine(const RefineSummary& r) {
+  return "refine length=" + std::to_string(r.length) +
+         " before=" + std::to_string(r.groups_before) +
+         " after=" + std::to_string(r.groups_after) + "\n";
+}
+
+/// The shared `id= seq= frac= snapshot= <count_key>=<n>` tail of every
+/// PART header line.
+std::string PartHeaderTail(uint64_t id, uint64_t seq, double work_fraction,
+                           bool snapshot, const char* count_key,
+                           size_t count) {
+  char frac[16];
+  std::snprintf(frac, sizeof(frac), "%.3f", work_fraction);
+  return " id=" + std::to_string(id) + " seq=" + std::to_string(seq) +
+         " frac=" + frac + " snapshot=" + (snapshot ? "1" : "0") + " " +
+         count_key + "=" + std::to_string(count) + "\n";
+}
+
 }  // namespace
 
 std::string RenderResponse(const QueryResponse& response, uint64_t id) {
   std::string out = "OK ";
   out += ToString(response.kind);
   if (id != 0) out += " id=" + std::to_string(id);
-  switch (response.kind) {
-    case QueryKind::kBestMatch:
-    case QueryKind::kKSimilar:
-    case QueryKind::kRangeWithin:
-      out += " matches=" + std::to_string(response.matches.size());
-      break;
-    case QueryKind::kSeasonal:
-      out += " groups=" + std::to_string(response.groups.size());
-      break;
-    case QueryKind::kRecommend:
-      out += " rows=" + std::to_string(response.recommendations.size());
-      break;
-    case QueryKind::kRefineThreshold:
-      out += " rows=" + std::to_string(response.refinements.size());
-      break;
-  }
+  // Header count + payload lines follow the typed payload; the visitor
+  // is exhaustive by construction, so a new payload shape cannot ship
+  // without a wire rendering.
+  response.Visit(
+      [&](const MatchResult& r) {
+        out += " matches=" + std::to_string(r.matches.size());
+      },
+      [&](const SeasonalResult& r) {
+        out += " groups=" + std::to_string(r.groups.size());
+      },
+      [&](const RecommendResult& r) {
+        out += " rows=" + std::to_string(r.rows.size());
+      },
+      [&](const RefineResult& r) {
+        out += " rows=" + std::to_string(r.refinements.size());
+      });
   out += " latency_us=" +
          std::to_string(
              static_cast<long long>(std::llround(response.latency_seconds *
@@ -452,26 +491,21 @@ std::string RenderResponse(const QueryResponse& response, uint64_t id) {
                 s.members_compared, s.members_admitted_by_lemma2);
   out += stats_line;
 
-  for (const QueryMatch& m : response.matches) out += MatchLine(m);
-  for (const auto& group : response.groups) {
-    out += "group size=" + std::to_string(group.size()) + " refs=";
-    for (size_t i = 0; i < group.size(); ++i) {
-      if (i) out += ',';
-      out += std::to_string(group[i].series) + ":" +
-             std::to_string(group[i].start) + ":" +
-             std::to_string(group[i].length);
-    }
-    out += "\n";
-  }
-  for (const Recommendation& rec : response.recommendations) {
-    out += std::string("recommend degree=") + DegreeToken(rec.degree) +
-           " low=" + Dbl(rec.st_low) + " high=" + Dbl(rec.st_high) + "\n";
-  }
-  for (const RefineSummary& r : response.refinements) {
-    out += "refine length=" + std::to_string(r.length) +
-           " before=" + std::to_string(r.groups_before) +
-           " after=" + std::to_string(r.groups_after) + "\n";
-  }
+  response.Visit(
+      [&](const MatchResult& r) {
+        for (const QueryMatch& m : r.matches) out += MatchLine(m);
+      },
+      [&](const SeasonalResult& r) {
+        for (const auto& group : r.groups) out += GroupLine(group);
+      },
+      [&](const RecommendResult& r) {
+        for (const Recommendation& rec : r.rows) out += RecommendLine(rec);
+      },
+      [&](const RefineResult& r) {
+        for (const RefineSummary& summary : r.refinements) {
+          out += RefineLine(summary);
+        }
+      });
   out += ".\n";
   return out;
 }
@@ -479,16 +513,55 @@ std::string RenderResponse(const QueryResponse& response, uint64_t id) {
 std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
                             double work_fraction, bool snapshot,
                             std::span<const QueryMatch> matches) {
-  char frac[16];
-  std::snprintf(frac, sizeof(frac), "%.3f", work_fraction);
   std::string out = std::string("PART ") + ToString(kind) +
-                    " id=" + std::to_string(id) +
-                    " seq=" + std::to_string(seq) + " frac=" + frac +
-                    " snapshot=" + (snapshot ? "1" : "0") +
-                    " matches=" + std::to_string(matches.size()) + "\n";
+                    PartHeaderTail(id, seq, work_fraction, snapshot,
+                                   "matches", matches.size());
   for (const QueryMatch& m : matches) out += MatchLine(m);
   out += ".\n";
   return out;
+}
+
+std::string RenderPartBlock(uint64_t id, uint64_t seq, double work_fraction,
+                            bool snapshot,
+                            std::span<const std::vector<SubsequenceRef>>
+                                groups) {
+  std::string out = std::string("PART ") + kPartGroupToken +
+                    PartHeaderTail(id, seq, work_fraction, snapshot,
+                                   "groups", groups.size());
+  for (const auto& group : groups) out += GroupLine(group);
+  out += ".\n";
+  return out;
+}
+
+std::string RenderPartBlock(uint64_t id, uint64_t seq, double work_fraction,
+                            bool snapshot,
+                            std::span<const Recommendation> rows) {
+  std::string out = std::string("PART ") + kPartRecToken +
+                    PartHeaderTail(id, seq, work_fraction, snapshot, "rows",
+                                   rows.size());
+  for (const Recommendation& rec : rows) out += RecommendLine(rec);
+  out += ".\n";
+  return out;
+}
+
+std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
+                            const ProgressEvent& event) {
+  return std::visit(
+      Overloaded{
+          [&](const MatchProgress& p) {
+            return RenderPartBlock(kind, id, seq, event.work_fraction,
+                                   event.snapshot, p.matches);
+          },
+          [&](const GroupProgress& p) {
+            return RenderPartBlock(id, seq, event.work_fraction,
+                                   event.snapshot, p.groups);
+          },
+          [&](const RecommendProgress& p) {
+            return RenderPartBlock(id, seq, event.work_fraction,
+                                   event.snapshot, p.rows);
+          },
+      },
+      event.payload);
 }
 
 const char* WireCode(Status::Code code) {
@@ -540,6 +613,7 @@ std::string RenderHelp() {
       "help id=<n> deadline_ms=<n> progress=1 query attribute prefix (v3):\n"
       "help    tag/multiplex, bound, and stream partial results, e.g.\n"
       "help    id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9\n"
+      "help    (v4: q2 streams PART GROUP, q3 streams PART REC frames)\n"
       ".\n";
 }
 
@@ -564,6 +638,12 @@ uint64_t WireResponse::id() const {
 bool WireResponse::partial() const {
   const auto it = header.find("partial");
   return it != header.end() && it->second == "1";
+}
+
+PayloadShape WireResponse::part_shape() const {
+  if (kind == kPartGroupToken) return PayloadShape::kGroup;
+  if (kind == kPartRecToken) return PayloadShape::kRecommend;
+  return PayloadShape::kMatch;
 }
 
 Result<WireResponse> ParseResponseBlock(

@@ -48,17 +48,36 @@
 //   deadline_ms=<n> server aborts the query once the budget elapses and
 //                   returns what it confirmed, header-flagged
 //                   `partial=1 interrupt=DEADLINE_EXCEEDED`
-//   progress=1      (needs id=) stream confirmed matches early as PART
-//                   blocks while the query still runs:
-//                     PART <Kind> id=<n> seq=<k> frac=<f> snapshot=<0|1>
-//                     match ...
-//                     .
+//   progress=1      (needs id=) stream confirmed partial results early
+//                   as PART blocks while the query still runs. PART
+//                   frames are TYPED per payload shape (protocol v4):
+//                     match-shaped (q1/q1k/q1r, v3-identical bytes):
+//                       PART <Kind> id=<n> seq=<k> frac=<f>
+//                            snapshot=<0|1> matches=<m>
+//                       match ...
+//                       .
+//                     group-shaped (q2) — the PART GROUP variant:
+//                       PART GROUP id=<n> seq=<k> frac=<f>
+//                            snapshot=<0|1> groups=<g>
+//                       group size=... refs=...
+//                       .
+//                     recommendation-shaped (q3) — the PART REC variant:
+//                       PART REC id=<n> seq=<k> frac=<f> snapshot=<0|1>
+//                            rows=<r>
+//                       recommend degree=... low=... high=...
+//                       .
 //                   snapshot=1 means the frame REPLACES earlier frames
 //                   (best-so-far queries); 0 means it extends them.
+//                   Payload lines are byte-identical to the same rows
+//                   in a final OK block, so a client renders partial
+//                   and final results with one code path.
 // Example:  id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9
 // A v2 client is unaffected: lines without attributes parse and answer
 // exactly as before, and PART frames are only sent to requests that
-// asked for them.
+// asked for them. A v3 client is unaffected too: every v3 line parses
+// and answers byte-identically (match-shaped PART frames keep the v3
+// `PART <Kind>` spelling); the GROUP/REC variants only appear on
+// progress=1 q2/q3 requests, which v3 accepted but never streamed.
 //
 // Error replies are a single header line "ERR <CODE> [id=<n>] <message>"
 // plus the terminator; codes are WireCode(Status::Code) tokens or the
@@ -80,15 +99,24 @@
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/3 ready") and
+/// Wire-format version, announced in the greeting ("ONEX/4 ready") and
 /// bumped on any grammar change (2: APPEND/FLUSH mutation verbs; 3:
-/// request ids / CANCEL / DEADLINE_MS / PART progressive frames). The
-/// v3 grammar is a strict superset of v2 — negotiation is one-sided:
-/// the server announces its version, and a client that only speaks an
-/// older one simply never sends the newer attributes.
-inline constexpr int kWireVersion = 3;
+/// request ids / CANCEL / DEADLINE_MS / PART progressive frames; 4:
+/// typed PART variants — group-shaped q2 and recommendation-shaped q3
+/// progress stream as PART GROUP / PART REC frames). The v4 grammar is
+/// a strict superset of v3 (itself a superset of v2) — negotiation is
+/// one-sided: the server announces its version, and a client that only
+/// speaks an older one simply never sends the newer attributes (and
+/// never asked q2/q3 for progress it can't parse).
+inline constexpr int kWireVersion = 4;
 /// Oldest grammar still accepted verbatim.
 inline constexpr int kMinWireVersion = 2;
+
+/// PART-frame shape tokens of the v4 variants. The match-shaped variant
+/// keeps the v3 spelling — `PART <QueryKind>` — for byte compatibility;
+/// GROUP and REC frames carry these tokens in the kind position.
+inline constexpr const char* kPartGroupToken = "GROUP";
+inline constexpr const char* kPartRecToken = "REC";
 
 /// Protocol-level error codes with no Status::Code equivalent.
 inline constexpr const char* kOverloadedCode = "OVERLOADED";
@@ -174,13 +202,33 @@ std::string RenderCancelLine(uint64_t id);
 /// (interrupted) responses add `partial=1 interrupt=<CODE>`.
 std::string RenderResponse(const QueryResponse& response, uint64_t id = 0);
 
-/// Renders one v3 progressive frame:
+/// Renders one match-shaped progressive frame (byte-identical to v3):
 ///   PART <Kind> id=<n> seq=<k> frac=<f> snapshot=<0|1> matches=<m>
 ///   match ...
 ///   .
 std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
                             double work_fraction, bool snapshot,
                             std::span<const QueryMatch> matches);
+
+/// Renders one group-shaped (v4 `PART GROUP`) progressive frame; the
+/// payload lines are the `group ...` lines of a final Seasonal block.
+std::string RenderPartBlock(uint64_t id, uint64_t seq, double work_fraction,
+                            bool snapshot,
+                            std::span<const std::vector<SubsequenceRef>>
+                                groups);
+
+/// Renders one recommendation-shaped (v4 `PART REC`) progressive frame;
+/// the payload lines are the `recommend ...` lines of a final block.
+std::string RenderPartBlock(uint64_t id, uint64_t seq, double work_fraction,
+                            bool snapshot,
+                            std::span<const Recommendation> rows);
+
+/// Renders one typed progress event as the PART variant matching its
+/// payload shape — what the server's streamer and the CLI both call, so
+/// the two surfaces cannot diverge. `kind` is only used by the
+/// match-shaped variant (its header carries the query kind).
+std::string RenderPartBlock(QueryKind kind, uint64_t id, uint64_t seq,
+                            const ProgressEvent& event);
 
 /// Renders an error reply block from a Status ("ERR <CODE> <msg>\n.\n");
 /// `id` != 0 inserts the `id=<n>` token between code and message.
@@ -223,6 +271,10 @@ struct WireResponse {
   uint64_t id() const;
   /// True when the reply is an interrupted (partial) result.
   bool partial() const;
+  /// Shape of a PART frame's payload: kGroup for `PART GROUP`,
+  /// kRecommend for `PART REC`, kMatch for the v3-style `PART <Kind>`
+  /// frames. Only meaningful when `part` is true.
+  PayloadShape part_shape() const;
 };
 
 /// Reassembles a reply block from its lines (terminator line optional).

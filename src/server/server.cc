@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <thread>
 #include <utility>
@@ -27,6 +28,13 @@ namespace {
 /// sparse enough that a hit-dense range query doesn't drown the socket.
 constexpr auto kPartMinInterval = std::chrono::milliseconds(20);
 constexpr size_t kPartMaxBatch = 64;
+
+/// Implicit EDF rank of a deadline-less job: admission + this budget.
+/// Tuned to sub-second interactive expectations — a fresh untagged
+/// query still yields to queries whose explicit deadline is nearer, but
+/// once it has aged past the budget it outranks every new arrival, so
+/// FIFO's progress guarantee is preserved.
+constexpr auto kDeadlineLessRankBudget = std::chrono::milliseconds(500);
 
 }  // namespace
 
@@ -54,9 +62,11 @@ struct Server::Session {
 
 namespace {
 
-/// Batches a tagged query's progress events into PART frames. Called
-/// from the worker thread running the query; throttles to
-/// kPartMinInterval so the frame stream stays light.
+/// Batches a tagged query's typed progress events into the PART frame
+/// variant matching their shape (match / GROUP / REC). Called from the
+/// worker thread running the query; throttles to kPartMinInterval so
+/// the frame stream stays light. One query emits events of exactly one
+/// shape, so only one pending buffer is ever populated.
 class PartStreamer {
  public:
   PartStreamer(std::shared_ptr<Server::Session> session, QueryKind kind,
@@ -64,34 +74,68 @@ class PartStreamer {
       : session_(std::move(session)), kind_(kind), id_(id) {}
 
   void OnEvent(const ProgressEvent& event) {
-    if (event.snapshot) {
-      pending_.assign(event.matches.begin(), event.matches.end());
-      snapshot_ = true;
-    } else {
-      pending_.insert(pending_.end(), event.matches.begin(),
-                      event.matches.end());
-    }
+    std::visit(Overloaded{
+                   [&](const MatchProgress& p) {
+                     Buffer(&matches_, p.matches, event.snapshot);
+                   },
+                   [&](const GroupProgress& p) {
+                     Buffer(&groups_, p.groups, event.snapshot);
+                   },
+                   [&](const RecommendProgress& p) {
+                     Buffer(&rows_, p.rows, event.snapshot);
+                   },
+               },
+               event.payload);
     fraction_ = event.work_fraction;
+    const size_t pending = matches_.size() + groups_.size() + rows_.size();
     const auto now = std::chrono::steady_clock::now();
-    if (pending_.empty() && !snapshot_) return;
+    if (pending == 0 && !snapshot_) return;
     if (seq_ != 0 && now - last_emit_ < kPartMinInterval &&
-        pending_.size() < kPartMaxBatch) {
+        pending < kPartMaxBatch) {
       return;
     }
-    session_->Send(RenderPartBlock(
-        kind_, id_, seq_++, fraction_, snapshot_,
-        std::span<const QueryMatch>(pending_.data(), pending_.size())));
+    session_->Send(Render());
     last_emit_ = now;
-    pending_.clear();
+    matches_.clear();
+    groups_.clear();
+    rows_.clear();
     snapshot_ = false;
   }
 
  private:
+  template <typename T>
+  void Buffer(std::vector<T>* into, std::span<const T> batch,
+              bool snapshot) {
+    AccumulateProgress(into, batch, snapshot);
+    if (snapshot) snapshot_ = true;
+  }
+
+  std::string Render() {
+    if (!groups_.empty()) {
+      return RenderPartBlock(
+          id_, seq_++, fraction_, snapshot_,
+          std::span<const std::vector<SubsequenceRef>>(groups_.data(),
+                                                       groups_.size()));
+    }
+    if (!rows_.empty()) {
+      return RenderPartBlock(
+          id_, seq_++, fraction_, snapshot_,
+          std::span<const Recommendation>(rows_.data(), rows_.size()));
+    }
+    // Match-shaped, including the empty-snapshot case (a best-so-far
+    // reset): byte-identical to the v3 frames.
+    return RenderPartBlock(
+        kind_, id_, seq_++, fraction_, snapshot_,
+        std::span<const QueryMatch>(matches_.data(), matches_.size()));
+  }
+
   std::shared_ptr<Server::Session> session_;
   QueryKind kind_;
   uint64_t id_;
   // Touched only by the one worker running the query — no lock needed.
-  std::vector<QueryMatch> pending_;
+  std::vector<QueryMatch> matches_;
+  std::vector<std::vector<SubsequenceRef>> groups_;
+  std::vector<Recommendation> rows_;
   bool snapshot_ = false;
   double fraction_ = 0.0;
   uint64_t seq_ = 0;
@@ -204,6 +248,10 @@ bool Server::Submit(Job job) {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!draining_) {
       job.seq = ++job_seq_;
+      job.rank = job.deadline.has_value()
+                     ? *job.deadline
+                     : std::chrono::steady_clock::now() +
+                           kDeadlineLessRankBudget;
       if (queue_.size() >= options_.max_queue) {
         const auto now = std::chrono::steady_clock::now();
         // Shed 1: queued queries that can no longer meet their deadline
@@ -247,6 +295,8 @@ bool Server::Submit(Job job) {
   }
   if (accepted) queue_cv_.notify_one();
   for (Job& shed : expired) {
+    // A queue-swept shed is by definition a deadline miss.
+    metrics_.RecordDeadlineMiss();
     shed.done(Status::DeadlineExceeded(
         "shed from the queue: deadline passed while waiting for a worker"));
   }
@@ -261,8 +311,25 @@ void Server::WorkerLoop(size_t index) {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
       if (queue_.empty()) return;  // draining_ and nothing left.
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Earliest-deadline-first dispatch: the queued job with the
+      // nearest rank runs next — the explicit deadline when one was
+      // given, else admission + kDeadlineLessRankBudget (an aging
+      // implicit urgency; see Job::rank for why this cannot starve a
+      // deadline-less job the way ranking it "infinitely late" would).
+      // Ties break by admission seq, so equal-rank jobs stay FIFO.
+      // Under load this cuts deadline misses without any new protocol
+      // surface — the `deadline_miss` STATS counter makes the effect
+      // observable. The scan is O(queue depth), which the max_queue
+      // bound keeps small.
+      auto best = queue_.begin();
+      for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+        if (it->rank < best->rank ||
+            (it->rank == best->rank && it->seq < best->seq)) {
+          best = it;
+        }
+      }
+      job = std::move(*best);
+      queue_.erase(best);
       RunningJob& slot = running_[index];
       slot.active = true;
       slot.deadline = job.deadline;
@@ -270,12 +337,18 @@ void Server::WorkerLoop(size_t index) {
       slot.seq = job.seq;
     }
     if (options_.on_job_start) options_.on_job_start();
-    Result<QueryResponse> result =
-        job.ctx != nullptr ? job.engine->Execute(job.request, *job.ctx)
-                           : job.engine->Execute(job.request);
+    Result<QueryResponse> result = job.engine->Execute(
+        job.request, job.ctx != nullptr ? *job.ctx : ExecContext{});
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       running_[index].active = false;
+    }
+    // A completion past the job's own deadline is a miss whether or not
+    // the context interrupted it (a query can squeak past its last
+    // check and finish whole, yet still be late).
+    if (job.deadline.has_value() &&
+        std::chrono::steady_clock::now() > *job.deadline) {
+      metrics_.RecordDeadlineMiss();
     }
     job.done(std::move(result));
   }

@@ -76,10 +76,10 @@ RangeWithinRequest BroadRange() {
 TEST(ExecContextTest, ExpiredDeadlineReturnsPartialRangeResults) {
   const Engine engine = BuildMarketEngine();
 
-  auto full = engine.Execute(BroadRange());
+  auto full = engine.Execute(BroadRange(), ExecContext{});
   ASSERT_TRUE(full.ok());
   ASSERT_FALSE(full.value().partial);
-  ASSERT_GT(full.value().matches.size(), 0u);
+  ASSERT_GT(full.value().matches().size(), 0u);
 
   ExecContext ctx;
   ctx.deadline = std::chrono::steady_clock::now();  // Already passed.
@@ -90,7 +90,7 @@ TEST(ExecContextTest, ExpiredDeadlineReturnsPartialRangeResults) {
   EXPECT_EQ(partial.value().interrupt, Status::Code::kDeadlineExceeded);
   // The scan stopped almost immediately, so the partial set is a strict
   // subset of the full answer.
-  EXPECT_LT(partial.value().matches.size(), full.value().matches.size());
+  EXPECT_LT(partial.value().matches().size(), full.value().matches().size());
 }
 
 TEST(ExecContextTest, PreCancelledTokenReturnsPartialImmediately) {
@@ -104,17 +104,20 @@ TEST(ExecContextTest, PreCancelledTokenReturnsPartialImmediately) {
   EXPECT_EQ(response.value().interrupt, Status::Code::kCancelled);
 }
 
-TEST(ExecContextTest, UnarmedContextMatchesContextFreeAnswer) {
+TEST(ExecContextTest, ArmedContextMatchesInertContextAnswer) {
+  // An armed-but-never-firing context (deadline far away, live token)
+  // must return the same answer as the inert default context.
   const Engine engine = BuildMarketEngine(12, 48);
-  auto plain = engine.Execute(BroadRange());
-  auto with_ctx = engine.Execute(BroadRange(), ExecContext{});
+  auto plain = engine.Execute(BroadRange(), ExecContext{});
+  auto armed = engine.Execute(
+      BroadRange(), ExecContext::WithDeadlineAfter(std::chrono::hours(1)));
   ASSERT_TRUE(plain.ok());
-  ASSERT_TRUE(with_ctx.ok());
-  EXPECT_FALSE(with_ctx.value().partial);
-  ASSERT_EQ(with_ctx.value().matches.size(), plain.value().matches.size());
-  for (size_t i = 0; i < plain.value().matches.size(); ++i) {
-    EXPECT_EQ(with_ctx.value().matches[i].distance,
-              plain.value().matches[i].distance);
+  ASSERT_TRUE(armed.ok());
+  EXPECT_FALSE(armed.value().partial);
+  ASSERT_EQ(armed.value().matches().size(), plain.value().matches().size());
+  for (size_t i = 0; i < plain.value().matches().size(); ++i) {
+    EXPECT_EQ(armed.value().matches()[i].distance,
+              plain.value().matches()[i].distance);
   }
 }
 
@@ -126,7 +129,7 @@ TEST(ExecContextTest, ProgressSinkStreamsBatchesThatCoverTheFullAnswer) {
   double last_fraction = 0.0;
   ctx.progress = [&](const ProgressEvent& event) {
     ++events;
-    streamed += event.matches.size();
+    streamed += event.matches().size();
     EXPECT_FALSE(event.snapshot);  // Range queries append.
     EXPECT_GE(event.work_fraction, last_fraction);
     last_fraction = event.work_fraction;
@@ -136,7 +139,7 @@ TEST(ExecContextTest, ProgressSinkStreamsBatchesThatCoverTheFullAnswer) {
   EXPECT_FALSE(response.value().partial);
   EXPECT_GT(events, 0u);
   // Every confirmed match was streamed exactly once.
-  EXPECT_EQ(streamed, response.value().matches.size());
+  EXPECT_EQ(streamed, response.value().matches().size());
 }
 
 TEST(ExecContextTest, BestMatchProgressSendsSnapshots) {
@@ -145,7 +148,7 @@ TEST(ExecContextTest, BestMatchProgressSendsSnapshots) {
   size_t snapshots = 0;
   ctx.progress = [&](const ProgressEvent& event) {
     EXPECT_TRUE(event.snapshot);
-    EXPECT_EQ(event.matches.size(), 1u);
+    EXPECT_EQ(event.matches().size(), 1u);
     ++snapshots;
   };
   auto response =
@@ -156,9 +159,9 @@ TEST(ExecContextTest, BestMatchProgressSendsSnapshots) {
 
 TEST(ExecContextTest, RefineThresholdKeepsPerLengthPartials) {
   const Engine engine = BuildMarketEngine(12, 48);
-  auto full = engine.Execute(RefineThresholdRequest{0.1, /*length=*/0});
+  auto full = engine.Execute(RefineThresholdRequest{0.1, /*length=*/0}, ExecContext{});
   ASSERT_TRUE(full.ok());
-  const size_t all_lengths = full.value().refinements.size();
+  const size_t all_lengths = full.value().refinements().size();
   ASSERT_GT(all_lengths, 1u);
 
   ExecContext ctx;
@@ -167,7 +170,7 @@ TEST(ExecContextTest, RefineThresholdKeepsPerLengthPartials) {
   auto partial = engine.Execute(RefineThresholdRequest{0.1, 0}, ctx);
   ASSERT_TRUE(partial.ok());
   EXPECT_TRUE(partial.value().partial);
-  EXPECT_LT(partial.value().refinements.size(), all_lengths);
+  EXPECT_LT(partial.value().refinements().size(), all_lengths);
 }
 
 /// The TSan target: queries being cancelled while appends mutate the
@@ -541,11 +544,11 @@ TEST_F(CancellationServerTest, V2StyleSessionWorksAgainstV3Server) {
   EXPECT_EQ(wire.value().id(), 0u);  // Untagged reply, no v3 tokens.
   EXPECT_FALSE(wire.value().partial());
 
-  auto direct = twin.Execute(request);
+  auto direct = twin.Execute(request, ExecContext{});
   ASSERT_TRUE(direct.ok());
   const auto fields = server::ParseKeyValues(wire.value().payload[1]);
   EXPECT_EQ(std::stod(fields.at("distance")),
-            direct.value().matches[0].distance);
+            direct.value().matches()[0].distance);
 
   auto ping = client.Roundtrip("ping");
   ASSERT_TRUE(ping.ok());

@@ -300,16 +300,16 @@ TEST_F(CatalogTest, AcquiredEnginesAnswerQueries) {
   ASSERT_TRUE(engine.ok());
   const auto view = engine.value()->dataset()[2].Subsequence(3, 8);
   std::vector<double> query(view.begin(), view.end());
-  auto response = engine.value()->Execute(BestMatchRequest{query, 8});
+  auto response = engine.value()->Execute(BestMatchRequest{query, 8}, ExecContext{});
   ASSERT_TRUE(response.ok());
-  ASSERT_EQ(response.value().matches.size(), 1u);
+  ASSERT_EQ(response.value().matches().size(), 1u);
   // The reloaded base answers like a freshly built one (ONEX search is
   // approximate, so an in-dataset query is close, not necessarily 0).
   Engine twin = BuildSmallEngine(1);
-  auto want = twin.Execute(BestMatchRequest{query, 8});
+  auto want = twin.Execute(BestMatchRequest{query, 8}, ExecContext{});
   ASSERT_TRUE(want.ok());
-  EXPECT_DOUBLE_EQ(response.value().matches[0].distance,
-                   want.value().matches[0].distance);
+  EXPECT_DOUBLE_EQ(response.value().matches()[0].distance,
+                   want.value().matches()[0].distance);
 }
 
 }  // namespace

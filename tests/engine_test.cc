@@ -79,15 +79,15 @@ TEST(EngineTest, BestMatchExactLengthMatchesDirectCall) {
   QueryProcessor direct(&f.base);
   const auto query = QueryFrom(f.base.dataset(), 2, 3, 8);
 
-  auto response = f.engine.Execute(BestMatchRequest{query, 8});
+  auto response = f.engine.Execute(BestMatchRequest{query, 8}, ExecContext{});
   ASSERT_TRUE(response.ok()) << response.status().ToString();
-  ASSERT_EQ(response.value().matches.size(), 1u);
+  ASSERT_EQ(response.value().matches().size(), 1u);
   EXPECT_EQ(response.value().kind, QueryKind::kBestMatch);
 
   QueryStats direct_stats;
   auto want = direct.FindBestMatchOfLength(S(query), 8, &direct_stats);
   ASSERT_TRUE(want.ok());
-  ExpectSameMatch(response.value().matches[0], want.value());
+  ExpectSameMatch(response.value().matches()[0], want.value());
   // The per-call stats travel with the response and match the direct
   // call's work exactly.
   EXPECT_EQ(response.value().stats.reps_compared, direct_stats.reps_compared);
@@ -101,13 +101,13 @@ TEST(EngineTest, BestMatchAnyLengthMatchesDirectCall) {
   QueryProcessor direct(&f.base);
   const auto query = QueryFrom(f.base.dataset(), 5, 2, 12);
 
-  auto response = f.engine.Execute(BestMatchRequest{query, 0});
+  auto response = f.engine.Execute(BestMatchRequest{query, 0}, ExecContext{});
   ASSERT_TRUE(response.ok());
-  ASSERT_EQ(response.value().matches.size(), 1u);
+  ASSERT_EQ(response.value().matches().size(), 1u);
 
   auto want = direct.FindBestMatch(S(query));
   ASSERT_TRUE(want.ok());
-  ExpectSameMatch(response.value().matches[0], want.value());
+  ExpectSameMatch(response.value().matches()[0], want.value());
 }
 
 // --------------------------------------------------- kSimilar parity.
@@ -117,15 +117,15 @@ TEST(EngineTest, KSimilarMatchesDirectCall) {
   QueryProcessor direct(&f.base);
   const auto query = QueryFrom(f.base.dataset(), 1, 0, 8);
 
-  auto response = f.engine.Execute(KSimilarRequest{query, 5, 8});
+  auto response = f.engine.Execute(KSimilarRequest{query, 5, 8}, ExecContext{});
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().kind, QueryKind::kKSimilar);
 
   auto want = direct.FindKSimilar(S(query), 5, 8);
   ASSERT_TRUE(want.ok());
-  ASSERT_EQ(response.value().matches.size(), want.value().size());
+  ASSERT_EQ(response.value().matches().size(), want.value().size());
   for (size_t i = 0; i < want.value().size(); ++i) {
-    ExpectSameMatch(response.value().matches[i], want.value()[i]);
+    ExpectSameMatch(response.value().matches()[i], want.value()[i]);
   }
 }
 
@@ -138,15 +138,15 @@ TEST(EngineTest, RangeWithinMatchesDirectCall) {
 
   for (bool exact : {false, true}) {
     auto response = f.engine.Execute(
-        RangeWithinRequest{query, f.base.options().st, 0, exact});
+        RangeWithinRequest{query, f.base.options().st, 0, exact}, ExecContext{});
     ASSERT_TRUE(response.ok());
     EXPECT_EQ(response.value().kind, QueryKind::kRangeWithin);
 
     auto want = direct.FindAllWithin(S(query), f.base.options().st, 0, exact);
     ASSERT_TRUE(want.ok());
-    ASSERT_EQ(response.value().matches.size(), want.value().size());
+    ASSERT_EQ(response.value().matches().size(), want.value().size());
     for (size_t i = 0; i < want.value().size(); ++i) {
-      ExpectSameMatch(response.value().matches[i], want.value()[i]);
+      ExpectSameMatch(response.value().matches()[i], want.value()[i]);
     }
   }
 }
@@ -157,18 +157,18 @@ TEST(EngineTest, SeasonalBothModesMatchDirectCalls) {
   ParityFixture f;
   QueryProcessor direct(&f.base);
 
-  auto user = f.engine.Execute(SeasonalRequest{uint32_t{0}, 8});
+  auto user = f.engine.Execute(SeasonalRequest{uint32_t{0}, 8}, ExecContext{});
   ASSERT_TRUE(user.ok());
   EXPECT_EQ(user.value().kind, QueryKind::kSeasonal);
   auto want_user = direct.SeasonalSimilarity(0, 8);
   ASSERT_TRUE(want_user.ok());
-  EXPECT_EQ(user.value().groups, want_user.value());
+  EXPECT_EQ(user.value().groups(), want_user.value());
 
-  auto data = f.engine.Execute(SeasonalRequest{std::nullopt, 8});
+  auto data = f.engine.Execute(SeasonalRequest{std::nullopt, 8}, ExecContext{});
   ASSERT_TRUE(data.ok());
   auto want_data = direct.SimilarGroupsOfLength(8);
   ASSERT_TRUE(want_data.ok());
-  EXPECT_EQ(data.value().groups, want_data.value());
+  EXPECT_EQ(data.value().groups(), want_data.value());
 }
 
 // -------------------------------------------------- recommend parity.
@@ -178,24 +178,24 @@ TEST(EngineTest, RecommendMatchesDirectCalls) {
   Recommender direct(&f.base);
 
   auto one = f.engine.Execute(
-      RecommendRequest{SimilarityDegree::kStrict, size_t{0}});
+      RecommendRequest{SimilarityDegree::kStrict, size_t{0}}, ExecContext{});
   ASSERT_TRUE(one.ok());
   EXPECT_EQ(one.value().kind, QueryKind::kRecommend);
-  ASSERT_EQ(one.value().recommendations.size(), 1u);
+  ASSERT_EQ(one.value().recommendations().size(), 1u);
   const Recommendation want = direct.Recommend(SimilarityDegree::kStrict, 0);
-  EXPECT_EQ(one.value().recommendations[0].degree, want.degree);
-  EXPECT_DOUBLE_EQ(one.value().recommendations[0].st_low, want.st_low);
-  EXPECT_DOUBLE_EQ(one.value().recommendations[0].st_high, want.st_high);
+  EXPECT_EQ(one.value().recommendations()[0].degree, want.degree);
+  EXPECT_DOUBLE_EQ(one.value().recommendations()[0].st_low, want.st_low);
+  EXPECT_DOUBLE_EQ(one.value().recommendations()[0].st_high, want.st_high);
 
-  auto all = f.engine.Execute(RecommendRequest{std::nullopt, size_t{0}});
+  auto all = f.engine.Execute(RecommendRequest{std::nullopt, size_t{0}}, ExecContext{});
   ASSERT_TRUE(all.ok());
   const auto want_all = direct.AllDegrees(0);
-  ASSERT_EQ(all.value().recommendations.size(), want_all.size());
+  ASSERT_EQ(all.value().recommendations().size(), want_all.size());
   for (size_t i = 0; i < want_all.size(); ++i) {
-    EXPECT_EQ(all.value().recommendations[i].degree, want_all[i].degree);
-    EXPECT_DOUBLE_EQ(all.value().recommendations[i].st_low,
+    EXPECT_EQ(all.value().recommendations()[i].degree, want_all[i].degree);
+    EXPECT_DOUBLE_EQ(all.value().recommendations()[i].st_low,
                      want_all[i].st_low);
-    EXPECT_DOUBLE_EQ(all.value().recommendations[i].st_high,
+    EXPECT_DOUBLE_EQ(all.value().recommendations()[i].st_high,
                      want_all[i].st_high);
   }
 }
@@ -207,25 +207,25 @@ TEST(EngineTest, RefineThresholdMatchesDirectCalls) {
   ThresholdRefiner direct(&f.base);
   const double st_prime = f.base.options().st / 2.0;
 
-  auto one = f.engine.Execute(RefineThresholdRequest{st_prime, 16});
+  auto one = f.engine.Execute(RefineThresholdRequest{st_prime, 16}, ExecContext{});
   ASSERT_TRUE(one.ok());
   EXPECT_EQ(one.value().kind, QueryKind::kRefineThreshold);
-  ASSERT_EQ(one.value().refinements.size(), 1u);
+  ASSERT_EQ(one.value().refinements().size(), 1u);
   auto want = direct.RefineLength(16, st_prime);
   ASSERT_TRUE(want.ok());
-  EXPECT_EQ(one.value().refinements[0].length, 16u);
-  EXPECT_EQ(one.value().refinements[0].groups_after,
+  EXPECT_EQ(one.value().refinements()[0].length, 16u);
+  EXPECT_EQ(one.value().refinements()[0].groups_after,
             want.value().NumGroups());
-  EXPECT_EQ(one.value().refinements[0].groups_before,
+  EXPECT_EQ(one.value().refinements()[0].groups_before,
             f.base.EntryFor(16)->NumGroups());
 
-  auto all = f.engine.Execute(RefineThresholdRequest{st_prime, 0});
+  auto all = f.engine.Execute(RefineThresholdRequest{st_prime, 0}, ExecContext{});
   ASSERT_TRUE(all.ok());
   auto want_all = direct.RefineAll(st_prime);
   ASSERT_TRUE(want_all.ok());
-  ASSERT_EQ(all.value().refinements.size(),
+  ASSERT_EQ(all.value().refinements().size(),
             want_all.value().entries().size());
-  for (const auto& summary : all.value().refinements) {
+  for (const auto& summary : all.value().refinements()) {
     const GtiEntry* refined = want_all.value().Find(summary.length);
     ASSERT_NE(refined, nullptr);
     EXPECT_EQ(summary.groups_after, refined->NumGroups());
@@ -237,15 +237,15 @@ TEST(EngineTest, RefineThresholdMatchesDirectCalls) {
 TEST(EngineTest, ErrorsPropagateAsStatuses) {
   Engine engine = Engine::FromBase(BuildRawBase());
   std::vector<double> query(7, 0.5);
-  auto bad_length = engine.Execute(BestMatchRequest{query, 7});
+  auto bad_length = engine.Execute(BestMatchRequest{query, 7}, ExecContext{});
   ASSERT_FALSE(bad_length.ok());
   EXPECT_EQ(bad_length.status().code(), Status::Code::kNotFound);
 
-  auto empty = engine.Execute(BestMatchRequest{{}, 0});
+  auto empty = engine.Execute(BestMatchRequest{{}, 0}, ExecContext{});
   ASSERT_FALSE(empty.ok());
   EXPECT_EQ(empty.status().code(), Status::Code::kInvalidArgument);
 
-  auto bad_st = engine.Execute(RefineThresholdRequest{-0.1, 8});
+  auto bad_st = engine.Execute(RefineThresholdRequest{-0.1, 8}, ExecContext{});
   EXPECT_FALSE(bad_st.ok());
 }
 
@@ -259,7 +259,7 @@ TEST(EngineTest, ExecuteBatchAnswersInOrder) {
   requests.push_back(RecommendRequest{std::nullopt, size_t{0}});
 
   const auto responses = engine.ExecuteBatch(
-      std::span<const QueryRequest>(requests.data(), requests.size()));
+      std::span<const QueryRequest>(requests.data(), requests.size()), ExecContext{});
   ASSERT_EQ(responses.size(), 4u);
   ASSERT_TRUE(responses[0].ok());
   EXPECT_EQ(responses[0].value().kind, QueryKind::kBestMatch);
@@ -267,13 +267,13 @@ TEST(EngineTest, ExecuteBatchAnswersInOrder) {
   EXPECT_EQ(responses[1].value().kind, QueryKind::kKSimilar);
   EXPECT_FALSE(responses[2].ok());
   ASSERT_TRUE(responses[3].ok());
-  EXPECT_EQ(responses[3].value().recommendations.size(), 3u);
+  EXPECT_EQ(responses[3].value().recommendations().size(), 3u);
 
   // Batch and single-shot answers agree.
-  auto single = engine.Execute(requests[0]);
+  auto single = engine.Execute(requests[0], ExecContext{});
   ASSERT_TRUE(single.ok());
-  ExpectSameMatch(responses[0].value().matches[0],
-                  single.value().matches[0]);
+  ExpectSameMatch(responses[0].value().matches()[0],
+                  single.value().matches()[0]);
 }
 
 TEST(EngineTest, KindNamesAreStable) {
@@ -297,9 +297,9 @@ TEST(EngineTest, AppendSeriesGrowsTheBase) {
   ASSERT_TRUE(engine.AppendSeries(TimeSeries(values)).ok());
   EXPECT_EQ(engine.num_series(), before + 1);
   // The appended series is immediately queryable.
-  auto response = engine.Execute(BestMatchRequest{values, 24});
+  auto response = engine.Execute(BestMatchRequest{values, 24}, ExecContext{});
   ASSERT_TRUE(response.ok());
-  EXPECT_LE(response.value().matches[0].distance, 1e-9);
+  EXPECT_LE(response.value().matches()[0].distance, 1e-9);
 }
 
 // ------------------------------------- concurrent query-vs-append stress.
@@ -329,11 +329,11 @@ TEST(EngineTest, ConcurrentQueriesAndAppendsStaySound) {
         case 1: request = KSimilarRequest{query, 3, 16}; break;
         default: request = RangeWithinRequest{query, 0.3, 16, false}; break;
       }
-      auto response = engine.Execute(request);
+      auto response = engine.Execute(request, ExecContext{});
       if (!response.ok() ||
           (response.value().kind == QueryKind::kBestMatch &&
-           (response.value().matches.empty() ||
-            !std::isfinite(response.value().matches[0].distance)))) {
+           (response.value().matches().empty() ||
+            !std::isfinite(response.value().matches()[0].distance)))) {
         failures.fetch_add(1);
       }
       queries_answered.fetch_add(1);
@@ -371,9 +371,9 @@ TEST(EngineTest, ConcurrentQueriesAndAppendsStaySound) {
   // The base is intact after the storm: an in-dataset query still comes
   // back at distance ~0.
   const auto probe = QueryFrom(engine.dataset(), 2, 3, 8);
-  auto response = engine.Execute(BestMatchRequest{probe, 8});
+  auto response = engine.Execute(BestMatchRequest{probe, 8}, ExecContext{});
   ASSERT_TRUE(response.ok());
-  EXPECT_LE(response.value().matches[0].distance, 1e-9);
+  EXPECT_LE(response.value().matches()[0].distance, 1e-9);
 }
 
 // ------------------------------------------------------ build helpers.
@@ -401,11 +401,12 @@ TEST(EngineTest, SaveAndOpenRoundTrip) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
 
   const auto query = QueryFrom(engine.dataset(), 4, 2, 8);
-  auto a = engine.Execute(BestMatchRequest{query, 8});
-  auto b = reopened.value().Execute(BestMatchRequest{query, 8});
+  auto a = engine.Execute(BestMatchRequest{query, 8}, ExecContext{});
+  auto b = reopened.value().Execute(BestMatchRequest{query, 8},
+                                    ExecContext{});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  ExpectSameMatch(a.value().matches[0], b.value().matches[0]);
+  ExpectSameMatch(a.value().matches()[0], b.value().matches()[0]);
   std::remove(path.c_str());
 }
 

@@ -232,9 +232,9 @@ std::vector<std::string> SplitLines(const std::string& block) {
 TEST(ProtocolTest, ResponseBlockRoundTrips) {
   QueryResponse response;
   response.kind = QueryKind::kKSimilar;
-  response.matches.push_back(
-      QueryMatch{{2, 3, 8}, 0.012345678901234567, 4, false});
-  response.matches.push_back(QueryMatch{{7, 0, 8}, 0.25, 1, true});
+  response.payload = MatchResult{
+      {QueryMatch{{2, 3, 8}, 0.012345678901234567, 4, false},
+       QueryMatch{{7, 0, 8}, 0.25, 1, true}}};
   response.stats.lengths_scanned = 1;
   response.stats.reps_compared = 12;
   response.latency_seconds = 0.000152;
@@ -264,7 +264,7 @@ TEST(ProtocolTest, ResponseBlockRoundTrips) {
 TEST(ProtocolTest, SeasonalRecommendRefineBlocksRender) {
   QueryResponse seasonal;
   seasonal.kind = QueryKind::kSeasonal;
-  seasonal.groups = {{{0, 4, 8}, {1, 8, 8}}, {{2, 0, 8}}};
+  seasonal.payload = SeasonalResult{{{{0, 4, 8}, {1, 8, 8}}, {{2, 0, 8}}}};
   const auto lines = SplitLines(RenderResponse(seasonal));
   EXPECT_EQ(lines[0].rfind("OK Seasonal groups=2", 0), 0u);
   EXPECT_EQ(lines[2], "group size=2 refs=0:4:8,1:8:8");
@@ -272,8 +272,8 @@ TEST(ProtocolTest, SeasonalRecommendRefineBlocksRender) {
 
   QueryResponse recommend;
   recommend.kind = QueryKind::kRecommend;
-  recommend.recommendations.push_back(
-      Recommendation{SimilarityDegree::kStrict, 0.0, 0.05});
+  recommend.payload =
+      RecommendResult{{Recommendation{SimilarityDegree::kStrict, 0.0, 0.05}}};
   const auto rec_lines = SplitLines(RenderResponse(recommend));
   const auto rec = ParseKeyValues(rec_lines[2]);
   EXPECT_EQ(rec.at("degree"), "S");
@@ -281,7 +281,7 @@ TEST(ProtocolTest, SeasonalRecommendRefineBlocksRender) {
 
   QueryResponse refine;
   refine.kind = QueryKind::kRefineThreshold;
-  refine.refinements.push_back(RefineSummary{16, 10, 14});
+  refine.payload = RefineResult{{RefineSummary{16, 10, 14}}};
   const auto ref_lines = SplitLines(RenderResponse(refine));
   const auto ref = ParseKeyValues(ref_lines[2]);
   EXPECT_EQ(ref.at("length"), "16");
@@ -310,7 +310,7 @@ TEST(ProtocolTest, ErrorBlocksCarryCodeAndMessage) {
 }
 
 TEST(ProtocolTest, GreetingAnnouncesVersion) {
-  EXPECT_EQ(Greeting(), "ONEX/3 ready\n");
+  EXPECT_EQ(Greeting(), "ONEX/4 ready\n");
   auto parsed = ParseResponseBlock(SplitLines(RenderHelp()));
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.value().ok);

@@ -78,7 +78,8 @@ class ServerTest : public ::testing::Test {
   Client Connect() {
     auto client = Client::Connect("127.0.0.1", server_->port());
     EXPECT_TRUE(client.ok()) << client.status().ToString();
-    EXPECT_EQ(client.value().greeting(), "ONEX/3 ready");
+    EXPECT_EQ(client.value().greeting(),
+              "ONEX/" + std::to_string(kWireVersion) + " ready");
     return std::move(client).value();
   }
 
@@ -96,7 +97,7 @@ class ServerTest : public ::testing::Test {
     ASSERT_TRUE(wire.value().ok)
         << wire.value().code << " " << wire.value().message;
 
-    auto direct = twin.Execute(request);
+    auto direct = twin.Execute(request, ExecContext{});
     ASSERT_TRUE(direct.ok());
     const auto direct_lines = SplitLines(RenderResponse(direct.value()));
     // direct_lines: header, payload..., "."; wire payload excludes both.
@@ -181,13 +182,13 @@ TEST_F(ServerTest, FourConcurrentClientsAcrossTwoDatasets) {
       }
       // Parity with the twin proves the session is wired to the right
       // engine: builds are deterministic and %.17g round-trips exactly.
-      auto direct = twin.Execute(request);
+      auto direct = twin.Execute(request, ExecContext{});
       const auto fields = ParseKeyValues(wire.value().payload[1]);
       if (!direct.ok() ||
           std::stod(fields.at("distance")) !=
-              direct.value().matches[0].distance ||
+              direct.value().matches()[0].distance ||
           std::stoul(fields.at("series")) !=
-              direct.value().matches[0].ref.series) {
+              direct.value().matches()[0].ref.series) {
         failures.fetch_add(1);
       }
     }

@@ -245,9 +245,9 @@ TEST_F(StorageTest, KillAndRecoverReplaysEveryAcknowledgedAppend) {
     EXPECT_EQ(got.values(), want.values());
     EXPECT_EQ(got.label(), want.label());
     auto response = engine->Execute(
-        BestMatchRequest{want.values(), kSeriesLength});
+        BestMatchRequest{want.values(), kSeriesLength}, ExecContext{});
     ASSERT_TRUE(response.ok()) << response.status().ToString();
-    ASSERT_EQ(response.value().matches.size(), 1u);
+    ASSERT_EQ(response.value().matches().size(), 1u);
   }
 }
 
