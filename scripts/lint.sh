@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Copyright 2026 The ONEX Reproduction Authors.
+# clang-tidy over the library sources, driven by a build tree's
+# compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default, so any configured build tree works).
+#
+# Usage:
+#   scripts/lint.sh                  # uses ./build, lints all of src/
+#   scripts/lint.sh -p out/clang     # another build tree
+#   scripts/lint.sh src/api/engine.cc ...   # specific files
+#
+# Also exposed as `cmake --build <dir> --target lint`. The clang-tidy
+# CI job runs this with warnings promoted to errors (-e).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=build
+as_errors=0
+while getopts "p:e" opt; do
+  case "$opt" in
+    p) build_dir=$OPTARG ;;
+    e) as_errors=1 ;;
+    *) echo "usage: $0 [-p build-dir] [-e] [files...]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "$0: '$tidy' not found on PATH (set CLANG_TIDY to override)" >&2
+  exit 1
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "$0: no compile_commands.json in '$build_dir' — configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 1
+fi
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  # Library sources only: tests and benches compile against gtest/
+  # benchmark headers whose diagnostics we don't own.
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+args=(-p "$build_dir" --quiet)
+if [ "$as_errors" -eq 1 ]; then
+  args+=(--warnings-as-errors='*')
+fi
+
+exec "$tidy" "${args[@]}" "${files[@]}"

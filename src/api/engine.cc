@@ -48,9 +48,10 @@ QueryPayload EmptyPayloadOf(QueryKind kind) {
 }
 
 Engine::Engine(OnexBase base, QueryOptions query_options)
-    : base_(std::make_unique<OnexBase>(std::move(base))),
+    : rw_mutex_(std::make_unique<SharedMutex>(LockRank::kEngine,
+                                              "engine.rw_mutex")),
+      base_(std::make_unique<OnexBase>(std::move(base))),
       query_options_(query_options),
-      rw_mutex_(std::make_unique<std::shared_mutex>()),
       lazy_(std::make_unique<LazyComponents>()) {}
 
 Result<Engine> Engine::Build(Dataset dataset, const OnexOptions& options,
@@ -72,7 +73,7 @@ Result<Engine> Engine::Open(const std::string& path,
 }
 
 Status Engine::Save(const std::string& path) const {
-  std::shared_lock lock(*rw_mutex_);
+  ReaderMutexLock lock(*rw_mutex_);
   return SaveBase(*base_, path);
 }
 
@@ -292,13 +293,13 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
 
 Result<QueryResponse> Engine::Execute(const QueryRequest& request,
                                       const ExecContext& ctx) const {
-  std::shared_lock lock(*rw_mutex_);
+  ReaderMutexLock lock(*rw_mutex_);
   return ExecuteLocked(request, ctx);
 }
 
 std::vector<Result<QueryResponse>> Engine::ExecuteBatch(
     std::span<const QueryRequest> requests, const ExecContext& ctx) const {
-  std::shared_lock lock(*rw_mutex_);
+  ReaderMutexLock lock(*rw_mutex_);
   std::vector<Result<QueryResponse>> responses;
   responses.reserve(requests.size());
   for (const QueryRequest& request : requests) {
@@ -313,7 +314,7 @@ Status Engine::AppendSeries(TimeSeries series, size_t* index) {
   if (series.empty()) {
     return Status::InvalidArgument("cannot append an empty series");
   }
-  std::unique_lock lock(*rw_mutex_);
+  WriterMutexLock lock(*rw_mutex_);
   if (append_sink_ != nullptr) {
     const Status logged = append_sink_->LogAppend(series);
     if (!logged.ok()) return logged;
@@ -331,7 +332,7 @@ Status Engine::AppendBatch(std::vector<TimeSeries> batch) {
       return Status::InvalidArgument("cannot append an empty series");
     }
   }
-  std::unique_lock lock(*rw_mutex_);
+  WriterMutexLock lock(*rw_mutex_);
   if (append_sink_ != nullptr) {
     const Status logged = append_sink_->LogAppendBatch(
         std::span<const TimeSeries>(batch.data(), batch.size()));
@@ -344,22 +345,26 @@ Status Engine::AppendBatch(std::vector<TimeSeries> batch) {
 }
 
 void Engine::AttachAppendSink(storage::AppendSink* sink) {
+  // Writer lock: a detach must wait for any in-flight append that is
+  // about to log through the old sink (the DurableEngine destructor
+  // detaches right before closing the WAL).
+  WriterMutexLock lock(*rw_mutex_);
   append_sink_ = sink;
 }
 
 Status Engine::Exclusive(
     const std::function<Status(const OnexBase& base)>& fn) const {
-  std::unique_lock lock(*rw_mutex_);
+  WriterMutexLock lock(*rw_mutex_);
   return fn(*base_);
 }
 
 BaseStats Engine::base_stats() const {
-  std::shared_lock lock(*rw_mutex_);
+  ReaderMutexLock lock(*rw_mutex_);
   return base_->stats();
 }
 
 size_t Engine::num_series() const {
-  std::shared_lock lock(*rw_mutex_);
+  ReaderMutexLock lock(*rw_mutex_);
   return base_->dataset().size();
 }
 

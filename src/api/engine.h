@@ -21,7 +21,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <variant>
@@ -32,7 +31,9 @@
 #include "core/query_processor.h"
 #include "core/recommender.h"
 #include "core/threshold_refiner.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 
@@ -279,13 +280,18 @@ class Engine {
   /// Attaches (or, with nullptr, detaches) the write-ahead sink. The
   /// sink must outlive every subsequent append; DurableEngine owns both
   /// this engine and the sink, so its lifetime covers the engine's.
-  /// Not thread-safe against concurrent appends — attach before
-  /// publishing the engine.
+  /// Takes the writer lock (appends in flight drain first), so it is
+  /// safe even against a concurrent appender — but attach before
+  /// publishing the engine anyway: an append admitted before the
+  /// attach is not logged.
   void AttachAppendSink(storage::AppendSink* sink);
 
   /// True when an AppendSink is attached (appends are write-ahead
   /// logged).
-  bool durable() const { return append_sink_ != nullptr; }
+  bool durable() const {
+    ReaderMutexLock lock(*rw_mutex_);
+    return append_sink_ != nullptr;
+  }
 
   /// Runs `fn` on the base with the WRITER lock held: no queries, no
   /// appends in flight. The storage checkpointer uses this to snapshot
@@ -301,17 +307,31 @@ class Engine {
 
   /// Direct views for single-threaded tooling (serialization, plotting,
   /// the CLI's `show`). NOT synchronized against AppendSeries — do not
-  /// hold these across maintenance calls from another thread.
-  const OnexBase& base() const { return *base_; }
-  const Dataset& dataset() const { return base_->dataset(); }
-  const OnexOptions& options() const { return base_->options(); }
+  /// hold these across maintenance calls from another thread. The
+  /// analysis opt-out below is exactly that documented contract: the
+  /// caller promises no concurrent writer exists.
+  const OnexBase& base() const NO_THREAD_SAFETY_ANALYSIS { return *base_; }
+  const Dataset& dataset() const NO_THREAD_SAFETY_ANALYSIS {
+    return base_->dataset();
+  }
+  const OnexOptions& options() const NO_THREAD_SAFETY_ANALYSIS {
+    return base_->options();
+  }
+
+  /// The engine's reader/writer lock, exposed FOR ANNOTATIONS ONLY:
+  /// storage::DurableEngine's WAL state is guarded by this engine's
+  /// lock (the AppendSink contract), and writing that down requires a
+  /// nameable capability. Do not lock it directly — use the public
+  /// Execute/Append/Exclusive surface.
+  SharedMutex& mu() const RETURN_CAPABILITY(*rw_mutex_) { return *rw_mutex_; }
 
  private:
   Engine(OnexBase base, QueryOptions query_options);
 
   /// Dispatch body; the caller holds the reader lock.
   Result<QueryResponse> ExecuteLocked(const QueryRequest& request,
-                                      const ExecContext& ctx) const;
+                                      const ExecContext& ctx) const
+      REQUIRES_SHARED(*rw_mutex_);
 
   /// Query components, created on first use via std::call_once (cheap
   /// atomic check on the hot path; no lock contention between
@@ -331,14 +351,18 @@ class Engine {
   const Recommender& recommender() const;
   const ThresholdRefiner& refiner() const;
 
-  std::unique_ptr<OnexBase> base_;
+  /// Reader/writer lock of the concurrency contract (heap-allocated so
+  /// the engine stays movable). Declared before the state it guards so
+  /// annotations below can name it.
+  mutable std::unique_ptr<SharedMutex> rw_mutex_;
+  /// The base itself: the pointer is set once at construction (stable
+  /// across moves), the POINTEE mutates under the writer lock —
+  /// PT_GUARDED_BY is exactly that split.
+  std::unique_ptr<OnexBase> base_ PT_GUARDED_BY(*rw_mutex_);
   QueryOptions query_options_;
   /// Write-ahead sink of the optional durable mode; nullptr = memory
   /// only. Owned by the attaching storage manager, not the engine.
-  storage::AppendSink* append_sink_ = nullptr;
-  /// Reader/writer lock of the concurrency contract (heap-allocated so
-  /// the engine stays movable).
-  mutable std::unique_ptr<std::shared_mutex> rw_mutex_;
+  storage::AppendSink* append_sink_ GUARDED_BY(*rw_mutex_) = nullptr;
   mutable std::unique_ptr<LazyComponents> lazy_;
 };
 

@@ -70,7 +70,7 @@ void Catalog::Register(const std::string& name, Engine engine) {
     fresh.engine = std::make_shared<Engine>(std::move(engine));
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fresh.last_used = ++tick_;
   for (auto& [entry_name, entry] : entries_) {
     if (entry_name == name) {
@@ -134,7 +134,7 @@ Result<Catalog::Entry*> Catalog::ResolveLocked(const std::string& name) {
 
 Result<std::shared_ptr<const Engine>> Catalog::Acquire(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto resolved = ResolveLocked(name);
   if (!resolved.ok()) return resolved.status();
   return std::shared_ptr<const Engine>(resolved.value()->engine);
@@ -148,7 +148,7 @@ Result<AppendOutcome> Catalog::Append(const std::string& name,
   std::shared_ptr<storage::DurableEngine> durable;
   std::shared_ptr<Engine> engine;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto resolved = ResolveLocked(name);
     if (!resolved.ok()) return resolved.status();
     durable = resolved.value()->durable;
@@ -167,7 +167,7 @@ Result<AppendOutcome> Catalog::Append(const std::string& name,
   outcome.total = index + 1;
   outcome.durable = durable != nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.appends;
     for (auto& [entry_name, entry] : entries_) {
       if (entry_name == name) {
@@ -185,7 +185,7 @@ Status Catalog::Flush(const std::string& name) {
   std::shared_ptr<Engine> engine;
   uint64_t mutations_before = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto resolved = ResolveLocked(name);
     if (!resolved.ok()) return resolved.status();
     durable = resolved.value()->durable;
@@ -220,7 +220,7 @@ Status Catalog::Flush(const std::string& name) {
   }
   if (!flushed.ok()) return flushed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.flushes;
     for (auto& [entry_name, entry] : entries_) {
       if (entry_name == name) {
@@ -244,7 +244,7 @@ size_t Catalog::FlushAll() {
   // between is simply a cheap no-op flush).
   std::vector<std::string> dirty;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [name, entry] : entries_) {
       if (entry.engine != nullptr && entry.dirty) dirty.push_back(name);
     }
@@ -325,7 +325,7 @@ std::vector<CatalogEntryInfo> Catalog::List() const {
   // (potentially slow I/O) outside it so LIST never stalls Acquire.
   std::vector<CatalogEntryInfo> rows;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [name, entry] : entries_) {
       rows.push_back({name, entry.engine != nullptr, entry.pinned,
                       entry.durable != nullptr, entry.dirty});
@@ -353,7 +353,7 @@ std::vector<CatalogEntryInfo> Catalog::List() const {
 }
 
 CatalogStats Catalog::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CatalogStats out = stats_;
   out.resident = 0;
   for (const auto& [name, entry] : entries_) {

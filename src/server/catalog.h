@@ -42,12 +42,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
 #include "storage/storage.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 namespace server {
@@ -163,7 +164,7 @@ class Catalog {
 
   /// Find-or-lazily-open. Caller holds mutex_. On success the entry is
   /// resident and its LRU stamp is fresh.
-  Result<Entry*> ResolveLocked(const std::string& name);
+  Result<Entry*> ResolveLocked(const std::string& name) REQUIRES(mutex_);
 
   /// Evicts LRU non-pinned idle engines until the cap holds. Dirty
   /// victims are flushed first (durable: checkpoint; non-durable:
@@ -172,15 +173,18 @@ class Catalog {
   /// their memory cannot be reclaimed anyway — as is `keep`, the entry
   /// being resolved right now (it is about to be handed to a session).
   /// Caller holds mutex_.
-  void EnforceCapLocked(const Entry* keep);
+  void EnforceCapLocked(const Entry* keep) REQUIRES(mutex_);
 
   std::string PathFor(const std::string& name) const;
 
   CatalogOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, Entry>> entries_;  ///< Sorted insert order.
-  uint64_t tick_ = 0;  ///< LRU clock, bumped per Acquire.
-  CatalogStats stats_;
+  mutable Mutex mutex_{LockRank::kCatalog, "catalog.mutex"};
+  /// Registry rows, insert order. Guarded: every resolve, LRU stamp,
+  /// dirty flip, and eviction happens under mutex_ (slow work —
+  /// appends, snapshot writes — runs OUTSIDE it on shared_ptr copies).
+  std::vector<std::pair<std::string, Entry>> entries_ GUARDED_BY(mutex_);
+  uint64_t tick_ GUARDED_BY(mutex_) = 0;  ///< LRU clock, bumped per Acquire.
+  CatalogStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace server

@@ -6,17 +6,16 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "server/socket_io.h"
+#include "util/mutex.h"
 
 namespace onex {
 namespace server {
@@ -26,19 +25,22 @@ namespace server {
 /// Shared between the issuing thread, the demux thread, and every copy
 /// of the Handle.
 struct Client::Handle::State {
+  // Both set once in Submit before the state is shared — immutable after.
   uint64_t id = 0;
   std::weak_ptr<Demux> demux;  // For Cancel(); weak: handle may outlive.
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  std::optional<WireResponse> final;  // Set when done, unless transport died.
-  Status transport = Status::OK();    // Error when the socket failed.
-  ProgressCallback on_progress;
+  Mutex mutex{LockRank::kClientHandle, "client.handle.mutex"};
+  CondVar cv;
+  bool done GUARDED_BY(mutex) = false;
+  /// Set when done, unless transport died.
+  std::optional<WireResponse> final GUARDED_BY(mutex);
+  /// Error when the socket failed.
+  Status transport GUARDED_BY(mutex) = Status::OK();
+  ProgressCallback on_progress GUARDED_BY(mutex);
 
   // Cancel-acknowledgement rendezvous (one cancel in flight at a time).
-  bool cancel_pending = false;
-  std::optional<WireResponse> cancel_ack;
+  bool cancel_pending GUARDED_BY(mutex) = false;
+  std::optional<WireResponse> cancel_ack GUARDED_BY(mutex);
 };
 
 // ------------------------------------------------------------- demux
@@ -47,31 +49,35 @@ struct Client::Handle::State {
 /// socket and routes them; senders serialize on `send_mutex`. Shared by
 /// the Client and every Handle so either side may outlive the other.
 struct Client::Demux {
+  // All three set once in EnsureDemux before the demux is shared.
   int fd = -1;
   std::unique_ptr<SocketLineReader> reader;  // Owned by the demux thread.
   std::thread thread;
 
-  std::mutex send_mutex;  // Whole-line writes from any thread.
+  /// Whole-line writes from any thread.
+  Mutex send_mutex{LockRank::kClientSend, "client.demux.send_mutex"};
 
-  std::mutex mutex;  // Guards everything below.
-  std::map<uint64_t, std::shared_ptr<Handle::State>> tagged;
+  Mutex mutex{LockRank::kClientDemuxState, "client.demux.mutex"};
+  std::map<uint64_t, std::shared_ptr<Handle::State>> tagged
+      GUARDED_BY(mutex);
   /// FIFO of Roundtrip waiters (untagged blocks answer in order).
   struct Pending {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    std::optional<WireResponse> block;
-    Status transport = Status::OK();
+    Mutex mutex{LockRank::kClientPending, "client.pending.mutex"};
+    CondVar cv;
+    bool done GUARDED_BY(mutex) = false;
+    std::optional<WireResponse> block GUARDED_BY(mutex);
+    Status transport GUARDED_BY(mutex) = Status::OK();
   };
-  std::deque<std::shared_ptr<Pending>> untagged;
+  std::deque<std::shared_ptr<Pending>> untagged GUARDED_BY(mutex);
   /// Handles whose Cancel() awaits the no-op ERR ack (final already
   /// delivered, so `tagged` no longer knows the id).
-  std::map<uint64_t, std::shared_ptr<Handle::State>> cancel_waiters;
-  bool dead = false;
-  Status dead_reason = Status::OK();
+  std::map<uint64_t, std::shared_ptr<Handle::State>> cancel_waiters
+      GUARDED_BY(mutex);
+  bool dead GUARDED_BY(mutex) = false;
+  Status dead_reason GUARDED_BY(mutex) = Status::OK();
 
   Status Send(const std::string& line) {
-    std::lock_guard<std::mutex> lock(send_mutex);
+    MutexLock lock(send_mutex);
     if (!SendAll(fd, line + "\n")) {
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
@@ -84,7 +90,7 @@ struct Client::Demux {
     std::map<uint64_t, std::shared_ptr<Handle::State>> failed_cancels;
     std::deque<std::shared_ptr<Pending>> failed_untagged;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       dead = true;
       dead_reason = reason;
       failed_tagged.swap(tagged);
@@ -92,26 +98,26 @@ struct Client::Demux {
       failed_untagged.swap(untagged);
     }
     for (auto& [id, state] : failed_tagged) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->done = true;
       state->transport = reason;
       state->cancel_pending = false;
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     }
     for (auto& [id, state] : failed_cancels) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (!state->done) {
         state->done = true;
         state->transport = reason;
       }
       state->cancel_pending = false;
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     }
     for (auto& pending : failed_untagged) {
-      std::lock_guard<std::mutex> lock(pending->mutex);
+      MutexLock lock(pending->mutex);
       pending->done = true;
       pending->transport = reason;
-      pending->cv.notify_all();
+      pending->cv.NotifyAll();
     }
   }
 };
@@ -144,7 +150,7 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
 
     auto find_tagged = [&](uint64_t key, bool erase) {
       std::shared_ptr<Handle::State> state;
-      std::lock_guard<std::mutex> lock(demux->mutex);
+      MutexLock lock(demux->mutex);
       auto it = demux->tagged.find(key);
       if (it != demux->tagged.end()) {
         state = it->second;
@@ -156,28 +162,28 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
     /// nobody is waiting there.
     auto deliver_cancel_ack = [&](std::shared_ptr<Handle::State> state) {
       if (state == nullptr) return false;
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (!state->cancel_pending) return false;
       state->cancel_ack = block;
       state->cancel_pending = false;
-      state->cv.notify_all();
+      state->cv.NotifyAll();
       return true;
     };
     /// Answers the oldest blocking Roundtrip (the untagged FIFO).
     auto deliver_untagged = [&] {
       std::shared_ptr<Demux::Pending> pending;
       {
-        std::lock_guard<std::mutex> lock(demux->mutex);
+        MutexLock lock(demux->mutex);
         if (!demux->untagged.empty()) {
           pending = demux->untagged.front();
           demux->untagged.pop_front();
         }
       }
       if (pending != nullptr) {
-        std::lock_guard<std::mutex> lock(pending->mutex);
+        MutexLock lock(pending->mutex);
         pending->block = std::move(block);
         pending->done = true;
-        pending->cv.notify_all();
+        pending->cv.NotifyAll();
       }
     };
 
@@ -195,7 +201,7 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
       // that instead (never a query's final).
       std::shared_ptr<Handle::State> waiter;
       {
-        std::lock_guard<std::mutex> lock(demux->mutex);
+        MutexLock lock(demux->mutex);
         auto it = demux->cancel_waiters.find(id);
         if (it != demux->cancel_waiters.end()) {
           waiter = it->second;
@@ -210,7 +216,7 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
       if (state != nullptr) {
         ProgressCallback callback;
         {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           callback = state->on_progress;
         }
         if (callback) callback(block);
@@ -220,10 +226,10 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
     if (id != 0) {
       if (auto state = find_tagged(id, /*erase=*/true)) {
         // The final reply for this id.
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->final = std::move(block);
         state->done = true;
-        state->cv.notify_all();
+        state->cv.NotifyAll();
         continue;
       }
       // Not in flight: the structured no-op ERR acknowledging a CANCEL
@@ -233,7 +239,7 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
       // id-tagged ERR that must still answer that Roundtrip).
       std::shared_ptr<Handle::State> canceller;
       {
-        std::lock_guard<std::mutex> lock(demux->mutex);
+        MutexLock lock(demux->mutex);
         auto it = demux->cancel_waiters.find(id);
         if (it != demux->cancel_waiters.end()) {
           canceller = it->second;
@@ -250,8 +256,8 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
 
 Result<WireResponse> Client::Handle::Wait() {
   if (state_ == nullptr) return Status::InvalidArgument("empty handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(state_->mutex);
+  while (!state_->done) state_->cv.Wait(state_->mutex);
   if (!state_->transport.ok()) return state_->transport;
   return *state_->final;
 }
@@ -261,7 +267,7 @@ Status Client::Handle::Cancel() {
   auto demux = state_->demux.lock();
   if (demux == nullptr) return Status::IOError("client is closed");
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (state_->done) {
       // The final reply is already here — nothing left to cancel. Skip
       // the wire round trip: asking the server would race its own
@@ -274,9 +280,9 @@ Status Client::Handle::Cancel() {
       // Another copy of this handle is already cancelling; share its
       // outcome instead of putting a second `cancel` on the wire (two
       // acks would outnumber the one registered waiter).
-      state_->cv.wait(lock, [&] {
-        return !state_->cancel_pending || !state_->transport.ok();
-      });
+      while (state_->cancel_pending && state_->transport.ok()) {
+        state_->cv.Wait(state_->mutex);
+      }
       if (!state_->transport.ok()) return state_->transport;
       if (state_->cancel_ack.has_value() && state_->cancel_ack->ok) {
         return Status::OK();
@@ -288,9 +294,9 @@ Status Client::Handle::Cancel() {
   }
   // Register for the no-op-ack path (final may already be in flight).
   {
-    std::lock_guard<std::mutex> lock(demux->mutex);
+    MutexLock lock(demux->mutex);
     if (demux->dead) {
-      std::lock_guard<std::mutex> state_lock(state_->mutex);
+      MutexLock state_lock(state_->mutex);
       state_->cancel_pending = false;
       return demux->dead_reason;
     }
@@ -299,27 +305,27 @@ Status Client::Handle::Cancel() {
   const Status sent = demux->Send(RenderCancelLine(state_->id));
   if (!sent.ok()) {
     {
-      std::lock_guard<std::mutex> lock(demux->mutex);
+      MutexLock lock(demux->mutex);
       demux->cancel_waiters.erase(state_->id);
     }
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->cancel_pending = false;
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
     return sent;
   }
   std::optional<WireResponse> ack;
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->cv.wait(lock, [&] {
-      return !state_->cancel_pending || !state_->transport.ok();
-    });
+    MutexLock lock(state_->mutex);
+    while (state_->cancel_pending && state_->transport.ok()) {
+      state_->cv.Wait(state_->mutex);
+    }
     if (!state_->transport.ok()) return state_->transport;
     ack = state_->cancel_ack;
   }
   {
     // Drop the rendezvous registration (the OK-Cancel path resolves
     // through `tagged`, leaving this entry behind otherwise).
-    std::lock_guard<std::mutex> lock(demux->mutex);
+    MutexLock lock(demux->mutex);
     demux->cancel_waiters.erase(state_->id);
   }
   if (!ack.has_value()) {
@@ -331,7 +337,7 @@ Status Client::Handle::Cancel() {
 
 void Client::Handle::OnProgress(ProgressCallback callback) {
   if (state_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   state_->on_progress = std::move(callback);
 }
 
@@ -387,12 +393,22 @@ Client& Client::operator=(Client&& other) noexcept {
 Client::~Client() { Close(); }
 
 void Client::Close() {
-  if (demux_ != nullptr) {
-    // Unblock the demux thread's read, then reap it. FailAll runs on
-    // the demux thread on its way out.
+  // Take the demux out under the lock (the pointer read used to be
+  // unguarded, racing a concurrent first Submit's EnsureDemux), then
+  // shut down and join OUTSIDE it — the join can block until the demux
+  // thread notices the socket died. A moved-from shell has no mutex
+  // and nothing to close.
+  std::shared_ptr<Demux> demux;
+  if (demux_mutex_ != nullptr) {
+    MutexLock lock(*demux_mutex_);
+    demux = std::move(demux_);
+    demux_ = nullptr;
+  }
+  if (demux != nullptr) {
+    // Unblock the demux thread's read, then reap it. Fail runs on the
+    // demux thread on its way out.
     ::shutdown(fd_, SHUT_RDWR);
-    if (demux_->thread.joinable()) demux_->thread.join();
-    demux_.reset();
+    if (demux->thread.joinable()) demux->thread.join();
   }
   if (fd_ >= 0) {
     ::close(fd_);
@@ -414,14 +430,14 @@ Status Client::ReadLine(std::string* line) {
 }
 
 std::shared_ptr<Client::Demux> Client::demux() const {
-  std::lock_guard<std::mutex> lock(*demux_mutex_);
+  MutexLock lock(*demux_mutex_);
   return demux_;
 }
 
 Result<std::shared_ptr<Client::Demux>> Client::EnsureDemux() {
-  std::lock_guard<std::mutex> start_lock(*demux_mutex_);
+  MutexLock start_lock(*demux_mutex_);
   if (demux_ != nullptr) {
-    std::lock_guard<std::mutex> lock(demux_->mutex);
+    MutexLock lock(demux_->mutex);
     if (demux_->dead) return demux_->dead_reason;
     return demux_;
   }
@@ -457,13 +473,13 @@ Result<Client::Handle> Client::Submit(const QueryRequest& request,
   attrs.deadline_ms = options.deadline_ms;
   attrs.progress = static_cast<bool>(options.on_progress);
   {
-    std::lock_guard<std::mutex> lock(demux->mutex);
+    MutexLock lock(demux->mutex);
     if (demux->dead) return demux->dead_reason;
     demux->tagged[handle.state_->id] = handle.state_;
   }
   const Status sent = demux->Send(RenderRequestLine(request, attrs));
   if (!sent.ok()) {
-    std::lock_guard<std::mutex> lock(demux->mutex);
+    MutexLock lock(demux->mutex);
     demux->tagged.erase(handle.state_->id);
     return sent;
   }
@@ -477,7 +493,7 @@ Result<WireResponse> Client::Roundtrip(const std::string& line) {
     // Async mode: enqueue an untagged waiter, send, block on it.
     auto pending = std::make_shared<Demux::Pending>();
     {
-      std::lock_guard<std::mutex> lock(active->mutex);
+      MutexLock lock(active->mutex);
       if (active->dead) return active->dead_reason;
       active->untagged.push_back(pending);
     }
@@ -485,14 +501,14 @@ Result<WireResponse> Client::Roundtrip(const std::string& line) {
     if (!sent.ok()) {
       // Withdraw the waiter, or the NEXT reply block would be handed
       // to it and every later Roundtrip would read one block behind.
-      std::lock_guard<std::mutex> lock(active->mutex);
+      MutexLock lock(active->mutex);
       auto it = std::find(active->untagged.begin(), active->untagged.end(),
                           pending);
       if (it != active->untagged.end()) active->untagged.erase(it);
       return sent;
     }
-    std::unique_lock<std::mutex> lock(pending->mutex);
-    pending->cv.wait(lock, [&] { return pending->done; });
+    MutexLock lock(pending->mutex);
+    while (!pending->done) pending->cv.Wait(pending->mutex);
     if (!pending->transport.ok()) return pending->transport;
     return *pending->block;
   }

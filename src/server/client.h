@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/engine.h"
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 namespace server {
@@ -90,8 +91,11 @@ class Client {
   /// IOError when the server is unreachable.
   static Result<Client> Connect(const std::string& host, uint16_t port);
 
+  // Moves are unchecked: moving a Client requires external
+  // synchronization (both objects thread-confined for the duration), so
+  // the guarded demux_ transfer cannot race.
   Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   ~Client();
@@ -142,10 +146,12 @@ class Client {
   std::unique_ptr<SocketLineReader> reader_;
   std::string greeting_;
   /// Guards the demux_ transition and pointer reads (heap-allocated so
-  /// the client stays movable).
-  mutable std::unique_ptr<std::mutex> demux_mutex_ =
-      std::make_unique<std::mutex>();
-  std::shared_ptr<Demux> demux_;
+  /// the client stays movable; nullptr only in a moved-from shell).
+  /// Client-side ranks sit above every server rank — in-process only in
+  /// tests, and client threads never hold server locks.
+  mutable std::unique_ptr<Mutex> demux_mutex_ = std::make_unique<Mutex>(
+      LockRank::kClientDemuxStart, "client.demux_mutex");
+  std::shared_ptr<Demux> demux_ GUARDED_BY(*demux_mutex_);
   /// Atomic: Submit is documented callable from any thread once the
   /// demux runs, and two racing Submits must never share an id.
   std::atomic<uint64_t> next_id_{0};

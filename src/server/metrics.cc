@@ -46,7 +46,7 @@ double LatencyHistogram::Percentile(double p) const {
 }
 
 void ServerMetrics::RecordQuery(QueryKind kind, double seconds, bool ok) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   KindMetrics& m = kinds_[static_cast<size_t>(kind)];
   ++m.requests;
   if (!ok) ++m.errors;
@@ -54,86 +54,86 @@ void ServerMetrics::RecordQuery(QueryKind kind, double seconds, bool ok) {
 }
 
 void ServerMetrics::RecordConnection() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++connections_;
 }
 
 void ServerMetrics::RecordOverloaded() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++overloaded_;
 }
 
 void ServerMetrics::RecordBadRequest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++bad_requests_;
 }
 
 void ServerMetrics::RecordAppend(bool ok) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++appends_;
   if (!ok) ++append_errors_;
 }
 
 void ServerMetrics::RecordFlush(bool ok) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++flushes_;
   if (!ok) ++flush_errors_;
 }
 
 void ServerMetrics::RecordCancelled() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++cancelled_;
 }
 
 void ServerMetrics::RecordDeadlineExceeded() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++deadline_exceeded_;
 }
 
 void ServerMetrics::RecordPartialResult() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++partial_results_;
 }
 
 void ServerMetrics::RecordDeadlineMiss() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++deadline_miss_;
 }
 
 uint64_t ServerMetrics::requests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const KindMetrics& m : kinds_) total += m.requests;
   return total;
 }
 
 uint64_t ServerMetrics::overloaded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return overloaded_;
 }
 
 uint64_t ServerMetrics::cancelled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cancelled_;
 }
 
 uint64_t ServerMetrics::deadline_exceeded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return deadline_exceeded_;
 }
 
 uint64_t ServerMetrics::partial_results() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return partial_results_;
 }
 
 uint64_t ServerMetrics::deadline_miss() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return deadline_miss_;
 }
 
 std::string ServerMetrics::Render() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const KindMetrics& m : kinds_) total += m.requests;
 

@@ -16,11 +16,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <variant>
 
 #include "api/engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 namespace server {
@@ -112,19 +113,21 @@ class ServerMetrics {
                 "QueryKind and QueryRequest diverged; RecordQuery indexes "
                 "kinds_ by QueryKind");
 
-  mutable std::mutex mutex_;
-  std::array<KindMetrics, kNumKinds> kinds_;
-  uint64_t connections_ = 0;
-  uint64_t overloaded_ = 0;
-  uint64_t bad_requests_ = 0;
-  uint64_t appends_ = 0;
-  uint64_t append_errors_ = 0;
-  uint64_t flushes_ = 0;
-  uint64_t flush_errors_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t deadline_exceeded_ = 0;
-  uint64_t partial_results_ = 0;
-  uint64_t deadline_miss_ = 0;
+  /// Leaf rank: metrics are recorded from everywhere (workers, session
+  /// threads, the queue sweep) and call nothing that locks.
+  mutable Mutex mutex_{LockRank::kMetrics, "metrics.mutex"};
+  std::array<KindMetrics, kNumKinds> kinds_ GUARDED_BY(mutex_);
+  uint64_t connections_ GUARDED_BY(mutex_) = 0;
+  uint64_t overloaded_ GUARDED_BY(mutex_) = 0;
+  uint64_t bad_requests_ GUARDED_BY(mutex_) = 0;
+  uint64_t appends_ GUARDED_BY(mutex_) = 0;
+  uint64_t append_errors_ GUARDED_BY(mutex_) = 0;
+  uint64_t flushes_ GUARDED_BY(mutex_) = 0;
+  uint64_t flush_errors_ GUARDED_BY(mutex_) = 0;
+  uint64_t cancelled_ GUARDED_BY(mutex_) = 0;
+  uint64_t deadline_exceeded_ GUARDED_BY(mutex_) = 0;
+  uint64_t partial_results_ GUARDED_BY(mutex_) = 0;
+  uint64_t deadline_miss_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace server

@@ -46,18 +46,20 @@ struct Server::Session {
   explicit Session(int fd) : fd(fd) {}
 
   void Send(const std::string& block) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+    MutexLock lock(write_mutex);
     SendAll(fd, block);
   }
 
   const int fd;
-  std::mutex write_mutex;
+  /// Below kEngine: PART frames are sent from inside Engine::Execute
+  /// with the engine's reader lock held.
+  Mutex write_mutex{LockRank::kSessionWrite, "session.write_mutex"};
 
   /// Tagged-query registry: id -> cancel token while in flight.
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::map<uint64_t, CancelToken> tokens;
-  size_t inflight = 0;
+  Mutex mutex{LockRank::kSessionState, "session.mutex"};
+  CondVar cv;
+  std::map<uint64_t, CancelToken> tokens GUARDED_BY(mutex);
+  size_t inflight GUARDED_BY(mutex) = 0;
 };
 
 namespace {
@@ -156,7 +158,12 @@ Result<std::unique_ptr<Server>> Server::Start(
       new Server(std::move(options), std::move(catalog)));
   const Status listening = server->Listen();
   if (!listening.ok()) return listening;
-  server->running_.resize(server->options_.num_workers);
+  {
+    // Workers don't exist yet, but the analysis (rightly) can't assume
+    // that — size the per-worker slots under the queue lock.
+    MutexLock lock(server->queue_mutex_);
+    server->running_.resize(server->options_.num_workers);
+  }
   for (size_t i = 0; i < server->options_.num_workers; ++i) {
     server->workers_.emplace_back([s = server.get(), i] { s->WorkerLoop(i); });
   }
@@ -210,7 +217,7 @@ void Server::AcceptLoop() {
       continue;
     }
     metrics_.RecordConnection();
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     if (stop_.load()) {
       ::close(fd);
       break;
@@ -245,7 +252,7 @@ bool Server::Submit(Job job) {
   bool accepted = false;
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!draining_) {
       job.seq = ++job_seq_;
       job.rank = job.deadline.has_value()
@@ -293,7 +300,7 @@ bool Server::Submit(Job job) {
       }
     }
   }
-  if (accepted) queue_cv_.notify_one();
+  if (accepted) queue_cv_.NotifyOne();
   for (Job& shed : expired) {
     // A queue-swept shed is by definition a deadline miss.
     metrics_.RecordDeadlineMiss();
@@ -308,8 +315,8 @@ void Server::WorkerLoop(size_t index) {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      MutexLock lock(queue_mutex_);
+      while (!draining_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
       if (queue_.empty()) return;  // draining_ and nothing left.
       // Earliest-deadline-first dispatch: the queued job with the
       // nearest rank runs next — the explicit deadline when one was
@@ -340,7 +347,7 @@ void Server::WorkerLoop(size_t index) {
     Result<QueryResponse> result = job.engine->Execute(
         job.request, job.ctx != nullptr ? *job.ctx : ExecContext{});
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(queue_mutex_);
       running_[index].active = false;
     }
     // A completion past the job's own deadline is a miss whether or not
@@ -421,7 +428,7 @@ void Server::SessionLoop(int fd) {
               std::strtoull(control->argument.c_str(), nullptr, 10);
           bool cancelled = false;
           {
-            std::lock_guard<std::mutex> lock(session->mutex);
+            MutexLock lock(session->mutex);
             auto it = session->tokens.find(id);
             if (it != session->tokens.end()) {
               it->second.Cancel();
@@ -544,7 +551,7 @@ void Server::SessionLoop(int fd) {
     if (attrs.id != 0) {
       // ---- v3 multiplexed query: register, submit, keep reading.
       {
-        std::lock_guard<std::mutex> lock(session->mutex);
+        MutexLock lock(session->mutex);
         if (session->tokens.count(attrs.id) != 0) {
           metrics_.RecordBadRequest();
           session->Send(RenderErrorBlock(
@@ -574,20 +581,20 @@ void Server::SessionLoop(int fd) {
         session->Send(result.ok() ? RenderResponse(result.value(), id)
                                   : RenderError(result.status(), id));
         {
-          std::lock_guard<std::mutex> lock(session->mutex);
+          MutexLock lock(session->mutex);
           session->tokens.erase(id);
           --session->inflight;
         }
-        session->cv.notify_all();
+        session->cv.NotifyAll();
       };
       if (!Submit(std::move(job))) {
         metrics_.RecordOverloaded();
         {
-          std::lock_guard<std::mutex> lock(session->mutex);
+          MutexLock lock(session->mutex);
           session->tokens.erase(attrs.id);
           --session->inflight;
         }
-        session->cv.notify_all();
+        session->cv.NotifyAll();
         session->Send(RenderErrorBlock(
             kOverloadedCode, "request queue is full — retry", attrs.id));
       }
@@ -622,15 +629,15 @@ void Server::SessionLoop(int fd) {
   // Disconnect: abort whatever is still in flight and wait for the
   // workers' completions before closing the socket underneath them.
   {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    MutexLock lock(session->mutex);
     for (auto& [id, token] : session->tokens) token.Cancel();
   }
   {
-    std::unique_lock<std::mutex> lock(session->mutex);
-    session->cv.wait(lock, [&] { return session->inflight == 0; });
+    MutexLock lock(session->mutex);
+    while (session->inflight != 0) session->cv.Wait(session->mutex);
   }
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     session_fds_.erase(fd);
   }
   ::close(fd);
@@ -647,23 +654,33 @@ void Server::Stop() {
   // 2. Unblock session reads (sessions blocked on a future stay put
   //    until step 3 fulfils it).
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
   }
 
   // 3. Drain the queue — every accepted job still gets an answer — and
   //    retire the workers.
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     draining_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 
-  // 4. Sessions can now run to completion.
-  for (SessionThread& session : session_threads_) {
+  // 4. Sessions can now run to completion. Swap the list out under the
+  //    lock and join outside it: a disconnecting session thread takes
+  //    sessions_mutex_ to erase its fd, so joining while holding the
+  //    lock would deadlock — and the old unlocked iteration raced the
+  //    accept loop's concurrent reap. stop_ is set and the accept
+  //    thread is joined, so no new entries can appear.
+  std::vector<SessionThread> to_join;
+  {
+    MutexLock lock(sessions_mutex_);
+    to_join.swap(session_threads_);
+  }
+  for (SessionThread& session : to_join) {
     if (session.thread.joinable()) session.thread.join();
   }
   ::close(listen_fd_);

@@ -51,13 +51,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -67,7 +65,9 @@
 #include "api/engine.h"
 #include "server/catalog.h"
 #include "server/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 namespace server {
@@ -193,20 +193,25 @@ class Server {
   /// Joins and erases finished session threads. Caller holds
   /// sessions_mutex_; joins are instant because `done` flips after all
   /// locking in SessionLoop.
-  void ReapFinishedSessionsLocked();
+  void ReapFinishedSessionsLocked() REQUIRES(sessions_mutex_);
 
   /// Live session sockets, for shutdown; still-running threads are
-  /// joined in Stop().
-  std::mutex sessions_mutex_;
-  std::set<int> session_fds_;
-  std::vector<SessionThread> session_threads_;
+  /// joined in Stop(). Outermost rank: the accept loop and Stop() hold
+  /// it while touching per-session state, and a disconnecting session
+  /// takes it (alone) to erase its fd.
+  Mutex sessions_mutex_{LockRank::kServerSessions, "server.sessions_mutex"};
+  std::set<int> session_fds_ GUARDED_BY(sessions_mutex_);
+  std::vector<SessionThread> session_threads_ GUARDED_BY(sessions_mutex_);
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool draining_ = false;  ///< Set by Stop(); workers finish the queue.
-  uint64_t job_seq_ = 0;   ///< Admission counter (guarded by queue_mutex_).
-  std::vector<RunningJob> running_;  ///< One slot per worker.
+  Mutex queue_mutex_{LockRank::kServerQueue, "server.queue_mutex"};
+  CondVar queue_cv_;
+  std::deque<Job> queue_ GUARDED_BY(queue_mutex_);
+  /// Set by Stop(); workers finish the queue.
+  bool draining_ GUARDED_BY(queue_mutex_) = false;
+  /// Admission counter.
+  uint64_t job_seq_ GUARDED_BY(queue_mutex_) = 0;
+  /// One slot per worker (sized once in Start, before workers exist).
+  std::vector<RunningJob> running_ GUARDED_BY(queue_mutex_);
   std::vector<std::thread> workers_;
 };
 

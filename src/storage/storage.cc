@@ -82,7 +82,7 @@ DurableEngine::DurableEngine(Private, Engine engine, WalWriter wal,
       base_path_(std::move(base_path)),
       wal_path_(std::move(wal_path)) {}
 
-void DurableEngine::StartLocked() {
+void DurableEngine::Start() {
   wal_bytes_.store(wal_.bytes());
   engine_.AttachAppendSink(this);
   if (options_.background_checkpointer) {
@@ -118,7 +118,7 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Create(
   auto durable = std::make_shared<DurableEngine>(
       Private{}, std::move(engine), std::move(wal).value(), options,
       base_path, wal_path);
-  durable->StartLocked();
+  durable->Start();
   return durable;
 }
 
@@ -219,16 +219,16 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
   durable->replayed_records_ = replayed;
   durable->skipped_records_ = skipped;
   durable->recovered_torn_tail_ = torn;
-  durable->StartLocked();
+  durable->Start();
   return durable;
 }
 
 DurableEngine::~DurableEngine() {
   {
-    std::lock_guard<std::mutex> lock(cp_mutex_);
+    MutexLock lock(cp_mutex_);
     stop_ = true;
   }
-  cp_cv_.notify_all();
+  cp_cv_.NotifyAll();
   if (checkpointer_.joinable()) checkpointer_.join();
   // No checkpoint on shutdown — recovery must not depend on a clean
   // exit (that is the whole point). A final best-effort sync covers
@@ -256,6 +256,8 @@ Status DurableEngine::AppendBatch(std::vector<TimeSeries> batch) {
 // ---- AppendSink (under the engine writer lock).
 
 Status DurableEngine::LogAppend(const TimeSeries& series) {
+  // AppendSink contract: the engine calls this under its writer lock.
+  engine_.mu().AssertHeld();
   const uint64_t rollback_to = wal_.bytes();
   const Status appended = wal_.Append(series);
   if (!appended.ok()) {
@@ -278,13 +280,15 @@ Status DurableEngine::LogAppend(const TimeSeries& series) {
   wal_records_.fetch_add(1);
   wal_bytes_.store(wal_.bytes());
   {
-    std::lock_guard<std::mutex> lock(cp_mutex_);
+    MutexLock lock(cp_mutex_);
   }
-  cp_cv_.notify_one();
+  cp_cv_.NotifyOne();
   return Status::OK();
 }
 
 Status DurableEngine::LogAppendBatch(std::span<const TimeSeries> batch) {
+  // AppendSink contract: the engine calls this under its writer lock.
+  engine_.mu().AssertHeld();
   const uint64_t rollback_to = wal_.bytes();
   uint64_t written = 0;
   Status failed = Status::OK();
@@ -305,9 +309,9 @@ Status DurableEngine::LogAppendBatch(std::span<const TimeSeries> batch) {
   wal_records_.fetch_add(batch.size());
   wal_bytes_.store(wal_.bytes());
   {
-    std::lock_guard<std::mutex> lock(cp_mutex_);
+    MutexLock lock(cp_mutex_);
   }
-  cp_cv_.notify_one();
+  cp_cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -324,8 +328,8 @@ bool DurableEngine::OverThreshold() const {
 void DurableEngine::CheckpointerLoop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(cp_mutex_);
-      cp_cv_.wait(lock, [this] { return stop_ || OverThreshold(); });
+      MutexLock lock(cp_mutex_);
+      while (!stop_ && !OverThreshold()) cp_cv_.Wait(cp_mutex_);
       if (stop_) return;
     }
     const Status checkpointed = Checkpoint();
@@ -335,21 +339,27 @@ void DurableEngine::CheckpointerLoop() {
       // Retry with a fixed backoff (threshold permitting) instead of
       // spinning: a transient error (disk briefly full) must not leave
       // the WAL growing unchecked for the rest of the process.
-      std::unique_lock<std::mutex> lock(cp_mutex_);
-      cp_cv_.wait_for(lock, std::chrono::seconds(1),
-                      [this] { return stop_; });
+      MutexLock lock(cp_mutex_);
+      const auto retry_at =
+          std::chrono::steady_clock::now() + std::chrono::seconds(1);
+      while (!stop_ &&
+             cp_cv_.WaitUntil(cp_mutex_, retry_at) != std::cv_status::timeout) {
+      }
       if (stop_) return;
     }
   }
 }
 
 Status DurableEngine::Checkpoint() {
-  std::lock_guard<std::mutex> serialize(checkpoint_mutex_);
+  MutexLock serialize(checkpoint_mutex_);
   return engine_.Exclusive(
       [this](const OnexBase& base) { return CheckpointLocked(base); });
 }
 
 Status DurableEngine::CheckpointLocked(const OnexBase& base) {
+  // Runs inside Engine::Exclusive — the writer lock crossed an untyped
+  // std::function boundary to get here.
+  engine_.mu().AssertHeld();
   // 1. Snapshot to a temp file, sync, publish via rename: readers of
   //    base_path_ never observe a half-written snapshot.
   const std::string tmp = base_path_ + ".tmp";

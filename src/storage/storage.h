@@ -37,10 +37,8 @@
 #define ONEX_STORAGE_STORAGE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,7 +46,9 @@
 #include "api/engine.h"
 #include "storage/append_sink.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace onex {
 namespace storage {
@@ -159,17 +159,27 @@ class DurableEngine : public AppendSink,
 
  private:
   /// Spin up the sink attachment and (optionally) the checkpointer;
-  /// shared tail of both factories.
-  void StartLocked();
+  /// shared tail of both factories. Unchecked: runs before the object
+  /// is shared with any other thread, so the guarded wal_ access is
+  /// single-threaded by construction.
+  void Start() NO_THREAD_SAFETY_ANALYSIS;
 
   void CheckpointerLoop();
   bool OverThreshold() const;
 
-  /// Rotation body; runs under the engine writer lock via Exclusive.
+  /// Rotation body; runs under the engine writer lock via Exclusive
+  /// (an untyped std::function boundary — it opens with
+  /// engine_.mu().AssertHeld(), the analysis-visible form of that
+  /// contract).
   Status CheckpointLocked(const OnexBase& base);
 
   Engine engine_;
-  WalWriter wal_;
+  /// All WAL-writer state is touched only under the engine's WRITER
+  /// lock: appends arrive through the AppendSink hook (write-ahead,
+  /// inside the engine's append path) and rotation runs via
+  /// Engine::Exclusive — so checkpoints and appends serialize without
+  /// a lock-order cycle.
+  WalWriter wal_ GUARDED_BY(engine_.mu());
   StorageOptions options_;
   const std::string base_path_;
   const std::string wal_path_;
@@ -180,17 +190,23 @@ class DurableEngine : public AppendSink,
   std::atomic<uint64_t> wal_records_{0};
   std::atomic<uint64_t> wal_bytes_{0};
   std::atomic<uint64_t> checkpoints_{0};
+  // Recovery facts, written once in Open before the object is shared.
   uint64_t replayed_records_ = 0;
   uint64_t skipped_records_ = 0;
   bool recovered_torn_tail_ = false;
 
   /// Serializes explicit Checkpoint() calls against the background one.
-  std::mutex checkpoint_mutex_;
+  /// Above kEngine: held across Engine::Exclusive. (The catalog may
+  /// hold its registry mutex while checkpointing a dirty victim, hence
+  /// kCatalog < kStorageCheckpoint.)
+  Mutex checkpoint_mutex_{LockRank::kStorageCheckpoint,
+                          "storage.checkpoint_mutex"};
 
-  /// Checkpointer thread plumbing.
-  std::mutex cp_mutex_;
-  std::condition_variable cp_cv_;
-  bool stop_ = false;
+  /// Checkpointer thread plumbing. Above kEngine: the append sink
+  /// pokes the checkpointer while the engine writer lock is held.
+  Mutex cp_mutex_{LockRank::kStorageCp, "storage.cp_mutex"};
+  CondVar cp_cv_;
+  bool stop_ GUARDED_BY(cp_mutex_) = false;
   std::thread checkpointer_;
 };
 

@@ -1,0 +1,111 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Lock-order hierarchy checking (util/mutex.h). Per-thread bookkeeping
+// of held annotated mutexes; a rank inversion aborts immediately with
+// both lock names and the thread's full held stack — a deterministic
+// crash at the acquisition site instead of a probabilistic deadlock in
+// production.
+
+#include "util/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace onex {
+namespace lock_debug {
+
+namespace {
+
+/// One thread's held annotated locks, acquisition order. Fixed-size:
+/// the deepest legal chain today is four (session -> catalog ->
+/// checkpoint -> engine -> storage-cp); 16 leaves headroom. Entries
+/// past capacity are counted but not tracked (never aborts on depth).
+struct HeldStack {
+  static constexpr int kCapacity = 16;
+  struct Entry {
+    const void* mutex;
+    LockRank rank;
+    const char* name;
+  };
+  Entry entries[kCapacity];
+  int size = 0;
+  int overflow = 0;
+};
+
+thread_local HeldStack tls_held;
+
+[[noreturn]] void Die(const char* what, const char* name, LockRank rank) {
+  std::fprintf(stderr,
+               "onex lock-order violation: %s '%s' (rank %d); held locks "
+               "(acquisition order):\n",
+               what, name, static_cast<int>(rank));
+  for (int i = 0; i < tls_held.size; ++i) {
+    std::fprintf(stderr, "  [%d] '%s' (rank %d)\n", i,
+                 tls_held.entries[i].name,
+                 static_cast<int>(tls_held.entries[i].rank));
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void PushHeld(const void* mutex, LockRank rank, const char* name) {
+  HeldStack& held = tls_held;
+  for (int i = 0; i < held.size; ++i) {
+    if (held.entries[i].mutex == mutex) {
+      Die("recursive acquisition of", name, rank);
+    }
+    if (held.entries[i].rank >= rank) {
+      std::fprintf(stderr,
+                   "onex lock-order violation: acquiring '%s' (rank %d) "
+                   "while holding '%s' (rank %d) — hierarchy requires "
+                   "strictly increasing ranks\n",
+                   name, static_cast<int>(rank), held.entries[i].name,
+                   static_cast<int>(held.entries[i].rank));
+      Die("acquiring", name, rank);
+    }
+  }
+  if (held.size >= HeldStack::kCapacity) {
+    ++held.overflow;
+    return;
+  }
+  held.entries[held.size++] = {mutex, rank, name};
+}
+
+void PopHeld(const void* mutex) {
+  HeldStack& held = tls_held;
+  // Releases are almost always LIFO; scan backwards for the rare
+  // hand-over-hand pattern.
+  for (int i = held.size - 1; i >= 0; --i) {
+    if (held.entries[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < held.size; ++j) {
+      held.entries[j] = held.entries[j + 1];
+    }
+    --held.size;
+    return;
+  }
+  if (held.overflow > 0) --held.overflow;  // Untracked past capacity.
+}
+
+bool Holds(const void* mutex) {
+  const HeldStack& held = tls_held;
+  for (int i = 0; i < held.size; ++i) {
+    if (held.entries[i].mutex == mutex) return true;
+  }
+  return false;
+}
+
+void CheckHeld(const void* mutex, const char* name) {
+  if (Holds(mutex)) return;
+  // A shared_mutex held SHARED by many threads records per-thread, so
+  // this is exact: the calling thread itself did not acquire it.
+  std::fprintf(stderr,
+               "onex lock assertion failed: '%s' is not held by the "
+               "calling thread\n",
+               name);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lock_debug
+}  // namespace onex

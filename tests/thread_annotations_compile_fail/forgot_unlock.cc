@@ -1,0 +1,28 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// MUST NOT COMPILE: returns with the mutex still held
+// (-Werror=thread-safety: mutex is still held at the end of function).
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    mutex_.Lock();
+    ++value_;
+    // Violation: no Unlock() on this path.
+  }
+
+ private:
+  onex::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

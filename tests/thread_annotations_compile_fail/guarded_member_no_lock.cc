@@ -1,0 +1,25 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// MUST NOT COMPILE: writes a GUARDED_BY member without holding its
+// mutex (-Werror=thread-safety: writing variable requires holding
+// mutex exclusively).
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // Violation: mutex_ not held.
+
+ private:
+  onex::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// MUST NOT COMPILE: calls a REQUIRES(mutex) helper without holding the
+// mutex (-Werror=thread-safety: calling function requires holding
+// mutex exclusively).
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { AddLocked(1); }  // Violation: mutex_ not held.
+
+ private:
+  void AddLocked(int n) REQUIRES(mutex_) { value_ += n; }
+
+  onex::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

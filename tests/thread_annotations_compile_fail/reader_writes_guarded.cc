@@ -1,0 +1,28 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// MUST NOT COMPILE: writes a GUARDED_BY member while holding only a
+// SHARED (reader) lock on its SharedMutex (-Werror=thread-safety:
+// writing variable requires holding mutex exclusively).
+
+#include "util/mutex.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Write(int v) {
+    onex::ReaderMutexLock lock(mutex_);
+    value_ = v;  // Violation: a write needs the exclusive hold.
+  }
+
+ private:
+  mutable onex::SharedMutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Write(1);
+  return 0;
+}
