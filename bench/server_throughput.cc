@@ -17,6 +17,8 @@
 //          [--workers N] [--queue N] [--series N] [--length N]
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -61,6 +63,36 @@ Engine BuildServedEngine(const std::string& generator, size_t n, size_t len,
     std::exit(1);
   }
   return std::move(built).value();
+}
+
+/// One METRICS scrape flattened to name -> value ("# HELP"/"# TYPE"
+/// comments skipped; the label set stays part of the key, so
+/// `onex_requests_total{kind="q1"}` and the plain counters coexist).
+std::map<std::string, double> ScrapeMetrics(uint16_t port) {
+  std::map<std::string, double> out;
+  auto connected = server::Client::Connect("127.0.0.1", port);
+  if (!connected.ok()) return out;
+  server::Client client = std::move(connected).value();
+  auto reply = client.Roundtrip("metrics");
+  if (!reply.ok() || !reply.value().ok) return out;
+  for (const std::string& line : reply.value().payload) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    out[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return out;
+}
+
+/// before/after delta of one scraped sample (0 when absent).
+double Delta(const std::map<std::string, double>& before,
+             const std::map<std::string, double>& after,
+             const std::string& name) {
+  const auto b = before.find(name);
+  const auto a = after.find(name);
+  return (a == after.end() ? 0.0 : a->second) -
+         (b == before.end() ? 0.0 : b->second);
 }
 
 int Run(int argc, char** argv) {
@@ -160,13 +192,40 @@ int Run(int argc, char** argv) {
     }
   };
 
+  // METRICS scrapes bracketing the run: the pruning-cascade and
+  // queue-wait deltas attribute the QPS numbers to cascade behavior
+  // (and regress if a change quietly stops pruning).
+  const std::map<std::string, double> metrics_before =
+      ScrapeMetrics(srv->port());
+
   Timer wall;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (size_t c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
   for (auto& t : threads) t.join();
   const double wall_seconds = wall.ElapsedSeconds();
+
+  const std::map<std::string, double> metrics_after =
+      ScrapeMetrics(srv->port());
   srv->Stop();
+
+  const double cascade_seen =
+      Delta(metrics_before, metrics_after, "onex_cascade_candidates_total");
+  const double dtw_evaluated =
+      Delta(metrics_before, metrics_after,
+            "onex_cascade_dtw_abandoned_total") +
+      Delta(metrics_before, metrics_after,
+            "onex_cascade_dtw_completed_total");
+  const double pruning_ratio =
+      cascade_seen > 0 ? 1.0 - dtw_evaluated / cascade_seen : 0.0;
+  const double queue_wait_count =
+      Delta(metrics_before, metrics_after, "onex_queue_wait_seconds_count");
+  const double queue_wait_mean_ms =
+      queue_wait_count > 0
+          ? Delta(metrics_before, metrics_after,
+                  "onex_queue_wait_seconds_sum") /
+                queue_wait_count * 1e3
+          : 0.0;
 
   SampleSet all;
   uint64_t total_shed = 0;
@@ -189,6 +248,10 @@ int Run(int argc, char** argv) {
                 TableWriter::Num(all.Percentile(95.0) * 1e3, 3),
                 TableWriter::Num(all.Percentile(99.0) * 1e3, 3)});
   table.Print();
+  std::printf("cascade: %.0f candidates, %.0f DTW evaluated "
+              "(pruning ratio %.3f); mean queue wait %.3f ms\n",
+              cascade_seen, dtw_evaluated, pruning_ratio,
+              queue_wait_mean_ms);
   if (total_errors > 0) {
     std::printf("WARNING: %llu transport/engine errors\n",
                 static_cast<unsigned long long>(total_errors));
@@ -201,12 +264,15 @@ int Run(int argc, char** argv) {
         "{\"bench\":\"server_throughput\",\"clients\":%zu,\"workers\":%zu,"
         "\"queue\":%zu,\"answered\":%zu,\"shed\":%llu,\"errors\":%llu,"
         "\"wall_seconds\":%.6f,\"qps\":%.1f,\"p50_ms\":%.4f,"
-        "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"mean_ms\":%.4f}\n",
+        "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"mean_ms\":%.4f,"
+        "\"cascade_candidates\":%.0f,\"dtw_evaluated\":%.0f,"
+        "\"pruning_ratio\":%.4f,\"queue_wait_mean_ms\":%.4f}\n",
         clients, workers, queue, all.count(),
         static_cast<unsigned long long>(total_shed),
         static_cast<unsigned long long>(total_errors), wall_seconds, qps,
         all.Percentile(50.0) * 1e3, all.Percentile(95.0) * 1e3,
-        all.Percentile(99.0) * 1e3, all.mean() * 1e3);
+        all.Percentile(99.0) * 1e3, all.mean() * 1e3, cascade_seen,
+        dtw_evaluated, pruning_ratio, queue_wait_mean_ms);
     std::fclose(json);
     std::printf("wrote BENCH_server.json\n");
   }

@@ -1,0 +1,151 @@
+// Trace-overhead budget check: the observability PR's contract is that
+// always-on stage timers plus ENABLED span recording cost < 1% of query
+// latency. This bench measures it directly — the same Q1 query mix is
+// executed through Engine::Execute in interleaved rounds with tracing
+// disabled and enabled, and the median-of-rounds throughput difference
+// is the overhead. Interleaving (A/B/A/B...) cancels thermal and cache
+// drift that a disabled-block-then-enabled-block design would book as
+// overhead. Results go to BENCH_trace_overhead.json with a pass flag.
+//
+// Run: ./build/bench/trace_overhead [--series N] [--length N]
+//          [--rounds N] [--iters N]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+Engine BuildEngine(size_t n, size_t len) {
+  GenOptions gen;
+  gen.num_series = n;
+  gen.length = len;
+  gen.seed = 42;
+  auto made = MakeDatasetByName("ECG", gen);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::exit(1);
+  }
+  Dataset dataset = std::move(made).value();
+  MinMaxNormalize(&dataset);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {8, len, 8};
+  auto built = Engine::Build(std::move(dataset), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t num_series = static_cast<size_t>(flags.GetInt("series", 40));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 64));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds", 9));
+  const size_t iters = static_cast<size_t>(flags.GetInt("iters", 200));
+
+  std::printf("building engine (%zu series x %zu)...\n", num_series, length);
+  Engine engine = BuildEngine(num_series, length);
+
+  // Query mix: in-dataset subsequences at both exact and any-length, so
+  // the rep-scan, member-scan, and k-NN span sites all fire.
+  Rng rng(7);
+  std::vector<QueryRequest> mix;
+  const Dataset& d = engine.dataset();
+  for (int v = 0; v < 8; ++v) {
+    const uint32_t series = static_cast<uint32_t>(rng.Uniform(d.size()));
+    const size_t qlen = (v % 2 == 0) ? 8 : std::min<size_t>(16, length);
+    const uint32_t start = static_cast<uint32_t>(
+        rng.Uniform(d[series].length() - qlen + 1));
+    const auto view = d[series].Subsequence(start, qlen);
+    std::vector<double> query(view.begin(), view.end());
+    switch (v % 3) {
+      case 0: mix.push_back(BestMatchRequest{query, qlen}); break;
+      case 1: mix.push_back(BestMatchRequest{query, 0}); break;
+      default: mix.push_back(KSimilarRequest{query, 5, qlen}); break;
+    }
+  }
+
+  auto run_round = [&]() {
+    Timer timer;
+    for (size_t i = 0; i < iters; ++i) {
+      auto result = engine.Execute(mix[i % mix.size()], ExecContext{});
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  // Warm-up round (untimed) so first-touch page faults and the lazily
+  // registered trace ring land outside the measurement.
+  trace::SetEnabled(true);
+  run_round();
+  trace::SetEnabled(false);
+  run_round();
+
+  std::vector<double> disabled, enabled;
+  for (size_t r = 0; r < rounds; ++r) {
+    trace::SetEnabled(false);
+    disabled.push_back(run_round());
+    trace::SetEnabled(true);
+    enabled.push_back(run_round());
+  }
+  trace::SetEnabled(false);
+
+  const double base = Median(disabled);
+  const double traced = Median(enabled);
+  const double overhead_pct = (traced - base) / base * 100.0;
+  const bool pass = overhead_pct < 1.0;
+  const trace::TraceStats stats = trace::GetStats();
+
+  std::printf("disabled median %.4f s, enabled median %.4f s over %zu "
+              "rounds x %zu queries\n",
+              base, traced, rounds, iters);
+  std::printf("trace overhead: %+.3f%% (budget 1%%) -> %s; %llu spans "
+              "pushed across %llu threads\n",
+              overhead_pct, pass ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(stats.pushed),
+              static_cast<unsigned long long>(stats.threads));
+
+  std::FILE* json = std::fopen("BENCH_trace_overhead.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\"bench\":\"trace_overhead\",\"series\":%zu,\"length\":%zu,"
+        "\"rounds\":%zu,\"iters\":%zu,\"disabled_median_s\":%.6f,"
+        "\"enabled_median_s\":%.6f,\"overhead_pct\":%.4f,"
+        "\"spans_pushed\":%llu,\"pass\":%s}\n",
+        num_series, length, rounds, iters, base, traced, overhead_pct,
+        static_cast<unsigned long long>(stats.pushed),
+        pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_trace_overhead.json\n");
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

@@ -9,6 +9,8 @@
 // Run: ./build/examples/onex_server [--port N] [--data-dir DIR]
 //          [--workers N] [--queue N] [--engines N] [--no-demo]
 //          [--durable] [--checkpoint-records N] [--checkpoint-bytes N]
+//          [--trace-out FILE] [--slow-query-ms N] [--log-level LEVEL]
+//          [--log-json FILE]
 //
 //   --port 7070      TCP port (0 = ephemeral, printed on startup)
 //   --data-dir DIR   catalog directory of <name>.onex bases
@@ -22,6 +24,16 @@
 //   --checkpoint-records 4096 / --checkpoint-bytes 8388608
 //                    WAL thresholds that trigger a background
 //                    snapshot + log rotation
+//   --trace-out FILE enable stage tracing (util/trace spans) and write
+//                    a Chrome trace_event JSON file at shutdown — open
+//                    it in chrome://tracing or https://ui.perfetto.dev
+//   --slow-query-ms N
+//                    log one JSON line per query at or above N ms total
+//                    latency (queue wait + execution)
+//   --log-level L    debug|info|warn|error threshold (also settable via
+//                    the ONEX_LOG_LEVEL environment variable)
+//   --log-json FILE  JSON-lines sink for the slow-query log and WARN+
+//                    mirrors (default: stderr)
 
 #include <csignal>
 #include <cstdio>
@@ -36,6 +48,8 @@
 #include "server/server.h"
 #include "storage/storage.h"
 #include "util/flags.h"
+#include "util/logging.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -84,6 +98,27 @@ bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
 int main(int argc, char** argv) {
   onex::Flags flags(argc, argv);
 
+  // Logging first: everything below (demo seeding, catalog opens) may
+  // warn, and those lines should respect the requested threshold/sink.
+  onex::InitLogLevelFromEnv();
+  if (flags.Has("log-level")) {
+    const std::string name = flags.GetString("log-level", "info");
+    const auto level = onex::ParseLogLevel(name);
+    if (!level) {
+      std::fprintf(stderr, "--log-level %s: not a level "
+                           "(debug|info|warn|error)\n", name.c_str());
+      return 1;
+    }
+    onex::SetLogLevel(*level);
+  }
+  if (flags.Has("log-json") &&
+      !onex::SetJsonLogPath(flags.GetString("log-json", ""))) {
+    return 1;
+  }
+
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) onex::trace::SetEnabled(true);
+
   onex::server::CatalogOptions catalog_options;
   catalog_options.data_dir = flags.GetString("data-dir", "");
   catalog_options.max_open_engines =
@@ -110,6 +145,8 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(flags.GetInt("port", 7070));
   options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
   options.max_queue = static_cast<size_t>(flags.GetInt("queue", 64));
+  options.slow_query_ms =
+      static_cast<uint64_t>(flags.GetInt("slow-query-ms", 0));
 
   // Block termination signals before spawning server threads so every
   // thread inherits the mask and sigwait below is the sole receiver.
@@ -153,6 +190,21 @@ int main(int argc, char** argv) {
     std::printf("checkpointed %zu dirty dataset%s (next startup is "
                 "replay-free)\n",
                 flushed, flushed == 1 ? "" : "s");
+  }
+  // Export spans at quiescence: Stop() joined every worker and session
+  // thread, so all rings are at rest.
+  if (!trace_out.empty()) {
+    if (onex::trace::WriteChromeTraceFile(trace_out)) {
+      const onex::trace::TraceStats ts = onex::trace::GetStats();
+      std::printf("trace: wrote %llu spans from %llu threads "
+                  "(%llu dropped by ring wrap) to %s\n",
+                  static_cast<unsigned long long>(ts.recorded),
+                  static_cast<unsigned long long>(ts.threads),
+                  static_cast<unsigned long long>(ts.dropped),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_out.c_str());
+    }
   }
   std::printf("served %llu requests (%llu shed, %llu cancelled, "
               "%llu deadline-exceeded)\n",

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Copyright 2026 The ONEX Reproduction Authors.
+# Prometheus exposition-format lint for the METRICS verb's output.
+# Reads one exposition payload (sample + "# HELP"/"# TYPE" lines, no
+# protocol framing) from the file argument or stdin and enforces:
+#
+#   1. every sample line's metric family is declared by a # TYPE line
+#      (histogram/summary samples may carry _bucket/_sum/_count);
+#   2. every family declared "counter" is named *_total;
+#   3. every histogram family exposes a _bucket{le="+Inf"} sample whose
+#      value equals its _count;
+#   4. no duplicate HELP/TYPE declarations, no unparseable lines.
+#
+# Usage:
+#   printf 'metrics\nquit\n' | nc -q1 localhost 7070 \
+#     | sed -e '1,/^OK Metrics$/d' -e '/^\.$/,$d' \
+#     | scripts/check_metrics.sh
+#   scripts/check_metrics.sh exposition.txt
+#
+# Exits nonzero on the first violation. The same grammar is enforced
+# in-process by tests/metrics_test.cc; this script exists so CI can lint
+# the bytes an actual server emits over a socket.
+
+set -euo pipefail
+
+awk '
+  function fail(msg) { printf "check_metrics: line %d: %s\n", NR, msg; bad = 1 }
+  function family(name) {
+    # _bucket/_sum/_count samples belong to the declaring family.
+    sub(/_bucket$/, "", name); sub(/_sum$/, "", name)
+    sub(/_count$/, "", name)
+    return name
+  }
+
+  /^$/ { fail("blank line in exposition output"); next }
+
+  /^# HELP / {
+    if (split($0, hp, " ") < 4) fail("HELP without a docstring")
+    if (hp[3] in helped) fail("duplicate HELP for " hp[3])
+    helped[hp[3]] = 1
+    next
+  }
+  /^# TYPE / {
+    if (NF != 4) fail("malformed TYPE line")
+    if ($3 in type) fail("duplicate TYPE for " $3)
+    if ($4 !~ /^(counter|gauge|histogram|summary)$/)
+      fail("unknown type \"" $4 "\" for " $3)
+    if ($4 == "counter" && $3 !~ /_total$/)
+      fail("counter " $3 " not named *_total")
+    type[$3] = $4
+    next
+  }
+  /^#/ { fail("unknown comment line: " $0); next }
+
+  {
+    # Sample line: name[{labels}] value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+      fail("unparseable sample line: " $0); next
+    }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    value = rest
+    sub(/^\{[^}]*\} /, "", value)
+    sub(/^ /, "", value)
+    if (value !~ /^[-+0-9.eE]+$|^[-+]?Inf$|^NaN$/)
+      fail("bad sample value \"" value "\" for " name)
+
+    base = name
+    if (!(base in type)) base = family(name)
+    if (!(base in type)) { fail("sample without TYPE declaration: " name); next }
+
+    if (type[base] == "histogram") {
+      if (name == base "_bucket" && rest ~ /^\{le="\+Inf"\} /)
+        inf[base] = value + 0
+      if (name == base "_count") count[base] = value + 0
+      seen_hist[base] = 1
+    }
+  }
+
+  END {
+    for (h in seen_hist) {
+      if (!(h in inf)) fail("histogram " h " missing le=\"+Inf\" bucket")
+      else if (!(h in count)) fail("histogram " h " missing _count")
+      else if (inf[h] != count[h])
+        fail(sprintf("histogram %s: +Inf bucket %g != _count %g",
+                     h, inf[h], count[h]))
+    }
+    if (bad) exit 1
+    if (length(type) == 0) { print "check_metrics: empty input"; exit 1 }
+    printf "check_metrics: OK (%d families)\n", length(type)
+  }
+' "${1:-/dev/stdin}"

@@ -6,6 +6,7 @@
 #include "core/serialization.h"
 #include "storage/append_sink.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace onex {
 
@@ -109,6 +110,7 @@ inline std::span<const double> AsSpan(const std::vector<double>& values) {
 
 Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
                                             const ExecContext& ctx) const {
+  ONEX_TRACE_SPAN("engine.execute");
   QueryResponse response;
   response.kind = KindOf(request);
   response.payload = EmptyPayloadOf(response.kind);
@@ -224,6 +226,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
             response.payload = RecommendResult{std::move(rows)};
           }
         } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
+          ScopedTimer stage(&response.stats.refine_seconds);
           RefineResult refinements;
           auto summarize = [&](size_t length, const GtiEntry& refined) {
             const GtiEntry* before = base_->EntryFor(length);

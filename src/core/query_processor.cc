@@ -8,6 +8,8 @@
 #include "distance/dtw.h"
 #include "distance/lb_keogh.h"
 #include "distance/lb_kim.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace onex {
 namespace {
@@ -34,6 +36,7 @@ std::string QueryStats::ToString() const {
 std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     std::span<const double> query, const GtiEntry& entry, double bsf,
     QueryStats& stats, ExecChecker& check) const {
+  ScopedTimer stage(&stats.rep_scan_seconds);
   const size_t g = entry.NumGroups();
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -53,15 +56,18 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     const std::span<const double> rep(group.representative.data(),
                                       entry.length);
     const double prune_at = std::min(bsf, best_d);
+    ++stats.cascade.candidates;
     if (options_.use_cascade && prune_at < kInf) {
       if (LbKim(query, rep) / norm > prune_at) {
         ++stats.reps_pruned;
+        ++stats.cascade.pruned_kim;
         return;
       }
       if (m == entry.length &&
           LbKeoghEarlyAbandon(query, group.envelope, prune_at * norm) / norm >
               prune_at) {
         ++stats.reps_pruned;
+        ++stats.cascade.pruned_keogh;
         return;
       }
     }
@@ -69,8 +75,14 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     double d;
     if (options_.use_early_abandon && prune_at < kInf) {
       d = DtwEarlyAbandon(query, rep, prune_at * norm, dtw_options) / norm;
+      if (std::isinf(d)) {
+        ++stats.cascade.dtw_abandoned;
+      } else {
+        ++stats.cascade.dtw_completed;
+      }
     } else {
       d = DtwDistance(query, rep, dtw_options) / norm;
+      ++stats.cascade.dtw_completed;
     }
     if (d < best_d) {
       best_d = d;
@@ -96,6 +108,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
                                        uint32_t group_id, double rep_distance,
                                        double bsf, QueryStats& stats,
                                        ExecChecker& check) const {
+  ScopedTimer stage(&stats.member_scan_seconds);
   const LsiEntry& group = entry.groups[group_id];
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -109,13 +122,20 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
   auto consider = [&](const LsiMember& member) {
     if (check.ShouldStop()) return;
     ++stats.members_compared;
+    ++stats.cascade.candidates;
     const auto values = member.ref.View(base_->dataset());
     const double prune_at = std::min(bsf, best.distance);
     double d;
     if (options_.use_early_abandon && prune_at < kInf) {
       d = DtwEarlyAbandon(query, values, prune_at * norm, dtw_options) / norm;
+      if (std::isinf(d)) {
+        ++stats.cascade.dtw_abandoned;
+      } else {
+        ++stats.cascade.dtw_completed;
+      }
     } else {
       d = DtwDistance(query, values, dtw_options) / norm;
+      ++stats.cascade.dtw_completed;
     }
     if (d < best.distance) {
       best.distance = d;
@@ -145,6 +165,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
 std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
     std::span<const double> query, const GtiEntry& entry,
     QueryStats& stats, ExecChecker& check) const {
+  ScopedTimer stage(&stats.rep_scan_seconds);
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
   const DtwOptions dtw_options = DtwOptions::FromRatio(
@@ -154,6 +175,8 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
   for (uint32_t k = 0; k < entry.NumGroups(); ++k) {
     if (check.ShouldStop()) break;
     ++stats.reps_compared;
+    ++stats.cascade.candidates;
+    ++stats.cascade.dtw_completed;
     const std::span<const double> rep(
         entry.groups[k].representative.data(), entry.length);
     reps.push_back({k, DtwDistance(query, rep, dtw_options) / norm});
@@ -219,6 +242,7 @@ std::vector<size_t> QueryProcessor::OrderedLengths(size_t m) const {
 Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
     std::span<const double> query, size_t length, QueryStats* stats,
     const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q1.best_match_of_length");
   if (query.empty()) return Status::InvalidArgument("empty query");
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr || entry->NumGroups() == 0) {
@@ -249,6 +273,7 @@ Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
 Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
                                                  QueryStats* stats,
                                                  const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q1.best_match");
   if (query.empty()) return Status::InvalidArgument("empty query");
   const double half_st = base_->options().st / 2.0;
   QueryStats call;
@@ -299,6 +324,7 @@ Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
 Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     std::span<const double> query, size_t k, size_t length,
     QueryStats* stats, const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q1.k_similar");
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (k == 0) return Status::InvalidArgument("k must be positive");
   QueryStats call;
@@ -362,30 +388,37 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     check.Report(std::span<const QueryMatch>(topk.data(), topk.size()),
                  fraction, /*snapshot=*/true);
   };
-  for (size_t i = 0; i < group.members.size(); ++i) {
-    if (check.ShouldStop()) break;
-    const LsiMember& member = group.members[i];
-    ++call.members_compared;
-    QueryMatch match;
-    match.ref = member.ref;
-    match.group_id = group_id;
-    match.distance =
-        DtwDistance(query, member.ref.View(base_->dataset()), dtw_options) /
-        norm;
-    matches.push_back(match);
-    if (track_topk &&
-        (topk.size() < k || MatchDistanceLess(match, topk.back()))) {
-      topk.insert(std::upper_bound(topk.begin(), topk.end(), match,
-                                   MatchDistanceLess),
-                  match);
-      if (topk.size() > k) topk.pop_back();
-    }
-    // Periodic snapshots only when a live watcher exists: the API
-    // layer's partial-capture wrapper is served by the final/interrupt
-    // flush alone.
-    if (check.wants_live_progress() && (i + 1) % 32 == 0) {
-      flush_topk(static_cast<double>(i + 1) /
-                 static_cast<double>(group.members.size()));
+  {
+    // Scoped so the ranking time is flushed into `call` before
+    // CommitStats copies it out below.
+    ScopedTimer stage(&call.knn_seconds);
+    for (size_t i = 0; i < group.members.size(); ++i) {
+      if (check.ShouldStop()) break;
+      const LsiMember& member = group.members[i];
+      ++call.members_compared;
+      ++call.cascade.candidates;
+      ++call.cascade.dtw_completed;
+      QueryMatch match;
+      match.ref = member.ref;
+      match.group_id = group_id;
+      match.distance =
+          DtwDistance(query, member.ref.View(base_->dataset()), dtw_options) /
+          norm;
+      matches.push_back(match);
+      if (track_topk &&
+          (topk.size() < k || MatchDistanceLess(match, topk.back()))) {
+        topk.insert(std::upper_bound(topk.begin(), topk.end(), match,
+                                     MatchDistanceLess),
+                    match);
+        if (topk.size() > k) topk.pop_back();
+      }
+      // Periodic snapshots only when a live watcher exists: the API
+      // layer's partial-capture wrapper is served by the final/interrupt
+      // flush alone.
+      if (check.wants_live_progress() && (i + 1) % 32 == 0) {
+        flush_topk(static_cast<double>(i + 1) /
+                   static_cast<double>(group.members.size()));
+      }
     }
   }
   CommitStats(call, stats);
@@ -413,6 +446,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
 Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
     std::span<const double> query, double st, size_t length,
     bool exact_distances, QueryStats* stats, const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q1.range_within");
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (st <= 0.0) return Status::InvalidArgument("st must be positive");
 
@@ -476,7 +510,13 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       // skipped outright; the representative's DTW only chooses between
       // wholesale admission (Lemma 2) and a per-member scan.
       ++call.reps_compared;
-      const double rep_d = DtwDistance(query, rep, dtw_options) / norm;
+      ++call.cascade.candidates;
+      ++call.cascade.dtw_completed;
+      double rep_d;
+      {
+        ScopedTimer stage(&call.rep_scan_seconds);
+        rep_d = DtwDistance(query, rep, dtw_options) / norm;
+      }
       // Lemma 2 premises, checked against the *stored* member EDs (the
       // members array is sorted, so back() is the group's ED radius):
       // both DTW(query, rep) and every ED(member, rep) must be <= st/2.
@@ -484,6 +524,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
           group.members.empty() ? 0.0 : group.members.back().ed_to_rep;
       if (rep_d <= st / 2.0 && group_radius <= st / 2.0) {
         // Lemma 2: every member of this group is within st of the query.
+        ScopedTimer stage(&call.member_scan_seconds);
         call.members_admitted_by_lemma2 += group.members.size();
         for (const LsiMember& member : group.members) {
           QueryMatch match;
@@ -491,6 +532,9 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
           match.group_id = k;
           if (exact_distances) {
             if (check.ShouldStop()) break;
+            // Exact recompute enters the cascade as a straight DTW.
+            ++call.cascade.candidates;
+            ++call.cascade.dtw_completed;
             match.distance =
                 DtwDistance(query, member.ref.View(base_->dataset()),
                             dtw_options) /
@@ -503,13 +547,20 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
         }
       } else {
         // Individual scan with early abandoning at the range threshold.
+        ScopedTimer stage(&call.member_scan_seconds);
         for (const LsiMember& member : group.members) {
           if (check.ShouldStop()) break;
           ++call.members_compared;
+          ++call.cascade.candidates;
           const double d =
               DtwEarlyAbandon(query, member.ref.View(base_->dataset()),
                               st * norm, dtw_options) /
               norm;
+          if (std::isinf(d)) {
+            ++call.cascade.dtw_abandoned;
+          } else {
+            ++call.cascade.dtw_completed;
+          }
           if (d <= st) {
             QueryMatch match;
             match.ref = member.ref;
@@ -579,6 +630,7 @@ class GroupStream {
 Result<std::vector<std::vector<SubsequenceRef>>>
 QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length,
                                    const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q2.seasonal");
   if (series_id >= base_->dataset().size()) {
     return Status::InvalidArgument("series id out of range");
   }
@@ -609,6 +661,7 @@ QueryProcessor::SeasonalSimilarity(uint32_t series_id, size_t length,
 Result<std::vector<std::vector<SubsequenceRef>>>
 QueryProcessor::SimilarGroupsOfLength(size_t length,
                                       const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q2.similar_groups");
   const GtiEntry* entry = base_->EntryFor(length);
   if (entry == nullptr) {
     return Status::NotFound("length " + std::to_string(length) +

@@ -19,6 +19,7 @@
 #include "core/exec_context.h"
 #include "core/onex_base.h"
 #include "core/query_match.h"
+#include "distance/cascade.h"
 #include "util/status.h"
 
 namespace onex {
@@ -45,7 +46,9 @@ struct QueryOptions {
   size_t groups_to_search = 1;
 };
 
-/// Work counters for the time-response experiments.
+/// Work counters for the time-response experiments, plus — since the
+/// observability layer — the live pruning-cascade breakdown and stage
+/// timings every query carries back through QueryResponse.stats.
 struct QueryStats {
   uint64_t lengths_scanned = 0;
   uint64_t reps_compared = 0;
@@ -54,6 +57,29 @@ struct QueryStats {
   /// Members admitted wholesale by the Lemma-2 fast path of
   /// FindAllWithin, without any per-member DTW.
   uint64_t members_admitted_by_lemma2 = 0;
+
+  /// Pruning-cascade counters, incremented at every DTW decision point
+  /// (representative scans, member scans, k-NN ranking, range scans).
+  /// Invariant at every site: candidates == pruned_kim + pruned_keogh +
+  /// dtw_abandoned + dtw_completed — the wire's `dtw_evaluated` is the
+  /// last two summed, so the paper's pruning ratio
+  /// (1 - dtw_evaluated/candidates) is available per query, live.
+  /// Lemma-2-admitted members never enter the cascade and are counted
+  /// only in members_admitted_by_lemma2.
+  CascadeStats cascade;
+
+  /// Stage timings, seconds. Accumulated at call/group granularity
+  /// (one ScopedTimer per representative scan, group scan, or ranking
+  /// loop — never per candidate, so the cost is two clock reads against
+  /// microseconds of DTW). queue_wait_seconds is filled by the server
+  /// after execution (the processor never sees the queue); envelopes
+  /// are precomputed at base-build time, so there is no query-side
+  /// envelope stage to time.
+  double queue_wait_seconds = 0;   ///< Admission -> worker pickup.
+  double rep_scan_seconds = 0;     ///< Representative (group) scans.
+  double member_scan_seconds = 0;  ///< Within-group member refinement.
+  double knn_seconds = 0;          ///< Exact top-k ranking loop.
+  double refine_seconds = 0;       ///< Threshold refine (split/merge).
 
   void Reset() { *this = QueryStats(); }
 
@@ -64,6 +90,12 @@ struct QueryStats {
     reps_pruned += other.reps_pruned;
     members_compared += other.members_compared;
     members_admitted_by_lemma2 += other.members_admitted_by_lemma2;
+    cascade.Add(other.cascade);
+    queue_wait_seconds += other.queue_wait_seconds;
+    rep_scan_seconds += other.rep_scan_seconds;
+    member_scan_seconds += other.member_scan_seconds;
+    knn_seconds += other.knn_seconds;
+    refine_seconds += other.refine_seconds;
   }
 
   std::string ToString() const;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace onex {
 namespace {
@@ -38,6 +39,7 @@ Recommendation Recommender::Recommend(SimilarityDegree degree,
 
 std::vector<Recommendation> Recommender::AllDegrees(
     size_t length, const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("q3.recommend");
   ExecChecker check(ctx);
   std::vector<Recommendation> rows;
   constexpr SimilarityDegree kDegrees[] = {SimilarityDegree::kStrict,

@@ -6,6 +6,7 @@
 
 #include "core/group_builder.h"
 #include "distance/euclidean.h"
+#include "util/trace.h"
 
 namespace onex {
 namespace {
@@ -27,6 +28,7 @@ SimilarityGroup GroupFromMembers(const Dataset& dataset, size_t length,
 Result<GtiEntry> ThresholdRefiner::RefineLength(size_t length,
                                                 double st_prime,
                                                 const ExecContext* ctx) const {
+  ONEX_TRACE_SPAN("refine.length");
   if (st_prime <= 0.0) {
     return Status::InvalidArgument("st' must be positive");
   }

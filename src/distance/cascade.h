@@ -25,6 +25,24 @@ struct CascadeStats {
   uint64_t dtw_completed = 0;   ///< Full DTW evaluations.
 
   void Reset() { *this = CascadeStats(); }
+
+  /// Merges another accumulation into this one (per-query counters roll
+  /// up into the server-wide totals this way).
+  void Add(const CascadeStats& other) {
+    candidates += other.candidates;
+    pruned_kim += other.pruned_kim;
+    pruned_keogh += other.pruned_keogh;
+    dtw_abandoned += other.dtw_abandoned;
+    dtw_completed += other.dtw_completed;
+  }
+
+  /// Every candidate is accounted to exactly one terminal stage.
+  /// (dtw_abandoned + dtw_completed is the wire's `dtw_evaluated`.)
+  bool Consistent() const {
+    return candidates ==
+           pruned_kim + pruned_keogh + dtw_abandoned + dtw_completed;
+  }
+
   std::string ToString() const;
 };
 
@@ -40,9 +58,13 @@ struct CascadeOptions {
 /// exact DTW under `dtw_options`.
 class CascadePruner {
  public:
+  /// `sink`, when set, receives every increment the internal stats()
+  /// accumulator does — callers tee the per-stage counters into a
+  /// per-query QueryStats without polling between calls.
   explicit CascadePruner(DtwOptions dtw_options,
-                         CascadeOptions cascade_options = {})
-      : dtw_options_(dtw_options), options_(cascade_options) {}
+                         CascadeOptions cascade_options = {},
+                         CascadeStats* sink = nullptr)
+      : dtw_options_(dtw_options), options_(cascade_options), sink_(sink) {}
 
   /// `envelope` is the candidate-side envelope matching query length;
   /// pass nullptr when unavailable (e.g. cross-length comparisons), which
@@ -58,6 +80,7 @@ class CascadePruner {
   DtwOptions dtw_options_;
   CascadeOptions options_;
   CascadeStats stats_;
+  CascadeStats* sink_ = nullptr;
 };
 
 }  // namespace onex

@@ -362,5 +362,37 @@ CatalogStats Catalog::stats() const {
   return out;
 }
 
+storage::StorageStats Catalog::DurableStats() const {
+  // Snapshot the durable handles under the mutex, read their (atomic)
+  // counters outside it — per-entry stats() never takes a lock, but
+  // keeping the registry section minimal is free here.
+  std::vector<std::shared_ptr<storage::DurableEngine>> durables;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry.durable != nullptr) durables.push_back(entry.durable);
+    }
+  }
+  storage::StorageStats out;
+  for (const auto& durable : durables) {
+    const storage::StorageStats one = durable->stats();
+    out.appends += one.appends;
+    out.wal_records += one.wal_records;
+    out.wal_bytes += one.wal_bytes;
+    out.checkpoints += one.checkpoints;
+    // Most recent completion across entries (smallest age) and the
+    // worst-case stall (largest duration).
+    if (one.checkpoint_age_seconds >= 0.0 &&
+        (out.checkpoint_age_seconds < 0.0 ||
+         one.checkpoint_age_seconds < out.checkpoint_age_seconds)) {
+      out.checkpoint_age_seconds = one.checkpoint_age_seconds;
+    }
+    out.checkpoint_last_duration_seconds =
+        std::max(out.checkpoint_last_duration_seconds,
+                 one.checkpoint_last_duration_seconds);
+  }
+  return out;
+}
+
 }  // namespace server
 }  // namespace onex

@@ -145,6 +145,14 @@ class Catalog {
 
   CatalogStats stats() const;
 
+  /// Aggregated storage counters across every RESIDENT durable entry:
+  /// summed WAL bytes/records since checkpoint; checkpoint age is the
+  /// minimum (most recent completion) and last duration the maximum
+  /// across entries — the conservative figure for "how stale could a
+  /// snapshot be" and "how long could a checkpoint stall queries".
+  /// The METRICS verb's WAL/checkpoint gauges come from here.
+  storage::StorageStats DurableStats() const;
+
  private:
   struct Entry {
     std::shared_ptr<Engine> engine;  ///< nullptr when evicted.

@@ -1,5 +1,6 @@
 #include "server/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -33,14 +34,29 @@ double LatencyHistogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
-  // Rank of the quantile sample, 1-based ceil so p=100 hits the last
-  // occupied bucket and p=0 the first.
-  const uint64_t rank = static_cast<uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  // Fractional rank of the quantile across the sample count; the
+  // 1-based ceil picks the winning bucket (p=100 hits the last occupied
+  // one, p=0 the first) and the fractional remainder interpolates
+  // linearly inside it — returning the upper edge unconditionally
+  // biased every estimate high by up to the full bucket width.
+  const double target = p / 100.0 * static_cast<double>(count_);
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(target)));
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
-    if (seen >= rank && seen > 0) return UpperBound(i);
+    if (seen >= rank) {
+      const double lower = i == 0 ? 0.0 : UpperBound(i - 1);
+      const double upper = UpperBound(i);
+      const uint64_t before = seen - buckets_[i];
+      double frac =
+          (target - static_cast<double>(before)) /
+          static_cast<double>(buckets_[i]);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + frac * (upper - lower);
+    }
   }
   return UpperBound(kBuckets - 1);
 }
@@ -51,6 +67,20 @@ void ServerMetrics::RecordQuery(QueryKind kind, double seconds, bool ok) {
   ++m.requests;
   if (!ok) ++m.errors;
   m.latency.Record(seconds);
+}
+
+void ServerMetrics::RecordQueryBreakdown(double queue_wait_seconds,
+                                         double exec_seconds,
+                                         const CascadeStats& cascade) {
+  MutexLock lock(mutex_);
+  queue_wait_.Record(queue_wait_seconds);
+  exec_.Record(exec_seconds);
+  cascade_.Add(cascade);
+}
+
+void ServerMetrics::RecordSlowQuery() {
+  MutexLock lock(mutex_);
+  ++slow_queries_;
 }
 
 void ServerMetrics::RecordConnection() {
@@ -166,15 +196,217 @@ std::string ServerMetrics::Render() const {
         1e6;
     std::snprintf(line, sizeof(line),
                   "kind name=%s requests=%llu errors=%llu p50_us=%.0f "
-                  "p95_us=%.0f p99_us=%.0f mean_us=%.0f\n",
+                  "p95_us=%.0f p99_us=%.0f p999_us=%.0f mean_us=%.0f\n",
                   ToString(static_cast<QueryKind>(i)),
                   static_cast<unsigned long long>(m.requests),
                   static_cast<unsigned long long>(m.errors),
                   m.latency.Percentile(50.0) * 1e6,
                   m.latency.Percentile(95.0) * 1e6,
-                  m.latency.Percentile(99.0) * 1e6, mean_us);
+                  m.latency.Percentile(99.0) * 1e6,
+                  m.latency.Percentile(99.9) * 1e6, mean_us);
     out += line;
   }
+  return out;
+}
+
+namespace {
+
+/// `# HELP` / `# TYPE` preamble for one metric family.
+void Preamble(std::string* out, const char* name, const char* type,
+              const char* help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void CounterLine(std::string* out, const char* name, uint64_t value) {
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  *out += line;
+}
+
+void SimpleCounter(std::string* out, const char* name, const char* help,
+                   uint64_t value) {
+  Preamble(out, name, "counter", help);
+  CounterLine(out, name, value);
+}
+
+void GaugeLine(std::string* out, const char* name, const char* help,
+               double value) {
+  Preamble(out, name, "gauge", help);
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %.9g\n", name, value);
+  *out += line;
+}
+
+/// One histogram family: cumulative _bucket lines for non-empty buckets
+/// (a sparse-but-monotonic series is valid exposition format), the
+/// mandatory le="+Inf" bucket, then _sum and _count.
+void HistogramFamily(std::string* out, const char* name, const char* help,
+                     const LatencyHistogram& histogram) {
+  Preamble(out, name, "histogram", help);
+  char line[160];
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const uint64_t in_bucket = histogram.bucket_count(i);
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n", name,
+                  LatencyHistogram::UpperBound(i),
+                  static_cast<unsigned long long>(cumulative));
+    *out += line;
+  }
+  std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n", name,
+                static_cast<unsigned long long>(histogram.count()));
+  *out += line;
+  std::snprintf(line, sizeof(line), "%s_sum %.9g\n", name,
+                histogram.total_seconds());
+  *out += line;
+  std::snprintf(line, sizeof(line), "%s_count %llu\n", name,
+                static_cast<unsigned long long>(histogram.count()));
+  *out += line;
+}
+
+}  // namespace
+
+std::string ServerMetrics::RenderPrometheus(
+    const GaugeSnapshot& gauges) const {
+  MutexLock lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  char line[256];
+
+  // ---- request counters and latency summaries, labelled by kind.
+  Preamble(&out, "onex_requests_total", "counter",
+           "Answered queries by kind (errors included).");
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    if (kinds_[i].requests == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "onex_requests_total{kind=\"%s\"} %llu\n",
+                  ToString(static_cast<QueryKind>(i)),
+                  static_cast<unsigned long long>(kinds_[i].requests));
+    out += line;
+  }
+  Preamble(&out, "onex_request_errors_total", "counter",
+           "Queries answered with an application error, by kind.");
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    if (kinds_[i].requests == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "onex_request_errors_total{kind=\"%s\"} %llu\n",
+                  ToString(static_cast<QueryKind>(i)),
+                  static_cast<unsigned long long>(kinds_[i].errors));
+    out += line;
+  }
+  Preamble(&out, "onex_query_latency_seconds", "summary",
+           "End-to-end (queue wait + execution) latency by kind.");
+  constexpr double kQuantiles[] = {50.0, 95.0, 99.0, 99.9};
+  constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99", "0.999"};
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    const KindMetrics& m = kinds_[i];
+    if (m.requests == 0) continue;
+    const char* kind = ToString(static_cast<QueryKind>(i));
+    for (size_t q = 0; q < 4; ++q) {
+      std::snprintf(line, sizeof(line),
+                    "onex_query_latency_seconds{kind=\"%s\",quantile=\"%s\"}"
+                    " %.9g\n",
+                    kind, kQuantileLabels[q],
+                    m.latency.Percentile(kQuantiles[q]));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "onex_query_latency_seconds_sum{kind=\"%s\"} %.9g\n", kind,
+                  m.latency.total_seconds());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "onex_query_latency_seconds_count{kind=\"%s\"} %llu\n",
+                  kind, static_cast<unsigned long long>(m.latency.count()));
+    out += line;
+  }
+
+  // ---- the queue-wait vs exec-time split.
+  HistogramFamily(&out, "onex_queue_wait_seconds",
+                  "Time between job admission and worker pickup.",
+                  queue_wait_);
+  HistogramFamily(&out, "onex_exec_seconds",
+                  "Engine execution time (queue wait excluded).", exec_);
+
+  // ---- pruning-cascade totals (the paper's pruning ratio, live:
+  // 1 - (dtw_abandoned + dtw_completed) / candidates).
+  SimpleCounter(&out, "onex_cascade_candidates_total",
+                "Candidates entering the LB_Kim/LB_Keogh/DTW cascade.",
+                cascade_.candidates);
+  SimpleCounter(&out, "onex_cascade_pruned_kim_total",
+                "Candidates dropped by LB_Kim.", cascade_.pruned_kim);
+  SimpleCounter(&out, "onex_cascade_pruned_keogh_total",
+                "Candidates dropped by LB_Keogh.", cascade_.pruned_keogh);
+  SimpleCounter(&out, "onex_cascade_dtw_abandoned_total",
+                "DTW evaluations abandoned early.", cascade_.dtw_abandoned);
+  SimpleCounter(&out, "onex_cascade_dtw_completed_total",
+                "DTW evaluations run to completion.",
+                cascade_.dtw_completed);
+
+  // ---- server-wide event counters.
+  SimpleCounter(&out, "onex_connections_total", "Accepted connections.",
+                connections_);
+  SimpleCounter(&out, "onex_overloaded_total",
+                "Requests shed by admission control.", overloaded_);
+  SimpleCounter(&out, "onex_bad_requests_total",
+                "Lines that failed to parse or had no dataset bound.",
+                bad_requests_);
+  SimpleCounter(&out, "onex_appends_total", "APPEND mutations attempted.",
+                appends_);
+  SimpleCounter(&out, "onex_append_errors_total", "APPEND mutations failed.",
+                append_errors_);
+  SimpleCounter(&out, "onex_flushes_total", "FLUSH requests attempted.",
+                flushes_);
+  SimpleCounter(&out, "onex_flush_errors_total", "FLUSH requests failed.",
+                flush_errors_);
+  SimpleCounter(&out, "onex_cancelled_total",
+                "Queries aborted by their cancel token.", cancelled_);
+  SimpleCounter(&out, "onex_deadline_exceeded_total",
+                "Queries aborted by their deadline budget.",
+                deadline_exceeded_);
+  SimpleCounter(&out, "onex_partial_results_total",
+                "Replies carrying partial (interrupted) results.",
+                partial_results_);
+  SimpleCounter(&out, "onex_deadline_miss_total",
+                "Deadline-carrying jobs that completed late.",
+                deadline_miss_);
+  SimpleCounter(&out, "onex_slow_queries_total",
+                "Queries crossing the --slow-query-ms threshold.",
+                slow_queries_);
+
+  // ---- gauges (assembled by the caller; see GaugeSnapshot).
+  GaugeLine(&out, "onex_queue_depth", "Jobs admitted, not yet picked up.",
+            static_cast<double>(gauges.queue_depth));
+  GaugeLine(&out, "onex_workers_busy", "Workers executing a job right now.",
+            static_cast<double>(gauges.workers_busy));
+  GaugeLine(&out, "onex_workers_total", "Worker pool size.",
+            static_cast<double>(gauges.workers_total));
+  GaugeLine(&out, "onex_catalog_resident_engines",
+            "Engines resident in memory.",
+            static_cast<double>(gauges.catalog_resident));
+  GaugeLine(&out, "onex_catalog_dirty_engines",
+            "Resident engines with unflushed in-memory state.",
+            static_cast<double>(gauges.catalog_dirty));
+  GaugeLine(&out, "onex_wal_bytes", "Live WAL bytes since last checkpoint.",
+            static_cast<double>(gauges.wal_bytes));
+  GaugeLine(&out, "onex_wal_records",
+            "Live WAL records since last checkpoint.",
+            static_cast<double>(gauges.wal_records));
+  GaugeLine(&out, "onex_checkpoint_age_seconds",
+            "Seconds since the last completed checkpoint (-1 = never).",
+            gauges.checkpoint_age_seconds);
+  GaugeLine(&out, "onex_checkpoint_last_duration_seconds",
+            "Duration of the last completed checkpoint.",
+            gauges.checkpoint_last_duration_seconds);
   return out;
 }
 

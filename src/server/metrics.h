@@ -7,9 +7,17 @@
 // bench — watch the serving layer without attaching a profiler.
 //
 // The histogram is log-bucketed (multiplicative steps from 1µs to
-// ~100s), so percentiles are approximate: each reported value is the
-// upper edge of the bucket containing that quantile, i.e. exact within
-// one bucket's resolution (~26% relative). Counters are exact.
+// ~100s), so percentiles are approximate: each reported value is
+// linearly interpolated within the bucket containing that quantile, so
+// the worst case is half a bucket's width (~13% relative; the old
+// upper-edge rule biased every estimate high by up to the full ~26%
+// bucket resolution). Counters are exact.
+//
+// Two render surfaces share the same registry: the line-oriented STATS
+// payload (Render) and Prometheus text exposition format
+// (RenderPrometheus), which additionally takes a point-in-time gauge
+// snapshot the server assembles — the metrics mutex is a leaf and must
+// never reach into the queue, catalog, or storage locks itself.
 
 #ifndef ONEX_SERVER_METRICS_H_
 #define ONEX_SERVER_METRICS_H_
@@ -20,6 +28,7 @@
 #include <variant>
 
 #include "api/engine.h"
+#include "distance/cascade.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -30,27 +39,51 @@ namespace server {
 /// ServerMetrics serializes access.
 class LatencyHistogram {
  public:
-  void Record(double seconds);
-
-  /// Approximate percentile in seconds, p in [0, 100]; 0 when empty.
-  /// Returns the upper edge of the bucket holding the p-quantile.
-  double Percentile(double p) const;
-
-  uint64_t count() const { return count_; }
-  double total_seconds() const { return total_seconds_; }
-
- private:
   /// Buckets span [1µs, ~100s) in multiplicative steps of 10^(1/10)
-  /// (~1.26x): 10 buckets per decade over 8 decades.
+  /// (~1.26x): 10 buckets per decade over 8 decades. Public so the
+  /// Prometheus renderer and the grammar tests can walk the buckets.
   static constexpr size_t kBuckets = 81;
   static constexpr double kFirstUpperBound = 1e-6;
 
   /// Upper bound of bucket `i` in seconds.
   static double UpperBound(size_t i);
 
+  void Record(double seconds);
+
+  /// Approximate percentile in seconds, p in [0, 100]; 0 when empty.
+  /// Linearly interpolates within the bucket holding the p-quantile
+  /// (the bucket's lower edge is the previous bucket's upper bound, 0
+  /// for the first), so a single-sample histogram reports mid-bucket at
+  /// p=50 and the exact upper edge only at p=100.
+  double Percentile(double p) const;
+
+  uint64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  /// Samples in bucket `i` (not cumulative).
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+
+ private:
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   double total_seconds_ = 0.0;
+};
+
+/// Point-in-time gauges rendered by RenderPrometheus. Assembled by the
+/// SERVER at render time — queue depth under the queue mutex, catalog
+/// and WAL figures from the catalog — never by ServerMetrics itself:
+/// the metrics mutex is a leaf and cannot reach into those locks.
+struct GaugeSnapshot {
+  uint64_t queue_depth = 0;       ///< Jobs admitted, not yet picked up.
+  uint64_t workers_busy = 0;      ///< Workers executing a job right now.
+  uint64_t workers_total = 0;     ///< Worker pool size.
+  uint64_t catalog_resident = 0;  ///< Engines resident in memory.
+  uint64_t catalog_dirty = 0;     ///< Resident engines with unflushed state.
+  uint64_t wal_bytes = 0;         ///< Live WAL bytes since last checkpoint.
+  uint64_t wal_records = 0;       ///< Live WAL records since last checkpoint.
+  /// Seconds since the most recent completed checkpoint across all
+  /// durable engines; negative when none has ever completed.
+  double checkpoint_age_seconds = -1.0;
+  double checkpoint_last_duration_seconds = 0.0;
 };
 
 /// Thread-safe metrics registry for one Server instance.
@@ -59,6 +92,16 @@ class ServerMetrics {
   /// One answered query of `kind`: end-to-end latency and whether the
   /// engine reported an error (errors still count one latency sample).
   void RecordQuery(QueryKind kind, double seconds, bool ok);
+
+  /// Observability split recorded alongside RecordQuery (one lock, one
+  /// call per answered query): time spent queued before a worker picked
+  /// the job up vs time executing, plus the query's pruning-cascade
+  /// counters rolled into the server-wide totals.
+  void RecordQueryBreakdown(double queue_wait_seconds, double exec_seconds,
+                            const CascadeStats& cascade);
+
+  /// A query whose end-to-end latency crossed --slow-query-ms.
+  void RecordSlowQuery();
 
   void RecordConnection();
   void RecordOverloaded();
@@ -89,9 +132,17 @@ class ServerMetrics {
   ///          cancelled=2 deadline_exceeded=1 partial_results=3
   ///          deadline_miss=1
   ///   kind name=BestMatch requests=40 errors=0 p50_us=210 p95_us=800
-  ///        p99_us=1500 mean_us=260
+  ///        p99_us=1500 p999_us=1800 mean_us=260
   /// Kinds with zero requests are omitted.
   std::string Render() const;
+
+  /// Prometheus text exposition format: every counter above, the
+  /// per-kind latency summaries (quantile labels + _sum/_count), the
+  /// queue-wait vs exec-time histograms (cumulative _bucket{le=...}
+  /// lines for non-empty buckets plus le="+Inf"), the cascade totals,
+  /// and the caller-assembled gauges. scripts/check_metrics.sh lints
+  /// exactly this output.
+  std::string RenderPrometheus(const GaugeSnapshot& gauges) const;
 
   uint64_t requests() const;
   uint64_t overloaded() const;
@@ -128,6 +179,13 @@ class ServerMetrics {
   uint64_t deadline_exceeded_ GUARDED_BY(mutex_) = 0;
   uint64_t partial_results_ GUARDED_BY(mutex_) = 0;
   uint64_t deadline_miss_ GUARDED_BY(mutex_) = 0;
+  uint64_t slow_queries_ GUARDED_BY(mutex_) = 0;
+  /// End-to-end latency split: queued-before-pickup vs executing.
+  LatencyHistogram queue_wait_ GUARDED_BY(mutex_);
+  LatencyHistogram exec_ GUARDED_BY(mutex_);
+  /// Server-lifetime pruning-cascade totals (per-query counters from
+  /// QueryStats roll up here).
+  CascadeStats cascade_ GUARDED_BY(mutex_);
 };
 
 }  // namespace server

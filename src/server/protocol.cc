@@ -165,9 +165,15 @@ Result<Request> ParseRequestLine(const std::string& line,
                                        "' (0 or 1)");
       }
       parsed_attrs.progress = value == "1";
+    } else if (key == "trace") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument("bad trace '" + value +
+                                       "' (0 or 1)");
+      }
+      parsed_attrs.trace = value == "1";
     } else {
       return Status::InvalidArgument("unknown request attribute '" + key +
-                                     "' (id, deadline_ms, progress)");
+                                     "' (id, deadline_ms, progress, trace)");
     }
     ++verb_at;
   }
@@ -211,15 +217,18 @@ Result<Request> ParseRequestLine(const std::string& line,
     }
     return Request(ControlRequest{ControlVerb::kCancel, t[1]});
   }
-  if (verb == "list" || verb == "stats" || verb == "ping" ||
-      verb == "help" || verb == "quit" || verb == "exit" ||
-      verb == "flush") {
+  if (verb == "list" || verb == "stats" || verb == "metrics" ||
+      verb == "ping" || verb == "help" || verb == "quit" ||
+      verb == "exit" || verb == "flush") {
     if (t.size() != 1) {
       return Status::InvalidArgument("'" + verb + "' takes no operands");
     }
     if (verb == "list") return Request(ControlRequest{ControlVerb::kList, ""});
     if (verb == "stats") {
       return Request(ControlRequest{ControlVerb::kStats, ""});
+    }
+    if (verb == "metrics") {
+      return Request(ControlRequest{ControlVerb::kMetrics, ""});
     }
     if (verb == "ping") return Request(ControlRequest{ControlVerb::kPing, ""});
     if (verb == "help") return Request(ControlRequest{ControlVerb::kHelp, ""});
@@ -387,6 +396,7 @@ std::string RenderRequestLine(const QueryRequest& request,
     prefix += "deadline_ms=" + std::to_string(attrs.deadline_ms) + " ";
   }
   if (attrs.progress) prefix += "progress=1 ";
+  if (attrs.trace) prefix += "trace=1 ";
   return prefix + RenderRequestLine(request);
 }
 
@@ -452,7 +462,8 @@ std::string PartHeaderTail(uint64_t id, uint64_t seq, double work_fraction,
 
 }  // namespace
 
-std::string RenderResponse(const QueryResponse& response, uint64_t id) {
+std::string RenderResponse(const QueryResponse& response, uint64_t id,
+                           bool trace) {
   std::string out = "OK ";
   out += ToString(response.kind);
   if (id != 0) out += " id=" + std::to_string(id);
@@ -490,6 +501,40 @@ std::string RenderResponse(const QueryResponse& response, uint64_t id) {
                 s.lengths_scanned, s.reps_compared, s.reps_pruned,
                 s.members_compared, s.members_admitted_by_lemma2);
   out += stats_line;
+
+  if (trace) {
+    // v5 `trace=1` rendering. Two lines, keys stable: stage timings in
+    // integer microseconds, then the pruning cascade with the invariant
+    // seen == kim_pruned + keogh_pruned + dtw_evaluated (dtw_evaluated
+    // folds early-abandoned and completed DTWs together; the abandoned
+    // share is broken out separately).
+    const CascadeStats& c = s.cascade;
+    const uint64_t evaluated = c.dtw_abandoned + c.dtw_completed;
+    const double pruning_ratio =
+        c.candidates == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(evaluated) /
+                        static_cast<double>(c.candidates);
+    auto us = [](double seconds) {
+      return static_cast<long long>(std::llround(seconds * 1e6));
+    };
+    char trace_line[256];
+    std::snprintf(trace_line, sizeof(trace_line),
+                  "trace stage queue_wait_us=%lld rep_scan_us=%lld"
+                  " member_scan_us=%lld knn_us=%lld refine_us=%lld"
+                  " exec_us=%lld\n",
+                  us(s.queue_wait_seconds), us(s.rep_scan_seconds),
+                  us(s.member_scan_seconds), us(s.knn_seconds),
+                  us(s.refine_seconds), us(response.latency_seconds));
+    out += trace_line;
+    std::snprintf(trace_line, sizeof(trace_line),
+                  "trace cascade seen=%" PRIu64 " kim_pruned=%" PRIu64
+                  " keogh_pruned=%" PRIu64 " dtw_evaluated=%" PRIu64
+                  " early_abandoned=%" PRIu64 " pruning_ratio=%.4f\n",
+                  c.candidates, c.pruned_kim, c.pruned_keogh, evaluated,
+                  c.dtw_abandoned, pruning_ratio);
+    out += trace_line;
+  }
 
   response.Visit(
       [&](const MatchResult& r) {
@@ -609,11 +654,14 @@ std::string RenderHelp() {
       "help flush                             checkpoint the bound dataset\n"
       "help use <dataset> / list              select / list datasets\n"
       "help stats / ping / quit               server metrics, liveness\n"
+      "help metrics                           Prometheus text exposition (v5)\n"
       "help cancel <id>                       abort the in-flight query <id>\n"
       "help id=<n> deadline_ms=<n> progress=1 query attribute prefix (v3):\n"
       "help    tag/multiplex, bound, and stream partial results, e.g.\n"
       "help    id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9\n"
       "help    (v4: q2 streams PART GROUP, q3 streams PART REC frames)\n"
+      "help trace=1                           append stage timings and pruning-\n"
+      "help    cascade counters (TRACE lines) to the final response (v5)\n"
       ".\n";
 }
 

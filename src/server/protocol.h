@@ -33,6 +33,9 @@
 //   list                                catalog contents
 //   stats                               server metrics (per-kind
 //                                       counters + latency percentiles)
+//   metrics                             v5: every counter / histogram /
+//                                       gauge in Prometheus text
+//                                       exposition format
 //   cancel <id>                         v3: cancel the in-flight query
 //                                       tagged `id` on this session
 //   ping / help / quit
@@ -71,6 +74,11 @@
 //                   Payload lines are byte-identical to the same rows
 //                   in a final OK block, so a client renders partial
 //                   and final results with one code path.
+//   trace=1         v5: the final OK block carries `trace ...` payload
+//                   lines — per-stage timings and the pruning-cascade
+//                   breakdown of exactly this query (see
+//                   RenderResponse). Absent the attribute, the block is
+//                   byte-identical to v4.
 // Example:  id=7 deadline_ms=250 progress=1 q1r 0.3 any 0.1,0.5,0.9
 // A v2 client is unaffected: lines without attributes parse and answer
 // exactly as before, and PART frames are only sent to requests that
@@ -99,16 +107,19 @@
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/4 ready") and
+/// Wire-format version, announced in the greeting ("ONEX/5 ready") and
 /// bumped on any grammar change (2: APPEND/FLUSH mutation verbs; 3:
 /// request ids / CANCEL / DEADLINE_MS / PART progressive frames; 4:
 /// typed PART variants — group-shaped q2 and recommendation-shaped q3
-/// progress stream as PART GROUP / PART REC frames). The v4 grammar is
-/// a strict superset of v3 (itself a superset of v2) — negotiation is
-/// one-sided: the server announces its version, and a client that only
-/// speaks an older one simply never sends the newer attributes (and
-/// never asked q2/q3 for progress it can't parse).
-inline constexpr int kWireVersion = 4;
+/// progress stream as PART GROUP / PART REC frames; 5: observability —
+/// the `trace=1` query attribute appends `trace ...` payload lines to
+/// the final OK block, and the METRICS verb renders every counter /
+/// histogram / gauge in Prometheus text exposition format). The v5
+/// grammar is a strict superset of v4 (itself of v3, itself of v2) —
+/// negotiation is one-sided: the server announces its version, and a
+/// client that only speaks an older one simply never sends the newer
+/// attributes, so every v4 session's bytes are unchanged.
+inline constexpr int kWireVersion = 5;
 /// Oldest grammar still accepted verbatim.
 inline constexpr int kMinWireVersion = 2;
 
@@ -126,9 +137,9 @@ inline constexpr const char* kNoDatasetCode = "NO_DATASET";
 /// a mutation). kFlush rides here: it has no operands and, like the
 /// other control verbs, is answered inline on the session thread.
 /// kCancel (v3) is also inline: it must overtake queued queries, which
-/// is the whole point.
+/// is the whole point. kMetrics (v5) renders the Prometheus exposition.
 enum class ControlVerb {
-  kUse, kList, kStats, kPing, kHelp, kQuit, kFlush, kCancel,
+  kUse, kList, kStats, kPing, kHelp, kQuit, kFlush, kCancel, kMetrics,
 };
 
 /// A parsed control line; `argument` is the dataset name for kUse and
@@ -139,7 +150,7 @@ struct ControlRequest {
   std::string argument;
 };
 
-/// v3 request attributes: the `key=value` tokens before the verb.
+/// v3+ request attributes: the `key=value` tokens before the verb.
 struct RequestAttrs {
   /// Request id; 0 = untagged (v2-style strictly ordered reply).
   uint64_t id = 0;
@@ -147,6 +158,10 @@ struct RequestAttrs {
   uint64_t deadline_ms = 0;
   /// Stream PART frames while the query runs (requires id != 0).
   bool progress = false;
+  /// v5: append `trace ...` payload lines (stage timings + cascade
+  /// counters) to the final OK block. Render-time only — deliberately
+  /// excluded from any(): tracing needs no ExecContext plumbing.
+  bool trace = false;
 
   bool any() const { return id != 0 || deadline_ms != 0 || progress; }
 };
@@ -200,7 +215,18 @@ std::string RenderCancelLine(uint64_t id);
 ///   .
 /// Tagged replies (id != 0) add `id=<n>` after the kind token; partial
 /// (interrupted) responses add `partial=1 interrupt=<CODE>`.
-std::string RenderResponse(const QueryResponse& response, uint64_t id = 0);
+/// `trace` (the v5 trace=1 attribute) appends the TRACE payload lines
+/// after the stats line:
+///   trace stage queue_wait_us=... rep_scan_us=... member_scan_us=...
+///         knn_us=... refine_us=... exec_us=...
+///   trace cascade seen=... kim_pruned=... keogh_pruned=...
+///         dtw_evaluated=... early_abandoned=... pruning_ratio=...
+/// where seen == kim_pruned + keogh_pruned + dtw_evaluated always, and
+/// pruning_ratio = 1 - dtw_evaluated/seen (0 when nothing was seen).
+/// With trace=false (every pre-v5 session) the block is byte-identical
+/// to v4.
+std::string RenderResponse(const QueryResponse& response, uint64_t id = 0,
+                           bool trace = false);
 
 /// Renders one match-shaped progressive frame (byte-identical to v3):
 ///   PART <Kind> id=<n> seq=<k> frac=<f> snapshot=<0|1> matches=<m>

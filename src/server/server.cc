@@ -16,7 +16,9 @@
 
 #include "server/protocol.h"
 #include "server/socket_io.h"
+#include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace onex {
 namespace server {
@@ -255,10 +257,10 @@ bool Server::Submit(Job job) {
     MutexLock lock(queue_mutex_);
     if (!draining_) {
       job.seq = ++job_seq_;
+      job.admitted = std::chrono::steady_clock::now();
       job.rank = job.deadline.has_value()
                      ? *job.deadline
-                     : std::chrono::steady_clock::now() +
-                           kDeadlineLessRankBudget;
+                     : job.admitted + kDeadlineLessRankBudget;
       if (queue_.size() >= options_.max_queue) {
         const auto now = std::chrono::steady_clock::now();
         // Shed 1: queued queries that can no longer meet their deadline
@@ -344,8 +346,19 @@ void Server::WorkerLoop(size_t index) {
       slot.seq = job.seq;
     }
     if (options_.on_job_start) options_.on_job_start();
-    Result<QueryResponse> result = job.engine->Execute(
-        job.request, job.ctx != nullptr ? *job.ctx : ExecContext{});
+    // How long the job sat between admission and this worker picking it
+    // up — the queue-wait stage of the query's breakdown. Measured here
+    // (not in done) so execution time never leaks into it.
+    const double queue_wait =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.admitted)
+            .count();
+    Result<QueryResponse> result = [&]() -> Result<QueryResponse> {
+      ONEX_TRACE_SPAN("server.execute");
+      return job.engine->Execute(
+          job.request, job.ctx != nullptr ? *job.ctx : ExecContext{});
+    }();
+    if (result.ok()) result.value().stats.queue_wait_seconds = queue_wait;
     {
       MutexLock lock(queue_mutex_);
       running_[index].active = false;
@@ -361,14 +374,19 @@ void Server::WorkerLoop(size_t index) {
   }
 }
 
-void Server::RecordOutcome(QueryKind kind, double seconds,
+void Server::RecordOutcome(QueryKind kind, const std::string& dataset,
+                           double seconds,
                            const Result<QueryResponse>& result) {
   metrics_.RecordQuery(kind, seconds, result.ok());
   Status::Code interrupt = Status::Code::kOk;
   if (result.ok()) {
-    if (result.value().partial) {
+    const QueryResponse& response = result.value();
+    metrics_.RecordQueryBreakdown(response.stats.queue_wait_seconds,
+                                  response.latency_seconds,
+                                  response.stats.cascade);
+    if (response.partial) {
       metrics_.RecordPartialResult();
-      interrupt = result.value().interrupt;
+      interrupt = response.interrupt;
     }
   } else if (result.status().interrupted()) {
     // Queue-swept sheds arrive as plain errors (nothing was confirmed).
@@ -378,6 +396,39 @@ void Server::RecordOutcome(QueryKind kind, double seconds,
   if (interrupt == Status::Code::kDeadlineExceeded) {
     metrics_.RecordDeadlineExceeded();
   }
+
+  if (options_.slow_query_ms == 0 ||
+      seconds * 1000.0 < static_cast<double>(options_.slow_query_ms)) {
+    return;
+  }
+  metrics_.RecordSlowQuery();
+  JsonLogLine line(LogLevel::kWarn, "slow_query");
+  line.Str("kind", ToString(kind))
+      .Str("dataset", dataset)
+      .Num("total_ms", seconds * 1e3)
+      .Str("disposition", interrupt == Status::Code::kOk
+                              ? (result.ok() ? "completed" : "error")
+                              : WireCode(interrupt));
+  if (result.ok()) {
+    const QueryStats& s = result.value().stats;
+    const uint64_t evaluated = s.cascade.dtw_abandoned +
+                               s.cascade.dtw_completed;
+    line.Num("queue_wait_ms", s.queue_wait_seconds * 1e3)
+        .Num("exec_ms", result.value().latency_seconds * 1e3)
+        .Num("rep_scan_ms", s.rep_scan_seconds * 1e3)
+        .Num("member_scan_ms", s.member_scan_seconds * 1e3)
+        .Num("knn_ms", s.knn_seconds * 1e3)
+        .Num("refine_ms", s.refine_seconds * 1e3)
+        .Int("cascade_seen", s.cascade.candidates)
+        .Int("dtw_evaluated", evaluated)
+        .Num("pruning_ratio",
+             s.cascade.candidates == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(evaluated) /
+                             static_cast<double>(s.cascade.candidates))
+        .Bool("partial", result.value().partial);
+  }
+  line.Write();
 }
 
 void Server::SessionLoop(int fd) {
@@ -488,6 +539,34 @@ void Server::SessionLoop(int fd) {
                         "\n.\n");
           break;
         }
+        case ControlVerb::kMetrics: {
+          // v5: Prometheus text exposition. The gauge snapshot is
+          // assembled BEFORE RenderPrometheus runs — the metrics mutex
+          // is a leaf rank and must never reach out to the queue,
+          // catalog, or storage locks.
+          GaugeSnapshot gauges;
+          {
+            MutexLock lock(queue_mutex_);
+            gauges.queue_depth = queue_.size();
+            for (const RunningJob& running : running_) {
+              if (running.active) ++gauges.workers_busy;
+            }
+          }
+          gauges.workers_total = options_.num_workers;
+          for (const CatalogEntryInfo& row : catalog_->List()) {
+            if (row.resident) ++gauges.catalog_resident;
+            if (row.dirty) ++gauges.catalog_dirty;
+          }
+          const storage::StorageStats durable = catalog_->DurableStats();
+          gauges.wal_bytes = durable.wal_bytes;
+          gauges.wal_records = durable.wal_records;
+          gauges.checkpoint_age_seconds = durable.checkpoint_age_seconds;
+          gauges.checkpoint_last_duration_seconds =
+              durable.checkpoint_last_duration_seconds;
+          session->Send("OK Metrics\n" + metrics_.RenderPrometheus(gauges) +
+                        ".\n");
+          break;
+        }
         case ControlVerb::kPing:
           session->Send("OK Pong\n.\n");
           break;
@@ -575,10 +654,11 @@ void Server::SessionLoop(int fd) {
       job.engine = engine;
       job.ctx = ctx;
       job.deadline = ctx->deadline;
-      job.done = [this, session, id = attrs.id, kind = KindOf(request),
+      job.done = [this, session, id = attrs.id, trace = attrs.trace,
+                  dataset, kind = KindOf(request),
                   latency = Timer()](Result<QueryResponse> result) {
-        RecordOutcome(kind, latency.ElapsedSeconds(), result);
-        session->Send(result.ok() ? RenderResponse(result.value(), id)
+        RecordOutcome(kind, dataset, latency.ElapsedSeconds(), result);
+        session->Send(result.ok() ? RenderResponse(result.value(), id, trace)
                                   : RenderError(result.status(), id));
         {
           MutexLock lock(session->mutex);
@@ -621,9 +701,10 @@ void Server::SessionLoop(int fd) {
       continue;
     }
     Result<QueryResponse> result = reply.get();
-    RecordOutcome(KindOf(request), latency.ElapsedSeconds(), result);
-    session->Send(result.ok() ? RenderResponse(result.value())
-                              : RenderError(result.status()));
+    RecordOutcome(KindOf(request), dataset, latency.ElapsedSeconds(), result);
+    session->Send(result.ok()
+                      ? RenderResponse(result.value(), 0, attrs.trace)
+                      : RenderError(result.status()));
   }
 
   // Disconnect: abort whatever is still in flight and wait for the

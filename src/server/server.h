@@ -86,6 +86,12 @@ struct ServerOptions {
   std::string default_dataset;
   /// Lines longer than this are a protocol error and close the session.
   size_t max_line_bytes = 1 << 20;
+  /// Queries whose total latency (queue wait + execution) meets or
+  /// exceeds this many milliseconds are written to the slow-query log —
+  /// one structured JSON line each (kind, dataset, stage breakdown,
+  /// pruning ratio, disposition) through util/logging's JSON sink.
+  /// 0 disables the log.
+  uint64_t slow_query_ms = 0;
 
   /// Test instrumentation (leave unset in production): called by a
   /// worker right before executing a job, and after a job is enqueued
@@ -140,6 +146,9 @@ class Server {
     std::chrono::steady_clock::time_point rank;
     /// Admission order, for "oldest over-deadline" selection.
     uint64_t seq = 0;
+    /// Admission instant; the dequeuing worker turns it into the
+    /// query's queue_wait stage timing (and the queue-wait histogram).
+    std::chrono::steady_clock::time_point admitted;
     /// Completion: fulfils the session thread's future (untagged) or
     /// renders and writes the tagged reply. Runs on the worker that
     /// executed the job, or inline in Submit for queue-swept sheds.
@@ -167,10 +176,13 @@ class Server {
   /// deadline sweep runs (see the file comment).
   bool Submit(Job job);
 
-  /// Folds one query outcome into the metrics: per-kind latency plus
-  /// the v3 cancelled / deadline-exceeded / partial-result counters.
-  void RecordOutcome(QueryKind kind, double seconds,
-                     const Result<QueryResponse>& result);
+  /// Folds one query outcome into the metrics: per-kind latency, the
+  /// v3 cancelled / deadline-exceeded / partial-result counters, and
+  /// (successful queries) the queue-wait/exec histograms + cascade
+  /// counters. Queries at or past `slow_query_ms` additionally emit one
+  /// structured slow-query JSON log line, tagged with `dataset`.
+  void RecordOutcome(QueryKind kind, const std::string& dataset,
+                     double seconds, const Result<QueryResponse>& result);
 
   ServerOptions options_;
   std::shared_ptr<Catalog> catalog_;

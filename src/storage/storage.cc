@@ -12,6 +12,8 @@
 
 #include "core/serialization.h"
 #include "util/logging.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace onex {
 namespace storage {
@@ -258,6 +260,7 @@ Status DurableEngine::AppendBatch(std::vector<TimeSeries> batch) {
 Status DurableEngine::LogAppend(const TimeSeries& series) {
   // AppendSink contract: the engine calls this under its writer lock.
   engine_.mu().AssertHeld();
+  ONEX_TRACE_SPAN("wal.append");
   const uint64_t rollback_to = wal_.bytes();
   const Status appended = wal_.Append(series);
   if (!appended.ok()) {
@@ -289,6 +292,7 @@ Status DurableEngine::LogAppend(const TimeSeries& series) {
 Status DurableEngine::LogAppendBatch(std::span<const TimeSeries> batch) {
   // AppendSink contract: the engine calls this under its writer lock.
   engine_.mu().AssertHeld();
+  ONEX_TRACE_SPAN("wal.append_batch");
   const uint64_t rollback_to = wal_.bytes();
   uint64_t written = 0;
   Status failed = Status::OK();
@@ -360,6 +364,8 @@ Status DurableEngine::CheckpointLocked(const OnexBase& base) {
   // Runs inside Engine::Exclusive — the writer lock crossed an untyped
   // std::function boundary to get here.
   engine_.mu().AssertHeld();
+  ONEX_TRACE_SPAN("storage.checkpoint");
+  Timer duration;
   // 1. Snapshot to a temp file, sync, publish via rename: readers of
   //    base_path_ never observe a half-written snapshot.
   const std::string tmp = base_path_ + ".tmp";
@@ -390,6 +396,11 @@ Status DurableEngine::CheckpointLocked(const OnexBase& base) {
   wal_records_.store(0);
   wal_bytes_.store(wal_.bytes());
   checkpoints_.fetch_add(1);
+  last_checkpoint_duration_ns_.store(duration.ElapsedNanos());
+  last_checkpoint_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   return Status::OK();
 }
 
@@ -402,6 +413,17 @@ StorageStats DurableEngine::stats() const {
   stats.replayed_records = replayed_records_;
   stats.skipped_records = skipped_records_;
   stats.recovered_torn_tail = recovered_torn_tail_;
+  const int64_t last_ns = last_checkpoint_ns_.load();
+  if (last_ns != 0) {
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    stats.checkpoint_age_seconds =
+        static_cast<double>(now_ns - last_ns) * 1e-9;
+    stats.checkpoint_last_duration_seconds =
+        static_cast<double>(last_checkpoint_duration_ns_.load()) * 1e-9;
+  }
   return stats;
 }
 

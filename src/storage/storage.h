@@ -77,6 +77,10 @@ struct StorageStats {
   uint64_t replayed_records = 0; ///< Records applied during Open.
   uint64_t skipped_records = 0;  ///< Replay records already in the snapshot.
   bool recovered_torn_tail = false;  ///< Open found (and dropped) a torn tail.
+  /// Seconds since the last checkpoint COMPLETED in this process;
+  /// negative when none has (freshly opened, or checkpointing disabled).
+  double checkpoint_age_seconds = -1.0;
+  double checkpoint_last_duration_seconds = 0.0;
 };
 
 /// `<dir>/<name>.onex` — the snapshot (serialization.h format, shared
@@ -190,6 +194,11 @@ class DurableEngine : public AppendSink,
   std::atomic<uint64_t> wal_records_{0};
   std::atomic<uint64_t> wal_bytes_{0};
   std::atomic<uint64_t> checkpoints_{0};
+  /// Steady-clock ns of the last completed checkpoint (0 = never) and
+  /// how long it held the writer lock — the METRICS gauges for
+  /// checkpoint age and duration read these without any lock.
+  std::atomic<int64_t> last_checkpoint_ns_{0};
+  std::atomic<int64_t> last_checkpoint_duration_ns_{0};
   // Recovery facts, written once in Open before the object is shared.
   uint64_t replayed_records_ = 0;
   uint64_t skipped_records_ = 0;

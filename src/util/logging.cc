@@ -1,12 +1,25 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace onex {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// JSON sink state. A plain std::mutex (not util/mutex) on purpose: the
+// logger must be callable from ANY locking context — including lock-
+// rank violation reports themselves — so it cannot participate in the
+// rank hierarchy.
+std::mutex g_json_mutex;
+std::FILE* g_json_file = nullptr;  // nullptr = stderr.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,15 +31,183 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// UTC wall-clock timestamp, millisecond precision:
+/// 2026-08-08T12:34:56.789Z
+std::string IsoTimestamp() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char buf[40];
+  const size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03ldZ", ts.tv_nsec / 1000000);
+  return buf;
+}
+
+/// Writes one complete line to the JSON sink in a single fwrite so
+/// concurrent writers never interleave mid-line.
+void WriteJsonSink(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  std::FILE* out = g_json_file != nullptr ? g_json_file : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 
 LogLevel GetLogLevel() { return g_level.load(); }
 
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* env = std::getenv("ONEX_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return true;
+  const auto level = ParseLogLevel(env);
+  if (!level) {
+    LogMessage(LogLevel::kWarn,
+               std::string("ONEX_LOG_LEVEL='") + env +
+                   "' is not a level (debug|info|warn|error) — ignored");
+    return false;
+  }
+  SetLogLevel(*level);
+  return true;
+}
+
+bool SetJsonLogPath(const std::string& path) {
+  std::FILE* file = nullptr;
+  if (!path.empty()) {
+    file = std::fopen(path.c_str(), "a");
+    if (file == nullptr) {
+      LogMessage(LogLevel::kWarn, "cannot open JSON log sink '" + path +
+                                      "': " + std::strerror(errno));
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_json_mutex);
+  if (g_json_file != nullptr) std::fclose(g_json_file);
+  g_json_file = file;
+  return true;
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::fprintf(stderr, "[onex %s] %s\n", LevelName(level), message.c_str());
+  // Mirror anomalies into the machine-readable stream — but only when a
+  // file sink is configured; without one the stderr line above already
+  // carries the information and a duplicate JSON copy is noise.
+  if (static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)) {
+    bool mirror;
+    {
+      std::lock_guard<std::mutex> lock(g_json_mutex);
+      mirror = g_json_file != nullptr;
+    }
+    if (mirror) {
+      std::string line = "{\"ts\":";
+      internal::AppendJsonEscaped(&line, IsoTimestamp());
+      line += ",\"level\":";
+      internal::AppendJsonEscaped(&line, LevelName(level));
+      line += ",\"msg\":";
+      internal::AppendJsonEscaped(&line, message);
+      line += "}\n";
+      WriteJsonSink(line);
+    }
+  }
 }
 
+JsonLogLine::JsonLogLine(LogLevel level, const std::string& event)
+    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level.load())) {
+  if (!enabled_) return;
+  buf_ = "{\"ts\":";
+  internal::AppendJsonEscaped(&buf_, IsoTimestamp());
+  buf_ += ",\"level\":";
+  internal::AppendJsonEscaped(&buf_, LevelName(level));
+  buf_ += ",\"event\":";
+  internal::AppendJsonEscaped(&buf_, event);
+}
+
+JsonLogLine& JsonLogLine::Str(const std::string& key,
+                              const std::string& value) {
+  if (!enabled_) return *this;
+  buf_ += ',';
+  internal::AppendJsonEscaped(&buf_, key);
+  buf_ += ':';
+  internal::AppendJsonEscaped(&buf_, value);
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Num(const std::string& key, double value) {
+  if (!enabled_) return *this;
+  char num[32];
+  std::snprintf(num, sizeof(num), "%.6g", value);
+  buf_ += ',';
+  internal::AppendJsonEscaped(&buf_, key);
+  buf_ += ':';
+  buf_ += num;
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Int(const std::string& key, uint64_t value) {
+  if (!enabled_) return *this;
+  buf_ += ',';
+  internal::AppendJsonEscaped(&buf_, key);
+  buf_ += ':';
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+JsonLogLine& JsonLogLine::Bool(const std::string& key, bool value) {
+  if (!enabled_) return *this;
+  buf_ += ',';
+  internal::AppendJsonEscaped(&buf_, key);
+  buf_ += ':';
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+void JsonLogLine::Write() {
+  if (!enabled_ || written_) return;
+  written_ = true;
+  buf_ += "}\n";
+  WriteJsonSink(buf_);
+}
+
+namespace internal {
+
+void AppendJsonEscaped(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':  *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += esc;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace internal
 }  // namespace onex

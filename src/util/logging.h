@@ -2,10 +2,22 @@
 // Minimal leveled logger writing to stderr. Library code logs sparingly
 // (construction progress at INFO, anomalies at WARN); benches may raise the
 // threshold to keep output machine-parsable.
+//
+// Structured output: alongside the human-readable stderr lines there is
+// an optional JSON-lines sink (SetJsonLogPath). When enabled, WARN-and-
+// above text logs are mirrored into it as timestamped JSON objects, and
+// callers can emit fully structured events through JsonLogLine — the
+// server's slow-query log rides on this. Each line is one self-contained
+// JSON object: `{"ts":"<ISO8601>","level":"WARN","event":...,<fields>}`.
+//
+// The threshold comes from SetLogLevel, the ONEX_LOG_LEVEL environment
+// variable (InitLogLevelFromEnv), or a binary's --log-level flag.
 
 #ifndef ONEX_UTIL_LOGGING_H_
 #define ONEX_UTIL_LOGGING_H_
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,10 +29,58 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// "debug" / "info" / "warn" / "error" (case-insensitive); nullopt for
+/// anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
+
+/// Applies ONEX_LOG_LEVEL from the environment when set and valid;
+/// returns false (and warns) when set to an unparsable value.
+bool InitLogLevelFromEnv();
+
+/// Routes JSON-lines output to `path` (append mode, one write per
+/// line). An empty path reverts to stderr — the default. Returns false
+/// when the file cannot be opened (the previous sink stays in effect).
+bool SetJsonLogPath(const std::string& path);
+
 /// Emits one formatted line to stderr if `level` passes the threshold.
+/// WARN and above are mirrored to the JSON sink (when one is set) as
+/// `{"ts":...,"level":...,"msg":...}` so operational anomalies and the
+/// slow-query log land in the same machine-readable stream.
 void LogMessage(LogLevel level, const std::string& message);
 
+/// One structured JSON log line, emitted on Write() (or destruction).
+/// Field order is insertion order; `ts` and `level` are prepended
+/// automatically. Dropped entirely when `level` is below the threshold,
+/// so building one is cheap in the common (fast-query) case.
+///
+///   JsonLogLine(LogLevel::kWarn, "slow_query")
+///       .Str("kind", "q1").Num("total_ms", 812.4).Write();
+class JsonLogLine {
+ public:
+  JsonLogLine(LogLevel level, const std::string& event);
+  ~JsonLogLine() { Write(); }
+  JsonLogLine(const JsonLogLine&) = delete;
+  JsonLogLine& operator=(const JsonLogLine&) = delete;
+
+  JsonLogLine& Str(const std::string& key, const std::string& value);
+  JsonLogLine& Num(const std::string& key, double value);
+  JsonLogLine& Int(const std::string& key, uint64_t value);
+  JsonLogLine& Bool(const std::string& key, bool value);
+
+  /// Emits the line to the JSON sink. Idempotent; a second call (or the
+  /// destructor after an explicit Write) is a no-op.
+  void Write();
+
+ private:
+  bool enabled_;
+  bool written_ = false;
+  std::string buf_;
+};
+
 namespace internal {
+
+/// Appends a JSON string literal (quotes + escapes) to `out`.
+void AppendJsonEscaped(std::string* out, const std::string& value);
 
 /// Stream-style collector that emits on destruction.
 class LogStream {

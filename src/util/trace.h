@@ -1,0 +1,127 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Zero-dependency tracing core: RAII spans over steady-clock time,
+// recorded into lock-free per-thread ring buffers, plus a registry of
+// named monotonic counters — exported together as Chrome trace_event
+// JSON (chrome://tracing, Perfetto) via WriteChromeTrace.
+//
+// Cost model: when tracing is disabled (the default), a Span is one
+// relaxed atomic load and a branch; a Counter::Add is one relaxed
+// fetch_add. Enabled, a span adds two steady_clock reads and one store
+// into a fixed-size ring. Nothing allocates on the hot path and no
+// lock is ever taken while recording — the registry mutex is touched
+// only on a thread's FIRST span (ring registration) and during export.
+//
+// Concurrency: each ring has exactly one writer (its owning thread);
+// the head index is published with release stores so an exporter
+// reading at quiescence (threads joined, or server stopped) sees every
+// event. Exporting while writers are live is safe (no UB on the index;
+// slots are read as plain data) but may observe a torn in-flight
+// event; callers export after Stop()/join, as onex_server does.
+//
+// Rings deliberately outlive their threads: a worker that exits before
+// export must not take its events with it. Reset() (tests) rewinds
+// every ring and zeroes counters without invalidating thread-local
+// pointers.
+
+#ifndef ONEX_UTIL_TRACE_H_
+#define ONEX_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace onex {
+namespace trace {
+
+/// Turns recording on/off globally. Off, spans and counter reads still
+/// work (counters always count; spans become a load+branch no-op).
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// One completed span. `name` must be a string literal (stored by
+/// pointer; the exporter reads it long after the span ends).
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;     ///< Steady-clock ns since process start.
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;          ///< Sequential trace thread id (1-based).
+  uint32_t depth = 0;        ///< Nesting depth at entry (0 = top level).
+};
+
+/// Per-thread event ring: fixed capacity, single writer, wraparound
+/// overwrites the oldest events (pushed() keeps the true total so
+/// tests and the exporter can report drops).
+inline constexpr uint64_t kRingCapacity = 4096;
+
+/// RAII span. Records [construction, destruction) into the calling
+/// thread's ring iff tracing was enabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+  bool active_;
+};
+
+#define ONEX_TRACE_CONCAT_INNER(a, b) a##b
+#define ONEX_TRACE_CONCAT(a, b) ONEX_TRACE_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define ONEX_TRACE_SPAN(name) \
+  ::onex::trace::Span ONEX_TRACE_CONCAT(onex_trace_span_, __LINE__)(name)
+
+/// Named monotonic counter. Construct as a function-local static (the
+/// registry keeps a pointer forever); Add() is a relaxed fetch_add and
+/// is safe from any thread, signal-handler-free code only.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const char* name() const { return name_; }
+
+  /// Tests only: rewinds to zero (Reset() calls this for every
+  /// registered counter).
+  void Clear() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time totals across all rings (tests, --trace-out summary).
+struct TraceStats {
+  uint64_t threads = 0;   ///< Rings registered (threads that ever span'd).
+  uint64_t recorded = 0;  ///< Events currently resident in rings.
+  uint64_t pushed = 0;    ///< Events ever pushed (>= recorded on wrap).
+  uint64_t dropped = 0;   ///< pushed - recorded: overwritten by wraparound.
+  uint64_t counters = 0;  ///< Registered counters.
+};
+TraceStats GetStats();
+
+/// Chrome trace_event JSON ("X" complete events, ts/dur in
+/// microseconds) for every resident span plus one metadata-style
+/// counter event per registered counter. Stable output: events sorted
+/// by (start, tid). Returns the number of span events written.
+uint64_t WriteChromeTrace(std::ostream& out);
+
+/// WriteChromeTrace to a file path. IOError semantics via return:
+/// false when the file cannot be opened or the write fails.
+bool WriteChromeTraceFile(const std::string& path);
+
+/// Tests: rewind every ring and zero every counter. Not thread-safe
+/// against concurrent recording; call at quiescence.
+void Reset();
+
+}  // namespace trace
+}  // namespace onex
+
+#endif  // ONEX_UTIL_TRACE_H_
