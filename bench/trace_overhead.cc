@@ -3,7 +3,9 @@
 // latency. This bench measures it directly — the same Q1 query mix is
 // executed through Engine::Execute in interleaved rounds with tracing
 // disabled and enabled, and the median-of-rounds throughput difference
-// is the overhead. Interleaving (A/B/A/B...) cancels thermal and cache
+// is the overhead. The enabled leg additionally attaches an in-flight
+// probe (the v6 INSPECT mirror), so the mid-flight stage/cascade
+// publication is measured INSIDE the same 1% budget. Interleaving (A/B/A/B...) cancels thermal and cache
 // drift that a disabled-block-then-enabled-block design would book as
 // overhead. Results go to BENCH_trace_overhead.json with a pass flag.
 //
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "core/inflight.h"
 #include "datagen/registry.h"
 #include "dataset/normalize.h"
 #include "util/flags.h"
@@ -84,10 +87,17 @@ int Run(int argc, char** argv) {
     }
   }
 
-  auto run_round = [&]() {
+  // The enabled leg runs with a claimed registry probe, exactly as a
+  // server worker would attach one: the checker's every-32-candidates
+  // slow path then pays the relaxed-store mirror we are budgeting.
+  InflightClaim claim(&engine, 0, 0, 0, "bench", 0, -1);
+
+  auto run_round = [&](InflightProbe* probe) {
     Timer timer;
     for (size_t i = 0; i < iters; ++i) {
-      auto result = engine.Execute(mix[i % mix.size()], ExecContext{});
+      ExecContext ctx;
+      ctx.probe = probe;
+      auto result = engine.Execute(mix[i % mix.size()], ctx);
       if (!result.ok()) {
         std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
         std::exit(1);
@@ -99,16 +109,16 @@ int Run(int argc, char** argv) {
   // Warm-up round (untimed) so first-touch page faults and the lazily
   // registered trace ring land outside the measurement.
   trace::SetEnabled(true);
-  run_round();
+  run_round(claim.probe());
   trace::SetEnabled(false);
-  run_round();
+  run_round(nullptr);
 
   std::vector<double> disabled, enabled;
   for (size_t r = 0; r < rounds; ++r) {
     trace::SetEnabled(false);
-    disabled.push_back(run_round());
+    disabled.push_back(run_round(nullptr));
     trace::SetEnabled(true);
-    enabled.push_back(run_round());
+    enabled.push_back(run_round(claim.probe()));
   }
   trace::SetEnabled(false);
 

@@ -20,6 +20,15 @@
 //   append <v1,v2,...>             add a series to the base (maintenance)
 //   stats                          base statistics
 //
+// Remote operations (against a running onex_server):
+//   connect <host> <port>          open a client connection
+//   disconnect                     close it
+//   metrics | inspect | health     the v5/v6 observability verbs,
+//                                  rendered as aligned tables (raw wire
+//                                  payloads are one key=value row per
+//                                  line; the tables are a reading aid,
+//                                  the data is identical)
+//
 // Query commands (shared grammar — see protocol.h for the full spec):
 //   q1 <len|any> <v1,v2,...>       similarity query (class I)
 //   q1r <st> <len|any> <values>    range query (all within st)
@@ -31,6 +40,7 @@
 // Run: ./build/examples/onex_cli   (then type commands; also accepts a
 // script on stdin: echo "generate ECG 20 64\nbuild\nstats" | onex_cli)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -38,12 +48,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/engine.h"
 #include "datagen/registry.h"
 #include "dataset/normalize.h"
 #include "dataset/ucr_loader.h"
+#include "server/client.h"
 #include "server/protocol.h"
 #include "util/sparkline.h"
 #include "util/timer.h"
@@ -96,6 +108,12 @@ class Shell {
       Append(t);
     } else if (cmd == "stats") {
       Stats();
+    } else if (cmd == "connect") {
+      Connect(t);
+    } else if (cmd == "disconnect") {
+      Disconnect();
+    } else if (cmd == "metrics" || cmd == "inspect" || cmd == "health") {
+      Remote(line, cmd);
     } else {
       // Everything else is the shared wire grammar: parse the raw line
       // exactly as the server would, answer, print the wire reply.
@@ -109,6 +127,9 @@ class Shell {
         "         build [st] | save <path> | open <path>\n"
         "         show <series> [offset len] | append <v1,v2,...>\n"
         "         stats | quit\n"
+        "         connect <host> <port> | disconnect\n"
+        "         metrics | inspect | health — server observability\n"
+        "                  verbs, table-rendered (needs 'connect')\n"
         "  wire grammar (same as onex_server):\n"
         "  q1 <len|any> <v1,v2,...>      — best-match similarity query\n"
         "  q1r <st> <len|any> <values>   — range query (all within st)\n"
@@ -176,6 +197,159 @@ class Shell {
                   .c_str()
             : onex::server::RenderError(response.status(), attrs.id).c_str(),
         stdout);
+  }
+
+  void Connect(const std::vector<std::string>& t) {
+    if (t.size() < 3) {
+      std::printf("usage: connect <host> <port>\n");
+      return;
+    }
+    auto connected = onex::server::Client::Connect(
+        t[1], static_cast<uint16_t>(std::strtoul(t[2].c_str(), nullptr, 10)));
+    if (!connected.ok()) {
+      std::printf("%s\n", connected.status().ToString().c_str());
+      return;
+    }
+    client_ = std::make_unique<onex::server::Client>(
+        std::move(connected).value());
+    std::printf("connected: %s\n", client_->greeting().c_str());
+  }
+
+  void Disconnect() {
+    if (client_ == nullptr) {
+      std::printf("not connected\n");
+      return;
+    }
+    client_.reset();
+    std::printf("disconnected\n");
+  }
+
+  /// One observability verb against the connected server, rendered as
+  /// aligned tables instead of raw key=value payload rows.
+  void Remote(const std::string& line, const std::string& verb) {
+    if (client_ == nullptr) {
+      std::printf("'%s' needs a server — 'connect <host> <port>' first\n",
+                  verb.c_str());
+      return;
+    }
+    auto reply = client_->Roundtrip(line);
+    if (!reply.ok()) {
+      std::printf("%s\n", reply.status().ToString().c_str());
+      return;
+    }
+    const onex::server::WireResponse& r = reply.value();
+    if (!r.ok) {
+      std::printf("ERR %s %s\n", r.code.c_str(), r.message.c_str());
+      return;
+    }
+    if (verb == "metrics") {
+      PrintMetricsTable(r);
+    } else if (verb == "inspect") {
+      PrintInspectTable(r);
+    } else {
+      PrintHealthTable(r);
+    }
+  }
+
+  /// Pads each column to its widest cell. Rows may be ragged.
+  static void PrintTable(const std::vector<std::vector<std::string>>& rows) {
+    std::vector<size_t> width;
+    for (const auto& row : rows) {
+      if (width.size() < row.size()) width.resize(row.size(), 0);
+      for (size_t i = 0; i < row.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    for (const auto& row : rows) {
+      std::string out = "  ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        out += row[i];
+        if (i + 1 < row.size()) {
+          out.append(width[i] - row[i].size() + 2, ' ');
+        }
+      }
+      std::printf("%s\n", out.c_str());
+    }
+  }
+
+  /// Splits one payload row ("query id=3 stage=knn ...") into ORDERED
+  /// key=value pairs (the map helper in protocol.h would alphabetize
+  /// the columns).
+  static std::vector<std::pair<std::string, std::string>> OrderedPairs(
+      const std::string& line) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const std::string& token : Split(line)) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    return pairs;
+  }
+
+  void PrintMetricsTable(const onex::server::WireResponse& r) {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& row : r.payload) {
+      if (row.empty() || row[0] == '#') continue;  // HELP/TYPE noise.
+      const size_t space = row.rfind(' ');
+      if (space == std::string::npos) continue;
+      rows.push_back({row.substr(0, space), row.substr(space + 1)});
+    }
+    std::printf("%zu series:\n", rows.size());
+    PrintTable(rows);
+  }
+
+  void PrintInspectTable(const onex::server::WireResponse& r) {
+    std::string summary;
+    for (const auto& [key, value] : r.header) {
+      summary += (summary.empty() ? "" : " ") + key + "=" + value;
+    }
+    std::printf("%s\n", summary.c_str());
+    // One table per section, columns in wire order from its first row.
+    for (const char* section : {"query", "queued", "session", "catalog"}) {
+      const std::string prefix = std::string(section) + " ";
+      std::vector<std::vector<std::string>> rows;
+      for (const std::string& payload_row : r.payload) {
+        if (payload_row.compare(0, prefix.size(), prefix) != 0) continue;
+        const auto pairs = OrderedPairs(payload_row);
+        if (rows.empty()) {
+          std::vector<std::string> header;
+          for (const auto& [key, value] : pairs) header.push_back(key);
+          rows.push_back(std::move(header));
+        }
+        std::vector<std::string> row;
+        for (const auto& [key, value] : pairs) row.push_back(value);
+        rows.push_back(std::move(row));
+      }
+      if (rows.empty()) continue;
+      std::printf("%s:\n", section);
+      PrintTable(rows);
+    }
+  }
+
+  void PrintHealthTable(const onex::server::WireResponse& r) {
+    const auto live = r.header.find("live");
+    const auto ready = r.header.find("ready");
+    std::printf("live=%s ready=%s\n",
+                live != r.header.end() ? live->second.c_str() : "?",
+                ready != r.header.end() ? ready->second.c_str() : "?");
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& payload_row : r.payload) {
+      if (payload_row.compare(0, 6, "check ") != 0) continue;
+      std::vector<std::string> row;
+      std::string detail;
+      for (const auto& [key, value] : OrderedPairs(payload_row)) {
+        if (key == "name") {
+          row.push_back(value);
+        } else if (key == "ok") {
+          row.push_back(value == "1" ? "ok" : "FAIL");
+        } else {
+          detail += (detail.empty() ? "" : " ") + key + "=" + value;
+        }
+      }
+      row.push_back(detail);
+      rows.push_back(std::move(row));
+    }
+    PrintTable(rows);
   }
 
   void Generate(const std::vector<std::string>& t) {
@@ -327,6 +501,8 @@ class Shell {
 
   onex::Dataset dataset_;
   std::unique_ptr<onex::Engine> engine_;
+  /// Remote connection for the observability verbs; null = local-only.
+  std::unique_ptr<onex::server::Client> client_;
 };
 
 }  // namespace

@@ -10,7 +10,8 @@
 //          [--workers N] [--queue N] [--engines N] [--no-demo]
 //          [--durable] [--checkpoint-records N] [--checkpoint-bytes N]
 //          [--trace-out FILE] [--slow-query-ms N] [--log-level LEVEL]
-//          [--log-json FILE]
+//          [--log-json FILE] [--crash-dump-dir DIR] [--stall-ms N]
+//          [--checkpoint-age-budget S] [--demo-series N] [--demo-length N]
 //
 //   --port 7070      TCP port (0 = ephemeral, printed on startup)
 //   --data-dir DIR   catalog directory of <name>.onex bases
@@ -18,6 +19,10 @@
 //   --queue 64       waiting-query bound; beyond it -> ERR OVERLOADED
 //   --engines 8      resident-engine cap (LRU eviction above it)
 //   --no-demo        don't seed the demo datasets (ecg, italypower)
+//   --demo-series 30 / --demo-length 64
+//                    demo dataset size — crank these up to make demo
+//                    queries slow enough to watch with INSPECT (the
+//                    crash-recorder CI smoke does exactly that)
 //   --durable        write-ahead log every APPEND (src/storage/): an
 //                    acknowledged append survives crashes; needs
 //                    --data-dir for the <name>.wal + <name>.onex pair
@@ -34,6 +39,23 @@
 //                    the ONEX_LOG_LEVEL environment variable)
 //   --log-json FILE  JSON-lines sink for the slow-query log and WARN+
 //                    mirrors (default: stderr)
+//   --crash-dump-dir DIR
+//                    arm the crash-time flight recorder: on SIGSEGV /
+//                    SIGABRT / SIGBUS write DIR/onex_crash.<pid>.json
+//                    (recent log ring, in-flight query table, trace
+//                    tails, held locks), then re-raise for the core
+//   --stall-ms 10000 stall-watchdog threshold: a query executing past
+//                    max(3x its deadline budget, this) is flagged —
+//                    one WARN log line, onex_watchdog_stalls_total,
+//                    and a failed HEALTH workers check (0 = off)
+//   --checkpoint-age-budget 0
+//                    HEALTH readiness fails when the newest completed
+//                    checkpoint is older than this many seconds
+//                    (0 = no budget)
+//
+// Both SIGINT (^C) and SIGTERM take the same clean shutdown: Stop(),
+// checkpoint dirty datasets, export --trace-out. A second signal
+// during shutdown force-kills with the default disposition.
 
 #include <csignal>
 #include <cstdio>
@@ -47,6 +69,7 @@
 #include "server/catalog.h"
 #include "server/server.h"
 #include "storage/storage.h"
+#include "util/crash_recorder.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/trace.h"
@@ -61,7 +84,8 @@ namespace {
 /// (snapshot + WAL replay) on first `use` instead.
 bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
                      const std::string& generator,
-                     const onex::server::CatalogOptions& catalog_options) {
+                     const onex::server::CatalogOptions& catalog_options,
+                     size_t num_series, size_t length) {
   if (catalog_options.durable &&
       std::filesystem::exists(onex::storage::BasePathFor(
           catalog_options.data_dir, name))) {
@@ -70,8 +94,8 @@ bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
     return true;
   }
   onex::GenOptions gen;
-  gen.num_series = 30;
-  gen.length = 64;
+  gen.num_series = num_series;
+  gen.length = length;
   auto made = onex::MakeDatasetByName(generator, gen);
   if (!made.ok()) {
     std::fprintf(stderr, "demo %s: %s\n", name.c_str(),
@@ -82,7 +106,7 @@ bool SeedDemoDataset(onex::server::Catalog& catalog, const std::string& name,
   onex::MinMaxNormalize(&dataset);
   onex::OnexOptions options;
   options.st = 0.2;
-  options.lengths = {8, 64, 8};
+  options.lengths = {8, length, 8};
   auto built = onex::Engine::Build(std::move(dataset), options);
   if (!built.ok()) {
     std::fprintf(stderr, "demo %s: %s\n", name.c_str(),
@@ -119,6 +143,19 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace-out", "");
   if (!trace_out.empty()) onex::trace::SetEnabled(true);
 
+  // Arm the flight recorder before any serving thread exists, so a
+  // crash during catalog opening is captured too.
+  const std::string crash_dump_dir = flags.GetString("crash-dump-dir", "");
+  if (!crash_dump_dir.empty()) {
+    if (!onex::crash::InstallCrashRecorder(crash_dump_dir)) {
+      std::fprintf(stderr, "--crash-dump-dir %s: not writable\n",
+                   crash_dump_dir.c_str());
+      return 1;
+    }
+    std::printf("crash recorder armed: %s\n",
+                onex::crash::CrashDumpPath().c_str());
+  }
+
   onex::server::CatalogOptions catalog_options;
   catalog_options.data_dir = flags.GetString("data-dir", "");
   catalog_options.max_open_engines =
@@ -137,8 +174,14 @@ int main(int argc, char** argv) {
       std::make_shared<onex::server::Catalog>(catalog_options);
 
   if (!flags.Has("no-demo")) {
-    SeedDemoDataset(*catalog, "ecg", "ECG", catalog_options);
-    SeedDemoDataset(*catalog, "italypower", "ItalyPower", catalog_options);
+    const auto demo_series =
+        static_cast<size_t>(flags.GetInt("demo-series", 30));
+    const auto demo_length =
+        static_cast<size_t>(flags.GetInt("demo-length", 64));
+    SeedDemoDataset(*catalog, "ecg", "ECG", catalog_options, demo_series,
+                    demo_length);
+    SeedDemoDataset(*catalog, "italypower", "ItalyPower", catalog_options,
+                    demo_series, demo_length);
   }
 
   onex::server::ServerOptions options;
@@ -147,6 +190,9 @@ int main(int argc, char** argv) {
   options.max_queue = static_cast<size_t>(flags.GetInt("queue", 64));
   options.slow_query_ms =
       static_cast<uint64_t>(flags.GetInt("slow-query-ms", 0));
+  options.stall_ms = static_cast<uint64_t>(flags.GetInt("stall-ms", 10000));
+  options.checkpoint_age_budget_s =
+      flags.GetDouble("checkpoint-age-budget", 0.0);
 
   // Block termination signals before spawning server threads so every
   // thread inherits the mask and sigwait below is the sole receiver.
@@ -180,7 +226,12 @@ int main(int argc, char** argv) {
   // Block until SIGINT/SIGTERM, then shut down cleanly.
   int received = 0;
   sigwait(&signals, &received);
-  std::printf("signal %d — stopping\n", received);
+  // Unblock both signals now: sigwait is done, so a SECOND ^C or TERM
+  // while shutdown is still checkpointing force-kills with the default
+  // disposition instead of vanishing into a blocked mask.
+  pthread_sigmask(SIG_UNBLOCK, &signals, nullptr);
+  std::printf("signal %d (%s) — stopping\n", received,
+              received == SIGINT ? "SIGINT" : "SIGTERM");
   server->Stop();
   // WAL-aware shutdown: checkpoint every dirty dataset so the next
   // startup recovers from snapshots alone — no WAL replay. Runs after

@@ -9,7 +9,11 @@
 #   2. every family declared "counter" is named *_total;
 #   3. every histogram family exposes a _bucket{le="+Inf"} sample whose
 #      value equals its _count;
-#   4. no duplicate HELP/TYPE declarations, no unparseable lines.
+#   4. no duplicate HELP/TYPE declarations, no unparseable lines;
+#   5. the process/introspection gauge families a fleet dashboard
+#      depends on are all present (an exposition that silently lost
+#      onex_process_* or the watchdog counters would pass pure grammar
+#      checks while blinding every alert built on them).
 #
 # Usage:
 #   printf 'metrics\nquit\n' | nc -q1 localhost 7070 \
@@ -84,6 +88,23 @@ awk '
       else if (inf[h] != count[h])
         fail(sprintf("histogram %s: +Inf bucket %g != _count %g",
                      h, inf[h], count[h]))
+    }
+    # Required families (v6): the process gauges and the stall/WAL
+    # health signals every operations dashboard keys on.
+    split("onex_process_uptime_seconds " \
+          "onex_process_resident_memory_bytes " \
+          "onex_process_open_fds " \
+          "onex_process_threads " \
+          "onex_process_cpu_user_seconds_total " \
+          "onex_process_cpu_sys_seconds_total " \
+          "onex_stalled_workers " \
+          "onex_wal_write_failed " \
+          "onex_watchdog_stalls_total", required, " ")
+    for (i in required) {
+      if (!(required[i] in type)) {
+        printf "check_metrics: missing required family %s\n", required[i]
+        bad = 1
+      }
     }
     if (bad) exit 1
     if (length(type) == 0) { print "check_metrics: empty input"; exit 1 }

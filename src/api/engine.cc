@@ -227,6 +227,7 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
           }
         } else if constexpr (std::is_same_v<T, RefineThresholdRequest>) {
           ScopedTimer stage(&response.stats.refine_seconds);
+          InflightStageScope live_stage(effective, QueryStage::kRefine);
           RefineResult refinements;
           auto summarize = [&](size_t length, const GtiEntry& refined) {
             const GtiEntry* before = base_->EntryFor(length);
@@ -291,6 +292,15 @@ Result<QueryResponse> Engine::ExecuteLocked(const QueryRequest& request,
     }
   }
   response.latency_seconds = timer.ElapsedSeconds();
+  if (wrapped.probe != nullptr) {
+    // Final mirror publish: the probe's cascade counters end EXACTLY
+    // equal to the response's own stats (the amortized mirror may lag
+    // by up to check_every candidates mid-flight). INSPECT-row parity
+    // with QueryStats is a test invariant, not best-effort.
+    ExecChecker final_mirror(&wrapped);
+    final_mirror.ObserveCascade(&response.stats.cascade);
+    final_mirror.MirrorCascade();
+  }
   return response;
 }
 

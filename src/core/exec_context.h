@@ -32,9 +32,11 @@
 #include <variant>
 #include <vector>
 
+#include "core/inflight.h"
 #include "core/query_match.h"
 #include "core/recommendation.h"
 #include "dataset/subsequence.h"
+#include "distance/cascade.h"
 #include "util/status.h"
 
 namespace onex {
@@ -157,6 +159,12 @@ struct ExecContext {
   /// running top-k, which costs a copy + sort per emission) and only
   /// flush on completion/interrupt — which is all capture needs.
   bool progress_capture_only = false;
+  /// Mid-flight visibility slot (INSPECT / watchdog / crash dump), or
+  /// nullptr to run unobserved. Not owned; the claimer (the server's
+  /// worker loop) releases it after Execute returns. Stage transitions
+  /// and the cascade mirror are published through it with relaxed
+  /// stores — see core/inflight.h for the consistency model.
+  InflightProbe* probe = nullptr;
 
   /// Deadline `budget` from now.
   static ExecContext WithDeadlineAfter(std::chrono::milliseconds budget) {
@@ -201,6 +209,7 @@ class ExecChecker {
     if (!status_.ok()) return true;
     if (++count_ < period_) return false;
     count_ = 0;
+    MirrorCascade();  // Amortized: rides the same slow path as Check().
     status_ = ctx_->Check();
     return !status_.ok();
   }
@@ -244,11 +253,72 @@ class ExecChecker {
     return wants_progress() && !ctx_->progress_capture_only;
   }
 
+  /// The context's in-flight probe, or nullptr (no visibility asked).
+  InflightProbe* probe() const {
+    return ctx_ != nullptr ? ctx_->probe : nullptr;
+  }
+
+  /// Binds the per-call cascade accumulator whose counters ShouldStop's
+  /// slow path mirrors into the probe. The accumulator must outlive the
+  /// checker (it's the QueryStats local of the same call).
+  void ObserveCascade(const CascadeStats* cascade) {
+    observed_cascade_ = cascade;
+  }
+
+  /// Copies the observed cascade counters into the probe (relaxed
+  /// stores; single writer). Public so the API layer can force a final
+  /// publish when the call completes — INSPECT row parity with the
+  /// response's own stats is a test invariant.
+  void MirrorCascade() const {
+    InflightProbe* p = probe();
+    if (p == nullptr || observed_cascade_ == nullptr) return;
+    p->candidates.store(observed_cascade_->candidates,
+                        std::memory_order_relaxed);
+    p->pruned_kim.store(observed_cascade_->pruned_kim,
+                        std::memory_order_relaxed);
+    p->pruned_keogh.store(observed_cascade_->pruned_keogh,
+                          std::memory_order_relaxed);
+    p->dtw_abandoned.store(observed_cascade_->dtw_abandoned,
+                           std::memory_order_relaxed);
+    p->dtw_completed.store(observed_cascade_->dtw_completed,
+                           std::memory_order_relaxed);
+  }
+
  private:
   const ExecContext* ctx_;
   size_t period_;
   size_t count_ = 0;
   Status status_;
+  const CascadeStats* observed_cascade_ = nullptr;
+};
+
+/// RAII stage publisher: flips the probe's live stage on entry and
+/// restores the previous one on exit (stages nest — FindAllWithin's
+/// member scans sit inside its group loop). Two relaxed stores at
+/// call/group granularity; placed at the SAME sites as the stage-
+/// seconds ScopedTimers so live stage and post-hoc attribution can
+/// never disagree. No-op when no probe is attached.
+class InflightStageScope {
+ public:
+  InflightStageScope(InflightProbe* probe, QueryStage stage)
+      : probe_(probe) {
+    if (probe_ == nullptr) return;
+    prev_ = probe_->CurrentStage();
+    probe_->PublishStage(stage);
+  }
+  InflightStageScope(const ExecChecker& check, QueryStage stage)
+      : InflightStageScope(check.probe(), stage) {}
+  InflightStageScope(const ExecContext* ctx, QueryStage stage)
+      : InflightStageScope(ctx != nullptr ? ctx->probe : nullptr, stage) {}
+  ~InflightStageScope() {
+    if (probe_ != nullptr) probe_->PublishStage(prev_);
+  }
+  InflightStageScope(const InflightStageScope&) = delete;
+  InflightStageScope& operator=(const InflightStageScope&) = delete;
+
+ private:
+  InflightProbe* probe_;
+  QueryStage prev_ = QueryStage::kQueued;
 };
 
 }  // namespace onex

@@ -1,0 +1,177 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+
+#include "core/inflight.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/sigsafe.h"
+
+namespace onex {
+
+const char* ToString(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kQueued:
+      return "queue";
+    case QueryStage::kRepScan:
+      return "rep_scan";
+    case QueryStage::kMemberScan:
+      return "member_scan";
+    case QueryStage::kKnn:
+      return "knn";
+    case QueryStage::kRefine:
+      return "refine";
+  }
+  return "unknown";
+}
+
+InflightRegistry& InflightRegistry::Global() {
+  // Leaked-on-exit singleton: the crash handler may fire during static
+  // destruction, and a destructed registry is exactly the dangling
+  // pointer this design exists to avoid.
+  static InflightRegistry* registry = new InflightRegistry();
+  return *registry;
+}
+
+InflightProbe* InflightRegistry::Claim(const void* owner, uint64_t id,
+                                       uint64_t session, uint32_t kind,
+                                       const std::string& dataset,
+                                       uint64_t start_ns,
+                                       int64_t deadline_ns) {
+  const uint64_t hint =
+      next_hint_.fetch_add(1, std::memory_order_relaxed) % kCapacity;
+  for (size_t i = 0; i < kCapacity; ++i) {
+    InflightProbe& slot = slots_[(hint + i) % kCapacity];
+    uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch % 2 != 0) continue;  // Active.
+    // Odd epoch = claimed. CAS arbitrates racing workers.
+    if (!slot.epoch.compare_exchange_strong(epoch, epoch + 1,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    slot.id.store(id, std::memory_order_relaxed);
+    slot.session.store(session, std::memory_order_relaxed);
+    slot.kind.store(kind, std::memory_order_relaxed);
+    slot.stage.store(static_cast<uint32_t>(QueryStage::kQueued),
+                     std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+    slot.stalled.store(0, std::memory_order_relaxed);
+    slot.candidates.store(0, std::memory_order_relaxed);
+    slot.pruned_kim.store(0, std::memory_order_relaxed);
+    slot.pruned_keogh.store(0, std::memory_order_relaxed);
+    slot.dtw_abandoned.store(0, std::memory_order_relaxed);
+    slot.dtw_completed.store(0, std::memory_order_relaxed);
+    const size_t len =
+        std::min(dataset.size(), InflightProbe::kDatasetCap - 1);
+    std::memcpy(slot.dataset, dataset.data(), len);
+    slot.dataset[len] = '\0';
+    slot.dataset_len.store(static_cast<uint32_t>(len),
+                           std::memory_order_release);
+    slot.owner.store(owner, std::memory_order_release);
+    return &slot;
+  }
+  return nullptr;  // Saturated: run unobserved rather than block.
+}
+
+void InflightRegistry::Release(InflightProbe* probe) {
+  probe->owner.store(nullptr, std::memory_order_relaxed);
+  probe->epoch.fetch_add(1, std::memory_order_release);  // Odd -> even.
+}
+
+InflightRow DecodeProbe(const InflightProbe& slot) {
+  InflightRow row;
+  row.epoch = slot.epoch.load(std::memory_order_relaxed);
+  row.id = slot.id.load(std::memory_order_relaxed);
+  row.session = slot.session.load(std::memory_order_relaxed);
+  row.kind = slot.kind.load(std::memory_order_relaxed);
+  row.stage = slot.CurrentStage();
+  row.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  row.deadline_ns = slot.deadline_ns.load(std::memory_order_relaxed);
+  row.stalled = slot.stalled.load(std::memory_order_relaxed) != 0;
+  row.candidates = slot.candidates.load(std::memory_order_relaxed);
+  row.pruned_kim = slot.pruned_kim.load(std::memory_order_relaxed);
+  row.pruned_keogh = slot.pruned_keogh.load(std::memory_order_relaxed);
+  row.dtw_abandoned = slot.dtw_abandoned.load(std::memory_order_relaxed);
+  row.dtw_completed = slot.dtw_completed.load(std::memory_order_relaxed);
+  const uint32_t len = slot.dataset_len.load(std::memory_order_acquire);
+  row.dataset.assign(slot.dataset,
+                     std::min<size_t>(len, InflightProbe::kDatasetCap - 1));
+  return row;
+}
+
+std::vector<InflightRow> InflightRegistry::Snapshot(const void* owner) const {
+  std::vector<InflightRow> rows;
+  for (const InflightProbe& slot : slots_) {
+    const uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch % 2 == 0) continue;
+    if (owner != nullptr &&
+        slot.owner.load(std::memory_order_acquire) != owner) {
+      continue;
+    }
+    InflightRow row = DecodeProbe(slot);
+    row.epoch = epoch;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t InflightRegistry::ActiveCount(const void* owner) const {
+  size_t n = 0;
+  for (const InflightProbe& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_relaxed) % 2 == 0) continue;
+    if (owner != nullptr &&
+        slot.owner.load(std::memory_order_relaxed) != owner) {
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+void InflightRegistry::DumpSigSafe(int fd) const {
+  using sigsafe::WriteI64;
+  using sigsafe::WriteJsonEscaped;
+  using sigsafe::WriteStr;
+  using sigsafe::WriteU64;
+  WriteStr(fd, "[");
+  bool first = true;
+  for (const InflightProbe& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_relaxed) % 2 == 0) continue;
+    if (!first) WriteStr(fd, ",");
+    first = false;
+    WriteStr(fd, "{\"id\":");
+    WriteU64(fd, slot.id.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"session\":");
+    WriteU64(fd, slot.session.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"kind\":");
+    WriteU64(fd, slot.kind.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"stage\":\"");
+    WriteStr(fd, ToString(slot.CurrentStage()));
+    WriteStr(fd, "\",\"dataset\":\"");
+    const uint32_t len = slot.dataset_len.load(std::memory_order_relaxed);
+    WriteJsonEscaped(
+        fd, slot.dataset,
+        std::min<size_t>(len, InflightProbe::kDatasetCap - 1));
+    WriteStr(fd, "\",\"start_ns\":");
+    WriteU64(fd, slot.start_ns.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"deadline_ns\":");
+    WriteI64(fd, slot.deadline_ns.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"stalled\":");
+    WriteU64(fd, slot.stalled.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"seen\":");
+    WriteU64(fd, slot.candidates.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"kim_pruned\":");
+    WriteU64(fd, slot.pruned_kim.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"keogh_pruned\":");
+    WriteU64(fd, slot.pruned_keogh.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"dtw_abandoned\":");
+    WriteU64(fd, slot.dtw_abandoned.load(std::memory_order_relaxed));
+    WriteStr(fd, ",\"dtw_completed\":");
+    WriteU64(fd, slot.dtw_completed.load(std::memory_order_relaxed));
+    WriteStr(fd, "}");
+  }
+  WriteStr(fd, "]");
+}
+
+}  // namespace onex

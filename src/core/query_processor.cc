@@ -37,6 +37,7 @@ std::pair<uint32_t, double> QueryProcessor::BestRepresentative(
     std::span<const double> query, const GtiEntry& entry, double bsf,
     QueryStats& stats, ExecChecker& check) const {
   ScopedTimer stage(&stats.rep_scan_seconds);
+  InflightStageScope live_stage(check, QueryStage::kRepScan);
   const size_t g = entry.NumGroups();
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -109,6 +110,7 @@ QueryMatch QueryProcessor::SearchGroup(std::span<const double> query,
                                        double bsf, QueryStats& stats,
                                        ExecChecker& check) const {
   ScopedTimer stage(&stats.member_scan_seconds);
+  InflightStageScope live_stage(check, QueryStage::kMemberScan);
   const LsiEntry& group = entry.groups[group_id];
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
@@ -166,6 +168,7 @@ std::vector<std::pair<uint32_t, double>> QueryProcessor::TopRepresentatives(
     std::span<const double> query, const GtiEntry& entry,
     QueryStats& stats, ExecChecker& check) const {
   ScopedTimer stage(&stats.rep_scan_seconds);
+  InflightStageScope live_stage(check, QueryStage::kRepScan);
   const size_t m = query.size();
   const double norm = Norm(m, entry.length);
   const DtwOptions dtw_options = DtwOptions::FromRatio(
@@ -251,6 +254,7 @@ Result<QueryMatch> QueryProcessor::FindBestMatchOfLength(
   }
   QueryStats call;
   ExecChecker check(ctx);
+  check.ObserveCascade(&call.cascade);
   ++call.lengths_scanned;
   double rep_d = kInf;
   QueryMatch match = SearchEntry(query, *entry, kInf, &rep_d, call, check);
@@ -278,6 +282,7 @@ Result<QueryMatch> QueryProcessor::FindBestMatch(std::span<const double> query,
   const double half_st = base_->options().st / 2.0;
   QueryStats call;
   ExecChecker check(ctx);
+  check.ObserveCascade(&call.cascade);
   QueryMatch best;
   best.distance = kInf;
   const std::vector<size_t> ordered = OrderedLengths(query.size());
@@ -329,6 +334,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
   if (k == 0) return Status::InvalidArgument("k must be positive");
   QueryStats call;
   ExecChecker check(ctx);
+  check.ObserveCascade(&call.cascade);
   const GtiEntry* entry = nullptr;
   uint32_t group_id = 0;
   double rep_d = kInf;
@@ -392,6 +398,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindKSimilar(
     // Scoped so the ranking time is flushed into `call` before
     // CommitStats copies it out below.
     ScopedTimer stage(&call.knn_seconds);
+    InflightStageScope live_stage(check, QueryStage::kKnn);
     for (size_t i = 0; i < group.members.size(); ++i) {
       if (check.ShouldStop()) break;
       const LsiMember& member = group.members[i];
@@ -463,6 +470,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
 
   QueryStats call;
   ExecChecker check(ctx);
+  check.ObserveCascade(&call.cascade);
   std::vector<QueryMatch> matches;
   const size_t m = query.size();
 
@@ -515,6 +523,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       double rep_d;
       {
         ScopedTimer stage(&call.rep_scan_seconds);
+        InflightStageScope live_stage(check, QueryStage::kRepScan);
         rep_d = DtwDistance(query, rep, dtw_options) / norm;
       }
       // Lemma 2 premises, checked against the *stored* member EDs (the
@@ -525,6 +534,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       if (rep_d <= st / 2.0 && group_radius <= st / 2.0) {
         // Lemma 2: every member of this group is within st of the query.
         ScopedTimer stage(&call.member_scan_seconds);
+        InflightStageScope live_stage(check, QueryStage::kMemberScan);
         call.members_admitted_by_lemma2 += group.members.size();
         for (const LsiMember& member : group.members) {
           QueryMatch match;
@@ -548,6 +558,7 @@ Result<std::vector<QueryMatch>> QueryProcessor::FindAllWithin(
       } else {
         // Individual scan with early abandoning at the range threshold.
         ScopedTimer stage(&call.member_scan_seconds);
+        InflightStageScope live_stage(check, QueryStage::kMemberScan);
         for (const LsiMember& member : group.members) {
           if (check.ShouldStop()) break;
           ++call.members_compared;

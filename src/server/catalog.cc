@@ -390,6 +390,8 @@ storage::StorageStats Catalog::DurableStats() const {
     out.checkpoint_last_duration_seconds =
         std::max(out.checkpoint_last_duration_seconds,
                  one.checkpoint_last_duration_seconds);
+    // One unwritable WAL anywhere makes the node unready.
+    out.wal_write_failed = out.wal_write_failed || one.wal_write_failed;
   }
   return out;
 }

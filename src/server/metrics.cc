@@ -130,6 +130,11 @@ void ServerMetrics::RecordDeadlineMiss() {
   ++deadline_miss_;
 }
 
+void ServerMetrics::RecordWatchdogStall() {
+  MutexLock lock(mutex_);
+  ++watchdog_stalls_;
+}
+
 uint64_t ServerMetrics::requests() const {
   MutexLock lock(mutex_);
   uint64_t total = 0;
@@ -160,6 +165,11 @@ uint64_t ServerMetrics::partial_results() const {
 uint64_t ServerMetrics::deadline_miss() const {
   MutexLock lock(mutex_);
   return deadline_miss_;
+}
+
+uint64_t ServerMetrics::watchdog_stalls() const {
+  MutexLock lock(mutex_);
+  return watchdog_stalls_;
 }
 
 std::string ServerMetrics::Render() const {
@@ -382,6 +392,8 @@ std::string ServerMetrics::RenderPrometheus(
   SimpleCounter(&out, "onex_slow_queries_total",
                 "Queries crossing the --slow-query-ms threshold.",
                 slow_queries_);
+  SimpleCounter(&out, "onex_watchdog_stalls_total",
+                "Jobs the stall watchdog ever flagged.", watchdog_stalls_);
 
   // ---- gauges (assembled by the caller; see GaugeSnapshot).
   GaugeLine(&out, "onex_queue_depth", "Jobs admitted, not yet picked up.",
@@ -407,6 +419,37 @@ std::string ServerMetrics::RenderPrometheus(
   GaugeLine(&out, "onex_checkpoint_last_duration_seconds",
             "Duration of the last completed checkpoint.",
             gauges.checkpoint_last_duration_seconds);
+  GaugeLine(&out, "onex_stalled_workers",
+            "Workers currently flagged by the stall watchdog.",
+            static_cast<double>(gauges.stalled_workers));
+  GaugeLine(&out, "onex_wal_write_failed",
+            "1 when any durable engine's last WAL write failed.",
+            gauges.wal_write_failed ? 1.0 : 0.0);
+
+  // ---- process-level resource gauges (sampled at render time).
+  GaugeLine(&out, "onex_process_uptime_seconds",
+            "Seconds since process start.", gauges.process.uptime_seconds);
+  GaugeLine(&out, "onex_process_resident_memory_bytes",
+            "Resident set size in bytes (0 = unreadable).",
+            static_cast<double>(gauges.process.rss_bytes));
+  GaugeLine(&out, "onex_process_open_fds",
+            "Open file descriptors (-1 = unreadable).",
+            static_cast<double>(gauges.process.open_fds));
+  GaugeLine(&out, "onex_process_threads",
+            "Kernel threads in the process (-1 = unreadable).",
+            static_cast<double>(gauges.process.threads));
+  Preamble(&out, "onex_process_cpu_user_seconds_total", "counter",
+           "User-mode CPU time consumed (getrusage).");
+  std::snprintf(line, sizeof(line),
+                "onex_process_cpu_user_seconds_total %.9g\n",
+                gauges.process.cpu_user_seconds);
+  out += line;
+  Preamble(&out, "onex_process_cpu_sys_seconds_total", "counter",
+           "Kernel-mode CPU time consumed (getrusage).");
+  std::snprintf(line, sizeof(line),
+                "onex_process_cpu_sys_seconds_total %.9g\n",
+                gauges.process.cpu_sys_seconds);
+  out += line;
   return out;
 }
 

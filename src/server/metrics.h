@@ -30,6 +30,7 @@
 #include "api/engine.h"
 #include "distance/cascade.h"
 #include "util/mutex.h"
+#include "util/process_stats.h"
 #include "util/thread_annotations.h"
 
 namespace onex {
@@ -84,6 +85,17 @@ struct GaugeSnapshot {
   /// durable engines; negative when none has ever completed.
   double checkpoint_age_seconds = -1.0;
   double checkpoint_last_duration_seconds = 0.0;
+  /// Workers the stall watchdog currently flags (running past
+  /// max(3x deadline budget, --stall-ms)). Cleared as stalled jobs
+  /// finish; the cumulative count is onex_watchdog_stalls_total.
+  uint64_t stalled_workers = 0;
+  /// True when any durable engine's last WAL write failed and has not
+  /// succeeded since (the HEALTH readiness gate; surfaced here so
+  /// dashboards see it without a wire probe).
+  bool wal_write_failed = false;
+  /// Process-level resource gauges, sampled by the server at render
+  /// time (one /proc read per METRICS call).
+  ProcessStats process;
 };
 
 /// Thread-safe metrics registry for one Server instance.
@@ -126,6 +138,11 @@ class ServerMetrics {
   /// this counts lateness).
   void RecordDeadlineMiss();
 
+  /// The stall watchdog flagged a worker (once per stalled job). The
+  /// CURRENT stalled count is a gauge in GaugeSnapshot; this is the
+  /// monotonic lifetime total (onex_watchdog_stalls_total).
+  void RecordWatchdogStall();
+
   /// Renders the STATS reply payload lines (no OK header, no "."):
   ///   server connections=3 requests=120 overloaded=2 bad_requests=1
   ///          appends=4 append_errors=0 flushes=1 flush_errors=0
@@ -150,6 +167,7 @@ class ServerMetrics {
   uint64_t deadline_exceeded() const;
   uint64_t partial_results() const;
   uint64_t deadline_miss() const;
+  uint64_t watchdog_stalls() const;
 
  private:
   struct KindMetrics {
@@ -180,6 +198,7 @@ class ServerMetrics {
   uint64_t partial_results_ GUARDED_BY(mutex_) = 0;
   uint64_t deadline_miss_ GUARDED_BY(mutex_) = 0;
   uint64_t slow_queries_ GUARDED_BY(mutex_) = 0;
+  uint64_t watchdog_stalls_ GUARDED_BY(mutex_) = 0;
   /// End-to-end latency split: queued-before-pickup vs executing.
   LatencyHistogram queue_wait_ GUARDED_BY(mutex_);
   LatencyHistogram exec_ GUARDED_BY(mutex_);

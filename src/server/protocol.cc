@@ -218,8 +218,9 @@ Result<Request> ParseRequestLine(const std::string& line,
     return Request(ControlRequest{ControlVerb::kCancel, t[1]});
   }
   if (verb == "list" || verb == "stats" || verb == "metrics" ||
-      verb == "ping" || verb == "help" || verb == "quit" ||
-      verb == "exit" || verb == "flush") {
+      verb == "inspect" || verb == "health" || verb == "ping" ||
+      verb == "help" || verb == "quit" || verb == "exit" ||
+      verb == "flush") {
     if (t.size() != 1) {
       return Status::InvalidArgument("'" + verb + "' takes no operands");
     }
@@ -229,6 +230,12 @@ Result<Request> ParseRequestLine(const std::string& line,
     }
     if (verb == "metrics") {
       return Request(ControlRequest{ControlVerb::kMetrics, ""});
+    }
+    if (verb == "inspect") {
+      return Request(ControlRequest{ControlVerb::kInspect, ""});
+    }
+    if (verb == "health") {
+      return Request(ControlRequest{ControlVerb::kHealth, ""});
     }
     if (verb == "ping") return Request(ControlRequest{ControlVerb::kPing, ""});
     if (verb == "help") return Request(ControlRequest{ControlVerb::kHelp, ""});
@@ -655,6 +662,8 @@ std::string RenderHelp() {
       "help use <dataset> / list              select / list datasets\n"
       "help stats / ping / quit               server metrics, liveness\n"
       "help metrics                           Prometheus text exposition (v5)\n"
+      "help inspect                            live in-flight query table (v6)\n"
+      "help health                             liveness/readiness probe (v6)\n"
       "help cancel <id>                       abort the in-flight query <id>\n"
       "help id=<n> deadline_ms=<n> progress=1 query attribute prefix (v3):\n"
       "help    tag/multiplex, bound, and stream partial results, e.g.\n"

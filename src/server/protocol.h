@@ -107,19 +107,22 @@
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/5 ready") and
+/// Wire-format version, announced in the greeting ("ONEX/6 ready") and
 /// bumped on any grammar change (2: APPEND/FLUSH mutation verbs; 3:
 /// request ids / CANCEL / DEADLINE_MS / PART progressive frames; 4:
 /// typed PART variants — group-shaped q2 and recommendation-shaped q3
 /// progress stream as PART GROUP / PART REC frames; 5: observability —
 /// the `trace=1` query attribute appends `trace ...` payload lines to
 /// the final OK block, and the METRICS verb renders every counter /
-/// histogram / gauge in Prometheus text exposition format). The v5
-/// grammar is a strict superset of v4 (itself of v3, itself of v2) —
+/// histogram / gauge in Prometheus text exposition format; 6:
+/// operational introspection — the INSPECT verb renders the live
+/// in-flight query table plus worker/queue/session/catalog snapshots,
+/// and the HEALTH verb answers liveness/readiness probes). The v6
+/// grammar is a strict superset of v5 (itself of v4, of v3, of v2) —
 /// negotiation is one-sided: the server announces its version, and a
 /// client that only speaks an older one simply never sends the newer
-/// attributes, so every v4 session's bytes are unchanged.
-inline constexpr int kWireVersion = 5;
+/// verbs, so every v5 session's bytes are unchanged.
+inline constexpr int kWireVersion = 6;
 /// Oldest grammar still accepted verbatim.
 inline constexpr int kMinWireVersion = 2;
 
@@ -138,8 +141,12 @@ inline constexpr const char* kNoDatasetCode = "NO_DATASET";
 /// other control verbs, is answered inline on the session thread.
 /// kCancel (v3) is also inline: it must overtake queued queries, which
 /// is the whole point. kMetrics (v5) renders the Prometheus exposition.
+/// kInspect / kHealth (v6) answer the operational introspection tier —
+/// inline too, precisely so they still work when every worker is wedged
+/// (the one moment an operator needs them most).
 enum class ControlVerb {
   kUse, kList, kStats, kPing, kHelp, kQuit, kFlush, kCancel, kMetrics,
+  kInspect, kHealth,
 };
 
 /// A parsed control line; `argument` is the dataset name for kUse and

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
@@ -14,9 +15,11 @@
 #include <thread>
 #include <utility>
 
+#include "core/inflight.h"
 #include "server/protocol.h"
 #include "server/socket_io.h"
 #include "util/logging.h"
+#include "util/process_stats.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -169,6 +172,9 @@ Result<std::unique_ptr<Server>> Server::Start(
   for (size_t i = 0; i < server->options_.num_workers; ++i) {
     server->workers_.emplace_back([s = server.get(), i] { s->WorkerLoop(i); });
   }
+  if (server->options_.stall_ms > 0) {
+    server->watchdog_ = std::thread([s = server.get()] { s->WatchdogLoop(); });
+  }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
@@ -316,6 +322,7 @@ bool Server::Submit(Job job) {
 void Server::WorkerLoop(size_t index) {
   while (true) {
     Job job;
+    InflightClaim claim;
     {
       MutexLock lock(queue_mutex_);
       while (!draining_ && queue_.empty()) queue_cv_.Wait(queue_mutex_);
@@ -339,11 +346,36 @@ void Server::WorkerLoop(size_t index) {
       }
       job = std::move(*best);
       queue_.erase(best);
+      // Claim an in-flight registry slot before the job becomes
+      // visible as running: INSPECT, the watchdog, and the crash
+      // recorder all read the probe, never the Job. Claim is a
+      // lock-free CAS scan, safe under queue_mutex_.
+      const auto started = std::chrono::steady_clock::now();
+      int64_t deadline_ns = -1;
+      if (job.deadline.has_value()) {
+        deadline_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          job.deadline->time_since_epoch())
+                          .count();
+      }
+      claim = InflightClaim(
+          this, job.wire_id, static_cast<uint64_t>(job.session_fd),
+          static_cast<uint32_t>(job.kind), job.dataset,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  started.time_since_epoch())
+                  .count()),
+          deadline_ns);
       RunningJob& slot = running_[index];
       slot.active = true;
       slot.deadline = job.deadline;
       slot.token = job.ctx != nullptr ? job.ctx->cancel : CancelToken{};
       slot.seq = job.seq;
+      slot.started = started;
+      slot.admitted = job.admitted;
+      slot.wire_id = job.wire_id;
+      slot.kind = job.kind;
+      slot.stalled = false;
+      slot.probe = claim.probe();
     }
     if (options_.on_job_start) options_.on_job_start();
     // How long the job sat between admission and this worker picking it
@@ -355,14 +387,24 @@ void Server::WorkerLoop(size_t index) {
             .count();
     Result<QueryResponse> result = [&]() -> Result<QueryResponse> {
       ONEX_TRACE_SPAN("server.execute");
-      return job.engine->Execute(
-          job.request, job.ctx != nullptr ? *job.ctx : ExecContext{});
+      // The probe rides into Execute through a context copy: Execute
+      // copies its context wholesale anyway, so the pointer reaches
+      // the checker's publish path for free.
+      ExecContext exec_ctx = job.ctx != nullptr ? *job.ctx : ExecContext{};
+      exec_ctx.probe = claim.probe();
+      return job.engine->Execute(job.request, exec_ctx);
     }();
     if (result.ok()) result.value().stats.queue_wait_seconds = queue_wait;
     {
       MutexLock lock(queue_mutex_);
-      running_[index].active = false;
+      RunningJob& slot = running_[index];
+      slot.active = false;
+      slot.stalled = false;
+      // Forget the probe BEFORE the claim releases it — the watchdog
+      // dereferences running_[i].probe under this same mutex.
+      slot.probe = nullptr;
     }
+    claim = InflightClaim();
     // A completion past the job's own deadline is a miss whether or not
     // the context interrupted it (a query can squeak past its last
     // check and finish whole, yet still be late).
@@ -372,6 +414,226 @@ void Server::WorkerLoop(size_t index) {
     }
     job.done(std::move(result));
   }
+}
+
+void Server::WatchdogLoop() {
+  const auto period = std::chrono::milliseconds(
+      options_.watchdog_period_ms == 0 ? 1 : options_.watchdog_period_ms);
+  while (true) {
+    {
+      MutexLock lock(watchdog_mutex_);
+      if (watchdog_stop_) return;
+      watchdog_cv_.WaitFor(watchdog_mutex_, period);
+      if (watchdog_stop_) return;
+    }
+    // Scan under queue_mutex_ (watchdog mutex released — never
+    // nested); log and count OUTSIDE it, the JSON sink does I/O.
+    std::vector<InflightRow> flagged;
+    std::vector<std::pair<uint64_t, double>> flagged_meta;  // seq, ms.
+    const auto now = std::chrono::steady_clock::now();
+    {
+      MutexLock lock(queue_mutex_);
+      for (RunningJob& slot : running_) {
+        if (!slot.active || slot.stalled) continue;
+        // Stall budget: 3x the job's own deadline budget when it has
+        // one, floored at --stall-ms; deadline-less jobs get the
+        // floor alone.
+        std::chrono::steady_clock::duration threshold =
+            std::chrono::milliseconds(options_.stall_ms);
+        if (slot.deadline.has_value()) {
+          const auto deadline_budget = (*slot.deadline - slot.admitted) * 3;
+          if (deadline_budget > threshold) threshold = deadline_budget;
+        }
+        const auto elapsed = now - slot.started;
+        if (elapsed <= threshold) continue;
+        slot.stalled = true;  // Flag (and count) each job once.
+        InflightRow row;
+        if (slot.probe != nullptr) {
+          slot.probe->stalled.store(1, std::memory_order_relaxed);
+          row = DecodeProbe(*slot.probe);
+        } else {  // Registry saturated: name what the slot knows.
+          row.id = slot.wire_id;
+          row.kind = static_cast<uint32_t>(slot.kind);
+        }
+        flagged.push_back(std::move(row));
+        flagged_meta.emplace_back(
+            slot.seq,
+            std::chrono::duration<double, std::milli>(elapsed).count());
+      }
+    }
+    for (size_t i = 0; i < flagged.size(); ++i) {
+      metrics_.RecordWatchdogStall();
+      const InflightRow& row = flagged[i];
+      JsonLogLine line(LogLevel::kWarn, "stalled_worker");
+      line.Int("seq", flagged_meta[i].first)
+          .Num("elapsed_ms", flagged_meta[i].second)
+          .Int("id", row.id)
+          .Int("session", row.session)
+          .Str("kind", ToString(static_cast<QueryKind>(row.kind)))
+          .Str("dataset", row.dataset)
+          .Str("stage", ToString(row.stage))
+          .Int("seen", row.candidates)
+          .Int("kim_pruned", row.pruned_kim)
+          .Int("keogh_pruned", row.pruned_keogh)
+          .Int("dtw_abandoned", row.dtw_abandoned)
+          .Int("dtw_completed", row.dtw_completed);
+      line.Write();
+    }
+  }
+}
+
+std::string Server::RenderInspect() {
+  const auto now = std::chrono::steady_clock::now();
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             now.time_since_epoch())
+                             .count();
+
+  // Live rows come from the registry (filtered to this server), not
+  // from running_: the probe mirror carries the stage and cascade
+  // counters the queue slots never see.
+  const std::vector<InflightRow> live =
+      InflightRegistry::Global().Snapshot(this);
+
+  struct QueuedRow {
+    uint64_t seq = 0;
+    uint64_t wire_id = 0;
+    QueryKind kind = QueryKind::kBestMatch;
+    std::string dataset;
+    int64_t waited_us = 0;
+    bool has_deadline = false;
+    int64_t deadline_remaining_us = 0;
+  };
+  std::vector<QueuedRow> queued;
+  uint64_t workers_busy = 0;
+  uint64_t stalled_workers = 0;
+  size_t queue_depth = 0;
+  {
+    MutexLock lock(queue_mutex_);
+    queue_depth = queue_.size();
+    for (const RunningJob& running : running_) {
+      if (!running.active) continue;
+      ++workers_busy;
+      if (running.stalled) ++stalled_workers;
+    }
+    queued.reserve(queue_.size());
+    for (const Job& job : queue_) {
+      QueuedRow row;
+      row.seq = job.seq;
+      row.wire_id = job.wire_id;
+      row.kind = job.kind;
+      row.dataset = job.dataset;
+      row.waited_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - job.admitted)
+                          .count();
+      if (job.deadline.has_value()) {
+        row.has_deadline = true;
+        row.deadline_remaining_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                *job.deadline - now)
+                .count();
+      }
+      queued.push_back(std::move(row));
+    }
+  }
+  std::vector<int> fds;
+  {
+    MutexLock lock(sessions_mutex_);
+    fds.assign(session_fds_.begin(), session_fds_.end());
+  }
+  const std::vector<CatalogEntryInfo> datasets = catalog_->List();
+
+  std::string reply =
+      "OK Inspect queries=" + std::to_string(live.size()) +
+      " queue_depth=" + std::to_string(queue_depth) +
+      " workers_busy=" + std::to_string(workers_busy) +
+      " workers_total=" + std::to_string(options_.num_workers) +
+      " sessions=" + std::to_string(fds.size()) +
+      " stalled_workers=" + std::to_string(stalled_workers) + "\n";
+  for (const InflightRow& row : live) {
+    const int64_t elapsed_us =
+        (now_ns - static_cast<int64_t>(row.start_ns)) / 1000;
+    reply += "query id=" + std::to_string(row.id) +
+             " session=" + std::to_string(row.session) +
+             " kind=" + ToString(static_cast<QueryKind>(row.kind)) +
+             " dataset=" + row.dataset + " stage=" + ToString(row.stage) +
+             " elapsed_us=" + std::to_string(elapsed_us) +
+             " deadline_remaining_us=" +
+             (row.deadline_ns < 0
+                  ? std::string("none")
+                  : std::to_string((row.deadline_ns - now_ns) / 1000)) +
+             " seen=" + std::to_string(row.candidates) +
+             " kim_pruned=" + std::to_string(row.pruned_kim) +
+             " keogh_pruned=" + std::to_string(row.pruned_keogh) +
+             " dtw_abandoned=" + std::to_string(row.dtw_abandoned) +
+             " dtw_completed=" + std::to_string(row.dtw_completed) +
+             " stalled=" + (row.stalled ? "1" : "0") + "\n";
+  }
+  for (const QueuedRow& row : queued) {
+    reply += "queued seq=" + std::to_string(row.seq) +
+             " id=" + std::to_string(row.wire_id) +
+             " kind=" + ToString(row.kind) + " dataset=" + row.dataset +
+             " waited_us=" + std::to_string(row.waited_us) +
+             " deadline_remaining_us=" +
+             (row.has_deadline ? std::to_string(row.deadline_remaining_us)
+                               : std::string("none")) +
+             "\n";
+  }
+  for (const int session_fd : fds) {
+    reply += "session fd=" + std::to_string(session_fd) + "\n";
+  }
+  for (const CatalogEntryInfo& row : datasets) {
+    reply += "catalog name=" + row.name +
+             " resident=" + (row.resident ? "1" : "0") +
+             " dirty=" + (row.dirty ? "1" : "0") + "\n";
+  }
+  return reply + ".\n";
+}
+
+std::string Server::RenderHealth() {
+  const storage::StorageStats durable = catalog_->DurableStats();
+  size_t queue_depth = 0;
+  uint64_t stalled_workers = 0;
+  {
+    MutexLock lock(queue_mutex_);
+    queue_depth = queue_.size();
+    for (const RunningJob& running : running_) {
+      if (running.active && running.stalled) ++stalled_workers;
+    }
+  }
+  const bool wal_ok = !durable.wal_write_failed;
+  // A server that never checkpointed (age < 0) is not stale, just
+  // young — the budget only judges completed checkpoints.
+  const bool age_ok =
+      options_.checkpoint_age_budget_s <= 0.0 ||
+      durable.checkpoint_age_seconds < 0.0 ||
+      durable.checkpoint_age_seconds <= options_.checkpoint_age_budget_s;
+  const auto degrade_at = static_cast<size_t>(
+      std::max(1.0, options_.ready_queue_ratio *
+                        static_cast<double>(options_.max_queue)));
+  const bool queue_ok = queue_depth < degrade_at;
+  const bool workers_ok = stalled_workers == 0;
+  const bool ready = wal_ok && age_ok && queue_ok && workers_ok;
+
+  char age[64];
+  std::snprintf(age, sizeof(age), "%.3f", durable.checkpoint_age_seconds);
+  char budget[64];
+  std::snprintf(budget, sizeof(budget), "%.3f",
+                options_.checkpoint_age_budget_s);
+
+  std::string reply =
+      std::string("OK Health live=1 ready=") + (ready ? "1" : "0") + "\n";
+  reply += std::string("check name=wal_writable ok=") + (wal_ok ? "1" : "0") +
+           "\n";
+  reply += std::string("check name=checkpoint_age ok=") +
+           (age_ok ? "1" : "0") + " age_s=" + age + " budget_s=" + budget +
+           "\n";
+  reply += std::string("check name=queue ok=") + (queue_ok ? "1" : "0") +
+           " depth=" + std::to_string(queue_depth) +
+           " degrade_at=" + std::to_string(degrade_at) +
+           " shed_at=" + std::to_string(options_.max_queue) + "\n";
+  reply += std::string("check name=workers ok=") + (workers_ok ? "1" : "0") +
+           " stalled=" + std::to_string(stalled_workers) + "\n";
+  return reply + ".\n";
 }
 
 void Server::RecordOutcome(QueryKind kind, const std::string& dataset,
@@ -549,7 +811,10 @@ void Server::SessionLoop(int fd) {
             MutexLock lock(queue_mutex_);
             gauges.queue_depth = queue_.size();
             for (const RunningJob& running : running_) {
-              if (running.active) ++gauges.workers_busy;
+              if (running.active) {
+                ++gauges.workers_busy;
+                if (running.stalled) ++gauges.stalled_workers;
+              }
             }
           }
           gauges.workers_total = options_.num_workers;
@@ -563,10 +828,21 @@ void Server::SessionLoop(int fd) {
           gauges.checkpoint_age_seconds = durable.checkpoint_age_seconds;
           gauges.checkpoint_last_duration_seconds =
               durable.checkpoint_last_duration_seconds;
+          gauges.wal_write_failed = durable.wal_write_failed;
+          gauges.process = SampleProcessStats();
           session->Send("OK Metrics\n" + metrics_.RenderPrometheus(gauges) +
                         ".\n");
           break;
         }
+        case ControlVerb::kInspect:
+          // v6: answered inline on the session thread, like every
+          // control verb — deliberately so, INSPECT must still answer
+          // when every worker is wedged on a stuck query.
+          session->Send(RenderInspect());
+          break;
+        case ControlVerb::kHealth:
+          session->Send(RenderHealth());
+          break;
         case ControlVerb::kPing:
           session->Send("OK Pong\n.\n");
           break;
@@ -654,6 +930,10 @@ void Server::SessionLoop(int fd) {
       job.engine = engine;
       job.ctx = ctx;
       job.deadline = ctx->deadline;
+      job.wire_id = attrs.id;
+      job.session_fd = fd;
+      job.dataset = dataset;
+      job.kind = KindOf(request);
       job.done = [this, session, id = attrs.id, trace = attrs.trace,
                   dataset, kind = KindOf(request),
                   latency = Timer()](Result<QueryResponse> result) {
@@ -691,6 +971,9 @@ void Server::SessionLoop(int fd) {
     job.engine = engine;
     job.ctx = ctx;
     job.deadline = ctx != nullptr ? ctx->deadline : std::nullopt;
+    job.session_fd = fd;
+    job.dataset = dataset;
+    job.kind = KindOf(request);
     job.done = [promise](Result<QueryResponse> result) {
       promise->set_value(std::move(result));
     };
@@ -731,6 +1014,14 @@ void Server::Stop() {
   // 1. No new connections.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 1b. Retire the watchdog before the workers it observes.
+  {
+    MutexLock lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.NotifyAll();
+  if (watchdog_.joinable()) watchdog_.join();
 
   // 2. Unblock session reads (sessions blocked on a future stay put
   //    until step 3 fulfils it).

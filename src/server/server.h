@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "core/inflight.h"
 #include "server/catalog.h"
 #include "server/metrics.h"
 #include "util/mutex.h"
@@ -92,6 +93,24 @@ struct ServerOptions {
   /// pruning ratio, disposition) through util/logging's JSON sink.
   /// 0 disables the log.
   uint64_t slow_query_ms = 0;
+
+  /// Stall watchdog: a job executing longer than
+  /// max(3 x its deadline budget, stall_ms) is flagged as stalled —
+  /// one WARN log line with its INSPECT row, the
+  /// onex_watchdog_stalls_total counter, and a failed HEALTH workers
+  /// check until the job finishes. 0 disables the watchdog thread
+  /// entirely. Deadline-less jobs use stall_ms alone.
+  uint64_t stall_ms = 10000;
+  /// How often the watchdog scans the running set. Tests shrink this.
+  uint64_t watchdog_period_ms = 1000;
+  /// HEALTH readiness degrades once queue depth reaches this fraction
+  /// of max_queue — deliberately BEFORE the queue starts shedding with
+  /// OVERLOADED, so a router can drain the node while it still answers.
+  double ready_queue_ratio = 0.8;
+  /// HEALTH readiness fails when the newest completed checkpoint across
+  /// durable engines is older than this many seconds (0 = no budget;
+  /// a server that has never checkpointed is not penalized).
+  double checkpoint_age_budget_s = 0.0;
 
   /// Test instrumentation (leave unset in production): called by a
   /// worker right before executing a job, and after a job is enqueued
@@ -149,6 +168,13 @@ class Server {
     /// Admission instant; the dequeuing worker turns it into the
     /// query's queue_wait stage timing (and the queue-wait histogram).
     std::chrono::steady_clock::time_point admitted;
+    /// Introspection identity (v6): the wire id (0 = untagged), the
+    /// owning session's fd, the bound dataset, and the query kind
+    /// travel with the job so INSPECT and the watchdog can name it.
+    uint64_t wire_id = 0;
+    int session_fd = -1;
+    std::string dataset;
+    QueryKind kind = QueryKind::kBestMatch;
     /// Completion: fulfils the session thread's future (untagged) or
     /// renders and writes the tagged reply. Runs on the worker that
     /// executed the job, or inline in Submit for queue-swept sheds.
@@ -156,12 +182,24 @@ class Server {
   };
 
   /// What one worker is executing right now (guarded by queue_mutex_),
-  /// so an overloaded Submit can cancel the oldest over-deadline query.
+  /// so an overloaded Submit can cancel the oldest over-deadline query
+  /// and the stall watchdog can flag jobs running past their budget.
   struct RunningJob {
     bool active = false;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     CancelToken token;
     uint64_t seq = 0;
+    /// When the worker picked the job up (stall clock starts here, not
+    /// at admission — queue wait is the queue's fault, not the job's).
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point admitted;
+    uint64_t wire_id = 0;
+    QueryKind kind = QueryKind::kBestMatch;
+    /// Watchdog latch: each stalled job is flagged (and counted) once.
+    bool stalled = false;
+    /// The job's registry slot, for the watchdog to set the probe's
+    /// stalled flag. Nulled (under queue_mutex_) before release.
+    InflightProbe* probe = nullptr;
   };
 
   Server(ServerOptions options, std::shared_ptr<Catalog> catalog);
@@ -170,6 +208,17 @@ class Server {
   void AcceptLoop();
   void SessionLoop(int fd);
   void WorkerLoop(size_t index);
+  /// Periodically flags running jobs past their stall budget (see
+  /// ServerOptions::stall_ms). Started only when stall_ms > 0.
+  void WatchdogLoop();
+
+  /// Assembles the INSPECT reply: live query rows from the in-flight
+  /// registry, queued jobs, worker/session/catalog snapshots. Inline on
+  /// the session thread — it must answer even when workers are wedged.
+  std::string RenderInspect();
+  /// Assembles the HEALTH reply: liveness (trivially 1 when answering)
+  /// and readiness with one `check` row per gate.
+  std::string RenderHealth();
 
   /// Enqueues a job unless the queue is at capacity or the server is
   /// stopping; false means "shed this request". Before shedding, the
@@ -225,6 +274,14 @@ class Server {
   /// One slot per worker (sized once in Start, before workers exist).
   std::vector<RunningJob> running_ GUARDED_BY(queue_mutex_);
   std::vector<std::thread> workers_;
+
+  /// Stall-watchdog plumbing. The watchdog mutex guards only its own
+  /// stop flag / cv wait; the scan itself runs under queue_mutex_ with
+  /// the watchdog mutex released — the two are never nested.
+  Mutex watchdog_mutex_{LockRank::kServerWatchdog, "server.watchdog_mutex"};
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ GUARDED_BY(watchdog_mutex_) = false;
+  std::thread watchdog_;
 };
 
 }  // namespace server

@@ -261,6 +261,13 @@ Status DurableEngine::LogAppend(const TimeSeries& series) {
   // AppendSink contract: the engine calls this under its writer lock.
   engine_.mu().AssertHeld();
   ONEX_TRACE_SPAN("wal.append");
+  if (options_.wal_fault_injection) {
+    const Status injected = options_.wal_fault_injection();
+    if (!injected.ok()) {
+      wal_write_failed_.store(true, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   const uint64_t rollback_to = wal_.bytes();
   const Status appended = wal_.Append(series);
   if (!appended.ok()) {
@@ -268,6 +275,7 @@ Status DurableEngine::LogAppend(const TimeSeries& series) {
     // though bytes_ did not); truncate it away or it would shadow
     // every later acknowledged append at replay.
     wal_.Rollback(rollback_to, 0);
+    wal_write_failed_.store(true, std::memory_order_relaxed);
     return appended;
   }
   if (options_.sync_appends) {
@@ -276,9 +284,11 @@ Status DurableEngine::LogAppend(const TimeSeries& series) {
       // The caller will report this append as failed; its record must
       // not linger and be made durable by a later append's fsync.
       wal_.Rollback(rollback_to, 1);
+      wal_write_failed_.store(true, std::memory_order_relaxed);
       return synced;
     }
   }
+  wal_write_failed_.store(false, std::memory_order_relaxed);
   appends_.fetch_add(1);
   wal_records_.fetch_add(1);
   wal_bytes_.store(wal_.bytes());
@@ -293,6 +303,13 @@ Status DurableEngine::LogAppendBatch(std::span<const TimeSeries> batch) {
   // AppendSink contract: the engine calls this under its writer lock.
   engine_.mu().AssertHeld();
   ONEX_TRACE_SPAN("wal.append_batch");
+  if (options_.wal_fault_injection) {
+    const Status injected = options_.wal_fault_injection();
+    if (!injected.ok()) {
+      wal_write_failed_.store(true, std::memory_order_relaxed);
+      return injected;
+    }
+  }
   const uint64_t rollback_to = wal_.bytes();
   uint64_t written = 0;
   Status failed = Status::OK();
@@ -307,8 +324,10 @@ Status DurableEngine::LogAppendBatch(std::span<const TimeSeries> batch) {
     // All-or-nothing: the caller applies none of the batch in memory,
     // so none of its records may survive in the log.
     wal_.Rollback(rollback_to, written);
+    wal_write_failed_.store(true, std::memory_order_relaxed);
     return failed;
   }
+  wal_write_failed_.store(false, std::memory_order_relaxed);
   appends_.fetch_add(batch.size());
   wal_records_.fetch_add(batch.size());
   wal_bytes_.store(wal_.bytes());
@@ -413,6 +432,7 @@ StorageStats DurableEngine::stats() const {
   stats.replayed_records = replayed_records_;
   stats.skipped_records = skipped_records_;
   stats.recovered_torn_tail = recovered_torn_tail_;
+  stats.wal_write_failed = wal_write_failed_.load(std::memory_order_relaxed);
   const int64_t last_ns = last_checkpoint_ns_.load();
   if (last_ns != 0) {
     const int64_t now_ns =

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -66,6 +67,11 @@ struct StorageOptions {
   /// Turning this off trades the durability of the last few appends
   /// for throughput (the bench quantifies it).
   bool sync_appends = true;
+  /// Test-only fault injection: when set, every LogAppend/LogAppendBatch
+  /// consults it before touching the WAL and fails with the returned
+  /// non-OK status — the deterministic way to flip wal_write_failed
+  /// (HEALTH readiness) without breaking a real file descriptor.
+  std::function<Status()> wal_fault_injection;
 };
 
 /// Point-in-time counters for STATS replies, tests, and the bench.
@@ -81,6 +87,11 @@ struct StorageStats {
   /// negative when none has (freshly opened, or checkpointing disabled).
   double checkpoint_age_seconds = -1.0;
   double checkpoint_last_duration_seconds = 0.0;
+  /// Sticky-until-recovery: the most recent WAL write (append or sync)
+  /// failed and no later one has succeeded. While true the engine
+  /// cannot acknowledge durable appends — the HEALTH verb's readiness
+  /// check fails on it so a router drains the node.
+  bool wal_write_failed = false;
 };
 
 /// `<dir>/<name>.onex` — the snapshot (serialization.h format, shared
@@ -194,6 +205,10 @@ class DurableEngine : public AppendSink,
   std::atomic<uint64_t> wal_records_{0};
   std::atomic<uint64_t> wal_bytes_{0};
   std::atomic<uint64_t> checkpoints_{0};
+  /// Sticky WAL-health flag: set when an append/sync fails, cleared by
+  /// the next success. stats() surfaces it; HEALTH gates readiness on
+  /// it (see StorageStats::wal_write_failed).
+  std::atomic<bool> wal_write_failed_{false};
   /// Steady-clock ns of the last completed checkpoint (0 = never) and
   /// how long it held the writer lock — the METRICS gauges for
   /// checkpoint age and duration read these without any lock.

@@ -1,0 +1,163 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+
+#include "util/crash_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "core/inflight.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/sigsafe.h"
+#include "util/trace.h"
+
+namespace onex {
+namespace crash {
+
+namespace {
+
+// Everything the handler touches is pre-sized at Install time: the
+// path lives in a fixed buffer (no std::string in a signal context),
+// the altstack is allocated once and leaked.
+constexpr size_t kPathCap = 512;
+char g_dump_path[kPathCap] = {0};
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_dumped{false};
+
+constexpr uint64_t kTraceTailSpans = 64;  ///< Newest spans per ring.
+
+const char* SignalName(int signal_number) {
+  switch (signal_number) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+  }
+  return "SIG?";
+}
+
+/// The dump body — shared by the real handler and the test hook.
+/// Async-signal-safe: every section writer below is documented so.
+void WriteDump(int fd, int signal_number, const void* fault_addr) {
+  using sigsafe::WriteHex;
+  using sigsafe::WriteStr;
+  using sigsafe::WriteU64;
+  WriteStr(fd, "{\"signal\":");
+  WriteU64(fd, static_cast<uint64_t>(signal_number));
+  WriteStr(fd, ",\"signal_name\":\"");
+  WriteStr(fd, SignalName(signal_number));
+  WriteStr(fd, "\",\"fault_addr\":\"");
+  WriteHex(fd, reinterpret_cast<uint64_t>(fault_addr));
+  WriteStr(fd, "\",\"pid\":");
+  WriteU64(fd, static_cast<uint64_t>(::getpid()));
+  WriteStr(fd, ",\"recent_log\":");
+  DumpRecentLogSigSafe(fd);
+  WriteStr(fd, ",\"inflight\":");
+  InflightRegistry::Global().DumpSigSafe(fd);
+  WriteStr(fd, ",\"trace_tails\":");
+  trace::DumpRingTailsSigSafe(fd, kTraceTailSpans);
+  WriteStr(fd, ",\"held_locks\":");
+  lock_debug::DumpHeldStacksSigSafe(fd);
+  WriteStr(fd, "}\n");
+}
+
+void Handler(int signal_number, siginfo_t* info, void* /*ucontext*/) {
+  // First fatal signal claims the dump; concurrent faults on other
+  // threads re-raise immediately (the file must not interleave).
+  bool expected = false;
+  if (g_dumped.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd >= 0) {
+      WriteDump(fd, signal_number,
+                info != nullptr ? info->si_addr : nullptr);
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default disposition at handler entry;
+  // re-raising now terminates with the true signal (core dump, wait
+  // status) as if the recorder had never been there.
+  ::raise(signal_number);
+}
+
+}  // namespace
+
+bool InstallCrashRecorder(const std::string& dump_dir) {
+  // Compose "<dir>/onex_crash.<pid>.json" into the static buffer now;
+  // the handler must never format a path.
+  std::string path = dump_dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "onex_crash." + std::to_string(::getpid()) + ".json";
+  if (path.size() >= kPathCap) {
+    LogMessage(LogLevel::kWarn,
+               "crash recorder: dump path too long: " + path);
+    return false;
+  }
+  // Prove writability up front — a recorder that fails only at crash
+  // time is worse than none.
+  const int probe =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (probe < 0) {
+    LogMessage(LogLevel::kWarn, "crash recorder: cannot write '" + path +
+                                    "': " + std::strerror(errno));
+    return false;
+  }
+  ::close(probe);
+  ::unlink(path.c_str());  // Leave no empty dump behind.
+  std::memcpy(g_dump_path, path.c_str(), path.size() + 1);
+
+  if (!g_installed.exchange(true, std::memory_order_acq_rel)) {
+    // A dedicated altstack lets the handler run after a stack
+    // overflow — the most common SIGSEGV in native servers.
+    // Fixed 64 KiB, not SIGSTKSZ: since glibc 2.34 SIGSTKSZ is a
+    // sysconf call, not a constant, and the handler's frame budget is
+    // known (no recursion, no large locals).
+    constexpr size_t kAltStackBytes = 64 * 1024;
+    static stack_t altstack;
+    static char altstack_mem[kAltStackBytes];
+    altstack.ss_sp = altstack_mem;
+    altstack.ss_size = sizeof(altstack_mem);
+    altstack.ss_flags = 0;
+    if (::sigaltstack(&altstack, nullptr) != 0) {
+      LogMessage(LogLevel::kWarn,
+                 std::string("crash recorder: sigaltstack failed: ") +
+                     std::strerror(errno));
+      // Continue without the altstack: still useful for non-overflow
+      // faults.
+    }
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = Handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_RESETHAND;
+    for (const int sig : {SIGSEGV, SIGABRT, SIGBUS}) {
+      if (::sigaction(sig, &action, nullptr) != 0) {
+        LogMessage(LogLevel::kWarn,
+                   std::string("crash recorder: sigaction failed for ") +
+                       SignalName(sig) + ": " + std::strerror(errno));
+        return false;
+      }
+    }
+  }
+  LogMessage(LogLevel::kInfo,
+             "crash recorder armed, dump path " + path);
+  return true;
+}
+
+std::string CrashDumpPath() { return g_dump_path; }
+
+void WriteCrashDumpForTest(int fd, int signal_number) {
+  WriteDump(fd, signal_number, nullptr);
+}
+
+}  // namespace crash
+}  // namespace onex

@@ -1,0 +1,46 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Crash-time flight recorder: a SIGSEGV/SIGABRT/SIGBUS handler that
+// dumps the process's always-on observability rings to a pre-named
+// JSON file, then re-raises so the default disposition (core dump,
+// nonzero exit) still happens. The dump is assembled entirely from
+// statically-reachable lock-free structures —
+//
+//   recent_log   — the bounded ring behind the levelled logger
+//   inflight     — the InflightRegistry's live query table
+//   trace_tails  — the newest spans of every per-thread trace ring
+//   held_locks   — per-thread lock-rank stacks (ONEX_LOCK_ORDER_CHECKS)
+//
+// — so the handler body is async-signal-safe: open/write/close and
+// raw atomic loads, no locks, no heap, no stdio. Everything variable
+// (the dump path, the altstack) is allocated at Install time.
+//
+// One dump per process life: the first fatal signal wins (atomic
+// claim); nested faults inside the handler fall through to the default
+// disposition because installation is SA_RESETHAND.
+
+#ifndef ONEX_UTIL_CRASH_RECORDER_H_
+#define ONEX_UTIL_CRASH_RECORDER_H_
+
+#include <string>
+
+namespace onex {
+namespace crash {
+
+/// Installs the handler, dumping to `<dump_dir>/onex_crash.<pid>.json`.
+/// Returns false (and logs a WARN) when the directory is not writable
+/// or the altstack cannot be allocated; the process then runs without a
+/// flight recorder, which is degraded but never fatal. Calling again
+/// re-points the dump path (tests).
+bool InstallCrashRecorder(const std::string& dump_dir);
+
+/// The exact file the next crash would write, empty when not installed.
+std::string CrashDumpPath();
+
+/// Test hook: runs the handler's dump body (no signal involved) into
+/// `fd`. Exercises the exact code path the real handler takes.
+void WriteCrashDumpForTest(int fd, int signal_number);
+
+}  // namespace crash
+}  // namespace onex
+
+#endif  // ONEX_UTIL_CRASH_RECORDER_H_

@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include "util/sigsafe.h"
+
 #include <atomic>
 #include <cctype>
 #include <cerrno>
@@ -51,6 +53,35 @@ void WriteJsonSink(const std::string& line) {
   std::FILE* out = g_json_file != nullptr ? g_json_file : stderr;
   std::fwrite(line.data(), 1, line.size(), out);
   std::fflush(out);
+}
+
+// ------------------------------------------------ recent-log ring
+//
+// Flight-recorder buffer behind the logger: fixed slots, claimed with a
+// fetch_add on the head (no lock anywhere), slot length published with
+// a release store AFTER the bytes. Statically allocated so the crash
+// handler can walk it without touching the heap. A writer lapping the
+// ring while the handler reads produces a torn slot — acceptable; the
+// dump escapes whatever bytes it finds.
+
+struct LogRingSlot {
+  char text[onex::internal::kLogRingSlotBytes];
+  std::atomic<uint32_t> len{0};
+  std::atomic<uint64_t> seq{0};  ///< Claim ticket, for ordering the dump.
+};
+
+LogRingSlot g_log_ring[onex::internal::kLogRingSlots];
+std::atomic<uint64_t> g_log_ring_head{0};
+
+void RecordToRing(const char* data, size_t len) {
+  const uint64_t ticket = g_log_ring_head.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  LogRingSlot& slot = g_log_ring[ticket % onex::internal::kLogRingSlots];
+  const size_t n = len < sizeof(slot.text) ? len : sizeof(slot.text);
+  slot.len.store(0, std::memory_order_release);  // Invalidate while torn.
+  std::memcpy(slot.text, data, n);
+  slot.seq.store(ticket + 1, std::memory_order_relaxed);
+  slot.len.store(static_cast<uint32_t>(n), std::memory_order_release);
 }
 
 }  // namespace
@@ -105,6 +136,14 @@ bool SetJsonLogPath(const std::string& path) {
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::fprintf(stderr, "[onex %s] %s\n", LevelName(level), message.c_str());
+  {
+    // Flight-recorder copy: "[LEVEL] message", truncated to slot size.
+    std::string ring_line = "[";
+    ring_line += LevelName(level);
+    ring_line += "] ";
+    ring_line += message;
+    RecordToRing(ring_line.data(), ring_line.size());
+  }
   // Mirror anomalies into the machine-readable stream — but only when a
   // file sink is configured; without one the stderr line above already
   // carries the information and a duplicate JSON copy is noise.
@@ -181,7 +220,39 @@ void JsonLogLine::Write() {
   if (!enabled_ || written_) return;
   written_ = true;
   buf_ += "}\n";
+  // Structured events go into the flight-recorder ring too (without the
+  // trailing newline — the dump renders one slot per array element).
+  RecordToRing(buf_.data(), buf_.size() - 1);
   WriteJsonSink(buf_);
+}
+
+void DumpRecentLogSigSafe(int fd) {
+  // Oldest surviving ticket first. head is the NEXT ticket; the ring
+  // holds at most kLogRingSlots entries behind it.
+  const uint64_t head = g_log_ring_head.load(std::memory_order_relaxed);
+  const uint64_t window =
+      head < onex::internal::kLogRingSlots ? head
+                                           : onex::internal::kLogRingSlots;
+  sigsafe::WriteStr(fd, "[");
+  bool first = true;
+  for (uint64_t ticket = head - window; ticket < head; ++ticket) {
+    const LogRingSlot& slot =
+        g_log_ring[ticket % onex::internal::kLogRingSlots];
+    const uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len == 0) continue;  // Never written, or mid-write.
+    if (slot.seq.load(std::memory_order_relaxed) != ticket + 1) {
+      continue;  // Lapped by a newer writer since we computed `head`.
+    }
+    if (!first) sigsafe::WriteStr(fd, ",");
+    first = false;
+    sigsafe::WriteStr(fd, "\"");
+    const size_t n = len < onex::internal::kLogRingSlotBytes
+                         ? len
+                         : onex::internal::kLogRingSlotBytes;
+    sigsafe::WriteJsonEscaped(fd, slot.text, n);
+    sigsafe::WriteStr(fd, "\"");
+  }
+  sigsafe::WriteStr(fd, "]");
 }
 
 namespace internal {

@@ -16,6 +16,7 @@
 #ifndef ONEX_UTIL_LOGGING_H_
 #define ONEX_UTIL_LOGGING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <sstream>
@@ -47,6 +48,23 @@ bool SetJsonLogPath(const std::string& path);
 /// `{"ts":...,"level":...,"msg":...}` so operational anomalies and the
 /// slow-query log land in the same machine-readable stream.
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Every line that passes the threshold (stderr or JSON sink) is also
+/// copied into a fixed-size in-memory ring — the flight recorder's
+/// "what was the process saying just before it died" section. Lock-free
+/// claim (fetch_add on the head) + per-slot release-published length;
+/// a slot being overwritten during a crash dump yields a torn line,
+/// which the dump JSON-escapes rather than trusts.
+///
+/// DumpRecentLogSigSafe emits the ring's surviving lines (oldest
+/// first) as a JSON array of strings onto `fd`. Async-signal-safe.
+void DumpRecentLogSigSafe(int fd);
+
+namespace internal {
+/// Ring geometry, exported for the logging test.
+inline constexpr size_t kLogRingSlots = 256;
+inline constexpr size_t kLogRingSlotBytes = 240;
+}  // namespace internal
 
 /// One structured JSON log line, emitted on Write() (or destruction).
 /// Field order is insertion order; `ts` and `level` are prepended

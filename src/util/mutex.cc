@@ -7,8 +7,17 @@
 
 #include "util/mutex.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "util/sigsafe.h"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
 
 namespace onex {
 namespace lock_debug {
@@ -29,19 +38,53 @@ struct HeldStack {
   Entry entries[kCapacity];
   int size = 0;
   int overflow = 0;
+  uint64_t tid = 0;  ///< Kernel thread id, recorded at registration.
 };
 
-thread_local HeldStack tls_held;
+// Held stacks are heap-allocated, LEAKED, and threaded onto a fixed
+// lock-free table so the crash-time flight recorder can print what
+// every thread held at the moment of death. Leaking is load-bearing
+// twice over: an exited thread's stack must stay readable (the handler
+// may fire during teardown), and thread_local storage itself would be
+// reclaimed by the runtime. The owning thread is the only writer;
+// handler reads are torn-tolerant (sizes clamped, names are literals).
+constexpr size_t kMaxTrackedThreads = 256;
+std::atomic<HeldStack*> g_stacks[kMaxTrackedThreads];
+std::atomic<size_t> g_stack_count{0};
+
+uint64_t CurrentTid() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<uint64_t>(::getpid());
+#endif
+}
+
+HeldStack* CreateRegisteredStack() {
+  HeldStack* stack = new HeldStack();  // Leaked by design (see above).
+  stack->tid = CurrentTid();
+  const size_t index = g_stack_count.fetch_add(1, std::memory_order_relaxed);
+  if (index < kMaxTrackedThreads) {
+    g_stacks[index].store(stack, std::memory_order_release);
+  }
+  return stack;
+}
+
+HeldStack& Held() {
+  thread_local HeldStack* stack = CreateRegisteredStack();
+  return *stack;
+}
 
 [[noreturn]] void Die(const char* what, const char* name, LockRank rank) {
+  const HeldStack& held = Held();
   std::fprintf(stderr,
                "onex lock-order violation: %s '%s' (rank %d); held locks "
                "(acquisition order):\n",
                what, name, static_cast<int>(rank));
-  for (int i = 0; i < tls_held.size; ++i) {
+  for (int i = 0; i < held.size; ++i) {
     std::fprintf(stderr, "  [%d] '%s' (rank %d)\n", i,
-                 tls_held.entries[i].name,
-                 static_cast<int>(tls_held.entries[i].rank));
+                 held.entries[i].name,
+                 static_cast<int>(held.entries[i].rank));
   }
   std::fflush(stderr);
   std::abort();
@@ -50,7 +93,7 @@ thread_local HeldStack tls_held;
 }  // namespace
 
 void PushHeld(const void* mutex, LockRank rank, const char* name) {
-  HeldStack& held = tls_held;
+  HeldStack& held = Held();
   for (int i = 0; i < held.size; ++i) {
     if (held.entries[i].mutex == mutex) {
       Die("recursive acquisition of", name, rank);
@@ -73,7 +116,7 @@ void PushHeld(const void* mutex, LockRank rank, const char* name) {
 }
 
 void PopHeld(const void* mutex) {
-  HeldStack& held = tls_held;
+  HeldStack& held = Held();
   // Releases are almost always LIFO; scan backwards for the rare
   // hand-over-hand pattern.
   for (int i = held.size - 1; i >= 0; --i) {
@@ -88,11 +131,48 @@ void PopHeld(const void* mutex) {
 }
 
 bool Holds(const void* mutex) {
-  const HeldStack& held = tls_held;
+  const HeldStack& held = Held();
   for (int i = 0; i < held.size; ++i) {
     if (held.entries[i].mutex == mutex) return true;
   }
   return false;
+}
+
+void DumpHeldStacksSigSafe(int fd) {
+  using sigsafe::WriteStr;
+  using sigsafe::WriteU64;
+  WriteStr(fd, "[");
+  size_t count = g_stack_count.load(std::memory_order_acquire);
+  if (count > kMaxTrackedThreads) count = kMaxTrackedThreads;
+  bool first_stack = true;
+  for (size_t i = 0; i < count; ++i) {
+    const HeldStack* stack = g_stacks[i].load(std::memory_order_acquire);
+    if (stack == nullptr) continue;
+    // Torn-tolerant read of another thread's bookkeeping: clamp the
+    // size, and skip threads holding nothing (the common case).
+    int size = stack->size;
+    if (size < 0) size = 0;
+    if (size > HeldStack::kCapacity) size = HeldStack::kCapacity;
+    if (size == 0) continue;
+    if (!first_stack) WriteStr(fd, ",");
+    first_stack = false;
+    WriteStr(fd, "{\"tid\":");
+    WriteU64(fd, stack->tid);
+    WriteStr(fd, ",\"locks\":[");
+    for (int j = 0; j < size; ++j) {
+      const char* name = stack->entries[j].name;
+      if (j > 0) WriteStr(fd, ",");
+      WriteStr(fd, "{\"name\":\"");
+      if (name != nullptr) {
+        sigsafe::WriteJsonEscaped(fd, name, sigsafe::StrLen(name));
+      }
+      WriteStr(fd, "\",\"rank\":");
+      WriteU64(fd, static_cast<uint64_t>(stack->entries[j].rank));
+      WriteStr(fd, "}");
+    }
+    WriteStr(fd, "]}");
+  }
+  WriteStr(fd, "]");
 }
 
 void CheckHeld(const void* mutex, const char* name) {

@@ -63,6 +63,7 @@ namespace onex {
 /// locks.
 enum class LockRank : int {
   kServerSessions = 10,    ///< Server::sessions_mutex_
+  kServerWatchdog = 12,    ///< Server::watchdog_mutex_
   kServerQueue = 15,       ///< Server::queue_mutex_
   kCatalog = 20,           ///< Catalog::mutex_
   kStorageCheckpoint = 30, ///< DurableEngine::checkpoint_mutex_
@@ -90,6 +91,14 @@ void PopHeld(const void* mutex);
 bool Holds(const void* mutex);
 /// Aborts unless the calling thread holds `mutex` (AssertHeld body).
 void CheckHeld(const void* mutex, const char* name);
+
+/// Crash-time export: every tracked thread's held-lock stack as a JSON
+/// array onto `fd` ("[]" when lock-order checking never ran — stacks
+/// are only populated when ONEX_LOCK_ORDER_CHECKS builds call
+/// PushHeld). Async-signal-safe; reads of other threads' stacks are
+/// torn-tolerant, which a flight recorder accepts and a debugger
+/// would not.
+void DumpHeldStacksSigSafe(int fd);
 
 }  // namespace lock_debug
 

@@ -1,0 +1,112 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Async-signal-safe output helpers for the crash-time flight recorder.
+// Everything here is restricted to the POSIX async-signal-safe surface:
+// write(2) only — no allocation, no locks, no stdio, no formatting
+// library. The dump sections (recent-log ring, in-flight table, trace
+// tails, held-lock stacks) live next to their data structures; this
+// header is the shared vocabulary they emit JSON with.
+//
+// All writers ignore short writes' residue beyond retrying EINTR: a
+// crash dump that loses its tail to a full disk is still better than a
+// handler that loops forever inside a dying process.
+
+#ifndef ONEX_UTIL_SIGSAFE_H_
+#define ONEX_UTIL_SIGSAFE_H_
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace onex {
+namespace sigsafe {
+
+/// write(2) with EINTR retry. Returns false once the fd stops accepting
+/// bytes (callers keep emitting; subsequent writes fail fast).
+inline bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline size_t StrLen(const char* s) {
+  size_t n = 0;
+  while (s[n] != '\0') ++n;
+  return n;
+}
+
+/// NUL-terminated literal/buffer.
+inline void WriteStr(int fd, const char* s) { WriteAll(fd, s, StrLen(s)); }
+
+/// Unsigned decimal, no allocation (21 bytes covers 2^64).
+inline void WriteU64(int fd, uint64_t v) {
+  char buf[21];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+inline void WriteI64(int fd, int64_t v) {
+  if (v < 0) {
+    WriteStr(fd, "-");
+    // Negate via unsigned arithmetic so INT64_MIN does not overflow.
+    WriteU64(fd, ~static_cast<uint64_t>(v) + 1);
+  } else {
+    WriteU64(fd, static_cast<uint64_t>(v));
+  }
+}
+
+/// 0x-prefixed lower-case hex (pointer-sized values in fault reports).
+inline void WriteHex(int fd, uint64_t v) {
+  char buf[18];
+  char* p = buf + sizeof(buf);
+  do {
+    const int digit = static_cast<int>(v & 0xF);
+    *--p = static_cast<char>(digit < 10 ? '0' + digit : 'a' + digit - 10);
+    v >>= 4;
+  } while (v != 0);
+  WriteStr(fd, "0x");
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+/// JSON string body (no surrounding quotes): escapes the two mandatory
+/// classes (quote, backslash) plus control bytes as \u00XX, so torn or
+/// binary ring slots can never break the dump's parseability.
+inline void WriteJsonEscaped(int fd, const char* s, size_t len) {
+  size_t start = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"' || c == '\\' || c < 0x20) {
+      if (i > start) WriteAll(fd, s + start, i - start);
+      if (c == '"') {
+        WriteStr(fd, "\\\"");
+      } else if (c == '\\') {
+        WriteStr(fd, "\\\\");
+      } else if (c == '\n') {
+        WriteStr(fd, "\\n");
+      } else {
+        static const char kHex[] = "0123456789abcdef";
+        char esc[6] = {'\\', 'u', '0', '0', kHex[c >> 4], kHex[c & 0xF]};
+        WriteAll(fd, esc, sizeof(esc));
+      }
+      start = i + 1;
+    }
+  }
+  if (len > start) WriteAll(fd, s + start, len - start);
+}
+
+}  // namespace sigsafe
+}  // namespace onex
+
+#endif  // ONEX_UTIL_SIGSAFE_H_

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/mutex.h"
+#include "util/sigsafe.h"
 #include "util/thread_annotations.h"
 
 namespace onex {
@@ -43,7 +44,21 @@ struct Ring {
   /// quiescent exporter.
   std::atomic<uint64_t> head{0};
   uint32_t tid = 0;
+  /// Lock-free intrusive list for the crash handler: the registry mutex
+  /// cannot be taken from a signal context, so rings are ALSO threaded
+  /// onto an atomic singly-linked list at registration time.
+  Ring* next = nullptr;
 };
+
+std::atomic<Ring*> g_ring_list_head{nullptr};
+
+void PushRingList(Ring* ring) {
+  Ring* head = g_ring_list_head.load(std::memory_order_relaxed);
+  do {
+    ring->next = head;
+  } while (!g_ring_list_head.compare_exchange_weak(
+      head, ring, std::memory_order_release, std::memory_order_relaxed));
+}
 
 /// Registry of every ring and counter ever created. Rings are never
 /// destroyed (threads exit; their events must not), so raw pointers
@@ -72,6 +87,7 @@ ThreadState& LocalState() {
     auto ring = std::make_unique<Ring>();
     ring->tid = static_cast<uint32_t>(registry.rings.size() + 1);
     state.ring = ring.get();
+    PushRingList(ring.get());
     registry.rings.push_back(std::move(ring));
   }
   return state;
@@ -227,6 +243,49 @@ void Reset() {
     ring->head.store(0, std::memory_order_release);
   }
   for (Counter* counter : registry.counters) counter->Clear();
+}
+
+void DumpRingTailsSigSafe(int fd, uint64_t max_per_ring) {
+  using sigsafe::WriteStr;
+  using sigsafe::WriteU64;
+  WriteStr(fd, "[");
+  bool first_ring = true;
+  // Walk the lock-free list only — rings are never freed, so every
+  // pointer on it is valid even while the process is dying.
+  for (Ring* ring = g_ring_list_head.load(std::memory_order_acquire);
+       ring != nullptr; ring = ring->next) {
+    const uint64_t head = ring->head.load(std::memory_order_relaxed);
+    uint64_t count = head < kRingCapacity ? head : kRingCapacity;
+    if (count > max_per_ring) count = max_per_ring;
+    if (count == 0) continue;
+    if (!first_ring) WriteStr(fd, ",");
+    first_ring = false;
+    WriteStr(fd, "{\"tid\":");
+    WriteU64(fd, ring->tid);
+    WriteStr(fd, ",\"spans\":[");
+    bool first_span = true;
+    for (uint64_t i = head - count; i < head; ++i) {
+      // Plain reads of slot data: the owning thread may be mid-write on
+      // the newest slot; name pointers are string literals so even a
+      // torn slot dereferences safely (worst case the wrong literal).
+      const SpanEvent& event = ring->slots[i % kRingCapacity];
+      if (event.name == nullptr) continue;
+      if (!first_span) WriteStr(fd, ",");
+      first_span = false;
+      WriteStr(fd, "{\"name\":\"");
+      sigsafe::WriteJsonEscaped(fd, event.name,
+                                sigsafe::StrLen(event.name));
+      WriteStr(fd, "\",\"start_ns\":");
+      WriteU64(fd, event.start_ns);
+      WriteStr(fd, ",\"dur_ns\":");
+      WriteU64(fd, event.duration_ns);
+      WriteStr(fd, ",\"depth\":");
+      WriteU64(fd, event.depth);
+      WriteStr(fd, "}");
+    }
+    WriteStr(fd, "]}");
+  }
+  WriteStr(fd, "]");
 }
 
 }  // namespace trace

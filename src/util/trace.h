@@ -121,6 +121,13 @@ bool WriteChromeTraceFile(const std::string& path);
 /// against concurrent recording; call at quiescence.
 void Reset();
 
+/// Crash-time export: emits the newest `max_per_ring` resident spans of
+/// every ring as a JSON array onto `fd`, without the registry mutex —
+/// the rings are reached through a lock-free intrusive list built at
+/// registration. Async-signal-safe (write(2) only); live writers may
+/// tear the newest slot of their ring, nothing worse.
+void DumpRingTailsSigSafe(int fd, uint64_t max_per_ring);
+
 }  // namespace trace
 }  // namespace onex
 
