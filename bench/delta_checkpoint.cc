@@ -1,0 +1,277 @@
+// Incremental-checkpoint cost model: what do delta checkpoints buy over
+// the full-rewrite baseline, and what do they charge at recovery?
+//
+//   A. Checkpoint cost per round: grow the base by a fixed number of
+//      appends, checkpoint, repeat — once with delta_checkpoints (brief
+//      writer-lock holds, one small delta artifact per round) and once
+//      with the full rewrite (writer lock held across the entire
+//      serialize + write + fsync). The lock-hold column is the number
+//      incremental checkpoints exist to shrink: it is time during
+//      which every query on the dataset stalls.
+//   B. Recovery time vs chain length: base + K deltas + WAL tail
+//      replayed through DurableEngine::Open at growing K, against the
+//      single-snapshot baseline — the follower-bootstrap and
+//      restart-latency budget the chain-compaction thresholds bound.
+//
+// Results go to stdout as tables and to BENCH_delta.json.
+//
+// Run: ./build/bench/delta_checkpoint [--series N] [--length N]
+//          [--appends-per-round N] [--rounds N]
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/registry.h"
+#include "dataset/normalize.h"
+#include "storage/storage.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace onex {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+Engine BuildSeedEngine(size_t num_series, size_t length) {
+  GenOptions gen;
+  gen.num_series = num_series;
+  gen.length = length;
+  gen.seed = 42;
+  auto made = MakeDatasetByName("ItalyPower", gen);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    std::exit(1);
+  }
+  Dataset dataset = std::move(made).value();
+  MinMaxNormalize(&dataset);
+  OnexOptions options;
+  options.st = 0.2;
+  options.lengths = {8, length, 8};
+  auto built = Engine::Build(std::move(dataset), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+std::vector<TimeSeries> MakeAppendSeries(size_t count, size_t length,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> values(length);
+    double level = rng.NextDouble();
+    for (double& v : values) {
+      level += rng.Gaussian(0.0, 0.02);
+      if (level < 0.0) level = 0.0;
+      if (level > 1.0) level = 1.0;
+      v = level;
+    }
+    out.emplace_back(std::move(values), static_cast<int>(i));
+  }
+  return out;
+}
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Per-mode outcome of the checkpoint-cost loop.
+struct CheckpointCost {
+  double mean_lock_hold_ms = 0.0;
+  double max_lock_hold_ms = 0.0;
+  double mean_publish_bytes = 0.0;  ///< Artifact bytes written per round.
+};
+
+CheckpointCost RunCheckpointRounds(const fs::path& dir,
+                                   const std::string& name, bool delta,
+                                   size_t num_series, size_t length,
+                                   size_t per_round, size_t rounds,
+                                   const std::vector<TimeSeries>& fresh) {
+  storage::StorageOptions options;
+  options.background_checkpointer = false;
+  options.delta_checkpoints = delta;
+  options.max_delta_chain_length = 0;  // Unbounded: no mid-bench compaction.
+  options.max_delta_chain_bytes = 0;
+  auto durable = storage::DurableEngine::Create(
+      dir.string(), name, BuildSeedEngine(num_series, length), options);
+  if (!durable.ok()) Die(durable.status());
+
+  CheckpointCost cost;
+  double total_hold = 0.0, total_bytes = 0.0;
+  size_t at = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < per_round; ++i) {
+      const Status appended =
+          durable.value()->Append(fresh[at++ % fresh.size()]);
+      if (!appended.ok()) Die(appended);
+    }
+    const Status checkpointed = durable.value()->Checkpoint();
+    if (!checkpointed.ok()) Die(checkpointed);
+    const storage::StorageStats stats = durable.value()->stats();
+    const double hold_ms = stats.checkpoint_lock_hold_seconds * 1e3;
+    total_hold += hold_ms;
+    cost.max_lock_hold_ms = std::max(cost.max_lock_hold_ms, hold_ms);
+    if (delta) {
+      total_bytes += static_cast<double>(stats.last_delta_bytes);
+    } else {
+      std::error_code ec;
+      total_bytes += static_cast<double>(fs::file_size(
+          storage::BasePathFor(dir.string(), name), ec));
+    }
+  }
+  cost.mean_lock_hold_ms = total_hold / static_cast<double>(rounds);
+  cost.mean_publish_bytes = total_bytes / static_cast<double>(rounds);
+  return cost;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t num_series = static_cast<size_t>(flags.GetInt("series", 48));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 128));
+  const size_t per_round =
+      static_cast<size_t>(flags.GetInt("appends-per-round", 8));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds", 6));
+
+  const fs::path dir = fs::temp_directory_path() / "onex_bench_delta";
+  fs::create_directories(dir);
+  const std::vector<TimeSeries> fresh =
+      MakeAppendSeries(per_round * rounds, length, 7);
+
+  std::printf("base: %zu series x %zu, %zu appends/round, %zu rounds\n",
+              num_series, length, per_round, rounds);
+
+  // ---- A: checkpoint cost, full rewrite vs incremental delta.
+  const CheckpointCost full = RunCheckpointRounds(
+      dir, "full", /*delta=*/false, num_series, length, per_round, rounds,
+      fresh);
+  const CheckpointCost delta = RunCheckpointRounds(
+      dir, "delta", /*delta=*/true, num_series, length, per_round, rounds,
+      fresh);
+
+  TableWriter cost_table("Checkpoint cost per round (writer-lock hold "
+                         "stalls every query)");
+  cost_table.SetHeader({"mode", "mean hold ms", "max hold ms",
+                        "mean artifact KB"});
+  cost_table.AddRow({"full rewrite", TableWriter::Num(full.mean_lock_hold_ms, 3),
+                     TableWriter::Num(full.max_lock_hold_ms, 3),
+                     TableWriter::Num(full.mean_publish_bytes / 1024.0, 1)});
+  cost_table.AddRow({"delta", TableWriter::Num(delta.mean_lock_hold_ms, 3),
+                     TableWriter::Num(delta.max_lock_hold_ms, 3),
+                     TableWriter::Num(delta.mean_publish_bytes / 1024.0, 1)});
+  cost_table.AddRow(
+      {"reduction",
+       TableWriter::Num(full.mean_lock_hold_ms /
+                            std::max(delta.mean_lock_hold_ms, 1e-9),
+                        2) +
+           "x",
+       TableWriter::Num(full.max_lock_hold_ms /
+                            std::max(delta.max_lock_hold_ms, 1e-9),
+                        2) +
+           "x",
+       TableWriter::Num(full.mean_publish_bytes /
+                            std::max(delta.mean_publish_bytes, 1e-9),
+                        2) +
+           "x"});
+  cost_table.Print();
+
+  // ---- B: recovery time vs delta-chain length.
+  struct RecoveryPoint {
+    size_t chain_length = 0;
+    double open_ms = 0.0;
+  };
+  std::vector<RecoveryPoint> recovery;
+  for (const size_t chain : {size_t{0}, rounds / 2, rounds}) {
+    storage::StorageOptions options;
+    options.background_checkpointer = false;
+    options.delta_checkpoints = chain > 0;
+    options.max_delta_chain_length = 0;
+    options.max_delta_chain_bytes = 0;
+    const std::string name = "recover" + std::to_string(chain);
+    {
+      auto durable = storage::DurableEngine::Create(
+          dir.string(), name, BuildSeedEngine(num_series, length), options);
+      if (!durable.ok()) Die(durable.status());
+      size_t at = 0;
+      for (size_t round = 0; round < std::max(chain, size_t{1}); ++round) {
+        for (size_t i = 0; i < per_round; ++i) {
+          const Status appended =
+              durable.value()->Append(fresh[at++ % fresh.size()]);
+          if (!appended.ok()) Die(appended);
+        }
+        const Status checkpointed = durable.value()->Checkpoint();
+        if (!checkpointed.ok()) Die(checkpointed);
+      }
+    }
+    Timer timer;
+    auto reopened = storage::DurableEngine::Open(dir.string(), name, options);
+    if (!reopened.ok()) Die(reopened.status());
+    const double open_ms = timer.ElapsedSeconds() * 1e3;
+    const uint64_t recovered_chain =
+        reopened.value()->stats().delta_chain_length;
+    if (recovered_chain != chain) {
+      std::fprintf(stderr, "chain mismatch: recovered %llu, wanted %zu\n",
+                   static_cast<unsigned long long>(recovered_chain), chain);
+      return 1;
+    }
+    recovery.push_back({chain, open_ms});
+  }
+
+  TableWriter recovery_table("Recovery time vs delta-chain length "
+                             "(chain 0 = single full snapshot)");
+  recovery_table.SetHeader({"chain length", "open ms"});
+  for (const RecoveryPoint& point : recovery) {
+    recovery_table.AddRow({std::to_string(point.chain_length),
+                           TableWriter::Num(point.open_ms, 2)});
+  }
+  recovery_table.Print();
+
+  std::FILE* json = std::fopen("BENCH_delta.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"bench\":\"delta_checkpoint\",\"series\":%zu,"
+                 "\"length\":%zu,\"appends_per_round\":%zu,\"rounds\":%zu,"
+                 "\"full_mean_lock_hold_ms\":%.4f,"
+                 "\"full_max_lock_hold_ms\":%.4f,"
+                 "\"full_mean_publish_bytes\":%.0f,"
+                 "\"delta_mean_lock_hold_ms\":%.4f,"
+                 "\"delta_max_lock_hold_ms\":%.4f,"
+                 "\"delta_mean_publish_bytes\":%.0f,"
+                 "\"lock_hold_reduction\":%.2f,\"recovery\":[",
+                 num_series, length, per_round, rounds,
+                 full.mean_lock_hold_ms, full.max_lock_hold_ms,
+                 full.mean_publish_bytes, delta.mean_lock_hold_ms,
+                 delta.max_lock_hold_ms, delta.mean_publish_bytes,
+                 full.mean_lock_hold_ms /
+                     std::max(delta.mean_lock_hold_ms, 1e-9));
+    for (size_t i = 0; i < recovery.size(); ++i) {
+      std::fprintf(json, "%s{\"chain_length\":%zu,\"open_ms\":%.3f}",
+                   i ? "," : "", recovery[i].chain_length,
+                   recovery[i].open_ms);
+    }
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_delta.json\n");
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace onex
+
+int main(int argc, char** argv) { return onex::bench::Run(argc, argv); }

@@ -1,0 +1,151 @@
+// The ONEX read replica — follows a leader onex_server, serving the
+// same datasets read-only while staying within a bounded lag. The
+// syncer (src/server/replica.h) polls the leader's MANIFEST verb (each
+// poll cuts a fresh consistent checkpoint on the leader), FETCHes only
+// the changed artifacts — base snapshot, incremental delta-chain
+// links, WAL tail — and swaps them into the local data directory;
+// queries recover through the exact same path a restarted leader
+// would (base + delta chain + WAL replay), so a follower's answer
+// bytes match the leader's at the same cut.
+//
+// Run: ./build/examples/onex_replica --follow HOST:PORT --data-dir DIR
+//          [--port N] [--workers N] [--queue N] [--engines N]
+//          [--poll-s X] [--lag-budget S] [--log-level LEVEL]
+//
+//   --follow H:P     the leader's wire address (required)
+//   --data-dir DIR   local artifact directory, owned by the syncer
+//                    (required; start empty — bootstrap fills it)
+//   --port 7071      TCP port to serve read-only queries on
+//   --workers 4 / --queue 64 / --engines 8
+//                    same serving knobs as onex_server
+//   --poll-s 2       seconds between sync rounds
+//   --lag-budget 30  HEALTH readiness fails when the last successful
+//                    sync is older than this many seconds (0 = any
+//                    completed sync is healthy); a never-synced
+//                    follower is always not-ready
+//
+// Writes are refused with ERR READ_ONLY (append on the leader); HEALTH
+// reports the replication lag and METRICS exports
+// onex_replica_lag_seconds / onex_replica_last_applied_seq.
+//
+// SIGINT/SIGTERM shut down cleanly: stop serving, stop the syncer.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "server/catalog.h"
+#include "server/replica.h"
+#include "server/server.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  onex::Flags flags(argc, argv);
+
+  onex::InitLogLevelFromEnv();
+  if (flags.Has("log-level")) {
+    const std::string name = flags.GetString("log-level", "info");
+    const auto level = onex::ParseLogLevel(name);
+    if (!level) {
+      std::fprintf(stderr, "--log-level %s: not a level "
+                           "(debug|info|warn|error)\n", name.c_str());
+      return 1;
+    }
+    onex::SetLogLevel(*level);
+  }
+
+  const std::string follow = flags.GetString("follow", "");
+  const std::string data_dir = flags.GetString("data-dir", "");
+  if (follow.empty() || data_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: onex_replica --follow HOST:PORT --data-dir DIR\n");
+    return 1;
+  }
+  const size_t colon = follow.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == follow.size()) {
+    std::fprintf(stderr, "--follow %s: expected HOST:PORT\n",
+                 follow.c_str());
+    return 1;
+  }
+  const std::string leader_host = follow.substr(0, colon);
+  const int leader_port = std::atoi(follow.c_str() + colon + 1);
+  if (leader_port <= 0 || leader_port > 65535) {
+    std::fprintf(stderr, "--follow %s: bad port\n", follow.c_str());
+    return 1;
+  }
+
+  // Read-only durable catalog over the syncer-owned directory: queries
+  // recover from whatever artifact set the syncer last published, and
+  // every mutation verb is refused at the catalog. No background
+  // checkpointer — the follower must never rewrite the leader's
+  // artifacts with its own.
+  onex::server::CatalogOptions catalog_options;
+  catalog_options.data_dir = data_dir;
+  catalog_options.durable = true;
+  catalog_options.read_only = true;
+  catalog_options.max_open_engines =
+      static_cast<size_t>(flags.GetInt("engines", 8));
+  catalog_options.storage.background_checkpointer = false;
+  auto catalog = std::make_shared<onex::server::Catalog>(catalog_options);
+
+  onex::server::ReplicaOptions replica_options;
+  replica_options.leader_host = leader_host;
+  replica_options.leader_port = static_cast<uint16_t>(leader_port);
+  replica_options.data_dir = data_dir;
+  replica_options.poll_interval_s = flags.GetDouble("poll-s", 2.0);
+  onex::server::ReplicaSyncer syncer(replica_options, catalog.get());
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  const onex::Status bootstrap = syncer.Start();
+  if (bootstrap.ok()) {
+    std::printf("bootstrap sync complete\n");
+  } else {
+    std::fprintf(stderr, "bootstrap sync: %s (retrying in background)\n",
+                 bootstrap.ToString().c_str());
+  }
+
+  onex::server::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 7071));
+  options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
+  options.max_queue = static_cast<size_t>(flags.GetInt("queue", 64));
+  options.replica_status = [&syncer] { return syncer.status(); };
+  options.replica_lag_budget_s = flags.GetDouble("lag-budget", 30.0);
+
+  auto started = onex::server::Server::Start(options, catalog);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<onex::server::Server> server = std::move(started).value();
+
+  std::printf("onex_replica on %s:%u following %s:%d (poll every %.1fs, "
+              "lag budget %.1fs)\n",
+              options.host.c_str(), server->port(), leader_host.c_str(),
+              leader_port, replica_options.poll_interval_s,
+              options.replica_lag_budget_s);
+  std::printf("datasets (read-only):\n");
+  for (const auto& row : catalog->List()) {
+    std::printf("  %-20s %s\n", row.name.c_str(),
+                row.resident ? "resident" : "on disk");
+  }
+  std::fflush(stdout);
+
+  int received = 0;
+  sigwait(&signals, &received);
+  pthread_sigmask(SIG_UNBLOCK, &signals, nullptr);
+  std::printf("signal %d — stopping\n", received);
+  server->Stop();
+  syncer.Stop();
+  const onex::server::ReplicaStatus last = syncer.status();
+  std::printf("replica stopped (lag %.1fs, %llu series applied)\n",
+              last.lag_seconds,
+              static_cast<unsigned long long>(last.last_applied_seq));
+  return 0;
+}

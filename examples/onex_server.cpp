@@ -68,6 +68,7 @@
 #include "dataset/normalize.h"
 #include "server/catalog.h"
 #include "server/server.h"
+#include "storage/manifest.h"
 #include "storage/storage.h"
 #include "util/crash_recorder.h"
 #include "util/flags.h"
@@ -235,12 +236,29 @@ int main(int argc, char** argv) {
   server->Stop();
   // WAL-aware shutdown: checkpoint every dirty dataset so the next
   // startup recovers from snapshots alone — no WAL replay. Runs after
-  // Stop() so no append can land mid-checkpoint.
-  const size_t flushed = catalog->FlushAll();
-  if (flushed > 0) {
-    std::printf("checkpointed %zu dirty dataset%s (next startup is "
-                "replay-free)\n",
-                flushed, flushed == 1 ? "" : "s");
+  // Stop() so no append can land mid-checkpoint. Durable deployments
+  // take the stronger form: a full consistent cut that also publishes
+  // onex_manifest.json, so a follower (or an operator archiving the
+  // directory) always finds a manifest matching the final state.
+  if (catalog_options.durable) {
+    auto cut = catalog->CheckpointAll();
+    if (cut.ok()) {
+      std::printf("final consistent cut: %zu dataset%s, manifest at %s\n",
+                  cut.value().entries.size(),
+                  cut.value().entries.size() == 1 ? "" : "s",
+                  onex::storage::ManifestPathFor(
+                      catalog_options.data_dir).c_str());
+    } else {
+      std::fprintf(stderr, "shutdown checkpoint: %s\n",
+                   cut.status().ToString().c_str());
+    }
+  } else {
+    const size_t flushed = catalog->FlushAll();
+    if (flushed > 0) {
+      std::printf("checkpointed %zu dirty dataset%s (next startup is "
+                  "replay-free)\n",
+                  flushed, flushed == 1 ? "" : "s");
+    }
   }
   // Export spans at quiescence: Stop() joined every worker and session
   // thread, so all rings are at rest.

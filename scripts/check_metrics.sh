@@ -89,8 +89,10 @@ awk '
         fail(sprintf("histogram %s: +Inf bucket %g != _count %g",
                      h, inf[h], count[h]))
     }
-    # Required families (v6): the process gauges and the stall/WAL
-    # health signals every operations dashboard keys on.
+    # Required families (v7): the process gauges, the stall/WAL health
+    # signals, and the replication gauges (emitted on leaders AND
+    # followers — lag is -1 when not following) every operations
+    # dashboard keys on.
     split("onex_process_uptime_seconds " \
           "onex_process_resident_memory_bytes " \
           "onex_process_open_fds " \
@@ -99,7 +101,11 @@ awk '
           "onex_process_cpu_sys_seconds_total " \
           "onex_stalled_workers " \
           "onex_wal_write_failed " \
-          "onex_watchdog_stalls_total", required, " ")
+          "onex_watchdog_stalls_total " \
+          "onex_checkpoint_delta_bytes " \
+          "onex_delta_chain_length " \
+          "onex_replica_lag_seconds " \
+          "onex_replica_last_applied_seq", required, " ")
     for (i in required) {
       if (!(required[i] in type)) {
         printf "check_metrics: missing required family %s\n", required[i]

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "core/group.h"
 #include "core/gti.h"
@@ -18,7 +19,7 @@ constexpr char kMagic[4] = {'O', 'N', 'E', 'X'};
 
 class Writer {
  public:
-  explicit Writer(std::ofstream* out) : out_(out) {}
+  explicit Writer(std::ostream* out) : out_(out) {}
 
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
@@ -38,7 +39,7 @@ class Writer {
     out_->write(static_cast<const char*>(data),
                 static_cast<std::streamsize>(bytes));
   }
-  std::ofstream* out_;
+  std::ostream* out_;
 };
 
 // ------------------------------------------------------------- Reading.
@@ -49,7 +50,7 @@ class Writer {
 // std::bad_alloc crash) from attacker- or bitrot-controlled data.
 class Reader {
  public:
-  explicit Reader(std::ifstream* in) : in_(in) {
+  explicit Reader(std::istream* in) : in_(in) {
     const std::streampos at = in_->tellg();
     in_->seekg(0, std::ios::end);
     const std::streampos end = in_->tellg();
@@ -91,15 +92,14 @@ class Reader {
     if (ok) remaining_ -= bytes;
     return ok;
   }
-  std::ifstream* in_;
+  std::istream* in_;
   uint64_t remaining_ = 0;
 };
 
-}  // namespace
-
-Status SaveBase(const OnexBase& base, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot create '" + path + "'");
+/// Stream-generic save body shared by the file and in-memory entry
+/// points; `where` names the destination in error messages.
+Status SaveBaseToStream(const OnexBase& base, std::ostream& out,
+                        const std::string& where) {
   Writer w(&out);
   out.write(kMagic, sizeof(kMagic));
   w.U32(kOnexBaseFormatVersion);
@@ -149,21 +149,20 @@ Status SaveBase(const OnexBase& base, const std::string& path) {
       w.F64(sum);
     }
   }
-  if (!w.ok()) return Status::IOError("write failed for '" + path + "'");
-  out.close();
-  if (!out) return Status::IOError("close failed for '" + path + "'");
+  if (!w.ok()) return Status::IOError("write failed for '" + where + "'");
   return Status::OK();
 }
 
-Result<OnexBase> LoadBase(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
+/// Stream-generic load body shared by the file and in-memory entry
+/// points; `where` names the source in error messages.
+Result<OnexBase> LoadBaseFromStream(std::istream& in,
+                                    const std::string& where) {
   Reader r(&in);
 
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("'" + path + "' is not an ONEX base file");
+    return Status::Corruption("'" + where + "' is not an ONEX base file");
   }
   uint32_t version = 0;
   if (!r.U32(&version) || version != kOnexBaseFormatVersion) {
@@ -283,6 +282,36 @@ Result<OnexBase> LoadBase(const std::string& path) {
     gti.Insert(std::move(entry));
   }
   return OnexBase::FromParts(std::move(dataset), options, std::move(gti));
+}
+
+}  // namespace
+
+Status SaveBase(const OnexBase& base, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  Status saved = SaveBaseToStream(base, out, path);
+  if (!saved.ok()) return saved;
+  out.close();
+  if (!out) return Status::IOError("close failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<OnexBase> LoadBase(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return LoadBaseFromStream(in, path);
+}
+
+Result<std::string> SaveBaseToString(const OnexBase& base) {
+  std::ostringstream out(std::ios::binary);
+  Status saved = SaveBaseToStream(base, out, "<memory>");
+  if (!saved.ok()) return saved;
+  return std::move(out).str();
+}
+
+Result<OnexBase> LoadBaseFromBuffer(const std::string& buffer) {
+  std::istringstream in(buffer, std::ios::binary);
+  return LoadBaseFromStream(in, "<memory>");
 }
 
 }  // namespace onex

@@ -34,6 +34,18 @@ Status SaveBase(const OnexBase& base, const std::string& path);
 /// fully queryable (envelopes and derived stats are rebuilt).
 Result<OnexBase> LoadBase(const std::string& path);
 
+/// Serializes `base` into an in-memory buffer — byte-identical to the
+/// file SaveBase would write. This is the snapshot-shadow step of the
+/// incremental checkpointer (storage/storage.h): the engine writer lock
+/// is held only for this memory serialization, never for disk I/O or
+/// delta encoding.
+Result<std::string> SaveBaseToString(const OnexBase& base);
+
+/// Deserializes a buffer produced by SaveBaseToString (or read back
+/// from a SaveBase file). Same validation as LoadBase: magic, version,
+/// and every structural invariant, Corruption on any mismatch.
+Result<OnexBase> LoadBaseFromBuffer(const std::string& buffer);
+
 }  // namespace onex
 
 #endif  // ONEX_CORE_SERIALIZATION_H_

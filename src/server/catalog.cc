@@ -4,9 +4,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <utility>
 
+#include "storage/manifest.h"
 #include "util/logging.h"
 
 namespace onex {
@@ -142,6 +144,10 @@ Result<std::shared_ptr<const Engine>> Catalog::Acquire(
 
 Result<AppendOutcome> Catalog::Append(const std::string& name,
                                       TimeSeries series) {
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "catalog is read-only (follower mode): appends go to the leader");
+  }
   // Resolve under the lock, append outside it: maintenance (DTW against
   // every group) and the WAL fsync must not stall other sessions'
   // Acquires.
@@ -181,6 +187,10 @@ Result<AppendOutcome> Catalog::Append(const std::string& name,
 }
 
 Status Catalog::Flush(const std::string& name) {
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "catalog is read-only (follower mode): nothing local to flush");
+  }
   std::shared_ptr<storage::DurableEngine> durable;
   std::shared_ptr<Engine> engine;
   uint64_t mutations_before = 0;
@@ -239,6 +249,7 @@ Status Catalog::Flush(const std::string& name) {
 }
 
 size_t Catalog::FlushAll() {
+  if (options_.read_only) return 0;  // Nothing here is ever dirty.
   // Snapshot the dirty resident names under the lock, flush outside it
   // (Flush resolves again by name; an entry that went clean or away in
   // between is simply a cheap no-op flush).
@@ -260,6 +271,108 @@ size_t Catalog::FlushAll() {
     }
   }
   return flushed;
+}
+
+Result<storage::Manifest> Catalog::CheckpointAll() {
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "catalog is read-only (follower mode): cuts come from the leader");
+  }
+  if (!options_.durable || options_.data_dir.empty()) {
+    return Status::NotSupported(
+        "CheckpointAll requires durable mode with a data directory");
+  }
+
+  // Every durable dataset, registered or merely on disk. List() snapshots
+  // both; new datasets registered after this point miss THIS manifest and
+  // catch the next — the cut is over a name set, not a frozen world.
+  std::vector<std::string> names;
+  for (const CatalogEntryInfo& row : List()) names.push_back(row.name);
+
+  storage::Manifest manifest;
+  manifest.created_unix_s = static_cast<uint64_t>(std::time(nullptr));
+  for (const std::string& name : names) {
+    std::shared_ptr<storage::DurableEngine> durable;
+    std::shared_ptr<Engine> engine;
+    uint64_t mutations_before = 0;
+    {
+      MutexLock lock(mutex_);
+      auto resolved = ResolveLocked(name);
+      if (!resolved.ok()) return resolved.status();
+      durable = resolved.value()->durable;
+      engine = resolved.value()->engine;
+      mutations_before = resolved.value()->mutations;
+    }
+    if (durable == nullptr) {
+      // Only reachable for a pinned memory-only engine in a catalog that
+      // lost its data_dir — it has no on-disk artifacts to name.
+      ONEX_LOG_WARN << "catalog: '" << name
+                    << "' is not durable; leaving it out of the manifest";
+      continue;
+    }
+    // Abort on failure: a manifest naming a cut that was never taken
+    // would send followers chasing artifacts that do not exist. The
+    // previously published manifest stays valid.
+    const Status cut = durable->Checkpoint();
+    if (!cut.ok()) return cut;
+    {
+      MutexLock lock(mutex_);
+      ++stats_.flushes;
+      for (auto& [entry_name, entry] : entries_) {
+        if (entry_name == name) {
+          if (entry.mutations == mutations_before) entry.dirty = false;
+          break;
+        }
+      }
+    }
+
+    const storage::ChainStatus chain = durable->chain_status();
+    storage::ManifestEntry entry;
+    entry.name = name;
+    entry.series = chain.wal_sequence_base;
+    entry.live_series = engine->num_series();
+    entry.base_file = fs::path(chain.base_path).filename().string();
+    entry.base_bytes = chain.base_bytes;
+    entry.base_crc = chain.base_crc;
+    for (const storage::ChainLink& link : chain.deltas) {
+      entry.deltas.push_back({fs::path(link.path).filename().string(),
+                              link.bytes, link.new_crc});
+    }
+    const std::string wal_path =
+        storage::WalPathFor(options_.data_dir, name);
+    entry.wal_file = fs::path(wal_path).filename().string();
+    std::error_code ec;
+    const auto wal_size = fs::file_size(wal_path, ec);
+    entry.wal_bytes = ec ? 0 : static_cast<uint64_t>(wal_size);
+    manifest.entries.push_back(std::move(entry));
+  }
+
+  const Status written =
+      storage::WriteManifest(manifest, options_.data_dir);
+  if (!written.ok()) return written;
+  return manifest;
+}
+
+bool Catalog::Invalidate(const std::string& name) {
+  MutexLock lock(mutex_);
+  for (auto& [entry_name, entry] : entries_) {
+    if (entry_name != name) continue;
+    if (entry.engine == nullptr) return false;
+    if (entry.dirty && entry.durable == nullptr) {
+      ONEX_LOG_WARN << "catalog: refusing to invalidate '" << name
+                    << "': unsaved appends exist in memory only";
+      return false;
+    }
+    // Sessions holding the old engine keep serving its state; the next
+    // Acquire re-opens whatever is on disk now.
+    entry.engine.reset();
+    entry.durable.reset();
+    entry.dirty = false;
+    entry.pinned = false;
+    ++stats_.evictions;
+    return true;
+  }
+  return false;
 }
 
 void Catalog::EnforceCapLocked(const Entry* keep) {
@@ -392,6 +505,20 @@ storage::StorageStats Catalog::DurableStats() const {
                  one.checkpoint_last_duration_seconds);
     // One unwritable WAL anywhere makes the node unready.
     out.wal_write_failed = out.wal_write_failed || one.wal_write_failed;
+    // Incremental-checkpoint roll-up: totals sum; chain length and the
+    // newest delta's size take the max (the worst case is what a
+    // dashboard alert keys on); degraded recovery is sticky anywhere.
+    out.delta_checkpoints += one.delta_checkpoints;
+    out.chain_compactions += one.chain_compactions;
+    out.delta_chain_bytes += one.delta_chain_bytes;
+    out.delta_chain_length =
+        std::max(out.delta_chain_length, one.delta_chain_length);
+    out.last_delta_bytes =
+        std::max(out.last_delta_bytes, one.last_delta_bytes);
+    out.checkpoint_lock_hold_seconds =
+        std::max(out.checkpoint_lock_hold_seconds,
+                 one.checkpoint_lock_hold_seconds);
+    out.degraded_recovery = out.degraded_recovery || one.degraded_recovery;
   }
   return out;
 }

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "storage/manifest.h"
 #include "storage/storage.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -65,6 +66,10 @@ struct CatalogOptions {
   /// opens; Register()ed engines fall back to memory-only when no
   /// data_dir is set).
   bool durable = false;
+  /// Follower mode: Append/Flush/CheckpointAll are refused (the data
+  /// directory is owned by the replication syncer, which swaps
+  /// artifacts underneath and calls Invalidate). Queries still serve.
+  bool read_only = false;
   /// Durable-mode knobs (checkpoint thresholds, sync policy).
   storage::StorageOptions storage;
 };
@@ -139,6 +144,28 @@ class Catalog {
   /// is replay-free. Returns the number flushed; per-entry failures are
   /// logged and skipped (shutdown must not abort on one bad disk).
   size_t FlushAll();
+
+  /// The consistent cut: checkpoints EVERY durable dataset — resident
+  /// or on disk (non-resident ones are lazily opened, cut, and left to
+  /// the LRU) — then publishes `<data_dir>/onex_manifest.json` naming
+  /// the resulting artifact set (base + delta chain + WAL, with sizes
+  /// and CRCs). Any checkpoint failure aborts WITHOUT touching the
+  /// previous manifest: a manifest must never name a cut that does not
+  /// exist. Returns the published manifest — the MANIFEST wire verb
+  /// renders this same value, so the wire view and the disk file cannot
+  /// diverge. NotSupported unless durable with a data_dir, or in
+  /// read-only mode.
+  Result<storage::Manifest> CheckpointAll();
+
+  /// Drops the resident engine for `name` so the next Acquire re-opens
+  /// from disk — the follower's "new artifacts just landed" hook.
+  /// Returns true if a resident engine was dropped. Refuses (false,
+  /// with a warning) for a dirty NON-durable entry, whose unsaved
+  /// appends exist in memory only.
+  bool Invalidate(const std::string& name);
+
+  bool read_only() const { return options_.read_only; }
+  const std::string& data_dir() const { return options_.data_dir; }
 
   /// Registered names plus every `.onex` file in data_dir, sorted.
   std::vector<CatalogEntryInfo> List() const;

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "server/socket_io.h"
+#include "util/crc32.h"
 #include "util/mutex.h"
 
 namespace onex {
@@ -530,6 +532,114 @@ Result<WireResponse> Client::Roundtrip(const std::string& line) {
 
 Result<WireResponse> Client::Execute(const QueryRequest& request) {
   return Roundtrip(RenderRequestLine(request));
+}
+
+Result<storage::Manifest> Client::FetchManifest() {
+  auto reply = Roundtrip("manifest");
+  if (!reply.ok()) return reply.status();
+  const WireResponse& block = reply.value();
+  if (!block.ok) {
+    return Status::IOError("MANIFEST failed: " + block.code +
+                           (block.message.empty() ? "" : " " + block.message));
+  }
+  return ParseManifestPayload(block.payload, block.header);
+}
+
+Result<std::string> Client::FetchArtifact(const std::string& dataset,
+                                          const std::string& artifact) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  if (demux() != nullptr) {
+    // The demux owns the socket reader and routes whole line-oriented
+    // blocks; a FETCH reply's binary chunk frames would desynchronize
+    // it. Replication uses a dedicated blocking-mode client.
+    return Status::NotSupported(
+        "FETCH requires a blocking-mode client (no Submit on this session)");
+  }
+  if (!SendAll(fd_, "fetch " + dataset + " " + artifact + "\n")) {
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  std::string header;
+  Status read = ReadLine(&header);
+  if (!read.ok()) return read;
+  if (header.rfind("OK Fetch", 0) != 0) {
+    // An ERR block: collect it through the terminator so the socket
+    // stays framed, then surface the status.
+    std::vector<std::string> lines{header};
+    while (true) {
+      std::string line;
+      read = ReadLine(&line);
+      if (!read.ok()) return read;
+      if (line == ".") break;
+      lines.push_back(std::move(line));
+    }
+    auto parsed = ParseResponseBlock(lines);
+    if (!parsed.ok()) return parsed.status();
+    const WireResponse& err = parsed.value();
+    if (err.code == "NOT_FOUND") {
+      return Status::NotFound(err.message);
+    }
+    return Status::IOError("FETCH failed: " + err.code +
+                           (err.message.empty() ? "" : " " + err.message));
+  }
+
+  const auto fields = ParseKeyValues(header);
+  auto need_u64 = [&fields](const char* key, uint64_t* out) {
+    auto it = fields.find(key);
+    if (it == fields.end()) return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') return false;
+    *out = v;
+    return true;
+  };
+  uint64_t total_bytes = 0, total_crc = 0, chunks = 0;
+  if (!need_u64("bytes", &total_bytes) || !need_u64("crc32", &total_crc) ||
+      !need_u64("chunks", &chunks)) {
+    return Status::Corruption("malformed FETCH header: " + header);
+  }
+
+  std::string body;
+  body.reserve(total_bytes);
+  std::string frame;
+  auto read_u32 = [](const std::string& buf, size_t at) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(buf[at])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(buf[at + 1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(buf[at + 2]))
+               << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(buf[at + 3]))
+               << 24;
+  };
+  for (uint64_t i = 0; i < chunks; ++i) {
+    if (!reader_->ReadBytes(8, &frame)) {
+      return Status::IOError("connection closed mid-chunk");
+    }
+    const uint32_t len = read_u32(frame, 0);
+    const uint32_t chunk_crc = read_u32(frame, 4);
+    if (body.size() + len > total_bytes) {
+      return Status::Corruption("FETCH chunks overflow declared size");
+    }
+    if (!reader_->ReadBytes(len, &frame)) {
+      return Status::IOError("connection closed mid-chunk");
+    }
+    if (Crc32(frame.data(), frame.size()) != chunk_crc) {
+      return Status::Corruption("FETCH chunk " + std::to_string(i) +
+                                " CRC mismatch");
+    }
+    body += frame;
+  }
+  std::string terminator;
+  read = ReadLine(&terminator);
+  if (!read.ok()) return read;
+  if (terminator != ".") {
+    return Status::Corruption("FETCH reply not terminated");
+  }
+  if (body.size() != total_bytes ||
+      Crc32(body.data(), body.size()) != static_cast<uint32_t>(total_crc)) {
+    return Status::Corruption("FETCH artifact " + artifact +
+                              " failed whole-file CRC/size check");
+  }
+  return body;
 }
 
 }  // namespace server

@@ -29,6 +29,7 @@
 
 #include "api/engine.h"
 #include "server/protocol.h"
+#include "storage/manifest.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -115,6 +116,20 @@ class Client {
   /// session is async from then on.
   Result<Handle> Submit(const QueryRequest& request, SubmitOptions options);
   Result<Handle> Submit(const QueryRequest& request);
+
+  /// v7 replication: sends MANIFEST (the leader cuts a fresh consistent
+  /// checkpoint per request) and parses the reply into the typed
+  /// manifest. An application-level ERR surfaces as an error status.
+  Result<storage::Manifest> FetchManifest();
+
+  /// v7 replication: downloads one artifact of `dataset` (base, delta,
+  /// or WAL file — exactly as named by the manifest) and returns its
+  /// raw bytes, CRC-verified per chunk and whole. Blocking mode ONLY:
+  /// the reply interleaves binary frames the demux thread cannot
+  /// route, so this fails once Submit() has started the demux.
+  /// NotFound suggests re-fetching the manifest (chain compacted).
+  Result<std::string> FetchArtifact(const std::string& dataset,
+                                    const std::string& artifact);
 
   /// The greeting line received at connect time (without newline).
   const std::string& greeting() const { return greeting_; }

@@ -426,6 +426,21 @@ std::string ServerMetrics::RenderPrometheus(
             "1 when any durable engine's last WAL write failed.",
             gauges.wal_write_failed ? 1.0 : 0.0);
 
+  // ---- v7 replication gauges (stable family set on every node).
+  GaugeLine(&out, "onex_checkpoint_delta_bytes",
+            "Bytes of the most recent incremental-checkpoint delta.",
+            static_cast<double>(gauges.checkpoint_delta_bytes));
+  GaugeLine(&out, "onex_delta_chain_length",
+            "Longest live snapshot delta chain across durable engines.",
+            static_cast<double>(gauges.delta_chain_length));
+  GaugeLine(&out, "onex_replica_lag_seconds",
+            "Seconds since the last successful leader sync (-1 = not "
+            "following).",
+            gauges.replica_lag_seconds);
+  GaugeLine(&out, "onex_replica_last_applied_seq",
+            "Total series this replica has applied (0 on leaders).",
+            static_cast<double>(gauges.replica_last_applied_seq));
+
   // ---- process-level resource gauges (sampled at render time).
   GaugeLine(&out, "onex_process_uptime_seconds",
             "Seconds since process start.", gauges.process.uptime_seconds);

@@ -93,6 +93,18 @@ struct GaugeSnapshot {
   /// succeeded since (the HEALTH readiness gate; surfaced here so
   /// dashboards see it without a wire probe).
   bool wal_write_failed = false;
+  /// v7 replication gauges, always emitted so dashboards and the
+  /// metrics lint see one stable family set on leaders and followers
+  /// alike. Leader side: bytes of the largest most-recent incremental
+  /// checkpoint delta and the longest live delta chain across durable
+  /// engines (both 0 before the first delta checkpoint).
+  uint64_t checkpoint_delta_bytes = 0;
+  uint64_t delta_chain_length = 0;
+  /// Follower side: seconds since the last successful leader sync
+  /// (negative = not following / never synced) and total series the
+  /// replica has applied (0 on leaders).
+  double replica_lag_seconds = -1.0;
+  uint64_t replica_last_applied_seq = 0;
   /// Process-level resource gauges, sampled by the server at render
   /// time (one /proc read per METRICS call).
   ProcessStats process;

@@ -209,7 +209,22 @@ Result<Request> ParseRequestLine(const std::string& line,
     return Request(ControlRequest{ControlVerb::kUse, t[1]});
   }
   if (verb == "cancel") {
-    if (t.size() != 2) return Usage("cancel <id>");
+    if (t.size() != 2) return Usage("cancel <id> | cancel <session>/<id>");
+    // v7 admin form: `<session>/<id>` targets another session's query.
+    const size_t slash = t[1].find('/');
+    if (slash != std::string::npos) {
+      const std::string session = t[1].substr(0, slash);
+      const std::string id = t[1].substr(slash + 1);
+      const auto session_no = ParseUnsigned(session);
+      const auto request_id = ParseUnsigned(id);
+      if (!session_no || *session_no == 0 || !request_id ||
+          *request_id == 0) {
+        return Status::InvalidArgument(
+            "bad cancel target '" + t[1] +
+            "' (expected <session>/<id>, two positive integers)");
+      }
+      return Request(ControlRequest{ControlVerb::kCancel, t[1]});
+    }
     const auto id = ParseUnsigned(t[1]);
     if (!id || *id == 0) {
       return Status::InvalidArgument("bad id '" + t[1] +
@@ -217,10 +232,25 @@ Result<Request> ParseRequestLine(const std::string& line,
     }
     return Request(ControlRequest{ControlVerb::kCancel, t[1]});
   }
+  if (verb == "fetch") {
+    if (t.size() != 3) return Usage("fetch <dataset> <file>");
+    // The artifact name must be a plain manifest-relative file name:
+    // anything with a path separator could walk out of the data
+    // directory, and that hole is closed at parse time, not by each
+    // server's handler remembering to check.
+    if (t[2].find('/') != std::string::npos ||
+        t[2].find('\\') != std::string::npos || t[2] == "." ||
+        t[2] == "..") {
+      return Status::InvalidArgument(
+          "bad artifact '" + t[2] +
+          "' (a plain file name from the manifest, no paths)");
+    }
+    return Request(ControlRequest{ControlVerb::kFetch, t[1], t[2]});
+  }
   if (verb == "list" || verb == "stats" || verb == "metrics" ||
-      verb == "inspect" || verb == "health" || verb == "ping" ||
-      verb == "help" || verb == "quit" || verb == "exit" ||
-      verb == "flush") {
+      verb == "inspect" || verb == "health" || verb == "manifest" ||
+      verb == "ping" || verb == "help" || verb == "quit" ||
+      verb == "exit" || verb == "flush") {
     if (t.size() != 1) {
       return Status::InvalidArgument("'" + verb + "' takes no operands");
     }
@@ -236,6 +266,9 @@ Result<Request> ParseRequestLine(const std::string& line,
     }
     if (verb == "health") {
       return Request(ControlRequest{ControlVerb::kHealth, ""});
+    }
+    if (verb == "manifest") {
+      return Request(ControlRequest{ControlVerb::kManifest, ""});
     }
     if (verb == "ping") return Request(ControlRequest{ControlVerb::kPing, ""});
     if (verb == "help") return Request(ControlRequest{ControlVerb::kHelp, ""});
@@ -671,7 +704,144 @@ std::string RenderHelp() {
       "help    (v4: q2 streams PART GROUP, q3 streams PART REC frames)\n"
       "help trace=1                           append stage timings and pruning-\n"
       "help    cascade counters (TRACE lines) to the final response (v5)\n"
+      "help cancel <session>/<id>             admin: cancel another session's\n"
+      "help    query (session numbers from INSPECT) (v7)\n"
+      "help manifest                          consistent-cut artifact manifest (v7)\n"
+      "help fetch <dataset> <file>            stream one manifest artifact as\n"
+      "help    CRC-framed binary chunks (v7)\n"
       ".\n";
+}
+
+std::string RenderManifestBlock(const storage::Manifest& manifest) {
+  std::string out =
+      "OK Manifest version=" + std::to_string(manifest.version) +
+      " created_unix_s=" + std::to_string(manifest.created_unix_s) +
+      " datasets=" + std::to_string(manifest.entries.size()) + "\n";
+  for (const storage::ManifestEntry& entry : manifest.entries) {
+    out += "dataset name=" + entry.name +
+           " series=" + std::to_string(entry.series) +
+           " live_series=" + std::to_string(entry.live_series) +
+           " base=" + entry.base_file +
+           " base_bytes=" + std::to_string(entry.base_bytes) +
+           " base_crc32=" + std::to_string(entry.base_crc) +
+           " wal=" + entry.wal_file +
+           " wal_bytes=" + std::to_string(entry.wal_bytes) +
+           " deltas=" + std::to_string(entry.deltas.size()) + "\n";
+    for (size_t k = 0; k < entry.deltas.size(); ++k) {
+      const auto& d = entry.deltas[k];
+      out += "delta dataset=" + entry.name +
+             " k=" + std::to_string(k + 1) + " file=" + d.file +
+             " bytes=" + std::to_string(d.bytes) +
+             " crc32=" + std::to_string(d.crc) + "\n";
+    }
+  }
+  out += ".\n";
+  return out;
+}
+
+Result<storage::Manifest> ParseManifestPayload(
+    const std::vector<std::string>& payload,
+    const std::map<std::string, std::string>& header) {
+  // Every lookup is strict: a follower that guessed a missing size or
+  // CRC would fetch artifacts it cannot verify.
+  auto need = [](const std::map<std::string, std::string>& kv,
+                 const char* key) -> Result<std::string> {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      return Status::InvalidArgument(std::string("manifest line misses '") +
+                                     key + "='");
+    }
+    return it->second;
+  };
+  auto need_u64 = [&need](const std::map<std::string, std::string>& kv,
+                          const char* key) -> Result<uint64_t> {
+    auto raw = need(kv, key);
+    if (!raw.ok()) return raw.status();
+    const auto v = ParseUnsigned(raw.value());
+    if (!v) {
+      return Status::InvalidArgument(std::string("bad manifest ") + key +
+                                     " '" + raw.value() + "'");
+    }
+    return *v;
+  };
+
+  storage::Manifest manifest;
+  auto version = need_u64(header, "version");
+  if (!version.ok()) return version.status();
+  if (version.value() != storage::kManifestFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported manifest version " + std::to_string(version.value()));
+  }
+  manifest.version = static_cast<uint32_t>(version.value());
+  auto created = need_u64(header, "created_unix_s");
+  if (!created.ok()) return created.status();
+  manifest.created_unix_s = created.value();
+
+  for (const std::string& line : payload) {
+    const auto kv = ParseKeyValues(line);
+    if (line.rfind("dataset ", 0) == 0) {
+      storage::ManifestEntry entry;
+      auto name = need(kv, "name");
+      if (!name.ok()) return name.status();
+      entry.name = name.value();
+      auto series = need_u64(kv, "series");
+      if (!series.ok()) return series.status();
+      entry.series = series.value();
+      auto live = need_u64(kv, "live_series");
+      if (!live.ok()) return live.status();
+      entry.live_series = live.value();
+      auto base = need(kv, "base");
+      if (!base.ok()) return base.status();
+      entry.base_file = base.value();
+      auto base_bytes = need_u64(kv, "base_bytes");
+      if (!base_bytes.ok()) return base_bytes.status();
+      entry.base_bytes = base_bytes.value();
+      auto base_crc = need_u64(kv, "base_crc32");
+      if (!base_crc.ok()) return base_crc.status();
+      entry.base_crc = static_cast<uint32_t>(base_crc.value());
+      auto wal = need(kv, "wal");
+      if (!wal.ok()) return wal.status();
+      entry.wal_file = wal.value();
+      auto wal_bytes = need_u64(kv, "wal_bytes");
+      if (!wal_bytes.ok()) return wal_bytes.status();
+      entry.wal_bytes = wal_bytes.value();
+      manifest.entries.push_back(std::move(entry));
+    } else if (line.rfind("delta ", 0) == 0) {
+      auto dataset = need(kv, "dataset");
+      if (!dataset.ok()) return dataset.status();
+      storage::ManifestEntry* owner = nullptr;
+      for (auto& entry : manifest.entries) {
+        if (entry.name == dataset.value()) owner = &entry;
+      }
+      if (owner == nullptr) {
+        return Status::InvalidArgument("delta line for unknown dataset '" +
+                                       dataset.value() + "'");
+      }
+      storage::ManifestEntry::DeltaRef ref;
+      auto file = need(kv, "file");
+      if (!file.ok()) return file.status();
+      ref.file = file.value();
+      auto bytes = need_u64(kv, "bytes");
+      if (!bytes.ok()) return bytes.status();
+      ref.bytes = bytes.value();
+      auto crc = need_u64(kv, "crc32");
+      if (!crc.ok()) return crc.status();
+      ref.crc = static_cast<uint32_t>(crc.value());
+      auto k = need_u64(kv, "k");
+      if (!k.ok()) return k.status();
+      if (k.value() != owner->deltas.size() + 1) {
+        return Status::InvalidArgument(
+            "delta chain for '" + owner->name + "' is out of order (got k=" +
+            std::to_string(k.value()) + ", expected " +
+            std::to_string(owner->deltas.size() + 1) + ")");
+      }
+      owner->deltas.push_back(std::move(ref));
+    } else {
+      return Status::InvalidArgument("unknown manifest payload line: '" +
+                                     line + "'");
+    }
+  }
+  return manifest;
 }
 
 std::map<std::string, std::string> ParseKeyValues(const std::string& line) {

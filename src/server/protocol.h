@@ -38,6 +38,17 @@
 //                                       exposition format
 //   cancel <id>                         v3: cancel the in-flight query
 //                                       tagged `id` on this session
+//   cancel <session>/<id>               v7: admin form — cancel the
+//                                       query tagged `id` on ANOTHER
+//                                       session (session numbers come
+//                                       from INSPECT); ERR NOT_FOUND
+//                                       when no such in-flight query
+//   manifest                            v7: the leader's consistent-cut
+//                                       manifest (per-dataset artifact
+//                                       set + CRCs) in line form
+//   fetch <dataset> <file>              v7: stream one manifest-named
+//                                       artifact (base / delta / WAL)
+//                                       as binary chunks — see below
 //   ping / help / quit
 //
 // Protocol v3 — interactive query control. Any QUERY line may be
@@ -87,9 +98,22 @@
 // `PART <Kind>` spelling); the GROUP/REC variants only appear on
 // progress=1 q2/q3 requests, which v3 accepted but never streamed.
 //
+// Protocol v7 — replication. MANIFEST renders the same consistent-cut
+// data as the on-disk `onex_manifest.json` in the newline grammar
+// (RenderManifestBlock / ParseManifestPayload below), so a follower
+// needs no JSON parser. FETCH is the one deliberate departure from
+// pure line framing: its reply starts with a normal text header
+//   OK Fetch dataset=<d> file=<f> bytes=<n> crc32=<c> chunks=<k>
+// and is followed by <k> BINARY chunks, each [u32 len][u32 crc32]
+// [len payload bytes] (little-endian), then the usual "." terminator
+// line. Each chunk is independently CRC'd so a torn transfer is caught
+// at the chunk where it happened, and the header CRC covers the whole
+// artifact. A client that never sends FETCH never sees a binary byte —
+// which is how every v6-and-older session stays byte-identical.
+//
 // Error replies are a single header line "ERR <CODE> [id=<n>] <message>"
 // plus the terminator; codes are WireCode(Status::Code) tokens or the
-// protocol-level kOverloadedCode / kNoDatasetCode.
+// protocol-level kOverloadedCode / kNoDatasetCode / kReadOnlyCode.
 
 #ifndef ONEX_SERVER_PROTOCOL_H_
 #define ONEX_SERVER_PROTOCOL_H_
@@ -102,12 +126,13 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "storage/manifest.h"
 #include "util/status.h"
 
 namespace onex {
 namespace server {
 
-/// Wire-format version, announced in the greeting ("ONEX/6 ready") and
+/// Wire-format version, announced in the greeting ("ONEX/7 ready") and
 /// bumped on any grammar change (2: APPEND/FLUSH mutation verbs; 3:
 /// request ids / CANCEL / DEADLINE_MS / PART progressive frames; 4:
 /// typed PART variants — group-shaped q2 and recommendation-shaped q3
@@ -117,12 +142,16 @@ namespace server {
 /// histogram / gauge in Prometheus text exposition format; 6:
 /// operational introspection — the INSPECT verb renders the live
 /// in-flight query table plus worker/queue/session/catalog snapshots,
-/// and the HEALTH verb answers liveness/readiness probes). The v6
-/// grammar is a strict superset of v5 (itself of v4, of v3, of v2) —
-/// negotiation is one-sided: the server announces its version, and a
-/// client that only speaks an older one simply never sends the newer
-/// verbs, so every v5 session's bytes are unchanged.
-inline constexpr int kWireVersion = 6;
+/// and the HEALTH verb answers liveness/readiness probes; 7:
+/// replication — the MANIFEST verb renders the leader's consistent-cut
+/// manifest in line form, FETCH streams one manifest artifact as
+/// CRC-framed binary chunks, and CANCEL grows the cross-session admin
+/// form `cancel <session>/<id>`). The v7 grammar is a strict superset
+/// of v6 (itself of v5, of v4, of v3, of v2) — negotiation is
+/// one-sided: the server announces its version, and a client that only
+/// speaks an older one simply never sends the newer verbs, so every v6
+/// session's bytes are unchanged.
+inline constexpr int kWireVersion = 7;
 /// Oldest grammar still accepted verbatim.
 inline constexpr int kMinWireVersion = 2;
 
@@ -135,6 +164,8 @@ inline constexpr const char* kPartRecToken = "REC";
 /// Protocol-level error codes with no Status::Code equivalent.
 inline constexpr const char* kOverloadedCode = "OVERLOADED";
 inline constexpr const char* kNoDatasetCode = "NO_DATASET";
+/// v7: mutation verbs (APPEND/FLUSH) refused by a read-only follower.
+inline constexpr const char* kReadOnlyCode = "READ_ONLY";
 
 /// Session-control verbs (everything that is neither a QueryRequest nor
 /// a mutation). kFlush rides here: it has no operands and, like the
@@ -146,15 +177,17 @@ inline constexpr const char* kNoDatasetCode = "NO_DATASET";
 /// (the one moment an operator needs them most).
 enum class ControlVerb {
   kUse, kList, kStats, kPing, kHelp, kQuit, kFlush, kCancel, kMetrics,
-  kInspect, kHealth,
+  kInspect, kHealth, kManifest, kFetch,
 };
 
-/// A parsed control line; `argument` is the dataset name for kUse and
-/// the decimal request id for kCancel (validated as an integer at parse
-/// time).
+/// A parsed control line; `argument` is the dataset name for kUse, the
+/// decimal request id for kCancel (or `<session>/<id>`, both validated
+/// as integers at parse time, for the v7 admin form), and the dataset
+/// name for kFetch (whose artifact file name rides in `argument2`).
 struct ControlRequest {
   ControlVerb verb = ControlVerb::kPing;
   std::string argument;
+  std::string argument2 = {};
 };
 
 /// v3+ request attributes: the `key=value` tokens before the verb.
@@ -278,6 +311,26 @@ std::string Greeting();
 /// The help payload rendered for the `help` verb (block with header and
 /// terminator included).
 std::string RenderHelp();
+
+/// v7: renders a consistent-cut manifest as a MANIFEST reply block —
+/// the line-grammar twin of storage::RenderManifestJson:
+///   OK Manifest version=1 created_unix_s=<t> datasets=<n>
+///   dataset name=<d> series=<s> live_series=<l> base=<file>
+///           base_bytes=<b> base_crc32=<c> wal=<file> wal_bytes=<b>
+///           deltas=<k>
+///   delta dataset=<d> k=<i> file=<f> bytes=<b> crc32=<c>
+///   .
+/// Rendering and parsing live side by side here so the leader's bytes
+/// and the follower's reader cannot drift apart.
+std::string RenderManifestBlock(const storage::Manifest& manifest);
+
+/// v7: reassembles a Manifest from the payload lines of a MANIFEST
+/// reply block (WireResponse::payload). InvalidArgument on missing or
+/// malformed fields — a follower must never bootstrap from a manifest
+/// it only partially understood.
+Result<storage::Manifest> ParseManifestPayload(
+    const std::vector<std::string>& payload,
+    const std::map<std::string, std::string>& header);
 
 /// Maps a Status code to its wire token (e.g. kNotFound -> "NOT_FOUND").
 const char* WireCode(Status::Code code);

@@ -1,0 +1,127 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Follower-side replication: ReplicaSyncer keeps a local data directory
+// converged with a leader's consistent-cut manifests. Each sync round
+// asks the leader for MANIFEST (which cuts a fresh checkpoint — the
+// incremental no-op early-out makes an idle poll cheap), diffs the
+// returned artifact set against what was last applied, FETCHes only
+// the changed artifacts (base snapshot, delta-chain links, WAL tail),
+// publishes each via write-temp-then-rename, and invalidates the
+// dataset in the local read-only catalog so the next query re-opens
+// from the fresh artifacts through the normal recovery path
+// (base + delta chain + WAL replay).
+//
+// Convergence notes:
+//   - Steady state ships one small delta + the WAL tail per round;
+//     the base is re-fetched only after a leader-side chain
+//     compaction (its CRC changes).
+//   - A FETCH NotFound mid-round (the leader compacted between our
+//     MANIFEST and FETCH) just fails the round; the next poll sees the
+//     post-compaction manifest and catches up.
+//   - A follower crash mid-round is safe: every artifact lands via
+//     rename, recovery tolerates a delta chain that does not match the
+//     base (ignored) and a torn WAL tail, and the next sync re-diffs
+//     from local file sizes/CRCs — restart converges byte-identically
+//     without re-downloading an unchanged base.
+//
+// Threading: Start() runs one blocking bootstrap sync, then a poll
+// thread. status() is safe from any thread (the HEALTH replica gate
+// and METRICS read it); the state mutex is a leaf, never held across
+// network or catalog calls.
+
+#ifndef ONEX_SERVER_REPLICA_H_
+#define ONEX_SERVER_REPLICA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "server/catalog.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/manifest.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace onex {
+namespace server {
+
+struct ReplicaOptions {
+  std::string leader_host = "127.0.0.1";
+  uint16_t leader_port = 0;
+  /// Local artifact directory — must be the catalog's data_dir. Owned
+  /// by the syncer: it renames fetched artifacts underneath and the
+  /// read-only catalog re-opens them on Invalidate.
+  std::string data_dir;
+  /// Seconds between sync rounds (each round = one leader checkpoint
+  /// cut, so this also paces leader-side delta production).
+  double poll_interval_s = 2.0;
+};
+
+class ReplicaSyncer {
+ public:
+  ReplicaSyncer(ReplicaOptions options, Catalog* catalog);
+  ~ReplicaSyncer();
+  ReplicaSyncer(const ReplicaSyncer&) = delete;
+  ReplicaSyncer& operator=(const ReplicaSyncer&) = delete;
+
+  /// Bootstrap: one synchronous sync round (so the follower starts
+  /// with data when the leader is reachable), then the poll thread.
+  /// A failed bootstrap still starts the poller — the follower comes
+  /// up degraded (HEALTH not ready: lag < 0) and converges when the
+  /// leader appears.
+  Status Start();
+
+  /// Stops the poll thread; idempotent, called by the destructor.
+  void Stop();
+
+  /// One full sync round: MANIFEST, diff, FETCH changed artifacts,
+  /// publish, invalidate. Public so tests drive convergence without
+  /// timing dependence.
+  Status SyncOnce();
+
+  /// For ServerOptions::replica_status — the HEALTH lag gate and the
+  /// onex_replica_* gauges.
+  ReplicaStatus status() const;
+
+ private:
+  /// Connected blocking-mode client, reusing the previous round's
+  /// connection when it is still alive.
+  Result<Client*> LeaderClient();
+
+  /// Fetches one artifact and publishes it at
+  /// `<data_dir>/<file>` via temp + fsync + rename.
+  Status FetchAndPublish(Client* client, const std::string& dataset,
+                         const std::string& file);
+
+  /// Syncs one manifest entry; adds the dataset's applied-series count
+  /// on success.
+  Status SyncDataset(Client* client, const storage::ManifestEntry& entry);
+
+  ReplicaOptions options_;
+  Catalog* catalog_;
+
+  /// Per-dataset last-applied manifest entries, poll-thread only.
+  std::map<std::string, storage::ManifestEntry> applied_;
+  /// Lazily (re)connected leader session, poll-thread only.
+  std::optional<Client> leader_;
+
+  /// Leaf: guards only the published status snapshot; never held
+  /// across catalog, storage, or network calls.
+  mutable Mutex mutex_{LockRank::kLeaf, "replica.mutex"};
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  /// Steady-clock ns of the last fully successful round (0 = never).
+  int64_t last_sync_ns_ GUARDED_BY(mutex_) = 0;
+  uint64_t last_applied_seq_ GUARDED_BY(mutex_) = 0;
+
+  std::thread poller_;
+};
+
+}  // namespace server
+}  // namespace onex
+
+#endif  // ONEX_SERVER_REPLICA_H_

@@ -10,14 +10,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iterator>
 #include <map>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "core/inflight.h"
 #include "server/protocol.h"
 #include "server/socket_io.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 #include "util/process_stats.h"
 #include "util/timer.h"
@@ -612,7 +616,19 @@ std::string Server::RenderHealth() {
                         static_cast<double>(options_.max_queue)));
   const bool queue_ok = queue_depth < degrade_at;
   const bool workers_ok = stalled_workers == 0;
-  const bool ready = wal_ok && age_ok && queue_ok && workers_ok;
+  // v7 follower gate: a replica that never synced is not ready (it
+  // would serve an empty or stale bootstrap), and one whose lag blew
+  // the budget should be drained by the router until it catches up.
+  ReplicaStatus replica;
+  const bool is_replica = static_cast<bool>(options_.replica_status);
+  if (is_replica) replica = options_.replica_status();
+  const bool replica_ok =
+      !is_replica ||
+      (replica.lag_seconds >= 0.0 &&
+       (options_.replica_lag_budget_s <= 0.0 ||
+        replica.lag_seconds <= options_.replica_lag_budget_s));
+  const bool ready = wal_ok && age_ok && queue_ok && workers_ok &&
+                     replica_ok;
 
   char age[64];
   std::snprintf(age, sizeof(age), "%.3f", durable.checkpoint_age_seconds);
@@ -633,6 +649,83 @@ std::string Server::RenderHealth() {
            " shed_at=" + std::to_string(options_.max_queue) + "\n";
   reply += std::string("check name=workers ok=") + (workers_ok ? "1" : "0") +
            " stalled=" + std::to_string(stalled_workers) + "\n";
+  if (is_replica) {
+    char lag[64];
+    std::snprintf(lag, sizeof(lag), "%.3f", replica.lag_seconds);
+    char lag_budget[64];
+    std::snprintf(lag_budget, sizeof(lag_budget), "%.3f",
+                  options_.replica_lag_budget_s);
+    reply += std::string("check name=replica_lag ok=") +
+             (replica_ok ? "1" : "0") + " lag_s=" + lag +
+             " budget_s=" + lag_budget + " applied_seq=" +
+             std::to_string(replica.last_applied_seq) + "\n";
+  }
+  return reply + ".\n";
+}
+
+std::string Server::RenderFetch(const std::string& dataset,
+                                const std::string& artifact) {
+  const std::string& dir = catalog_->data_dir();
+  if (dir.empty()) {
+    return RenderErrorBlock(
+        "NOT_SUPPORTED",
+        "this server has no data directory to serve artifacts from");
+  }
+  // The artifact must be one of the dataset's own manifest-named files;
+  // the parser already rejected path separators, this pins the prefix
+  // so one dataset name cannot read another's files.
+  const bool names_dataset =
+      artifact == dataset + ".onex" || artifact == dataset + ".wal" ||
+      artifact.rfind(dataset + ".onex.delta.", 0) == 0;
+  if (!names_dataset) {
+    return RenderErrorBlock(
+        "INVALID_ARGUMENT", "artifact '" + artifact +
+                                "' is not one of dataset '" + dataset +
+                                "'s files (<name>.onex / "
+                                "<name>.onex.delta.<k> / <name>.wal)");
+  }
+  // Whole-file read before any header byte goes out: the size and CRC
+  // promised in the header must describe exactly the bytes that follow,
+  // and a checkpoint may rename a new artifact into place mid-request.
+  std::string bytes;
+  {
+    std::ifstream in((std::filesystem::path(dir) / artifact).string(),
+                     std::ios::binary);
+    if (!in) {
+      return RenderErrorBlock(
+          "NOT_FOUND", "artifact '" + artifact +
+                           "' does not exist — re-fetch the manifest "
+                           "(the chain may have been compacted)");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      return RenderErrorBlock("IO_ERROR",
+                              "reading artifact '" + artifact + "' failed");
+    }
+    bytes = std::move(buffer).str();
+  }
+
+  constexpr size_t kChunkBytes = 256 * 1024;
+  const size_t chunks = (bytes.size() + kChunkBytes - 1) / kChunkBytes;
+  std::string reply =
+      "OK Fetch dataset=" + dataset + " file=" + artifact +
+      " bytes=" + std::to_string(bytes.size()) +
+      " crc32=" + std::to_string(Crc32(bytes.data(), bytes.size())) +
+      " chunks=" + std::to_string(chunks) +
+      " chunk_bytes=" + std::to_string(kChunkBytes) + "\n";
+  reply.reserve(reply.size() + bytes.size() + chunks * 8 + 8);
+  auto append_u32 = [&reply](uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      reply.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  };
+  for (size_t offset = 0; offset < bytes.size(); offset += kChunkBytes) {
+    const size_t len = std::min(kChunkBytes, bytes.size() - offset);
+    append_u32(static_cast<uint32_t>(len));
+    append_u32(Crc32(bytes.data() + offset, len));
+    reply.append(bytes, offset, len);
+  }
   return reply + ".\n";
 }
 
@@ -695,6 +788,12 @@ void Server::RecordOutcome(QueryKind kind, const std::string& dataset,
 
 void Server::SessionLoop(int fd) {
   auto session = std::make_shared<Session>(fd);
+  {
+    // Published for cross-session CANCEL before the first line is read:
+    // an admin must be able to target a session from its first query.
+    MutexLock lock(sessions_mutex_);
+    sessions_by_fd_[fd] = session;
+  }
   session->Send(Greeting());
 
   std::shared_ptr<const Engine> engine;
@@ -736,14 +835,33 @@ void Server::SessionLoop(int fd) {
           break;
         }
         case ControlVerb::kCancel: {
-          // Parse validated the integer already.
-          const uint64_t id =
-              std::strtoull(control->argument.c_str(), nullptr, 10);
+          // Parse validated the integers already. The v7 admin form
+          // `<session>/<id>` routes to ANOTHER session's token table —
+          // session numbers are the fds INSPECT prints.
+          const size_t slash = control->argument.find('/');
+          std::shared_ptr<Session> target = session;
+          uint64_t id = 0;
+          bool session_known = true;
+          if (slash == std::string::npos) {
+            id = std::strtoull(control->argument.c_str(), nullptr, 10);
+          } else {
+            const int target_fd = static_cast<int>(
+                std::strtoull(control->argument.c_str(), nullptr, 10));
+            id = std::strtoull(control->argument.c_str() + slash + 1,
+                               nullptr, 10);
+            target.reset();
+            {
+              MutexLock lock(sessions_mutex_);
+              const auto it = sessions_by_fd_.find(target_fd);
+              if (it != sessions_by_fd_.end()) target = it->second.lock();
+            }
+            session_known = target != nullptr;
+          }
           bool cancelled = false;
-          {
-            MutexLock lock(session->mutex);
-            auto it = session->tokens.find(id);
-            if (it != session->tokens.end()) {
+          if (target != nullptr) {
+            MutexLock lock(target->mutex);
+            auto it = target->tokens.find(id);
+            if (it != target->tokens.end()) {
               it->second.Cancel();
               cancelled = true;
             }
@@ -751,15 +869,25 @@ void Server::SessionLoop(int fd) {
           // An unknown id is a structured no-op: the query may have
           // completed a microsecond ago — that's a race the client
           // cannot avoid, so it gets an ERR it can recognize, not a
-          // dropped session.
-          session->Send(cancelled
-                            ? "OK Cancel id=" + std::to_string(id) + "\n.\n"
-                            : RenderErrorBlock(
-                                  "NOT_FOUND",
-                                  "no in-flight query with id " +
-                                      std::to_string(id) +
-                                      " — already completed, or never sent",
-                                  id));
+          // dropped session. Same for an unknown session in the admin
+          // form: it may have just disconnected.
+          if (cancelled) {
+            session->Send("OK Cancel " +
+                          (slash == std::string::npos
+                               ? "id=" + std::to_string(id)
+                               : "target=" + control->argument) +
+                          "\n.\n");
+          } else {
+            session->Send(RenderErrorBlock(
+                "NOT_FOUND",
+                session_known
+                    ? "no in-flight query with id " + std::to_string(id) +
+                          " — already completed, or never sent"
+                    : "no session " +
+                          control->argument.substr(0, slash) +
+                          " — check INSPECT for live session fds",
+                slash == std::string::npos ? id : 0));
+          }
           break;
         }
         case ControlVerb::kFlush: {
@@ -768,6 +896,12 @@ void Server::SessionLoop(int fd) {
             session->Send(RenderErrorBlock(
                 kNoDatasetCode,
                 "no dataset bound — send 'use <name>' first"));
+            break;
+          }
+          if (catalog_->read_only()) {
+            session->Send(RenderErrorBlock(
+                kReadOnlyCode,
+                "this node is a read-only follower — flush on the leader"));
             break;
           }
           const Status flushed = catalog_->Flush(dataset);
@@ -829,6 +963,13 @@ void Server::SessionLoop(int fd) {
           gauges.checkpoint_last_duration_seconds =
               durable.checkpoint_last_duration_seconds;
           gauges.wal_write_failed = durable.wal_write_failed;
+          gauges.checkpoint_delta_bytes = durable.last_delta_bytes;
+          gauges.delta_chain_length = durable.delta_chain_length;
+          if (options_.replica_status) {
+            const ReplicaStatus replica = options_.replica_status();
+            gauges.replica_lag_seconds = replica.lag_seconds;
+            gauges.replica_last_applied_seq = replica.last_applied_seq;
+          }
           gauges.process = SampleProcessStats();
           session->Send("OK Metrics\n" + metrics_.RenderPrometheus(gauges) +
                         ".\n");
@@ -842,6 +983,23 @@ void Server::SessionLoop(int fd) {
           break;
         case ControlVerb::kHealth:
           session->Send(RenderHealth());
+          break;
+        case ControlVerb::kManifest: {
+          // v7: each MANIFEST request IS a consistent cut — the catalog
+          // checkpoints every durable dataset and publishes the JSON
+          // manifest, and the reply renders the same value. Repeated
+          // polls are cheap: an engine whose state hasn't moved takes
+          // the no-op early-out instead of growing its chain.
+          auto cut = catalog_->CheckpointAll();
+          if (!cut.ok()) {
+            session->Send(RenderError(cut.status()));
+            break;
+          }
+          session->Send(RenderManifestBlock(cut.value()));
+          break;
+        }
+        case ControlVerb::kFetch:
+          session->Send(RenderFetch(control->argument, control->argument2));
           break;
         case ControlVerb::kPing:
           session->Send("OK Pong\n.\n");
@@ -867,6 +1025,12 @@ void Server::SessionLoop(int fd) {
         metrics_.RecordBadRequest();
         session->Send(RenderErrorBlock(
             kNoDatasetCode, "no dataset bound — send 'use <name>' first"));
+        continue;
+      }
+      if (catalog_->read_only()) {
+        session->Send(RenderErrorBlock(
+            kReadOnlyCode,
+            "this node is a read-only follower — append on the leader"));
         continue;
       }
       auto appended = catalog_->Append(
@@ -1003,6 +1167,7 @@ void Server::SessionLoop(int fd) {
   {
     MutexLock lock(sessions_mutex_);
     session_fds_.erase(fd);
+    sessions_by_fd_.erase(fd);
   }
   ::close(fd);
 }

@@ -55,6 +55,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -72,6 +73,18 @@
 
 namespace onex {
 namespace server {
+
+/// What a follower's sync loop reports into the serving layer: the
+/// HEALTH replica_lag gate and the onex_replica_* gauges read this
+/// through ServerOptions::replica_status (unset on leaders).
+struct ReplicaStatus {
+  /// Seconds since the last successful sync round against the leader;
+  /// negative = never synced yet (a follower that has not bootstrapped
+  /// is not ready).
+  double lag_seconds = -1.0;
+  /// Total series applied locally (the replica's replication position).
+  uint64_t last_applied_seq = 0;
+};
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -111,6 +124,15 @@ struct ServerOptions {
   /// durable engines is older than this many seconds (0 = no budget;
   /// a server that has never checkpointed is not penalized).
   double checkpoint_age_budget_s = 0.0;
+  /// Follower mode (v7): set by onex_replica so HEALTH grows a
+  /// replica_lag readiness gate and METRICS report the replica gauges.
+  /// Unset on leaders — the gate is absent, not vacuously green.
+  std::function<ReplicaStatus()> replica_status;
+  /// HEALTH replica_lag fails once the reported lag exceeds this many
+  /// seconds (0 = lag never fails readiness; a follower that has NEVER
+  /// synced still fails — serving an unbootstrapped replica is wrong
+  /// at any budget).
+  double replica_lag_budget_s = 30.0;
 
   /// Test instrumentation (leave unset in production): called by a
   /// worker right before executing a job, and after a job is enqueued
@@ -219,6 +241,13 @@ class Server {
   /// Assembles the HEALTH reply: liveness (trivially 1 when answering)
   /// and readiness with one `check` row per gate.
   std::string RenderHealth();
+  /// Assembles the FETCH reply — text header, CRC-framed binary chunks,
+  /// "." terminator — as ONE buffer, so the session write mutex keeps a
+  /// worker's tagged reply from interleaving mid-artifact. Validates
+  /// that `artifact` names one of `dataset`'s files (base / delta /
+  /// WAL) before touching the disk.
+  std::string RenderFetch(const std::string& dataset,
+                          const std::string& artifact);
 
   /// Enqueues a job unless the queue is at capacity or the server is
   /// stopping; false means "shed this request". Before shedding, the
@@ -263,6 +292,12 @@ class Server {
   Mutex sessions_mutex_{LockRank::kServerSessions, "server.sessions_mutex"};
   std::set<int> session_fds_ GUARDED_BY(sessions_mutex_);
   std::vector<SessionThread> session_threads_ GUARDED_BY(sessions_mutex_);
+  /// v7 admin-cancel routing: fd -> live session, so one session can
+  /// cancel a query in flight on ANOTHER (`cancel <session>/<id>`; the
+  /// session numbers are the fds INSPECT prints). weak_ptr: the map
+  /// must never extend a session's life past its disconnect.
+  std::map<int, std::weak_ptr<Session>> sessions_by_fd_
+      GUARDED_BY(sessions_mutex_);
 
   Mutex queue_mutex_{LockRank::kServerQueue, "server.queue_mutex"};
   CondVar queue_cv_;

@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+
 namespace onex {
 namespace server {
 
@@ -31,6 +33,22 @@ bool SocketLineReader::ReadLine(std::string* line) {
     if (n <= 0) return false;
     buffer_.append(chunk, static_cast<size_t>(n));
   }
+}
+
+bool SocketLineReader::ReadBytes(size_t n, std::string* out) {
+  out->clear();
+  // Bytes past the last consumed newline belong to this read.
+  const size_t from_buffer = std::min(n, buffer_.size());
+  out->append(buffer_, 0, from_buffer);
+  buffer_.erase(0, from_buffer);
+  while (out->size() < n) {
+    char chunk[4096];
+    const size_t want = std::min(n - out->size(), sizeof(chunk));
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
+    if (got <= 0) return false;
+    out->append(chunk, static_cast<size_t>(got));
+  }
+  return true;
 }
 
 }  // namespace server

@@ -27,6 +27,11 @@ class SocketLineReader {
   /// False on EOF, transport error, or an over-long line.
   bool ReadLine(std::string* line);
 
+  /// Reads exactly `n` raw bytes (the FETCH binary chunk path),
+  /// draining any bytes already buffered ahead by ReadLine first.
+  /// False on EOF or transport error before `n` bytes arrive.
+  bool ReadBytes(size_t n, std::string* out);
+
  private:
   int fd_;
   size_t max_line_;

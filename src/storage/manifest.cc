@@ -1,0 +1,93 @@
+#include "storage/manifest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/storage.h"
+#include "util/logging.h"
+
+namespace onex {
+namespace storage {
+namespace {
+
+/// internal::AppendJsonEscaped emits the quotes itself; this alias
+/// just keeps the call sites readable.
+void AppendQuoted(std::string* out, const std::string& value) {
+  internal::AppendJsonEscaped(out, value);
+}
+
+}  // namespace
+
+std::string ManifestPathFor(const std::string& dir) {
+  return (std::filesystem::path(dir) / "onex_manifest.json").string();
+}
+
+std::string RenderManifestJson(const Manifest& manifest) {
+  std::string out;
+  out += "{\n";
+  out += "  \"version\": " + std::to_string(manifest.version) + ",\n";
+  out += "  \"created_unix_s\": " + std::to_string(manifest.created_unix_s) +
+         ",\n";
+  out += "  \"datasets\": [";
+  for (size_t i = 0; i < manifest.entries.size(); ++i) {
+    const ManifestEntry& entry = manifest.entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n      \"name\": ";
+    AppendQuoted(&out, entry.name);
+    out += ",\n      \"series\": " + std::to_string(entry.series);
+    out += ",\n      \"live_series\": " + std::to_string(entry.live_series);
+    out += ",\n      \"base\": {\"file\": ";
+    AppendQuoted(&out, entry.base_file);
+    out += ", \"bytes\": " + std::to_string(entry.base_bytes) +
+           ", \"crc32\": " + std::to_string(entry.base_crc) + "},\n";
+    out += "      \"deltas\": [";
+    for (size_t d = 0; d < entry.deltas.size(); ++d) {
+      out += d == 0 ? "" : ", ";
+      out += "{\"file\": ";
+      AppendQuoted(&out, entry.deltas[d].file);
+      out += ", \"bytes\": " + std::to_string(entry.deltas[d].bytes) +
+             ", \"crc32\": " + std::to_string(entry.deltas[d].crc) + "}";
+    }
+    out += "],\n      \"wal\": {\"file\": ";
+    AppendQuoted(&out, entry.wal_file);
+    out += ", \"bytes\": " + std::to_string(entry.wal_bytes) + "}\n    }";
+  }
+  out += manifest.entries.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteManifest(const Manifest& manifest, const std::string& dir) {
+  const std::string path = ManifestPathFor(dir);
+  // Unique temp name per writer: concurrent cuts (a MANIFEST verb
+  // racing the shutdown cut, two admin sessions) must not rename each
+  // other's temp away mid-publish — each rename is atomic and the last
+  // published manifest is a complete, valid cut either way.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create '" + tmp + "'");
+    const std::string json = RenderManifestJson(manifest);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    out.close();
+    if (!out) return Status::IOError("write failed for '" + tmp + "'");
+  }
+  Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path + "'");
+  }
+  return SyncDir(dir);
+}
+
+}  // namespace storage
+}  // namespace onex

@@ -1,0 +1,73 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// The consistent-cut manifest: one versioned JSON document recording,
+// for every dataset in a deployment's data directory, the exact
+// artifact set (base snapshot, delta chain, WAL) and CRCs that
+// reproduce its state. Catalog::CheckpointAll writes it after
+// checkpointing every resident engine, so the manifest always names a
+// cut where each dataset's WAL tail is empty or minimal — the unit a
+// follower bootstraps from and an operator archives.
+//
+// File: `<data-dir>/onex_manifest.json`, published via the standard
+// temp + fsync + rename + dir-fsync dance. Artifact references are
+// RELATIVE file names (a follower maps them into its own directory).
+//
+// The wire MANIFEST verb renders the same structure in the newline
+// protocol's line format (protocol.h) — the JSON file is the on-disk
+// deployment record, the wire form is what replication consumes.
+
+#ifndef ONEX_STORAGE_MANIFEST_H_
+#define ONEX_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace onex {
+namespace storage {
+
+inline constexpr uint32_t kManifestFormatVersion = 1;
+
+/// One dataset's artifact set inside a manifest.
+struct ManifestEntry {
+  std::string name;
+  /// Series covered by base + deltas (the WAL's sequence base).
+  uint64_t series = 0;
+  /// Total series the engine held at the cut (series + WAL tail).
+  uint64_t live_series = 0;
+  std::string base_file;  ///< Relative file name, e.g. "ecg.onex".
+  uint64_t base_bytes = 0;
+  uint32_t base_crc = 0;
+  struct DeltaRef {
+    std::string file;  ///< Relative, e.g. "ecg.onex.delta.1".
+    uint64_t bytes = 0;
+    uint32_t crc = 0;  ///< crc32 of the state the delta reconstructs.
+  };
+  std::vector<DeltaRef> deltas;
+  std::string wal_file;  ///< Relative, e.g. "ecg.wal".
+  uint64_t wal_bytes = 0;
+};
+
+struct Manifest {
+  uint32_t version = kManifestFormatVersion;
+  /// Wall-clock seconds of the cut (informational).
+  uint64_t created_unix_s = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+/// Renders the manifest as a stable, human-auditable JSON document.
+std::string RenderManifestJson(const Manifest& manifest);
+
+/// Writes `<dir>/onex_manifest.json` crash-durably (temp + fsync +
+/// rename + dir fsync): a reader never observes a torn manifest and a
+/// crash never rolls the directory back past a published one.
+Status WriteManifest(const Manifest& manifest, const std::string& dir);
+
+/// `<dir>/onex_manifest.json`.
+std::string ManifestPathFor(const std::string& dir);
+
+}  // namespace storage
+}  // namespace onex
+
+#endif  // ONEX_STORAGE_MANIFEST_H_

@@ -8,9 +8,14 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "core/serialization.h"
+#include "storage/delta.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -27,6 +32,111 @@ Status RenameFile(const std::string& from, const std::string& to) {
                            std::strerror(errno));
   }
   return Status::OK();
+}
+
+/// Publishes `bytes` at `path` crash-durably: temp, fsync, rename,
+/// directory fsync — the same dance every snapshot artifact uses.
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot create '" + tmp + "'");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) return Status::IOError("write failed for '" + tmp + "'");
+  }
+  Status synced = SyncFile(tmp);
+  if (!synced.ok()) return synced;
+  Status renamed = RenameFile(tmp, path);
+  if (!renamed.ok()) return renamed;
+  return SyncDir(DirOf(path));
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fs::exists(path)
+               ? Status::IOError("cannot open '" + path + "'")
+               : Status::NotFound("'" + path + "' does not exist");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for '" + path + "'");
+  return std::move(buffer).str();
+}
+
+/// The on-disk snapshot state reconstructed at recovery: base file +
+/// as much of the delta chain as validates.
+struct RecoveredChain {
+  std::string bytes;  ///< Serialized snapshot after applying the chain.
+  std::vector<ChainLink> chain;
+  uint64_t base_bytes = 0;
+  uint32_t base_crc = 0;
+  /// A delta artifact was corrupt/torn and the chain was cut there —
+  /// the state is the last VALID checkpoint, not the newest one.
+  bool degraded = false;
+};
+
+/// Reads `<name>.onex` and applies `<name>.onex.delta.1..k` in place.
+/// A corrupt or torn delta cuts the chain at the last valid state
+/// (degraded = true) instead of failing recovery; an INTACT delta.1
+/// whose base does not match the current base file is the
+/// crash-between-compaction-and-cleanup signature and ends the chain
+/// cleanly (the base is newer than the stale deltas). `max_deltas`
+/// exists for the self-restart on a reconstruction-CRC failure, which
+/// leaves the buffer unspecified.
+Result<RecoveredChain> LoadSnapshotChain(const std::string& dir,
+                                         const std::string& name,
+                                         uint64_t max_deltas = ~0ULL) {
+  RecoveredChain out;
+  auto base = ReadFileBytes(BasePathFor(dir, name));
+  if (!base.ok()) return base.status();
+  out.bytes = std::move(base).value();
+  out.base_bytes = out.bytes.size();
+  out.base_crc = Crc32(out.bytes.data(), out.bytes.size());
+  for (uint64_t k = 1; k <= max_deltas; ++k) {
+    const std::string path = DeltaPathFor(dir, name, k);
+    auto delta = ReadFileBytes(path);
+    if (!delta.ok()) {
+      if (delta.status().code() == Status::Code::kNotFound) break;
+      ONEX_LOG_WARN << "delta chain cut at '" << path
+                    << "': " << delta.status().ToString()
+                    << " — recovering the last valid checkpoint";
+      out.degraded = true;
+      break;
+    }
+    auto info = InspectDelta(delta.value());
+    if (!info.ok()) {
+      ONEX_LOG_WARN << "delta chain cut at corrupt '" << path
+                    << "': " << info.status().ToString()
+                    << " — recovering the last valid checkpoint";
+      out.degraded = true;
+      break;
+    }
+    if (k == 1 && (info.value().old_size != out.bytes.size() ||
+                   info.value().old_crc != out.base_crc)) {
+      // Intact delta against an OLDER base: a compaction published the
+      // new base but crashed before removing the stale chain. The base
+      // already holds everything the deltas did — not a degradation.
+      ONEX_LOG_INFO << "ignoring stale delta chain at '" << path
+                    << "' (base snapshot is newer — compaction crash)";
+      break;
+    }
+    const Status applied = ApplyDeltaInPlace(&out.bytes, delta.value());
+    if (!applied.ok()) {
+      ONEX_LOG_WARN << "delta chain cut at '" << path
+                    << "': " << applied.ToString()
+                    << " — recovering the last valid checkpoint";
+      // A failed apply leaves the buffer unspecified; rebuild the
+      // valid prefix from disk (strictly shorter — terminates).
+      auto retry = LoadSnapshotChain(dir, name, k - 1);
+      if (retry.ok()) retry.value().degraded = true;
+      return retry;
+    }
+    out.chain.push_back(
+        {path, delta.value().size(), info.value().new_crc});
+  }
+  return out;
 }
 
 }  // namespace
@@ -75,6 +185,11 @@ std::string WalPathFor(const std::string& dir, const std::string& name) {
   return (fs::path(dir) / (name + ".wal")).string();
 }
 
+std::string DeltaPathFor(const std::string& dir, const std::string& name,
+                         uint64_t k) {
+  return BasePathFor(dir, name) + ".delta." + std::to_string(k);
+}
+
 DurableEngine::DurableEngine(Private, Engine engine, WalWriter wal,
                              StorageOptions options, std::string base_path,
                              std::string wal_path)
@@ -100,26 +215,39 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Create(
   const std::string base_path = BasePathFor(dir, name);
   const std::string wal_path = WalPathFor(dir, name);
 
-  // Temp-then-rename, like every snapshot publish: if this Create is
+  // Serialize once to memory (the initial prev-snapshot shadow), then
+  // publish temp-then-rename like every snapshot: if this Create is
   // re-persisting a name that already has durable data on disk, a save
   // failing partway must not have destroyed the previous good pair.
-  const std::string tmp = base_path + ".tmp";
-  Status saved = engine.Save(tmp);
-  if (saved.ok()) saved = SyncFile(tmp);
-  if (saved.ok()) saved = RenameFile(tmp, base_path);
+  auto bytes = SaveBaseToString(engine.base());
+  if (!bytes.ok()) return bytes.status();
+  Status saved = WriteFileDurable(base_path, bytes.value());
   if (!saved.ok()) return saved;
 
   auto wal = WalWriter::Create(wal_path, engine.num_series());
   if (!wal.ok()) return wal.status();
-  // Make the snapshot rename and the fresh WAL's directory entries
-  // themselves crash-durable; without this, a crash in the wrong
-  // instant could present the OLD directory state at recovery.
+  // Make the fresh WAL's directory entry itself crash-durable; without
+  // this, a crash in the wrong instant could present the OLD directory
+  // state at recovery.
   const Status dir_synced = SyncDir(dir);
   if (!dir_synced.ok()) return dir_synced;
 
+  // A re-persist over previous durable data orphans any delta chain
+  // the old incarnation had published; it must not shadow this base.
+  const uint64_t num_series = engine.num_series();
   auto durable = std::make_shared<DurableEngine>(
       Private{}, std::move(engine), std::move(wal).value(), options,
       base_path, wal_path);
+  durable->RemoveDeltaFiles(1);
+  {
+    MutexLock lock(durable->checkpoint_mutex_);
+    durable->base_bytes_ = bytes.value().size();
+    durable->base_crc_ = Crc32(bytes.value().data(), bytes.value().size());
+    if (options.delta_checkpoints) {
+      durable->prev_snapshot_ = std::move(bytes).value();
+    }
+  }
+  durable->snapshot_series_.store(num_series);
   durable->Start();
   return durable;
 }
@@ -130,27 +258,50 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
   const std::string base_path = BasePathFor(dir, name);
   const std::string wal_path = WalPathFor(dir, name);
 
-  auto opened = Engine::Open(base_path, query_options);
-  if (!opened.ok()) return opened.status();
-  Engine engine = std::move(opened).value();
+  // Reconstruct the snapshot state: base file + delta chain, applied
+  // in place. A corrupt chain degrades to the last valid checkpoint.
+  auto recovered = LoadSnapshotChain(dir, name);
+  if (!recovered.ok()) return recovered.status();
+  RecoveredChain rc = std::move(recovered).value();
+  auto parsed = LoadBaseFromBuffer(rc.bytes);
+  if (!parsed.ok()) return parsed.status();
+  Engine engine = Engine::FromBase(std::move(parsed).value(), query_options);
+  const uint64_t chain_series = engine.num_series();
 
   uint64_t replayed = 0;
   uint64_t skipped = 0;
   bool torn = false;
+  bool wal_beyond_state = false;
   WalWriter wal;
 
   auto contents = ReadWal(wal_path);
-  if (contents.ok()) {
+  if (contents.ok() &&
+      contents.value().snapshot_series > engine.num_series()) {
+    if (!rc.degraded) {
+      return Status::Corruption(
+          "WAL '" + wal_path + "' expects a snapshot with " +
+          std::to_string(contents.value().snapshot_series) +
+          " series but '" + base_path + "' has " +
+          std::to_string(engine.num_series()) +
+          " — snapshot and log do not belong together");
+    }
+    // Degraded recovery: the log belongs to a checkpoint the corrupt
+    // chain no longer reaches. Its records cannot be applied (their
+    // sequence range starts past the recovered state); rotate it away
+    // LOUDLY — this is the one path that gives up acknowledged data,
+    // and it only exists because the alternative is not starting.
+    ONEX_LOG_WARN << "degraded recovery of '" << base_path
+                  << "': WAL sequence base "
+                  << contents.value().snapshot_series
+                  << " is past the last valid checkpoint ("
+                  << engine.num_series()
+                  << " series) — dropping the unreachable log tail";
+    wal_beyond_state = true;
+  }
+  if (contents.ok() && !wal_beyond_state) {
     WalContents& log = contents.value();
     torn = log.tail_torn;
     const uint64_t snapshot_series = engine.num_series();
-    if (log.snapshot_series > snapshot_series) {
-      return Status::Corruption(
-          "WAL '" + wal_path + "' expects a snapshot with " +
-          std::to_string(log.snapshot_series) + " series but '" + base_path +
-          "' has " + std::to_string(snapshot_series) +
-          " — snapshot and log do not belong together");
-    }
     // Batch the replay: collect every record the snapshot doesn't
     // already cover, then apply them through ONE AppendBatch — one
     // derived-state rebuild per length instead of one per record, so
@@ -195,7 +346,8 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
       if (!writer.ok()) return writer.status();
       wal = std::move(writer).value();
     }
-  } else if (contents.status().code() == Status::Code::kNotFound) {
+  } else if (wal_beyond_state ||
+             contents.status().code() == Status::Code::kNotFound) {
     auto writer = WalWriter::Create(wal_path, engine.num_series());
     if (!writer.ok()) return writer.status();
     wal = std::move(writer).value();
@@ -217,10 +369,28 @@ Result<std::shared_ptr<DurableEngine>> DurableEngine::Open(
   auto durable = std::make_shared<DurableEngine>(
       Private{}, std::move(engine), std::move(wal), options, base_path,
       wal_path);
-  durable->wal_records_.store(replayed + skipped);
+  durable->wal_records_.store(wal_beyond_state ? 0 : replayed + skipped);
   durable->replayed_records_ = replayed;
   durable->skipped_records_ = skipped;
   durable->recovered_torn_tail_ = torn;
+  durable->degraded_recovery_ = rc.degraded;
+  durable->snapshot_series_.store(chain_series);
+  durable->chain_length_.store(rc.chain.size());
+  uint64_t chain_bytes = 0;
+  for (const ChainLink& link : rc.chain) chain_bytes += link.bytes;
+  durable->chain_bytes_.store(chain_bytes);
+  {
+    MutexLock lock(durable->checkpoint_mutex_);
+    durable->base_bytes_ = rc.base_bytes;
+    durable->base_crc_ = rc.base_crc;
+    durable->chain_ = std::move(rc.chain);
+    // The reconstructed chain state IS the encoder's previous
+    // snapshot: the next incremental checkpoint deltas against it
+    // without touching disk.
+    if (options.delta_checkpoints) {
+      durable->prev_snapshot_ = std::move(rc.bytes);
+    }
+  }
   durable->Start();
   return durable;
 }
@@ -375,52 +545,194 @@ void DurableEngine::CheckpointerLoop() {
 
 Status DurableEngine::Checkpoint() {
   MutexLock serialize(checkpoint_mutex_);
+  if (options_.delta_checkpoints) return CheckpointIncremental();
   return engine_.Exclusive(
       [this](const OnexBase& base) { return CheckpointLocked(base); });
 }
 
 Status DurableEngine::CheckpointLocked(const OnexBase& base) {
   // Runs inside Engine::Exclusive — the writer lock crossed an untyped
-  // std::function boundary to get here.
+  // std::function boundary to get here; the caller (Checkpoint) holds
+  // checkpoint_mutex_ across the Exclusive call.
   engine_.mu().AssertHeld();
+  checkpoint_mutex_.AssertHeld();
   ONEX_TRACE_SPAN("storage.checkpoint");
   Timer duration;
-  // 1. Snapshot to a temp file, sync, publish via rename: readers of
-  //    base_path_ never observe a half-written snapshot.
-  const std::string tmp = base_path_ + ".tmp";
-  const Status saved = SaveBase(base, tmp);
+  // 1. Snapshot publish: readers of base_path_ never observe a
+  //    half-written snapshot. The WHOLE rewrite (serialize + write +
+  //    fsync) runs under the engine writer lock — the stall the
+  //    incremental path exists to remove; kept as the baseline.
+  auto bytes = SaveBaseToString(base);
+  if (!bytes.ok()) return bytes.status();
+  const Status saved = WriteFileDurable(base_path_, bytes.value());
   if (!saved.ok()) return saved;
-  const Status synced = SyncFile(tmp);
-  if (!synced.ok()) return synced;
-  const Status renamed = RenameFile(tmp, base_path_);
-  if (!renamed.ok()) return renamed;
-  // The rename itself must survive a crash: sync the directory entry
-  // before rotating the WAL, or recovery could pair the OLD snapshot
-  // with the NEW (empty) log and lose every checkpointed append.
-  const Status dir_synced = SyncDir(DirOf(base_path_));
-  if (!dir_synced.ok()) return dir_synced;
+  // A full rewrite folds (and orphans) any delta chain.
+  RemoveDeltaFiles(1);
+  chain_.clear();
+  base_bytes_ = bytes.value().size();
+  base_crc_ = Crc32(bytes.value().data(), bytes.value().size());
+  chain_length_.store(0);
+  chain_bytes_.store(0);
 
   // 2. Rotate the WAL the same way. If we crash between steps 1 and 2,
   //    the old log pairs with the new snapshot via sequence-number
   //    skipping in Open — no duplicates, no loss.
-  const std::string wal_tmp = wal_path_ + ".tmp";
-  auto fresh = WalWriter::Create(wal_tmp, base.dataset().size());
-  if (!fresh.ok()) return fresh.status();
-  const Status wal_renamed = RenameFile(wal_tmp, wal_path_);
-  if (!wal_renamed.ok()) return wal_renamed;
-  wal_ = std::move(fresh).value();  // Old descriptor closes here.
-  const Status wal_dir_synced = SyncDir(DirOf(wal_path_));
-  if (!wal_dir_synced.ok()) return wal_dir_synced;
+  const Status rotated = RotateWalLocked(base, base.dataset().size());
+  if (!rotated.ok()) return rotated;
 
-  wal_records_.store(0);
-  wal_bytes_.store(wal_.bytes());
+  snapshot_series_.store(base.dataset().size());
   checkpoints_.fetch_add(1);
-  last_checkpoint_duration_ns_.store(duration.ElapsedNanos());
+  const int64_t elapsed = duration.ElapsedNanos();
+  last_checkpoint_duration_ns_.store(elapsed);
+  last_lock_hold_ns_.store(elapsed);  // Lock held for the whole rewrite.
   last_checkpoint_ns_.store(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
   return Status::OK();
+}
+
+Status DurableEngine::CheckpointIncremental() {
+  ONEX_TRACE_SPAN("storage.checkpoint_incremental");
+  Timer duration;
+
+  // Phase 1 (brief writer-lock hold): serialize the base to a memory
+  // shadow. No disk I/O, no fsync, no delta encoding under the lock.
+  std::string shadow;
+  uint64_t series = 0;
+  int64_t phase1_ns = 0;
+  Status held = engine_.Exclusive([&](const OnexBase& base) {
+    Timer hold;
+    auto bytes = SaveBaseToString(base);
+    if (!bytes.ok()) return bytes.status();
+    shadow = std::move(bytes).value();
+    series = base.dataset().size();
+    phase1_ns = hold.ElapsedNanos();
+    return Status::OK();
+  });
+  if (!held.ok()) return held;
+
+  // Nothing changed since the last checkpoint (disk already covers
+  // every series and the WAL is empty): don't grow the chain with
+  // empty deltas — CheckpointAll sweeps clean engines too.
+  if (series == snapshot_series_.load() && wal_records_.load() == 0) {
+    return Status::OK();
+  }
+
+  // Out-of-lock: delta against the previous snapshot shadow. The
+  // shadow is re-seeded from disk if absent (delta_checkpoints turned
+  // on over an existing full snapshot).
+  if (prev_snapshot_.empty() && chain_.empty()) {
+    auto prev = ReadFileBytes(base_path_);
+    if (prev.ok()) prev_snapshot_ = std::move(prev).value();
+  }
+  const std::string delta = EncodeDelta(prev_snapshot_, shadow);
+
+  const bool over_length =
+      options_.max_delta_chain_length > 0 &&
+      chain_.size() + 1 > options_.max_delta_chain_length;
+  const bool over_bytes =
+      options_.max_delta_chain_bytes > 0 &&
+      chain_bytes_.load() + delta.size() > options_.max_delta_chain_bytes;
+  // A delta as large as the snapshot itself isn't paying for its link
+  // in the recovery chain; fold immediately.
+  const bool not_paying = delta.size() >= shadow.size();
+
+  if (over_length || over_bytes || not_paying) {
+    // Compaction: publish the shadow as a fresh full base (still
+    // outside every engine lock), then drop the folded chain.
+    const Status published = WriteFileDurable(base_path_, shadow);
+    if (!published.ok()) return published;
+    RemoveDeltaFiles(1);
+    chain_.clear();
+    base_bytes_ = shadow.size();
+    base_crc_ = Crc32(shadow.data(), shadow.size());
+    chain_compactions_.fetch_add(1);
+    chain_length_.store(0);
+    chain_bytes_.store(0);
+    last_delta_bytes_.store(0);
+  } else {
+    const std::string path =
+        base_path_ + ".delta." + std::to_string(chain_.size() + 1);
+    const Status published = WriteFileDurable(path, delta);
+    if (!published.ok()) return published;
+    chain_.push_back(
+        {path, delta.size(), Crc32(shadow.data(), shadow.size())});
+    delta_checkpoints_.fetch_add(1);
+    chain_length_.store(chain_.size());
+    chain_bytes_.fetch_add(delta.size());
+    last_delta_bytes_.store(delta.size());
+  }
+  prev_snapshot_ = std::move(shadow);
+  snapshot_series_.store(series);
+
+  // Phase 2 (second brief hold): rotate the WAL to sequence base
+  // `series`, re-logging appends that landed during encoding. A crash
+  // between the publish above and this rotation is the PR-3 crash
+  // window: the old log's sequence base is below the new chain's, and
+  // Open skips the already-covered prefix.
+  int64_t phase2_ns = 0;
+  held = engine_.Exclusive([&](const OnexBase& base) {
+    Timer hold;
+    const Status rotated = RotateWalLocked(base, series);
+    phase2_ns = hold.ElapsedNanos();
+    return rotated;
+  });
+  if (!held.ok()) return held;
+
+  checkpoints_.fetch_add(1);
+  last_checkpoint_duration_ns_.store(duration.ElapsedNanos());
+  last_lock_hold_ns_.store(phase1_ns + phase2_ns);
+  last_checkpoint_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Status::OK();
+}
+
+Status DurableEngine::RotateWalLocked(const OnexBase& base, uint64_t series) {
+  engine_.mu().AssertHeld();
+  const std::string wal_tmp = wal_path_ + ".tmp";
+  auto fresh = WalWriter::Create(wal_tmp, series);
+  if (!fresh.ok()) return fresh.status();
+  WalWriter writer = std::move(fresh).value();
+  // Re-log every series the chain doesn't cover (appended while the
+  // delta was encoding) — one group-commit fsync for all of them.
+  uint64_t relogged = 0;
+  for (size_t i = series; i < base.dataset().size(); ++i) {
+    const Status appended = writer.Append(base.dataset()[i]);
+    if (!appended.ok()) return appended;
+    ++relogged;
+  }
+  const Status synced = writer.Sync();
+  if (!synced.ok()) return synced;
+  const Status renamed = RenameFile(wal_tmp, wal_path_);
+  if (!renamed.ok()) return renamed;
+  wal_ = std::move(writer);  // Old descriptor closes here.
+  const Status dir_synced = SyncDir(DirOf(wal_path_));
+  if (!dir_synced.ok()) return dir_synced;
+  wal_records_.store(relogged);
+  wal_bytes_.store(wal_.bytes());
+  return Status::OK();
+}
+
+void DurableEngine::RemoveDeltaFiles(uint64_t from) const {
+  for (uint64_t k = from;; ++k) {
+    const std::string path = base_path_ + ".delta." + std::to_string(k);
+    std::error_code ec;
+    if (!fs::remove(path, ec)) break;  // First absent index ends the run.
+  }
+}
+
+ChainStatus DurableEngine::chain_status() const {
+  MutexLock lock(checkpoint_mutex_);
+  ChainStatus status;
+  status.base_path = base_path_;
+  status.base_bytes = base_bytes_;
+  status.base_crc = base_crc_;
+  status.deltas = chain_;
+  status.wal_sequence_base = snapshot_series_.load();
+  return status;
 }
 
 StorageStats DurableEngine::stats() const {
@@ -433,6 +745,15 @@ StorageStats DurableEngine::stats() const {
   stats.skipped_records = skipped_records_;
   stats.recovered_torn_tail = recovered_torn_tail_;
   stats.wal_write_failed = wal_write_failed_.load(std::memory_order_relaxed);
+  stats.delta_checkpoints = delta_checkpoints_.load();
+  stats.chain_compactions = chain_compactions_.load();
+  stats.delta_chain_length = chain_length_.load();
+  stats.delta_chain_bytes = chain_bytes_.load();
+  stats.last_delta_bytes = last_delta_bytes_.load();
+  stats.snapshot_series = snapshot_series_.load();
+  stats.checkpoint_lock_hold_seconds =
+      static_cast<double>(last_lock_hold_ns_.load()) * 1e-9;
+  stats.degraded_recovery = degraded_recovery_;
   const int64_t last_ns = last_checkpoint_ns_.load();
   if (last_ns != 0) {
     const int64_t now_ns =

@@ -16,18 +16,31 @@
 //     "WAL rotated") are skipped by sequence number; a torn or corrupt
 //     tail is tolerated up to the last valid record and truncated so
 //     new appends stay reachable.
-//   - A background CHECKPOINTER thread rewrites the snapshot and
-//     rotates the WAL once the log exceeds a byte/record threshold
-//     (replay time is proportional to log length; checkpoints bound
-//     it). Both files are replaced via write-temp-then-rename, so a
-//     crash at any instant leaves a recoverable pair.
+//   - A background CHECKPOINTER thread checkpoints and rotates the WAL
+//     once the log exceeds a byte/record threshold (replay time is
+//     proportional to log length; checkpoints bound it). Every file is
+//     replaced via write-temp-then-rename, so a crash at any instant
+//     leaves a recoverable set.
+//   - Checkpoints are INCREMENTAL by default (delta_checkpoints): the
+//     base is serialized to a memory shadow under a brief writer-lock
+//     hold, then a binary delta against the previous snapshot
+//     (storage/delta.h) is encoded and published OUTSIDE every engine
+//     lock; a second brief hold rotates the WAL and re-logs whatever
+//     appends landed mid-encode. Recovery applies the chain in place
+//     on top of the base, then replays the WAL tail; the chain is
+//     compacted into a fresh full snapshot past a length/bytes budget.
+//     A crash between delta publish and WAL rotation is covered by the
+//     existing sequence-number skip (the old log pairs with the newer
+//     chain); a crash between compaction publish and stale-delta
+//     removal is recognized at recovery by the leftover delta's intact
+//     header not matching the new base (ignored, not degraded).
 //
 // Locking: all WAL-writer state is touched only under the engine's
 // writer lock (appends via the AppendSink hook, rotation via
 // Engine::Exclusive), so checkpoints and appends serialize without a
-// lock-order cycle. Checkpointing holds the writer lock for the
-// snapshot write — queries stall for its duration (an open item tracks
-// copy-on-write snapshots).
+// lock-order cycle. Chain state (previous-snapshot shadow, link list)
+// is guarded by checkpoint_mutex_, which also serializes explicit and
+// background checkpoints.
 //
 // Ownership: DurableEngine owns the Engine; engine() hands out aliased
 // shared_ptrs that keep the whole durable stack (WAL, checkpointer)
@@ -72,6 +85,19 @@ struct StorageOptions {
   /// non-OK status — the deterministic way to flip wal_write_failed
   /// (HEALTH readiness) without breaking a real file descriptor.
   std::function<Status()> wal_fault_injection;
+  /// Incremental checkpoints: serialize the base to a memory shadow
+  /// under a BRIEF writer-lock hold, then (outside every engine lock)
+  /// publish a delta against the previous snapshot instead of
+  /// rewriting `<name>.onex`. Recovery becomes base + delta chain +
+  /// WAL tail. Off, checkpoints are the PR-3 full rewrite under the
+  /// writer lock.
+  bool delta_checkpoints = true;
+  /// Compact the chain (fold every delta into a fresh full snapshot,
+  /// written from the shadow outside the engine lock) once it would
+  /// exceed either bound (0 = unbounded). Bounds recovery and
+  /// follower-bootstrap time.
+  uint64_t max_delta_chain_length = 8;
+  uint64_t max_delta_chain_bytes = 64ull << 20;
 };
 
 /// Point-in-time counters for STATS replies, tests, and the bench.
@@ -92,6 +118,38 @@ struct StorageStats {
   /// cannot acknowledge durable appends — the HEALTH verb's readiness
   /// check fails on it so a router drains the node.
   bool wal_write_failed = false;
+  // ---- incremental-checkpoint facts (zero when delta_checkpoints off).
+  uint64_t delta_checkpoints = 0;   ///< Checkpoints published as deltas.
+  uint64_t chain_compactions = 0;   ///< Full rewrites folding the chain.
+  uint64_t delta_chain_length = 0;  ///< Deltas currently after the base.
+  uint64_t delta_chain_bytes = 0;   ///< Their on-disk bytes, summed.
+  uint64_t last_delta_bytes = 0;    ///< Size of the newest delta artifact.
+  /// Series covered by base + chain == the live WAL's sequence base.
+  uint64_t snapshot_series = 0;
+  /// Engine writer-lock hold time of the last checkpoint — the number
+  /// incremental checkpoints exist to shrink (BENCH_delta.json).
+  double checkpoint_lock_hold_seconds = 0.0;
+  /// Recovery degraded to the last valid chain prefix (corrupt or torn
+  /// delta artifact dropped — state may predate the newest checkpoint).
+  bool degraded_recovery = false;
+};
+
+/// One published delta artifact in the live chain, in apply order.
+struct ChainLink {
+  std::string path;
+  uint64_t bytes = 0;    ///< On-disk artifact size.
+  uint32_t new_crc = 0;  ///< crc32 of the snapshot state it produces.
+};
+
+/// Point-in-time description of the on-disk snapshot chain — what the
+/// consistent-cut manifest records per dataset and a follower fetches.
+struct ChainStatus {
+  std::string base_path;
+  uint64_t base_bytes = 0;
+  uint32_t base_crc = 0;  ///< crc32 of the base snapshot file.
+  std::vector<ChainLink> deltas;
+  /// Series covered by base + deltas; the live WAL starts here.
+  uint64_t wal_sequence_base = 0;
 };
 
 /// `<dir>/<name>.onex` — the snapshot (serialization.h format, shared
@@ -99,6 +157,10 @@ struct StorageStats {
 std::string BasePathFor(const std::string& dir, const std::string& name);
 /// `<dir>/<name>.wal` — the write-ahead log.
 std::string WalPathFor(const std::string& dir, const std::string& name);
+/// `<dir>/<name>.onex.delta.<k>` — the k-th delta artifact (k >= 1),
+/// applied in order on top of the base snapshot at recovery.
+std::string DeltaPathFor(const std::string& dir, const std::string& name,
+                         uint64_t k);
 
 /// fsyncs an already-written file by path. Every write-temp-then-rename
 /// snapshot publish (checkpoint, non-durable catalog flush) needs this
@@ -153,11 +215,19 @@ class DurableEngine : public AppendSink,
   /// Group commit: one fsync for the whole batch.
   Status AppendBatch(std::vector<TimeSeries> batch);
 
-  /// Writes a fresh snapshot and rotates the WAL, atomically with
-  /// respect to appends. Blocks queries while the snapshot is written.
+  /// Checkpoints the engine, atomically with respect to appends. With
+  /// delta_checkpoints (default) the engine writer lock is held only
+  /// for the in-memory serialization and the WAL rotation — disk I/O,
+  /// fsyncs, and delta encoding run outside it; otherwise this is the
+  /// full rewrite under the lock (queries stall for its duration).
   Status Checkpoint();
 
   StorageStats stats() const;
+  /// The on-disk artifact set a manifest records and a follower
+  /// fetches: base snapshot, delta chain, WAL sequence base. Taken
+  /// under checkpoint_mutex_, so it is internally consistent with
+  /// respect to concurrent checkpoints.
+  ChainStatus chain_status() const;
   const std::string& base_path() const { return base_path_; }
   const std::string& wal_path() const { return wal_path_; }
 
@@ -182,11 +252,26 @@ class DurableEngine : public AppendSink,
   void CheckpointerLoop();
   bool OverThreshold() const;
 
-  /// Rotation body; runs under the engine writer lock via Exclusive
-  /// (an untyped std::function boundary — it opens with
-  /// engine_.mu().AssertHeld(), the analysis-visible form of that
-  /// contract).
+  /// Full-rewrite body (delta_checkpoints off); runs under the engine
+  /// writer lock via Exclusive (an untyped std::function boundary — it
+  /// opens with engine_.mu().AssertHeld(), the analysis-visible form
+  /// of that contract). The caller holds checkpoint_mutex_.
   Status CheckpointLocked(const OnexBase& base);
+
+  /// Incremental path: brief-lock shadow serialization, out-of-lock
+  /// delta publish (or chain compaction), brief-lock WAL rotation with
+  /// mid-encode appends re-logged.
+  Status CheckpointIncremental() REQUIRES(checkpoint_mutex_);
+
+  /// Phase 2 of the incremental path: rotate the WAL to sequence base
+  /// `series` and re-log every engine series at index >= `series`
+  /// (appends that landed while the delta was encoding). Runs under
+  /// the engine writer lock via Exclusive.
+  Status RotateWalLocked(const OnexBase& base, uint64_t series);
+
+  /// Removes every `<base>.onex.delta.<k>` on disk from k = `from` up
+  /// (stale artifacts after a compaction or full rewrite).
+  void RemoveDeltaFiles(uint64_t from) const;
 
   Engine engine_;
   /// All WAL-writer state is touched only under the engine's WRITER
@@ -218,13 +303,36 @@ class DurableEngine : public AppendSink,
   uint64_t replayed_records_ = 0;
   uint64_t skipped_records_ = 0;
   bool recovered_torn_tail_ = false;
+  bool degraded_recovery_ = false;
 
-  /// Serializes explicit Checkpoint() calls against the background one.
-  /// Above kEngine: held across Engine::Exclusive. (The catalog may
-  /// hold its registry mutex while checkpointing a dirty victim, hence
-  /// kCatalog < kStorageCheckpoint.)
-  Mutex checkpoint_mutex_{LockRank::kStorageCheckpoint,
-                          "storage.checkpoint_mutex"};
+  // Incremental-checkpoint counters (atomics: stats() reads them
+  // without the chain lock).
+  std::atomic<uint64_t> delta_checkpoints_{0};
+  std::atomic<uint64_t> chain_compactions_{0};
+  std::atomic<uint64_t> chain_length_{0};
+  std::atomic<uint64_t> chain_bytes_{0};
+  std::atomic<uint64_t> last_delta_bytes_{0};
+  std::atomic<int64_t> last_lock_hold_ns_{0};
+  /// Series covered by base + chain (== the live WAL's sequence base).
+  std::atomic<uint64_t> snapshot_series_{0};
+
+  /// Serializes explicit Checkpoint() calls against the background one
+  /// and guards the chain state below. Above kEngine: held across
+  /// Engine::Exclusive. (The catalog may hold its registry mutex while
+  /// checkpointing a dirty victim, hence kCatalog < kStorageCheckpoint.)
+  mutable Mutex checkpoint_mutex_{LockRank::kStorageCheckpoint,
+                                  "storage.checkpoint_mutex"};
+  /// Serialized bytes of the last checkpointed state — the encoder's
+  /// "old" side. Kept resident so successive deltas never re-read the
+  /// chain from disk; one serialized snapshot per durable engine is
+  /// the leader-side price of delta encoding. Empty when
+  /// delta_checkpoints is off.
+  std::string prev_snapshot_ GUARDED_BY(checkpoint_mutex_);
+  /// Live chain description, in apply order (also written pre-share by
+  /// the factories).
+  std::vector<ChainLink> chain_ GUARDED_BY(checkpoint_mutex_);
+  uint64_t base_bytes_ GUARDED_BY(checkpoint_mutex_) = 0;
+  uint32_t base_crc_ GUARDED_BY(checkpoint_mutex_) = 0;
 
   /// Checkpointer thread plumbing. Above kEngine: the append sink
   /// pokes the checkpointer while the engine writer lock is held.
