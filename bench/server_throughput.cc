@@ -13,6 +13,11 @@
 // an interactive front end would see. OVERLOADED replies are counted
 // separately and excluded from the latency distribution.
 //
+// A second leg replays the identical workload through an in-process
+// onex_router fronting the same server, so BENCH_server.json carries
+// the router hop's cost (routed_* fields and the p50 delta) next to
+// the direct numbers it inflates.
+//
 // Run: ./build/bench/server_throughput [--clients N] [--requests N]
 //          [--workers N] [--queue N] [--series N] [--length N]
 
@@ -27,6 +32,7 @@
 #include "api/engine.h"
 #include "datagen/registry.h"
 #include "dataset/normalize.h"
+#include "router/router.h"
 #include "server/catalog.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -95,6 +101,20 @@ double Delta(const std::map<std::string, double>& before,
          (b == before.end() ? 0.0 : b->second);
 }
 
+/// Aggregate outcome of one workload leg (direct or routed).
+struct LegResult {
+  SampleSet all;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0;
+
+  double qps() const {
+    return wall_seconds > 0
+               ? static_cast<double>(all.count()) / wall_seconds
+               : 0;
+  }
+};
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
@@ -132,81 +152,112 @@ int Run(int argc, char** argv) {
               "%zu clients x %zu requests\n",
               srv->port(), workers, queue, clients, requests);
 
-  std::vector<SampleSet> latencies(clients);
-  std::vector<uint64_t> shed(clients, 0);
-  std::vector<uint64_t> errors(clients, 0);
+  // One workload leg against `port`: the same clients x requests mix,
+  // so the routed numbers differ from the direct ones only by the hop.
+  auto run_leg = [&](uint16_t port) {
+    std::vector<SampleSet> latencies(clients);
+    std::vector<uint64_t> shed(clients, 0);
+    std::vector<uint64_t> errors(clients, 0);
 
-  auto client_fn = [&](size_t id) {
-    const bool use_power = (id % 2 == 0);
-    const Engine& twin = use_power ? *power_twin : *ecg_twin;
-    auto connected = server::Client::Connect("127.0.0.1", srv->port());
-    if (!connected.ok()) {
-      errors[id] += requests;
-      return;
-    }
-    server::Client client = std::move(connected).value();
-    auto use = client.Roundtrip(use_power ? "use power" : "use ecg");
-    if (!use.ok() || !use.value().ok) {
-      errors[id] += requests;
-      return;
-    }
-
-    // Pre-render the request mix so the loop measures serving, not
-    // formatting: in-dataset subsequences at the indexed lengths.
-    Rng rng(1000 + id);
-    std::vector<std::string> mix;
-    const Dataset& d = twin.dataset();
-    for (int v = 0; v < 16; ++v) {
-      const uint32_t series = static_cast<uint32_t>(rng.Uniform(d.size()));
-      const size_t qlen = (v % 2 == 0) ? 8 : std::min<size_t>(16, length);
-      const uint32_t start = static_cast<uint32_t>(
-          rng.Uniform(d[series].length() - qlen + 1));
-      const auto view = d[series].Subsequence(start, qlen);
-      std::vector<double> query(view.begin(), view.end());
-      QueryRequest request;
-      switch (v % 3) {
-        case 0: request = BestMatchRequest{query, qlen}; break;
-        case 1: request = BestMatchRequest{query, 0}; break;
-        default: request = KSimilarRequest{query, 5, qlen}; break;
+    auto client_fn = [&](size_t id) {
+      const bool use_power = (id % 2 == 0);
+      const Engine& twin = use_power ? *power_twin : *ecg_twin;
+      auto connected = server::Client::Connect("127.0.0.1", port);
+      if (!connected.ok()) {
+        errors[id] += requests;
+        return;
       }
-      mix.push_back(server::RenderRequestLine(request));
-    }
-
-    for (size_t i = 0; i < requests; ++i) {
-      Timer timer;
-      auto reply = client.Roundtrip(mix[i % mix.size()]);
-      const double seconds = timer.ElapsedSeconds();
-      if (!reply.ok()) {
-        ++errors[id];
-        return;  // Transport broken; stop this client.
+      server::Client client = std::move(connected).value();
+      auto use = client.Roundtrip(use_power ? "use power" : "use ecg");
+      if (!use.ok() || !use.value().ok) {
+        errors[id] += requests;
+        return;
       }
-      if (!reply.value().ok) {
-        if (reply.value().code == server::kOverloadedCode) {
-          ++shed[id];
-        } else {
-          ++errors[id];
+
+      // Pre-render the request mix so the loop measures serving, not
+      // formatting: in-dataset subsequences at the indexed lengths.
+      Rng rng(1000 + id);
+      std::vector<std::string> mix;
+      const Dataset& d = twin.dataset();
+      for (int v = 0; v < 16; ++v) {
+        const uint32_t series = static_cast<uint32_t>(rng.Uniform(d.size()));
+        const size_t qlen = (v % 2 == 0) ? 8 : std::min<size_t>(16, length);
+        const uint32_t start = static_cast<uint32_t>(
+            rng.Uniform(d[series].length() - qlen + 1));
+        const auto view = d[series].Subsequence(start, qlen);
+        std::vector<double> query(view.begin(), view.end());
+        QueryRequest request;
+        switch (v % 3) {
+          case 0: request = BestMatchRequest{query, qlen}; break;
+          case 1: request = BestMatchRequest{query, 0}; break;
+          default: request = KSimilarRequest{query, 5, qlen}; break;
         }
-        continue;
+        mix.push_back(server::RenderRequestLine(request));
       }
-      latencies[id].Add(seconds);
+
+      for (size_t i = 0; i < requests; ++i) {
+        Timer timer;
+        auto reply = client.Roundtrip(mix[i % mix.size()]);
+        const double seconds = timer.ElapsedSeconds();
+        if (!reply.ok()) {
+          ++errors[id];
+          return;  // Transport broken; stop this client.
+        }
+        if (!reply.value().ok) {
+          if (reply.value().code == server::kOverloadedCode) {
+            ++shed[id];
+          } else {
+            ++errors[id];
+          }
+          continue;
+        }
+        latencies[id].Add(seconds);
+      }
+    };
+
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
+    for (auto& t : threads) t.join();
+
+    LegResult leg;
+    leg.wall_seconds = wall.ElapsedSeconds();
+    for (size_t c = 0; c < clients; ++c) {
+      for (const double s : latencies[c].samples()) leg.all.Add(s);
+      leg.shed += shed[c];
+      leg.errors += errors[c];
     }
+    return leg;
   };
 
-  // METRICS scrapes bracketing the run: the pruning-cascade and
+  // METRICS scrapes bracketing the direct leg: the pruning-cascade and
   // queue-wait deltas attribute the QPS numbers to cascade behavior
   // (and regress if a change quietly stops pruning).
   const std::map<std::string, double> metrics_before =
       ScrapeMetrics(srv->port());
-
-  Timer wall;
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (size_t c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
-  for (auto& t : threads) t.join();
-  const double wall_seconds = wall.ElapsedSeconds();
-
+  const LegResult direct = run_leg(srv->port());
   const std::map<std::string, double> metrics_after =
       ScrapeMetrics(srv->port());
+
+  // Routed leg: the same workload through an in-process onex_router
+  // fronting this one server (it probes, learns "leader, no
+  // followers", and forwards every read with a merge pass). Overhead =
+  // the extra hop + demux + re-render.
+  router::RouterOptions router_options;
+  router_options.upstreams.push_back({"127.0.0.1", srv->port()});
+  router_options.pool.probe_interval_ms = 60000;
+  LegResult routed;
+  auto router_started = router::Router::Start(router_options);
+  if (router_started.ok()) {
+    std::printf("routed leg through onex_router on port %u...\n",
+                router_started.value()->port());
+    routed = run_leg(router_started.value()->port());
+    router_started.value()->Stop();
+  } else {
+    std::fprintf(stderr, "router start failed (skipping routed leg): %s\n",
+                 router_started.status().ToString().c_str());
+  }
   srv->Stop();
 
   const double cascade_seen =
@@ -226,32 +277,39 @@ int Run(int argc, char** argv) {
                   "onex_queue_wait_seconds_sum") /
                 queue_wait_count * 1e3
           : 0.0;
-
-  SampleSet all;
-  uint64_t total_shed = 0;
-  uint64_t total_errors = 0;
-  for (size_t c = 0; c < clients; ++c) {
-    for (const double s : latencies[c].samples()) all.Add(s);
-    total_shed += shed[c];
-    total_errors += errors[c];
-  }
-  const double qps =
-      wall_seconds > 0 ? static_cast<double>(all.count()) / wall_seconds : 0;
+  const double hop_p50_ms =
+      routed.all.count() > 0
+          ? (routed.all.Percentile(50.0) - direct.all.Percentile(50.0)) * 1e3
+          : 0.0;
 
   TableWriter table("Serving-layer throughput (loopback, 2 datasets)");
-  table.SetHeader({"clients", "workers", "answered", "shed", "QPS",
+  table.SetHeader({"path", "clients", "workers", "answered", "shed", "QPS",
                    "p50 ms", "p95 ms", "p99 ms"});
-  table.AddRow({std::to_string(clients), std::to_string(workers),
-                std::to_string(all.count()), std::to_string(total_shed),
-                TableWriter::Num(qps, 0),
-                TableWriter::Num(all.Percentile(50.0) * 1e3, 3),
-                TableWriter::Num(all.Percentile(95.0) * 1e3, 3),
-                TableWriter::Num(all.Percentile(99.0) * 1e3, 3)});
+  table.AddRow({"direct", std::to_string(clients), std::to_string(workers),
+                std::to_string(direct.all.count()),
+                std::to_string(direct.shed), TableWriter::Num(direct.qps(), 0),
+                TableWriter::Num(direct.all.Percentile(50.0) * 1e3, 3),
+                TableWriter::Num(direct.all.Percentile(95.0) * 1e3, 3),
+                TableWriter::Num(direct.all.Percentile(99.0) * 1e3, 3)});
+  if (routed.all.count() > 0) {
+    table.AddRow({"routed", std::to_string(clients),
+                  std::to_string(workers),
+                  std::to_string(routed.all.count()),
+                  std::to_string(routed.shed),
+                  TableWriter::Num(routed.qps(), 0),
+                  TableWriter::Num(routed.all.Percentile(50.0) * 1e3, 3),
+                  TableWriter::Num(routed.all.Percentile(95.0) * 1e3, 3),
+                  TableWriter::Num(routed.all.Percentile(99.0) * 1e3, 3)});
+  }
   table.Print();
   std::printf("cascade: %.0f candidates, %.0f DTW evaluated "
               "(pruning ratio %.3f); mean queue wait %.3f ms\n",
               cascade_seen, dtw_evaluated, pruning_ratio,
               queue_wait_mean_ms);
+  if (routed.all.count() > 0) {
+    std::printf("router hop: %+.3f ms at p50\n", hop_p50_ms);
+  }
+  const uint64_t total_errors = direct.errors + routed.errors;
   if (total_errors > 0) {
     std::printf("WARNING: %llu transport/engine errors\n",
                 static_cast<unsigned long long>(total_errors));
@@ -266,13 +324,19 @@ int Run(int argc, char** argv) {
         "\"wall_seconds\":%.6f,\"qps\":%.1f,\"p50_ms\":%.4f,"
         "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"mean_ms\":%.4f,"
         "\"cascade_candidates\":%.0f,\"dtw_evaluated\":%.0f,"
-        "\"pruning_ratio\":%.4f,\"queue_wait_mean_ms\":%.4f}\n",
-        clients, workers, queue, all.count(),
-        static_cast<unsigned long long>(total_shed),
-        static_cast<unsigned long long>(total_errors), wall_seconds, qps,
-        all.Percentile(50.0) * 1e3, all.Percentile(95.0) * 1e3,
-        all.Percentile(99.0) * 1e3, all.mean() * 1e3, cascade_seen,
-        dtw_evaluated, pruning_ratio, queue_wait_mean_ms);
+        "\"pruning_ratio\":%.4f,\"queue_wait_mean_ms\":%.4f,"
+        "\"routed_answered\":%zu,\"routed_qps\":%.1f,"
+        "\"routed_p50_ms\":%.4f,\"routed_p95_ms\":%.4f,"
+        "\"routed_p99_ms\":%.4f,\"router_hop_p50_ms\":%.4f}\n",
+        clients, workers, queue, direct.all.count(),
+        static_cast<unsigned long long>(direct.shed + routed.shed),
+        static_cast<unsigned long long>(total_errors), direct.wall_seconds,
+        direct.qps(), direct.all.Percentile(50.0) * 1e3,
+        direct.all.Percentile(95.0) * 1e3, direct.all.Percentile(99.0) * 1e3,
+        direct.all.mean() * 1e3, cascade_seen, dtw_evaluated, pruning_ratio,
+        queue_wait_mean_ms, routed.all.count(), routed.qps(),
+        routed.all.Percentile(50.0) * 1e3, routed.all.Percentile(95.0) * 1e3,
+        routed.all.Percentile(99.0) * 1e3, hop_p50_ms);
     std::fclose(json);
     std::printf("wrote BENCH_server.json\n");
   }

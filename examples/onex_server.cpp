@@ -9,6 +9,7 @@
 // Run: ./build/examples/onex_server [--port N] [--data-dir DIR]
 //          [--workers N] [--queue N] [--engines N] [--no-demo]
 //          [--durable] [--checkpoint-records N] [--checkpoint-bytes N]
+//          [--delta-gc-grace-s S]
 //          [--trace-out FILE] [--slow-query-ms N] [--log-level LEVEL]
 //          [--log-json FILE] [--crash-dump-dir DIR] [--stall-ms N]
 //          [--checkpoint-age-budget S] [--demo-series N] [--demo-length N]
@@ -29,6 +30,11 @@
 //   --checkpoint-records 4096 / --checkpoint-bytes 8388608
 //                    WAL thresholds that trigger a background
 //                    snapshot + log rotation
+//   --delta-gc-grace-s 0
+//                    delta GC: keep checkpoint artifacts a compaction
+//                    orphaned on disk for S seconds (so a follower
+//                    mid-FETCH on an older manifest still succeeds)
+//                    before unlinking them; 0 unlinks immediately
 //   --trace-out FILE enable stage tracing (util/trace spans) and write
 //                    a Chrome trace_event JSON file at shutdown — open
 //                    it in chrome://tracing or https://ui.perfetto.dev
@@ -166,6 +172,8 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("checkpoint-records", 4096));
   catalog_options.storage.checkpoint_wal_bytes =
       static_cast<uint64_t>(flags.GetInt("checkpoint-bytes", 8 << 20));
+  catalog_options.storage.delta_gc_grace_s =
+      flags.GetDouble("delta-gc-grace-s", 0.0);
   if (catalog_options.durable && catalog_options.data_dir.empty()) {
     std::fprintf(stderr,
                  "--durable needs --data-dir (nowhere to put the WAL)\n");

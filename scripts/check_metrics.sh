@@ -16,18 +16,31 @@
 #      checks while blinding every alert built on them).
 #
 # Usage:
+#   scripts/check_metrics.sh [--router] [file]
+#
 #   printf 'metrics\nquit\n' | nc -q1 localhost 7070 \
 #     | sed -e '1,/^OK Metrics$/d' -e '/^\.$/,$d' \
 #     | scripts/check_metrics.sh
 #   scripts/check_metrics.sh exposition.txt
 #
+# --router switches the required-family list to the onex_router set
+# (an onex_router process exposes routing counters plus the process
+# gauges, but none of the storage/replication families a data node
+# carries). The grammar rules are identical in both modes.
+#
 # Exits nonzero on the first violation. The same grammar is enforced
 # in-process by tests/metrics_test.cc; this script exists so CI can lint
-# the bytes an actual server emits over a socket.
+# the bytes an actual server (or router) emits over a socket.
 
 set -euo pipefail
 
-awk '
+mode=server
+if [[ "${1:-}" == "--router" ]]; then
+  mode=router
+  shift
+fi
+
+awk -v mode="$mode" '
   function fail(msg) { printf "check_metrics: line %d: %s\n", NR, msg; bad = 1 }
   function family(name) {
     # _bucket/_sum/_count samples belong to the declaring family.
@@ -89,23 +102,38 @@ awk '
         fail(sprintf("histogram %s: +Inf bucket %g != _count %g",
                      h, inf[h], count[h]))
     }
-    # Required families (v7): the process gauges, the stall/WAL health
-    # signals, and the replication gauges (emitted on leaders AND
-    # followers — lag is -1 when not following) every operations
-    # dashboard keys on.
-    split("onex_process_uptime_seconds " \
-          "onex_process_resident_memory_bytes " \
-          "onex_process_open_fds " \
-          "onex_process_threads " \
-          "onex_process_cpu_user_seconds_total " \
-          "onex_process_cpu_sys_seconds_total " \
-          "onex_stalled_workers " \
-          "onex_wal_write_failed " \
-          "onex_watchdog_stalls_total " \
-          "onex_checkpoint_delta_bytes " \
-          "onex_delta_chain_length " \
-          "onex_replica_lag_seconds " \
-          "onex_replica_last_applied_seq", required, " ")
+    # Required families. Both process kinds carry the process gauges;
+    # data nodes add the stall/WAL/replication/GC signals (emitted on
+    # leaders AND followers — lag is -1 when not following), routers add
+    # the routing counters every operations dashboard keys on.
+    procs = "onex_process_uptime_seconds " \
+            "onex_process_resident_memory_bytes " \
+            "onex_process_open_fds " \
+            "onex_process_threads " \
+            "onex_process_cpu_user_seconds_total " \
+            "onex_process_cpu_sys_seconds_total"
+    if (mode == "router") {
+      split(procs " " \
+            "onex_router_requests_total " \
+            "onex_router_scatter_queries_total " \
+            "onex_router_failovers_total " \
+            "onex_router_cancel_fanout_total " \
+            "onex_router_upstream_requests_total " \
+            "onex_router_merge_latency_seconds " \
+            "onex_router_upstream_healthy " \
+            "onex_router_upstream_lag_seconds", required, " ")
+    } else {
+      split(procs " " \
+            "onex_stalled_workers " \
+            "onex_wal_write_failed " \
+            "onex_watchdog_stalls_total " \
+            "onex_checkpoint_delta_bytes " \
+            "onex_delta_chain_length " \
+            "onex_delta_gc_reclaimed_bytes " \
+            "onex_delta_gc_pending_artifacts " \
+            "onex_replica_lag_seconds " \
+            "onex_replica_last_applied_seq", required, " ")
+    }
     for (i in required) {
       if (!(required[i] in type)) {
         printf "check_metrics: missing required family %s\n", required[i]
@@ -114,6 +142,6 @@ awk '
     }
     if (bad) exit 1
     if (length(type) == 0) { print "check_metrics: empty input"; exit 1 }
-    printf "check_metrics: OK (%d families)\n", length(type)
+    printf "check_metrics: OK (%d families, %s mode)\n", length(type), mode
   }
 ' "${1:-/dev/stdin}"

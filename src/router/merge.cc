@@ -1,0 +1,174 @@
+#include "router/merge.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <variant>
+
+namespace onex {
+namespace router {
+
+namespace {
+
+bool HasPrefix(const std::string& line, const char* prefix) {
+  return line.rfind(prefix, 0) == 0;
+}
+
+/// True for the payload-row spellings of every final-block shape.
+bool IsPayloadRow(const std::string& line) {
+  return HasPrefix(line, "match ") || HasPrefix(line, "group ") ||
+         HasPrefix(line, "recommend ") || HasPrefix(line, "refine ");
+}
+
+uint64_t ParseCounter(const std::map<std::string, std::string>& kv,
+                      const char* key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+size_t MergeKeepLimit(const QueryRequest& request) {
+  if (std::holds_alternative<BestMatchRequest>(request)) return 1;
+  if (const auto* k = std::get_if<KSimilarRequest>(&request)) {
+    return k->k;
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+bool IsMatchShaped(const QueryRequest& request) {
+  return std::holds_alternative<BestMatchRequest>(request) ||
+         std::holds_alternative<KSimilarRequest>(request) ||
+         std::holds_alternative<RangeWithinRequest>(request);
+}
+
+double MatchRowDistance(const std::string& row) {
+  const auto kv = server::ParseKeyValues(row);
+  auto it = kv.find("distance");
+  if (it == kv.end()) return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return value;
+}
+
+std::vector<std::string> MergeMatchRows(
+    const std::vector<std::vector<std::string>>& per_leg_rows, size_t keep) {
+  struct Ranked {
+    double distance;
+    size_t leg;
+    size_t row;
+    const std::string* line;
+  };
+  std::vector<Ranked> ranked;
+  for (size_t leg = 0; leg < per_leg_rows.size(); ++leg) {
+    for (size_t row = 0; row < per_leg_rows[leg].size(); ++row) {
+      const std::string& line = per_leg_rows[leg][row];
+      ranked.push_back({MatchRowDistance(line), leg, row, &line});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.leg != b.leg) return a.leg < b.leg;
+              return a.row < b.row;
+            });
+  if (ranked.size() > keep) ranked.resize(keep);
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(*r.line);
+  return out;
+}
+
+void MergedStats::Absorb(const std::string& stats_line) {
+  const auto kv = server::ParseKeyValues(stats_line);
+  lengths_scanned += ParseCounter(kv, "lengths_scanned");
+  reps_compared += ParseCounter(kv, "reps_compared");
+  reps_pruned += ParseCounter(kv, "reps_pruned");
+  members_compared += ParseCounter(kv, "members_compared");
+  lemma2_admitted += ParseCounter(kv, "lemma2_admitted");
+}
+
+std::string MergedStats::Render() const {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "stats lengths_scanned=%" PRIu64 " reps_compared=%" PRIu64
+                " reps_pruned=%" PRIu64 " members_compared=%" PRIu64
+                " lemma2_admitted=%" PRIu64 "\n",
+                lengths_scanned, reps_compared, reps_pruned,
+                members_compared, lemma2_admitted);
+  return line;
+}
+
+void SplitFinalPayload(const std::vector<std::string>& payload,
+                       MergedStats* stats, std::vector<std::string>* rows,
+                       std::vector<std::string>* extra) {
+  for (const std::string& line : payload) {
+    if (HasPrefix(line, "stats ")) {
+      stats->Absorb(line);
+    } else if (IsPayloadRow(line)) {
+      rows->push_back(line);
+    } else {
+      extra->push_back(line);
+    }
+  }
+}
+
+const char* CountKeyForKind(const std::string& kind) {
+  if (kind == "Seasonal" || kind == server::kPartGroupToken) return "groups";
+  if (kind == "Recommend" || kind == "Refine" ||
+      kind == server::kPartRecToken) {
+    return "rows";
+  }
+  return "matches";
+}
+
+std::string RenderMergedFinal(const std::string& kind, uint64_t id,
+                              const std::vector<std::string>& rows,
+                              uint64_t latency_us, bool partial,
+                              const std::string& interrupt,
+                              const MergedStats& stats,
+                              const std::vector<std::string>& extra) {
+  std::string out = "OK " + kind;
+  if (id != 0) out += " id=" + std::to_string(id);
+  out += std::string(" ") + CountKeyForKind(kind) + "=" +
+         std::to_string(rows.size());
+  out += " latency_us=" + std::to_string(latency_us);
+  if (partial) out += " partial=1 interrupt=" + interrupt;
+  out += "\n";
+  out += stats.Render();
+  for (const std::string& line : extra) out += line + "\n";
+  for (const std::string& line : rows) out += line + "\n";
+  out += ".\n";
+  return out;
+}
+
+std::string RenderScatterPart(const std::string& kind, uint64_t id,
+                              uint64_t seq, double frac, bool snapshot,
+                              const std::vector<std::string>& rows) {
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                " id=%llu seq=%llu frac=%.3f snapshot=%d ",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(seq), frac,
+                snapshot ? 1 : 0);
+  std::string out = "PART " + kind + tail + CountKeyForKind(kind) + "=" +
+                    std::to_string(rows.size()) + "\n";
+  for (const std::string& line : rows) out += line + "\n";
+  out += ".\n";
+  return out;
+}
+
+uint64_t RemainingBudgetMs(uint64_t original_ms, uint64_t elapsed_ms) {
+  if (original_ms == 0) return 0;
+  if (elapsed_ms >= original_ms) return 1;
+  return original_ms - elapsed_ms;
+}
+
+}  // namespace router
+}  // namespace onex

@@ -1,0 +1,99 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Scatter-gather merge: turns the per-leg reply blocks of a scattered
+// query back into ONE coherent wire answer. Everything works at the
+// text level on purpose — the router re-ranks and re-frames payload
+// rows without re-deriving them, so a row that leaves an upstream
+// engine reaches the client byte-identical (modulo header re-tagging).
+//
+// Shape rules (mirrors the v4 typed-payload split):
+//   - match-shaped rows (q1/q1k/q1r) carry a `distance=` field and form
+//     one global ranking: merged by ascending distance, truncated to
+//     the query's k (1 for q1, k for q1k, unbounded for q1r).
+//   - GROUP/REC/refine rows have no global order across engines (group
+//     ids are engine-local): legs are concatenated in leg order.
+
+#ifndef ONEX_ROUTER_MERGE_H_
+#define ONEX_ROUTER_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace onex {
+namespace router {
+
+/// Rows the merged ranking keeps: 1 for q1, k for q1k, unbounded
+/// (SIZE_MAX) for every other query — q1r's within-threshold set and
+/// the concatenated shapes have no top-k to cut.
+size_t MergeKeepLimit(const QueryRequest& request);
+
+/// True when the query's payload rows are match-shaped (q1/q1k/q1r) and
+/// therefore re-rankable by distance across legs.
+bool IsMatchShaped(const QueryRequest& request);
+
+/// The `distance=` field of a match row; +inf when absent so malformed
+/// rows sort last instead of poisoning the ranking.
+double MatchRowDistance(const std::string& row);
+
+/// Re-ranks match rows from several legs into one list: ascending
+/// distance, ties broken by (leg index, arrival order) so the merge is
+/// deterministic, truncated to `keep`.
+std::vector<std::string> MergeMatchRows(
+    const std::vector<std::vector<std::string>>& per_leg_rows, size_t keep);
+
+/// The five pruning-cascade counters of the final block's stats line,
+/// summed across legs — the client sees the total work the scatter did.
+struct MergedStats {
+  uint64_t lengths_scanned = 0;
+  uint64_t reps_compared = 0;
+  uint64_t reps_pruned = 0;
+  uint64_t members_compared = 0;
+  uint64_t lemma2_admitted = 0;
+
+  /// Adds one leg's `stats ...` payload line into the totals.
+  void Absorb(const std::string& stats_line);
+  /// Renders the summed line in the server's exact format.
+  std::string Render() const;
+};
+
+/// Splits one leg's final-block payload: the stats line is absorbed
+/// into *stats, payload rows (match/group/recommend/refine) append to
+/// *rows, anything else (TRACE lines) appends to *extra.
+void SplitFinalPayload(const std::vector<std::string>& payload,
+                       MergedStats* stats, std::vector<std::string>* rows,
+                       std::vector<std::string>* extra);
+
+/// The header count key matching a kind token ("matches" for the
+/// match-shaped kinds, "groups" for Seasonal, "rows" otherwise).
+const char* CountKeyForKind(const std::string& kind);
+
+/// Renders the merged final block in the server's exact final-block
+/// grammar: header, summed stats line, extra (TRACE) lines, rows,
+/// terminator. `latency_us` is router-measured (admission to merge).
+std::string RenderMergedFinal(const std::string& kind, uint64_t id,
+                              const std::vector<std::string>& rows,
+                              uint64_t latency_us, bool partial,
+                              const std::string& interrupt,
+                              const MergedStats& stats,
+                              const std::vector<std::string>& extra);
+
+/// Renders one merged PART frame with the CLIENT's id and the router's
+/// own seq/frac. Scattered GROUP/REC frames must pass snapshot=false:
+/// the merged stream interleaves legs, so no frame is ever a full
+/// snapshot of the combined answer.
+std::string RenderScatterPart(const std::string& kind, uint64_t id,
+                              uint64_t seq, double frac, bool snapshot,
+                              const std::vector<std::string>& rows);
+
+/// Deadline budget left for a (re-)submitted upstream leg after
+/// `elapsed_ms` of the client's `original_ms` budget. 0 stays 0
+/// (unbounded); an exhausted budget clamps to 1ms so the upstream
+/// bounces promptly with DEADLINE_EXCEEDED instead of running free.
+uint64_t RemainingBudgetMs(uint64_t original_ms, uint64_t elapsed_ms);
+
+}  // namespace router
+}  // namespace onex
+
+#endif  // ONEX_ROUTER_MERGE_H_

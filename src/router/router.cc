@@ -1,0 +1,805 @@
+#include "router/router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "router/merge.h"
+#include "server/socket_io.h"
+
+namespace onex {
+namespace router {
+
+namespace {
+
+constexpr size_t kMaxRequestLine = size_t{1} << 20;
+
+uint64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+double HeaderDouble(const std::map<std::string, std::string>& header,
+                    const char* key, double fallback) {
+  auto it = header.find(key);
+  if (it == header.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string HeaderString(const std::map<std::string, std::string>& header,
+                         const char* key) {
+  auto it = header.find(key);
+  return it == header.end() ? std::string() : it->second;
+}
+
+/// Re-renders a relayed (write-path) reply block. The header map lost
+/// the original key order, so the known write-verb orders are spelled
+/// out; anything else falls back to map order.
+std::string RenderRelay(const server::WireResponse& reply) {
+  if (!reply.ok) return server::RenderErrorBlock(reply.code, reply.message);
+  std::string out = "OK " + reply.kind;
+  auto emit = [&](const char* key) {
+    auto it = reply.header.find(key);
+    if (it != reply.header.end()) {
+      out += std::string(" ") + key + "=" + it->second;
+    }
+  };
+  if (reply.kind == "Append") {
+    emit("series");
+    emit("total");
+    emit("durable");
+  } else if (reply.kind == "Flush") {
+    emit("dataset");
+  } else {
+    for (const auto& [key, value] : reply.header) {
+      out += " " + key + "=" + value;
+    }
+  }
+  out += "\n";
+  for (const std::string& row : reply.payload) out += row + "\n";
+  return out + ".\n";
+}
+
+}  // namespace
+
+// One downstream client connection. The write mutex serializes whole
+// blocks onto the socket: inline replies (session thread), merged PART
+// frames (upstream demux threads), and merged finals (op threads) all
+// interleave block-at-a-time, never mid-block.
+struct Router::Session {
+  explicit Session(int fd) : fd(fd) {}
+
+  void Send(const std::string& block) {
+    MutexLock lock(write_mutex);
+    server::SendAll(fd, block);
+  }
+
+  const int fd;
+  Mutex write_mutex{LockRank::kSessionWrite, "router.session.write_mutex"};
+
+  Mutex mutex{LockRank::kSessionState, "router.session.mutex"};
+  /// `use` binding: an exact name or a shard-set spec.
+  std::string bound GUARDED_BY(mutex);
+  /// In-flight tagged scattered queries, by client id (CANCEL routing).
+  std::map<uint64_t, std::shared_ptr<ScatterOp>> ops GUARDED_BY(mutex);
+
+  // Write-forwarding state; session-thread-only, so unguarded. The
+  // connection is blocking and NEVER auto-reconnects: a write whose
+  // connection died has unknowable fate and must not be retried.
+  std::optional<server::Client> write_client;
+  size_t write_upstream = static_cast<size_t>(-1);
+  std::string write_dataset;
+
+  /// Coordinator threads of this session's tagged queries; joined when
+  /// the session ends.
+  std::vector<std::thread> op_threads;
+};
+
+// The merge state machine of one (possibly scattered) query.
+struct Router::ScatterOp {
+  std::shared_ptr<Session> session;
+  uint64_t client_id = 0;
+  bool match_shaped = false;
+  size_t keep = 0;
+  bool progress = false;
+  std::chrono::steady_clock::time_point started;
+
+  struct LegResult {
+    bool finished = false;
+    Status error = Status::OK();  ///< Transport failure when !ok().
+    server::WireResponse final;   ///< Valid when finished && error.ok().
+  };
+
+  Mutex mutex{LockRank::kRouterMerge, "router.op.mutex"};
+  uint64_t seq GUARDED_BY(mutex) = 0;
+  bool cancelled GUARDED_BY(mutex) = false;
+  /// Latest match-shaped snapshot per leg (re-ranked on every frame).
+  std::vector<std::vector<std::string>> leg_rows GUARDED_BY(mutex);
+  std::vector<double> leg_frac GUARDED_BY(mutex);
+  /// Current upstream handle per leg, for CANCEL fan-out (replaced on
+  /// failover re-submit).
+  std::vector<server::Client::Handle> leg_handles GUARDED_BY(mutex);
+  std::vector<LegResult> results GUARDED_BY(mutex);
+};
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      table_(options_.upstreams),
+      metrics_(options_.upstreams.size()),
+      pool_(options_.pool, &table_) {}
+
+Result<std::unique_ptr<Router>> Router::Start(RouterOptions options) {
+  std::unique_ptr<Router> router(new Router(std::move(options)));
+  const Status listening = router->Listen();
+  if (!listening.ok()) return listening;
+  router->pool_.Start();
+  router->accept_thread_ = std::thread([r = router.get()] { r->AcceptLoop(); });
+  return router;
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+void Router::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+
+  // 1. No new connections.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Unblock session reads.
+  {
+    MutexLock lock(sessions_mutex_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  // 3. Tear down the upstream pool: probes stop, query links close, so
+  //    any leg still blocked in Wait() fails out and its op finishes.
+  pool_.Stop();
+
+  // 4. Sessions (and the op threads they join) can now run out.
+  std::vector<SessionThread> to_join;
+  {
+    MutexLock lock(sessions_mutex_);
+    to_join.swap(session_threads_);
+  }
+  for (SessionThread& session : to_join) {
+    if (session.thread.joinable()) session.thread.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Router::AcceptLoop() {
+  while (!stop_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    MutexLock lock(sessions_mutex_);
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    for (auto it = session_threads_.begin(); it != session_threads_.end();) {
+      if (it->done->load()) {
+        if (it->thread.joinable()) it->thread.join();
+        it = session_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    session_fds_.push_back(fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    session_threads_.push_back({std::thread([this, fd, done] {
+                                  SessionLoop(fd);
+                                  done->store(true);
+                                }),
+                                done});
+  }
+}
+
+void Router::SessionLoop(int fd) {
+  auto session = std::make_shared<Session>(fd);
+  session->Send(server::Greeting());
+
+  server::SocketLineReader reader(fd, kMaxRequestLine);
+  std::string line;
+  while (!stop_.load() && reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    server::RequestAttrs attrs;
+    auto parsed = server::ParseRequestLine(line, &attrs);
+    if (!parsed.ok()) {
+      session->Send(server::RenderError(parsed.status(), attrs.id));
+      continue;
+    }
+
+    if (const auto* control =
+            std::get_if<server::ControlRequest>(&parsed.value())) {
+      bool quit = false;
+      switch (control->verb) {
+        case server::ControlVerb::kUse: {
+          const std::string& spec = control->argument;
+          const auto names = table_.Expand(spec);
+          if (names.empty()) {
+            session->Send(server::RenderError(Status::NotFound(
+                "no upstream serves '" + spec + "'")));
+            break;
+          }
+          {
+            MutexLock lock(session->mutex);
+            session->bound = spec;
+          }
+          session->Send("OK Use dataset=" + spec +
+                        " datasets=" + std::to_string(names.size()) +
+                        "\n.\n");
+          break;
+        }
+        case server::ControlVerb::kList:
+          session->Send(RenderRouterList());
+          break;
+        case server::ControlVerb::kStats:
+          session->Send(server::RenderErrorBlock(
+              "NOT_SUPPORTED",
+              "stats is node-local — connect to an upstream directly"));
+          break;
+        case server::ControlVerb::kPing:
+          session->Send("OK Pong\n.\n");
+          break;
+        case server::ControlVerb::kHelp:
+          session->Send(server::RenderHelp());
+          break;
+        case server::ControlVerb::kQuit:
+          session->Send("OK Bye\n.\n");
+          quit = true;
+          break;
+        case server::ControlVerb::kFlush:
+          ForwardWrite(session, line, "flush");
+          break;
+        case server::ControlVerb::kCancel: {
+          if (control->argument.find('/') != std::string::npos) {
+            session->Send(server::RenderErrorBlock(
+                "NOT_SUPPORTED",
+                "admin cancel is node-local — connect to the node"));
+            break;
+          }
+          CancelOp(session,
+                   std::strtoull(control->argument.c_str(), nullptr, 10));
+          break;
+        }
+        case server::ControlVerb::kMetrics:
+          session->Send("OK Metrics\n" +
+                        metrics_.RenderPrometheus(table_.Snapshot()) + ".\n");
+          break;
+        case server::ControlVerb::kInspect:
+          session->Send(RenderRouterInspect());
+          break;
+        case server::ControlVerb::kHealth:
+          session->Send(RenderRouterHealth());
+          break;
+        case server::ControlVerb::kManifest:
+        case server::ControlVerb::kFetch:
+          session->Send(server::RenderErrorBlock(
+              "NOT_SUPPORTED",
+              "replication verbs bypass the router — fetch from the "
+              "leader directly"));
+          break;
+      }
+      if (quit) break;
+      continue;
+    }
+
+    if (std::get_if<server::AppendRequest>(&parsed.value()) != nullptr) {
+      ForwardWrite(session, line, "append");
+      continue;
+    }
+
+    // Query path: resolve the target spec, expand, scatter.
+    const auto& query = std::get<QueryRequest>(parsed.value());
+    metrics_.RecordRequest();
+    std::string spec = attrs.dataset;
+    if (spec.empty()) {
+      MutexLock lock(session->mutex);
+      spec = session->bound;
+    }
+    if (spec.empty()) {
+      session->Send(server::RenderErrorBlock(
+          server::kNoDatasetCode,
+          "no dataset bound — send 'use <name>' or a dataset= attribute",
+          attrs.id));
+      continue;
+    }
+    auto datasets = table_.Expand(spec);
+    if (datasets.empty()) {
+      session->Send(server::RenderError(
+          Status::NotFound("no upstream serves '" + spec + "'"), attrs.id));
+      continue;
+    }
+    if (datasets.size() > 1) metrics_.RecordScatter(datasets.size());
+
+    if (attrs.id != 0) {
+      auto op = std::make_shared<ScatterOp>();
+      op->session = session;
+      op->client_id = attrs.id;
+      op->match_shaped = IsMatchShaped(query);
+      op->keep = MergeKeepLimit(query);
+      op->progress = attrs.progress;
+      op->started = std::chrono::steady_clock::now();
+      {
+        MutexLock lock(op->mutex);
+        op->leg_rows.resize(datasets.size());
+        op->leg_frac.assign(datasets.size(), 0.0);
+        op->leg_handles.resize(datasets.size());
+        op->results.resize(datasets.size());
+      }
+      bool duplicate = false;
+      {
+        MutexLock lock(session->mutex);
+        duplicate = !session->ops.emplace(attrs.id, op).second;
+      }
+      if (duplicate) {
+        session->Send(server::RenderErrorBlock(
+            "INVALID_ARGUMENT",
+            "id " + std::to_string(attrs.id) + " is already in flight",
+            attrs.id));
+        continue;
+      }
+      // Tagged: run on a coordinator thread so this session thread can
+      // keep reading (CANCEL must be able to overtake the query).
+      session->op_threads.emplace_back(
+          [this, session, op, query, attrs, datasets]() mutable {
+            RunScatter(session, query, attrs, std::move(datasets));
+            MutexLock lock(session->mutex);
+            session->ops.erase(attrs.id);
+          });
+      // RunScatter reads op state through session->ops; hand the op
+      // over via the registry rather than re-creating it there.
+      continue;
+    }
+    // Untagged: strictly ordered replies — run inline.
+    RunScatter(session, query, attrs, std::move(datasets));
+  }
+
+  for (std::thread& op_thread : session->op_threads) {
+    if (op_thread.joinable()) op_thread.join();
+  }
+  if (session->write_client.has_value()) session->write_client->Close();
+  {
+    MutexLock lock(sessions_mutex_);
+    for (auto it = session_fds_.begin(); it != session_fds_.end(); ++it) {
+      if (*it == fd) {
+        session_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void Router::RunScatter(std::shared_ptr<Session> session,
+                        QueryRequest request,
+                        server::RequestAttrs attrs,
+                        std::vector<std::string> datasets) {
+  std::shared_ptr<ScatterOp> op;
+  if (attrs.id != 0) {
+    MutexLock lock(session->mutex);
+    op = session->ops[attrs.id];
+  }
+  if (op == nullptr) {
+    // Untagged path: the op was not registered (no CANCEL can target
+    // it), so build it here.
+    op = std::make_shared<ScatterOp>();
+    op->session = session;
+    op->client_id = attrs.id;
+    op->match_shaped = IsMatchShaped(request);
+    op->keep = MergeKeepLimit(request);
+    op->progress = attrs.progress;
+    op->started = std::chrono::steady_clock::now();
+    MutexLock lock(op->mutex);
+    op->leg_rows.resize(datasets.size());
+    op->leg_frac.assign(datasets.size(), 0.0);
+    op->leg_handles.resize(datasets.size());
+    op->results.resize(datasets.size());
+  }
+
+  std::vector<std::thread> legs;
+  legs.reserve(datasets.size());
+  for (size_t leg = 0; leg < datasets.size(); ++leg) {
+    legs.emplace_back([this, op, leg, dataset = datasets[leg], &request,
+                       &attrs] { RunLeg(op, leg, dataset, request, attrs); });
+  }
+  for (std::thread& leg : legs) leg.join();
+
+  // All legs are finished; the upstream servers send the final block
+  // after the last PART frame of an id, so no demux callback touches
+  // the op anymore and the merge below sees quiescent state.
+  const uint64_t latency_us = ElapsedMs(op->started) * 1000;
+  metrics_.RecordMergeLatency(static_cast<double>(latency_us) / 1e6);
+
+  MergedStats stats;
+  std::vector<std::vector<std::string>> leg_final_rows(datasets.size());
+  std::vector<std::string> extra;
+  std::string kind;
+  std::string interrupt;
+  bool any_partial = false;
+  bool any_transport_failure = false;
+  Status failure = Status::OK();
+  const server::WireResponse* app_error = nullptr;
+  size_t successes = 0;
+  MutexLock lock(op->mutex);
+  for (size_t leg = 0; leg < op->results.size(); ++leg) {
+    const ScatterOp::LegResult& result = op->results[leg];
+    if (!result.error.ok()) {
+      any_transport_failure = true;
+      failure = result.error;
+      continue;
+    }
+    if (!result.final.ok) {
+      if (app_error == nullptr) app_error = &result.final;
+      continue;
+    }
+    ++successes;
+    if (kind.empty()) kind = result.final.kind;
+    SplitFinalPayload(result.final.payload, &stats, &leg_final_rows[leg],
+                      &extra);
+    if (result.final.partial()) {
+      any_partial = true;
+      if (interrupt.empty()) {
+        interrupt = HeaderString(result.final.header, "interrupt");
+      }
+    }
+  }
+
+  if (app_error != nullptr) {
+    // An upstream understood the query and refused it (bad arguments,
+    // unknown dataset): deterministic on every replica, so propagate.
+    session->Send(server::RenderErrorBlock(app_error->code,
+                                           app_error->message, attrs.id));
+    return;
+  }
+  if (successes == 0) {
+    if (failure.ok()) failure = Status::IOError("every leg failed");
+    session->Send(server::RenderError(failure, attrs.id));
+    return;
+  }
+  if (any_transport_failure) {
+    // Partial coverage: some shards answered, some had no live replica
+    // left. Same contract as a deadline-clipped single-node answer.
+    any_partial = true;
+    if (interrupt.empty()) interrupt = server::WireCode(failure.code());
+  }
+  if (any_partial && interrupt.empty()) {
+    interrupt = server::WireCode(Status::Code::kDeadlineExceeded);
+  }
+
+  std::vector<std::string> rows;
+  if (op->match_shaped) {
+    rows = MergeMatchRows(leg_final_rows, op->keep);
+  } else {
+    for (const auto& leg_rows : leg_final_rows) {
+      rows.insert(rows.end(), leg_rows.begin(), leg_rows.end());
+    }
+  }
+  session->Send(RenderMergedFinal(kind, attrs.id, rows, latency_us,
+                                  any_partial, interrupt, stats, extra));
+}
+
+void Router::RunLeg(std::shared_ptr<ScatterOp> op, size_t leg,
+                    std::string dataset,
+                    const QueryRequest& request,
+                    const server::RequestAttrs& attrs) {
+  std::vector<size_t> tried;
+  Status last =
+      Status::IOError("no ready upstream serves '" + dataset + "'");
+  for (int attempt = 0; attempt <= options_.max_failovers; ++attempt) {
+    {
+      MutexLock lock(op->mutex);
+      if (op->cancelled) {
+        last = Status::Cancelled("cancelled before leg could run");
+        break;
+      }
+    }
+    if (attempt > 0) metrics_.RecordFailover();
+    const auto pick = table_.PickRead(dataset, tried);
+    if (!pick.has_value()) break;
+    const size_t idx = pick.value();
+    tried.push_back(idx);
+
+    auto link = pool_.QueryLink(idx);
+    if (!link.ok()) {
+      last = link.status();
+      continue;
+    }
+    std::shared_ptr<server::Client> client = link.value();
+    metrics_.RecordUpstreamRequest(
+        idx, table_.Snapshot()[idx].health.follower);
+
+    server::Client::SubmitOptions submit;
+    submit.deadline_ms =
+        RemainingBudgetMs(attrs.deadline_ms, ElapsedMs(op->started));
+    submit.trace = attrs.trace;
+    submit.dataset = dataset;
+    if (attrs.progress) {
+      submit.on_progress = [op, leg](const server::WireResponse& part) {
+        OnLegPart(op, leg, part);
+      };
+    }
+    auto submitted = client->Submit(request, submit);
+    if (!submitted.ok()) {
+      pool_.DropLink(idx, client.get());
+      last = submitted.status();
+      continue;
+    }
+    bool was_cancelled = false;
+    {
+      MutexLock lock(op->mutex);
+      op->leg_handles[leg] = submitted.value();
+      was_cancelled = op->cancelled;
+    }
+    // Cancel raced the re-submit: the fan-out missed this handle, so
+    // deliver it ourselves (idempotent server-side).
+    if (was_cancelled) submitted.value().Cancel();
+
+    auto final = submitted.value().Wait();
+    if (final.ok()) {
+      MutexLock lock(op->mutex);
+      op->results[leg].finished = true;
+      op->results[leg].final = std::move(final).value();
+      return;
+    }
+    // Transport death with the client's own reconnects exhausted: drop
+    // the link and fail over to the next untried replica.
+    pool_.DropLink(idx, client.get());
+    last = final.status();
+  }
+  MutexLock lock(op->mutex);
+  op->results[leg].finished = true;
+  op->results[leg].error = last;
+}
+
+void Router::OnLegPart(const std::shared_ptr<ScatterOp>& op, size_t leg,
+                       const server::WireResponse& part) {
+  MutexLock lock(op->mutex);
+  if (leg >= op->leg_frac.size()) return;
+  op->leg_frac[leg] = HeaderDouble(part.header, "frac", op->leg_frac[leg]);
+  double frac_sum = 0.0;
+  for (const double frac : op->leg_frac) frac_sum += frac;
+  const double merged_frac =
+      op->leg_frac.empty() ? 0.0
+                           : frac_sum / static_cast<double>(
+                                            op->leg_frac.size());
+  const bool snapshot = HeaderString(part.header, "snapshot") == "1";
+  std::string frame;
+  if (op->match_shaped && snapshot) {
+    // Best-so-far snapshot stream (q1/q1k): replace this leg's rows and
+    // re-rank the union into one merged top-k snapshot.
+    op->leg_rows[leg] = part.payload;
+    frame = RenderScatterPart(part.kind, op->client_id, op->seq++,
+                              merged_frac, /*snapshot=*/true,
+                              MergeMatchRows(op->leg_rows, op->keep));
+  } else {
+    // Incremental streams (q1r matches, GROUP, REC): interleave by
+    // origin. Never a snapshot downstream — no single frame covers the
+    // whole scattered answer.
+    if (part.payload.empty()) return;
+    frame = RenderScatterPart(part.kind, op->client_id, op->seq++,
+                              merged_frac, /*snapshot=*/false, part.payload);
+  }
+  // Sent under op->mutex so downstream seq numbers are monotone on the
+  // wire (merge rank 48 < session-write rank 52).
+  op->session->Send(frame);
+}
+
+void Router::ForwardWrite(const std::shared_ptr<Session>& session,
+                          const std::string& raw_line,
+                          const std::string& verb) {
+  std::string dataset;
+  {
+    MutexLock lock(session->mutex);
+    dataset = session->bound;
+  }
+  if (dataset.empty()) {
+    session->Send(server::RenderErrorBlock(
+        server::kNoDatasetCode,
+        "no dataset bound — send 'use <name>' first"));
+    return;
+  }
+  if (IsShardSet(dataset)) {
+    session->Send(server::RenderErrorBlock(
+        "INVALID_ARGUMENT", "writes need an exact dataset — '" + dataset +
+                                "' is a shard-set"));
+    return;
+  }
+  const auto pick = table_.PickWrite(dataset);
+  if (!pick.has_value()) {
+    session->Send(server::RenderError(
+        Status::IOError("no ready leader serves '" + dataset + "'")));
+    return;
+  }
+  const size_t idx = pick.value();
+
+  if (!session->write_client.has_value() ||
+      session->write_upstream != idx || session->write_dataset != dataset) {
+    if (session->write_client.has_value()) {
+      session->write_client->Close();
+      session->write_client.reset();
+    }
+    const UpstreamConfig config = table_.Snapshot()[idx].config;
+    server::ClientOptions client_options;
+    client_options.connect_timeout_ms = options_.pool.connect_timeout_ms;
+    client_options.io_timeout_ms = options_.pool.io_timeout_ms;
+    auto dialed =
+        server::Client::Connect(config.host, config.port, client_options);
+    if (!dialed.ok()) {
+      session->Send(server::RenderError(dialed.status()));
+      return;
+    }
+    session->write_client.emplace(std::move(dialed).value());
+    auto bound = session->write_client->Roundtrip("use " + dataset);
+    if (!bound.ok() || !bound.value().ok) {
+      const std::string detail =
+          bound.ok() ? bound.value().code + " " + bound.value().message
+                     : bound.status().message();
+      session->write_client->Close();
+      session->write_client.reset();
+      session->Send(server::RenderError(Status::IOError(
+          "binding '" + dataset + "' on the leader failed: " + detail)));
+      return;
+    }
+    session->write_upstream = idx;
+    session->write_dataset = dataset;
+  }
+
+  metrics_.RecordUpstreamRequest(idx, /*follower=*/false);
+  auto reply = session->write_client->Roundtrip(raw_line);
+  if (!reply.ok()) {
+    // The write's fate is unknown — never retried. Surface and re-dial
+    // on the NEXT write.
+    session->write_client->Close();
+    session->write_client.reset();
+    session->Send(server::RenderError(Status::IOError(
+        verb + " to the leader failed: " + reply.status().message())));
+    return;
+  }
+  session->Send(RenderRelay(reply.value()));
+}
+
+void Router::CancelOp(const std::shared_ptr<Session>& session, uint64_t id) {
+  std::shared_ptr<ScatterOp> op;
+  {
+    MutexLock lock(session->mutex);
+    auto it = session->ops.find(id);
+    if (it != session->ops.end()) op = it->second;
+  }
+  if (op == nullptr) {
+    session->Send(server::RenderErrorBlock(
+        "NOT_FOUND",
+        "query id=" + std::to_string(id) + " is not in flight"));
+    return;
+  }
+  std::vector<server::Client::Handle> handles;
+  {
+    MutexLock lock(op->mutex);
+    op->cancelled = true;
+    handles = op->leg_handles;
+  }
+  size_t fanned = 0;
+  for (server::Client::Handle& handle : handles) {
+    if (handle.id() == 0) continue;
+    handle.Cancel();  // NotFound = that leg already finished; fine.
+    ++fanned;
+  }
+  metrics_.RecordCancelFanout(fanned);
+  session->Send("OK Cancel id=" + std::to_string(id) + "\n.\n");
+}
+
+std::string Router::RenderRouterHealth() const {
+  const auto upstreams = table_.Snapshot();
+  bool any_ready = false;
+  for (const UpstreamSnapshot& up : upstreams) {
+    if (up.health.ready) any_ready = true;
+  }
+  std::string reply = std::string("OK Health live=1 ready=") +
+                      (any_ready ? "1" : "0") + "\n";
+  for (const UpstreamSnapshot& up : upstreams) {
+    char lag[32];
+    std::snprintf(lag, sizeof(lag), "%.3f", up.health.replica_lag_s);
+    reply += std::string("check name=upstream ok=") +
+             (up.health.ready ? "1" : "0") + " address=" +
+             up.config.address() + " role=" +
+             (!up.health.reachable ? "unknown"
+              : up.health.follower ? "follower"
+                                   : "leader") +
+             " lag_s=" + lag + "\n";
+  }
+  return reply + ".\n";
+}
+
+std::string Router::RenderRouterInspect() const {
+  const auto upstreams = table_.Snapshot();
+  size_t sessions = 0;
+  {
+    MutexLock lock(sessions_mutex_);
+    sessions = session_fds_.size();
+  }
+  std::string reply = "OK Inspect sessions=" + std::to_string(sessions) +
+                      " upstreams=" + std::to_string(upstreams.size()) +
+                      "\n";
+  for (const UpstreamSnapshot& up : upstreams) {
+    char lag[32];
+    std::snprintf(lag, sizeof(lag), "%.3f", up.health.replica_lag_s);
+    reply += "upstream address=" + up.config.address() +
+             " reachable=" + (up.health.reachable ? "1" : "0") +
+             " ready=" + (up.health.ready ? "1" : "0") +
+             " follower=" + (up.health.follower ? "1" : "0") +
+             " lag_s=" + lag +
+             " datasets=" + std::to_string(up.datasets.size());
+    if (!up.health.error.empty()) reply += " error=" + up.health.error;
+    reply += "\n";
+  }
+  return reply + ".\n";
+}
+
+std::string Router::RenderRouterList() const {
+  const auto upstreams = table_.Snapshot();
+  std::map<std::string, size_t> serving;
+  for (const UpstreamSnapshot& up : upstreams) {
+    for (const std::string& dataset : up.datasets) ++serving[dataset];
+  }
+  std::string reply =
+      "OK List datasets=" + std::to_string(serving.size()) + "\n";
+  for (const auto& [name, count] : serving) {
+    reply += "dataset name=" + name +
+             " upstreams=" + std::to_string(count) + "\n";
+  }
+  return reply + ".\n";
+}
+
+}  // namespace router
+}  // namespace onex

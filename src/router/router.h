@@ -1,0 +1,135 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// onex_router: the scatter-gather front door of a replicated ONEX
+// deployment. Speaks the ONEX wire protocol downstream (clients connect
+// to it exactly as they would to a server) and upstream (it is itself a
+// client of every configured leader/follower node).
+//
+// What it adds over a plain node:
+//   - replica-aware reads: queries go to the lowest-lag READY follower
+//     serving the dataset, with leader fallback; APPEND/FLUSH always go
+//     to the leader.
+//   - shard-set addressing: `dataset=sales-*` (or `use sales-*`)
+//     scatters one query across every matching upstream dataset and
+//     gathers the legs into one coherent progressive answer with one
+//     final block (match rows re-ranked by distance into a single
+//     top-k; GROUP/REC frames interleaved by origin).
+//   - mid-query failover: a leg whose upstream dies (transport error
+//     after the client's own reconnects are exhausted) is re-submitted
+//     to another replica with the deadline budget that remains.
+//     Re-submits are idempotent — tagged queries are read-only by
+//     grammar. Writes are NEVER auto-retried.
+//
+// Concurrency model: one session thread per downstream client (reads
+// lines, answers control verbs inline), one coordinator thread per
+// tagged scattered query (so CANCEL can overtake it on the session
+// thread), one leg thread per upstream dataset of a scattered query,
+// plus each upstream link's demux reader delivering PART frames into
+// the per-query merge state machine. Lock order: routing table (44) <
+// upstream pool (46) < merge op (48) < session write (52) < client
+// locks (70+).
+
+#ifndef ONEX_ROUTER_ROUTER_H_
+#define ONEX_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/router_metrics.h"
+#include "router/routing_table.h"
+#include "router/upstream.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace onex {
+namespace router {
+
+struct RouterOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral (tests read port()).
+  std::vector<UpstreamConfig> upstreams;
+  UpstreamPoolOptions pool;
+  /// Re-submit attempts per leg after the first transport failure.
+  int max_failovers = 2;
+};
+
+class Router {
+ public:
+  /// Binds, probes every upstream once (so the first client sees a
+  /// populated routing table), and starts the accept loop.
+  static Result<std::unique_ptr<Router>> Start(RouterOptions options);
+  ~Router();
+
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // Test and introspection access.
+  RoutingTable& table() { return table_; }
+  RouterMetrics& metrics() { return metrics_; }
+  UpstreamPool& pool() { return pool_; }
+
+ private:
+  struct Session;
+  struct ScatterOp;
+
+  explicit Router(RouterOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void SessionLoop(int fd);
+
+  /// Runs one (possibly scattered) query to its merged final block.
+  /// Blocks until done — tagged queries run it on a per-op thread.
+  void RunScatter(std::shared_ptr<Session> session,
+                  QueryRequest request, server::RequestAttrs attrs,
+                  std::vector<std::string> datasets);
+  /// One upstream leg: pick replica, submit, wait; on transport failure
+  /// fail over to the next untried replica with the remaining budget.
+  void RunLeg(std::shared_ptr<ScatterOp> op, size_t leg,
+              std::string dataset, const QueryRequest& request,
+              const server::RequestAttrs& attrs);
+  /// Demux-thread PART delivery into the merge state machine.
+  static void OnLegPart(const std::shared_ptr<ScatterOp>& op, size_t leg,
+                        const server::WireResponse& part);
+
+  /// Forwards APPEND/FLUSH to the leader over the session's dedicated
+  /// blocking write connection (dialed and `use`-bound on demand).
+  void ForwardWrite(const std::shared_ptr<Session>& session,
+                    const std::string& raw_line, const std::string& verb);
+  /// Fans a downstream CANCEL out to every leg of the op.
+  void CancelOp(const std::shared_ptr<Session>& session, uint64_t id);
+
+  std::string RenderRouterHealth() const;
+  std::string RenderRouterInspect() const;
+  std::string RenderRouterList() const;
+
+  const RouterOptions options_;
+  RoutingTable table_;
+  RouterMetrics metrics_;
+  UpstreamPool pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  struct SessionThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  mutable Mutex sessions_mutex_{LockRank::kServerSessions,
+                                "router.sessions_mutex"};
+  std::vector<SessionThread> session_threads_ GUARDED_BY(sessions_mutex_);
+  std::vector<int> session_fds_ GUARDED_BY(sessions_mutex_);
+};
+
+}  // namespace router
+}  // namespace onex
+
+#endif  // ONEX_ROUTER_ROUTER_H_

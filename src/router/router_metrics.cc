@@ -1,0 +1,220 @@
+#include "router/router_metrics.h"
+
+#include <cstdio>
+
+#include "util/process_stats.h"
+
+namespace onex {
+namespace router {
+
+namespace {
+
+// Local copies of the exposition helpers (the server's live in an
+// anonymous namespace on purpose — the formats below must stay lintable
+// by scripts/check_metrics.sh, which is the real shared contract).
+
+void Preamble(std::string* out, const char* name, const char* type,
+              const char* help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void SimpleCounter(std::string* out, const char* name, const char* help,
+                   uint64_t value) {
+  Preamble(out, name, "counter", help);
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  *out += line;
+}
+
+void GaugeLine(std::string* out, const char* name, const char* help,
+               double value) {
+  Preamble(out, name, "gauge", help);
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %.9g\n", name, value);
+  *out += line;
+}
+
+void HistogramFamily(std::string* out, const char* name, const char* help,
+                     const server::LatencyHistogram& histogram) {
+  Preamble(out, name, "histogram", help);
+  char line[160];
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < server::LatencyHistogram::kBuckets; ++i) {
+    const uint64_t in_bucket = histogram.bucket_count(i);
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n", name,
+                  server::LatencyHistogram::UpperBound(i),
+                  static_cast<unsigned long long>(cumulative));
+    *out += line;
+  }
+  std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n", name,
+                static_cast<unsigned long long>(histogram.count()));
+  *out += line;
+  std::snprintf(line, sizeof(line), "%s_sum %.9g\n", name,
+                histogram.total_seconds());
+  *out += line;
+  std::snprintf(line, sizeof(line), "%s_count %llu\n", name,
+                static_cast<unsigned long long>(histogram.count()));
+  *out += line;
+}
+
+}  // namespace
+
+RouterMetrics::RouterMetrics(size_t num_upstreams) {
+  MutexLock lock(mutex_);
+  upstream_.resize(num_upstreams);
+}
+
+void RouterMetrics::RecordRequest() {
+  MutexLock lock(mutex_);
+  ++requests_;
+}
+
+void RouterMetrics::RecordScatter(size_t legs) {
+  MutexLock lock(mutex_);
+  ++scatter_queries_;
+  scatter_legs_ += legs;
+}
+
+void RouterMetrics::RecordUpstreamRequest(size_t i, bool follower) {
+  MutexLock lock(mutex_);
+  if (i >= upstream_.size()) return;
+  if (follower) {
+    ++upstream_[i].follower_requests;
+  } else {
+    ++upstream_[i].leader_requests;
+  }
+}
+
+void RouterMetrics::RecordFailover() {
+  MutexLock lock(mutex_);
+  ++failovers_;
+}
+
+void RouterMetrics::RecordCancelFanout(size_t legs) {
+  MutexLock lock(mutex_);
+  cancel_fanout_ += legs;
+}
+
+void RouterMetrics::RecordMergeLatency(double seconds) {
+  MutexLock lock(mutex_);
+  merge_latency_.Record(seconds);
+}
+
+uint64_t RouterMetrics::requests() const {
+  MutexLock lock(mutex_);
+  return requests_;
+}
+
+uint64_t RouterMetrics::failovers() const {
+  MutexLock lock(mutex_);
+  return failovers_;
+}
+
+uint64_t RouterMetrics::upstream_requests(size_t i, bool follower) const {
+  MutexLock lock(mutex_);
+  if (i >= upstream_.size()) return 0;
+  return follower ? upstream_[i].follower_requests
+                  : upstream_[i].leader_requests;
+}
+
+std::string RouterMetrics::RenderPrometheus(
+    const std::vector<UpstreamSnapshot>& upstreams) const {
+  std::string out;
+  out.reserve(4096);
+  char line[256];
+  MutexLock lock(mutex_);
+
+  SimpleCounter(&out, "onex_router_requests_total",
+                "Downstream queries admitted for routing.", requests_);
+  SimpleCounter(&out, "onex_router_scatter_queries_total",
+                "Queries scattered over more than one upstream dataset.",
+                scatter_queries_);
+  SimpleCounter(&out, "onex_router_failovers_total",
+                "Mid-query re-submits to another replica.", failovers_);
+  SimpleCounter(&out, "onex_router_cancel_fanout_total",
+                "Upstream legs a downstream CANCEL was propagated to.",
+                cancel_fanout_);
+
+  Preamble(&out, "onex_router_upstream_requests_total", "counter",
+           "Request legs by upstream and its probed role.");
+  for (size_t i = 0; i < upstream_.size() && i < upstreams.size(); ++i) {
+    const std::string address = upstreams[i].config.address();
+    std::snprintf(line, sizeof(line),
+                  "onex_router_upstream_requests_total{upstream=\"%s\","
+                  "role=\"leader\"} %llu\n",
+                  address.c_str(),
+                  static_cast<unsigned long long>(
+                      upstream_[i].leader_requests));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "onex_router_upstream_requests_total{upstream=\"%s\","
+                  "role=\"follower\"} %llu\n",
+                  address.c_str(),
+                  static_cast<unsigned long long>(
+                      upstream_[i].follower_requests));
+    out += line;
+  }
+
+  HistogramFamily(&out, "onex_router_merge_latency_seconds",
+                  "Admission-to-merged-final latency of routed queries.",
+                  merge_latency_);
+
+  Preamble(&out, "onex_router_upstream_healthy", "gauge",
+           "1 when the upstream's last probe found it ready.");
+  for (const UpstreamSnapshot& up : upstreams) {
+    std::snprintf(line, sizeof(line),
+                  "onex_router_upstream_healthy{upstream=\"%s\"} %d\n",
+                  up.config.address().c_str(), up.health.ready ? 1 : 0);
+    out += line;
+  }
+  Preamble(&out, "onex_router_upstream_lag_seconds", "gauge",
+           "Probed replica lag of the upstream (-1 = leader/unknown).");
+  for (const UpstreamSnapshot& up : upstreams) {
+    std::snprintf(line, sizeof(line),
+                  "onex_router_upstream_lag_seconds{upstream=\"%s\"} %.9g\n",
+                  up.config.address().c_str(), up.health.replica_lag_s);
+    out += line;
+  }
+
+  // Process gauges, same family names as the server's so one dashboard
+  // row template fits every hop.
+  const ProcessStats process = SampleProcessStats();
+  GaugeLine(&out, "onex_process_uptime_seconds",
+            "Seconds since process start.", process.uptime_seconds);
+  GaugeLine(&out, "onex_process_resident_memory_bytes",
+            "Resident set size in bytes.",
+            static_cast<double>(process.rss_bytes));
+  GaugeLine(&out, "onex_process_open_fds",
+            "Open file descriptors (-1 when unavailable).",
+            static_cast<double>(process.open_fds));
+  GaugeLine(&out, "onex_process_threads",
+            "Live threads (-1 when unavailable).",
+            static_cast<double>(process.threads));
+  Preamble(&out, "onex_process_cpu_user_seconds_total", "counter",
+           "User-mode CPU seconds consumed.");
+  std::snprintf(line, sizeof(line),
+                "onex_process_cpu_user_seconds_total %.9g\n",
+                process.cpu_user_seconds);
+  out += line;
+  Preamble(&out, "onex_process_cpu_sys_seconds_total", "counter",
+           "Kernel-mode CPU seconds consumed.");
+  std::snprintf(line, sizeof(line),
+                "onex_process_cpu_sys_seconds_total %.9g\n",
+                process.cpu_sys_seconds);
+  out += line;
+  return out;
+}
+
+}  // namespace router
+}  // namespace onex

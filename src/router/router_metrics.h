@@ -1,0 +1,69 @@
+// Copyright 2026 The ONEX Reproduction Authors.
+// Router-side METRICS registry, mirroring ServerMetrics' pattern: a
+// leaf mutex over plain counters plus a Prometheus text renderer. The
+// router exposes its own exposition on the same wire verb, so the
+// operational tier (PR 7–8) extends unchanged to the new hop.
+
+#ifndef ONEX_ROUTER_ROUTER_METRICS_H_
+#define ONEX_ROUTER_ROUTER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "router/routing_table.h"
+#include "server/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace onex {
+namespace router {
+
+class RouterMetrics {
+ public:
+  explicit RouterMetrics(size_t num_upstreams);
+
+  /// One downstream query admitted for routing.
+  void RecordRequest();
+  /// One scattered query fanning out over `legs` upstream datasets.
+  void RecordScatter(size_t legs);
+  /// One request leg sent to upstream `i` in its probed role.
+  void RecordUpstreamRequest(size_t i, bool follower);
+  /// One mid-query re-submit to another replica.
+  void RecordFailover();
+  /// One downstream CANCEL fanned out to `legs` upstream legs.
+  void RecordCancelFanout(size_t legs);
+  /// Wall time from admission to the merged final block.
+  void RecordMergeLatency(double seconds);
+
+  // Point-in-time reads for tests and the INSPECT/STATS surfaces.
+  uint64_t requests() const;
+  uint64_t failovers() const;
+  uint64_t upstream_requests(size_t i, bool follower) const;
+
+  /// Prometheus text exposition: router families + per-upstream health
+  /// gauges from the routing-table snapshot + process gauges. Lintable
+  /// by scripts/check_metrics.sh --router.
+  std::string RenderPrometheus(
+      const std::vector<UpstreamSnapshot>& upstreams) const;
+
+ private:
+  struct PerUpstream {
+    uint64_t leader_requests = 0;
+    uint64_t follower_requests = 0;
+  };
+
+  mutable Mutex mutex_{LockRank::kMetrics, "router.metrics_mutex"};
+  uint64_t requests_ GUARDED_BY(mutex_) = 0;
+  uint64_t scatter_queries_ GUARDED_BY(mutex_) = 0;
+  uint64_t scatter_legs_ GUARDED_BY(mutex_) = 0;
+  uint64_t failovers_ GUARDED_BY(mutex_) = 0;
+  uint64_t cancel_fanout_ GUARDED_BY(mutex_) = 0;
+  std::vector<PerUpstream> upstream_ GUARDED_BY(mutex_);
+  server::LatencyHistogram merge_latency_ GUARDED_BY(mutex_);
+};
+
+}  // namespace router
+}  // namespace onex
+
+#endif  // ONEX_ROUTER_ROUTER_METRICS_H_

@@ -519,6 +519,8 @@ storage::StorageStats Catalog::DurableStats() const {
         std::max(out.checkpoint_lock_hold_seconds,
                  one.checkpoint_lock_hold_seconds);
     out.degraded_recovery = out.degraded_recovery || one.degraded_recovery;
+    out.gc_reclaimed_bytes += one.gc_reclaimed_bytes;
+    out.gc_pending_artifacts += one.gc_pending_artifacts;
   }
   return out;
 }

@@ -1,11 +1,15 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -22,13 +26,94 @@
 namespace onex {
 namespace server {
 
+namespace {
+
+constexpr size_t kMaxReplyLine = size_t{64} << 20;
+
+Status SetSockTimeout(int fd, int which, uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv)) < 0) {
+    return Status::IOError(std::string("setsockopt: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Dials host:port honoring ClientOptions::connect_timeout_ms (via a
+/// non-blocking connect + poll) and arms SO_RCVTIMEO/SO_SNDTIMEO from
+/// io_timeout_ms. Returns the connected fd.
+Result<int> DialFd(const std::string& host, uint16_t port,
+                   const ClientOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  auto fail = [&](const char* what) -> Status {
+    const Status status =
+        Status::IOError(std::string(what) + " " + host + ":" +
+                        std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  };
+  if (options.connect_timeout_ms > 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) return fail("connect");
+    if (rc < 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      rc = ::poll(&pfd, 1, static_cast<int>(options.connect_timeout_ms));
+      if (rc == 0) {
+        errno = ETIMEDOUT;
+        return fail("connect");
+      }
+      if (rc < 0) return fail("poll");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        errno = err;
+        return fail("connect");
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
+    return fail("connect");
+  }
+  if (options.io_timeout_ms > 0) {
+    Status armed = SetSockTimeout(fd, SO_RCVTIMEO, options.io_timeout_ms);
+    if (armed.ok()) armed = SetSockTimeout(fd, SO_SNDTIMEO, options.io_timeout_ms);
+    if (!armed.ok()) {
+      ::close(fd);
+      return armed;
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
 // ------------------------------------------------------- handle state
 
 /// Shared between the issuing thread, the demux thread, and every copy
 /// of the Handle.
 struct Client::Handle::State {
-  // Both set once in Submit before the state is shared — immutable after.
+  // All three set once in Submit before the state is shared — immutable
+  // after. `request_line` is the exact rendered wire line, kept so a
+  // reconnecting demux can re-submit the query verbatim (same id).
   uint64_t id = 0;
+  std::string request_line;
   std::weak_ptr<Demux> demux;  // For Cancel(); weak: handle may outlive.
 
   Mutex mutex{LockRank::kClientHandle, "client.handle.mutex"};
@@ -51,10 +136,16 @@ struct Client::Handle::State {
 /// socket and routes them; senders serialize on `send_mutex`. Shared by
 /// the Client and every Handle so either side may outlive the other.
 struct Client::Demux {
-  // All three set once in EnsureDemux before the demux is shared.
-  int fd = -1;
+  // All set once in EnsureDemux before the demux is shared (fd and
+  // reader are then re-assigned only by TryReconnect, on the demux
+  // thread, under send_mutex + mutex).
+  std::atomic<int> fd{-1};
+  std::string host;
+  uint16_t port = 0;
+  ClientOptions options;
   std::unique_ptr<SocketLineReader> reader;  // Owned by the demux thread.
   std::thread thread;
+  std::atomic<uint64_t> reconnects{0};
 
   /// Whole-line writes from any thread.
   Mutex send_mutex{LockRank::kClientSend, "client.demux.send_mutex"};
@@ -77,13 +168,27 @@ struct Client::Demux {
       GUARDED_BY(mutex);
   bool dead GUARDED_BY(mutex) = false;
   Status dead_reason GUARDED_BY(mutex) = Status::OK();
+  /// Close() has begun: TryReconnect must stand down instead of racing
+  /// the teardown for the socket.
+  bool closing GUARDED_BY(mutex) = false;
 
   Status Send(const std::string& line) {
     MutexLock lock(send_mutex);
-    if (!SendAll(fd, line + "\n")) {
+    if (!SendAll(fd.load(std::memory_order_relaxed), line + "\n")) {
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     return Status::OK();
+  }
+
+  /// Begins teardown: flags `closing` and shoots down the current
+  /// socket so the demux thread's read returns. Holding `mutex` across
+  /// the shutdown() keeps it ordered against TryReconnect's fd swap —
+  /// the shot can never land on an fd number the swap already closed
+  /// and the kernel reissued.
+  void Shutdown() {
+    MutexLock lock(mutex);
+    closing = true;
+    ::shutdown(fd.load(std::memory_order_relaxed), SHUT_RDWR);
   }
 
   /// Fails every waiter with the transport error (the demux is dying).
@@ -122,6 +227,33 @@ struct Client::Demux {
       pending->cv.NotifyAll();
     }
   }
+
+  /// Reconnect-path subset of Fail(): blocking Roundtrip waiters are
+  /// failed (an untagged line may be a non-idempotent write whose fate
+  /// is unknowable) and cancel rendezvous are released empty-handed
+  /// (Cancel() reports the ack lost; the query itself survives via
+  /// re-submit). Tagged queries are left registered — they are what
+  /// the reconnect re-submits.
+  void FailUntagged(const Status& reason) {
+    std::map<uint64_t, std::shared_ptr<Handle::State>> released_cancels;
+    std::deque<std::shared_ptr<Pending>> failed_untagged;
+    {
+      MutexLock lock(mutex);
+      released_cancels.swap(cancel_waiters);
+      failed_untagged.swap(untagged);
+    }
+    for (auto& [id, state] : released_cancels) {
+      MutexLock lock(state->mutex);
+      state->cancel_pending = false;
+      state->cv.NotifyAll();
+    }
+    for (auto& pending : failed_untagged) {
+      MutexLock lock(pending->mutex);
+      pending->done = true;
+      pending->transport = reason;
+      pending->cv.NotifyAll();
+    }
+  }
 };
 
 void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
@@ -139,6 +271,7 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
       lines.push_back(line);
     }
     if (eof) {
+      if (TryReconnect(demux)) continue;
       demux->Fail(Status::IOError("connection closed or read failed"));
       return;
     }
@@ -254,6 +387,75 @@ void Client::DemuxLoop(std::shared_ptr<Demux> demux) {
   }
 }
 
+bool Client::TryReconnect(const std::shared_ptr<Demux>& demux) {
+  if (!demux->options.auto_reconnect) return false;
+  // Untagged waiters fail immediately — see FailUntagged. Tagged
+  // queries stay registered across the outage so their handles keep
+  // blocking in Wait() and are answered by the re-submitted run.
+  demux->FailUntagged(
+      Status::IOError("connection reset; non-idempotent request state unknown"));
+  for (int attempt = 0; attempt < demux->options.reconnect_attempts;
+       ++attempt) {
+    {
+      MutexLock lock(demux->mutex);
+      if (demux->closing) return false;
+    }
+    if (attempt > 0 && demux->options.reconnect_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(demux->options.reconnect_backoff_ms));
+    }
+    auto dialed = DialFd(demux->host, demux->port, demux->options);
+    if (!dialed.ok()) continue;
+    const int new_fd = dialed.value();
+    // Greeting read happens with SO_RCVTIMEO still armed (a listener
+    // that accepts but never greets must not wedge the reconnect);
+    // cleared afterwards because the demux read waits indefinitely by
+    // design (in-flight queries are bounded by deadline budgets).
+    auto new_reader = std::make_unique<SocketLineReader>(new_fd, kMaxReplyLine);
+    std::string greeting;
+    if (!new_reader->ReadLine(&greeting)) {
+      ::close(new_fd);
+      continue;
+    }
+    if (demux->options.io_timeout_ms > 0) {
+      SetSockTimeout(new_fd, SO_RCVTIMEO, 0);
+    }
+    std::vector<std::string> resend;
+    {
+      // send_mutex keeps concurrent Submits off the wire during the
+      // swap; mutex orders the swap against Shutdown() (see there).
+      MutexLock send_lock(demux->send_mutex);
+      MutexLock lock(demux->mutex);
+      if (demux->closing) {
+        ::close(new_fd);
+        return false;
+      }
+      const int old_fd =
+          demux->fd.exchange(new_fd, std::memory_order_relaxed);
+      ::close(old_fd);
+      demux->reader = std::move(new_reader);
+      demux->reconnects.fetch_add(1, std::memory_order_relaxed);
+      resend.reserve(demux->tagged.size());
+      for (auto& [id, state] : demux->tagged) {
+        resend.push_back(state->request_line);
+      }
+    }
+    // Idempotent re-submit: every unanswered tagged query, verbatim
+    // (same id — the new server session has never seen it). Tagged
+    // lines are read-only queries by grammar, so replay is safe.
+    bool resent = true;
+    for (const auto& line : resend) {
+      if (!demux->Send(line).ok()) {
+        resent = false;
+        break;
+      }
+    }
+    if (resent) return true;
+    // The fresh connection died mid-re-submit; dial again.
+  }
+  return false;
+}
+
 // -------------------------------------------------------------- handle
 
 Result<WireResponse> Client::Handle::Wait() {
@@ -350,22 +552,18 @@ uint64_t Client::Handle::id() const {
 // -------------------------------------------------------------- client
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  return Connect(host, port, ClientOptions());
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientOptions& options) {
+  auto dialed = DialFd(host, port, options);
+  if (!dialed.ok()) return dialed.status();
   Client client;
-  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (client.fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad host '" + host + "'");
-  }
-  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    return Status::IOError("connect " + host + ":" + std::to_string(port) +
-                           ": " + std::strerror(errno));
-  }
+  client.fd_ = dialed.value();
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
   const Status greeted = client.ReadLine(&client.greeting_);
   if (!greeted.ok()) return greeted;
   return client;
@@ -375,6 +573,9 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       reader_(std::move(other.reader_)),
       greeting_(std::move(other.greeting_)),
+      host_(std::move(other.host_)),
+      port_(std::exchange(other.port_, 0)),
+      options_(other.options_),
       demux_mutex_(std::move(other.demux_mutex_)),
       demux_(std::move(other.demux_)),
       next_id_(other.next_id_.load()) {}
@@ -385,6 +586,9 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
     greeting_ = std::move(other.greeting_);
+    host_ = std::move(other.host_);
+    port_ = std::exchange(other.port_, 0);
+    options_ = other.options_;
     demux_mutex_ = std::move(other.demux_mutex_);
     demux_ = std::move(other.demux_);
     next_id_.store(other.next_id_.load());
@@ -407,10 +611,15 @@ void Client::Close() {
     demux_ = nullptr;
   }
   if (demux != nullptr) {
-    // Unblock the demux thread's read, then reap it. Fail runs on the
-    // demux thread on its way out.
-    ::shutdown(fd_, SHUT_RDWR);
+    // Flag closing + unblock the demux thread's read, then reap it.
+    // Fail runs on the demux thread on its way out. The demux owns the
+    // socket's lifetime once started (fd_ is stale after a reconnect),
+    // so close ITS fd, not fd_.
+    demux->Shutdown();
     if (demux->thread.joinable()) demux->thread.join();
+    ::close(demux->fd.load(std::memory_order_relaxed));
+    fd_ = -1;
+    reader_.reset();
   }
   if (fd_ >= 0) {
     ::close(fd_);
@@ -419,11 +628,18 @@ void Client::Close() {
   }
 }
 
+uint64_t Client::reconnects() const {
+  if (demux_mutex_ == nullptr) return 0;  // Moved-from shell.
+  std::shared_ptr<Demux> active = demux();
+  return active != nullptr ? active->reconnects.load(std::memory_order_relaxed)
+                           : 0;
+}
+
 Status Client::ReadLine(std::string* line) {
   if (reader_ == nullptr) {
     // Replies are bounded by the server's own rendering; 64 MB guards
     // against a runaway/hostile peer without capping legitimate blocks.
-    reader_ = std::make_unique<SocketLineReader>(fd_, size_t{64} << 20);
+    reader_ = std::make_unique<SocketLineReader>(fd_, kMaxReplyLine);
   }
   if (!reader_->ReadLine(line)) {
     return Status::IOError("connection closed or read failed");
@@ -445,9 +661,18 @@ Result<std::shared_ptr<Client::Demux>> Client::EnsureDemux() {
   }
   if (fd_ < 0) return Status::IOError("client is closed");
   demux_ = std::make_shared<Demux>();
-  demux_->fd = fd_;
+  demux_->fd.store(fd_, std::memory_order_relaxed);
+  demux_->host = host_;
+  demux_->port = port_;
+  demux_->options = options_;
+  if (options_.io_timeout_ms > 0) {
+    // The async read waits indefinitely by design — an idle session is
+    // legitimately quiet between replies (see ClientOptions). Sends
+    // keep their timeout.
+    SetSockTimeout(fd_, SO_RCVTIMEO, 0);
+  }
   if (reader_ == nullptr) {
-    reader_ = std::make_unique<SocketLineReader>(fd_, size_t{64} << 20);
+    reader_ = std::make_unique<SocketLineReader>(fd_, kMaxReplyLine);
   }
   demux_->reader = std::move(reader_);  // The demux thread owns reads now.
   demux_->thread = std::thread([demux = demux_] { DemuxLoop(demux); });
@@ -474,12 +699,15 @@ Result<Client::Handle> Client::Submit(const QueryRequest& request,
   attrs.id = handle.state_->id;
   attrs.deadline_ms = options.deadline_ms;
   attrs.progress = static_cast<bool>(options.on_progress);
+  attrs.trace = options.trace;
+  attrs.dataset = options.dataset;
+  handle.state_->request_line = RenderRequestLine(request, attrs);
   {
     MutexLock lock(demux->mutex);
     if (demux->dead) return demux->dead_reason;
     demux->tagged[handle.state_->id] = handle.state_;
   }
-  const Status sent = demux->Send(RenderRequestLine(request, attrs));
+  const Status sent = demux->Send(handle.state_->request_line);
   if (!sent.ok()) {
     MutexLock lock(demux->mutex);
     demux->tagged.erase(handle.state_->id);

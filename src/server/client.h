@@ -39,6 +39,33 @@ namespace server {
 
 class SocketLineReader;
 
+/// Connection behavior knobs. The defaults reproduce the historical
+/// behavior exactly (blocking connect, no IO timeout, no reconnect).
+struct ClientOptions {
+  /// Bound on ::connect(); 0 = OS default (minutes on a black-holed
+  /// route — the router always sets this).
+  uint64_t connect_timeout_ms = 0;
+  /// Bound on blocking-mode reads and on every send (SO_RCVTIMEO /
+  /// SO_SNDTIMEO). The async demux read is exempt on purpose: an idle
+  /// multiplexed session legitimately sits quiet between replies, so
+  /// in-flight queries are bounded by their deadline budgets instead.
+  uint64_t io_timeout_ms = 0;
+  /// Async mode only: when the demux socket dies, dial the same
+  /// host:port again and re-submit every UNANSWERED tagged query with
+  /// its original id and attribute line, verbatim. Tagged queries are
+  /// read-only (the attribute grammar rejects attrs on append/flush),
+  /// so the re-submit is idempotent; blocking Roundtrip waiters are
+  /// failed instead — an untagged line may be a write whose fate on
+  /// the dead connection is unknowable. Progress streams restart from
+  /// seq 0 on the new connection (at-least-once for PART frames; the
+  /// final block is delivered exactly once).
+  bool auto_reconnect = false;
+  /// Dial attempts per outage before the session is declared dead.
+  int reconnect_attempts = 3;
+  /// Flat pause between dial attempts.
+  uint64_t reconnect_backoff_ms = 100;
+};
+
 class Client {
  public:
   /// Called with each PART frame of one query, on the demux thread.
@@ -54,6 +81,12 @@ class Client {
     /// callback receives them. Prefer passing it here over
     /// Handle::OnProgress — frames can arrive before OnProgress runs.
     ProgressCallback on_progress;
+    /// v8 DATASET attribute: run against this dataset instead of the
+    /// session's bound one (empty = bound). What the router's upstream
+    /// legs use — one multiplexed session serves every dataset.
+    std::string dataset;
+    /// v5 TRACE attribute: append TRACE lines to the final block.
+    bool trace = false;
   };
 
   /// One in-flight tagged query. Cheap to copy; all copies refer to the
@@ -91,6 +124,8 @@ class Client {
   /// Connects and consumes the greeting line ("ONEX/<v> ready").
   /// IOError when the server is unreachable.
   static Result<Client> Connect(const std::string& host, uint16_t port);
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options);
 
   // Moves are unchecked: moving a Client requires external
   // synchronization (both objects thread-confined for the duration), so
@@ -134,6 +169,10 @@ class Client {
   /// The greeting line received at connect time (without newline).
   const std::string& greeting() const { return greeting_; }
 
+  /// How many times the demux re-dialed the upstream (0 in blocking
+  /// mode or when auto_reconnect is off). Thread-safe.
+  uint64_t reconnects() const;
+
   void Close();
 
  private:
@@ -149,6 +188,11 @@ class Client {
   /// body).
   static void DemuxLoop(std::shared_ptr<Demux> demux);
 
+  /// Demux-thread reconnect: dial again, swap the socket in, and
+  /// re-submit every unanswered tagged query. False when reconnecting
+  /// is off, the client is closing, or every attempt failed.
+  static bool TryReconnect(const std::shared_ptr<Demux>& demux);
+
   /// Starts the demux thread if not yet running (guarded by
   /// demux_mutex_ — two first-Submits racing must not spawn two
   /// readers over one socket) and returns it.
@@ -160,6 +204,9 @@ class Client {
   int fd_ = -1;
   std::unique_ptr<SocketLineReader> reader_;
   std::string greeting_;
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
   /// Guards the demux_ transition and pointer reads (heap-allocated so
   /// the client stays movable; nullptr only in a moved-from shell).
   /// Client-side ranks sit above every server rank — in-process only in

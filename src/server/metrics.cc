@@ -433,6 +433,13 @@ std::string ServerMetrics::RenderPrometheus(
   GaugeLine(&out, "onex_delta_chain_length",
             "Longest live snapshot delta chain across durable engines.",
             static_cast<double>(gauges.delta_chain_length));
+  GaugeLine(&out, "onex_delta_gc_reclaimed_bytes",
+            "Bytes of retired checkpoint artifacts unlinked by delta GC.",
+            static_cast<double>(gauges.delta_gc_reclaimed_bytes));
+  GaugeLine(&out, "onex_delta_gc_pending_artifacts",
+            "Retired checkpoint artifacts still inside the GC grace "
+            "period.",
+            static_cast<double>(gauges.delta_gc_pending_artifacts));
   GaugeLine(&out, "onex_replica_lag_seconds",
             "Seconds since the last successful leader sync (-1 = not "
             "following).",

@@ -100,6 +100,11 @@ struct GaugeSnapshot {
   /// engines (both 0 before the first delta checkpoint).
   uint64_t checkpoint_delta_bytes = 0;
   uint64_t delta_chain_length = 0;
+  /// v8 delta GC: cumulative bytes of retired checkpoint artifacts
+  /// unlinked after the grace period, and retired files still waiting
+  /// inside it (both 0 when GC is off).
+  uint64_t delta_gc_reclaimed_bytes = 0;
+  uint64_t delta_gc_pending_artifacts = 0;
   /// Follower side: seconds since the last successful leader sync
   /// (negative = not following / never synced) and total series the
   /// replica has applied (0 on leaders).

@@ -171,9 +171,19 @@ Result<Request> ParseRequestLine(const std::string& line,
                                        "' (0 or 1)");
       }
       parsed_attrs.trace = value == "1";
+    } else if (key == "dataset") {
+      // v8 routing: per-query dataset (or, via onex_router, shard-set)
+      // override. Any non-empty token is accepted here; whether a glob
+      // is honored is the endpoint's call (a plain server rejects it).
+      if (value.empty()) {
+        return Status::InvalidArgument("bad dataset '' (a dataset name or "
+                                       "shard-set like sales-*)");
+      }
+      parsed_attrs.dataset = value;
     } else {
-      return Status::InvalidArgument("unknown request attribute '" + key +
-                                     "' (id, deadline_ms, progress, trace)");
+      return Status::InvalidArgument(
+          "unknown request attribute '" + key +
+          "' (id, deadline_ms, progress, trace, dataset)");
     }
     ++verb_at;
   }
@@ -437,6 +447,7 @@ std::string RenderRequestLine(const QueryRequest& request,
   }
   if (attrs.progress) prefix += "progress=1 ";
   if (attrs.trace) prefix += "trace=1 ";
+  if (!attrs.dataset.empty()) prefix += "dataset=" + attrs.dataset + " ";
   return prefix + RenderRequestLine(request);
 }
 
@@ -709,6 +720,9 @@ std::string RenderHelp() {
       "help manifest                          consistent-cut artifact manifest (v7)\n"
       "help fetch <dataset> <file>            stream one manifest artifact as\n"
       "help    CRC-framed binary chunks (v7)\n"
+      "help dataset=<name>                    per-query dataset override (v8);\n"
+      "help    through onex_router a shard-set like dataset=sales-* scatters\n"
+      "help    the query and merges the answers\n"
       ".\n";
 }
 

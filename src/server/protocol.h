@@ -146,12 +146,14 @@ namespace server {
 /// replication — the MANIFEST verb renders the leader's consistent-cut
 /// manifest in line form, FETCH streams one manifest artifact as
 /// CRC-framed binary chunks, and CANCEL grows the cross-session admin
-/// form `cancel <session>/<id>`). The v7 grammar is a strict superset
-/// of v6 (itself of v5, of v4, of v3, of v2) — negotiation is
-/// one-sided: the server announces its version, and a client that only
-/// speaks an older one simply never sends the newer verbs, so every v6
-/// session's bytes are unchanged.
-inline constexpr int kWireVersion = 7;
+/// form `cancel <session>/<id>`; 8: routing — the `dataset=` query
+/// attribute addresses a dataset (or, through onex_router, a shard-set
+/// like `sales-*`) per query without rebinding the session). The v8
+/// grammar is a strict superset of v7 (itself of v6, of v5, of v4, of
+/// v3, of v2) — negotiation is one-sided: the server announces its
+/// version, and a client that only speaks an older one simply never
+/// sends the newer verbs, so every v7 session's bytes are unchanged.
+inline constexpr int kWireVersion = 8;
 /// Oldest grammar still accepted verbatim.
 inline constexpr int kMinWireVersion = 2;
 
@@ -202,6 +204,12 @@ struct RequestAttrs {
   /// counters) to the final OK block. Render-time only — deliberately
   /// excluded from any(): tracing needs no ExecContext plumbing.
   bool trace = false;
+  /// v8: per-query dataset override — this query runs against the named
+  /// dataset instead of the session's bound one. Through onex_router
+  /// the value may be a shard-set (`<prefix>-*` or `*`), which the
+  /// router expands and scatters; a plain server accepts exact names
+  /// only. Excluded from any(): addressing needs no ExecContext.
+  std::string dataset;
 
   bool any() const { return id != 0 || deadline_ms != 0 || progress; }
 };

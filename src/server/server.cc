@@ -965,6 +965,8 @@ void Server::SessionLoop(int fd) {
           gauges.wal_write_failed = durable.wal_write_failed;
           gauges.checkpoint_delta_bytes = durable.last_delta_bytes;
           gauges.delta_chain_length = durable.delta_chain_length;
+          gauges.delta_gc_reclaimed_bytes = durable.gc_reclaimed_bytes;
+          gauges.delta_gc_pending_artifacts = durable.gc_pending_artifacts;
           if (options_.replica_status) {
             const ReplicaStatus replica = options_.replica_status();
             gauges.replica_lag_seconds = replica.lag_seconds;
@@ -1049,7 +1051,34 @@ void Server::SessionLoop(int fd) {
 
     // Query path: resolve through the bounded queue + worker pool.
     const QueryRequest& request = std::get<QueryRequest>(parsed.value());
-    if (engine == nullptr) {
+
+    // v8: the `dataset=` attribute overrides the session binding for
+    // this one query. Exact names resolve through the catalog; a
+    // shard-set glob only means something to the scatter-gather router,
+    // so refuse it here with a pointer at the right front door.
+    std::shared_ptr<const Engine> query_engine = engine;
+    std::string query_dataset = dataset;
+    if (!attrs.dataset.empty()) {
+      if (attrs.dataset.find('*') != std::string::npos) {
+        metrics_.RecordBadRequest();
+        session->Send(RenderErrorBlock(
+            "INVALID_ARGUMENT",
+            "shard-set '" + attrs.dataset +
+                "' needs the onex_router front door — this server serves "
+                "exact dataset names",
+            attrs.id));
+        continue;
+      }
+      auto acquired = catalog_->Acquire(attrs.dataset);
+      if (!acquired.ok()) {
+        metrics_.RecordBadRequest();
+        session->Send(RenderError(acquired.status(), attrs.id));
+        continue;
+      }
+      query_engine = std::move(acquired).value();
+      query_dataset = attrs.dataset;
+    }
+    if (query_engine == nullptr) {
       metrics_.RecordBadRequest();
       session->Send(RenderErrorBlock(
           kNoDatasetCode, "no dataset bound — send 'use <name>' first",
@@ -1091,15 +1120,15 @@ void Server::SessionLoop(int fd) {
       }
       Job job;
       job.request = request;
-      job.engine = engine;
+      job.engine = query_engine;
       job.ctx = ctx;
       job.deadline = ctx->deadline;
       job.wire_id = attrs.id;
       job.session_fd = fd;
-      job.dataset = dataset;
+      job.dataset = query_dataset;
       job.kind = KindOf(request);
       job.done = [this, session, id = attrs.id, trace = attrs.trace,
-                  dataset, kind = KindOf(request),
+                  dataset = query_dataset, kind = KindOf(request),
                   latency = Timer()](Result<QueryResponse> result) {
         RecordOutcome(kind, dataset, latency.ElapsedSeconds(), result);
         session->Send(result.ok() ? RenderResponse(result.value(), id, trace)
@@ -1132,11 +1161,11 @@ void Server::SessionLoop(int fd) {
     std::future<Result<QueryResponse>> reply = promise->get_future();
     Job job;
     job.request = request;
-    job.engine = engine;
+    job.engine = query_engine;
     job.ctx = ctx;
     job.deadline = ctx != nullptr ? ctx->deadline : std::nullopt;
     job.session_fd = fd;
-    job.dataset = dataset;
+    job.dataset = query_dataset;
     job.kind = KindOf(request);
     job.done = [promise](Result<QueryResponse> result) {
       promise->set_value(std::move(result));
@@ -1148,7 +1177,8 @@ void Server::SessionLoop(int fd) {
       continue;
     }
     Result<QueryResponse> result = reply.get();
-    RecordOutcome(KindOf(request), dataset, latency.ElapsedSeconds(), result);
+    RecordOutcome(KindOf(request), query_dataset, latency.ElapsedSeconds(),
+                  result);
     session->Send(result.ok()
                       ? RenderResponse(result.value(), 0, attrs.trace)
                       : RenderError(result.status()));

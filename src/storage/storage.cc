@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -545,9 +546,20 @@ void DurableEngine::CheckpointerLoop() {
 
 Status DurableEngine::Checkpoint() {
   MutexLock serialize(checkpoint_mutex_);
-  if (options_.delta_checkpoints) return CheckpointIncremental();
-  return engine_.Exclusive(
-      [this](const OnexBase& base) { return CheckpointLocked(base); });
+  const Status result =
+      options_.delta_checkpoints
+          ? CheckpointIncremental()
+          : engine_.Exclusive(
+                [this](const OnexBase& base) { return CheckpointLocked(base); });
+  // Every publish is a fresh manifest that names no retired artifact —
+  // sweep whatever has aged out of the grace window.
+  SweepRetiredLocked();
+  return result;
+}
+
+size_t DurableEngine::CollectGarbage() {
+  MutexLock lock(checkpoint_mutex_);
+  return SweepRetiredLocked();
 }
 
 Status DurableEngine::CheckpointLocked(const OnexBase& base) {
@@ -567,7 +579,7 @@ Status DurableEngine::CheckpointLocked(const OnexBase& base) {
   const Status saved = WriteFileDurable(base_path_, bytes.value());
   if (!saved.ok()) return saved;
   // A full rewrite folds (and orphans) any delta chain.
-  RemoveDeltaFiles(1);
+  RetireChainLocked();
   chain_.clear();
   base_bytes_ = bytes.value().size();
   base_crc_ = Crc32(bytes.value().data(), bytes.value().size());
@@ -643,7 +655,7 @@ Status DurableEngine::CheckpointIncremental() {
     // outside every engine lock), then drop the folded chain.
     const Status published = WriteFileDurable(base_path_, shadow);
     if (!published.ok()) return published;
-    RemoveDeltaFiles(1);
+    RetireChainLocked();
     chain_.clear();
     base_bytes_ = shadow.size();
     base_crc_ = Crc32(shadow.data(), shadow.size());
@@ -656,6 +668,14 @@ Status DurableEngine::CheckpointIncremental() {
         base_path_ + ".delta." + std::to_string(chain_.size() + 1);
     const Status published = WriteFileDurable(path, delta);
     if (!published.ok()) return published;
+    // The publish may have re-taken a retired name (compaction resets
+    // the numbering to 1): those bytes are live again, not reclaimable.
+    retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                  [&](const RetiredArtifact& r) {
+                                    return r.path == path;
+                                  }),
+                   retired_.end());
+    gc_pending_artifacts_.store(retired_.size());
     chain_.push_back(
         {path, delta.size(), Crc32(shadow.data(), shadow.size())});
     delta_checkpoints_.fetch_add(1);
@@ -724,6 +744,42 @@ void DurableEngine::RemoveDeltaFiles(uint64_t from) const {
   }
 }
 
+void DurableEngine::RetireChainLocked() {
+  if (options_.delta_gc_grace_s <= 0.0) {
+    RemoveDeltaFiles(1);
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const ChainLink& link : chain_) {
+    retired_.push_back({link.path, link.bytes, now});
+  }
+  gc_pending_artifacts_.store(retired_.size());
+}
+
+size_t DurableEngine::SweepRetiredLocked() {
+  if (retired_.empty()) return 0;
+  const auto grace = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.delta_gc_grace_s));
+  const auto cutoff = std::chrono::steady_clock::now() - grace;
+  size_t unlinked = 0;
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->retired_at <= cutoff) {
+      std::error_code ec;
+      fs::remove(it->path, ec);
+      gc_reclaimed_bytes_.fetch_add(it->bytes);
+      ++unlinked;
+    } else {
+      if (keep != it) *keep = std::move(*it);  // Self-move guts the path.
+      ++keep;
+    }
+  }
+  retired_.erase(keep, retired_.end());
+  gc_pending_artifacts_.store(retired_.size());
+  return unlinked;
+}
+
 ChainStatus DurableEngine::chain_status() const {
   MutexLock lock(checkpoint_mutex_);
   ChainStatus status;
@@ -754,6 +810,8 @@ StorageStats DurableEngine::stats() const {
   stats.checkpoint_lock_hold_seconds =
       static_cast<double>(last_lock_hold_ns_.load()) * 1e-9;
   stats.degraded_recovery = degraded_recovery_;
+  stats.gc_reclaimed_bytes = gc_reclaimed_bytes_.load();
+  stats.gc_pending_artifacts = gc_pending_artifacts_.load();
   const int64_t last_ns = last_checkpoint_ns_.load();
   if (last_ns != 0) {
     const int64_t now_ns =

@@ -50,6 +50,7 @@
 #define ONEX_STORAGE_STORAGE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -98,6 +99,16 @@ struct StorageOptions {
   /// follower-bootstrap time.
   uint64_t max_delta_chain_length = 8;
   uint64_t max_delta_chain_bytes = 64ull << 20;
+  /// Leader-side delta garbage collection. 0 (default): artifacts a
+  /// compaction or full rewrite orphans are unlinked immediately (the
+  /// historical behavior). > 0: they are RETIRED instead — left on
+  /// disk, still servable to a follower mid-FETCH against an older
+  /// manifest — and unlinked only once this many seconds have passed
+  /// since retirement (swept on every checkpoint publish and by
+  /// CollectGarbage()). A retired name that a later delta publish
+  /// reuses leaves the retirement list at that moment: the bytes on
+  /// disk are live again, not reclaimable.
+  double delta_gc_grace_s = 0.0;
 };
 
 /// Point-in-time counters for STATS replies, tests, and the bench.
@@ -132,6 +143,9 @@ struct StorageStats {
   /// Recovery degraded to the last valid chain prefix (corrupt or torn
   /// delta artifact dropped — state may predate the newest checkpoint).
   bool degraded_recovery = false;
+  // ---- delta-GC facts (zero unless delta_gc_grace_s > 0).
+  uint64_t gc_reclaimed_bytes = 0;    ///< Retired bytes unlinked so far.
+  uint64_t gc_pending_artifacts = 0;  ///< Retired files inside the grace.
 };
 
 /// One published delta artifact in the live chain, in apply order.
@@ -223,6 +237,12 @@ class DurableEngine : public AppendSink,
   Status Checkpoint();
 
   StorageStats stats() const;
+  /// Delta GC: unlinks every retired artifact whose grace period has
+  /// elapsed (see StorageOptions::delta_gc_grace_s) and returns how
+  /// many were unlinked. Also runs automatically at the end of every
+  /// Checkpoint() — each publish is a fresh manifest no retired name
+  /// appears in, which is what starts (and eventually ends) the clock.
+  size_t CollectGarbage();
   /// The on-disk artifact set a manifest records and a follower
   /// fetches: base snapshot, delta chain, WAL sequence base. Taken
   /// under checkpoint_mutex_, so it is internally consistent with
@@ -272,6 +292,16 @@ class DurableEngine : public AppendSink,
   /// Removes every `<base>.onex.delta.<k>` on disk from k = `from` up
   /// (stale artifacts after a compaction or full rewrite).
   void RemoveDeltaFiles(uint64_t from) const;
+
+  /// Compaction/full-rewrite hand-off for the orphaned chain: unlink
+  /// immediately (grace 0) or move every live link onto the retirement
+  /// list with a timestamp. Caller clears chain_ afterwards.
+  void RetireChainLocked() REQUIRES(checkpoint_mutex_);
+
+  /// Unlinks retired artifacts past the grace period; returns the
+  /// count. Skips nothing silently: a name re-taken by a newer delta
+  /// was already dropped from the list at publish time.
+  size_t SweepRetiredLocked() REQUIRES(checkpoint_mutex_);
 
   Engine engine_;
   /// All WAL-writer state is touched only under the engine's WRITER
@@ -333,6 +363,17 @@ class DurableEngine : public AppendSink,
   std::vector<ChainLink> chain_ GUARDED_BY(checkpoint_mutex_);
   uint64_t base_bytes_ GUARDED_BY(checkpoint_mutex_) = 0;
   uint32_t base_crc_ GUARDED_BY(checkpoint_mutex_) = 0;
+  /// Artifacts no published manifest names any more, kept on disk for
+  /// the delta-GC grace period so a follower mid-fetch on an older
+  /// manifest still succeeds.
+  struct RetiredArtifact {
+    std::string path;
+    uint64_t bytes = 0;
+    std::chrono::steady_clock::time_point retired_at;
+  };
+  std::vector<RetiredArtifact> retired_ GUARDED_BY(checkpoint_mutex_);
+  std::atomic<uint64_t> gc_reclaimed_bytes_{0};
+  std::atomic<uint64_t> gc_pending_artifacts_{0};
 
   /// Checkpointer thread plumbing. Above kEngine: the append sink
   /// pokes the checkpointer while the engine writer lock is held.

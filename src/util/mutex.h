@@ -69,6 +69,13 @@ enum class LockRank : int {
   kStorageCheckpoint = 30, ///< DurableEngine::checkpoint_mutex_
   kEngine = 40,            ///< Engine::rw_mutex_
   kStorageCp = 50,         ///< DurableEngine::cp_mutex_
+  // Router band: below the session ranks (a merge callback holds its
+  // op mutex while sending the merged frame downstream) and below the
+  // client band (router threads submit upstream legs — Client locks —
+  // while holding router state).
+  kRouterTable = 44,       ///< router::RoutingTable::mutex_
+  kRouterUpstream = 46,    ///< router::UpstreamPool link mutex
+  kRouterMerge = 48,       ///< router::ScatterOp::mutex
   kSessionWrite = 52,      ///< Server::Session::write_mutex
   kSessionState = 54,      ///< Server::Session::mutex
   kMetrics = 60,           ///< ServerMetrics::mutex_

@@ -310,7 +310,7 @@ TEST(ProtocolTest, ErrorBlocksCarryCodeAndMessage) {
 }
 
 TEST(ProtocolTest, GreetingAnnouncesVersion) {
-  EXPECT_EQ(Greeting(), "ONEX/7 ready\n");
+  EXPECT_EQ(Greeting(), "ONEX/8 ready\n");
   auto parsed = ParseResponseBlock(SplitLines(RenderHelp()));
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.value().ok);

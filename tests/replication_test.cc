@@ -193,6 +193,7 @@ class ReplicationTest : public ::testing::Test {
     CatalogOptions catalog_options;
     catalog_options.data_dir = leader_dir_.string();
     catalog_options.durable = true;
+    catalog_options.storage = leader_storage_;
     catalog_options.storage.background_checkpointer = false;
     leader_catalog_ = std::make_shared<Catalog>(catalog_options);
     leader_catalog_->Register("power", BuildSmallEngine(42));
@@ -248,6 +249,9 @@ class ReplicationTest : public ::testing::Test {
 
   fs::path leader_dir_;
   fs::path follower_dir_;
+  /// Tweak before StartLeader() to shape the leader's storage (chain
+  /// bounds, GC grace). background_checkpointer is forced off either way.
+  storage::StorageOptions leader_storage_;
   std::shared_ptr<Catalog> leader_catalog_;
   std::unique_ptr<Server> leader_;
 };
@@ -424,7 +428,7 @@ TEST_F(ReplicationTest, FollowerServesReadsButRefusesMutationsReadOnly) {
 
   auto client = Client::Connect("127.0.0.1", follower->port());
   ASSERT_TRUE(client.ok());
-  EXPECT_EQ(client.value().greeting(), "ONEX/7 ready");
+  EXPECT_EQ(client.value().greeting(), "ONEX/8 ready");
 
   // Reads serve.
   auto use = client.value().Roundtrip("use power");
@@ -485,6 +489,69 @@ TEST_F(ReplicationTest, NeverSyncedFollowerIsNotReady) {
   auto health = client.value().Roundtrip("health");
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health.value().header.at("ready"), "0");
+}
+
+// ------------------------------------------------- delta GC grace (v8)
+
+TEST_F(ReplicationTest, RetiredArtifactsStayFetchableInsideGcGrace) {
+  // A follower that planned its catch-up from an older manifest must be
+  // able to finish fetching those deltas even after the leader compacts
+  // the chain out from under it. A long grace keeps the retired bytes
+  // on disk and servable over FETCH.
+  leader_storage_.max_delta_chain_length = 2;
+  leader_storage_.delta_gc_grace_s = 3600.0;
+  StartLeader();
+
+  Client client = ConnectLeader();
+  // Append + cut until a compaction folds the chain back into the base;
+  // remember the last manifest that still advertised deltas — that is
+  // the stale plan a mid-catch-up follower would hold.
+  storage::Manifest old_manifest;
+  bool compacted = false;
+  for (int round = 0; round < 6 && !compacted; ++round) {
+    ASSERT_TRUE(
+        leader_catalog_->Append("power", MakeAppendSeries(100 + round)).ok());
+    auto manifest = client.FetchManifest();
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    ASSERT_EQ(manifest.value().entries.size(), 1u);
+    if (manifest.value().entries[0].deltas.empty()) {
+      compacted = !old_manifest.entries.empty();
+    } else {
+      old_manifest = manifest.value();
+    }
+  }
+  ASSERT_TRUE(compacted) << "chain never compacted within 6 cuts";
+  ASSERT_FALSE(old_manifest.entries[0].deltas.empty());
+
+  // Every delta the stale manifest names is retired, not gone: FETCH
+  // still streams the exact advertised byte count.
+  for (const storage::ManifestEntry::DeltaRef& delta :
+       old_manifest.entries[0].deltas) {
+    auto bytes = client.FetchArtifact("power", delta.file);
+    ASSERT_TRUE(bytes.ok()) << delta.file << ": "
+                            << bytes.status().ToString();
+    EXPECT_EQ(bytes.value().size(), delta.bytes) << delta.file;
+  }
+
+  // The gauges show artifacts parked in the grace window and nothing
+  // reclaimed yet.
+  auto metrics = client.Roundtrip("metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(metrics.value().ok);
+  bool saw_pending = false;
+  bool saw_reclaimed = false;
+  for (const std::string& line : metrics.value().payload) {
+    if (line.rfind("onex_delta_gc_pending_artifacts ", 0) == 0) {
+      saw_pending = true;
+      EXPECT_NE(line, "onex_delta_gc_pending_artifacts 0");
+    }
+    if (line.rfind("onex_delta_gc_reclaimed_bytes ", 0) == 0) {
+      saw_reclaimed = true;
+      EXPECT_EQ(line, "onex_delta_gc_reclaimed_bytes 0");
+    }
+  }
+  EXPECT_TRUE(saw_pending);
+  EXPECT_TRUE(saw_reclaimed);
 }
 
 // -------------------------------------------- cross-session admin CANCEL

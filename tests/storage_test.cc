@@ -517,6 +517,70 @@ TEST_F(StorageTest, WireAppendsSurviveServerDeathWithoutFlush) {
             first.values());
 }
 
+// ------------------------------------------------------ delta GC (v8).
+
+TEST_F(StorageTest, DeltaGcRetiresInsideGraceThenSweepsAfterIt) {
+  StorageOptions options;
+  options.background_checkpointer = false;
+  options.max_delta_chain_length = 2;
+  options.delta_gc_grace_s = 0.5;
+  auto durable = DurableEngine::Create(dir_.string(), "gc",
+                                       BuildSmallEngine(3), options);
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  // Checkpoint past the chain bound so a compaction orphans the chain.
+  size_t round = 0;
+  while (durable.value()->stats().chain_compactions == 0) {
+    ASSERT_LT(round, 8u) << "chain never compacted";
+    ASSERT_TRUE(
+        durable.value()->Append(TaggedSeries(static_cast<int>(round))).ok());
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+    ++round;
+  }
+
+  // Inside the grace window the orphans are RETIRED, not unlinked: the
+  // artifact bytes stay servable to a follower holding the old
+  // manifest, the pending gauge counts them, and nothing is reclaimed.
+  StorageStats stats = durable.value()->stats();
+  EXPECT_GE(stats.gc_pending_artifacts, 1u);
+  EXPECT_EQ(stats.gc_reclaimed_bytes, 0u);
+  EXPECT_TRUE(fs::exists(DeltaPathFor(dir_.string(), "gc", 1)));
+  EXPECT_EQ(durable.value()->CollectGarbage(), 0u);
+  EXPECT_TRUE(fs::exists(DeltaPathFor(dir_.string(), "gc", 1)));
+
+  // Once the grace elapses the sweep unlinks them and accounts the
+  // reclaimed bytes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_GE(durable.value()->CollectGarbage(), 1u);
+  stats = durable.value()->stats();
+  EXPECT_EQ(stats.gc_pending_artifacts, 0u);
+  EXPECT_GT(stats.gc_reclaimed_bytes, 0u);
+  EXPECT_FALSE(fs::exists(DeltaPathFor(dir_.string(), "gc", 1)));
+}
+
+TEST_F(StorageTest, DeltaGcZeroGraceKeepsImmediateUnlink) {
+  // The historical default: no grace, compaction unlinks on the spot
+  // and the GC gauges stay zero.
+  StorageOptions options;
+  options.background_checkpointer = false;
+  options.max_delta_chain_length = 2;
+  auto durable = DurableEngine::Create(dir_.string(), "nograce",
+                                       BuildSmallEngine(3), options);
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  size_t round = 0;
+  while (durable.value()->stats().chain_compactions == 0) {
+    ASSERT_LT(round, 8u);
+    ASSERT_TRUE(
+        durable.value()->Append(TaggedSeries(static_cast<int>(round))).ok());
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+    ++round;
+  }
+  const StorageStats stats = durable.value()->stats();
+  EXPECT_EQ(stats.gc_pending_artifacts, 0u);
+  EXPECT_EQ(stats.gc_reclaimed_bytes, 0u);
+  EXPECT_FALSE(fs::exists(DeltaPathFor(dir_.string(), "nograce", 1)));
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace onex

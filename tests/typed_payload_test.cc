@@ -513,7 +513,7 @@ TEST(V3ByteCompatTest, ErrorAndRequestLinesRenderV3Bytes) {
   // The greeting's version token is the one deliberate difference a v3
   // client sees at connect time (one-sided negotiation, as v3 did to
   // v2 sessions before).
-  EXPECT_EQ(server::Greeting(), "ONEX/7 ready\n");
+  EXPECT_EQ(server::Greeting(), "ONEX/8 ready\n");
 }
 
 TEST_F(TypedPartServerTest, V3StyleSessionSeesNoV4Tokens) {
